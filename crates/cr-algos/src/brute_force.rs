@@ -1,0 +1,174 @@
+//! Exhaustive optimal solver used as ground truth in tests and experiments.
+//!
+//! The solver explores the same normalized step space as
+//! [`crate::opt_m`] (at least one frontier job completes per step, the
+//! leftover goes to at most one job — justified by Lemma 1), but performs a
+//! memoized depth-first search **without** the domination pruning of
+//! Algorithm 2.  Its running time is exponential, which is fine for the small
+//! instances where it serves as an independent reference for
+//! `OptResAssignment`, `OptResAssignment2` and the approximation-ratio
+//! experiments.
+
+use crate::opt_m::{successors, Config};
+use cr_core::{bounds, Instance};
+use std::collections::HashMap;
+
+/// Search statistics of a brute-force run (useful for reporting how much
+/// work the domination pruning of Algorithm 2 saves).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of distinct configurations memoized.
+    pub states: usize,
+    /// Number of successor expansions performed.
+    pub expansions: usize,
+}
+
+/// Computes the optimal makespan by exhaustive search.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit size jobs.
+#[must_use]
+pub fn brute_force_makespan(instance: &Instance) -> usize {
+    brute_force_with_stats(instance).0
+}
+
+/// Like [`brute_force_makespan`] but also reports search statistics.
+#[must_use]
+pub fn brute_force_with_stats(instance: &Instance) -> (usize, SearchStats) {
+    assert!(
+        instance.is_unit_size(),
+        "brute force solver requires unit-size jobs"
+    );
+    let m = instance.processors();
+    let mut memo: HashMap<Config, usize> = HashMap::new();
+    let mut stats = SearchStats::default();
+    let initial = Config::initial(m);
+    let result = search(instance, &initial, &mut memo, &mut stats);
+    stats.states = memo.len();
+    (result, stats)
+}
+
+fn search(
+    instance: &Instance,
+    config: &Config,
+    memo: &mut HashMap<Config, usize>,
+    stats: &mut SearchStats,
+) -> usize {
+    if config.is_final(instance) {
+        return 0;
+    }
+    if let Some(&v) = memo.get(config) {
+        return v;
+    }
+    stats.expansions += 1;
+    let mut best = usize::MAX;
+    for (next, _choice) in successors(instance, config) {
+        let sub = search(instance, &next, memo, stats);
+        if sub != usize::MAX {
+            best = best.min(sub + 1);
+        }
+    }
+    memo.insert(config.clone(), best);
+    best
+}
+
+/// Convenience wrapper asserting that a claimed makespan is optimal; returns
+/// the brute-force optimum so callers can report both.
+#[must_use]
+pub fn verify_optimal(instance: &Instance, claimed: usize) -> usize {
+    let opt = brute_force_makespan(instance);
+    assert_eq!(
+        opt, claimed,
+        "claimed optimal makespan {claimed} differs from brute-force optimum {opt}"
+    );
+    opt
+}
+
+/// Returns `true` when the instance is small enough for the brute-force
+/// solver to be practical (a heuristic guard used by experiment drivers).
+#[must_use]
+pub fn is_tractable(instance: &Instance) -> bool {
+    instance.total_jobs() <= 14 && instance.processors() <= 5
+}
+
+/// The trivial lower bound re-exported here so experiment code can report
+/// `(lower bound, brute force, algorithm)` triples from one import.
+#[must_use]
+pub fn instance_lower_bound(instance: &Instance) -> usize {
+    bounds::trivial_lower_bound(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_balance::GreedyBalance;
+    use crate::opt_m::opt_m_makespan;
+    use crate::opt_two::opt_two_makespan;
+    use crate::round_robin::RoundRobin;
+    use crate::traits::Scheduler;
+
+    #[test]
+    fn matches_opt_two_on_two_processor_instances() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40], &[60, 40]]),
+            Instance::unit_from_percentages(&[&[100, 1, 100], &[1, 100, 1]]),
+            Instance::unit_from_percentages(&[&[55, 45, 35], &[65, 75, 85]]),
+            Instance::unit_from_percentages(&[&[30, 30, 30], &[70, 70, 70]]),
+        ];
+        for inst in instances {
+            assert_eq!(brute_force_makespan(&inst), opt_two_makespan(&inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn matches_opt_m_on_three_processor_instances() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]),
+            Instance::unit_from_percentages(&[&[100], &[100], &[100]]),
+            Instance::unit_from_percentages(&[&[50, 50, 50, 50], &[100], &[100]]),
+            Instance::unit_from_percentages(&[&[90, 5], &[80, 15], &[70, 25]]),
+        ];
+        for inst in instances {
+            assert_eq!(brute_force_makespan(&inst), opt_m_makespan(&inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn optimum_is_between_lower_bound_and_heuristics() {
+        let inst = Instance::unit_from_percentages(&[&[80, 20], &[70, 30], &[10, 90]]);
+        let opt = brute_force_makespan(&inst);
+        assert!(opt >= instance_lower_bound(&inst));
+        assert!(opt <= GreedyBalance::new().makespan(&inst));
+        assert!(opt <= RoundRobin::new().makespan(&inst));
+    }
+
+    #[test]
+    fn verify_optimal_accepts_correct_claims() {
+        let inst = Instance::unit_from_percentages(&[&[50], &[50]]);
+        assert_eq!(verify_optimal(&inst, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from brute-force optimum")]
+    fn verify_optimal_rejects_wrong_claims() {
+        let inst = Instance::unit_from_percentages(&[&[50], &[50]]);
+        let _ = verify_optimal(&inst, 2);
+    }
+
+    #[test]
+    fn tractability_guard() {
+        assert!(is_tractable(&Instance::unit_from_percentages(&[&[50, 50], &[50, 50]])));
+        let big = Instance::unit_from_requirements(vec![vec![cr_core::Ratio::from_percent(10); 20]; 6]);
+        assert!(!is_tractable(&big));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let inst = Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]);
+        let (opt, stats) = brute_force_with_stats(&inst);
+        assert_eq!(opt, 2);
+        assert!(stats.states > 0);
+        assert!(stats.expansions > 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Baseline heuristics.
+//!
+//! The discrete-continuous scheduling literature surveyed in Section 2 of the
+//! paper mostly relies on heuristics without worst-case guarantees.  The
+//! heuristics in this module play that role in the experiment harness: they
+//! are natural resource-arbitration policies a practitioner might deploy on a
+//! shared-bus many-core, and the benchmarks compare them against the paper's
+//! algorithms.
+//!
+//! * [`EqualShare`] — split the resource uniformly among active processors,
+//!   ignoring requirements entirely (wastes whatever a job cannot absorb).
+//! * [`ProportionalShare`] — split the resource proportionally to the active
+//!   jobs' current step demands.
+//! * [`LargestRequirementFirst`] — serve active jobs in order of decreasing
+//!   remaining requirement (a "clear the big rocks first" greedy).
+//! * [`SmallestRequirementFirst`] — serve active jobs in order of increasing
+//!   remaining requirement (maximizes the number of jobs finished per step;
+//!   this is the schedule depicted in Figure 1 of the paper).
+
+use crate::traits::Scheduler;
+use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
+
+/// Grid used to quantize the shares of the requirement-oblivious heuristics,
+/// so that long schedules keep bounded denominators in the exact arithmetic
+/// (see `cr_core::Ratio::floor_to_denominator`).
+const SHARE_GRID: i128 = 100_000;
+
+/// Splits the resource uniformly among all active processors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualShare;
+
+impl EqualShare {
+    /// Creates the heuristic.
+    #[must_use]
+    pub fn new() -> Self {
+        EqualShare
+    }
+}
+
+impl Scheduler for EqualShare {
+    fn name(&self) -> &'static str {
+        "EqualShare"
+    }
+
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        let m = instance.processors();
+        let mut builder = ScheduleBuilder::new(instance);
+        while !builder.all_done() {
+            let active: Vec<usize> = (0..m).filter(|&i| builder.is_active(i)).collect();
+            let share = Ratio::new(1, active.len() as i128).floor_to_denominator(SHARE_GRID);
+            let mut shares = vec![Ratio::ZERO; m];
+            for &i in &active {
+                // The uniform share is handed out regardless of the job's
+                // demand; anything the job cannot absorb is wasted.
+                shares[i] = share;
+            }
+            builder.push_step(shares);
+        }
+        builder.finish()
+    }
+}
+
+/// Splits the resource proportionally to the active jobs' step demands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProportionalShare;
+
+impl ProportionalShare {
+    /// Creates the heuristic.
+    #[must_use]
+    pub fn new() -> Self {
+        ProportionalShare
+    }
+}
+
+impl Scheduler for ProportionalShare {
+    fn name(&self) -> &'static str {
+        "ProportionalShare"
+    }
+
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        let m = instance.processors();
+        let mut builder = ScheduleBuilder::new(instance);
+        while !builder.all_done() {
+            let demands: Vec<Ratio> = (0..m).map(|i| builder.step_demand(i)).collect();
+            let total: Ratio = demands.iter().sum();
+            let mut shares = vec![Ratio::ZERO; m];
+            if total <= Ratio::ONE {
+                // Everything fits: give every job exactly what it needs.
+                shares.clone_from_slice(&demands);
+            } else {
+                for i in 0..m {
+                    shares[i] = (demands[i] / total).floor_to_denominator(SHARE_GRID);
+                }
+            }
+            builder.push_step(shares);
+        }
+        builder.finish()
+    }
+}
+
+/// Serves active jobs in order of decreasing remaining requirement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LargestRequirementFirst;
+
+impl LargestRequirementFirst {
+    /// Creates the heuristic.
+    #[must_use]
+    pub fn new() -> Self {
+        LargestRequirementFirst
+    }
+}
+
+/// Serves active jobs in order of increasing remaining requirement,
+/// greedily maximizing the number of jobs finished per step (the schedule of
+/// Figure 1 in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmallestRequirementFirst;
+
+impl SmallestRequirementFirst {
+    /// Creates the heuristic.
+    #[must_use]
+    pub fn new() -> Self {
+        SmallestRequirementFirst
+    }
+}
+
+fn serve_in_order(instance: &Instance, order_desc: bool) -> Schedule {
+    let m = instance.processors();
+    let mut builder = ScheduleBuilder::new(instance);
+    while !builder.all_done() {
+        let mut order: Vec<usize> = (0..m).filter(|&i| builder.is_active(i)).collect();
+        order.sort_by(|&a, &b| {
+            let cmp = builder
+                .remaining_workload(a)
+                .cmp(&builder.remaining_workload(b));
+            let cmp = if order_desc { cmp.reverse() } else { cmp };
+            cmp.then_with(|| a.cmp(&b))
+        });
+        let mut shares = vec![Ratio::ZERO; m];
+        let mut left = Ratio::ONE;
+        for i in order {
+            if left.is_zero() {
+                break;
+            }
+            let give = builder.step_demand(i).min(left);
+            shares[i] = give;
+            left -= give;
+        }
+        builder.push_step(shares);
+    }
+    builder.finish()
+}
+
+impl Scheduler for LargestRequirementFirst {
+    fn name(&self) -> &'static str {
+        "LargestRequirementFirst"
+    }
+
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        serve_in_order(instance, true)
+    }
+}
+
+impl Scheduler for SmallestRequirementFirst {
+    fn name(&self) -> &'static str {
+        "SmallestRequirementFirst"
+    }
+
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        serve_in_order(instance, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::properties::{is_non_wasting, is_progressive};
+    use cr_core::bounds;
+
+    fn sample_instances() -> Vec<Instance> {
+        vec![
+            Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]]),
+            Instance::unit_from_percentages(&[&[100], &[100], &[100]]),
+            Instance::unit_from_percentages(&[&[25, 75], &[75, 25], &[50, 50]]),
+            Instance::unit_from_percentages(&[&[0, 50], &[100, 0]]),
+        ]
+    }
+
+    #[test]
+    fn all_heuristics_produce_feasible_schedules() {
+        let heuristics: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(EqualShare::new()),
+            Box::new(ProportionalShare::new()),
+            Box::new(LargestRequirementFirst::new()),
+            Box::new(SmallestRequirementFirst::new()),
+        ];
+        for inst in sample_instances() {
+            for h in &heuristics {
+                let schedule = h.schedule(&inst);
+                let trace = schedule.trace(&inst).unwrap();
+                assert!(
+                    trace.makespan() >= bounds::trivial_lower_bound(&inst).min(trace.makespan()),
+                    "{} produced impossible makespan",
+                    h.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn priority_heuristics_are_non_wasting_and_progressive() {
+        for inst in sample_instances() {
+            for h in [
+                Box::new(LargestRequirementFirst::new()) as Box<dyn Scheduler>,
+                Box::new(SmallestRequirementFirst::new()),
+            ] {
+                let trace = h.schedule(&inst).trace(&inst).unwrap();
+                assert!(is_non_wasting(&trace), "{}", h.name());
+                assert!(is_progressive(&trace), "{}", h.name());
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_first_reproduces_figure1_makespan() {
+        let inst = Instance::unit_from_percentages(&[
+            &[20, 10, 10, 10],
+            &[50, 55, 90, 55, 10],
+            &[50, 40, 95],
+        ]);
+        assert_eq!(SmallestRequirementFirst::new().makespan(&inst), 6);
+    }
+
+    #[test]
+    fn equal_share_can_be_wasteful_but_is_feasible() {
+        // Two processors, requirements 100% and 10%: the uniform split gives
+        // each 50%, wasting 40% on the small job.
+        let inst = Instance::unit_from_percentages(&[&[100], &[10]]);
+        let schedule = EqualShare::new().schedule(&inst);
+        let trace = schedule.trace(&inst).unwrap();
+        assert_eq!(trace.makespan(), 2);
+        // GreedyBalance-style serving would have finished in 2 steps as well,
+        // but EqualShare needs 2 steps even though total workload is 1.1.
+        assert!(!is_non_wasting(&trace) || trace.makespan() == 2);
+    }
+
+    #[test]
+    fn proportional_share_finishes_exact_fits_in_one_step() {
+        let inst = Instance::unit_from_percentages(&[&[40], &[60]]);
+        assert_eq!(ProportionalShare::new().makespan(&inst), 1);
+    }
+
+    #[test]
+    fn proportional_share_scales_down_when_oversubscribed() {
+        let inst = Instance::unit_from_percentages(&[&[80], &[80]]);
+        let schedule = ProportionalShare::new().schedule(&inst);
+        // Each job gets 1/2 per step; they need 80% → finish in step 1 (second).
+        assert_eq!(schedule.makespan(&inst).unwrap(), 2);
+        assert_eq!(schedule.share(0, 0), Ratio::new(1, 2));
+    }
+}

@@ -1,0 +1,47 @@
+//! # cr-algos — scheduling algorithms for the CRSharing problem
+//!
+//! This crate implements every algorithm analyzed in *"Scheduling Shared
+//! Continuous Resources on Many-Cores"* plus the baselines used by the
+//! experiment harness:
+//!
+//! | Algorithm | Paper reference | Guarantee | Type |
+//! |-----------|-----------------|-----------|------|
+//! | [`RoundRobin`] | §4.2, Theorem 3 | exactly 2-approximate | linear time |
+//! | [`GreedyBalance`] | §8.3, Theorems 7–8 | exactly (2 − 1/m)-approximate | linear time |
+//! | [`OptTwo`] (`OptResAssignment`) | §6, Algorithm 1, Theorem 5 | optimal for m = 2 | O(n²) |
+//! | [`OptM`] (`OptResAssignment2`) | §7, Algorithm 2, Theorem 6 | optimal for fixed m | polynomial for fixed m |
+//! | [`brute_force`] | — | optimal (reference) | exponential |
+//! | [`heuristics`] | §2 (discrete-continuous heuristics) | none | linear time |
+//! | [`arbitrary`] | §9 outlook | — | extensions |
+//!
+//! All algorithms consume a [`cr_core::Instance`] and produce a
+//! [`cr_core::Schedule`] through the shared [`Scheduler`] trait, so they can
+//! be swapped freely in experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod brute_force;
+pub mod greedy_balance;
+pub mod heuristics;
+pub mod opt_m;
+pub mod opt_two;
+pub mod round_robin;
+pub mod traits;
+
+pub use brute_force::{brute_force_makespan, brute_force_with_stats, SearchStats};
+pub use greedy_balance::GreedyBalance;
+pub use heuristics::{EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst};
+pub use opt_m::{opt_m_makespan, OptM};
+pub use opt_two::{opt_two_makespan, opt_two_makespan_sparse, OptTwo};
+pub use round_robin::{phase_length, round_robin_upper_bound, RoundRobin};
+pub use traits::{standard_line_up, BoxedScheduler, Scheduler};
+
+/// Commonly used items for glob import.
+pub mod prelude {
+    pub use crate::{
+        brute_force_makespan, opt_m_makespan, opt_two_makespan, standard_line_up, EqualShare,
+        GreedyBalance, OptM, OptTwo, ProportionalShare, RoundRobin, Scheduler,
+    };
+}

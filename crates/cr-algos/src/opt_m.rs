@@ -1,0 +1,425 @@
+//! `OptResAssignment2` — the exact polynomial-time algorithm for any fixed
+//! number of processors `m` (Algorithm 2, Theorem 6 of the paper).
+//!
+//! The algorithm performs a breadth-first search over *configurations*: the
+//! vector of per-processor completed-job counts together with the amount of
+//! resource already spent on each processor's current frontier job.  Round by
+//! round it expands every configuration into its possible successors
+//! (restricted, as justified by Lemma 1, to non-wasting and progressive
+//! steps, i.e. a set of frontier jobs that complete plus at most one job that
+//! receives the leftover), removes duplicates and *dominated* configurations
+//! (Lemma 4), and stops as soon as a configuration with all jobs completed
+//! appears.  The number of surviving configurations is polynomial in `n` for
+//! fixed `m`, which yields Theorem 6's polynomial running time.
+
+use crate::traits::Scheduler;
+use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
+use std::collections::HashMap;
+
+/// A configuration: how many jobs each processor has completed and how much
+/// resource has been spent on its current frontier job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Config {
+    /// Completed job count per processor (the paper's `jᵢ(t)`).
+    pub completed: Vec<usize>,
+    /// Resource already spent on the active (frontier) job per processor
+    /// (the paper's `vᵢ(t)`); zero when the frontier job has not started.
+    pub spent: Vec<Ratio>,
+}
+
+impl Config {
+    /// The initial configuration: nothing completed, nothing spent.
+    pub(crate) fn initial(m: usize) -> Self {
+        Config {
+            completed: vec![0; m],
+            spent: vec![Ratio::ZERO; m],
+        }
+    }
+
+    /// Whether every processor has completed all of its jobs.
+    pub(crate) fn is_final(&self, instance: &Instance) -> bool {
+        self.completed
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c >= instance.jobs_on(i))
+    }
+
+    /// Remaining requirement of processor `i`'s frontier job, or `None` if
+    /// the processor has no jobs left.
+    pub(crate) fn remaining(&self, instance: &Instance, i: usize) -> Option<Ratio> {
+        if self.completed[i] < instance.jobs_on(i) {
+            let req = instance.processor_jobs(i)[self.completed[i]].requirement;
+            Some(req - self.spent[i])
+        } else {
+            None
+        }
+    }
+
+    /// `true` if `self` dominates `other`: it is at least as far on every
+    /// processor (more jobs completed, or equally many and at least as much
+    /// spent on the frontier job).
+    pub(crate) fn dominates(&self, other: &Config) -> bool {
+        self.completed
+            .iter()
+            .zip(&other.completed)
+            .zip(self.spent.iter().zip(&other.spent))
+            .all(|((&ca, &cb), (&sa, &sb))| ca > cb || (ca == cb && sa >= sb))
+    }
+}
+
+/// The decision taken in one time step: which frontier jobs complete and
+/// which single processor (if any) receives the leftover resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StepChoice {
+    /// Processors whose frontier job completes in this step.
+    pub finished: Vec<usize>,
+    /// Processor that receives the remaining resource without completing,
+    /// together with the amount it receives.
+    pub partial: Option<(usize, Ratio)>,
+}
+
+/// Generates all successor configurations of `config` reachable in one
+/// normalized (non-wasting, progressive) time step, together with the step
+/// decision that produces them.
+///
+/// Restricting the search to such steps is justified by Lemma 1: some optimal
+/// schedule is non-wasting, progressive and nested, and for unit-size jobs
+/// every such step completes at least one job.
+pub(crate) fn successors(instance: &Instance, config: &Config) -> Vec<(Config, StepChoice)> {
+    let m = instance.processors();
+    let active: Vec<usize> = (0..m)
+        .filter(|&i| config.completed[i] < instance.jobs_on(i))
+        .collect();
+    if active.is_empty() {
+        return Vec::new();
+    }
+    let remaining: Vec<Ratio> = active
+        .iter()
+        .map(|&i| config.remaining(instance, i).expect("active processor"))
+        .collect();
+    let total: Ratio = remaining.iter().sum();
+
+    let apply = |finished: &[usize], partial: Option<(usize, Ratio)>| -> (Config, StepChoice) {
+        let mut next = config.clone();
+        for &i in finished {
+            next.completed[i] += 1;
+            next.spent[i] = Ratio::ZERO;
+        }
+        if let Some((p, amount)) = partial {
+            next.spent[p] += amount;
+        }
+        (
+            next,
+            StepChoice {
+                finished: finished.to_vec(),
+                partial,
+            },
+        )
+    };
+
+    // Non-wasting: if everything fits, all active jobs finish.
+    if total <= Ratio::ONE {
+        return vec![apply(&active, None)];
+    }
+
+    let mut out = Vec::new();
+    // Enumerate non-empty subsets of the active processors whose remaining
+    // requirements fit into the resource.
+    let k = active.len();
+    for mask in 1u32..(1u32 << k) {
+        let mut sum = Ratio::ZERO;
+        let mut finished = Vec::new();
+        for (bit, &proc_idx) in active.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                sum += remaining[bit];
+                finished.push(proc_idx);
+            }
+        }
+        if sum > Ratio::ONE {
+            continue;
+        }
+        let leftover = Ratio::ONE - sum;
+        if leftover.is_zero() {
+            out.push(apply(&finished, None));
+            continue;
+        }
+        // Non-wasting: the leftover must go to exactly one remaining active
+        // job that cannot be completed with it (otherwise a larger subset
+        // covers the case).
+        for (bit, &proc_idx) in active.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                continue;
+            }
+            if remaining[bit] > leftover {
+                out.push(apply(&finished, Some((proc_idx, leftover))));
+            }
+        }
+    }
+    out
+}
+
+/// One node of the round-by-round search, with a back pointer for schedule
+/// reconstruction.
+#[derive(Debug, Clone)]
+struct Node {
+    config: Config,
+    parent: usize,
+    choice: Option<StepChoice>,
+}
+
+fn assert_unit(instance: &Instance) {
+    assert!(
+        instance.is_unit_size(),
+        "OptResAssignment2 requires unit-size jobs (the setting of Theorem 6)"
+    );
+}
+
+/// Runs the configuration search and returns, per round, the surviving
+/// (non-dominated) nodes.  The search stops after the first round containing
+/// a final configuration.
+fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
+    let m = instance.processors();
+    let initial = Config::initial(m);
+    let mut rounds: Vec<Vec<Node>> = vec![vec![Node {
+        config: initial.clone(),
+        parent: usize::MAX,
+        choice: None,
+    }]];
+
+    if initial.is_final(instance) {
+        return rounds;
+    }
+
+    let max_rounds = instance.total_jobs() + 1;
+    for _round in 0..max_rounds {
+        let prev = rounds.last().expect("at least the initial round");
+        let mut seen: HashMap<Config, usize> = HashMap::new();
+        let mut next: Vec<Node> = Vec::new();
+        for (parent_idx, node) in prev.iter().enumerate() {
+            for (config, choice) in successors(instance, &node.config) {
+                if let Some(&existing) = seen.get(&config) {
+                    // Exact duplicate: keep the first representative.
+                    let _ = existing;
+                    continue;
+                }
+                seen.insert(config.clone(), next.len());
+                next.push(Node {
+                    config,
+                    parent: parent_idx,
+                    choice: Some(choice),
+                });
+            }
+        }
+
+        // Remove dominated configurations (Lemma 4 guarantees that among
+        // step-equal extended configurations one dominates, so pruning by
+        // plain domination keeps an optimal continuation around).
+        let mut keep = vec![true; next.len()];
+        for a in 0..next.len() {
+            if !keep[a] {
+                continue;
+            }
+            for b in 0..next.len() {
+                if a == b || !keep[b] {
+                    continue;
+                }
+                if next[a].config.dominates(&next[b].config) {
+                    keep[b] = false;
+                }
+            }
+        }
+        let filtered: Vec<Node> = next
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(node, k)| if k { Some(node) } else { None })
+            .collect();
+
+        let done = filtered.iter().any(|n| n.config.is_final(instance));
+        rounds.push(filtered);
+        if done {
+            break;
+        }
+    }
+    rounds
+}
+
+/// The optimal makespan computed by the configuration search.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit job sizes.
+#[must_use]
+pub fn opt_m_makespan(instance: &Instance) -> usize {
+    assert_unit(instance);
+    let rounds = run_search(instance);
+    if rounds[0][0].config.is_final(instance) {
+        return 0;
+    }
+    let last = rounds.len() - 1;
+    assert!(
+        rounds[last].iter().any(|n| n.config.is_final(instance)),
+        "configuration search ended without reaching a final configuration"
+    );
+    last
+}
+
+/// The exact algorithm for an arbitrary fixed number of processors.
+///
+/// # Examples
+///
+/// ```
+/// use cr_algos::{OptM, Scheduler};
+/// use cr_core::Instance;
+///
+/// let inst = Instance::unit_from_percentages(&[&[60, 40], &[40, 60], &[100]]);
+/// assert_eq!(OptM::new().makespan(&inst), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptM;
+
+impl OptM {
+    /// Creates the solver.
+    #[must_use]
+    pub fn new() -> Self {
+        OptM
+    }
+}
+
+impl Scheduler for OptM {
+    fn name(&self) -> &'static str {
+        "OptResAssignment2"
+    }
+
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        assert_unit(instance);
+        let rounds = run_search(instance);
+        let last = rounds.len() - 1;
+        if last == 0 {
+            return Schedule::empty();
+        }
+        let winner = rounds[last]
+            .iter()
+            .position(|n| n.config.is_final(instance))
+            .expect("search ended on a final configuration");
+
+        // Walk back through the rounds, collecting the per-step decisions.
+        let mut choices = Vec::with_capacity(last);
+        let mut round = last;
+        let mut idx = winner;
+        while round > 0 {
+            let node = &rounds[round][idx];
+            choices.push(node.choice.clone().expect("non-initial node has a choice"));
+            idx = node.parent;
+            round -= 1;
+        }
+        choices.reverse();
+
+        // Replay the decisions into an explicit resource assignment.
+        let m = instance.processors();
+        let mut builder = ScheduleBuilder::new(instance);
+        for choice in choices {
+            let mut shares = vec![Ratio::ZERO; m];
+            for &i in &choice.finished {
+                shares[i] = builder.remaining_workload(i);
+            }
+            if let Some((p, amount)) = choice.partial {
+                shares[p] = amount;
+            }
+            builder.push_step(shares);
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_balance::GreedyBalance;
+    use crate::opt_two::opt_two_makespan;
+    use cr_core::bounds;
+
+    #[test]
+    fn matches_two_processor_dp() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40], &[60, 40]]),
+            Instance::unit_from_percentages(&[&[60, 40, 80], &[30, 90, 10]]),
+            Instance::unit_from_percentages(&[&[100, 1, 100], &[1, 100, 1]]),
+            Instance::unit_from_percentages(&[&[25, 75], &[75, 25]]),
+        ];
+        for inst in instances {
+            assert_eq!(opt_m_makespan(&inst), opt_two_makespan(&inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn three_processor_instances() {
+        // Three jobs of 100% on three processors: only one can run per step.
+        let inst = Instance::unit_from_percentages(&[&[100], &[100], &[100]]);
+        assert_eq!(opt_m_makespan(&inst), 3);
+
+        // Perfectly packable columns.
+        let inst = Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]);
+        assert_eq!(opt_m_makespan(&inst), 2);
+
+        // The Figure 2 input needs 4 steps (2 + 0.5·4 = 4 total workload, chain 4).
+        let inst = Instance::unit_from_percentages(&[&[50, 50, 50, 50], &[100], &[100]]);
+        assert_eq!(opt_m_makespan(&inst), 4);
+    }
+
+    #[test]
+    fn schedule_reconstruction_matches_makespan() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]),
+            Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]]),
+            Instance::unit_from_percentages(&[&[90, 5], &[80, 15], &[70, 25]]),
+        ];
+        for inst in instances {
+            let value = opt_m_makespan(&inst);
+            let schedule = OptM::new().schedule(&inst);
+            assert_eq!(schedule.makespan(&inst).unwrap(), value);
+            assert!(value >= bounds::trivial_lower_bound(&inst));
+            assert!(value <= GreedyBalance::new().makespan(&inst));
+        }
+    }
+
+    #[test]
+    fn optimum_never_exceeds_greedy_and_respects_bounds() {
+        let inst = Instance::unit_from_percentages(&[
+            &[80, 20, 60],
+            &[70, 30, 50],
+            &[10, 90, 25],
+            &[55, 45, 35],
+        ]);
+        let opt = opt_m_makespan(&inst);
+        let greedy = GreedyBalance::new().makespan(&inst);
+        assert!(opt <= greedy);
+        assert!(opt >= bounds::trivial_lower_bound(&inst));
+        let m = inst.processors() as f64;
+        assert!(greedy as f64 <= (2.0 - 1.0 / m) * opt as f64 + 1e-9);
+    }
+
+    #[test]
+    fn empty_instance_has_zero_makespan() {
+        let inst = cr_core::InstanceBuilder::new()
+            .empty_processor()
+            .empty_processor()
+            .build();
+        assert_eq!(opt_m_makespan(&inst), 0);
+        assert_eq!(OptM::new().schedule(&inst).num_steps(), 0);
+    }
+
+    #[test]
+    fn domination_is_reflexive_and_ordered() {
+        let a = Config {
+            completed: vec![2, 1],
+            spent: vec![Ratio::ZERO, Ratio::from_percent(30)],
+        };
+        let b = Config {
+            completed: vec![1, 1],
+            spent: vec![Ratio::from_percent(90), Ratio::from_percent(10)],
+        };
+        assert!(a.dominates(&a));
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+}

@@ -1,0 +1,413 @@
+//! `OptResAssignment` — the exact `O(n₁ · n₂)` dynamic program for **two**
+//! processors (Algorithm 1, Theorem 5 of the paper).
+//!
+//! The dynamic program fills a table indexed by the pair `(c₁, c₂)` of job
+//! counts already completed on the two processors.  Each cell stores the
+//! earliest time step `t` by which this can be achieved together with the
+//! smallest possible sum `r` of remaining requirements of the two frontier
+//! jobs at that time (Lemma 3 shows this pair of values is all that matters).
+//! Cells are processed diagonal by diagonal (`c₁ + c₂` increasing), exactly
+//! as in the paper's pseudo code; a sparse variant that only visits reachable
+//! cells (the priority-queue implementation sketched after Theorem 5) is
+//! provided as [`opt_two_makespan_sparse`].
+//!
+//! In every time step of a normalized optimal schedule at least one frontier
+//! job completes (Lemma 1), which leaves exactly three transitions:
+//!
+//! * the remaining requirements of both frontier jobs sum to at most 1 —
+//!   finish both;
+//! * otherwise finish only the first processor's frontier job and give the
+//!   leftover resource to the second processor's frontier job;
+//! * or vice versa.
+
+use crate::traits::Scheduler;
+use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
+use std::collections::HashMap;
+
+/// Which jobs complete in a time step of the reconstructed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    /// Both frontier jobs finish in this step.
+    AdvanceBoth,
+    /// Only processor 0's frontier job finishes; the leftover goes to
+    /// processor 1's frontier job.
+    FinishFirst,
+    /// Only processor 1's frontier job finishes; the leftover goes to
+    /// processor 0's frontier job.
+    FinishSecond,
+}
+
+/// Value stored per DP cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CellValue {
+    /// Earliest step count by which the cell's job sets can be completed.
+    t: usize,
+    /// Smallest achievable sum of remaining frontier requirements at time `t`.
+    r: Ratio,
+    /// Decision taken in the last step on the best path into this cell.
+    decision: Option<Decision>,
+}
+
+/// Exact two-processor solver.
+///
+/// # Examples
+///
+/// ```
+/// use cr_algos::{OptTwo, Scheduler};
+/// use cr_core::Instance;
+///
+/// // The columns (60, 40) and (40, 60) each sum to exactly the full
+/// // resource, so an optimal schedule finishes one column per step.
+/// let inst = Instance::unit_from_percentages(&[&[60, 40], &[40, 60]]);
+/// assert_eq!(OptTwo::new().makespan(&inst), 2);
+///
+/// // Swapping the second processor's jobs makes the first column overflow;
+/// // three steps become necessary.
+/// let inst = Instance::unit_from_percentages(&[&[60, 40], &[60, 40]]);
+/// assert_eq!(OptTwo::new().makespan(&inst), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptTwo;
+
+impl OptTwo {
+    /// Creates the solver.
+    #[must_use]
+    pub fn new() -> Self {
+        OptTwo
+    }
+}
+
+/// Requirement of the `c`-th job (zero-based) on processor `i`, or zero when
+/// the chain is exhausted (the paper's dummy 0-entry).
+fn req_or_zero(instance: &Instance, processor: usize, c: usize) -> Ratio {
+    if c < instance.jobs_on(processor) {
+        instance.processor_jobs(processor)[c].requirement
+    } else {
+        Ratio::ZERO
+    }
+}
+
+fn assert_two_unit_processors(instance: &Instance) {
+    assert_eq!(
+        instance.processors(),
+        2,
+        "OptTwo only handles instances with exactly two processors"
+    );
+    assert!(
+        instance.is_unit_size(),
+        "OptTwo requires unit-size jobs (the setting of Theorem 5)"
+    );
+}
+
+/// Runs the dense dynamic program and returns the full table.
+fn run_dp(instance: &Instance) -> Vec<Vec<Option<CellValue>>> {
+    let n1 = instance.jobs_on(0);
+    let n2 = instance.jobs_on(1);
+    let mut table: Vec<Vec<Option<CellValue>>> = vec![vec![None; n2 + 1]; n1 + 1];
+    table[0][0] = Some(CellValue {
+        t: 0,
+        r: req_or_zero(instance, 0, 0) + req_or_zero(instance, 1, 0),
+        decision: None,
+    });
+
+    let relax = |table: &mut Vec<Vec<Option<CellValue>>>,
+                 c1: usize,
+                 c2: usize,
+                 t: usize,
+                 r: Ratio,
+                 decision: Decision| {
+        let better = match &table[c1][c2] {
+            None => true,
+            Some(old) => t < old.t || (t == old.t && r < old.r),
+        };
+        if better {
+            table[c1][c2] = Some(CellValue {
+                t,
+                r,
+                decision: Some(decision),
+            });
+        }
+    };
+
+    for diag in 0..=(n1 + n2) {
+        let lo = diag.saturating_sub(n2);
+        for c1 in lo..=diag.min(n1) {
+            let c2 = diag - c1;
+            let Some(cell) = table[c1][c2] else { continue };
+            let (t, r) = (cell.t, cell.r);
+
+            if c1 == n1 && c2 == n2 {
+                continue;
+            }
+            if c1 < n1 && c2 == n2 {
+                let r_next = req_or_zero(instance, 0, c1 + 1);
+                relax(&mut table, c1 + 1, c2, t + 1, r_next, Decision::FinishFirst);
+                continue;
+            }
+            if c1 == n1 && c2 < n2 {
+                let r_next = req_or_zero(instance, 1, c2 + 1);
+                relax(&mut table, c1, c2 + 1, t + 1, r_next, Decision::FinishSecond);
+                continue;
+            }
+
+            // Both processors still have a frontier job.
+            if r <= Ratio::ONE {
+                let r_next = req_or_zero(instance, 0, c1 + 1) + req_or_zero(instance, 1, c2 + 1);
+                relax(
+                    &mut table,
+                    c1 + 1,
+                    c2 + 1,
+                    t + 1,
+                    r_next,
+                    Decision::AdvanceBoth,
+                );
+            } else {
+                let carried = r - Ratio::ONE;
+                relax(
+                    &mut table,
+                    c1 + 1,
+                    c2,
+                    t + 1,
+                    req_or_zero(instance, 0, c1 + 1) + carried,
+                    Decision::FinishFirst,
+                );
+                relax(
+                    &mut table,
+                    c1,
+                    c2 + 1,
+                    t + 1,
+                    carried + req_or_zero(instance, 1, c2 + 1),
+                    Decision::FinishSecond,
+                );
+            }
+        }
+    }
+    table
+}
+
+/// The optimal makespan for a two-processor unit-size instance, computed by
+/// the dense dynamic program of Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if the instance does not have exactly two processors or contains
+/// non-unit job sizes.
+#[must_use]
+pub fn opt_two_makespan(instance: &Instance) -> usize {
+    assert_two_unit_processors(instance);
+    let table = run_dp(instance);
+    table[instance.jobs_on(0)][instance.jobs_on(1)]
+        .expect("final DP cell is always reachable")
+        .t
+}
+
+/// Sparse variant of [`opt_two_makespan`]: cells are held in a hash map and
+/// only reachable cells are expanded, mirroring the priority-queue
+/// implementation discussed after Theorem 5.  Produces the same value as the
+/// dense dynamic program.
+#[must_use]
+pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
+    assert_two_unit_processors(instance);
+    let n1 = instance.jobs_on(0);
+    let n2 = instance.jobs_on(1);
+
+    let mut cells: HashMap<(usize, usize), (usize, Ratio)> = HashMap::new();
+    cells.insert(
+        (0, 0),
+        (
+            0,
+            req_or_zero(instance, 0, 0) + req_or_zero(instance, 1, 0),
+        ),
+    );
+
+    let relax = |cells: &mut HashMap<(usize, usize), (usize, Ratio)>,
+                     key: (usize, usize),
+                     t: usize,
+                     r: Ratio| {
+        let better = match cells.get(&key) {
+            None => true,
+            Some(&(ot, or)) => t < ot || (t == ot && r < or),
+        };
+        if better {
+            cells.insert(key, (t, r));
+        }
+    };
+
+    for diag in 0..=(n1 + n2) {
+        let keys: Vec<(usize, usize)> = cells
+            .keys()
+            .copied()
+            .filter(|&(c1, c2)| c1 + c2 == diag)
+            .collect();
+        for (c1, c2) in keys {
+            let (t, r) = cells[&(c1, c2)];
+            if c1 == n1 && c2 == n2 {
+                continue;
+            }
+            if c1 < n1 && c2 == n2 {
+                relax(&mut cells, (c1 + 1, c2), t + 1, req_or_zero(instance, 0, c1 + 1));
+            } else if c1 == n1 && c2 < n2 {
+                relax(&mut cells, (c1, c2 + 1), t + 1, req_or_zero(instance, 1, c2 + 1));
+            } else if r <= Ratio::ONE {
+                relax(
+                    &mut cells,
+                    (c1 + 1, c2 + 1),
+                    t + 1,
+                    req_or_zero(instance, 0, c1 + 1) + req_or_zero(instance, 1, c2 + 1),
+                );
+            } else {
+                let carried = r - Ratio::ONE;
+                relax(
+                    &mut cells,
+                    (c1 + 1, c2),
+                    t + 1,
+                    req_or_zero(instance, 0, c1 + 1) + carried,
+                );
+                relax(
+                    &mut cells,
+                    (c1, c2 + 1),
+                    t + 1,
+                    carried + req_or_zero(instance, 1, c2 + 1),
+                );
+            }
+        }
+    }
+    cells[&(n1, n2)].0
+}
+
+impl Scheduler for OptTwo {
+    fn name(&self) -> &'static str {
+        "OptResAssignment(m=2)"
+    }
+
+    /// Runs the dynamic program and reconstructs an optimal schedule by
+    /// back-tracing the table and replaying the per-step decisions.
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        assert_two_unit_processors(instance);
+        let n1 = instance.jobs_on(0);
+        let n2 = instance.jobs_on(1);
+        let table = run_dp(instance);
+
+        // Back-trace the decisions from the final cell to the origin.
+        let mut decisions = Vec::new();
+        let (mut c1, mut c2) = (n1, n2);
+        while let Some(cell) = table[c1][c2] {
+            let Some(decision) = cell.decision else { break };
+            decisions.push(decision);
+            match decision {
+                Decision::AdvanceBoth => {
+                    c1 -= 1;
+                    c2 -= 1;
+                }
+                Decision::FinishFirst => c1 -= 1,
+                Decision::FinishSecond => c2 -= 1,
+            }
+        }
+        assert_eq!((c1, c2), (0, 0), "back-trace must reach the origin");
+        decisions.reverse();
+
+        // Replay the decisions, tracking the exact remaining requirement of
+        // both frontier jobs to materialize the resource shares.
+        let mut builder = ScheduleBuilder::new(instance);
+        for decision in decisions {
+            let v0 = builder.remaining_workload(0);
+            let v1 = builder.remaining_workload(1);
+            let shares = match decision {
+                Decision::AdvanceBoth => {
+                    debug_assert!(v0 + v1 <= Ratio::ONE);
+                    vec![v0, v1]
+                }
+                Decision::FinishFirst => {
+                    let leftover = (Ratio::ONE - v0).min(v1).max(Ratio::ZERO);
+                    vec![v0, leftover]
+                }
+                Decision::FinishSecond => {
+                    let leftover = (Ratio::ONE - v1).min(v0).max(Ratio::ZERO);
+                    vec![leftover, v1]
+                }
+            };
+            builder.push_step(shares);
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::bounds;
+    use cr_core::InstanceBuilder;
+
+    #[test]
+    fn trivial_instances() {
+        let inst = Instance::unit_from_percentages(&[&[50], &[50]]);
+        assert_eq!(opt_two_makespan(&inst), 1);
+        let inst = Instance::unit_from_percentages(&[&[100], &[100]]);
+        assert_eq!(opt_two_makespan(&inst), 2);
+        let inst = Instance::unit_from_percentages(&[&[100, 100], &[100]]);
+        assert_eq!(opt_two_makespan(&inst), 3);
+    }
+
+    #[test]
+    fn empty_chain_on_one_processor() {
+        let inst = InstanceBuilder::new()
+            .processor([Ratio::from_percent(40), Ratio::from_percent(90)])
+            .empty_processor()
+            .build();
+        assert_eq!(opt_two_makespan(&inst), 2);
+        assert_eq!(opt_two_makespan_sparse(&inst), 2);
+        let schedule = OptTwo::new().schedule(&inst);
+        assert_eq!(schedule.makespan(&inst).unwrap(), 2);
+    }
+
+    #[test]
+    fn round_robin_worst_case_is_solved_optimally() {
+        // The Theorem 3 lower-bound family for n = 4: r1j = j/4, r2j = 1 + 1/4 − j/4.
+        let reqs1: Vec<Ratio> = (1..=4).map(|j| Ratio::new(j, 4)).collect();
+        let reqs2: Vec<Ratio> = (1..=4)
+            .map(|j| Ratio::new(5, 4) - Ratio::new(j, 4))
+            .collect();
+        let inst = InstanceBuilder::new().processor(reqs1).processor(reqs2).build();
+        // OPT finishes it in n + 1 = 5 steps (Figure 3a).
+        assert_eq!(opt_two_makespan(&inst), 5);
+        assert_eq!(opt_two_makespan_sparse(&inst), 5);
+        let schedule = OptTwo::new().schedule(&inst);
+        assert_eq!(schedule.makespan(&inst).unwrap(), 5);
+    }
+
+    #[test]
+    fn schedule_matches_dp_value_and_lower_bounds() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40, 80], &[30, 90, 10]]),
+            Instance::unit_from_percentages(&[&[100, 1, 100, 1], &[1, 100, 1, 100]]),
+            Instance::unit_from_percentages(&[&[55, 45, 35, 25], &[65, 75, 85, 95]]),
+        ];
+        for inst in instances {
+            let dp = opt_two_makespan(&inst);
+            let sparse = opt_two_makespan_sparse(&inst);
+            assert_eq!(dp, sparse);
+            let schedule = OptTwo::new().schedule(&inst);
+            assert_eq!(schedule.makespan(&inst).unwrap(), dp);
+            assert!(dp >= bounds::trivial_lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two processors")]
+    fn rejects_three_processors() {
+        let inst = Instance::unit_from_percentages(&[&[50], &[50], &[50]]);
+        let _ = opt_two_makespan(&inst);
+    }
+
+    #[test]
+    fn dominates_greedy_balance() {
+        use crate::greedy_balance::GreedyBalance;
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[90, 10, 90, 10], &[10, 90, 10, 90]]),
+            Instance::unit_from_percentages(&[&[75, 50, 25], &[25, 50, 75]]),
+        ];
+        for inst in instances {
+            assert!(opt_two_makespan(&inst) <= GreedyBalance::new().makespan(&inst));
+        }
+    }
+}

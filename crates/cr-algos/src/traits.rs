@@ -1,0 +1,78 @@
+//! The [`Scheduler`] abstraction shared by all algorithms in this crate.
+
+use cr_core::{Instance, Schedule};
+
+/// An offline CRSharing scheduler: given a full problem instance it produces
+/// a feasible resource-assignment schedule.
+///
+/// Every algorithm of the paper (RoundRobin, GreedyBalance, the exact
+/// algorithms) and every baseline heuristic implements this trait, which lets
+/// the experiment harness sweep over algorithms generically.
+pub trait Scheduler {
+    /// A short, stable, human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Computes a feasible schedule for `instance`.
+    ///
+    /// Implementations must return a schedule that completes every job and
+    /// never overuses the resource; this is enforced by the
+    /// `cr_core::ScheduleBuilder` they are built on.
+    fn schedule(&self, instance: &Instance) -> Schedule;
+
+    /// Convenience: the makespan of the schedule this algorithm produces.
+    fn makespan(&self, instance: &Instance) -> usize {
+        let schedule = self.schedule(instance);
+        schedule
+            .makespan(instance)
+            .expect("scheduler produced an infeasible schedule")
+    }
+}
+
+/// A boxed scheduler, convenient for heterogeneous algorithm line-ups in the
+/// benchmark harness.
+pub type BoxedScheduler = Box<dyn Scheduler + Send + Sync>;
+
+/// Returns the full line-up of polynomial-time schedulers implemented in this
+/// crate (the exact exponential/DP algorithms are excluded because they do
+/// not scale to arbitrary instances).
+#[must_use]
+pub fn standard_line_up() -> Vec<BoxedScheduler> {
+    vec![
+        Box::new(crate::greedy_balance::GreedyBalance::new()),
+        Box::new(crate::round_robin::RoundRobin::new()),
+        Box::new(crate::heuristics::EqualShare::new()),
+        Box::new(crate::heuristics::ProportionalShare::new()),
+        Box::new(crate::heuristics::LargestRequirementFirst::new()),
+        Box::new(crate::heuristics::SmallestRequirementFirst::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::Ratio;
+
+    #[test]
+    fn line_up_contains_paper_algorithms() {
+        let names: Vec<&str> = standard_line_up().iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"GreedyBalance"));
+        assert!(names.contains(&"RoundRobin"));
+        assert!(names.len() >= 4);
+    }
+
+    #[test]
+    fn all_line_up_schedulers_produce_feasible_schedules() {
+        let inst = Instance::unit_from_percentages(&[&[60, 30, 10], &[50, 50], &[90]]);
+        for s in standard_line_up() {
+            let schedule = s.schedule(&inst);
+            let trace = schedule.trace(&inst).unwrap();
+            assert!(trace.makespan() >= 2, "{} too fast", s.name());
+            assert!(
+                Ratio::from_integer(trace.makespan() as i64)
+                    >= inst.total_workload(),
+                "{} beats Observation 1",
+                s.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! E11 — runtime scaling of the polynomial-time schedulers (GreedyBalance,
+//! RoundRobin and the baseline heuristics) on random instances of growing
+//! size.  The paper claims linear-time behaviour for GreedyBalance and
+//! RoundRobin; the criterion groups below make the scaling visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use cr_algos::{standard_line_up, Scheduler};
+use cr_instances::{random_unit_instance, RandomConfig};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &(m, n) in &[(4usize, 16usize), (4, 64), (8, 64), (16, 128)] {
+        let cfg = RandomConfig::uniform(m, n);
+        let instance = random_unit_instance(&cfg, 42);
+        for scheduler in standard_line_up() {
+            group.bench_with_input(
+                BenchmarkId::new(scheduler.name(), format!("m{m}_n{n}")),
+                &instance,
+                |b, inst| b.iter(|| black_box(scheduler.makespan(black_box(inst)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedule_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_validation");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = RandomConfig::uniform(8, 128);
+    let instance = random_unit_instance(&cfg, 7);
+    let schedule = cr_algos::GreedyBalance::new().schedule(&instance);
+    group.bench_function("greedy_m8_n128", |b| {
+        b.iter(|| black_box(schedule.trace(black_box(&instance)).unwrap().makespan()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_schedule_validation);
+criterion_main!(benches);

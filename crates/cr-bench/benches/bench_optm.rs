@@ -1,0 +1,46 @@
+//! E7 — runtime growth of `OptResAssignment2` (the configuration-domination
+//! search of Theorem 6) compared against the undominating brute-force search,
+//! for small m and n.  The domination pruning is what makes the algorithm
+//! polynomial for fixed m; the gap to brute force illustrates how much work
+//! it saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use cr_algos::{brute_force_makespan, opt_m_makespan};
+use cr_instances::{random_unit_instance, RandomConfig};
+use std::hint::black_box;
+
+fn bench_opt_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_m");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &(m, n) in &[(2usize, 6usize), (3, 4), (3, 6), (4, 3)] {
+        let instance = random_unit_instance(&RandomConfig::uniform(m, n), 23);
+        group.bench_with_input(
+            BenchmarkId::new("opt_m", format!("m{m}_n{n}")),
+            &instance,
+            |b, inst| b.iter(|| black_box(opt_m_makespan(black_box(inst)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &(m, n) in &[(2usize, 6usize), (3, 4)] {
+        let instance = random_unit_instance(&RandomConfig::uniform(m, n), 23);
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", format!("m{m}_n{n}")),
+            &instance,
+            |b, inst| b.iter(|| black_box(brute_force_makespan(black_box(inst)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_m, bench_brute_force);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E10 — simulation throughput of the many-core shared-bus engine under the
+//! built-in arbitration policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use cr_instances::{generate_workload, TaskMix, WorkloadConfig};
+use cr_sim::{EqualSharePolicy, GreedyBalancePolicy, RoundRobinPolicy, Simulator};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &cores in &[8usize, 32] {
+        let cfg = WorkloadConfig {
+            cores,
+            phases_per_task: 16,
+            mix: TaskMix::Mixed,
+            denominator: 100,
+            unit_phases: true,
+        };
+        let workload = generate_workload(&cfg, 99);
+        let sim = Simulator::from_instance(&workload);
+        group.bench_with_input(
+            BenchmarkId::new("GreedyBalance", cores),
+            &sim,
+            |b, sim| b.iter(|| black_box(sim.run(&mut GreedyBalancePolicy).report.makespan)),
+        );
+        group.bench_with_input(BenchmarkId::new("RoundRobin", cores), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run(&mut RoundRobinPolicy).report.makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("EqualShare", cores), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run(&mut EqualSharePolicy).report.makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

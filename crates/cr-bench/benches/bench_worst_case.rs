@@ -1,0 +1,46 @@
+//! E3 / E5 — evaluating the algorithms on the paper's adversarial families
+//! (construction cost + schedule cost), so regressions in the constructions
+//! themselves are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use cr_algos::{GreedyBalance, RoundRobin, Scheduler};
+use cr_instances::{greedy_balance_worst_case, round_robin_worst_case};
+use std::hint::black_box;
+
+fn bench_fig3_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_round_robin_family");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[100usize, 500] {
+        let instance = round_robin_worst_case(n);
+        group.bench_with_input(BenchmarkId::new("RoundRobin", n), &instance, |b, inst| {
+            b.iter(|| black_box(RoundRobin::new().makespan(black_box(inst))))
+        });
+        group.bench_with_input(BenchmarkId::new("GreedyBalance", n), &instance, |b, inst| {
+            b.iter(|| black_box(GreedyBalance::new().makespan(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_greedy_balance_family");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &m in &[3usize, 5] {
+        let instance = greedy_balance_worst_case(m, 1000, 8);
+        group.bench_with_input(BenchmarkId::new("GreedyBalance", m), &instance, |b, inst| {
+            b.iter(|| black_box(GreedyBalance::new().makespan(black_box(inst))))
+        });
+        group.bench_with_input(BenchmarkId::new("RoundRobin", m), &instance, |b, inst| {
+            b.iter(|| black_box(RoundRobin::new().makespan(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_family, bench_fig5_family);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E10 — the motivating scenario of Section 1 on the synthetic many-core
+//! shared-bus simulator: makespan, bus utilization and slowdown of four
+//! online arbitration policies across core counts and task mixes.
+
+use cr_instances::{generate_workload, TaskMix, WorkloadConfig};
+use cr_sim::{standard_policies, Simulator};
+
+fn main() {
+    println!("E10 — many-core shared-bus simulation sweep\n");
+
+    for mix in [TaskMix::IoBound, TaskMix::Mixed, TaskMix::Bursty, TaskMix::ComputeBound] {
+        println!("── task mix {mix:?} ──");
+        println!(
+            "{:>6} {:>20} {:>9} {:>9} {:>8} {:>9} {:>9}",
+            "cores", "policy", "makespan", "LB", "ratio", "bus util", "avg slow"
+        );
+        for cores in [4usize, 8, 16, 32, 64] {
+            let cfg = WorkloadConfig {
+                cores,
+                phases_per_task: 8,
+                mix,
+                denominator: 100,
+                unit_phases: true,
+            };
+            let workload = generate_workload(&cfg, 7_000 + cores as u64);
+            let sim = Simulator::from_instance(&workload);
+            let mut policies = standard_policies();
+            for report in sim.compare(&mut policies) {
+                println!(
+                    "{:>6} {:>20} {:>9} {:>9} {:>8.3} {:>8.1}% {:>9.2}",
+                    cores,
+                    report.policy,
+                    report.makespan,
+                    report.lower_bound,
+                    report.normalized_makespan(),
+                    report.bus_utilization * 100.0,
+                    report.average_slowdown(),
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper (Section 1): when bandwidth is the bottleneck the distribution of the shared\n\
+         resource decides performance — the balance-aware policy tracks the lower bound, the\n\
+         oblivious policies leave bandwidth unused."
+    );
+}

@@ -1,0 +1,79 @@
+//! E8 — Theorem 7 in practice: the approximation ratio of balanced schedules
+//! (GreedyBalance) against the exact optimum on thousands of small random
+//! instances, and against the best lower bound on larger ones.  The measured
+//! ratios must never exceed 2 − 1/m, and are typically much smaller.
+
+use cr_algos::{opt_m_makespan, GreedyBalance, RoundRobin, Scheduler};
+use cr_core::{bounds, SchedulingGraph};
+use cr_instances::{random_unit_instance, RandomConfig, RequirementProfile};
+
+fn summarize(label: &str, m: usize, ratios: &[f64]) {
+    let count = ratios.len() as f64;
+    let mean = ratios.iter().sum::<f64>() / count;
+    let max = ratios.iter().fold(0.0_f64, |a, &b| a.max(b));
+    let at_one = ratios.iter().filter(|&&r| (r - 1.0).abs() < 1e-12).count();
+    println!(
+        "  {label:<34} mean {mean:.4}  max {max:.4}  optimal in {:>4.1}% of cases  (bound 2 − 1/m = {:.4})",
+        100.0 * at_one as f64 / count,
+        2.0 - 1.0 / m as f64
+    );
+}
+
+fn main() {
+    println!("E8 / Theorem 7 — approximation-ratio distribution of GreedyBalance\n");
+
+    // Exact comparison against OptResAssignment2 on small instances.
+    println!("against the exact optimum (small instances, 200 seeds each):");
+    for &(m, n) in &[(2usize, 4usize), (3, 3), (3, 4), (4, 3)] {
+        for profile in [RequirementProfile::Uniform, RequirementProfile::Heavy] {
+            // Heavy-requirement instances on four processors make the exact
+            // configuration search expensive (see E7); keep this cell out of
+            // the default sweep so the experiment finishes in seconds.
+            if m >= 4 && matches!(profile, RequirementProfile::Heavy) {
+                continue;
+            }
+            let mut greedy_ratios = Vec::new();
+            let mut rr_ratios = Vec::new();
+            for seed in 0..200u64 {
+                let cfg = RandomConfig {
+                    profile,
+                    ..RandomConfig::uniform(m, n)
+                };
+                let instance = random_unit_instance(&cfg, seed);
+                let opt = opt_m_makespan(&instance) as f64;
+                let greedy = GreedyBalance::new().makespan(&instance) as f64;
+                let rr = RoundRobin::new().makespan(&instance) as f64;
+                assert!(
+                    greedy <= (2.0 - 1.0 / m as f64) * opt + 1e-9,
+                    "Theorem 7 violated on m={m} n={n} seed={seed}"
+                );
+                assert!(rr <= 2.0 * opt + 1e-9, "Theorem 3 violated");
+                greedy_ratios.push(greedy / opt);
+                rr_ratios.push(rr / opt);
+            }
+            summarize(&format!("GreedyBalance m={m} n={n} {profile:?}"), m, &greedy_ratios);
+            summarize(&format!("RoundRobin    m={m} n={n} {profile:?}"), m, &rr_ratios);
+        }
+    }
+
+    // Against the best lower bound on larger instances (the true ratio is at
+    // most the reported one).
+    println!("\nagainst the best lower bound (larger instances, 50 seeds each):");
+    for &(m, n) in &[(4usize, 20usize), (8, 20), (16, 40)] {
+        let mut ratios = Vec::new();
+        for seed in 0..50u64 {
+            let instance = random_unit_instance(&RandomConfig::uniform(m, n), seed);
+            let schedule = GreedyBalance::new().schedule(&instance);
+            let trace = schedule.trace(&instance).expect("feasible");
+            let graph = SchedulingGraph::build(&instance, &trace);
+            let lb = bounds::best_lower_bound(&instance, &graph) as f64;
+            ratios.push(trace.makespan() as f64 / lb);
+        }
+        summarize(&format!("GreedyBalance m={m} n={n} uniform"), m, &ratios);
+    }
+    println!(
+        "\npaper: Theorem 7 — every non-wasting, progressive, balanced schedule is a\n\
+         (2 − 1/m)-approximation; Theorem 8 — the bound is tight in the worst case, but the\n\
+         table shows typical instances sit far below it."
+    );
+}

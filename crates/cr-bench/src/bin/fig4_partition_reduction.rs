@@ -1,0 +1,74 @@
+//! E4 — regenerates Figure 4 / Theorem 4 / Corollary 1: the Partition
+//! reduction maps YES-instances to CRSharing instances of optimal makespan 4
+//! and NO-instances to makespan ≥ 5.
+
+use cr_algos::{brute_force_makespan, GreedyBalance, RoundRobin, Scheduler};
+use cr_bench::{markdown_table, ExperimentRow};
+use cr_instances::reduction::{
+    is_yes_instance, partition_to_crsharing, solve_partition, yes_certificate_schedule,
+    PartitionReduction,
+};
+
+fn main() {
+    println!("E4 / Figure 4 — Partition ≤ₚ CRSharing (Theorem 4, Corollary 1)\n");
+
+    let cases: Vec<Vec<u64>> = vec![
+        vec![2, 2, 3, 3],
+        vec![2, 3, 4, 5, 6],
+        vec![4, 4, 4, 4],
+        vec![2, 2, 3, 5],
+        vec![3, 3, 3, 5],
+        vec![1, 2, 4, 5],
+    ];
+
+    let mut rows = Vec::new();
+    for values in &cases {
+        let yes = is_yes_instance(values);
+        let reduction = partition_to_crsharing(values);
+        let opt = brute_force_makespan(&reduction.instance);
+        let expected = if yes {
+            PartitionReduction::YES_MAKESPAN
+        } else {
+            PartitionReduction::NO_MAKESPAN
+        };
+        if yes {
+            assert_eq!(opt, expected, "YES-instances must have makespan exactly 4");
+            // The Figure 4a certificate schedule achieves the optimum.
+            let membership = solve_partition(values).expect("YES instance");
+            let certificate = yes_certificate_schedule(&reduction, &membership);
+            assert_eq!(certificate.makespan(&reduction.instance).unwrap(), 4);
+        } else {
+            assert!(opt >= expected, "NO-instances must need at least 5 steps");
+        }
+        let label = format!("{values:?} ({})", if yes { "YES" } else { "NO" });
+        rows.push(ExperimentRow::new(
+            label.clone(),
+            "brute-force optimum",
+            &reduction.instance,
+            opt,
+            expected,
+            true,
+        ));
+        rows.push(ExperimentRow::new(
+            label.clone(),
+            "GreedyBalance",
+            &reduction.instance,
+            GreedyBalance::new().makespan(&reduction.instance),
+            opt,
+            true,
+        ));
+        rows.push(ExperimentRow::new(
+            label,
+            "RoundRobin",
+            &reduction.instance,
+            RoundRobin::new().makespan(&reduction.instance),
+            opt,
+            true,
+        ));
+    }
+    println!("{}", markdown_table("Reduced instances", &rows));
+    println!(
+        "paper: YES ⟺ optimal makespan 4, NO ⟹ ≥ 5; hence no polynomial algorithm can\n\
+         approximate CRSharing within a factor better than 5/4 unless P = NP (Corollary 1)."
+    );
+}

@@ -1,0 +1,125 @@
+//! Shared experiment-driver utilities: result rows and markdown tables.
+
+use cr_core::Instance;
+
+/// One row of an experiment table, in the shape the paper's claims are
+/// phrased: an algorithm, an instance, a measured makespan and the reference
+/// value (optimal makespan or lower bound) it is compared against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRow {
+    /// Instance label (e.g. `"fig3 n=100"`).
+    pub instance: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Number of processors.
+    pub processors: usize,
+    /// Maximum chain length.
+    pub max_chain: usize,
+    /// Measured makespan.
+    pub makespan: usize,
+    /// Reference value (optimal makespan where computable, otherwise the best
+    /// lower bound).
+    pub reference: usize,
+    /// Whether `reference` is a proven optimum (`true`) or only a lower
+    /// bound (`false`).
+    pub reference_is_optimal: bool,
+}
+
+impl ExperimentRow {
+    /// Creates a row, reading `m` and `n` from the instance.
+    #[must_use]
+    pub fn new(
+        instance_label: impl Into<String>,
+        algorithm: impl Into<String>,
+        instance: &Instance,
+        makespan: usize,
+        reference: usize,
+        reference_is_optimal: bool,
+    ) -> Self {
+        ExperimentRow {
+            instance: instance_label.into(),
+            algorithm: algorithm.into(),
+            processors: instance.processors(),
+            max_chain: instance.max_chain_length(),
+            makespan,
+            reference,
+            reference_is_optimal,
+        }
+    }
+
+    /// The measured ratio `makespan / reference`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.reference == 0 {
+            1.0
+        } else {
+            self.makespan as f64 / self.reference as f64
+        }
+    }
+}
+
+/// Formats a ratio with three decimals, marking lower-bound-based ratios with
+/// `≤` (the true ratio against the unknown optimum can only be smaller).
+#[must_use]
+pub fn ratio_string(row: &ExperimentRow) -> String {
+    if row.reference_is_optimal {
+        format!("{:.3}", row.ratio())
+    } else {
+        format!("≤ {:.3}", row.ratio())
+    }
+}
+
+/// Renders rows as a GitHub-flavoured markdown table, the format used in
+/// `EXPERIMENTS.md`.
+#[must_use]
+pub fn markdown_table(title: &str, rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str("| instance | m | n | algorithm | makespan | reference | ratio |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for row in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {}{} | {} |\n",
+            row.instance,
+            row.processors,
+            row.max_chain,
+            row.algorithm,
+            row.makespan,
+            row.reference,
+            if row.reference_is_optimal { " (opt)" } else { " (LB)" },
+            ratio_string(row),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_instances::figure1_instance;
+
+    #[test]
+    fn row_and_table_formatting() {
+        let inst = figure1_instance();
+        let row = ExperimentRow::new("fig1", "GreedyBalance", &inst, 6, 5, true);
+        assert_eq!(row.processors, 3);
+        assert_eq!(row.max_chain, 5);
+        assert!((row.ratio() - 1.2).abs() < 1e-12);
+        assert_eq!(ratio_string(&row), "1.200");
+
+        let lb_row = ExperimentRow::new("fig1", "RoundRobin", &inst, 8, 5, false);
+        assert!(ratio_string(&lb_row).starts_with('≤'));
+
+        let table = markdown_table("demo", &[row, lb_row]);
+        assert!(table.contains("| fig1 | 3 | 5 | GreedyBalance | 6 | 5 (opt) | 1.200 |"));
+        assert!(table.contains("RoundRobin"));
+        assert!(table.starts_with("### demo"));
+    }
+
+    #[test]
+    fn zero_reference_is_handled() {
+        let inst = figure1_instance();
+        let row = ExperimentRow::new("x", "y", &inst, 0, 0, true);
+        assert_eq!(row.ratio(), 1.0);
+    }
+}

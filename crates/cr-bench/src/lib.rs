@@ -1,0 +1,13 @@
+//! # cr-bench — experiment harness for the CRSharing reproduction
+//!
+//! This crate contains no algorithms of its own; it provides the shared
+//! experiment-driver utilities used by the Criterion benchmarks in
+//! `benches/` and the figure/table regeneration binaries in `src/bin/`.
+//! See `EXPERIMENTS.md` at the workspace root for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{markdown_table, ratio_string, ExperimentRow};

@@ -1,0 +1,192 @@
+//! Lower bounds on the optimal makespan.
+//!
+//! * Observation 1: `OPT ≥ Σ_ij r_ij · p_ij` (total workload in the
+//!   alternative model interpretation, processed at aggregated speed ≤ 1).
+//! * Chain bound: `OPT ≥ n = maxᵢ nᵢ`, because a processor finishes at most
+//!   one job per step.
+//! * Lemma 5: for the scheduling graph of any *non-wasting* schedule,
+//!   `OPT ≥ Σ_k (#_k − 1)`.
+//! * Lemma 6: for the scheduling graph of a *balanced* schedule,
+//!   `OPT ≥ n ≥ Σ_{k<N} |C_k| / q_k + |C_N| / m`.
+
+use crate::hypergraph::SchedulingGraph;
+use crate::instance::Instance;
+use crate::rational::Ratio;
+
+/// Observation 1: the total workload `Σ r_ij · p_ij`, returned exactly.
+#[must_use]
+pub fn workload_bound(instance: &Instance) -> Ratio {
+    instance.total_workload()
+}
+
+/// Observation 1 rounded up to an integral number of time steps.
+#[must_use]
+pub fn workload_bound_steps(instance: &Instance) -> usize {
+    let b = workload_bound(instance).ceil();
+    usize::try_from(b.max(0)).unwrap_or(0)
+}
+
+/// The chain bound `n = maxᵢ nᵢ` (valid for unit-size jobs; for general
+/// volumes each job still needs at least one step, so it remains a valid
+/// lower bound).
+#[must_use]
+pub fn chain_bound(instance: &Instance) -> usize {
+    instance.max_chain_length()
+}
+
+/// For arbitrary volumes, a slightly stronger chain bound: the maximum over
+/// processors of `Σ_j ⌈p_ij⌉` (every job needs at least `⌈p⌉` steps even at
+/// full speed).
+#[must_use]
+pub fn volume_chain_bound(instance: &Instance) -> usize {
+    (0..instance.processors())
+        .map(|i| {
+            instance
+                .processor_jobs(i)
+                .iter()
+                .map(|job| usize::try_from(job.volume.ceil().max(0)).unwrap_or(0))
+                .sum::<usize>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The combined trivial lower bound `max(⌈Σ r·p⌉, chain bound)` available
+/// without any schedule in hand.  This is the bound the RoundRobin analysis
+/// (Theorem 3) compares against.
+#[must_use]
+pub fn trivial_lower_bound(instance: &Instance) -> usize {
+    workload_bound_steps(instance)
+        .max(chain_bound(instance))
+        .max(volume_chain_bound(instance))
+}
+
+/// Lemma 5: `OPT ≥ Σ_k (#_k − 1)` for the scheduling graph of a non-wasting
+/// schedule.
+#[must_use]
+pub fn component_bound(graph: &SchedulingGraph) -> usize {
+    graph
+        .components()
+        .iter()
+        .map(|c| c.num_edges().saturating_sub(1))
+        .sum()
+}
+
+/// Lemma 6: `OPT ≥ Σ_{k<N} |C_k| / q_k + |C_N| / m` for the scheduling graph
+/// of a balanced schedule on `m` processors.  Returned exactly as a rational.
+#[must_use]
+pub fn class_bound(graph: &SchedulingGraph, processors: usize) -> Ratio {
+    let comps = graph.components();
+    let n = comps.len();
+    if n == 0 {
+        return Ratio::ZERO;
+    }
+    let mut total = Ratio::ZERO;
+    for (k, c) in comps.iter().enumerate() {
+        let denom = if k + 1 < n { c.class } else { processors };
+        total += Ratio::new(c.num_nodes() as i128, denom.max(1) as i128);
+    }
+    total
+}
+
+/// Lemma 6 rounded up to an integral number of time steps.
+#[must_use]
+pub fn class_bound_steps(graph: &SchedulingGraph, processors: usize) -> usize {
+    usize::try_from(class_bound(graph, processors).ceil().max(0)).unwrap_or(0)
+}
+
+/// The strongest lower bound available from an instance together with the
+/// scheduling graph of a non-wasting, balanced schedule for it.
+#[must_use]
+pub fn best_lower_bound(
+    instance: &Instance,
+    graph: &SchedulingGraph,
+) -> usize {
+    trivial_lower_bound(instance)
+        .max(component_bound(graph))
+        .max(class_bound_steps(graph, instance.processors()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, InstanceBuilder};
+    use crate::job::Job;
+    use crate::rational::{ratio, Ratio};
+    use crate::schedule::{Schedule, ScheduleBuilder};
+
+    fn fig1_instance() -> Instance {
+        Instance::unit_from_percentages(&[
+            &[20, 10, 10, 10],
+            &[50, 55, 90, 55, 10],
+            &[50, 40, 95],
+        ])
+    }
+
+    fn greedy_fewest_left(inst: &Instance) -> Schedule {
+        // Serve active jobs in order of increasing remaining requirement.
+        let m = inst.processors();
+        let mut b = ScheduleBuilder::new(inst);
+        while !b.all_done() {
+            let mut order: Vec<usize> = (0..m).filter(|&i| b.is_active(i)).collect();
+            order.sort_by_key(|&i| b.remaining_workload(i));
+            let mut shares = vec![Ratio::ZERO; m];
+            let mut left = Ratio::ONE;
+            for i in order {
+                let give = b.step_demand(i).min(left);
+                shares[i] = give;
+                left -= give;
+            }
+            b.push_step(shares);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn workload_and_chain_bounds() {
+        let inst = fig1_instance();
+        assert_eq!(workload_bound(&inst), ratio(495, 100));
+        assert_eq!(workload_bound_steps(&inst), 5);
+        assert_eq!(chain_bound(&inst), 5);
+        assert_eq!(trivial_lower_bound(&inst), 5);
+    }
+
+    #[test]
+    fn volume_chain_bound_counts_large_jobs() {
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(ratio(1, 10), ratio(5, 2)), Job::new(ratio(1, 10), Ratio::ONE)])
+            .processor([ratio(1, 2)])
+            .build();
+        // First processor needs at least ⌈2.5⌉ + 1 = 4 steps.
+        assert_eq!(volume_chain_bound(&inst), 4);
+        assert_eq!(chain_bound(&inst), 2);
+        assert_eq!(trivial_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn component_and_class_bounds_on_fig1() {
+        let inst = fig1_instance();
+        let schedule = greedy_fewest_left(&inst);
+        let trace = schedule.trace(&inst).unwrap();
+        let graph = crate::hypergraph::SchedulingGraph::build(&inst, &trace);
+        // Components have 2, 3 and 1 edges → Lemma 5 gives (2-1)+(3-1)+(1-1) = 3.
+        assert_eq!(component_bound(&graph), 3);
+        // Lemma 6: 5/3 + 6/3 + 1/3 = 4.
+        assert_eq!(class_bound(&graph, 3), ratio(4, 1));
+        assert_eq!(class_bound_steps(&graph, 3), 4);
+        // The combined bound is dominated by the trivial bound here.
+        assert_eq!(best_lower_bound(&inst, &graph), 5);
+        // All lower bounds are indeed at most the schedule's makespan.
+        assert!(best_lower_bound(&inst, &graph) <= trace.makespan());
+    }
+
+    #[test]
+    fn empty_graph_bounds_are_zero() {
+        let inst = InstanceBuilder::new().processor([ratio(1, 2)]).build();
+        let schedule = Schedule::new(vec![vec![ratio(1, 2)]]);
+        let trace = schedule.trace(&inst).unwrap();
+        let graph = crate::hypergraph::SchedulingGraph::build(&inst, &trace);
+        assert_eq!(component_bound(&graph), 0);
+        assert_eq!(class_bound(&graph, 1), Ratio::ONE);
+    }
+}

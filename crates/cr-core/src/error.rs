@@ -1,0 +1,156 @@
+//! Error types shared across the CRSharing model crates.
+
+use crate::job::JobId;
+use crate::rational::Ratio;
+use std::fmt;
+
+/// Errors raised when constructing or validating a problem [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// The instance has no processors.
+    NoProcessors,
+    /// A resource requirement lies outside the unit interval `[0, 1]`.
+    ///
+    /// The paper's base model requires `r_ij ∈ [0, 1]`; requirements above 1
+    /// must first be rescaled (footnote 3 of the paper), see
+    /// `cr_algos::arbitrary::rescale_requirements`.
+    RequirementOutOfRange {
+        /// The offending job.
+        job: JobId,
+        /// Its out-of-range requirement.
+        requirement: Ratio,
+    },
+    /// A processing volume is not strictly positive.
+    NonPositiveVolume {
+        /// The offending job.
+        job: JobId,
+        /// Its non-positive volume.
+        volume: Ratio,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::NoProcessors => write!(f, "instance has no processors"),
+            InstanceError::RequirementOutOfRange { job, requirement } => write!(
+                f,
+                "job {job} has resource requirement {requirement} outside [0, 1]"
+            ),
+            InstanceError::NonPositiveVolume { job, volume } => {
+                write!(f, "job {job} has non-positive processing volume {volume}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// Errors raised when validating a resource-assignment [`crate::Schedule`]
+/// against an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule's per-step assignment vector does not have one entry per
+    /// processor.
+    WrongProcessorCount {
+        /// Time step of the malformed assignment.
+        step: usize,
+        /// Number of processors in the instance.
+        expected: usize,
+        /// Number of shares found in the step.
+        found: usize,
+    },
+    /// A single processor's share lies outside `[0, 1]`.
+    ShareOutOfRange {
+        /// Time step of the offending share.
+        step: usize,
+        /// Processor receiving the share.
+        processor: usize,
+        /// The out-of-range share.
+        share: Ratio,
+    },
+    /// The shares of a time step sum to more than the full resource.
+    ResourceOveruse {
+        /// Time step in which the resource is overused.
+        step: usize,
+        /// Total assigned share (> 1).
+        total: Ratio,
+    },
+    /// The schedule ended although some jobs still have remaining work.
+    UnfinishedJobs {
+        /// The jobs left unfinished.
+        unfinished: Vec<JobId>,
+    },
+    /// The schedule references an instance with a different processor count.
+    ProcessorCountMismatch {
+        /// Processors in the instance.
+        instance: usize,
+        /// Processors addressed by the schedule.
+        schedule: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongProcessorCount { step, expected, found } => write!(
+                f,
+                "time step {step}: expected {expected} processor shares, found {found}"
+            ),
+            ScheduleError::ShareOutOfRange { step, processor, share } => write!(
+                f,
+                "time step {step}: processor {processor} has share {share} outside [0, 1]"
+            ),
+            ScheduleError::ResourceOveruse { step, total } => write!(
+                f,
+                "time step {step}: assigned shares sum to {total} > 1 (resource overused)"
+            ),
+            ScheduleError::UnfinishedJobs { unfinished } => write!(
+                f,
+                "schedule finished but {} job(s) still have remaining work (first: {})",
+                unfinished.len(),
+                unfinished
+                    .first()
+                    .map(|j| j.to_string())
+                    .unwrap_or_else(|| "?".to_string())
+            ),
+            ScheduleError::ProcessorCountMismatch { instance, schedule } => write!(
+                f,
+                "instance has {instance} processors but schedule assigns {schedule}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_error_messages_mention_job() {
+        let e = InstanceError::RequirementOutOfRange {
+            job: JobId::new(2, 3),
+            requirement: Ratio::new(3, 2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3/2"));
+        assert!(msg.contains("(2, 3)"));
+    }
+
+    #[test]
+    fn schedule_error_messages() {
+        let e = ScheduleError::ResourceOveruse {
+            step: 4,
+            total: Ratio::new(5, 4),
+        };
+        assert!(e.to_string().contains("step 4"));
+        assert!(e.to_string().contains("5/4"));
+
+        let e = ScheduleError::UnfinishedJobs {
+            unfinished: vec![JobId::new(0, 1)],
+        };
+        assert!(e.to_string().contains("1 job"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Problem instances of the CRSharing problem.
+//!
+//! An [`Instance`] is a set of `m` processors, each with a fixed, ordered
+//! sequence of [`Job`]s.  The scheduler may *only* decide how the shared
+//! continuous resource is split among the processors at each discrete time
+//! step; job-to-processor assignment and per-processor job order are part of
+//! the input (this is the defining restriction of the paper's model compared
+//! to general discrete-continuous scheduling).
+
+use crate::error::InstanceError;
+use crate::job::{Job, JobId};
+use crate::rational::Ratio;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CRSharing problem instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// `jobs[i]` is the ordered job sequence of processor `i`.
+    jobs: Vec<Vec<Job>>,
+}
+
+impl Instance {
+    /// Creates an instance from explicit per-processor job sequences and
+    /// validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no processors, a requirement lies
+    /// outside `[0, 1]`, or a volume is not strictly positive.  Processors
+    /// with empty job sequences are allowed (they are simply never active).
+    pub fn new(jobs: Vec<Vec<Job>>) -> Result<Self, InstanceError> {
+        if jobs.is_empty() {
+            return Err(InstanceError::NoProcessors);
+        }
+        for (i, row) in jobs.iter().enumerate() {
+            for (j, job) in row.iter().enumerate() {
+                if !job.requirement.in_unit_interval() {
+                    return Err(InstanceError::RequirementOutOfRange {
+                        job: JobId::new(i, j),
+                        requirement: job.requirement,
+                    });
+                }
+                if !job.volume.is_positive() {
+                    return Err(InstanceError::NonPositiveVolume {
+                        job: JobId::new(i, j),
+                        volume: job.volume,
+                    });
+                }
+            }
+        }
+        Ok(Instance { jobs })
+    }
+
+    /// Builds a **unit-size** instance from per-processor requirement lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails; use [`Instance::new`] for fallible
+    /// construction.
+    #[must_use]
+    pub fn unit_from_requirements(reqs: Vec<Vec<Ratio>>) -> Self {
+        let jobs = reqs
+            .into_iter()
+            .map(|row| row.into_iter().map(Job::unit).collect())
+            .collect();
+        Instance::new(jobs).expect("invalid unit-size instance")
+    }
+
+    /// Builds a unit-size instance from integer percentages, matching the
+    /// notation of the paper's figures (e.g. Figure 1 uses rows
+    /// `[20, 10, 10, 10]`, `[50, 55, 90, 55, 10]`, `[50, 40, 95]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a percentage lies outside `[0, 100]`.
+    #[must_use]
+    pub fn unit_from_percentages(rows: &[&[i64]]) -> Self {
+        let reqs = rows
+            .iter()
+            .map(|row| row.iter().map(|&p| Ratio::from_percent(p)).collect())
+            .collect();
+        Instance::unit_from_requirements(reqs)
+    }
+
+    /// Number of processors `m`.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of jobs `nᵢ` on processor `i`.
+    #[must_use]
+    pub fn jobs_on(&self, processor: usize) -> usize {
+        self.jobs[processor].len()
+    }
+
+    /// The maximum chain length `n = maxᵢ nᵢ`.
+    #[must_use]
+    pub fn max_chain_length(&self) -> usize {
+        self.jobs.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of jobs over all processors.
+    #[must_use]
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+
+    /// Returns the job `(i, j)`.
+    #[must_use]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.processor][id.index]
+    }
+
+    /// Returns the job sequence of processor `i`.
+    #[must_use]
+    pub fn processor_jobs(&self, processor: usize) -> &[Job] {
+        &self.jobs[processor]
+    }
+
+    /// Iterates over all `(JobId, &Job)` pairs in processor-major order.
+    pub fn iter_jobs(&self) -> impl Iterator<Item = (JobId, &Job)> + '_ {
+        self.jobs.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(j, job)| (JobId::new(i, j), job))
+        })
+    }
+
+    /// `M_j`: the set of processors having at least `j + 1` jobs (i.e. having
+    /// a job at zero-based position `j`).  Matches the paper's `M_j` for
+    /// one-based `j = j_zero_based + 1`.
+    #[must_use]
+    pub fn machines_with_job(&self, index: usize) -> Vec<usize> {
+        (0..self.processors())
+            .filter(|&i| self.jobs_on(i) > index)
+            .collect()
+    }
+
+    /// Whether all jobs have unit size (the case analyzed by the paper).
+    #[must_use]
+    pub fn is_unit_size(&self) -> bool {
+        self.iter_jobs().all(|(_, job)| job.is_unit())
+    }
+
+    /// Total workload `Σ_ij r_ij · p_ij` in the alternative model
+    /// interpretation — the left-hand side of Observation 1.
+    #[must_use]
+    pub fn total_workload(&self) -> Ratio {
+        self.iter_jobs().map(|(_, job)| job.workload()).sum()
+    }
+
+    /// Workload of column `j` restricted to `M_j`, i.e. `Σ_{i ∈ M_j} r_ij·p_ij`.
+    /// Used by the RoundRobin analysis (Theorem 3).
+    #[must_use]
+    pub fn column_workload(&self, index: usize) -> Ratio {
+        self.machines_with_job(index)
+            .into_iter()
+            .map(|i| self.jobs[i][index].workload())
+            .sum()
+    }
+
+    /// The largest single resource requirement in the instance.
+    #[must_use]
+    pub fn max_requirement(&self) -> Ratio {
+        self.iter_jobs()
+            .map(|(_, job)| job.requirement)
+            .max()
+            .unwrap_or(Ratio::ZERO)
+    }
+
+    /// Consumes the instance and returns the raw job matrix.
+    #[must_use]
+    pub fn into_jobs(self) -> Vec<Vec<Job>> {
+        self.jobs
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CRSharing instance: m = {}, n = {}, total workload = {}",
+            self.processors(),
+            self.max_chain_length(),
+            self.total_workload()
+        )?;
+        for (i, row) in self.jobs.iter().enumerate() {
+            write!(f, "  p{i}:")?;
+            for job in row {
+                if job.is_unit() {
+                    write!(f, " {}", job.requirement)?;
+                } else {
+                    write!(f, " {}x{}", job.requirement, job.volume)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for instances, convenient in generators and tests.
+///
+/// # Examples
+///
+/// ```
+/// use cr_core::{InstanceBuilder, Ratio};
+///
+/// let inst = InstanceBuilder::new()
+///     .processor([Ratio::new(1, 2), Ratio::new(1, 4)])
+///     .processor([Ratio::ONE])
+///     .build();
+/// assert_eq!(inst.processors(), 2);
+/// assert_eq!(inst.total_jobs(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct InstanceBuilder {
+    jobs: Vec<Vec<Job>>,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a processor with the given unit-size job requirements.
+    #[must_use]
+    pub fn processor<I: IntoIterator<Item = Ratio>>(mut self, requirements: I) -> Self {
+        self.jobs
+            .push(requirements.into_iter().map(Job::unit).collect());
+        self
+    }
+
+    /// Adds a processor with explicit jobs (arbitrary volumes).
+    #[must_use]
+    pub fn processor_jobs<I: IntoIterator<Item = Job>>(mut self, jobs: I) -> Self {
+        self.jobs.push(jobs.into_iter().collect());
+        self
+    }
+
+    /// Adds an empty processor (no jobs).
+    #[must_use]
+    pub fn empty_processor(mut self) -> Self {
+        self.jobs.push(Vec::new());
+        self
+    }
+
+    /// Finalizes the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails.
+    #[must_use]
+    pub fn build(self) -> Instance {
+        Instance::new(self.jobs).expect("invalid instance")
+    }
+
+    /// Finalizes the instance, returning validation errors.
+    pub fn try_build(self) -> Result<Instance, InstanceError> {
+        Instance::new(self.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::ratio;
+
+    fn fig1_instance() -> Instance {
+        Instance::unit_from_percentages(&[
+            &[20, 10, 10, 10],
+            &[50, 55, 90, 55, 10],
+            &[50, 40, 95],
+        ])
+    }
+
+    #[test]
+    fn construction_and_stats() {
+        let inst = fig1_instance();
+        assert_eq!(inst.processors(), 3);
+        assert_eq!(inst.jobs_on(0), 4);
+        assert_eq!(inst.jobs_on(1), 5);
+        assert_eq!(inst.jobs_on(2), 3);
+        assert_eq!(inst.max_chain_length(), 5);
+        assert_eq!(inst.total_jobs(), 12);
+        assert!(inst.is_unit_size());
+        // 0.2+0.1+0.1+0.1 + 0.5+0.55+0.9+0.55+0.1 + 0.5+0.4+0.95 = 4.95
+        assert_eq!(inst.total_workload(), ratio(495, 100));
+    }
+
+    #[test]
+    fn machines_with_job_matches_mj() {
+        let inst = fig1_instance();
+        assert_eq!(inst.machines_with_job(0), vec![0, 1, 2]);
+        assert_eq!(inst.machines_with_job(2), vec![0, 1, 2]);
+        assert_eq!(inst.machines_with_job(3), vec![0, 1]);
+        assert_eq!(inst.machines_with_job(4), vec![1]);
+        assert!(inst.machines_with_job(5).is_empty());
+    }
+
+    #[test]
+    fn column_workload() {
+        let inst = fig1_instance();
+        assert_eq!(inst.column_workload(0), ratio(120, 100));
+        assert_eq!(inst.column_workload(4), ratio(10, 100));
+    }
+
+    #[test]
+    fn validation_rejects_bad_requirement() {
+        let err = Instance::new(vec![vec![Job::unit(ratio(3, 2))]]).unwrap_err();
+        assert!(matches!(err, InstanceError::RequirementOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_bad_volume() {
+        let err = Instance::new(vec![vec![Job::new(ratio(1, 2), Ratio::ZERO)]]).unwrap_err();
+        assert!(matches!(err, InstanceError::NonPositiveVolume { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_empty() {
+        assert!(matches!(
+            Instance::new(vec![]).unwrap_err(),
+            InstanceError::NoProcessors
+        ));
+    }
+
+    #[test]
+    fn empty_processor_is_allowed() {
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2)])
+            .empty_processor()
+            .build();
+        assert_eq!(inst.processors(), 2);
+        assert_eq!(inst.jobs_on(1), 0);
+        assert_eq!(inst.max_chain_length(), 1);
+    }
+
+    #[test]
+    fn builder_with_volumes() {
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(ratio(1, 2), ratio(3, 1))])
+            .processor([ratio(1, 4)])
+            .build();
+        assert!(!inst.is_unit_size());
+        assert_eq!(inst.total_workload(), ratio(3, 2) + ratio(1, 4));
+    }
+
+    #[test]
+    fn iter_jobs_order() {
+        let inst = fig1_instance();
+        let ids: Vec<JobId> = inst.iter_jobs().map(|(id, _)| id).collect();
+        assert_eq!(ids[0], JobId::new(0, 0));
+        assert_eq!(ids[4], JobId::new(1, 0));
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let inst = fig1_instance();
+        let text = inst.to_string();
+        assert!(text.contains("p0:"));
+        assert!(text.contains("p2:"));
+        assert!(text.contains("m = 3"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = fig1_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn max_requirement() {
+        assert_eq!(fig1_instance().max_requirement(), ratio(95, 100));
+    }
+}

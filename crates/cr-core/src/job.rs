@@ -1,0 +1,143 @@
+//! Jobs and job identifiers.
+//!
+//! In the CRSharing model every processor `i` carries a fixed *sequence* of
+//! jobs `(i, 1), (i, 2), …, (i, nᵢ)` that must be processed in order.  A job
+//! is described by its resource requirement `r_ij ∈ [0, 1]` and its
+//! processing volume (size) `p_ij > 0`.  The paper's analysis focuses on
+//! *unit-size* jobs (`p_ij = 1`); the general representation is kept so that
+//! the §9 extensions can be expressed as well.
+
+use crate::rational::Ratio;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies job `(i, j)`: the `j`-th job on processor `i`.
+///
+/// Both indices are **zero-based** in code (the paper uses one-based
+/// indices); `Display` renders the zero-based form used everywhere in this
+/// repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId {
+    /// Processor index `i` (zero-based).
+    pub processor: usize,
+    /// Position `j` within the processor's sequence (zero-based).
+    pub index: usize,
+}
+
+impl JobId {
+    /// Creates a new job identifier.
+    #[must_use]
+    pub fn new(processor: usize, index: usize) -> Self {
+        JobId { processor, index }
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.processor, self.index)
+    }
+}
+
+/// A single job: resource requirement `r` and processing volume `p`.
+///
+/// The *workload* of a job in the paper's alternative ("variable speed")
+/// interpretation is `p̃ = r · p`: the total amount of resource that must be
+/// spent on the job before it completes (Equation (2) of the paper).  For
+/// unit-size jobs this equals the requirement itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Resource requirement `r_ij ∈ [0, 1]`: the share of the resource needed
+    /// to process one unit of volume per time step at full speed.
+    pub requirement: Ratio,
+    /// Processing volume `p_ij > 0` (in time steps at full speed).
+    pub volume: Ratio,
+}
+
+impl Job {
+    /// Creates a job with an explicit volume.
+    #[must_use]
+    pub fn new(requirement: Ratio, volume: Ratio) -> Self {
+        Job { requirement, volume }
+    }
+
+    /// Creates a unit-size job (`p = 1`), the case analyzed throughout the
+    /// paper.
+    #[must_use]
+    pub fn unit(requirement: Ratio) -> Self {
+        Job {
+            requirement,
+            volume: Ratio::ONE,
+        }
+    }
+
+    /// Creates a unit-size job from an integer percentage, matching the node
+    /// labels of the paper's figures.
+    #[must_use]
+    pub fn unit_percent(p: i64) -> Self {
+        Job::unit(Ratio::from_percent(p))
+    }
+
+    /// The job's total workload `p̃ = r · p` in the alternative model
+    /// interpretation: the amount of resource that must be spent on it.
+    #[must_use]
+    pub fn workload(&self) -> Ratio {
+        self.requirement * self.volume
+    }
+
+    /// Whether the job has unit size.
+    #[must_use]
+    pub fn is_unit(&self) -> bool {
+        self.volume == Ratio::ONE
+    }
+
+    /// Maximum useful resource share in a single time step: a job cannot be
+    /// sped up beyond its requirement, so any share above `min(r, remaining
+    /// workload)` is wasted.
+    #[must_use]
+    pub fn per_step_cap(&self) -> Ratio {
+        self.requirement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::ratio;
+
+    #[test]
+    fn job_id_display_and_order() {
+        let a = JobId::new(0, 1);
+        let b = JobId::new(1, 0);
+        assert_eq!(a.to_string(), "(0, 1)");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn unit_job_workload_equals_requirement() {
+        let j = Job::unit(ratio(3, 10));
+        assert!(j.is_unit());
+        assert_eq!(j.workload(), ratio(3, 10));
+        assert_eq!(j.per_step_cap(), ratio(3, 10));
+    }
+
+    #[test]
+    fn general_job_workload() {
+        let j = Job::new(ratio(1, 2), ratio(3, 1));
+        assert!(!j.is_unit());
+        assert_eq!(j.workload(), ratio(3, 2));
+    }
+
+    #[test]
+    fn percent_constructor() {
+        assert_eq!(Job::unit_percent(55).requirement, ratio(11, 20));
+        assert_eq!(Job::unit_percent(55).volume, Ratio::ONE);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = Job::new(ratio(1, 3), ratio(2, 1));
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, j);
+    }
+}

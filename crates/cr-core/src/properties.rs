@@ -1,0 +1,522 @@
+//! Structural schedule properties from Section 4.1 of the paper:
+//! *non-wasting*, *progressive*, *nested* and *balanced* schedules, plus the
+//! consequences stated in Propositions 1 and 2.
+//!
+//! All predicates operate on a [`ScheduleTrace`], i.e. on a schedule that has
+//! already been validated against its instance.
+
+use crate::job::JobId;
+use crate::rational::Ratio;
+use crate::schedule::ScheduleTrace;
+use std::fmt;
+
+/// A witness for the violation of one of the structural properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyViolation {
+    /// A step used less than the full resource yet an active job survived it
+    /// (violates Definition 2, *non-wasting*).
+    Wasteful {
+        /// The wasteful time step.
+        step: usize,
+        /// An active job that did not complete in that step.
+        surviving_job: JobId,
+    },
+    /// More than one job that received resource was left partially processed
+    /// in the same step (violates Definition 3, *progressive*).
+    NotProgressive {
+        /// The offending time step.
+        step: usize,
+        /// The resourced jobs left partially processed.
+        partial_jobs: Vec<JobId>,
+    },
+    /// The nesting condition of Definition 4 is violated at `step`: `outer`
+    /// is running although the later-started `inner` is still unfinished.
+    NotNested {
+        /// The offending time step.
+        step: usize,
+        /// The earlier-started job that runs at `step`.
+        outer: JobId,
+        /// The later-started, still unfinished job.
+        inner: JobId,
+    },
+    /// Processor `lagging` finished a job at `step` although processor
+    /// `ahead` had strictly more unfinished jobs and did not finish one
+    /// (violates Definition 5, *balanced*).
+    NotBalanced {
+        /// The offending time step.
+        step: usize,
+        /// The processor that finished a job.
+        lagging: usize,
+        /// The processor with more unfinished jobs that did not finish one.
+        ahead: usize,
+    },
+}
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyViolation::Wasteful { step, surviving_job } => write!(
+                f,
+                "step {step} wastes resource while job {surviving_job} stays unfinished"
+            ),
+            PropertyViolation::NotProgressive { step, partial_jobs } => write!(
+                f,
+                "step {step} leaves {} resourced jobs partially processed",
+                partial_jobs.len()
+            ),
+            PropertyViolation::NotNested { step, outer, inner } => write!(
+                f,
+                "step {step}: job {outer} runs although later-started job {inner} is unfinished"
+            ),
+            PropertyViolation::NotBalanced { step, lagging, ahead } => write!(
+                f,
+                "step {step}: processor {lagging} finishes a job while processor {ahead} (more remaining jobs) does not"
+            ),
+        }
+    }
+}
+
+/// Checks Definition 2: in every step that does not use the full resource,
+/// all active jobs complete.
+#[must_use]
+pub fn check_non_wasting(trace: &ScheduleTrace) -> Option<PropertyViolation> {
+    for t in 0..trace.num_steps() {
+        if trace.assigned_total(t) >= Ratio::ONE {
+            continue;
+        }
+        for i in 0..trace.processors() {
+            if let Some(job) = trace.active_job(t, i) {
+                if !trace.completes_in(job, t) {
+                    return Some(PropertyViolation::Wasteful {
+                        step: t,
+                        surviving_job: job,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks Definition 3: per step, at most one job that received resource is
+/// only partially processed.
+#[must_use]
+pub fn check_progressive(trace: &ScheduleTrace) -> Option<PropertyViolation> {
+    for t in 0..trace.num_steps() {
+        let mut partial = Vec::new();
+        for i in 0..trace.processors() {
+            let Some(job) = trace.active_job(t, i) else {
+                continue;
+            };
+            if trace.assigned(t, i).is_positive() && !trace.completes_in(job, t) {
+                partial.push(job);
+            }
+        }
+        if partial.len() > 1 {
+            return Some(PropertyViolation::NotProgressive {
+                step: t,
+                partial_jobs: partial,
+            });
+        }
+    }
+    None
+}
+
+/// Checks Definition 4 (*nested*): there is no step `t` with two jobs
+/// `(i,j)` and `(i',j')` such that `S(i,j) < S(i',j') ≤ t < C(i',j')`,
+/// `S(i',j') < C(i,j)`, and `(i,j)` is running during `t`.
+#[must_use]
+pub fn check_nested(trace: &ScheduleTrace) -> Option<PropertyViolation> {
+    // Collect (job, start, completion) triples once.
+    let mut jobs = Vec::new();
+    for t in 0..trace.num_steps() {
+        for i in 0..trace.processors() {
+            if let Some(job) = trace.active_job(t, i) {
+                if trace.completes_in(job, t) {
+                    let start = trace.start_step(job).unwrap_or(t);
+                    jobs.push((job, start, t));
+                }
+            }
+        }
+    }
+
+    for t in 0..trace.num_steps() {
+        for i in 0..trace.processors() {
+            let Some(outer) = trace.active_job(t, i) else {
+                continue;
+            };
+            if !trace.is_running(t, i) {
+                continue;
+            }
+            let (Some(s_outer), Some(c_outer)) =
+                (trace.start_step(outer), trace.completion_step(outer))
+            else {
+                continue;
+            };
+            for &(inner, s_inner, c_inner) in &jobs {
+                if inner == outer {
+                    continue;
+                }
+                if s_outer < s_inner && s_inner <= t && t < c_inner && s_inner < c_outer {
+                    return Some(PropertyViolation::NotNested {
+                        step: t,
+                        outer,
+                        inner,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks Definition 5 (*balanced*): whenever a processor finishes a job in a
+/// step, every processor with strictly more unfinished jobs also finishes one.
+#[must_use]
+pub fn check_balanced(trace: &ScheduleTrace) -> Option<PropertyViolation> {
+    for t in 0..trace.num_steps() {
+        for i in 0..trace.processors() {
+            let finished_i = trace
+                .active_job(t, i)
+                .map(|job| trace.completes_in(job, t))
+                .unwrap_or(false);
+            if !finished_i {
+                continue;
+            }
+            let n_i = trace.unfinished_jobs(t, i);
+            for i2 in 0..trace.processors() {
+                if i2 == i {
+                    continue;
+                }
+                let n_i2 = trace.unfinished_jobs(t, i2);
+                if n_i2 > n_i {
+                    let finished_i2 = trace
+                        .active_job(t, i2)
+                        .map(|job| trace.completes_in(job, t))
+                        .unwrap_or(false);
+                    if !finished_i2 {
+                        return Some(PropertyViolation::NotBalanced {
+                            step: t,
+                            lagging: i,
+                            ahead: i2,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `true` iff the schedule is non-wasting (Definition 2).
+#[must_use]
+pub fn is_non_wasting(trace: &ScheduleTrace) -> bool {
+    check_non_wasting(trace).is_none()
+}
+
+/// `true` iff the schedule is progressive (Definition 3).
+#[must_use]
+pub fn is_progressive(trace: &ScheduleTrace) -> bool {
+    check_progressive(trace).is_none()
+}
+
+/// `true` iff the schedule is nested (Definition 4).
+#[must_use]
+pub fn is_nested(trace: &ScheduleTrace) -> bool {
+    check_nested(trace).is_none()
+}
+
+/// `true` iff the schedule is balanced (Definition 5).
+#[must_use]
+pub fn is_balanced(trace: &ScheduleTrace) -> bool {
+    check_balanced(trace).is_none()
+}
+
+/// Summary of all four structural properties of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// Definition 2.
+    pub non_wasting: bool,
+    /// Definition 3.
+    pub progressive: bool,
+    /// Definition 4.
+    pub nested: bool,
+    /// Definition 5.
+    pub balanced: bool,
+    /// The first violation found for each failed property.
+    pub violations: Vec<PropertyViolation>,
+}
+
+impl PropertyReport {
+    /// Evaluates all structural properties of a trace.
+    #[must_use]
+    pub fn analyze(trace: &ScheduleTrace) -> Self {
+        let mut violations = Vec::new();
+        let non_wasting = match check_non_wasting(trace) {
+            Some(v) => {
+                violations.push(v);
+                false
+            }
+            None => true,
+        };
+        let progressive = match check_progressive(trace) {
+            Some(v) => {
+                violations.push(v);
+                false
+            }
+            None => true,
+        };
+        let nested = match check_nested(trace) {
+            Some(v) => {
+                violations.push(v);
+                false
+            }
+            None => true,
+        };
+        let balanced = match check_balanced(trace) {
+            Some(v) => {
+                violations.push(v);
+                false
+            }
+            None => true,
+        };
+        PropertyReport {
+            non_wasting,
+            progressive,
+            nested,
+            balanced,
+            violations,
+        }
+    }
+
+    /// Whether the schedule satisfies the three properties Lemma 1 grants
+    /// (non-wasting, progressive and nested).
+    #[must_use]
+    pub fn is_normalized(&self) -> bool {
+        self.non_wasting && self.progressive && self.nested
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-wasting: {}, progressive: {}, nested: {}, balanced: {}",
+            self.non_wasting, self.progressive, self.nested, self.balanced
+        )
+    }
+}
+
+/// Checks Proposition 1 for a balanced schedule:
+/// (a) `nᵢ ≥ nᵢ'` implies `nᵢ(t) ≥ nᵢ'(t) − 1` for all `t`;
+/// (b) `nᵢ > nᵢ'` implies `nᵢ(t) ≤ nᵢ'(t) + nᵢ − nᵢ'` for all `t`.
+///
+/// Returns `true` when both statements hold for every processor pair and
+/// step.  Used by tests to confirm the proposition on schedules produced by
+/// balanced algorithms.
+#[must_use]
+pub fn proposition1_holds(trace: &ScheduleTrace, totals: &[usize]) -> bool {
+    let m = trace.processors();
+    debug_assert_eq!(totals.len(), m);
+    for t in 0..=trace.num_steps() {
+        for i1 in 0..m {
+            for i2 in 0..m {
+                if i1 == i2 {
+                    continue;
+                }
+                let (n1, n2) = (totals[i1], totals[i2]);
+                let (r1, r2) = (trace.unfinished_jobs(t, i1), trace.unfinished_jobs(t, i2));
+                if n1 >= n2 && r1 + 1 < r2 {
+                    return false;
+                }
+                if n1 > n2 && r1 > r2 + (n1 - n2) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Checks Proposition 2 for a balanced schedule: if job `(i, j)` is active at
+/// step `t` and is not the last job of processor `i`, then every processor in
+/// `M_{j+1}` (having at least `j+1` jobs, one-based) is active at `t`.
+#[must_use]
+pub fn proposition2_holds(trace: &ScheduleTrace, totals: &[usize]) -> bool {
+    let m = trace.processors();
+    for t in 0..trace.num_steps() {
+        for i in 0..m {
+            let Some(job) = trace.active_job(t, i) else {
+                continue;
+            };
+            if trace.unfinished_jobs(t, i) <= 1 {
+                continue; // (i, j) is the last job on processor i.
+            }
+            // All processors with at least job.index + 1 jobs must be active.
+            for i2 in 0..m {
+                if totals[i2] > job.index && !trace.is_active(t, i2) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, InstanceBuilder};
+    use crate::rational::ratio;
+    use crate::schedule::Schedule;
+
+    /// The Figure 2 input: p0 has four jobs of 50%, p1 and p2 one job of 100%.
+    fn fig2_instance() -> Instance {
+        InstanceBuilder::new()
+            .processor([ratio(1, 2), ratio(1, 2), ratio(1, 2), ratio(1, 2)])
+            .processor([Ratio::ONE])
+            .processor([Ratio::ONE])
+            .build()
+    }
+
+    /// Figure 2b — the nested schedule.
+    fn fig2_nested_schedule() -> Schedule {
+        Schedule::new(vec![
+            vec![ratio(1, 2), ratio(1, 2), Ratio::ZERO],
+            vec![ratio(1, 2), ratio(1, 2), Ratio::ZERO],
+            vec![ratio(1, 2), Ratio::ZERO, ratio(1, 2)],
+            vec![ratio(1, 2), Ratio::ZERO, ratio(1, 2)],
+        ])
+    }
+
+    /// Figure 2c — the unnested schedule: p1's job is already running when
+    /// p2's job starts, and completes before p2's job completes.
+    fn fig2_unnested_schedule() -> Schedule {
+        Schedule::new(vec![
+            vec![ratio(1, 2), ratio(1, 2), Ratio::ZERO],
+            vec![ratio(1, 2), Ratio::ZERO, ratio(1, 2)],
+            vec![ratio(1, 2), ratio(1, 2), Ratio::ZERO],
+            vec![ratio(1, 2), Ratio::ZERO, ratio(1, 2)],
+        ])
+    }
+
+    #[test]
+    fn figure2_nested_schedule_has_all_lemma1_properties() {
+        let inst = fig2_instance();
+        let trace = fig2_nested_schedule().trace(&inst).unwrap();
+        assert!(is_non_wasting(&trace));
+        assert!(is_progressive(&trace));
+        assert!(is_nested(&trace));
+        let report = PropertyReport::analyze(&trace);
+        assert!(report.is_normalized());
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn figure2_unnested_schedule_fails_nestedness_only() {
+        let inst = fig2_instance();
+        let trace = fig2_unnested_schedule().trace(&inst).unwrap();
+        assert!(is_non_wasting(&trace));
+        assert!(is_progressive(&trace));
+        assert!(!is_nested(&trace));
+        let violation = check_nested(&trace).unwrap();
+        match violation {
+            PropertyViolation::NotNested { outer, inner, .. } => {
+                // p1's job (started first) runs while p2's job (started later)
+                // is still unfinished.
+                assert_eq!(outer.processor, 1);
+                assert_eq!(inner.processor, 2);
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wasteful_schedule_detected() {
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2), ratio(1, 2)])
+            .build();
+        // Step 0 assigns only 1/4 (not the full resource, job survives).
+        let schedule = Schedule::new(vec![
+            vec![ratio(1, 4)],
+            vec![ratio(1, 4)],
+            vec![ratio(1, 2)],
+        ]);
+        let trace = schedule.trace(&inst).unwrap();
+        assert!(!is_non_wasting(&trace));
+        assert!(matches!(
+            check_non_wasting(&trace),
+            Some(PropertyViolation::Wasteful { step: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn non_progressive_schedule_detected() {
+        let inst = InstanceBuilder::new()
+            .processor([Ratio::ONE])
+            .processor([Ratio::ONE])
+            .build();
+        // Both jobs receive half the resource and survive the step.
+        let schedule = Schedule::new(vec![
+            vec![ratio(1, 2), ratio(1, 2)],
+            vec![ratio(1, 2), ratio(1, 2)],
+        ]);
+        let trace = schedule.trace(&inst).unwrap();
+        assert!(is_non_wasting(&trace));
+        assert!(!is_progressive(&trace));
+    }
+
+    #[test]
+    fn unbalanced_schedule_detected() {
+        // p0 has one job, p1 has two.  Finishing p0's job first while p1 (more
+        // remaining jobs) does not finish violates balance.
+        let inst = InstanceBuilder::new()
+            .processor([Ratio::ONE])
+            .processor([ratio(3, 4), ratio(3, 4)])
+            .build();
+        let schedule = Schedule::new(vec![
+            vec![Ratio::ONE, Ratio::ZERO],
+            vec![Ratio::ZERO, ratio(3, 4)],
+            vec![Ratio::ZERO, ratio(3, 4)],
+        ]);
+        let trace = schedule.trace(&inst).unwrap();
+        assert!(!is_balanced(&trace));
+        assert!(matches!(
+            check_balanced(&trace),
+            Some(PropertyViolation::NotBalanced { step: 0, lagging: 0, ahead: 1 })
+        ));
+    }
+
+    #[test]
+    fn balanced_schedule_accepted() {
+        let inst = InstanceBuilder::new()
+            .processor([Ratio::ONE])
+            .processor([ratio(1, 2), ratio(1, 2)])
+            .build();
+        // Finish p1's jobs first (it has more), then p0's.
+        let schedule = Schedule::new(vec![
+            vec![ratio(1, 2), ratio(1, 2)],
+            vec![ratio(1, 2), ratio(1, 2)],
+        ]);
+        let trace = schedule.trace(&inst).unwrap();
+        assert!(is_balanced(&trace));
+        let totals = vec![1, 2];
+        assert!(proposition1_holds(&trace, &totals));
+        assert!(proposition2_holds(&trace, &totals));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = PropertyViolation::Wasteful {
+            step: 3,
+            surviving_job: JobId::new(1, 2),
+        };
+        assert!(v.to_string().contains("step 3"));
+        let v = PropertyViolation::NotBalanced {
+            step: 0,
+            lagging: 1,
+            ahead: 2,
+        };
+        assert!(v.to_string().contains("processor 1"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # cr-instances — instance families for the CRSharing problem
+//!
+//! The paper's evaluation is analytical: its "datasets" are worst-case
+//! constructions, illustrative examples and a polynomial-time reduction.
+//! This crate makes all of them available programmatically, adds seeded
+//! random families and synthetic many-core workloads for the simulator, and
+//! provides JSON (de)serialization for experiment artifacts.
+//!
+//! * [`worst_case`] — Figure 1/2 examples, the Theorem 3 RoundRobin family
+//!   (Figure 3) and the Theorem 8 GreedyBalance block family (Figure 5);
+//! * [`reduction`] — the Theorem 4 Partition reduction and a Partition
+//!   solver for ground truth;
+//! * [`random`] — seeded random unit-size and arbitrary-size instances;
+//! * [`workload`] — synthetic multi-phase many-core workloads;
+//! * [`serde_io`] — JSON persistence of instances, schedules and
+//!   measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod random;
+pub mod reduction;
+pub mod serde_io;
+pub mod workload;
+pub mod worst_case;
+
+pub use random::{
+    random_batch, random_sized_instance, random_unit_instance, RandomConfig, RequirementProfile,
+};
+pub use reduction::{
+    is_yes_instance, partition_to_crsharing, solve_partition, PartitionReduction,
+};
+pub use serde_io::{MeasurementRecord, NamedInstance};
+pub use workload::{average_demand, generate_workload, TaskMix, WorkloadConfig};
+pub use worst_case::{
+    figure1_instance, figure2_instance, greedy_balance_max_blocks, greedy_balance_worst_case,
+    greedy_balance_worst_case_steps, round_robin_worst_case, round_robin_worst_case_opt,
+};

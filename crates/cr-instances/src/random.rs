@@ -1,0 +1,236 @@
+//! Seeded random instance generators.
+//!
+//! All generators are deterministic functions of their [`RandomConfig`] and a
+//! seed, so every experiment in the harness is reproducible.  Requirements
+//! are drawn on a fixed rational grid (`1/denominator` steps) to keep the
+//! exact arithmetic of `cr-core` cheap.
+
+use cr_core::{Instance, Job, Ratio};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The shape of the requirement distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequirementProfile {
+    /// Requirements uniform on `{1, …, denominator} / denominator`.
+    Uniform,
+    /// With probability `heavy_probability` a requirement from the heavy band
+    /// `[0.7, 1.0]`, otherwise from the light band `(0, 0.25]`.  Models a mix
+    /// of I/O-bound and compute-bound phases.
+    Bimodal {
+        /// Probability of drawing a heavy requirement.
+        heavy_probability: f64,
+    },
+    /// Requirements concentrated near the low end (`max 30%`), the regime in
+    /// which many jobs can run in parallel and resource assignment is easy.
+    Light,
+    /// Requirements concentrated near the high end (`min 70%`), the regime in
+    /// which the resource is the hard bottleneck.
+    Heavy,
+}
+
+/// Configuration of the random instance generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomConfig {
+    /// Number of processors `m`.
+    pub processors: usize,
+    /// Number of jobs per processor (chains may be shortened by
+    /// `chain_variation`).
+    pub jobs_per_processor: usize,
+    /// Maximum number of jobs a chain may be shorter than
+    /// `jobs_per_processor` (0 = all chains equally long).
+    pub chain_variation: usize,
+    /// Grid denominator for requirements.
+    pub denominator: u64,
+    /// Requirement distribution.
+    pub profile: RequirementProfile,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            processors: 3,
+            jobs_per_processor: 4,
+            chain_variation: 0,
+            denominator: 100,
+            profile: RequirementProfile::Uniform,
+        }
+    }
+}
+
+impl RandomConfig {
+    /// Uniform requirements with equal chain lengths.
+    #[must_use]
+    pub fn uniform(processors: usize, jobs_per_processor: usize) -> Self {
+        RandomConfig {
+            processors,
+            jobs_per_processor,
+            ..Default::default()
+        }
+    }
+}
+
+fn draw_requirement(cfg: &RandomConfig, rng: &mut StdRng) -> Ratio {
+    let d = cfg.denominator.max(1);
+    let in_band = |rng: &mut StdRng, lo: f64, hi: f64| -> Ratio {
+        let lo_ticks = ((lo * d as f64).ceil() as u64).clamp(1, d);
+        let hi_ticks = ((hi * d as f64).floor() as u64).clamp(lo_ticks, d);
+        Ratio::from_parts(rng.random_range(lo_ticks..=hi_ticks), d)
+    };
+    match cfg.profile {
+        RequirementProfile::Uniform => Ratio::from_parts(rng.random_range(1..=d), d),
+        RequirementProfile::Bimodal { heavy_probability } => {
+            if rng.random_bool(heavy_probability.clamp(0.0, 1.0)) {
+                in_band(rng, 0.7, 1.0)
+            } else {
+                in_band(rng, 0.0, 0.25)
+            }
+        }
+        RequirementProfile::Light => in_band(rng, 0.0, 0.3),
+        RequirementProfile::Heavy => in_band(rng, 0.7, 1.0),
+    }
+}
+
+/// Generates a unit-size instance from `cfg` and `seed`.
+#[must_use]
+pub fn random_unit_instance(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<Ratio>> = (0..cfg.processors)
+        .map(|_| {
+            let shorten = if cfg.chain_variation > 0 {
+                rng.random_range(0..=cfg.chain_variation)
+            } else {
+                0
+            };
+            let len = cfg.jobs_per_processor.saturating_sub(shorten).max(1);
+            (0..len).map(|_| draw_requirement(cfg, &mut rng)).collect()
+        })
+        .collect();
+    Instance::unit_from_requirements(rows)
+}
+
+/// Generates an arbitrary-size instance: requirements as in
+/// [`random_unit_instance`], volumes uniform on `{1, …, max_volume}`.
+#[must_use]
+pub fn random_sized_instance(cfg: &RandomConfig, max_volume: u64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<Job>> = (0..cfg.processors)
+        .map(|_| {
+            (0..cfg.jobs_per_processor)
+                .map(|_| {
+                    let requirement = draw_requirement(cfg, &mut rng);
+                    let volume = Ratio::from_integer(rng.random_range(1..=max_volume.max(1)) as i64);
+                    Job::new(requirement, volume)
+                })
+                .collect()
+        })
+        .collect();
+    Instance::new(rows).expect("generated instance is valid")
+}
+
+/// Generates a batch of unit-size instances with consecutive seeds, handy for
+/// ratio-distribution experiments.
+#[must_use]
+pub fn random_batch(cfg: &RandomConfig, base_seed: u64, count: usize) -> Vec<Instance> {
+    (0..count)
+        .map(|k| random_unit_instance(cfg, base_seed.wrapping_add(k as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let cfg = RandomConfig::uniform(4, 6);
+        let a = random_unit_instance(&cfg, 7);
+        let b = random_unit_instance(&cfg, 7);
+        let c = random_unit_instance(&cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let cfg = RandomConfig::uniform(5, 3);
+        let inst = random_unit_instance(&cfg, 1);
+        assert_eq!(inst.processors(), 5);
+        assert!(inst.is_unit_size());
+        assert_eq!(inst.max_chain_length(), 3);
+        for i in 0..5 {
+            assert_eq!(inst.jobs_on(i), 3);
+        }
+    }
+
+    #[test]
+    fn requirements_respect_profiles() {
+        let light = RandomConfig {
+            profile: RequirementProfile::Light,
+            ..RandomConfig::uniform(3, 20)
+        };
+        let inst = random_unit_instance(&light, 11);
+        assert!(inst.max_requirement() <= Ratio::from_percent(30));
+
+        let heavy = RandomConfig {
+            profile: RequirementProfile::Heavy,
+            ..RandomConfig::uniform(3, 20)
+        };
+        let inst = random_unit_instance(&heavy, 11);
+        for (_, job) in inst.iter_jobs() {
+            assert!(job.requirement >= Ratio::from_percent(70));
+        }
+    }
+
+    #[test]
+    fn bimodal_produces_both_bands() {
+        let cfg = RandomConfig {
+            profile: RequirementProfile::Bimodal {
+                heavy_probability: 0.5,
+            },
+            ..RandomConfig::uniform(4, 50)
+        };
+        let inst = random_unit_instance(&cfg, 3);
+        let heavy = inst
+            .iter_jobs()
+            .filter(|(_, j)| j.requirement >= Ratio::from_percent(70))
+            .count();
+        let light = inst
+            .iter_jobs()
+            .filter(|(_, j)| j.requirement <= Ratio::from_percent(25))
+            .count();
+        assert!(heavy > 0);
+        assert!(light > 0);
+        assert_eq!(heavy + light, inst.total_jobs());
+    }
+
+    #[test]
+    fn chain_variation_shortens_some_chains() {
+        let cfg = RandomConfig {
+            chain_variation: 3,
+            ..RandomConfig::uniform(8, 6)
+        };
+        let inst = random_unit_instance(&cfg, 5);
+        assert!(inst.max_chain_length() <= 6);
+        assert!((0..8).all(|i| inst.jobs_on(i) >= 1));
+    }
+
+    #[test]
+    fn sized_instances_have_bounded_volumes() {
+        let cfg = RandomConfig::uniform(3, 4);
+        let inst = random_sized_instance(&cfg, 5, 2);
+        assert!(!inst.is_unit_size() || inst.total_jobs() > 0);
+        for (_, job) in inst.iter_jobs() {
+            assert!(job.volume >= Ratio::ONE);
+            assert!(job.volume <= Ratio::from_integer(5));
+        }
+    }
+
+    #[test]
+    fn batch_generation() {
+        let cfg = RandomConfig::uniform(2, 3);
+        let batch = random_batch(&cfg, 100, 5);
+        assert_eq!(batch.len(), 5);
+        assert_ne!(batch[0], batch[1]);
+    }
+}

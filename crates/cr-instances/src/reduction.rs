@@ -1,0 +1,257 @@
+//! The NP-hardness reduction of Theorem 4: Partition ≤ₚ CRSharing.
+//!
+//! Given a Partition instance `a_1, …, a_n` with `Σ a_i = 2A`, the reduction
+//! builds a CRSharing instance on `n` processors with three unit-size jobs
+//! per processor: `ã_i, ε̃, ã_i` where `ã_i = a_i / (A + δ)` and
+//! `ε̃ = ε / (A + δ)` for `ε ∈ (0, 1/n)` and `δ = n·ε < 1`.  The CRSharing
+//! instance admits a schedule of makespan 4 if and only if the Partition
+//! instance is a YES-instance; otherwise every schedule needs at least 5
+//! steps.  Corollary 1 turns the 4-vs-5 gap into a 5/4 inapproximability
+//! bound.
+//!
+//! The module also ships a small pseudo-polynomial Partition solver
+//! ([`solve_partition`]) so that tests and experiments can label reduced
+//! instances with ground truth.
+
+use cr_core::{Instance, Ratio};
+
+/// The outcome of the reduction: the CRSharing instance together with the
+/// bookkeeping needed to interpret schedules for it.
+#[derive(Debug, Clone)]
+pub struct PartitionReduction {
+    /// The reduced CRSharing instance (`n` processors, 3 unit jobs each).
+    pub instance: Instance,
+    /// The Partition values `a_i`.
+    pub values: Vec<u64>,
+    /// Half of the total sum, `A`.
+    pub target: u64,
+    /// The `ε` used by the reduction (as an exact rational).
+    pub epsilon: Ratio,
+}
+
+impl PartitionReduction {
+    /// Makespan of an optimal schedule if the Partition instance is a
+    /// YES-instance.
+    pub const YES_MAKESPAN: usize = 4;
+    /// Minimum makespan of any schedule if the Partition instance is a
+    /// NO-instance.
+    pub const NO_MAKESPAN: usize = 5;
+}
+
+/// Builds the Theorem 4 reduction for the Partition values `a`.
+///
+/// # Panics
+///
+/// Panics if fewer than two values are given, if any value is zero, or if
+/// their sum is odd (the reduction needs `Σ a_i = 2A`; odd sums are trivial
+/// NO-instances that do not need the reduction).
+#[must_use]
+pub fn partition_to_crsharing(values: &[u64]) -> PartitionReduction {
+    assert!(values.len() >= 2, "Partition needs at least two values");
+    assert!(
+        values.iter().all(|&a| a > 0),
+        "Partition values must be positive"
+    );
+    let total: u64 = values.iter().sum();
+    assert!(
+        total % 2 == 0,
+        "the reduction requires an even total sum (odd sums are trivial NO-instances)"
+    );
+    let a_half = total / 2;
+    assert!(
+        values.iter().all(|&a| a <= a_half),
+        "every value must be at most half the total (larger values are trivial NO-instances and \
+         would produce resource requirements above 1)"
+    );
+    let n = values.len() as i128;
+
+    // ε = 1 / (2n) ∈ (0, 1/n), hence δ = n·ε = 1/2 < 1.
+    let epsilon = Ratio::new(1, 2 * n);
+    let delta = epsilon * Ratio::new(n, 1);
+    let denom = Ratio::new(a_half as i128, 1) + delta; // A + δ
+
+    let scaled = |x: Ratio| x / denom;
+    let rows: Vec<Vec<Ratio>> = values
+        .iter()
+        .map(|&a| {
+            let a_tilde = scaled(Ratio::new(a as i128, 1));
+            let eps_tilde = scaled(epsilon);
+            vec![a_tilde, eps_tilde, a_tilde]
+        })
+        .collect();
+
+    PartitionReduction {
+        instance: Instance::unit_from_requirements(rows),
+        values: values.to_vec(),
+        target: a_half,
+        epsilon,
+    }
+}
+
+/// Solves Partition exactly with the classical subset-sum dynamic program.
+/// Returns a membership vector (`true` = first part) summing to `A`, or
+/// `None` for NO-instances.  Pseudo-polynomial in `Σ a_i`, which is plenty
+/// for the experiment sizes used here.
+#[must_use]
+pub fn solve_partition(values: &[u64]) -> Option<Vec<bool>> {
+    let total: u64 = values.iter().sum();
+    if total % 2 != 0 {
+        return None;
+    }
+    let target = (total / 2) as usize;
+    // reachable[s] = Some(index of the last value used to reach sum s);
+    // parent[s] = (previous sum, item index) for certificate reconstruction.
+    let mut reachable: Vec<Option<usize>> = vec![None; target + 1];
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; target + 1];
+    reachable[0] = Some(usize::MAX);
+    for (idx, &a) in values.iter().enumerate() {
+        let a = a as usize;
+        // Iterate sums downwards so each item is used at most once.
+        for s in (a..=target).rev() {
+            if reachable[s].is_none() && reachable[s - a].is_some() && parent[s].is_none() {
+                reachable[s] = Some(idx);
+                parent[s] = Some((s - a, idx));
+            }
+        }
+    }
+    reachable[target]?;
+    let mut membership = vec![false; values.len()];
+    let mut s = target;
+    while s > 0 {
+        let (prev, item) = parent[s].expect("reachable sums have parents");
+        membership[item] = true;
+        s = prev;
+    }
+    Some(membership)
+}
+
+/// Whether `values` is a YES-instance of Partition.
+#[must_use]
+pub fn is_yes_instance(values: &[u64]) -> bool {
+    solve_partition(values).is_some()
+}
+
+/// Constructs the certificate schedule of Figure 4a for a YES-instance: the
+/// processors of the first part finish their first job in step 1, the others
+/// in step 2, and symmetrically for the third jobs in steps 4 and 5 … folded
+/// into 4 steps total.  Returns the makespan-4 schedule as share matrix.
+///
+/// # Panics
+///
+/// Panics if `membership` does not describe a perfect partition of the
+/// reduction's values.
+#[must_use]
+pub fn yes_certificate_schedule(
+    reduction: &PartitionReduction,
+    membership: &[bool],
+) -> cr_core::Schedule {
+    let sum_first: u64 = reduction
+        .values
+        .iter()
+        .zip(membership)
+        .filter_map(|(&a, &in_first)| if in_first { Some(a) } else { None })
+        .sum();
+    assert_eq!(
+        sum_first, reduction.target,
+        "membership is not a perfect partition"
+    );
+    let n = reduction.values.len();
+    let inst = &reduction.instance;
+    let req = |i: usize, j: usize| inst.processor_jobs(i)[j].requirement;
+
+    // Step 1: first jobs of the first part.  Step 2: first jobs of the second
+    // part plus all ε̃ jobs of the first part.  Step 3: ε̃ jobs of the second
+    // part plus third jobs of the first part.  Step 4: third jobs of the
+    // second part.
+    let mut steps = vec![vec![Ratio::ZERO; n]; 4];
+    for i in 0..n {
+        if membership[i] {
+            steps[0][i] = req(i, 0);
+            steps[1][i] = req(i, 1);
+            steps[2][i] = req(i, 2);
+        } else {
+            steps[1][i] = req(i, 0);
+            steps[2][i] = req(i, 1);
+            steps[3][i] = req(i, 2);
+        }
+    }
+    cr_core::Schedule::new(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_algos::{brute_force_makespan, GreedyBalance, Scheduler};
+
+    #[test]
+    fn solver_identifies_yes_and_no_instances() {
+        assert!(is_yes_instance(&[1, 1, 2, 2]));
+        assert!(is_yes_instance(&[3, 1, 1, 2, 2, 1]));
+        assert!(!is_yes_instance(&[1, 1, 4]));
+        assert!(!is_yes_instance(&[1, 2])); // odd total
+        let membership = solve_partition(&[3, 1, 1, 2, 2, 1]).unwrap();
+        let total: u64 = [3, 1, 1, 2, 2, 1]
+            .iter()
+            .zip(&membership)
+            .filter_map(|(&a, &m)| if m { Some(a) } else { None })
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let red = partition_to_crsharing(&[2, 2, 3, 3]);
+        assert_eq!(red.instance.processors(), 4);
+        assert!(red.instance.is_unit_size());
+        assert!((0..4).all(|i| red.instance.jobs_on(i) == 3));
+        // First and third job of each processor are equal.
+        for i in 0..4 {
+            assert_eq!(
+                red.instance.processor_jobs(i)[0],
+                red.instance.processor_jobs(i)[2]
+            );
+        }
+        // The first jobs cannot all fit into one step: Σ ã_i = 2A/(A+δ) > 1.
+        let first_total: Ratio = (0..4)
+            .map(|i| red.instance.processor_jobs(i)[0].requirement)
+            .sum();
+        assert!(first_total > Ratio::ONE);
+    }
+
+    #[test]
+    fn yes_instances_admit_makespan_four() {
+        let values = [2, 2, 3, 3];
+        let red = partition_to_crsharing(&values);
+        let membership = solve_partition(&values).unwrap();
+        let schedule = yes_certificate_schedule(&red, &membership);
+        let trace = schedule.trace(&red.instance).unwrap();
+        assert_eq!(trace.makespan(), PartitionReduction::YES_MAKESPAN);
+        // Brute force agrees that 4 is optimal (3 is impossible: three jobs
+        // per chain and the first column does not fit one step).
+        assert_eq!(brute_force_makespan(&red.instance), 4);
+    }
+
+    #[test]
+    fn no_instances_need_at_least_five_steps() {
+        let values = [2, 2, 3, 5]; // total 12, but no subset sums to 6.
+        assert!(!is_yes_instance(&values));
+        let red = partition_to_crsharing(&values);
+        let opt = brute_force_makespan(&red.instance);
+        assert!(opt >= PartitionReduction::NO_MAKESPAN);
+        // GreedyBalance, being a (2 − 1/m)-approximation, stays below 2·5.
+        assert!(GreedyBalance::new().makespan(&red.instance) <= 2 * opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "even total sum")]
+    fn odd_sums_are_rejected() {
+        let _ = partition_to_crsharing(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect partition")]
+    fn certificate_requires_perfect_partition() {
+        let red = partition_to_crsharing(&[2, 2, 3, 3]);
+        let _ = yes_certificate_schedule(&red, &[true, true, true, false]);
+    }
+}

@@ -1,0 +1,154 @@
+//! JSON (de)serialization of instances, schedules and experiment records.
+//!
+//! Experiments in `cr-bench` write their measurements as JSON so that the
+//! tables of `EXPERIMENTS.md` can be regenerated and post-processed without
+//! re-running the harness.
+
+use cr_core::{Instance, Schedule};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An instance together with a human-readable name and provenance note.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedInstance {
+    /// Short identifier (e.g. `"fig3-n100"`).
+    pub name: String,
+    /// Free-form description of how the instance was generated.
+    pub description: String,
+    /// The instance itself.
+    pub instance: Instance,
+}
+
+/// One measurement row of an experiment: algorithm, instance and makespan,
+/// plus the best lower bound known for the instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementRecord {
+    /// Experiment identifier (`"E3"`, `"fig5"`, …).
+    pub experiment: String,
+    /// Instance identifier.
+    pub instance: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processors.
+    pub processors: usize,
+    /// Maximum chain length `n`.
+    pub max_chain: usize,
+    /// Measured makespan.
+    pub makespan: usize,
+    /// Lower bound used for the ratio column (optimal value where available).
+    pub lower_bound: usize,
+}
+
+impl MeasurementRecord {
+    /// The approximation ratio implied by the record (makespan over lower
+    /// bound), as `f64` for reporting.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.lower_bound == 0 {
+            return 1.0;
+        }
+        self.makespan as f64 / self.lower_bound as f64
+    }
+}
+
+/// Serializes any serde-serializable value to pretty JSON at `path`.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, text)
+}
+
+/// Reads a serde-deserializable value from JSON at `path`.
+pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> io::Result<T> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes an instance (with metadata) to `path`.
+pub fn write_instance(path: &Path, named: &NamedInstance) -> io::Result<()> {
+    write_json(path, named)
+}
+
+/// Reads an instance (with metadata) from `path`.
+pub fn read_instance(path: &Path) -> io::Result<NamedInstance> {
+    read_json(path)
+}
+
+/// Serializes a schedule to a JSON string (handy for golden tests and for
+/// attaching schedules to experiment reports).
+pub fn schedule_to_json(schedule: &Schedule) -> String {
+    serde_json::to_string(schedule).expect("schedules always serialize")
+}
+
+/// Parses a schedule from its JSON representation.
+pub fn schedule_from_json(text: &str) -> serde_json::Result<Schedule> {
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::Ratio;
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cr-instances-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn instance_roundtrip_through_file() {
+        let dir = tempdir();
+        let path = dir.join("instance.json");
+        let named = NamedInstance {
+            name: "fig1".to_string(),
+            description: "Figure 1 running example".to_string(),
+            instance: crate::worst_case::figure1_instance(),
+        };
+        write_instance(&path, &named).unwrap();
+        let back = read_instance(&path).unwrap();
+        assert_eq!(back, named);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn schedule_roundtrip() {
+        let schedule = Schedule::new(vec![vec![Ratio::new(1, 3), Ratio::new(2, 3)]]);
+        let json = schedule_to_json(&schedule);
+        let back = schedule_from_json(&json).unwrap();
+        assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn measurement_ratio() {
+        let record = MeasurementRecord {
+            experiment: "E3".into(),
+            instance: "fig3-n100".into(),
+            algorithm: "RoundRobin".into(),
+            processors: 2,
+            max_chain: 100,
+            makespan: 200,
+            lower_bound: 101,
+        };
+        assert!((record.ratio() - 200.0 / 101.0).abs() < 1e-12);
+        let json = serde_json::to_string(&record).unwrap();
+        let back: MeasurementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn read_json_reports_missing_files() {
+        let missing: io::Result<NamedInstance> =
+            read_json(Path::new("/nonexistent/definitely/not/here.json"));
+        assert!(missing.is_err());
+    }
+}

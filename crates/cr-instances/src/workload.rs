@@ -1,0 +1,207 @@
+//! Synthetic many-core workloads for the shared-bus simulator (`cr-sim`).
+//!
+//! The paper motivates CRSharing with many-core chips whose cores share a
+//! single data bus: I/O-intensive scientific tasks progress only as fast as
+//! the bandwidth they are granted.  The paper itself contains no measured
+//! traces, so this module generates synthetic multi-phase tasks with the
+//! relevant structure: every core runs one task, every task is a sequence of
+//! phases, and each phase has a bandwidth requirement (the job's resource
+//! requirement) and a length (the job's processing volume).
+
+use cr_core::{Instance, Job, Ratio};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// High-level task mix of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskMix {
+    /// Every task is I/O-bound: most phases demand 50–100% of the bus.
+    IoBound,
+    /// Every task is compute-bound: phases demand at most 20% of the bus.
+    ComputeBound,
+    /// Half of the cores run I/O-bound tasks, the other half compute-bound
+    /// tasks — the scenario in which bandwidth arbitration matters most.
+    Mixed,
+    /// Tasks alternate between long low-bandwidth phases and short bursts
+    /// that want the whole bus.
+    Bursty,
+}
+
+/// Configuration of the synthetic workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of cores (= processors of the CRSharing instance).
+    pub cores: usize,
+    /// Number of phases (= jobs) per task.
+    pub phases_per_task: usize,
+    /// Task mix.
+    pub mix: TaskMix,
+    /// Grid denominator for bandwidth requirements.
+    pub denominator: u64,
+    /// Whether phases have unit length (`true`) or random integral lengths up
+    /// to 4 (`false`).
+    pub unit_phases: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            cores: 8,
+            phases_per_task: 6,
+            mix: TaskMix::Mixed,
+            denominator: 100,
+            unit_phases: true,
+        }
+    }
+}
+
+fn draw_band(rng: &mut StdRng, denominator: u64, lo: f64, hi: f64) -> Ratio {
+    let d = denominator.max(1);
+    let lo_ticks = ((lo * d as f64).ceil() as u64).clamp(1, d);
+    let hi_ticks = ((hi * d as f64).floor() as u64).clamp(lo_ticks, d);
+    Ratio::from_parts(rng.random_range(lo_ticks..=hi_ticks), d)
+}
+
+fn draw_phase(cfg: &WorkloadConfig, rng: &mut StdRng, core: usize, phase: usize) -> Job {
+    let requirement = match cfg.mix {
+        TaskMix::IoBound => draw_band(rng, cfg.denominator, 0.5, 1.0),
+        TaskMix::ComputeBound => draw_band(rng, cfg.denominator, 0.0, 0.2),
+        TaskMix::Mixed => {
+            if core % 2 == 0 {
+                draw_band(rng, cfg.denominator, 0.5, 1.0)
+            } else {
+                draw_band(rng, cfg.denominator, 0.0, 0.2)
+            }
+        }
+        TaskMix::Bursty => {
+            if phase % 3 == 2 {
+                draw_band(rng, cfg.denominator, 0.9, 1.0)
+            } else {
+                draw_band(rng, cfg.denominator, 0.0, 0.15)
+            }
+        }
+    };
+    let volume = if cfg.unit_phases {
+        Ratio::ONE
+    } else {
+        Ratio::from_integer(rng.random_range(1..=4))
+    };
+    Job::new(requirement, volume)
+}
+
+/// Generates a synthetic workload as a CRSharing instance: core `i`'s task is
+/// the job chain of processor `i`.
+#[must_use]
+pub fn generate_workload(cfg: &WorkloadConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<Job>> = (0..cfg.cores)
+        .map(|core| {
+            (0..cfg.phases_per_task)
+                .map(|phase| draw_phase(cfg, &mut rng, core, phase))
+                .collect()
+        })
+        .collect();
+    Instance::new(rows).expect("generated workload is valid")
+}
+
+/// The aggregate bandwidth demand of the workload relative to the bus
+/// capacity per step, `Σ workload / (cores · phases)`.  Values near or above
+/// `1/m` indicate a bandwidth-bound workload.
+#[must_use]
+pub fn average_demand(instance: &Instance) -> f64 {
+    if instance.total_jobs() == 0 {
+        return 0.0;
+    }
+    instance.total_workload().to_f64() / instance.total_jobs() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape_matches_config() {
+        let cfg = WorkloadConfig {
+            cores: 4,
+            phases_per_task: 5,
+            ..Default::default()
+        };
+        let inst = generate_workload(&cfg, 42);
+        assert_eq!(inst.processors(), 4);
+        assert_eq!(inst.max_chain_length(), 5);
+        assert!(inst.is_unit_size());
+    }
+
+    #[test]
+    fn io_bound_demands_are_high() {
+        let cfg = WorkloadConfig {
+            mix: TaskMix::IoBound,
+            ..Default::default()
+        };
+        let inst = generate_workload(&cfg, 1);
+        for (_, job) in inst.iter_jobs() {
+            assert!(job.requirement >= Ratio::from_percent(50));
+        }
+        assert!(average_demand(&inst) >= 0.5);
+    }
+
+    #[test]
+    fn compute_bound_demands_are_low() {
+        let cfg = WorkloadConfig {
+            mix: TaskMix::ComputeBound,
+            ..Default::default()
+        };
+        let inst = generate_workload(&cfg, 1);
+        assert!(inst.max_requirement() <= Ratio::from_percent(20));
+    }
+
+    #[test]
+    fn mixed_workload_has_both_kinds_of_cores() {
+        let cfg = WorkloadConfig {
+            mix: TaskMix::Mixed,
+            cores: 6,
+            ..Default::default()
+        };
+        let inst = generate_workload(&cfg, 9);
+        let heavy_core_max = inst.processor_jobs(0).iter().map(|j| j.requirement).max();
+        let light_core_max = inst.processor_jobs(1).iter().map(|j| j.requirement).max();
+        assert!(heavy_core_max.unwrap() >= Ratio::from_percent(50));
+        assert!(light_core_max.unwrap() <= Ratio::from_percent(20));
+    }
+
+    #[test]
+    fn bursty_workload_contains_full_bus_phases() {
+        let cfg = WorkloadConfig {
+            mix: TaskMix::Bursty,
+            phases_per_task: 9,
+            ..Default::default()
+        };
+        let inst = generate_workload(&cfg, 2);
+        let bursts = inst
+            .iter_jobs()
+            .filter(|(_, j)| j.requirement >= Ratio::from_percent(90))
+            .count();
+        assert!(bursts >= cfg.cores, "each task should contain bursts");
+    }
+
+    #[test]
+    fn non_unit_phases_have_integral_lengths() {
+        let cfg = WorkloadConfig {
+            unit_phases: false,
+            ..Default::default()
+        };
+        let inst = generate_workload(&cfg, 3);
+        for (_, job) in inst.iter_jobs() {
+            assert_eq!(job.volume.denom(), 1);
+            assert!(job.volume >= Ratio::ONE);
+            assert!(job.volume <= Ratio::from_integer(4));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate_workload(&cfg, 5), generate_workload(&cfg, 5));
+        assert_ne!(generate_workload(&cfg, 5), generate_workload(&cfg, 6));
+    }
+}

@@ -1,0 +1,249 @@
+//! The paper's adversarial instance families and illustrative examples.
+//!
+//! * [`figure1_instance`] / [`figure2_instance`] — the running examples of
+//!   Section 3.2 and Definition 4;
+//! * [`round_robin_worst_case`] — the Theorem 3 family on which RoundRobin's
+//!   approximation ratio tends to 2 (Figure 3);
+//! * [`greedy_balance_worst_case`] — the Theorem 8 block construction on
+//!   which GreedyBalance's ratio tends to `2 − 1/m` (Figure 5).
+
+use cr_core::{Instance, Ratio};
+
+/// The three-processor example of Figure 1 (requirements in percent:
+/// `20 10 10 10 / 50 55 90 55 10 / 50 40 95`).
+#[must_use]
+pub fn figure1_instance() -> Instance {
+    Instance::unit_from_percentages(&[
+        &[20, 10, 10, 10],
+        &[50, 55, 90, 55, 10],
+        &[50, 40, 95],
+    ])
+}
+
+/// The three-processor example of Figure 2: four 50% jobs on the first
+/// processor and one 100% job on each of the other two.
+#[must_use]
+pub fn figure2_instance() -> Instance {
+    Instance::unit_from_percentages(&[&[50, 50, 50, 50], &[100], &[100]])
+}
+
+/// The Theorem 3 worst-case family for RoundRobin on two processors with `n`
+/// jobs per processor: `r_{1,j} = j·ε` and `r_{2,j} = (1 + ε) − r_{1,j}` with
+/// `ε = 1/n` (Figure 3).
+///
+/// An optimal schedule finishes it in `n + 1` steps while RoundRobin needs
+/// `2n` steps, so the ratio tends to 2 as `n → ∞`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn round_robin_worst_case(n: usize) -> Instance {
+    assert!(n > 0, "the family needs at least one job per processor");
+    let n_i = n as i128;
+    let eps = Ratio::new(1, n_i);
+    let first: Vec<Ratio> = (1..=n_i).map(|j| eps * Ratio::new(j, 1)).collect();
+    let second: Vec<Ratio> = first
+        .iter()
+        .map(|&r| Ratio::ONE + eps - r)
+        .collect();
+    Instance::unit_from_requirements(vec![first, second])
+}
+
+/// The optimal makespan of [`round_robin_worst_case`]`(n)`: `n + 1` (the
+/// total workload is exactly `n + 1` and Figure 3a shows a schedule wasting
+/// nothing).
+#[must_use]
+pub fn round_robin_worst_case_opt(n: usize) -> usize {
+    n + 1
+}
+
+/// How many `m × m` blocks of the Theorem 8 construction fit before a
+/// requirement would leave `[0, 1]`, for the grid `ε = 1/denominator`.
+///
+/// The only entries that drift from block to block are the last row's first
+/// block column (which decreases by roughly `m(m+1)/2 · ε` per block) and the
+/// second block column of the first row (which increases at the same rate),
+/// so the number of safe blocks grows linearly in `1/ε`.
+#[must_use]
+pub fn greedy_balance_max_blocks(m: usize, denominator: u64) -> usize {
+    let mut blocks = 1usize;
+    loop {
+        if build_greedy_blocks(m, denominator, blocks + 1).is_none() {
+            return blocks;
+        }
+        blocks += 1;
+        if blocks > 10_000 {
+            return blocks;
+        }
+    }
+}
+
+/// The Theorem 8 / Figure 5 block construction for `m ≥ 2` processors with
+/// `blocks` blocks and `ε = 1/denominator`.
+///
+/// GreedyBalance needs `2m − 1` time steps per block (it insists on balancing
+/// the number of remaining jobs and therefore spends `m` steps on a block's
+/// first column), while an optimal schedule needs essentially `m` steps per
+/// block, yielding the tight ratio `2 − 1/m`.
+///
+/// # Panics
+///
+/// Panics if `m < 2`, `blocks == 0`, or if the requested number of blocks
+/// does not fit the grid (use [`greedy_balance_max_blocks`]).
+#[must_use]
+pub fn greedy_balance_worst_case(m: usize, denominator: u64, blocks: usize) -> Instance {
+    build_greedy_blocks(m, denominator, blocks)
+        .expect("requested block count does not fit into [0, 1] requirements; reduce blocks or refine the grid")
+}
+
+/// Fallible core of [`greedy_balance_worst_case`]; returns `None` when a
+/// requirement would leave `[0, 1]`.
+fn build_greedy_blocks(m: usize, denominator: u64, blocks: usize) -> Option<Instance> {
+    assert!(m >= 2, "the construction needs at least two processors");
+    assert!(blocks > 0, "at least one block is required");
+    let eps = Ratio::new(1, denominator.max(1) as i128);
+    // rows[i][j] = requirement of job (i, j); both zero-based here.
+    let mut rows: Vec<Vec<Ratio>> = vec![Vec::new(); m];
+
+    for block in 0..blocks {
+        let base = block * m; // first column of this block (zero-based)
+        let mut column_first = vec![Ratio::ZERO; m];
+        if block == 0 {
+            // r_{i,1} = 1 − i·ε (one-based i).
+            for (i, slot) in column_first.iter_mut().enumerate() {
+                *slot = Ratio::ONE - eps * Ratio::from_integer((i + 1) as i64);
+            }
+        } else {
+            // r_{i,j} = 1 − (m−1)ε for i < m; the last row closes the diagonal:
+            // r_{m,j} = 1 − Σ_{i'=1}^{m−1} r_{m−i', j−i'}.
+            for slot in column_first.iter_mut().take(m - 1) {
+                *slot = Ratio::ONE - eps * Ratio::from_integer((m - 1) as i64);
+            }
+            let mut diagonal = Ratio::ZERO;
+            for offset in 1..m {
+                let row = m - 1 - offset; // m − i' in zero-based rows
+                let col = base - offset; // j − i' in zero-based columns
+                diagonal += rows[row][col];
+            }
+            column_first[m - 1] = Ratio::ONE - diagonal;
+        }
+
+        // Second column: the first row collects the slack of the first column
+        // plus ε, the other rows get ε.
+        let slack: Ratio = column_first.iter().map(|&r| Ratio::ONE - r).sum();
+        let mut column_second = vec![eps; m];
+        column_second[0] = slack + eps;
+
+        // Remaining m − 2 columns of the block: ε everywhere.
+        let mut all_columns = vec![column_first, column_second];
+        for _ in 2..m {
+            all_columns.push(vec![eps; m]);
+        }
+
+        for column in &all_columns {
+            for &value in column {
+                if !value.in_unit_interval() {
+                    return None;
+                }
+            }
+        }
+        for column in all_columns {
+            for (i, value) in column.into_iter().enumerate() {
+                rows[i].push(value);
+            }
+        }
+    }
+    Some(Instance::unit_from_requirements(rows))
+}
+
+/// The number of steps GreedyBalance needs on
+/// [`greedy_balance_worst_case`]`(m, …, blocks)` according to the Theorem 8
+/// analysis: `(2m − 1)` per block.
+#[must_use]
+pub fn greedy_balance_worst_case_steps(m: usize, blocks: usize) -> usize {
+    (2 * m - 1) * blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::bounds;
+
+    #[test]
+    fn figure_instances_have_the_documented_shape() {
+        let f1 = figure1_instance();
+        assert_eq!(f1.processors(), 3);
+        assert_eq!(f1.total_jobs(), 12);
+        let f2 = figure2_instance();
+        assert_eq!(f2.max_chain_length(), 4);
+        assert_eq!(f2.total_workload(), Ratio::from_integer(4));
+    }
+
+    #[test]
+    fn round_robin_family_matches_figure3() {
+        let inst = round_robin_worst_case(100);
+        assert_eq!(inst.processors(), 2);
+        assert_eq!(inst.max_chain_length(), 100);
+        // First processor: 1%, 2%, …, 100%.
+        assert_eq!(inst.processor_jobs(0)[0].requirement, Ratio::from_percent(1));
+        assert_eq!(inst.processor_jobs(0)[99].requirement, Ratio::ONE);
+        // Second processor: 100%, 99%, …, 1%.
+        assert_eq!(inst.processor_jobs(1)[0].requirement, Ratio::ONE);
+        assert_eq!(inst.processor_jobs(1)[99].requirement, Ratio::from_percent(1));
+        // Total workload is n + 1, which matches the optimal makespan.
+        assert_eq!(inst.total_workload(), Ratio::from_integer(101));
+        assert_eq!(bounds::workload_bound_steps(&inst), round_robin_worst_case_opt(100));
+    }
+
+    #[test]
+    fn greedy_blocks_match_figure5_for_m3() {
+        // Figure 5 uses m = 3, ε = 0.01 and shows three blocks.
+        let inst = greedy_balance_worst_case(3, 100, 3);
+        assert_eq!(inst.processors(), 3);
+        assert_eq!(inst.max_chain_length(), 9);
+        let pct = |i: usize, j: usize| (inst.processor_jobs(i)[j].requirement * Ratio::from_integer(100)).to_f64();
+        // Block 1 first column: 99, 98, 97.
+        assert_eq!(pct(0, 0), 99.0);
+        assert_eq!(pct(1, 0), 98.0);
+        assert_eq!(pct(2, 0), 97.0);
+        // Block 1 second column: 7, 1, 1.
+        assert_eq!(pct(0, 1), 7.0);
+        assert_eq!(pct(1, 1), 1.0);
+        assert_eq!(pct(2, 1), 1.0);
+        // Block 2: first column 98, 98, 92; second column 13, 1, 1.
+        assert_eq!(pct(0, 3), 98.0);
+        assert_eq!(pct(1, 3), 98.0);
+        assert_eq!(pct(2, 3), 92.0);
+        assert_eq!(pct(0, 4), 13.0);
+        // Block 3: last row 86, first row second column 19.
+        assert_eq!(pct(2, 6), 86.0);
+        assert_eq!(pct(0, 7), 19.0);
+    }
+
+    #[test]
+    fn block_count_guard() {
+        let max3 = greedy_balance_max_blocks(3, 100);
+        assert!(max3 >= 3, "Figure 5 shows at least three blocks for ε = 0.01");
+        assert!(build_greedy_blocks(3, 100, max3 + 1).is_none());
+        // A finer grid admits more blocks.
+        assert!(greedy_balance_max_blocks(3, 1000) > max3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two processors")]
+    fn construction_needs_two_processors() {
+        let _ = greedy_balance_worst_case(1, 100, 1);
+    }
+
+    #[test]
+    fn per_block_workload_is_roughly_m() {
+        // Each block's total workload is m + O(mε); the optimal schedule can
+        // therefore finish a block in about m steps.
+        for m in 2..=5 {
+            let inst = greedy_balance_worst_case(m, 1000, 1);
+            let workload = inst.total_workload().to_f64();
+            assert!((workload - m as f64).abs() < 0.1, "m={m}: workload {workload}");
+        }
+    }
+}

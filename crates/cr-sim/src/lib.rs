@@ -1,0 +1,38 @@
+//! # cr-sim — a discrete-time many-core shared-bus simulator
+//!
+//! The paper motivates the CRSharing model with many-core processors whose
+//! cores share one memory/I-O bus: when tasks are I/O-bound, the *bandwidth
+//! distribution* — not core speed — decides how fast the machine computes.
+//! The paper never measures such a platform; this crate provides the
+//! synthetic stand-in.  Cores run multi-phase [`Task`]s, a bus arbiter
+//! ([`OnlinePolicy`]) splits the bus every time step, and the engine collects
+//! makespan, utilization and slowdown metrics.  Because every simulation step
+//! follows the exact CRSharing semantics (via `cr_core::ScheduleBuilder`),
+//! simulation results are directly comparable to the offline algorithms and
+//! bounds of `cr-algos`/`cr-core`.
+//!
+//! ```
+//! use cr_sim::{Simulator, GreedyBalancePolicy};
+//! use cr_instances::{generate_workload, WorkloadConfig};
+//!
+//! let workload = generate_workload(&WorkloadConfig::default(), 42);
+//! let sim = Simulator::from_instance(&workload);
+//! let outcome = sim.run(&mut GreedyBalancePolicy);
+//! assert!(outcome.report.makespan >= outcome.report.lower_bound);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod policies;
+pub mod task;
+
+pub use engine::{SimOutcome, Simulator};
+pub use metrics::{CoreReport, SimReport};
+pub use policies::{
+    standard_policies, CoreView, EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy,
+    ProportionalSharePolicy, RoundRobinPolicy,
+};
+pub use task::{instance_to_tasks, tasks_to_instance, Phase, Task};

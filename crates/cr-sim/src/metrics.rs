@@ -1,0 +1,160 @@
+//! Simulation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreReport {
+    /// Task / core name.
+    pub name: String,
+    /// Step (1-based count) in which the core's task finished.
+    pub completion_time: usize,
+    /// Completion time the task would have achieved with the bus to itself.
+    pub ideal_completion_time: usize,
+    /// Number of steps in which the core was active but received no bus share.
+    pub starved_steps: usize,
+}
+
+impl CoreReport {
+    /// Slowdown relative to running alone at full bandwidth.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        if self.ideal_completion_time == 0 {
+            return 1.0;
+        }
+        self.completion_time as f64 / self.ideal_completion_time as f64
+    }
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy that produced the run.
+    pub policy: String,
+    /// Number of cores.
+    pub cores: usize,
+    /// Makespan: the step count after which every task is finished.
+    pub makespan: usize,
+    /// Average fraction of the bus that was usefully consumed per step
+    /// (up to the makespan).
+    pub bus_utilization: f64,
+    /// Lower bound on the optimal makespan (total bus demand and longest
+    /// task), for normalized comparisons.
+    pub lower_bound: usize,
+    /// Per-core details.
+    pub per_core: Vec<CoreReport>,
+}
+
+impl SimReport {
+    /// Makespan normalized by the lower bound.
+    #[must_use]
+    pub fn normalized_makespan(&self) -> f64 {
+        if self.lower_bound == 0 {
+            return 1.0;
+        }
+        self.makespan as f64 / self.lower_bound as f64
+    }
+
+    /// Mean slowdown over all cores.
+    #[must_use]
+    pub fn average_slowdown(&self) -> f64 {
+        if self.per_core.is_empty() {
+            return 1.0;
+        }
+        self.per_core.iter().map(CoreReport::slowdown).sum::<f64>() / self.per_core.len() as f64
+    }
+
+    /// Maximum slowdown over all cores (tail latency of the workload).
+    #[must_use]
+    pub fn max_slowdown(&self) -> f64 {
+        self.per_core
+            .iter()
+            .map(CoreReport::slowdown)
+            .fold(1.0_f64, f64::max)
+    }
+
+    /// One-line summary for experiment logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<18} makespan {:>5}  (lower bound {:>5}, ratio {:.3})  bus {:>5.1}%  avg slowdown {:.2}  max slowdown {:.2}",
+            self.policy,
+            self.makespan,
+            self.lower_bound,
+            self.normalized_makespan(),
+            self.bus_utilization * 100.0,
+            self.average_slowdown(),
+            self.max_slowdown(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "GreedyBalance".into(),
+            cores: 2,
+            makespan: 10,
+            bus_utilization: 0.8,
+            lower_bound: 8,
+            per_core: vec![
+                CoreReport {
+                    name: "core0".into(),
+                    completion_time: 10,
+                    ideal_completion_time: 5,
+                    starved_steps: 2,
+                },
+                CoreReport {
+                    name: "core1".into(),
+                    completion_time: 8,
+                    ideal_completion_time: 8,
+                    starved_steps: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn slowdowns() {
+        let r = report();
+        assert!((r.per_core[0].slowdown() - 2.0).abs() < 1e-12);
+        assert!((r.per_core[1].slowdown() - 1.0).abs() < 1e-12);
+        assert!((r.average_slowdown() - 1.5).abs() < 1e-12);
+        assert!((r.max_slowdown() - 2.0).abs() < 1e-12);
+        assert!((r.normalized_makespan() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let s = report().summary();
+        assert!(s.contains("GreedyBalance"));
+        assert!(s.contains("10"));
+        assert!(s.contains("1.25"));
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let r = SimReport {
+            policy: "x".into(),
+            cores: 0,
+            makespan: 0,
+            bus_utilization: 0.0,
+            lower_bound: 0,
+            per_core: vec![],
+        };
+        assert_eq!(r.normalized_makespan(), 1.0);
+        assert_eq!(r.average_slowdown(), 1.0);
+        assert_eq!(r.max_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,268 @@
+//! Online bandwidth-arbitration policies.
+//!
+//! The simulator calls a policy once per time step with a snapshot of the
+//! cores' states and expects back a bus-share vector.  Policies are *online*:
+//! they only see the current state (requirements of the active phases,
+//! remaining phase counts), not the future phases — this is the situation a
+//! real bus arbiter is in, and it is where the structural insight of the
+//! paper (balance the number of remaining jobs) pays off.
+
+use cr_core::Ratio;
+
+/// Snapshot of one core at the start of a time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreView {
+    /// Bandwidth requirement of the active phase (`None` if the core's task
+    /// is finished).
+    pub active_requirement: Option<Ratio>,
+    /// Bus time still needed to finish the active phase, capped at one step's
+    /// worth (`requirement · min(remaining length, 1)`).
+    pub step_demand: Ratio,
+    /// Total bus time still needed to finish the active phase.
+    pub remaining_workload: Ratio,
+    /// Number of unfinished phases of the task (including the active one).
+    pub remaining_phases: usize,
+}
+
+impl CoreView {
+    /// Whether the core still has work.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active_requirement.is_some()
+    }
+}
+
+/// Grid used to quantize the shares of the requirement-oblivious policies.
+/// Without it, uniform (`1/k` for a varying number `k` of active cores) and
+/// demand-proportional splits accumulate unbounded denominators over long
+/// runs; snapping down to this grid keeps the exact arithmetic bounded and
+/// only ever leaves a sliver of the bus unused.
+const SHARE_GRID: i128 = 100_000;
+
+/// An online bus-arbitration policy.
+pub trait OnlinePolicy {
+    /// Stable policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides the bus shares for this step.  The returned vector must have
+    /// one entry per core, entries in `[0, 1]`, and sum to at most 1; the
+    /// engine validates this.
+    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio>;
+}
+
+/// Serve the cores with the most remaining phases first (ties: larger
+/// remaining requirement) — the online version of the paper's GreedyBalance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBalancePolicy;
+
+/// Serve phase `j` on every core before any core moves on to phase `j + 1` —
+/// the online version of the paper's RoundRobin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinPolicy;
+
+/// Give every active core the same share regardless of need.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualSharePolicy;
+
+/// Split the bus proportionally to the active phases' demands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProportionalSharePolicy;
+
+fn serve_in_priority_order(cores: &[CoreView], order: Vec<usize>) -> Vec<Ratio> {
+    let mut shares = vec![Ratio::ZERO; cores.len()];
+    let mut left = Ratio::ONE;
+    for i in order {
+        if left.is_zero() {
+            break;
+        }
+        let give = cores[i].step_demand.min(left);
+        shares[i] = give;
+        left -= give;
+    }
+    shares
+}
+
+impl OnlinePolicy for GreedyBalancePolicy {
+    fn name(&self) -> &'static str {
+        "GreedyBalance"
+    }
+
+    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
+        let mut order: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_active()).collect();
+        order.sort_by(|&a, &b| {
+            cores[b]
+                .remaining_phases
+                .cmp(&cores[a].remaining_phases)
+                .then_with(|| cores[b].remaining_workload.cmp(&cores[a].remaining_workload))
+                .then_with(|| a.cmp(&b))
+        });
+        serve_in_priority_order(cores, order)
+    }
+}
+
+impl OnlinePolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+
+    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
+        // The current phase index of a core is (total phases) − (remaining);
+        // serving only the cores with the *minimal* phase index reproduces
+        // the offline algorithm's phase barriers without knowing the future.
+        // Because all tasks of one workload have the same phase count in the
+        // harness, the minimal completed-phase count identifies the barrier;
+        // for heterogeneous phase counts the policy degrades gracefully to a
+        // fewest-phases-completed-first rule.
+        let active: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_active()).collect();
+        if active.is_empty() {
+            return vec![Ratio::ZERO; cores.len()];
+        }
+        let max_remaining = active
+            .iter()
+            .map(|&i| cores[i].remaining_phases)
+            .max()
+            .unwrap_or(0);
+        let participants: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| cores[i].remaining_phases == max_remaining)
+            .collect();
+        serve_in_priority_order(cores, participants)
+    }
+}
+
+impl OnlinePolicy for EqualSharePolicy {
+    fn name(&self) -> &'static str {
+        "EqualShare"
+    }
+
+    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
+        let active: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_active()).collect();
+        let mut shares = vec![Ratio::ZERO; cores.len()];
+        if active.is_empty() {
+            return shares;
+        }
+        let share = Ratio::new(1, active.len() as i128).floor_to_denominator(SHARE_GRID);
+        for &i in &active {
+            shares[i] = share;
+        }
+        shares
+    }
+}
+
+impl OnlinePolicy for ProportionalSharePolicy {
+    fn name(&self) -> &'static str {
+        "ProportionalShare"
+    }
+
+    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
+        let total: Ratio = cores.iter().map(|c| c.step_demand).sum();
+        let mut shares = vec![Ratio::ZERO; cores.len()];
+        if total.is_zero() {
+            return shares;
+        }
+        for (i, core) in cores.iter().enumerate() {
+            shares[i] = if total <= Ratio::ONE {
+                core.step_demand
+            } else {
+                (core.step_demand / total).floor_to_denominator(SHARE_GRID)
+            };
+        }
+        shares
+    }
+}
+
+/// The full set of built-in policies, boxed for sweeps.
+#[must_use]
+pub fn standard_policies() -> Vec<Box<dyn OnlinePolicy>> {
+    vec![
+        Box::new(GreedyBalancePolicy),
+        Box::new(RoundRobinPolicy),
+        Box::new(EqualSharePolicy),
+        Box::new(ProportionalSharePolicy),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::ratio;
+
+    fn view(req: Option<(i64, i64)>, remaining: usize) -> CoreView {
+        match req {
+            Some((n, d)) => CoreView {
+                active_requirement: Some(ratio(n as i128, d as i128)),
+                step_demand: ratio(n as i128, d as i128),
+                remaining_workload: ratio(n as i128, d as i128),
+                remaining_phases: remaining,
+            },
+            None => CoreView {
+                active_requirement: None,
+                step_demand: Ratio::ZERO,
+                remaining_workload: Ratio::ZERO,
+                remaining_phases: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn greedy_balance_prefers_longer_chains() {
+        let cores = vec![view(Some((1, 2)), 1), view(Some((1, 2)), 3)];
+        let shares = GreedyBalancePolicy.allocate(&cores);
+        assert_eq!(shares[1], ratio(1, 2));
+        assert_eq!(shares[0], ratio(1, 2));
+        // With scarce resource the longer chain wins entirely.
+        let cores = vec![view(Some((9, 10)), 1), view(Some((9, 10)), 3)];
+        let shares = GreedyBalancePolicy.allocate(&cores);
+        assert_eq!(shares[1], ratio(9, 10));
+        assert_eq!(shares[0], ratio(1, 10));
+    }
+
+    #[test]
+    fn round_robin_serves_only_the_current_phase_barrier() {
+        // Core 0 has already finished one phase more than core 1.
+        let cores = vec![view(Some((1, 2)), 1), view(Some((1, 2)), 2)];
+        let shares = RoundRobinPolicy.allocate(&cores);
+        assert_eq!(shares[1], ratio(1, 2));
+        assert_eq!(shares[0], Ratio::ZERO, "cores ahead of the barrier wait");
+    }
+
+    #[test]
+    fn equal_share_ignores_demand() {
+        let cores = vec![view(Some((1, 10)), 1), view(Some((9, 10)), 1), view(None, 0)];
+        let shares = EqualSharePolicy.allocate(&cores);
+        assert_eq!(shares[0], ratio(1, 2));
+        assert_eq!(shares[1], ratio(1, 2));
+        assert_eq!(shares[2], Ratio::ZERO);
+    }
+
+    #[test]
+    fn proportional_share_scales_to_capacity() {
+        let cores = vec![view(Some((3, 4)), 1), view(Some((3, 4)), 1)];
+        let shares = ProportionalSharePolicy.allocate(&cores);
+        assert_eq!(shares[0], ratio(1, 2));
+        assert_eq!(shares[1], ratio(1, 2));
+        // Under-subscribed: demands are granted exactly.
+        let cores = vec![view(Some((1, 4)), 1), view(Some((1, 2)), 1)];
+        let shares = ProportionalSharePolicy.allocate(&cores);
+        assert_eq!(shares[0], ratio(1, 4));
+        assert_eq!(shares[1], ratio(1, 2));
+    }
+
+    #[test]
+    fn all_policies_return_feasible_vectors() {
+        let cores = vec![
+            view(Some((9, 10)), 4),
+            view(Some((7, 10)), 2),
+            view(Some((2, 10)), 6),
+            view(None, 0),
+        ];
+        for mut policy in standard_policies() {
+            let shares = policy.allocate(&cores);
+            assert_eq!(shares.len(), cores.len());
+            let total: Ratio = shares.iter().sum();
+            assert!(total <= Ratio::ONE, "{} overuses the bus", policy.name());
+            assert!(shares.iter().all(Ratio::in_unit_interval));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Tasks and phases of the simulated many-core system.
+//!
+//! A *task* is pinned to one core and consists of a sequence of *phases*;
+//! each phase declares the share of the memory/I-O bus it needs to progress
+//! at full speed (its bandwidth requirement) and its length in time steps at
+//! full speed.  This is exactly the job-chain structure of the CRSharing
+//! model, and the module provides lossless conversions in both directions.
+
+use cr_core::{Instance, Job, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// One phase of a task: bandwidth requirement and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Share of the bus needed to run at full speed, in `[0, 1]`.
+    pub bandwidth: Ratio,
+    /// Length of the phase in time steps when running at full speed.
+    pub length: Ratio,
+}
+
+impl Phase {
+    /// Creates a phase.
+    #[must_use]
+    pub fn new(bandwidth: Ratio, length: Ratio) -> Self {
+        Phase { bandwidth, length }
+    }
+
+    /// A unit-length phase.
+    #[must_use]
+    pub fn unit(bandwidth: Ratio) -> Self {
+        Phase {
+            bandwidth,
+            length: Ratio::ONE,
+        }
+    }
+
+    /// Total bus time the phase consumes when run at full speed
+    /// (`bandwidth · length`).
+    #[must_use]
+    pub fn bus_demand(&self) -> Ratio {
+        self.bandwidth * self.length
+    }
+}
+
+/// A task: a named sequence of phases pinned to one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name used in simulation reports.
+    pub name: String,
+    /// The phases, processed strictly in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Task {
+    /// Creates a task.
+    #[must_use]
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
+        Task {
+            name: name.into(),
+            phases,
+        }
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The time the task needs when it always receives its full bandwidth
+    /// requirement: `Σ ⌈length⌉` (each phase runs at most one volume unit per
+    /// step, and phases cannot share a step).
+    #[must_use]
+    pub fn ideal_completion_time(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| usize::try_from(p.length.ceil().max(0)).unwrap_or(0).max(1))
+            .sum()
+    }
+
+    /// Total bus time the task consumes.
+    #[must_use]
+    pub fn bus_demand(&self) -> Ratio {
+        self.phases.iter().map(Phase::bus_demand).sum()
+    }
+}
+
+/// Converts a set of tasks (one per core) into a CRSharing [`Instance`].
+#[must_use]
+pub fn tasks_to_instance(tasks: &[Task]) -> Instance {
+    let rows: Vec<Vec<Job>> = tasks
+        .iter()
+        .map(|task| {
+            task.phases
+                .iter()
+                .map(|p| Job::new(p.bandwidth, p.length))
+                .collect()
+        })
+        .collect();
+    Instance::new(rows).expect("task phases form a valid instance")
+}
+
+/// Converts a CRSharing instance into tasks named `core0`, `core1`, ….
+#[must_use]
+pub fn instance_to_tasks(instance: &Instance) -> Vec<Task> {
+    (0..instance.processors())
+        .map(|i| {
+            let phases = instance
+                .processor_jobs(i)
+                .iter()
+                .map(|job| Phase::new(job.requirement, job.volume))
+                .collect();
+            Task::new(format!("core{i}"), phases)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::ratio;
+
+    #[test]
+    fn phase_and_task_accounting() {
+        let task = Task::new(
+            "io-heavy",
+            vec![
+                Phase::unit(ratio(9, 10)),
+                Phase::new(ratio(1, 10), ratio(3, 1)),
+            ],
+        );
+        assert_eq!(task.num_phases(), 2);
+        assert_eq!(task.ideal_completion_time(), 1 + 3);
+        assert_eq!(task.bus_demand(), ratio(9, 10) + ratio(3, 10));
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let tasks = vec![
+            Task::new("core0", vec![Phase::unit(ratio(1, 2)), Phase::unit(ratio(1, 4))]),
+            Task::new("core1", vec![Phase::new(ratio(3, 4), ratio(2, 1))]),
+        ];
+        let instance = tasks_to_instance(&tasks);
+        assert_eq!(instance.processors(), 2);
+        assert_eq!(instance.total_workload(), ratio(3, 4) + ratio(3, 2));
+        let back = instance_to_tasks(&instance);
+        assert_eq!(back[0].phases, tasks[0].phases);
+        assert_eq!(back[1].phases, tasks[1].phases);
+    }
+
+    #[test]
+    fn fractional_phase_lengths_round_up_in_ideal_time() {
+        let task = Task::new("t", vec![Phase::new(ratio(1, 2), ratio(5, 2))]);
+        assert_eq!(task.ideal_completion_time(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let task = Task::new("core0", vec![Phase::unit(ratio(1, 3))]);
+        let json = serde_json::to_string(&task).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, task);
+    }
+}

@@ -1,0 +1,18 @@
+//! # cr-viz — rendering of CRSharing instances and schedules
+//!
+//! Text and SVG renderings in the spirit of the paper's figures: instances as
+//! rows of requirement percentages (Figures 1–5 use exactly this notation),
+//! schedules as per-step Gantt rows, and scheduling hypergraphs as component
+//! summaries.  The experiment binaries in `cr-bench` use these renderers to
+//! regenerate the figures on the terminal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod svg;
+
+pub use render::{
+    render_components, render_instance, render_schedule, render_share_matrix, percent_label,
+};
+pub use svg::schedule_svg;

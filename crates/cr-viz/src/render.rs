@@ -1,0 +1,173 @@
+//! Plain-text rendering.
+
+use cr_core::{Instance, Ratio, Schedule, ScheduleTrace, SchedulingGraph};
+
+/// Formats a ratio as a compact percentage label (`"55"` for 55%, `"7.5"`
+/// for 7.5%), the notation used by the paper's figures.
+#[must_use]
+pub fn percent_label(value: Ratio) -> String {
+    let pct = value * Ratio::from_integer(100);
+    if pct.denom() == 1 {
+        format!("{}", pct.numer())
+    } else {
+        format!("{:.1}", pct.to_f64())
+    }
+}
+
+/// Renders an instance as one row of requirement percentages per processor,
+/// matching the node labels of Figures 1–5.
+#[must_use]
+pub fn render_instance(instance: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "instance: m = {}, n = {}, total workload = {:.3}\n",
+        instance.processors(),
+        instance.max_chain_length(),
+        instance.total_workload().to_f64()
+    ));
+    for i in 0..instance.processors() {
+        out.push_str(&format!("  p{i:<2} |"));
+        for job in instance.processor_jobs(i) {
+            if job.is_unit() {
+                out.push_str(&format!(" {:>5}", percent_label(job.requirement)));
+            } else {
+                out.push_str(&format!(
+                    " {:>5}x{}",
+                    percent_label(job.requirement),
+                    job.volume
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an executed schedule as a Gantt-like table: one row per processor,
+/// one column per time step, each cell showing the index of the job being
+/// worked on and the share it received (in percent).  A `*` marks steps in
+/// which the job completes.
+#[must_use]
+pub fn render_schedule(instance: &Instance, trace: &ScheduleTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("schedule: makespan = {}\n", trace.makespan()));
+    out.push_str("      ");
+    for t in 0..trace.makespan() {
+        out.push_str(&format!("{:>10}", format!("t{t}")));
+    }
+    out.push('\n');
+    for i in 0..instance.processors() {
+        out.push_str(&format!("  p{i:<3}"));
+        for t in 0..trace.makespan() {
+            match trace.active_job(t, i) {
+                Some(job) if trace.is_active(t, i) => {
+                    let share = percent_label(trace.assigned(t, i));
+                    let marker = if trace.completes_in(job, t) { "*" } else { " " };
+                    out.push_str(&format!("{:>10}", format!("j{}:{}{}", job.index, share, marker)));
+                }
+                _ => out.push_str(&format!("{:>10}", "·")),
+            }
+        }
+        out.push('\n');
+    }
+    let wasted: f64 = (0..trace.makespan())
+        .map(|t| 1.0 - trace.consumed_total(t).to_f64())
+        .sum();
+    out.push_str(&format!("  unused resource over the horizon: {wasted:.3} steps\n"));
+    out
+}
+
+/// Renders the raw share matrix of a schedule (one row per step).
+#[must_use]
+pub fn render_share_matrix(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for (t, row) in schedule.steps().iter().enumerate() {
+        out.push_str(&format!("  t{t:<3}"));
+        for share in row {
+            out.push_str(&format!(" {:>6}", percent_label(*share)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the connected components of a scheduling hypergraph: class, edge
+/// count and node count per component, as used to discuss Figure 1b and the
+/// Lemma 5/6 bounds.
+#[must_use]
+pub fn render_components(graph: &SchedulingGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scheduling graph: {} nodes, {} edges, {} components (#∅ = {:.2})\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_components(),
+        graph.average_edges_per_component().to_f64()
+    ));
+    for (k, c) in graph.components().iter().enumerate() {
+        out.push_str(&format!(
+            "  C{:<2} steps {:>3}..{:<3} class q = {}  edges # = {}  nodes |C| = {}\n",
+            k + 1,
+            c.first_step(),
+            c.last_step(),
+            c.class,
+            c.num_edges(),
+            c.num_nodes()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_algos::{GreedyBalance, Scheduler};
+    use cr_instances::figure1_instance;
+
+    #[test]
+    fn percent_labels() {
+        assert_eq!(percent_label(Ratio::from_percent(55)), "55");
+        assert_eq!(percent_label(Ratio::ONE), "100");
+        assert_eq!(percent_label(Ratio::new(3, 40)), "7.5");
+    }
+
+    #[test]
+    fn instance_rendering_contains_all_rows() {
+        let text = render_instance(&figure1_instance());
+        assert!(text.contains("p0"));
+        assert!(text.contains("p2"));
+        assert!(text.contains("90"));
+        assert!(text.contains("95"));
+    }
+
+    #[test]
+    fn schedule_rendering_marks_completions() {
+        let inst = figure1_instance();
+        let schedule = GreedyBalance::new().schedule(&inst);
+        let trace = schedule.trace(&inst).unwrap();
+        let text = render_schedule(&inst, &trace);
+        assert!(text.contains("makespan"));
+        assert!(text.contains('*'), "completed jobs should be marked");
+        assert!(text.lines().count() >= inst.processors() + 2);
+    }
+
+    #[test]
+    fn component_rendering_lists_every_component() {
+        let inst = figure1_instance();
+        let schedule = cr_algos::SmallestRequirementFirst::new().schedule(&inst);
+        let trace = schedule.trace(&inst).unwrap();
+        let graph = SchedulingGraph::build(&inst, &trace);
+        let text = render_components(&graph);
+        assert!(text.contains("C1"));
+        assert!(text.contains("C3"));
+        assert!(text.contains("class q = 3"));
+    }
+
+    #[test]
+    fn share_matrix_rendering() {
+        let schedule = Schedule::new(vec![vec![Ratio::from_percent(30), Ratio::from_percent(70)]]);
+        let text = render_share_matrix(&schedule);
+        assert!(text.contains("30"));
+        assert!(text.contains("70"));
+    }
+}

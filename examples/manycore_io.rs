@@ -1,0 +1,52 @@
+//! Many-core bus-arbitration scenario: the motivating system of the paper's
+//! introduction, reproduced on the synthetic shared-bus simulator.
+//!
+//! A 16-core chip runs a mix of I/O-bound and compute-bound tasks; the cores
+//! share one memory bus.  Four online arbitration policies distribute the bus
+//! every time step, and the example reports makespan, bus utilization and
+//! per-task slowdown for each policy.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example manycore_io
+//! ```
+
+use crsharing::instances::{generate_workload, TaskMix, WorkloadConfig};
+use crsharing::sim::{standard_policies, Simulator};
+
+fn main() {
+    for (label, mix) in [
+        ("I/O-bound", TaskMix::IoBound),
+        ("mixed", TaskMix::Mixed),
+        ("bursty", TaskMix::Bursty),
+        ("compute-bound", TaskMix::ComputeBound),
+    ] {
+        let cfg = WorkloadConfig {
+            cores: 16,
+            phases_per_task: 12,
+            mix,
+            denominator: 100,
+            unit_phases: true,
+        };
+        let workload = generate_workload(&cfg, 2024);
+        let sim = Simulator::from_instance(&workload);
+
+        println!("=== {label} workload on {} cores ===", cfg.cores);
+        println!(
+            "    total bus demand {:.1} steps, longest task {} phases",
+            workload.total_workload().to_f64(),
+            workload.max_chain_length()
+        );
+        let mut policies = standard_policies();
+        for report in sim.compare(&mut policies) {
+            println!("    {}", report.summary());
+        }
+        println!();
+    }
+
+    println!(
+        "Observation: on bandwidth-bound workloads the balance-aware policy tracks the\n\
+         lower bound within 2 − 1/m (Theorem 7), while requirement-oblivious policies\n\
+         (EqualShare) and phase-synchronized ones (RoundRobin) leave bus bandwidth unused."
+    );
+}

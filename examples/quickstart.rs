@@ -1,0 +1,64 @@
+//! Quickstart: build a CRSharing instance, run every algorithm on it, and
+//! inspect the resulting schedules, structural properties and lower bounds.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use crsharing::algos::{standard_line_up, OptM, Scheduler};
+use crsharing::core::properties::PropertyReport;
+use crsharing::core::{bounds, Instance, SchedulingGraph};
+use crsharing::viz::{render_components, render_instance, render_schedule};
+
+fn main() {
+    // The running example of the paper (Figure 1): three processors sharing
+    // one resource, requirements given in percent.
+    let instance = Instance::unit_from_percentages(&[
+        &[20, 10, 10, 10],
+        &[50, 55, 90, 55, 10],
+        &[50, 40, 95],
+    ]);
+
+    println!("{}", render_instance(&instance));
+    println!(
+        "lower bounds: workload ⌈{}⌉ = {}, chain n = {}\n",
+        instance.total_workload(),
+        bounds::workload_bound_steps(&instance),
+        bounds::chain_bound(&instance)
+    );
+
+    // The exact algorithm of Section 7 gives the optimal makespan.
+    let optimal = OptM::new();
+    let opt_schedule = optimal.schedule(&instance);
+    let opt_makespan = opt_schedule.makespan(&instance).expect("feasible");
+    println!("optimal makespan (OptResAssignment2): {opt_makespan}\n");
+
+    // Every polynomial-time algorithm of the paper plus the baselines.
+    for scheduler in standard_line_up() {
+        let schedule = scheduler.schedule(&instance);
+        let trace = schedule.trace(&instance).expect("feasible schedule");
+        let report = PropertyReport::analyze(&trace);
+        println!(
+            "{:<26} makespan {:>2}  ratio vs OPT {:.3}   [{report}]",
+            scheduler.name(),
+            trace.makespan(),
+            trace.makespan() as f64 / opt_makespan as f64,
+        );
+    }
+
+    // A closer look at the schedule GreedyBalance produces: its Gantt chart
+    // and the connected components of its scheduling hypergraph.
+    let greedy = crsharing::algos::GreedyBalance::new();
+    let schedule = greedy.schedule(&instance);
+    let trace = schedule.trace(&instance).expect("feasible schedule");
+    println!("\nGreedyBalance schedule:");
+    println!("{}", render_schedule(&instance, &trace));
+    let graph = SchedulingGraph::build(&instance, &trace);
+    println!("{}", render_components(&graph));
+    println!(
+        "Lemma 5 bound from this schedule: {}   Lemma 6 bound: {}",
+        bounds::component_bound(&graph),
+        bounds::class_bound_steps(&graph, instance.processors())
+    );
+}

@@ -1,0 +1,71 @@
+//! Gallery of the paper's worst-case constructions (Figures 3 and 5) and the
+//! illustrative examples (Figures 1 and 2), rendered as text.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example worst_case_gallery
+//! ```
+
+use crsharing::algos::{opt_two_makespan, GreedyBalance, RoundRobin, Scheduler};
+use crsharing::core::{bounds, transform};
+use crsharing::instances::{
+    figure1_instance, figure2_instance, greedy_balance_worst_case, round_robin_worst_case,
+    round_robin_worst_case_opt,
+};
+use crsharing::viz::{render_instance, render_schedule};
+
+fn main() {
+    // ---------------------------------------------------------------- Figure 1
+    println!("── Figure 1: hypergraph running example ────────────────────────");
+    let fig1 = figure1_instance();
+    println!("{}", render_instance(&fig1));
+
+    // ---------------------------------------------------------------- Figure 2
+    println!("── Figure 2: nested vs. unnested schedules ─────────────────────");
+    let fig2 = figure2_instance();
+    println!("{}", render_instance(&fig2));
+    let greedy_schedule = GreedyBalance::new().schedule(&fig2);
+    let normalized = transform::normalize(&fig2, &greedy_schedule);
+    let trace = normalized.trace(&fig2).expect("feasible");
+    println!("normalized (non-wasting, progressive, nested) schedule:");
+    println!("{}", render_schedule(&fig2, &trace));
+
+    // ---------------------------------------------------------------- Figure 3
+    println!("── Figure 3: RoundRobin worst case (ratio → 2) ─────────────────");
+    println!("{:>6} {:>8} {:>8} {:>8}", "n", "RR", "OPT", "ratio");
+    for n in [5, 10, 25, 50, 100, 250] {
+        let inst = round_robin_worst_case(n);
+        let rr = RoundRobin::new().makespan(&inst);
+        let opt = if n <= 50 {
+            opt_two_makespan(&inst)
+        } else {
+            round_robin_worst_case_opt(n)
+        };
+        println!("{:>6} {:>8} {:>8} {:>8.3}", n, rr, opt, rr as f64 / opt as f64);
+    }
+    println!();
+
+    // ---------------------------------------------------------------- Figure 5
+    println!("── Figure 5: GreedyBalance worst case (ratio → 2 − 1/m) ────────");
+    let fig5 = greedy_balance_worst_case(3, 100, 3);
+    println!("{}", render_instance(&fig5));
+    println!(
+        "{:>4} {:>8} {:>10} {:>12} {:>10}",
+        "m", "blocks", "Greedy", "workload LB", "ratio"
+    );
+    for m in 2..=6 {
+        let blocks = 4.min(crsharing::instances::greedy_balance_max_blocks(m, 1000));
+        let inst = greedy_balance_worst_case(m, 1000, blocks);
+        let greedy = GreedyBalance::new().makespan(&inst);
+        let lb = bounds::workload_bound_steps(&inst);
+        println!(
+            "{:>4} {:>8} {:>10} {:>12} {:>10.3}  (2 − 1/m = {:.3})",
+            m,
+            blocks,
+            greedy,
+            lb,
+            greedy as f64 / lb as f64,
+            2.0 - 1.0 / m as f64
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # crsharing — Scheduling Shared Continuous Resources on Many-Cores
+//!
+//! Facade crate of the CRSharing reproduction.  It re-exports the workspace
+//! crates so that examples, integration tests and downstream users can depend
+//! on a single package:
+//!
+//! * [`core`] (`cr-core`) — problem model, exact rationals, schedules,
+//!   scheduling hypergraphs, structural properties and lower bounds;
+//! * [`algos`] (`cr-algos`) — RoundRobin, GreedyBalance, the exact algorithms
+//!   and baseline heuristics;
+//! * [`instances`] (`cr-instances`) — random and adversarial instance
+//!   families, the NP-hardness reduction and workload generators;
+//! * [`sim`] (`cr-sim`) — the discrete-time many-core shared-bus simulator;
+//! * [`viz`] (`cr-viz`) — ASCII/SVG rendering of instances and schedules.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use crsharing::algos::{GreedyBalance, OptM, Scheduler};
+//! use crsharing::core::Instance;
+//!
+//! let instance = Instance::unit_from_percentages(&[
+//!     &[20, 10, 10, 10],
+//!     &[50, 55, 90, 55, 10],
+//!     &[50, 40, 95],
+//! ]);
+//!
+//! let greedy = GreedyBalance::new().makespan(&instance);
+//! let optimal = OptM::new().makespan(&instance);
+//! assert!(optimal <= greedy);
+//! let m = instance.processors() as f64;
+//! assert!(greedy as f64 <= (2.0 - 1.0 / m) * optimal as f64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cr_algos as algos;
+pub use cr_core as core;
+pub use cr_instances as instances;
+pub use cr_sim as sim;
+pub use cr_viz as viz;
+
+/// Convenience prelude re-exporting the most frequently used items of all
+/// workspace crates.
+pub mod prelude {
+    pub use cr_algos::prelude::*;
+    pub use cr_core::prelude::*;
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: the exact algorithms agree with each other
+//! and with brute force, and the approximation algorithms respect their
+//! proven guarantees (Theorems 3, 5, 6 and 7) on randomized instances.
+
+mod common;
+
+use common::{tiny_instance, unit_instance};
+use crsharing::algos::{
+    brute_force_makespan, opt_m_makespan, opt_two_makespan, opt_two_makespan_sparse,
+    GreedyBalance, OptM, OptTwo, RoundRobin, Scheduler,
+};
+use crsharing::core::bounds;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 6: the configuration search equals the brute-force optimum.
+    #[test]
+    fn opt_m_matches_brute_force(instance in tiny_instance()) {
+        prop_assert_eq!(opt_m_makespan(&instance), brute_force_makespan(&instance));
+    }
+
+    /// Theorem 5: the two-processor DP (both variants) equals the optimum and
+    /// its reconstructed schedule achieves the claimed makespan.
+    #[test]
+    fn opt_two_matches_brute_force(instance in unit_instance(2, 5)) {
+        prop_assume!(instance.processors() == 2);
+        let dp = opt_two_makespan(&instance);
+        prop_assert_eq!(dp, brute_force_makespan(&instance));
+        prop_assert_eq!(dp, opt_two_makespan_sparse(&instance));
+        prop_assert_eq!(dp, OptTwo::new().makespan(&instance));
+    }
+
+    /// Optimal makespans respect the instance lower bounds.
+    #[test]
+    fn optimum_respects_lower_bounds(instance in tiny_instance()) {
+        let opt = opt_m_makespan(&instance);
+        prop_assert!(opt >= bounds::trivial_lower_bound(&instance));
+        prop_assert!(opt <= instance.total_jobs());
+        prop_assert_eq!(OptM::new().makespan(&instance), opt);
+    }
+
+    /// Theorem 7: GreedyBalance stays within 2 − 1/m of the optimum;
+    /// Theorem 3: RoundRobin stays within 2.
+    #[test]
+    fn approximation_guarantees_hold(instance in tiny_instance()) {
+        let opt = opt_m_makespan(&instance) as f64;
+        let m = instance.processors() as f64;
+        let greedy = GreedyBalance::new().makespan(&instance) as f64;
+        let rr = RoundRobin::new().makespan(&instance) as f64;
+        prop_assert!(greedy <= (2.0 - 1.0 / m) * opt + 1e-9,
+            "GreedyBalance {} vs optimum {} on m={}", greedy, opt, m);
+        prop_assert!(rr <= 2.0 * opt + 1e-9, "RoundRobin {} vs optimum {}", rr, opt);
+        prop_assert!(greedy >= opt);
+        prop_assert!(rr >= opt);
+    }
+
+    /// Every algorithm in the standard line-up produces a feasible schedule
+    /// whose makespan lies between the lower bound and the total job count.
+    #[test]
+    fn line_up_produces_feasible_schedules(instance in unit_instance(4, 5)) {
+        for scheduler in crsharing::algos::standard_line_up() {
+            let schedule = scheduler.schedule(&instance);
+            let trace = schedule.trace(&instance).expect("feasible schedule");
+            prop_assert!(trace.makespan() >= bounds::workload_bound_steps(&instance));
+            prop_assert!(trace.makespan() >= bounds::chain_bound(&instance));
+            prop_assert!(trace.makespan() <= instance.total_jobs().max(1));
+        }
+    }
+}
+
+#[test]
+fn exact_algorithms_agree_on_paper_examples() {
+    let fig1 = crsharing::instances::figure1_instance();
+    assert_eq!(opt_m_makespan(&fig1), 6);
+    assert_eq!(brute_force_makespan(&fig1), 6);
+
+    let fig2 = crsharing::instances::figure2_instance();
+    assert_eq!(opt_m_makespan(&fig2), 4);
+    assert_eq!(GreedyBalance::new().makespan(&fig2), 4);
+}
+
+#[test]
+fn round_robin_hits_its_worst_case_family() {
+    for n in [10usize, 50, 100] {
+        let inst = crsharing::instances::round_robin_worst_case(n);
+        assert_eq!(RoundRobin::new().makespan(&inst), 2 * n);
+        assert_eq!(opt_two_makespan(&inst), n + 1);
+    }
+}
+
+#[test]
+fn greedy_balance_hits_its_worst_case_family() {
+    for m in 2..=5usize {
+        let blocks = 3;
+        let inst = crsharing::instances::greedy_balance_worst_case(m, 1000, blocks);
+        assert_eq!(
+            GreedyBalance::new().makespan(&inst),
+            crsharing::instances::greedy_balance_worst_case_steps(m, blocks)
+        );
+    }
+}

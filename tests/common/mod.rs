@@ -1,0 +1,25 @@
+//! Shared proptest strategies for the cross-crate integration tests.
+
+use crsharing::core::{Instance, Ratio};
+use proptest::prelude::*;
+
+/// Strategy for a single resource requirement on a percent grid, avoiding 0
+/// so that every job actually consumes resource.
+pub fn requirement() -> impl Strategy<Value = Ratio> {
+    (1i64..=100).prop_map(Ratio::from_percent)
+}
+
+/// Strategy for a unit-size instance with `m ∈ [1, max_m]` processors and
+/// between 1 and `max_n` jobs per processor.
+pub fn unit_instance(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec(
+        prop::collection::vec(requirement(), 1..=max_n),
+        1..=max_m,
+    )
+    .prop_map(Instance::unit_from_requirements)
+}
+
+/// Strategy for small instances on which the brute-force solver is fast.
+pub fn tiny_instance() -> impl Strategy<Value = Instance> {
+    unit_instance(3, 3)
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the Theorem 4 reduction (against the exact solvers)
+//! and for the JSON persistence layer used by the experiment harness.
+
+mod common;
+
+use common::unit_instance;
+use crsharing::algos::{brute_force_makespan, GreedyBalance, Scheduler};
+use crsharing::instances::reduction::{
+    is_yes_instance, partition_to_crsharing, solve_partition, yes_certificate_schedule,
+    PartitionReduction,
+};
+use crsharing::instances::serde_io;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 4 end to end on random Partition instances: YES-instances map
+    /// to makespan exactly 4, NO-instances to at least 5.
+    #[test]
+    fn reduction_gap_holds(values in prop::collection::vec(1u64..=6, 3..=4)) {
+        let total: u64 = values.iter().sum();
+        prop_assume!(total % 2 == 0);
+        let half = total / 2;
+        prop_assume!(values.iter().all(|&a| a <= half));
+
+        let reduction = partition_to_crsharing(&values);
+        let optimum = brute_force_makespan(&reduction.instance);
+        if is_yes_instance(&values) {
+            prop_assert_eq!(optimum, PartitionReduction::YES_MAKESPAN);
+            let membership = solve_partition(&values).expect("YES instance");
+            let certificate = yes_certificate_schedule(&reduction, &membership);
+            prop_assert_eq!(
+                certificate.makespan(&reduction.instance).expect("feasible"),
+                PartitionReduction::YES_MAKESPAN
+            );
+        } else {
+            prop_assert!(optimum >= PartitionReduction::NO_MAKESPAN);
+        }
+    }
+
+    /// The Partition solver is sound: whenever it returns a certificate, the
+    /// certificate sums to exactly half the total.
+    #[test]
+    fn partition_solver_certificates_are_valid(values in prop::collection::vec(1u64..=9, 2..=10)) {
+        if let Some(membership) = solve_partition(&values) {
+            let total: u64 = values.iter().sum();
+            let chosen: u64 = values
+                .iter()
+                .zip(&membership)
+                .filter_map(|(&a, &m)| if m { Some(a) } else { None })
+                .sum();
+            prop_assert_eq!(chosen * 2, total);
+        } else {
+            // NO answer: exhaustively confirm on these small inputs.
+            let n = values.len();
+            let total: u64 = values.iter().sum();
+            let mut found = false;
+            for mask in 0u32..(1 << n) {
+                let s: u64 = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| values[i]).sum();
+                if 2 * s == total {
+                    found = true;
+                    break;
+                }
+            }
+            prop_assert!(!found, "solver missed a valid partition of {:?}", values);
+        }
+    }
+
+    /// Instances and schedules survive a JSON round trip unchanged.
+    #[test]
+    fn json_roundtrip(instance in unit_instance(3, 4)) {
+        let named = serde_io::NamedInstance {
+            name: "prop".into(),
+            description: "property-test instance".into(),
+            instance: instance.clone(),
+        };
+        let json = serde_json::to_string(&named).expect("serialize");
+        let back: serde_io::NamedInstance = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back.instance, instance.clone());
+
+        let schedule = GreedyBalance::new().schedule(&instance);
+        let text = serde_io::schedule_to_json(&schedule);
+        let back = serde_io::schedule_from_json(&text).expect("deserialize schedule");
+        prop_assert_eq!(back.makespan(&instance).unwrap(), schedule.makespan(&instance).unwrap());
+    }
+}

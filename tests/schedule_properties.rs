@@ -1,0 +1,125 @@
+//! Property-based integration tests for the structural results of Section 4:
+//! the properties of GreedyBalance schedules (balanced, non-wasting,
+//! progressive), Propositions 1 and 2, Lemma 2, the Lemma 5/6 lower bounds
+//! and the Lemma 1 normalization.
+
+mod common;
+
+use common::unit_instance;
+use crsharing::algos::{
+    EqualShare, GreedyBalance, ProportionalShare, RoundRobin, Scheduler,
+    SmallestRequirementFirst,
+};
+use crsharing::core::properties::{
+    is_balanced, is_non_wasting, is_progressive, proposition1_holds, proposition2_holds,
+    PropertyReport,
+};
+use crsharing::core::{bounds, transform, SchedulingGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GreedyBalance produces non-wasting, progressive, balanced schedules —
+    /// the premise of Theorem 7.
+    #[test]
+    fn greedy_balance_schedules_are_balanced(instance in unit_instance(5, 5)) {
+        let schedule = GreedyBalance::new().schedule(&instance);
+        let trace = schedule.trace(&instance).expect("feasible");
+        prop_assert!(is_non_wasting(&trace));
+        prop_assert!(is_progressive(&trace));
+        prop_assert!(is_balanced(&trace));
+    }
+
+    /// Propositions 1 and 2 hold on every balanced schedule produced by
+    /// GreedyBalance.
+    #[test]
+    fn propositions_hold_for_balanced_schedules(instance in unit_instance(4, 5)) {
+        let schedule = GreedyBalance::new().schedule(&instance);
+        let trace = schedule.trace(&instance).expect("feasible");
+        let totals: Vec<usize> = (0..instance.processors()).map(|i| instance.jobs_on(i)).collect();
+        prop_assert!(proposition1_holds(&trace, &totals));
+        prop_assert!(proposition2_holds(&trace, &totals));
+    }
+
+    /// Observation 2 and Lemma 2 hold for the scheduling graph of a balanced,
+    /// non-wasting, progressive schedule.
+    #[test]
+    fn scheduling_graph_structure(instance in unit_instance(4, 5)) {
+        let schedule = GreedyBalance::new().schedule(&instance);
+        let trace = schedule.trace(&instance).expect("feasible");
+        let graph = SchedulingGraph::build(&instance, &trace);
+        prop_assert!(graph.components_are_consecutive());
+        prop_assert!(graph.satisfies_lemma2());
+        // Every job appears in exactly one component.
+        let total_nodes: usize = graph.components().iter().map(|c| c.num_nodes()).sum();
+        prop_assert_eq!(total_nodes, instance.total_jobs());
+        // Edges partition the time steps.
+        let total_edges: usize = graph.components().iter().map(|c| c.num_edges()).sum();
+        prop_assert_eq!(total_edges, trace.makespan());
+    }
+
+    /// Lemmas 5 and 6 really are lower bounds: they never exceed the makespan
+    /// of the optimal-ish schedules we can compute (here: the GreedyBalance
+    /// makespan is an upper bound on OPT, so the bounds must not exceed it).
+    #[test]
+    fn lower_bounds_do_not_exceed_any_feasible_makespan(instance in unit_instance(4, 4)) {
+        let schedule = GreedyBalance::new().schedule(&instance);
+        let trace = schedule.trace(&instance).expect("feasible");
+        let graph = SchedulingGraph::build(&instance, &trace);
+        let makespan = trace.makespan();
+        prop_assert!(bounds::component_bound(&graph) <= makespan);
+        prop_assert!(bounds::class_bound_steps(&graph, instance.processors()) <= makespan);
+        prop_assert!(bounds::trivial_lower_bound(&instance) <= makespan);
+    }
+
+    /// Lemma 1 (constructive form): normalizing any schedule produced by the
+    /// baseline heuristics yields a non-wasting, progressive, nested schedule
+    /// without increasing the makespan.
+    #[test]
+    fn normalization_repairs_heuristic_schedules(instance in unit_instance(4, 4)) {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(EqualShare::new()),
+            Box::new(ProportionalShare::new()),
+            Box::new(RoundRobin::new()),
+            Box::new(SmallestRequirementFirst::new()),
+        ];
+        for scheduler in schedulers {
+            let schedule = scheduler.schedule(&instance);
+            let original = schedule.makespan(&instance).expect("feasible");
+            let normalized = transform::normalize(&instance, &schedule);
+            let trace = normalized.trace(&instance).expect("normalized schedule is feasible");
+            let report = PropertyReport::analyze(&trace);
+            prop_assert!(report.is_normalized(),
+                "normalization of {} left violations: {:?}", scheduler.name(), report.violations);
+            prop_assert!(trace.makespan() <= original,
+                "normalization increased the makespan for {}: {} -> {}",
+                scheduler.name(), original, trace.makespan());
+        }
+    }
+
+    /// The makespan reported by a trace is invariant under appending idle
+    /// steps and is consistent with every job's completion step.
+    #[test]
+    fn trace_consistency(instance in unit_instance(3, 4)) {
+        let schedule = GreedyBalance::new().schedule(&instance);
+        let trace = schedule.trace(&instance).expect("feasible");
+        let max_completion = instance
+            .iter_jobs()
+            .map(|(id, _)| trace.completion_step(id).expect("all jobs complete") + 1)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(trace.makespan(), max_completion);
+        for (id, _) in instance.iter_jobs() {
+            let start = trace.start_step(id).expect("started");
+            let end = trace.completion_step(id).expect("completed");
+            prop_assert!(start <= end);
+            if id.index > 0 {
+                let prev = trace
+                    .completion_step(crsharing::core::JobId::new(id.processor, id.index - 1))
+                    .expect("completed");
+                prop_assert!(start > prev, "job {} started before its predecessor finished", id);
+            }
+        }
+    }
+}
