@@ -150,9 +150,15 @@ mod tests {
     #[test]
     fn greedy_and_round_robin_handle_arbitrary_volumes() {
         let inst = InstanceBuilder::new()
-            .processor_jobs([Job::new(ratio(3, 10), ratio(5, 2)), Job::new(ratio(9, 10), Ratio::ONE)])
+            .processor_jobs([
+                Job::new(ratio(3, 10), ratio(5, 2)),
+                Job::new(ratio(9, 10), Ratio::ONE),
+            ])
             .processor_jobs([Job::new(ratio(6, 10), ratio(2, 1))])
-            .processor_jobs([Job::new(ratio(2, 10), ratio(4, 1)), Job::new(ratio(5, 10), ratio(1, 2))])
+            .processor_jobs([
+                Job::new(ratio(2, 10), ratio(4, 1)),
+                Job::new(ratio(5, 10), ratio(1, 2)),
+            ])
             .build();
         for scheduler in [
             Box::new(GreedyBalance::new()) as Box<dyn Scheduler>,

@@ -117,7 +117,11 @@ mod tests {
             Instance::unit_from_percentages(&[&[30, 30, 30], &[70, 70, 70]]),
         ];
         for inst in instances {
-            assert_eq!(brute_force_makespan(&inst), opt_two_makespan(&inst), "{inst}");
+            assert_eq!(
+                brute_force_makespan(&inst),
+                opt_two_makespan(&inst),
+                "{inst}"
+            );
         }
     }
 
@@ -158,8 +162,12 @@ mod tests {
 
     #[test]
     fn tractability_guard() {
-        assert!(is_tractable(&Instance::unit_from_percentages(&[&[50, 50], &[50, 50]])));
-        let big = Instance::unit_from_requirements(vec![vec![cr_core::Ratio::from_percent(10); 20]; 6]);
+        assert!(is_tractable(&Instance::unit_from_percentages(&[
+            &[50, 50],
+            &[50, 50]
+        ])));
+        let big =
+            Instance::unit_from_requirements(vec![vec![cr_core::Ratio::from_percent(10); 20]; 6]);
         assert!(!is_tractable(&big));
     }
 

@@ -45,7 +45,11 @@ impl GreedyBalance {
             builder
                 .unfinished_jobs(b)
                 .cmp(&builder.unfinished_jobs(a))
-                .then_with(|| builder.remaining_workload(b).cmp(&builder.remaining_workload(a)))
+                .then_with(|| {
+                    builder
+                        .remaining_workload(b)
+                        .cmp(&builder.remaining_workload(a))
+                })
                 .then_with(|| a.cmp(&b))
         });
         order
@@ -111,7 +115,10 @@ mod tests {
             .build();
         let schedule = GreedyBalance::new().schedule(&inst);
         let trace = schedule.trace(&inst).unwrap();
-        assert!(is_balanced(&trace), "GreedyBalance must produce balanced schedules");
+        assert!(
+            is_balanced(&trace),
+            "GreedyBalance must produce balanced schedules"
+        );
         assert!(is_non_wasting(&trace));
         assert!(is_progressive(&trace));
     }

@@ -174,12 +174,16 @@ impl Scheduler for SmallestRequirementFirst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cr_core::properties::{is_non_wasting, is_progressive};
     use cr_core::bounds;
+    use cr_core::properties::{is_non_wasting, is_progressive};
 
     fn sample_instances() -> Vec<Instance> {
         vec![
-            Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]]),
+            Instance::unit_from_percentages(&[
+                &[20, 10, 10, 10],
+                &[50, 55, 90, 55, 10],
+                &[50, 40, 95],
+            ]),
             Instance::unit_from_percentages(&[&[100], &[100], &[100]]),
             Instance::unit_from_percentages(&[&[25, 75], &[75, 25], &[50, 50]]),
             Instance::unit_from_percentages(&[&[0, 50], &[100, 0]]),

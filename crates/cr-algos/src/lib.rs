@@ -32,7 +32,9 @@ pub mod traits;
 
 pub use brute_force::{brute_force_makespan, brute_force_with_stats, SearchStats};
 pub use greedy_balance::GreedyBalance;
-pub use heuristics::{EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst};
+pub use heuristics::{
+    EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst,
+};
 pub use opt_m::{opt_m_makespan, OptM};
 pub use opt_two::{opt_two_makespan, opt_two_makespan_sparse, OptTwo};
 pub use round_robin::{phase_length, round_robin_upper_bound, RoundRobin};

@@ -370,7 +370,11 @@ mod tests {
     fn schedule_reconstruction_matches_makespan() {
         let instances = vec![
             Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]),
-            Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]]),
+            Instance::unit_from_percentages(&[
+                &[20, 10, 10, 10],
+                &[50, 55, 90, 55, 10],
+                &[50, 40, 95],
+            ]),
             Instance::unit_from_percentages(&[&[90, 5], &[80, 15], &[70, 25]]),
         ];
         for inst in instances {

@@ -146,7 +146,14 @@ fn run_dp(instance: &Instance) -> Vec<Vec<Option<CellValue>>> {
             }
             if c1 == n1 && c2 < n2 {
                 let r_next = req_or_zero(instance, 1, c2 + 1);
-                relax(&mut table, c1, c2 + 1, t + 1, r_next, Decision::FinishSecond);
+                relax(
+                    &mut table,
+                    c1,
+                    c2 + 1,
+                    t + 1,
+                    r_next,
+                    Decision::FinishSecond,
+                );
                 continue;
             }
 
@@ -214,16 +221,13 @@ pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
     let mut cells: HashMap<(usize, usize), (usize, Ratio)> = HashMap::new();
     cells.insert(
         (0, 0),
-        (
-            0,
-            req_or_zero(instance, 0, 0) + req_or_zero(instance, 1, 0),
-        ),
+        (0, req_or_zero(instance, 0, 0) + req_or_zero(instance, 1, 0)),
     );
 
     let relax = |cells: &mut HashMap<(usize, usize), (usize, Ratio)>,
-                     key: (usize, usize),
-                     t: usize,
-                     r: Ratio| {
+                 key: (usize, usize),
+                 t: usize,
+                 r: Ratio| {
         let better = match cells.get(&key) {
             None => true,
             Some(&(ot, or)) => t < ot || (t == ot && r < or),
@@ -245,9 +249,19 @@ pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
                 continue;
             }
             if c1 < n1 && c2 == n2 {
-                relax(&mut cells, (c1 + 1, c2), t + 1, req_or_zero(instance, 0, c1 + 1));
+                relax(
+                    &mut cells,
+                    (c1 + 1, c2),
+                    t + 1,
+                    req_or_zero(instance, 0, c1 + 1),
+                );
             } else if c1 == n1 && c2 < n2 {
-                relax(&mut cells, (c1, c2 + 1), t + 1, req_or_zero(instance, 1, c2 + 1));
+                relax(
+                    &mut cells,
+                    (c1, c2 + 1),
+                    t + 1,
+                    req_or_zero(instance, 1, c2 + 1),
+                );
             } else if r <= Ratio::ONE {
                 relax(
                     &mut cells,
@@ -367,7 +381,10 @@ mod tests {
         let reqs2: Vec<Ratio> = (1..=4)
             .map(|j| Ratio::new(5, 4) - Ratio::new(j, 4))
             .collect();
-        let inst = InstanceBuilder::new().processor(reqs1).processor(reqs2).build();
+        let inst = InstanceBuilder::new()
+            .processor(reqs1)
+            .processor(reqs2)
+            .build();
         // OPT finishes it in n + 1 = 5 steps (Figure 3a).
         assert_eq!(opt_two_makespan(&inst), 5);
         assert_eq!(opt_two_makespan_sparse(&inst), 5);

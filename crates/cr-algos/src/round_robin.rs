@@ -126,7 +126,11 @@ mod tests {
     #[test]
     fn makespan_never_exceeds_analytical_bound() {
         let instances = vec![
-            Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]]),
+            Instance::unit_from_percentages(&[
+                &[20, 10, 10, 10],
+                &[50, 55, 90, 55, 10],
+                &[50, 40, 95],
+            ]),
             Instance::unit_from_percentages(&[&[100, 100], &[100, 100], &[100, 100]]),
             Instance::unit_from_percentages(&[&[33, 66, 99], &[99, 66, 33]]),
         ];

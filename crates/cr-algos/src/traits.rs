@@ -68,8 +68,7 @@ mod tests {
             let trace = schedule.trace(&inst).unwrap();
             assert!(trace.makespan() >= 2, "{} too fast", s.name());
             assert!(
-                Ratio::from_integer(trace.makespan() as i64)
-                    >= inst.total_workload(),
+                Ratio::from_integer(trace.makespan() as i64) >= inst.total_workload(),
                 "{} beats Observation 1",
                 s.name()
             );

@@ -3,11 +3,11 @@
 //! size.  The paper claims linear-time behaviour for GreedyBalance and
 //! RoundRobin; the criterion groups below make the scaling visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cr_algos::{standard_line_up, Scheduler};
 use cr_instances::{random_unit_instance, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedulers");
@@ -37,7 +37,7 @@ fn bench_schedule_validation(c: &mut Criterion) {
     let instance = random_unit_instance(&cfg, 7);
     let schedule = cr_algos::GreedyBalance::new().schedule(&instance);
     group.bench_function("greedy_m8_n128", |b| {
-        b.iter(|| black_box(schedule.trace(black_box(&instance)).unwrap().makespan()))
+        b.iter(|| black_box(schedule.trace(black_box(&instance)).unwrap().makespan()));
     });
     group.finish();
 }

@@ -1,11 +1,11 @@
 //! E6 — runtime scaling of `OptResAssignment` (the exact O(n²) dynamic
 //! program for two processors, Theorem 5), dense versus sparse variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cr_algos::{opt_two_makespan, opt_two_makespan_sparse};
 use cr_instances::{random_unit_instance, round_robin_worst_case, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_opt_two(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_two");
@@ -15,10 +15,10 @@ fn bench_opt_two(c: &mut Criterion) {
     for &n in &[32usize, 128, 512, 1024] {
         let instance = random_unit_instance(&RandomConfig::uniform(2, n), 11);
         group.bench_with_input(BenchmarkId::new("dense", n), &instance, |b, inst| {
-            b.iter(|| black_box(opt_two_makespan(black_box(inst))))
+            b.iter(|| black_box(opt_two_makespan(black_box(inst))));
         });
         group.bench_with_input(BenchmarkId::new("sparse", n), &instance, |b, inst| {
-            b.iter(|| black_box(opt_two_makespan_sparse(black_box(inst))))
+            b.iter(|| black_box(opt_two_makespan_sparse(black_box(inst))));
         });
     }
     group.finish();
@@ -32,7 +32,7 @@ fn bench_opt_two_adversarial(c: &mut Criterion) {
     for &n in &[100usize, 400] {
         let instance = round_robin_worst_case(n);
         group.bench_with_input(BenchmarkId::new("dense", n), &instance, |b, inst| {
-            b.iter(|| black_box(opt_two_makespan(black_box(inst))))
+            b.iter(|| black_box(opt_two_makespan(black_box(inst))));
         });
     }
     group.finish();

@@ -4,11 +4,11 @@
 //! polynomial for fixed m; the gap to brute force illustrates how much work
 //! it saves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cr_algos::{brute_force_makespan, opt_m_makespan};
 use cr_instances::{random_unit_instance, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_opt_m(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_m");

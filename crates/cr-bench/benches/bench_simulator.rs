@@ -1,11 +1,11 @@
 //! E10 — simulation throughput of the many-core shared-bus engine under the
 //! built-in arbitration policies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cr_instances::{generate_workload, TaskMix, WorkloadConfig};
 use cr_sim::{EqualSharePolicy, GreedyBalancePolicy, RoundRobinPolicy, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
@@ -22,16 +22,14 @@ fn bench_simulator(c: &mut Criterion) {
         };
         let workload = generate_workload(&cfg, 99);
         let sim = Simulator::from_instance(&workload);
-        group.bench_with_input(
-            BenchmarkId::new("GreedyBalance", cores),
-            &sim,
-            |b, sim| b.iter(|| black_box(sim.run(&mut GreedyBalancePolicy).report.makespan)),
-        );
+        group.bench_with_input(BenchmarkId::new("GreedyBalance", cores), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run(&mut GreedyBalancePolicy).report.makespan));
+        });
         group.bench_with_input(BenchmarkId::new("RoundRobin", cores), &sim, |b, sim| {
-            b.iter(|| black_box(sim.run(&mut RoundRobinPolicy).report.makespan))
+            b.iter(|| black_box(sim.run(&mut RoundRobinPolicy).report.makespan));
         });
         group.bench_with_input(BenchmarkId::new("EqualShare", cores), &sim, |b, sim| {
-            b.iter(|| black_box(sim.run(&mut EqualSharePolicy).report.makespan))
+            b.iter(|| black_box(sim.run(&mut EqualSharePolicy).report.makespan));
         });
     }
     group.finish();

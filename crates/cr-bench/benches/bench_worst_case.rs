@@ -2,11 +2,11 @@
 //! (construction cost + schedule cost), so regressions in the constructions
 //! themselves are caught.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cr_algos::{GreedyBalance, RoundRobin, Scheduler};
 use cr_instances::{greedy_balance_worst_case, round_robin_worst_case};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_fig3_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_round_robin_family");
@@ -16,11 +16,15 @@ fn bench_fig3_family(c: &mut Criterion) {
     for &n in &[100usize, 500] {
         let instance = round_robin_worst_case(n);
         group.bench_with_input(BenchmarkId::new("RoundRobin", n), &instance, |b, inst| {
-            b.iter(|| black_box(RoundRobin::new().makespan(black_box(inst))))
+            b.iter(|| black_box(RoundRobin::new().makespan(black_box(inst))));
         });
-        group.bench_with_input(BenchmarkId::new("GreedyBalance", n), &instance, |b, inst| {
-            b.iter(|| black_box(GreedyBalance::new().makespan(black_box(inst))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("GreedyBalance", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(GreedyBalance::new().makespan(black_box(inst))));
+            },
+        );
     }
     group.finish();
 }
@@ -32,11 +36,15 @@ fn bench_fig5_family(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for &m in &[3usize, 5] {
         let instance = greedy_balance_worst_case(m, 1000, 8);
-        group.bench_with_input(BenchmarkId::new("GreedyBalance", m), &instance, |b, inst| {
-            b.iter(|| black_box(GreedyBalance::new().makespan(black_box(inst))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("GreedyBalance", m),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(GreedyBalance::new().makespan(black_box(inst))));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("RoundRobin", m), &instance, |b, inst| {
-            b.iter(|| black_box(RoundRobin::new().makespan(black_box(inst))))
+            b.iter(|| black_box(RoundRobin::new().makespan(black_box(inst))));
         });
     }
     group.finish();

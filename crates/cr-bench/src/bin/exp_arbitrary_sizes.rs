@@ -3,37 +3,31 @@
 //! bound, and checks that splitting integral volumes into unit jobs (which
 //! makes the exact algorithms applicable) preserves optimal makespans on
 //! small cases.
+//!
+//! The grid comes from the shared builders in `cr_bench::grids` (the same
+//! sweep the `experiments` binary runs) and fans out through the rayon
+//! pipeline.
 
 use cr_algos::arbitrary::split_into_unit_jobs;
-use cr_algos::{opt_m_makespan, GreedyBalance, RoundRobin, Scheduler};
-use cr_bench::{markdown_table, ExperimentRow};
+use cr_algos::{opt_m_makespan, GreedyBalance, Scheduler};
+use cr_bench::grids::sized_cells;
+use cr_bench::pipeline::Runner;
 use cr_core::bounds;
 use cr_instances::{random_sized_instance, RandomConfig};
 
 fn main() {
     println!("E12 / Section 9 — arbitrary job sizes\n");
 
-    let mut rows = Vec::new();
-    for &(m, n, vmax) in &[(3usize, 4usize, 3u64), (4, 6, 4), (8, 8, 4)] {
-        for seed in 0..3u64 {
-            let instance = random_sized_instance(&RandomConfig::uniform(m, n), vmax, seed);
-            let lb = bounds::trivial_lower_bound(&instance);
-            for scheduler in [
-                Box::new(GreedyBalance::new()) as Box<dyn Scheduler>,
-                Box::new(RoundRobin::new()),
-            ] {
-                rows.push(ExperimentRow::new(
-                    format!("sized m={m} n={n} vmax={vmax} seed={seed}"),
-                    scheduler.name(),
-                    &instance,
-                    scheduler.makespan(&instance),
-                    lb,
-                    false,
-                ));
-            }
-        }
-    }
-    println!("{}", markdown_table("Arbitrary-size instances (vs. trivial lower bound)", &rows));
+    let runner = Runner::default();
+    println!(
+        "{}",
+        runner
+            .run_table(
+                "Arbitrary-size instances (vs. trivial lower bound)",
+                &sized_cells(3)
+            )
+            .to_markdown()
+    );
 
     // Unit-splitting sanity check on tiny instances: the unit-size optimum of
     // the split instance is a valid makespan for the original as well.

@@ -31,15 +31,27 @@ fn report(label: &str, instance: &cr_core::Instance, optimum: Option<usize>) {
 fn main() {
     println!("E9 — lower-bound quality (Observation 1, Lemmas 5 and 6)\n");
 
-    report("figure 1 example", &figure1_instance(), Some(opt_m_makespan(&figure1_instance())));
+    report(
+        "figure 1 example",
+        &figure1_instance(),
+        Some(opt_m_makespan(&figure1_instance())),
+    );
     report("fig3 family n=40", &round_robin_worst_case(40), Some(41));
-    report("fig5 blocks m=3 b=2", &greedy_balance_worst_case(3, 100, 2), None);
+    report(
+        "fig5 blocks m=3 b=2",
+        &greedy_balance_worst_case(3, 100, 2),
+        None,
+    );
 
     for &(m, n) in &[(3usize, 3usize), (3, 4), (4, 3)] {
         for seed in 0..3u64 {
             let instance = random_unit_instance(&RandomConfig::uniform(m, n), seed);
             let opt = opt_m_makespan(&instance);
-            report(&format!("uniform m={m} n={n} seed={seed}"), &instance, Some(opt));
+            report(
+                &format!("uniform m={m} n={n} seed={seed}"),
+                &instance,
+                Some(opt),
+            );
         }
     }
 

@@ -8,7 +8,12 @@ use cr_sim::{standard_policies, Simulator};
 fn main() {
     println!("E10 — many-core shared-bus simulation sweep\n");
 
-    for mix in [TaskMix::IoBound, TaskMix::Mixed, TaskMix::Bursty, TaskMix::ComputeBound] {
+    for mix in [
+        TaskMix::IoBound,
+        TaskMix::Mixed,
+        TaskMix::Bursty,
+        TaskMix::ComputeBound,
+    ] {
         println!("── task mix {mix:?} ──");
         println!(
             "{:>6} {:>20} {:>9} {:>9} {:>8} {:>9} {:>9}",

@@ -2,8 +2,13 @@
 //! two processors) matches the brute-force optimum on many small random
 //! instances, its dense and sparse variants agree everywhere, and the
 //! reconstructed schedules achieve the claimed makespan.
+//!
+//! The verification sweep fans out through `cr_bench::pipeline::par_check`.
 
-use cr_algos::{brute_force_makespan, opt_two_makespan, opt_two_makespan_sparse, OptTwo, Scheduler};
+use cr_algos::{
+    brute_force_makespan, opt_two_makespan, opt_two_makespan_sparse, OptTwo, Scheduler,
+};
+use cr_bench::pipeline::par_check;
 use cr_instances::{random_unit_instance, RandomConfig, RequirementProfile};
 
 fn main() {
@@ -13,31 +18,60 @@ fn main() {
         ("uniform", RequirementProfile::Uniform),
         ("heavy", RequirementProfile::Heavy),
         ("light", RequirementProfile::Light),
-        ("bimodal", RequirementProfile::Bimodal { heavy_probability: 0.4 }),
+        (
+            "bimodal",
+            RequirementProfile::Bimodal {
+                heavy_probability: 0.4,
+            },
+        ),
     ];
 
-    // Part 1: optimality against brute force on small instances.
-    let mut checked = 0usize;
+    // Part 1: optimality against brute force on small instances — one
+    // independent check per (profile, n, seed) point, fanned out in parallel.
+    let mut points = Vec::new();
     for (name, profile) in profiles {
         for n in 2..=6usize {
             for seed in 0..20u64 {
-                let cfg = RandomConfig {
-                    profile,
-                    ..RandomConfig::uniform(2, n)
-                };
-                let instance = random_unit_instance(&cfg, 1000 * n as u64 + seed);
-                let dp = opt_two_makespan(&instance);
-                let sparse = opt_two_makespan_sparse(&instance);
-                let brute = brute_force_makespan(&instance);
-                let schedule_makespan = OptTwo::new().makespan(&instance);
-                assert_eq!(dp, brute, "DP vs brute force mismatch ({name}, n={n}, seed={seed})");
-                assert_eq!(dp, sparse, "dense vs sparse mismatch ({name}, n={n}, seed={seed})");
-                assert_eq!(dp, schedule_makespan, "schedule reconstruction mismatch");
-                checked += 1;
+                points.push((name, profile, n, seed));
             }
         }
     }
-    println!("optimality: {checked} random instances verified against brute force — all equal\n");
+    let failures = par_check(&points, |&(name, profile, n, seed)| {
+        let cfg = RandomConfig {
+            profile,
+            ..RandomConfig::uniform(2, n)
+        };
+        let instance = random_unit_instance(&cfg, 1000 * n as u64 + seed);
+        let dp = opt_two_makespan(&instance);
+        let sparse = opt_two_makespan_sparse(&instance);
+        let brute = brute_force_makespan(&instance);
+        let schedule_makespan = OptTwo::new().makespan(&instance);
+        if dp != brute {
+            return Err(format!(
+                "DP vs brute force mismatch ({name}, n={n}, seed={seed})"
+            ));
+        }
+        if dp != sparse {
+            return Err(format!(
+                "dense vs sparse mismatch ({name}, n={n}, seed={seed})"
+            ));
+        }
+        if dp != schedule_makespan {
+            return Err(format!(
+                "schedule reconstruction mismatch ({name}, n={n}, seed={seed})"
+            ));
+        }
+        Ok(())
+    });
+    assert!(
+        failures.is_empty(),
+        "verification failures:\n{}",
+        failures.join("\n")
+    );
+    println!(
+        "optimality: {} random instances verified against brute force — all equal\n",
+        points.len()
+    );
 
     // Part 2: the DP scales quadratically; report table sizes and wall time.
     println!("{:>8} {:>12} {:>14}", "n", "makespan", "time (ms)");
@@ -46,7 +80,7 @@ fn main() {
         let start = std::time::Instant::now();
         let makespan = opt_two_makespan(&instance);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        println!("{:>8} {:>12} {:>14.2}", n, makespan, elapsed);
+        println!("{n:>8} {makespan:>12} {elapsed:>14.2}");
     }
     println!("\npaper: Theorem 5 — the DP is optimal and runs in O(n²) time.");
 }

@@ -2,35 +2,57 @@
 //! brute-force optimum (and the two-processor DP where applicable) on random
 //! instances, and the domination pruning keeps the configuration counts far
 //! below the brute-force state counts.
+//!
+//! The verification sweep fans out through `cr_bench::pipeline::par_check`.
 
 use cr_algos::{brute_force_with_stats, opt_m_makespan, opt_two_makespan, OptM, Scheduler};
+use cr_bench::pipeline::par_check;
 use cr_instances::{random_unit_instance, RandomConfig};
 
 fn main() {
     println!("E7 / Theorem 6 — OptResAssignment2 verification\n");
 
-    let mut checked = 0usize;
+    // Keep the brute-force reference tractable: the undominating search
+    // explodes beyond ~12 jobs.
+    let mut points = Vec::new();
     for m in 2..=4usize {
         for n in 2..=4usize {
-            // Keep the brute-force reference tractable: the undominating
-            // search explodes beyond ~12 jobs.
             if m * n > 12 {
                 continue;
             }
             for seed in 0..10u64 {
-                let instance = random_unit_instance(&RandomConfig::uniform(m, n), seed * 31 + n as u64);
-                let value = opt_m_makespan(&instance);
-                let (brute, _) = brute_force_with_stats(&instance);
-                assert_eq!(value, brute, "OptM vs brute force mismatch (m={m}, n={n}, seed={seed})");
-                if m == 2 {
-                    assert_eq!(value, opt_two_makespan(&instance), "OptM vs DP mismatch");
-                }
-                assert_eq!(OptM::new().makespan(&instance), value, "schedule reconstruction");
-                checked += 1;
+                points.push((m, n, seed));
             }
         }
     }
-    println!("optimality: {checked} random instances verified against brute force — all equal\n");
+    let failures = par_check(&points, |&(m, n, seed)| {
+        let instance = random_unit_instance(&RandomConfig::uniform(m, n), seed * 31 + n as u64);
+        let value = opt_m_makespan(&instance);
+        let (brute, _) = brute_force_with_stats(&instance);
+        if value != brute {
+            return Err(format!(
+                "OptM vs brute force mismatch (m={m}, n={n}, seed={seed})"
+            ));
+        }
+        if m == 2 && value != opt_two_makespan(&instance) {
+            return Err(format!("OptM vs DP mismatch (m={m}, n={n}, seed={seed})"));
+        }
+        if OptM::new().makespan(&instance) != value {
+            return Err(format!(
+                "schedule reconstruction (m={m}, n={n}, seed={seed})"
+            ));
+        }
+        Ok(())
+    });
+    assert!(
+        failures.is_empty(),
+        "verification failures:\n{}",
+        failures.join("\n")
+    );
+    println!(
+        "optimality: {} random instances verified against brute force — all equal\n",
+        points.len()
+    );
 
     println!(
         "{:>4} {:>4} {:>10} {:>16} {:>14}",

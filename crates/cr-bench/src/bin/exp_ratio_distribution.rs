@@ -2,12 +2,19 @@
 //! (GreedyBalance) against the exact optimum on thousands of small random
 //! instances, and against the best lower bound on larger ones.  The measured
 //! ratios must never exceed 2 − 1/m, and are typically much smaller.
+//!
+//! The measurement grid comes from the shared builders in `cr_bench::grids`
+//! and fans out through the rayon pipeline; only the summary statistics stay
+//! local.
 
-use cr_algos::{opt_m_makespan, GreedyBalance, RoundRobin, Scheduler};
-use cr_core::{bounds, SchedulingGraph};
-use cr_instances::{random_unit_instance, RandomConfig, RequirementProfile};
+use cr_bench::grids::{random_exact_cells, random_large_cells};
+use cr_bench::pipeline::{Algorithm, CellResult, Runner};
+use cr_instances::RequirementProfile;
 
 fn summarize(label: &str, m: usize, ratios: &[f64]) {
+    // An empty group means the label prefixes drifted from grids.rs — fail
+    // loudly instead of printing NaN statistics.
+    assert!(!ratios.is_empty(), "no results matched group `{label}`");
     let count = ratios.len() as f64;
     let mean = ratios.iter().sum::<f64>() / count;
     let max = ratios.iter().fold(0.0_f64, |a, &b| a.max(b));
@@ -19,57 +26,73 @@ fn summarize(label: &str, m: usize, ratios: &[f64]) {
     );
 }
 
+/// Ratios of the results measured under `algorithm` whose instance label
+/// starts with `prefix`.
+fn ratios_of(results: &[CellResult], algorithm: Algorithm, prefix: &str) -> Vec<f64> {
+    results
+        .iter()
+        .filter(|r| r.algorithm == algorithm.name() && r.instance.starts_with(prefix))
+        .map(|r| r.makespan as f64 / r.reference as f64)
+        .collect()
+}
+
 fn main() {
     println!("E8 / Theorem 7 — approximation-ratio distribution of GreedyBalance\n");
 
-    // Exact comparison against OptResAssignment2 on small instances.
-    println!("against the exact optimum (small instances, 200 seeds each):");
-    for &(m, n) in &[(2usize, 4usize), (3, 3), (3, 4), (4, 3)] {
-        for profile in [RequirementProfile::Uniform, RequirementProfile::Heavy] {
-            // Heavy-requirement instances on four processors make the exact
-            // configuration search expensive (see E7); keep this cell out of
-            // the default sweep so the experiment finishes in seconds.
+    let runner = Runner::default();
+    let profiles = [RequirementProfile::Uniform, RequirementProfile::Heavy];
+
+    // Exact comparison against OptResAssignment2 on small instances — the
+    // whole sweep is one parallel grid; summaries group by label prefix.
+    println!("against the exact optimum (small instances, 200 reps each):");
+    let results = runner.run(&random_exact_cells(200, &profiles));
+    for result in &results {
+        let ratio = result.makespan as f64 / result.reference as f64;
+        let m = result.processors;
+        if result.algorithm == Algorithm::GreedyBalance.name() {
+            assert!(
+                ratio <= 2.0 - 1.0 / m as f64 + 1e-9,
+                "Theorem 7 violated on {}",
+                result.instance
+            );
+        } else {
+            assert!(
+                ratio <= 2.0 + 1e-9,
+                "Theorem 3 violated on {}",
+                result.instance
+            );
+        }
+    }
+    for (m, n) in [(2usize, 4usize), (3, 3), (3, 4), (4, 3)] {
+        for profile in profiles {
             if m >= 4 && matches!(profile, RequirementProfile::Heavy) {
                 continue;
             }
-            let mut greedy_ratios = Vec::new();
-            let mut rr_ratios = Vec::new();
-            for seed in 0..200u64 {
-                let cfg = RandomConfig {
-                    profile,
-                    ..RandomConfig::uniform(m, n)
-                };
-                let instance = random_unit_instance(&cfg, seed);
-                let opt = opt_m_makespan(&instance) as f64;
-                let greedy = GreedyBalance::new().makespan(&instance) as f64;
-                let rr = RoundRobin::new().makespan(&instance) as f64;
-                assert!(
-                    greedy <= (2.0 - 1.0 / m as f64) * opt + 1e-9,
-                    "Theorem 7 violated on m={m} n={n} seed={seed}"
-                );
-                assert!(rr <= 2.0 * opt + 1e-9, "Theorem 3 violated");
-                greedy_ratios.push(greedy / opt);
-                rr_ratios.push(rr / opt);
-            }
-            summarize(&format!("GreedyBalance m={m} n={n} {profile:?}"), m, &greedy_ratios);
-            summarize(&format!("RoundRobin    m={m} n={n} {profile:?}"), m, &rr_ratios);
+            let prefix = format!("{profile:?} m={m} n={n} ");
+            summarize(
+                &format!("GreedyBalance m={m} n={n} {profile:?}"),
+                m,
+                &ratios_of(&results, Algorithm::GreedyBalance, &prefix),
+            );
+            summarize(
+                &format!("RoundRobin    m={m} n={n} {profile:?}"),
+                m,
+                &ratios_of(&results, Algorithm::RoundRobin, &prefix),
+            );
         }
     }
 
     // Against the best lower bound on larger instances (the true ratio is at
     // most the reported one).
-    println!("\nagainst the best lower bound (larger instances, 50 seeds each):");
-    for &(m, n) in &[(4usize, 20usize), (8, 20), (16, 40)] {
-        let mut ratios = Vec::new();
-        for seed in 0..50u64 {
-            let instance = random_unit_instance(&RandomConfig::uniform(m, n), seed);
-            let schedule = GreedyBalance::new().schedule(&instance);
-            let trace = schedule.trace(&instance).expect("feasible");
-            let graph = SchedulingGraph::build(&instance, &trace);
-            let lb = bounds::best_lower_bound(&instance, &graph) as f64;
-            ratios.push(trace.makespan() as f64 / lb);
-        }
-        summarize(&format!("GreedyBalance m={m} n={n} uniform"), m, &ratios);
+    println!("\nagainst the best lower bound (larger instances, 50 reps each):");
+    let results = runner.run(&random_large_cells(50));
+    for (m, n) in [(4usize, 20usize), (8, 20), (16, 40)] {
+        let prefix = format!("uniform m={m} n={n} ");
+        summarize(
+            &format!("GreedyBalance m={m} n={n} uniform"),
+            m,
+            &ratios_of(&results, Algorithm::GreedyBalance, &prefix),
+        );
     }
     println!(
         "\npaper: Theorem 7 — every non-wasting, progressive, balanced schedule is a\n\

@@ -1,0 +1,190 @@
+//! The single entry point for full paper-table reproduction.
+//!
+//! Builds the fig1–fig5 tables plus the random-grid sweeps as one big
+//! experiment grid (via the shared builders in `cr_bench::grids`), fans it
+//! out with the rayon [`Runner`], and writes
+//!
+//! * `experiments.json` — every measured cell, deterministic and
+//!   byte-identical across runs with the same `--seed`;
+//! * `experiments.md` — the same tables as GitHub-flavoured markdown;
+//! * `BENCH_pipeline.json` — wall-clock timings of the parallel run (the
+//!   perf baseline future PRs compare against).
+//!
+//! Usage: `cargo run --release -p cr-bench --bin experiments --
+//! [--seed N] [--out-dir DIR]`
+
+use cr_bench::grids;
+use cr_bench::pipeline::{Cell, ExperimentReport, Runner};
+use cr_instances::RequirementProfile;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0xC0FF_EE00,
+        out_dir: PathBuf::from("."),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let value = iter.next().expect("--seed requires a value");
+                args.seed = parse_seed(&value);
+            }
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(iter.next().expect("--out-dir requires a value"));
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--seed N] [--out-dir DIR]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    args
+}
+
+fn parse_seed(text: &str) -> u64 {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("invalid hex seed")
+    } else {
+        text.parse().expect("invalid seed")
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let runner = Runner::new(args.seed);
+    let grids: Vec<(&str, Vec<Cell>)> = vec![
+        (
+            "Figure 1 running example (vs. exact optimum)",
+            grids::fig1_cells(),
+        ),
+        ("Figure 2 nested-schedule example", grids::fig2_cells()),
+        (
+            "Figure 3 adversarial family (Theorem 3)",
+            grids::fig3_cells(&grids::FIG3_SIZES),
+        ),
+        (
+            "Figure 4 Partition reduction (Theorem 4)",
+            grids::fig4_cells(&grids::fig4_default_cases()),
+        ),
+        (
+            "Figure 5 block construction (Theorem 8)",
+            grids::fig5_cells(1000),
+        ),
+        (
+            "Random grid vs. exact optimum (Theorem 7)",
+            grids::random_exact_cells(
+                25,
+                &[RequirementProfile::Uniform, RequirementProfile::Light],
+            ),
+        ),
+        (
+            "Random grid vs. best lower bound",
+            grids::random_large_cells(25),
+        ),
+        ("Arbitrary-size grid (Section 9)", grids::sized_cells(5)),
+    ];
+    let total_cells: usize = grids.iter().map(|(_, cells)| cells.len()).sum();
+    println!(
+        "experiments — {total_cells} cells across {} tables on {} threads (seed {:#x})",
+        grids.len(),
+        rayon::current_num_threads(),
+        args.seed
+    );
+
+    let mut tables = Vec::new();
+    let mut timings = Vec::new();
+    let run_start = Instant::now();
+    for (title, cells) in &grids {
+        let start = Instant::now();
+        let table = runner.run_table(*title, cells);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {title:<46} {:>5} cells  {elapsed_ms:>9.1} ms",
+            cells.len()
+        );
+        timings.push(((*title).to_string(), cells.len(), elapsed_ms));
+        tables.push(table);
+    }
+    let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
+
+    // Sanity assertions mirroring the paper's claims before anything is
+    // persisted.
+    for table in &tables {
+        for cell in &table.results {
+            assert!(
+                cell.makespan >= cell.reference || !cell.reference_is_optimal,
+                "a measured makespan beat a proven optimum: {cell:?}"
+            );
+        }
+    }
+
+    let report = ExperimentReport {
+        base_seed: args.seed,
+        tables,
+    };
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let json_path = args.out_dir.join("experiments.json");
+    let md_path = args.out_dir.join("experiments.md");
+    let bench_path = args.out_dir.join("BENCH_pipeline.json");
+    std::fs::write(&json_path, report.to_json()).expect("write experiments.json");
+    std::fs::write(&md_path, report.to_markdown()).expect("write experiments.md");
+    std::fs::write(&bench_path, timing_json(&timings, total_ms, total_cells))
+        .expect("write BENCH_pipeline.json");
+
+    println!("\n{}", report.to_markdown());
+    println!(
+        "wrote {} / {} / {}  ({total_cells} cells in {total_ms:.1} ms total)",
+        json_path.display(),
+        md_path.display(),
+        bench_path.display()
+    );
+}
+
+/// Renders the timing baseline (schema: see BENCH_pipeline.json at the repo
+/// root).
+fn timing_json(timings: &[(String, usize, f64)], total_ms: f64, total_cells: usize) -> String {
+    let phases: Vec<serde::Value> = timings
+        .iter()
+        .map(|(title, cells, ms)| {
+            serde::Value::Object(vec![
+                ("table".to_string(), serde::Value::String(title.clone())),
+                (
+                    "cells".to_string(),
+                    serde::Value::Number(serde::Number::Int(*cells as i128)),
+                ),
+                (
+                    "wall_ms".to_string(),
+                    serde::Value::Number(serde::Number::Float((ms * 10.0).round() / 10.0)),
+                ),
+            ])
+        })
+        .collect();
+    let root = serde::Value::Object(vec![
+        (
+            "benchmark".to_string(),
+            serde::Value::String("experiments pipeline".to_string()),
+        ),
+        (
+            "threads".to_string(),
+            serde::Value::Number(serde::Number::Int(rayon::current_num_threads() as i128)),
+        ),
+        (
+            "total_cells".to_string(),
+            serde::Value::Number(serde::Number::Int(total_cells as i128)),
+        ),
+        (
+            "total_wall_ms".to_string(),
+            serde::Value::Number(serde::Number::Float((total_ms * 10.0).round() / 10.0)),
+        ),
+        ("tables".to_string(), serde::Value::Array(phases)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("timing serialization is infallible")
+}

@@ -31,7 +31,10 @@ fn main() {
         vec![half, zero, half],
     ]);
 
-    for (label, schedule) in [("Figure 2b (nested)", &nested), ("Figure 2c (unnested)", &unnested)] {
+    for (label, schedule) in [
+        ("Figure 2b (nested)", &nested),
+        ("Figure 2c (unnested)", &unnested),
+    ] {
         let trace = schedule.trace(&instance).expect("feasible schedule");
         let report = PropertyReport::analyze(&trace);
         println!("{label}: makespan {}  [{report}]", trace.makespan());

@@ -2,63 +2,56 @@
 //! family, RoundRobin needs 2n steps while the optimum is n + 1, so the
 //! approximation ratio tends to 2.  On random instances the ratio stays well
 //! below 2 (the bound is a worst case, not typical behaviour).
+//!
+//! The grid comes from the shared builders in `cr_bench::grids` (the same
+//! sweep the `experiments` binary runs) and fans out through the rayon
+//! pipeline.
 
-use cr_algos::{opt_two_makespan, GreedyBalance, RoundRobin, Scheduler};
-use cr_bench::{markdown_table, ExperimentRow};
-use cr_instances::{random_unit_instance, round_robin_worst_case, round_robin_worst_case_opt, RandomConfig};
+use cr_algos::opt_two_makespan;
+use cr_bench::grids::{fig3_cells, FIG3_SIZES};
+use cr_bench::pipeline::{Algorithm, Cell, Family, Reference, Runner};
+use cr_instances::{round_robin_worst_case, round_robin_worst_case_opt, RequirementProfile};
 
 fn main() {
     println!("E3 / Figure 3 — RoundRobin worst-case family (ratio → 2)\n");
 
-    let mut rows = Vec::new();
-    for n in [5usize, 10, 25, 50, 100, 250, 500, 1000] {
-        let instance = round_robin_worst_case(n);
-        let rr = RoundRobin::new().makespan(&instance);
-        // The optimum is n + 1 analytically; verify with the exact DP while it
-        // is cheap.
-        let opt = if n <= 250 {
-            let dp = opt_two_makespan(&instance);
-            assert_eq!(dp, round_robin_worst_case_opt(n), "Figure 3a optimum check");
-            dp
-        } else {
-            round_robin_worst_case_opt(n)
-        };
-        rows.push(ExperimentRow::new(
-            format!("fig3 n={n}"),
-            "RoundRobin",
-            &instance,
-            rr,
-            opt,
-            true,
-        ));
-        let greedy = GreedyBalance::new().makespan(&instance);
-        rows.push(ExperimentRow::new(
-            format!("fig3 n={n}"),
-            "GreedyBalance",
-            &instance,
-            greedy,
-            opt,
-            true,
-        ));
+    // The optimum is n + 1 analytically; verify with the exact DP while it
+    // is cheap.
+    for &n in FIG3_SIZES.iter().filter(|&&n| n <= 250) {
+        let dp = opt_two_makespan(&round_robin_worst_case(n));
+        assert_eq!(dp, round_robin_worst_case_opt(n), "Figure 3a optimum check");
     }
-    println!("{}", markdown_table("Adversarial family (Theorem 3)", &rows));
+
+    let runner = Runner::default();
+    println!(
+        "{}",
+        runner
+            .run_table("Adversarial family (Theorem 3)", &fig3_cells(&FIG3_SIZES))
+            .to_markdown()
+    );
 
     // Context: on random two-processor instances RoundRobin is far from its
     // worst case.
-    let mut random_rows = Vec::new();
-    for seed in 0..5 {
-        let instance = random_unit_instance(&RandomConfig::uniform(2, 40), seed);
-        let opt = opt_two_makespan(&instance);
-        let rr = RoundRobin::new().makespan(&instance);
-        random_rows.push(ExperimentRow::new(
-            format!("uniform m=2 n=40 seed={seed}"),
-            "RoundRobin",
-            &instance,
-            rr,
-            opt,
-            true,
-        ));
-    }
-    println!("{}", markdown_table("Random two-processor instances", &random_rows));
+    let random_cells: Vec<Cell> = (0..5)
+        .map(|rep| {
+            Cell::new(
+                "fig3-random",
+                format!("uniform m=2 n=40 rep={rep}"),
+                Algorithm::RoundRobin,
+                Family::RandomUnit {
+                    m: 2,
+                    n: 40,
+                    profile: RequirementProfile::Uniform,
+                },
+                Reference::OptTwo,
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        runner
+            .run_table("Random two-processor instances", &random_cells)
+            .to_markdown()
+    );
     println!("paper: worst-case ratio exactly 2 (Theorem 3); the family's ratio 2n/(n+1) → 2.");
 }

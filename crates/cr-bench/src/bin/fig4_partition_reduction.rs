@@ -1,9 +1,13 @@
 //! E4 — regenerates Figure 4 / Theorem 4 / Corollary 1: the Partition
 //! reduction maps YES-instances to CRSharing instances of optimal makespan 4
 //! and NO-instances to makespan ≥ 5.
+//!
+//! The grid comes from the shared builders in `cr_bench::grids`; the YES/NO
+//! certificate checks stay explicit because they exercise the membership
+//! reconstruction, not just makespans.
 
-use cr_algos::{brute_force_makespan, GreedyBalance, RoundRobin, Scheduler};
-use cr_bench::{markdown_table, ExperimentRow};
+use cr_bench::grids::{fig4_cells, fig4_default_cases};
+use cr_bench::pipeline::{Algorithm, Runner};
 use cr_instances::reduction::{
     is_yes_instance, partition_to_crsharing, solve_partition, yes_certificate_schedule,
     PartitionReduction,
@@ -12,61 +16,41 @@ use cr_instances::reduction::{
 fn main() {
     println!("E4 / Figure 4 — Partition ≤ₚ CRSharing (Theorem 4, Corollary 1)\n");
 
-    let cases: Vec<Vec<u64>> = vec![
-        vec![2, 2, 3, 3],
-        vec![2, 3, 4, 5, 6],
-        vec![4, 4, 4, 4],
-        vec![2, 2, 3, 5],
-        vec![3, 3, 3, 5],
-        vec![1, 2, 4, 5],
-    ];
+    let cases = fig4_default_cases();
+    let runner = Runner::default();
+    let table = runner.run_table("Reduced instances", &fig4_cells(&cases));
 
-    let mut rows = Vec::new();
+    // Theorem 4 gap and the Figure 4a certificate schedules.  Select the
+    // exhaustive-search row per case by algorithm name so changes to the
+    // per-case line-up fail loudly instead of mispairing rows.
     for values in &cases {
-        let yes = is_yes_instance(values);
-        let reduction = partition_to_crsharing(values);
-        let opt = brute_force_makespan(&reduction.instance);
-        let expected = if yes {
-            PartitionReduction::YES_MAKESPAN
-        } else {
-            PartitionReduction::NO_MAKESPAN
-        };
-        if yes {
-            assert_eq!(opt, expected, "YES-instances must have makespan exactly 4");
-            // The Figure 4a certificate schedule achieves the optimum.
+        let brute_row = table
+            .results
+            .iter()
+            .find(|r| {
+                r.algorithm == Algorithm::BruteForce.name()
+                    && r.instance.starts_with(&format!("{values:?}"))
+            })
+            .expect("every Partition case has a BruteForce row");
+        if is_yes_instance(values) {
+            assert_eq!(
+                brute_row.makespan,
+                PartitionReduction::YES_MAKESPAN,
+                "YES-instances must have makespan exactly 4"
+            );
+            let reduction = partition_to_crsharing(values);
             let membership = solve_partition(values).expect("YES instance");
             let certificate = yes_certificate_schedule(&reduction, &membership);
             assert_eq!(certificate.makespan(&reduction.instance).unwrap(), 4);
         } else {
-            assert!(opt >= expected, "NO-instances must need at least 5 steps");
+            assert!(
+                brute_row.makespan >= PartitionReduction::NO_MAKESPAN,
+                "NO-instances must need at least 5 steps"
+            );
         }
-        let label = format!("{values:?} ({})", if yes { "YES" } else { "NO" });
-        rows.push(ExperimentRow::new(
-            label.clone(),
-            "brute-force optimum",
-            &reduction.instance,
-            opt,
-            expected,
-            true,
-        ));
-        rows.push(ExperimentRow::new(
-            label.clone(),
-            "GreedyBalance",
-            &reduction.instance,
-            GreedyBalance::new().makespan(&reduction.instance),
-            opt,
-            true,
-        ));
-        rows.push(ExperimentRow::new(
-            label,
-            "RoundRobin",
-            &reduction.instance,
-            RoundRobin::new().makespan(&reduction.instance),
-            opt,
-            true,
-        ));
     }
-    println!("{}", markdown_table("Reduced instances", &rows));
+
+    println!("{}", table.to_markdown());
     println!(
         "paper: YES ⟺ optimal makespan 4, NO ⟹ ≥ 5; hence no polynomial algorithm can\n\
          approximate CRSharing within a factor better than 5/4 unless P = NP (Corollary 1)."

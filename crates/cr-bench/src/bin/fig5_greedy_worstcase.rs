@@ -1,11 +1,14 @@
 //! E5 — regenerates Figure 5 / Theorem 8: on the block construction,
 //! GreedyBalance needs 2m − 1 steps per block while the optimum needs
 //! essentially m, so its ratio tends to 2 − 1/m; the factor is tight.
+//!
+//! The grid comes from the shared builders in `cr_bench::grids` (the same
+//! sweep the `experiments` binary runs) and fans out through the rayon
+//! pipeline.
 
-use cr_algos::{opt_m_makespan, GreedyBalance, Scheduler};
-use cr_bench::{markdown_table, ExperimentRow};
-use cr_core::bounds;
-use cr_instances::{greedy_balance_max_blocks, greedy_balance_worst_case, greedy_balance_worst_case_steps};
+use cr_bench::grids::fig5_cells;
+use cr_bench::pipeline::{Family, Runner};
+use cr_instances::{greedy_balance_worst_case, greedy_balance_worst_case_steps};
 use cr_viz::render_instance;
 
 fn main() {
@@ -15,40 +18,24 @@ fn main() {
     let fig5 = greedy_balance_worst_case(3, 100, 3);
     println!("{}", render_instance(&fig5));
 
-    let mut rows = Vec::new();
-    for m in 2..=6usize {
-        let max_blocks = greedy_balance_max_blocks(m, 1000);
-        for blocks in [1usize, 4, 16, 64] {
-            if blocks > max_blocks {
-                continue;
-            }
-            let instance = greedy_balance_worst_case(m, 1000, blocks);
-            let greedy = GreedyBalance::new().makespan(&instance);
-            assert_eq!(
-                greedy,
-                greedy_balance_worst_case_steps(m, blocks),
-                "GreedyBalance must need exactly (2m − 1) steps per block"
-            );
-            // Reference: exact optimum on tiny cases, workload lower bound
-            // otherwise (the optimum approaches it as ε → 0).
-            let (reference, is_opt) = if m * blocks * m <= 12 {
-                (opt_m_makespan(&instance), true)
-            } else {
-                (bounds::workload_bound_steps(&instance), false)
-            };
-            rows.push(ExperimentRow::new(
-                format!("fig5 m={m} blocks={blocks}"),
-                "GreedyBalance",
-                &instance,
-                greedy,
-                reference,
-                is_opt,
-            ));
-        }
+    let cells = fig5_cells(1000);
+    let table = Runner::default().run_table("Block construction (Theorem 8)", &cells);
+    for (cell, result) in cells.iter().zip(&table.results) {
+        let Family::GreedyWorstCase { m, blocks, .. } = cell.family else {
+            unreachable!("fig5 grid contains only block constructions");
+        };
+        assert_eq!(
+            result.makespan,
+            greedy_balance_worst_case_steps(m, blocks),
+            "GreedyBalance must need exactly (2m − 1) steps per block"
+        );
     }
-    println!("{}", markdown_table("Block construction (Theorem 8)", &rows));
+    println!("{}", table.to_markdown());
     for m in 2..=6usize {
-        println!("  m = {m}: paper bound 2 − 1/m = {:.3}", 2.0 - 1.0 / m as f64);
+        println!(
+            "  m = {m}: paper bound 2 − 1/m = {:.3}",
+            2.0 - 1.0 / m as f64
+        );
     }
     println!(
         "\npaper: the ratio of GreedyBalance on this family approaches 2 − 1/m from below as\n\

@@ -1,0 +1,275 @@
+//! Shared grid builders for the paper's experiment tables.
+//!
+//! Both the per-figure binaries (`fig3_roundrobin_worstcase`, …) and the
+//! all-in-one `experiments` binary build their cell grids here, so a sweep
+//! tweak happens in exactly one place and the per-cell instance labels —
+//! which the [`Runner`](crate::pipeline::Runner) derives RNG seeds from —
+//! stay consistent across binaries.
+
+use crate::pipeline::{Algorithm, Cell, Family, Reference};
+use cr_instances::{
+    greedy_balance_max_blocks, is_yes_instance, round_robin_worst_case_opt, RequirementProfile,
+};
+
+/// The chain lengths swept by the Figure 3 family.
+pub const FIG3_SIZES: [usize; 8] = [5, 10, 25, 50, 100, 250, 500, 1000];
+
+/// Figure 1 running example: every scheduler in the line-up against the
+/// exact optimum.
+#[must_use]
+pub fn fig1_cells() -> Vec<Cell> {
+    Algorithm::poly_line_up()
+        .iter()
+        .chain(&[Algorithm::OptM])
+        .map(|&algorithm| {
+            Cell::new(
+                "fig1",
+                "figure 1 example",
+                algorithm,
+                Family::Figure1,
+                Reference::OptM,
+            )
+        })
+        .collect()
+}
+
+/// Figure 2 four-50%-jobs example: nested optimal schedules have makespan 4.
+#[must_use]
+pub fn fig2_cells() -> Vec<Cell> {
+    [
+        Algorithm::GreedyBalance,
+        Algorithm::RoundRobin,
+        Algorithm::OptM,
+    ]
+    .iter()
+    .map(|&algorithm| {
+        Cell::new(
+            "fig2",
+            "figure 2 example",
+            algorithm,
+            Family::Figure2,
+            Reference::KnownOptimum(4),
+        )
+    })
+    .collect()
+}
+
+/// Figure 3 / Theorem 3: the adversarial RoundRobin family, ratio → 2.
+#[must_use]
+pub fn fig3_cells(sizes: &[usize]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for algorithm in [Algorithm::RoundRobin, Algorithm::GreedyBalance] {
+            cells.push(Cell::new(
+                "fig3",
+                format!("fig3 n={n}"),
+                algorithm,
+                Family::RoundRobinWorstCase { n },
+                Reference::KnownOptimum(round_robin_worst_case_opt(n)),
+            ));
+        }
+    }
+    cells
+}
+
+/// The Partition multisets of the Figure 4 table (three YES, three NO).
+#[must_use]
+pub fn fig4_default_cases() -> Vec<Vec<u64>> {
+    vec![
+        vec![2, 2, 3, 3],
+        vec![2, 3, 4, 5, 6],
+        vec![4, 4, 4, 4],
+        vec![2, 2, 3, 5],
+        vec![3, 3, 3, 5],
+        vec![1, 2, 4, 5],
+    ]
+}
+
+/// Figure 4 / Theorem 4: Partition reduction; YES → makespan 4, NO → ≥ 5.
+#[must_use]
+pub fn fig4_cells(cases: &[Vec<u64>]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for values in cases {
+        let verdict = if is_yes_instance(values) { "YES" } else { "NO" };
+        let label = format!("{values:?} ({verdict})");
+        for algorithm in [
+            Algorithm::BruteForce,
+            Algorithm::GreedyBalance,
+            Algorithm::RoundRobin,
+        ] {
+            cells.push(Cell::new(
+                "fig4",
+                label.clone(),
+                algorithm,
+                Family::Partition {
+                    values: values.clone(),
+                },
+                Reference::BruteForce,
+            ));
+        }
+    }
+    cells
+}
+
+/// Figure 5 / Theorem 8: the GreedyBalance block construction, ratio →
+/// 2 − 1/m.  Block counts that do not fit the `1/denominator` grid are
+/// skipped, as in the paper's construction.
+#[must_use]
+pub fn fig5_cells(denominator: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for m in 2..=6usize {
+        let max_blocks = greedy_balance_max_blocks(m, denominator);
+        for blocks in [1usize, 4, 16, 64] {
+            if blocks > max_blocks {
+                continue;
+            }
+            // Reference: exact optimum on tiny cases, workload lower bound
+            // otherwise (the optimum approaches it as ε → 0).
+            let reference = if m * blocks * m <= 12 {
+                Reference::OptM
+            } else {
+                Reference::WorkloadBound
+            };
+            cells.push(Cell::new(
+                "fig5",
+                format!("fig5 m={m} blocks={blocks}"),
+                Algorithm::GreedyBalance,
+                Family::GreedyWorstCase {
+                    m,
+                    denominator,
+                    blocks,
+                },
+                reference,
+            ));
+        }
+    }
+    cells
+}
+
+/// E8-style random grid: GreedyBalance and RoundRobin against the exact
+/// optimum on small instances.  Heavy-requirement instances on four
+/// processors make the configuration search expensive, so that corner is
+/// excluded (see E7).
+#[must_use]
+pub fn random_exact_cells(reps: u64, profiles: &[RequirementProfile]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (m, n) in [(2usize, 4usize), (3, 3), (3, 4), (4, 3)] {
+        for &profile in profiles {
+            if m >= 4 && matches!(profile, RequirementProfile::Heavy) {
+                continue;
+            }
+            for rep in 0..reps {
+                for &algorithm in &[Algorithm::GreedyBalance, Algorithm::RoundRobin] {
+                    cells.push(Cell::new(
+                        "E8",
+                        format!("{profile:?} m={m} n={n} rep={rep}"),
+                        algorithm,
+                        Family::RandomUnit { m, n, profile },
+                        Reference::OptM,
+                    ));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// E8-style random grid against the best lower bound on larger instances.
+#[must_use]
+pub fn random_large_cells(reps: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (m, n) in [(4usize, 20usize), (8, 20), (16, 40)] {
+        for rep in 0..reps {
+            cells.push(Cell::new(
+                "E8-large",
+                format!("uniform m={m} n={n} rep={rep}"),
+                Algorithm::GreedyBalance,
+                Family::RandomUnit {
+                    m,
+                    n,
+                    profile: RequirementProfile::Uniform,
+                },
+                Reference::BestLowerBound,
+            ));
+        }
+    }
+    cells
+}
+
+/// E12-style grid: arbitrary job sizes against the trivial lower bound
+/// (workload, chain and volume-chain — the volume-chain part matters here).
+#[must_use]
+pub fn sized_cells(reps: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (m, n, vmax) in [(3usize, 4usize, 3u64), (4, 6, 4), (8, 8, 4)] {
+        for rep in 0..reps {
+            for &algorithm in &[Algorithm::GreedyBalance, Algorithm::RoundRobin] {
+                cells.push(Cell::new(
+                    "E12",
+                    format!("sized m={m} n={n} vmax={vmax} rep={rep}"),
+                    algorithm,
+                    Family::RandomSized { m, n, vmax },
+                    Reference::TrivialLowerBound,
+                ));
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Runner;
+
+    #[test]
+    fn builders_produce_consistent_labels() {
+        // Every cell sharing an instance label must share family and
+        // reference, otherwise the Runner's memoization key would be
+        // ambiguous.
+        let grids = [
+            fig1_cells(),
+            fig2_cells(),
+            fig3_cells(&FIG3_SIZES[..3]),
+            fig4_cells(&fig4_default_cases()),
+            fig5_cells(1000),
+            random_exact_cells(2, &[RequirementProfile::Uniform]),
+            random_large_cells(2),
+            sized_cells(2),
+        ];
+        for cells in &grids {
+            for a in cells {
+                for b in cells {
+                    if a.experiment == b.experiment && a.instance == b.instance {
+                        assert_eq!(a.family, b.family);
+                        assert_eq!(a.reference, b.reference);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_yes_cases_have_optimum_four() {
+        let runner = Runner::default();
+        let results = runner.run(&fig4_cells(&fig4_default_cases()));
+        for result in results
+            .iter()
+            .filter(|r| r.algorithm == Algorithm::BruteForce.name())
+        {
+            if result.instance.contains("(YES)") {
+                assert_eq!(result.makespan, 4, "{}", result.instance);
+            } else {
+                assert!(result.makespan >= 5, "{}", result.instance);
+            }
+        }
+    }
+
+    #[test]
+    fn sized_grid_uses_the_trivial_bound() {
+        let cells = sized_cells(1);
+        assert!(cells
+            .iter()
+            .all(|c| c.reference == Reference::TrivialLowerBound));
+    }
+}

@@ -86,7 +86,11 @@ pub fn markdown_table(title: &str, rows: &[ExperimentRow]) -> String {
             row.algorithm,
             row.makespan,
             row.reference,
-            if row.reference_is_optimal { " (opt)" } else { " (LB)" },
+            if row.reference_is_optimal {
+                " (opt)"
+            } else {
+                " (LB)"
+            },
             ratio_string(row),
         ));
     }

@@ -8,6 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod grids;
 pub mod harness;
+pub mod pipeline;
 
 pub use harness::{markdown_table, ratio_string, ExperimentRow};
+pub use pipeline::{
+    Algorithm, Cell, CellResult, ExperimentReport, ExperimentTable, Family, Reference, Runner,
+};

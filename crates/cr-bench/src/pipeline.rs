@@ -1,0 +1,640 @@
+//! The rayon-parallel experiment pipeline.
+//!
+//! Every table-producing experiment in this repository is phrased as a
+//! *grid*: an (algorithm × instance-family × size) cross product whose cells
+//! are mutually independent.  The [`Runner`] fans a grid out with
+//! `par_iter`, measures each cell, and returns the rows **in grid order**,
+//! so parallel runs are byte-identical to serial ones.
+//!
+//! Determinism contract: a cell's RNG seed is derived from the runner's base
+//! seed and the cell's *instance labels* (experiment, instance) — never from
+//! its position or algorithm — so inserting or reordering cells does not
+//! change any other cell's instance, and every algorithm measured under one
+//! instance label sees the same materialized instance.  Two runs with the
+//! same base seed produce the same JSON byte-for-byte.
+
+use crate::harness::{markdown_table, ExperimentRow};
+use cr_algos::{
+    brute_force_makespan, opt_m_makespan, opt_two_makespan, EqualShare, GreedyBalance,
+    LargestRequirementFirst, OptM, OptTwo, ProportionalShare, RoundRobin, Scheduler,
+    SmallestRequirementFirst,
+};
+use cr_core::{bounds, Instance, SchedulingGraph};
+use cr_instances::{
+    figure1_instance, figure2_instance, greedy_balance_worst_case, partition_to_crsharing,
+    random_sized_instance, random_unit_instance, round_robin_worst_case, RandomConfig,
+    RequirementProfile,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Memoization key for reference evaluation inside [`Runner::run`].
+type RefKey<'a> = (&'a str, &'a str, Reference);
+
+/// Whether a cell's measured algorithm computes the same optimal makespan
+/// its reference already produced (the exact solvers are deterministic, so
+/// the value can be reused instead of re-running the search).
+fn algorithm_matches_reference(algorithm: Algorithm, reference: Reference) -> bool {
+    matches!(
+        (algorithm, reference),
+        (Algorithm::BruteForce, Reference::BruteForce)
+            | (Algorithm::OptTwo, Reference::OptTwo)
+            | (Algorithm::OptM, Reference::OptM)
+    )
+}
+
+/// The algorithms a grid cell can measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's balance-aware greedy (Theorem 7).
+    GreedyBalance,
+    /// The paper's RoundRobin (Theorem 3).
+    RoundRobin,
+    /// Baseline: equal shares for all active processors.
+    EqualShare,
+    /// Baseline: demand-proportional shares.
+    ProportionalShare,
+    /// Baseline: prioritize the largest remaining requirement.
+    LargestRequirementFirst,
+    /// Baseline: prioritize the smallest remaining requirement.
+    SmallestRequirementFirst,
+    /// The exact O(n²) dynamic program for two processors (Theorem 5).
+    OptTwo,
+    /// The exact configuration search for fixed m (Theorem 6).
+    OptM,
+    /// Exhaustive search (reference only; exponential).
+    BruteForce,
+}
+
+impl Algorithm {
+    /// Stable display name used in tables and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::GreedyBalance => "GreedyBalance",
+            Algorithm::RoundRobin => "RoundRobin",
+            Algorithm::EqualShare => "EqualShare",
+            Algorithm::ProportionalShare => "ProportionalShare",
+            Algorithm::LargestRequirementFirst => "LargestRequirementFirst",
+            Algorithm::SmallestRequirementFirst => "SmallestRequirementFirst",
+            Algorithm::OptTwo => "OptTwo",
+            Algorithm::OptM => "OptM",
+            Algorithm::BruteForce => "BruteForce",
+        }
+    }
+
+    /// Measures the algorithm's makespan on `instance`.
+    #[must_use]
+    pub fn makespan(self, instance: &Instance) -> usize {
+        match self {
+            Algorithm::GreedyBalance => GreedyBalance::new().makespan(instance),
+            Algorithm::RoundRobin => RoundRobin::new().makespan(instance),
+            Algorithm::EqualShare => EqualShare::new().makespan(instance),
+            Algorithm::ProportionalShare => ProportionalShare::new().makespan(instance),
+            Algorithm::LargestRequirementFirst => LargestRequirementFirst::new().makespan(instance),
+            Algorithm::SmallestRequirementFirst => {
+                SmallestRequirementFirst::new().makespan(instance)
+            }
+            Algorithm::OptTwo => OptTwo::new().makespan(instance),
+            Algorithm::OptM => OptM::new().makespan(instance),
+            Algorithm::BruteForce => brute_force_makespan(instance),
+        }
+    }
+
+    /// The polynomial-time line-up swept by the random grids.
+    #[must_use]
+    pub fn poly_line_up() -> &'static [Algorithm] {
+        &[
+            Algorithm::GreedyBalance,
+            Algorithm::RoundRobin,
+            Algorithm::EqualShare,
+            Algorithm::ProportionalShare,
+            Algorithm::LargestRequirementFirst,
+            Algorithm::SmallestRequirementFirst,
+        ]
+    }
+}
+
+/// The instance families a grid cell can draw from.
+///
+/// Deterministic families ignore the cell seed; random families consume it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Family {
+    /// The paper's Figure 1 running example.
+    Figure1,
+    /// The paper's Figure 2 four-50%-jobs example.
+    Figure2,
+    /// The Figure 3 / Theorem 3 adversarial family for RoundRobin.
+    RoundRobinWorstCase {
+        /// Chain length parameter `n`.
+        n: usize,
+    },
+    /// The Figure 5 / Theorem 8 block construction for GreedyBalance.
+    GreedyWorstCase {
+        /// Number of processors.
+        m: usize,
+        /// Grid denominator standing in for `1/ε`.
+        denominator: u64,
+        /// Number of blocks.
+        blocks: usize,
+    },
+    /// The Theorem 4 Partition reduction applied to explicit values.
+    Partition {
+        /// The Partition multiset.
+        values: Vec<u64>,
+    },
+    /// Random unit-size instances from `cr_instances::random_unit_instance`.
+    RandomUnit {
+        /// Number of processors.
+        m: usize,
+        /// Jobs per processor.
+        n: usize,
+        /// Requirement distribution.
+        profile: RequirementProfile,
+    },
+    /// Random arbitrary-size instances (Section 9 outlook).
+    RandomSized {
+        /// Number of processors.
+        m: usize,
+        /// Jobs per processor.
+        n: usize,
+        /// Maximum integral volume.
+        vmax: u64,
+    },
+}
+
+impl Family {
+    /// Materializes the family into a concrete instance.
+    #[must_use]
+    pub fn instantiate(&self, seed: u64) -> Instance {
+        match self {
+            Family::Figure1 => figure1_instance(),
+            Family::Figure2 => figure2_instance(),
+            Family::RoundRobinWorstCase { n } => round_robin_worst_case(*n),
+            Family::GreedyWorstCase {
+                m,
+                denominator,
+                blocks,
+            } => greedy_balance_worst_case(*m, *denominator, *blocks),
+            Family::Partition { values } => partition_to_crsharing(values).instance,
+            Family::RandomUnit { m, n, profile } => {
+                let cfg = RandomConfig {
+                    profile: *profile,
+                    ..RandomConfig::uniform(*m, *n)
+                };
+                random_unit_instance(&cfg, seed)
+            }
+            Family::RandomSized { m, n, vmax } => {
+                random_sized_instance(&RandomConfig::uniform(*m, *n), *vmax, seed)
+            }
+        }
+    }
+}
+
+/// The reference value a measurement is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reference {
+    /// Exact optimum via exhaustive search (small instances only).
+    BruteForce,
+    /// Exact optimum via the two-processor DP (Theorem 5).
+    OptTwo,
+    /// Exact optimum via the configuration search (Theorem 6).
+    OptM,
+    /// An analytically known optimum.
+    KnownOptimum(usize),
+    /// The Observation 1 workload bound `⌈Σ workload⌉` (a lower bound).
+    WorkloadBound,
+    /// The trivial lower bound `max(workload, chain, volume-chain)` — the
+    /// strongest instance-only bound, important for arbitrary-size jobs
+    /// where long volumes dominate the workload sum.
+    TrivialLowerBound,
+    /// The best available lower bound (Observation 1, chain, Lemmas 5/6),
+    /// computed from a GreedyBalance schedule's hypergraph.
+    BestLowerBound,
+}
+
+impl Reference {
+    /// Evaluates the reference on `instance`, returning the value and
+    /// whether it is a proven optimum.
+    #[must_use]
+    pub fn evaluate(self, instance: &Instance) -> (usize, bool) {
+        match self {
+            Reference::BruteForce => (brute_force_makespan(instance), true),
+            Reference::OptTwo => (opt_two_makespan(instance), true),
+            Reference::OptM => (opt_m_makespan(instance), true),
+            Reference::KnownOptimum(value) => (value, true),
+            Reference::WorkloadBound => (bounds::workload_bound_steps(instance), false),
+            Reference::TrivialLowerBound => (bounds::trivial_lower_bound(instance), false),
+            Reference::BestLowerBound => {
+                let schedule = GreedyBalance::new().schedule(instance);
+                let trace = schedule.trace(instance).expect("GreedyBalance is feasible");
+                let graph = SchedulingGraph::build(instance, &trace);
+                (bounds::best_lower_bound(instance, &graph), false)
+            }
+        }
+    }
+}
+
+/// One independent measurement: an instance family, an algorithm and a
+/// reference, plus the labels the row is reported under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Experiment identifier (`"fig3"`, `"E8"`, …).
+    pub experiment: String,
+    /// Instance label within the experiment (`"fig3 n=100"`).
+    pub instance: String,
+    /// Algorithm under measurement.
+    pub algorithm: Algorithm,
+    /// Instance family to draw from.
+    pub family: Family,
+    /// Reference value for the ratio column.
+    pub reference: Reference,
+}
+
+impl Cell {
+    /// Creates a cell.
+    #[must_use]
+    pub fn new(
+        experiment: impl Into<String>,
+        instance: impl Into<String>,
+        algorithm: Algorithm,
+        family: Family,
+        reference: Reference,
+    ) -> Self {
+        Cell {
+            experiment: experiment.into(),
+            instance: instance.into(),
+            algorithm,
+            family,
+            reference,
+        }
+    }
+}
+
+/// FNV-1a over a byte string (seed-derivation helper).
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One measured cell, in the exact shape persisted to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Experiment identifier.
+    pub experiment: String,
+    /// Instance label.
+    pub instance: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Derived per-cell seed (recorded for reproduction).
+    pub seed: u64,
+    /// Number of processors of the materialized instance.
+    pub processors: usize,
+    /// Maximum chain length of the materialized instance.
+    pub max_chain: usize,
+    /// Measured makespan.
+    pub makespan: usize,
+    /// Reference value.
+    pub reference: usize,
+    /// Whether the reference is a proven optimum.
+    pub reference_is_optimal: bool,
+}
+
+impl CellResult {
+    /// Converts the result into the harness row shape used by markdown
+    /// rendering.
+    #[must_use]
+    pub fn to_row(&self) -> ExperimentRow {
+        ExperimentRow {
+            instance: self.instance.clone(),
+            algorithm: self.algorithm.clone(),
+            processors: self.processors,
+            max_chain: self.max_chain,
+            makespan: self.makespan,
+            reference: self.reference,
+            reference_is_optimal: self.reference_is_optimal,
+        }
+    }
+}
+
+/// The parallel grid runner.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    base_seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner with the given base seed.  All random instances of a
+    /// run derive from this one value.
+    #[must_use]
+    pub fn new(base_seed: u64) -> Self {
+        Runner { base_seed }
+    }
+
+    /// The seed a given cell will use, derived from the runner's base seed
+    /// and the cell's *instance* labels — never its grid position, and never
+    /// the algorithm, so every algorithm measured under one instance label
+    /// sees the same materialized instance.
+    #[must_use]
+    pub fn cell_seed(&self, cell: &Cell) -> u64 {
+        let mut h = fnv1a(cell.experiment.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        h = fnv1a(cell.instance.as_bytes(), h);
+        h ^ self.base_seed
+    }
+
+    /// Measures one cell (the serial path; [`Runner::run`] is equivalent
+    /// cell-by-cell).
+    #[must_use]
+    pub fn run_cell(&self, cell: &Cell) -> CellResult {
+        let seed = self.cell_seed(cell);
+        let instance = cell.family.instantiate(seed);
+        let (reference, reference_is_optimal) = cell.reference.evaluate(&instance);
+        let makespan = if algorithm_matches_reference(cell.algorithm, cell.reference) {
+            reference
+        } else {
+            cell.algorithm.makespan(&instance)
+        };
+        CellResult {
+            experiment: cell.experiment.clone(),
+            instance: cell.instance.clone(),
+            algorithm: cell.algorithm.name().to_string(),
+            seed,
+            processors: instance.processors(),
+            max_chain: instance.max_chain_length(),
+            makespan,
+            reference,
+            reference_is_optimal,
+        }
+    }
+
+    /// Fans the grid out across all cores and returns the results in grid
+    /// order.
+    ///
+    /// References are memoized per `(experiment, instance, reference)` key:
+    /// when several algorithms measure the same instance label, the (often
+    /// expensive, sometimes exponential) reference value is computed once,
+    /// not once per algorithm cell.  Results are identical to calling
+    /// [`Runner::run_cell`] on every cell — reference evaluation is a
+    /// deterministic function of the materialized instance.
+    #[must_use]
+    pub fn run(&self, cells: &[Cell]) -> Vec<CellResult> {
+        // Phase 1: evaluate each distinct reference once, in parallel.
+        let mut ref_tasks: Vec<&Cell> = Vec::new();
+        let mut ref_index: HashMap<RefKey<'_>, usize> = HashMap::new();
+        for cell in cells {
+            let key = (
+                cell.experiment.as_str(),
+                cell.instance.as_str(),
+                cell.reference,
+            );
+            if let Entry::Vacant(slot) = ref_index.entry(key) {
+                slot.insert(ref_tasks.len());
+                ref_tasks.push(cell);
+            }
+        }
+        let ref_values: Vec<(usize, bool)> = ref_tasks
+            .par_iter()
+            .map(|cell| {
+                let instance = cell.family.instantiate(self.cell_seed(cell));
+                cell.reference.evaluate(&instance)
+            })
+            .collect();
+
+        // Phase 2: measure every algorithm cell against the cached values.
+        cells
+            .par_iter()
+            .map(|cell| {
+                let seed = self.cell_seed(cell);
+                let instance = cell.family.instantiate(seed);
+                let key = (
+                    cell.experiment.as_str(),
+                    cell.instance.as_str(),
+                    cell.reference,
+                );
+                let (reference, reference_is_optimal) = ref_values[ref_index[&key]];
+                // When the measured algorithm is the exact solver the
+                // reference already ran, reuse its optimum instead of
+                // repeating the (possibly exponential) search.
+                let makespan = if algorithm_matches_reference(cell.algorithm, cell.reference) {
+                    reference
+                } else {
+                    cell.algorithm.makespan(&instance)
+                };
+                CellResult {
+                    experiment: cell.experiment.clone(),
+                    instance: cell.instance.clone(),
+                    algorithm: cell.algorithm.name().to_string(),
+                    seed,
+                    processors: instance.processors(),
+                    max_chain: instance.max_chain_length(),
+                    makespan,
+                    reference,
+                    reference_is_optimal,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs a grid and renders it as one named experiment table.
+    #[must_use]
+    pub fn run_table(&self, title: impl Into<String>, cells: &[Cell]) -> ExperimentTable {
+        ExperimentTable {
+            title: title.into(),
+            results: self.run(cells),
+        }
+    }
+}
+
+impl Default for Runner {
+    /// The seed used by the committed experiment tables.
+    fn default() -> Self {
+        Runner::new(0xC0FF_EE00)
+    }
+}
+
+/// A titled group of measured cells (one markdown table / JSON array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Table title.
+    pub title: String,
+    /// Measured cells, in grid order.
+    pub results: Vec<CellResult>,
+}
+
+impl ExperimentTable {
+    /// Renders the table as GitHub-flavoured markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let rows: Vec<ExperimentRow> = self.results.iter().map(CellResult::to_row).collect();
+        markdown_table(&self.title, &rows)
+    }
+}
+
+/// A full experiment report: every table of one `experiments` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Base seed the tables were generated from.
+    pub base_seed: u64,
+    /// All tables, in publication order.
+    pub tables: Vec<ExperimentTable>,
+}
+
+impl ExperimentReport {
+    /// Deterministic pretty JSON (byte-identical across runs with the same
+    /// seed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Markdown document with every table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# CRSharing experiment tables\n\n");
+        out.push_str(&format!(
+            "Generated by `cargo run --release -p cr-bench --bin experiments` \
+             (base seed {:#x}).\n\n",
+            self.base_seed
+        ));
+        for table in &self.tables {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Checks a parallel batch of independent assertions, returning every
+/// failure message (used by the verification binaries to fan their sweeps
+/// out without duplicating driver code).
+pub fn par_check<T, F>(items: &[T], check: F) -> Vec<String>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<(), String> + Sync,
+{
+    items
+        .par_iter()
+        .map(|item| check(item).err())
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_instances::round_robin_worst_case_opt;
+
+    fn fig3_cells() -> Vec<Cell> {
+        [5usize, 10, 25]
+            .iter()
+            .flat_map(|&n| {
+                [Algorithm::RoundRobin, Algorithm::GreedyBalance]
+                    .into_iter()
+                    .map(move |algorithm| {
+                        Cell::new(
+                            "fig3",
+                            format!("fig3 n={n}"),
+                            algorithm,
+                            Family::RoundRobinWorstCase { n },
+                            Reference::KnownOptimum(round_robin_worst_case_opt(n)),
+                        )
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_preserves_grid_order_and_values() {
+        let runner = Runner::new(7);
+        let cells = fig3_cells();
+        let parallel = runner.run(&cells);
+        let serial: Vec<CellResult> = cells.iter().map(|c| runner.run_cell(c)).collect();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), cells.len());
+        // Theorem 3 numbers: RoundRobin needs 2n, the optimum is n + 1.
+        assert_eq!(parallel[0].makespan, 10);
+        assert_eq!(parallel[0].reference, 6);
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_labels_not_position() {
+        let runner = Runner::new(99);
+        let mut cells = fig3_cells();
+        let seed_of_last = runner.cell_seed(cells.last().unwrap());
+        cells.rotate_right(1);
+        assert_eq!(runner.cell_seed(&cells[0]), seed_of_last);
+        // Distinct instance labels get distinct seeds; the two algorithms
+        // under one instance label share the instance.
+        assert_eq!(runner.cell_seed(&cells[1]), runner.cell_seed(&cells[2]));
+        assert_ne!(runner.cell_seed(&cells[1]), runner.cell_seed(&cells[3]));
+    }
+
+    #[test]
+    fn same_seed_means_byte_identical_json() {
+        let cells = fig3_cells();
+        let report = |seed: u64| {
+            let runner = Runner::new(seed);
+            ExperimentReport {
+                base_seed: seed,
+                tables: vec![runner.run_table("fig3", &cells)],
+            }
+            .to_json()
+        };
+        assert_eq!(report(42), report(42));
+    }
+
+    #[test]
+    fn random_families_differ_across_base_seeds() {
+        let cell = Cell::new(
+            "E8",
+            "uniform m=3 n=4 rep=0",
+            Algorithm::GreedyBalance,
+            Family::RandomUnit {
+                m: 3,
+                n: 4,
+                profile: RequirementProfile::Uniform,
+            },
+            Reference::OptM,
+        );
+        let a = Runner::new(1).run_cell(&cell);
+        let b = Runner::new(2).run_cell(&cell);
+        assert_ne!(a.seed, b.seed);
+        // Optimality of the reference: the measured makespan can never beat it.
+        assert!(a.makespan >= a.reference);
+        assert!(b.makespan >= b.reference);
+    }
+
+    #[test]
+    fn par_check_collects_failures() {
+        let items: Vec<u32> = (0..100).collect();
+        let failures = par_check(&items, |&x| {
+            if x % 2 == 0 {
+                Ok(())
+            } else if x == 1 {
+                Err("one is odd".to_string())
+            } else {
+                Err(format!("{x} is odd"))
+            }
+        });
+        assert_eq!(failures.len(), 50);
+        assert_eq!(failures[0], "one is odd");
+    }
+
+    #[test]
+    fn markdown_contains_every_row() {
+        let runner = Runner::default();
+        let table = runner.run_table("Adversarial family (Theorem 3)", &fig3_cells());
+        let markdown = table.to_markdown();
+        assert!(markdown.starts_with("### Adversarial family (Theorem 3)"));
+        assert_eq!(markdown.matches("RoundRobin").count(), 3);
+        assert_eq!(markdown.matches("GreedyBalance").count(), 3);
+    }
+}

@@ -98,10 +98,7 @@ pub fn class_bound_steps(graph: &SchedulingGraph, processors: usize) -> usize {
 /// The strongest lower bound available from an instance together with the
 /// scheduling graph of a non-wasting, balanced schedule for it.
 #[must_use]
-pub fn best_lower_bound(
-    instance: &Instance,
-    graph: &SchedulingGraph,
-) -> usize {
+pub fn best_lower_bound(instance: &Instance, graph: &SchedulingGraph) -> usize {
     trivial_lower_bound(instance)
         .max(component_bound(graph))
         .max(class_bound_steps(graph, instance.processors()))
@@ -116,11 +113,7 @@ mod tests {
     use crate::schedule::{Schedule, ScheduleBuilder};
 
     fn fig1_instance() -> Instance {
-        Instance::unit_from_percentages(&[
-            &[20, 10, 10, 10],
-            &[50, 55, 90, 55, 10],
-            &[50, 40, 95],
-        ])
+        Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]])
     }
 
     fn greedy_fewest_left(inst: &Instance) -> Schedule {
@@ -154,7 +147,10 @@ mod tests {
     #[test]
     fn volume_chain_bound_counts_large_jobs() {
         let inst = InstanceBuilder::new()
-            .processor_jobs([Job::new(ratio(1, 10), ratio(5, 2)), Job::new(ratio(1, 10), Ratio::ONE)])
+            .processor_jobs([
+                Job::new(ratio(1, 10), ratio(5, 2)),
+                Job::new(ratio(1, 10), Ratio::ONE),
+            ])
             .processor([ratio(1, 2)])
             .build();
         // First processor needs at least ⌈2.5⌉ + 1 = 4 steps.

@@ -93,11 +93,19 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::WrongProcessorCount { step, expected, found } => write!(
+            ScheduleError::WrongProcessorCount {
+                step,
+                expected,
+                found,
+            } => write!(
                 f,
                 "time step {step}: expected {expected} processor shares, found {found}"
             ),
-            ScheduleError::ShareOutOfRange { step, processor, share } => write!(
+            ScheduleError::ShareOutOfRange {
+                step,
+                processor,
+                share,
+            } => write!(
                 f,
                 "time step {step}: processor {processor} has share {share} outside [0, 1]"
             ),
@@ -111,7 +119,7 @@ impl fmt::Display for ScheduleError {
                 unfinished.len(),
                 unfinished
                     .first()
-                    .map(|j| j.to_string())
+                    .map(std::string::ToString::to_string)
                     .unwrap_or_else(|| "?".to_string())
             ),
             ScheduleError::ProcessorCountMismatch { instance, schedule } => write!(

@@ -252,11 +252,9 @@ impl SchedulingGraph {
     /// range of time steps.
     #[must_use]
     pub fn components_are_consecutive(&self) -> bool {
-        self.components.iter().all(|c| {
-            c.steps
-                .windows(2)
-                .all(|w| w[1] == w[0] + 1)
-        })
+        self.components
+            .iter()
+            .all(|c| c.steps.windows(2).all(|w| w[1] == w[0] + 1))
     }
 
     /// Verifies Lemma 2 for a non-wasting, progressive and balanced schedule:
@@ -301,11 +299,7 @@ mod tests {
     /// Figure 1 instance should produce the six edges / three components of
     /// the figure.
     fn fig1_instance() -> Instance {
-        Instance::unit_from_percentages(&[
-            &[20, 10, 10, 10],
-            &[50, 55, 90, 55, 10],
-            &[50, 40, 95],
-        ])
+        Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]])
     }
 
     /// Builds the schedule of Figure 1a: in each step, serve active jobs in
@@ -349,9 +343,17 @@ mod tests {
         assert_eq!(classes, vec![3, 3, 1]);
         // C1 = {e1, e2} with 5 nodes, C2 = {e3, e4, e5} with 6 nodes,
         // C3 = {e6} with a single node.
-        let sizes: Vec<usize> = graph.components().iter().map(|c| c.num_nodes()).collect();
+        let sizes: Vec<usize> = graph
+            .components()
+            .iter()
+            .map(super::Component::num_nodes)
+            .collect();
         assert_eq!(sizes, vec![5, 6, 1]);
-        let edge_counts: Vec<usize> = graph.components().iter().map(|c| c.num_edges()).collect();
+        let edge_counts: Vec<usize> = graph
+            .components()
+            .iter()
+            .map(super::Component::num_edges)
+            .collect();
         assert_eq!(edge_counts, vec![2, 3, 1]);
         assert!(graph.satisfies_lemma2());
     }

@@ -271,11 +271,7 @@ mod tests {
     use crate::rational::ratio;
 
     fn fig1_instance() -> Instance {
-        Instance::unit_from_percentages(&[
-            &[20, 10, 10, 10],
-            &[50, 55, 90, 55, 10],
-            &[50, 40, 95],
-        ])
+        Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]])
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl Job {
     /// Creates a job with an explicit volume.
     #[must_use]
     pub fn new(requirement: Ratio, volume: Ratio) -> Self {
-        Job { requirement, volume }
+        Job {
+            requirement,
+            volume,
+        }
     }
 
     /// Creates a unit-size job (`p = 1`), the case analyzed throughout the

@@ -353,8 +353,8 @@ pub fn proposition2_holds(trace: &ScheduleTrace, totals: &[usize]) -> bool {
                 continue; // (i, j) is the last job on processor i.
             }
             // All processors with at least job.index + 1 jobs must be active.
-            for i2 in 0..m {
-                if totals[i2] > job.index && !trace.is_active(t, i2) {
+            for (i2, &total) in totals.iter().enumerate() {
+                if total > job.index && !trace.is_active(t, i2) {
                     return false;
                 }
             }
@@ -483,7 +483,11 @@ mod tests {
         assert!(!is_balanced(&trace));
         assert!(matches!(
             check_balanced(&trace),
-            Some(PropertyViolation::NotBalanced { step: 0, lagging: 0, ahead: 1 })
+            Some(PropertyViolation::NotBalanced {
+                step: 0,
+                lagging: 0,
+                ahead: 1
+            })
         ));
     }
 

@@ -336,6 +336,8 @@ impl MulAssign for Ratio {
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division by the reciprocal is the intended exact-rational definition.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, other: Ratio) -> Ratio {
         self * other.recip()
     }
@@ -423,8 +425,14 @@ impl FromStr for Ratio {
             return Ok(Ratio::new(p, 100));
         }
         if let Some((a, b)) = s.split_once('/') {
-            let num: i128 = a.trim().parse().map_err(|_| ParseRatioError(s.to_string()))?;
-            let den: i128 = b.trim().parse().map_err(|_| ParseRatioError(s.to_string()))?;
+            let num: i128 = a
+                .trim()
+                .parse()
+                .map_err(|_| ParseRatioError(s.to_string()))?;
+            let den: i128 = b
+                .trim()
+                .parse()
+                .map_err(|_| ParseRatioError(s.to_string()))?;
             if den == 0 {
                 return Err(ParseRatioError(s.to_string()));
             }
@@ -553,7 +561,12 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for r in [ratio(1, 3), ratio(-7, 5), Ratio::ZERO, Ratio::from_integer(9)] {
+        for r in [
+            ratio(1, 3),
+            ratio(-7, 5),
+            Ratio::ZERO,
+            Ratio::from_integer(9),
+        ] {
             let s = r.to_string();
             assert_eq!(s.parse::<Ratio>().unwrap(), r);
         }

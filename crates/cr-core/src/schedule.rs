@@ -556,7 +556,7 @@ impl<'a> ScheduleBuilder<'a> {
             );
         }
 
-        for i in 0..self.processors() {
+        for (i, &share) in shares.iter().enumerate() {
             let Some(id) = self.active_job(i) else {
                 continue;
             };
@@ -564,7 +564,7 @@ impl<'a> ScheduleBuilder<'a> {
             let speed = if job.requirement.is_zero() {
                 Ratio::ONE
             } else {
-                (shares[i] / job.requirement).min(Ratio::ONE)
+                (share / job.requirement).min(Ratio::ONE)
             };
             let step_progress = speed.min(self.remaining_volume[i]);
             self.remaining_volume[i] -= step_progress;
@@ -780,10 +780,10 @@ mod tests {
             // Naive: give everything to the lowest-indexed active processor.
             let mut shares = vec![Ratio::ZERO; inst.processors()];
             let mut left = Ratio::ONE;
-            for i in 0..inst.processors() {
+            for (i, share) in shares.iter_mut().enumerate() {
                 if b.is_active(i) {
                     let give = b.step_demand(i).min(left);
-                    shares[i] = give;
+                    *share = give;
                     left -= give;
                 }
             }

@@ -121,7 +121,11 @@ mod tests {
         let trace = normalized.trace(&inst).unwrap();
         assert!(trace.makespan() <= 4);
         let report = PropertyReport::analyze(&trace);
-        assert!(report.is_normalized(), "violations: {:?}", report.violations);
+        assert!(
+            report.is_normalized(),
+            "violations: {:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@ pub mod worst_case;
 pub use random::{
     random_batch, random_sized_instance, random_unit_instance, RandomConfig, RequirementProfile,
 };
-pub use reduction::{
-    is_yes_instance, partition_to_crsharing, solve_partition, PartitionReduction,
-};
+pub use reduction::{is_yes_instance, partition_to_crsharing, solve_partition, PartitionReduction};
 pub use serde_io::{MeasurementRecord, NamedInstance};
 pub use workload::{average_demand, generate_workload, TaskMix, WorkloadConfig};
 pub use worst_case::{

@@ -119,7 +119,8 @@ pub fn random_sized_instance(cfg: &RandomConfig, max_volume: u64, seed: u64) -> 
             (0..cfg.jobs_per_processor)
                 .map(|_| {
                     let requirement = draw_requirement(cfg, &mut rng);
-                    let volume = Ratio::from_integer(rng.random_range(1..=max_volume.max(1)) as i64);
+                    let volume =
+                        Ratio::from_integer(rng.random_range(1..=max_volume.max(1)) as i64);
                     Job::new(requirement, volume)
                 })
                 .collect()

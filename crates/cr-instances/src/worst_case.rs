@@ -13,11 +13,7 @@ use cr_core::{Instance, Ratio};
 /// `20 10 10 10 / 50 55 90 55 10 / 50 40 95`).
 #[must_use]
 pub fn figure1_instance() -> Instance {
-    Instance::unit_from_percentages(&[
-        &[20, 10, 10, 10],
-        &[50, 55, 90, 55, 10],
-        &[50, 40, 95],
-    ])
+    Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]])
 }
 
 /// The three-processor example of Figure 2: four 50% jobs on the first
@@ -43,10 +39,7 @@ pub fn round_robin_worst_case(n: usize) -> Instance {
     let n_i = n as i128;
     let eps = Ratio::new(1, n_i);
     let first: Vec<Ratio> = (1..=n_i).map(|j| eps * Ratio::new(j, 1)).collect();
-    let second: Vec<Ratio> = first
-        .iter()
-        .map(|&r| Ratio::ONE + eps - r)
-        .collect();
+    let second: Vec<Ratio> = first.iter().map(|&r| Ratio::ONE + eps - r).collect();
     Instance::unit_from_requirements(vec![first, second])
 }
 
@@ -186,14 +179,23 @@ mod tests {
         assert_eq!(inst.processors(), 2);
         assert_eq!(inst.max_chain_length(), 100);
         // First processor: 1%, 2%, …, 100%.
-        assert_eq!(inst.processor_jobs(0)[0].requirement, Ratio::from_percent(1));
+        assert_eq!(
+            inst.processor_jobs(0)[0].requirement,
+            Ratio::from_percent(1)
+        );
         assert_eq!(inst.processor_jobs(0)[99].requirement, Ratio::ONE);
         // Second processor: 100%, 99%, …, 1%.
         assert_eq!(inst.processor_jobs(1)[0].requirement, Ratio::ONE);
-        assert_eq!(inst.processor_jobs(1)[99].requirement, Ratio::from_percent(1));
+        assert_eq!(
+            inst.processor_jobs(1)[99].requirement,
+            Ratio::from_percent(1)
+        );
         // Total workload is n + 1, which matches the optimal makespan.
         assert_eq!(inst.total_workload(), Ratio::from_integer(101));
-        assert_eq!(bounds::workload_bound_steps(&inst), round_robin_worst_case_opt(100));
+        assert_eq!(
+            bounds::workload_bound_steps(&inst),
+            round_robin_worst_case_opt(100)
+        );
     }
 
     #[test]
@@ -202,7 +204,9 @@ mod tests {
         let inst = greedy_balance_worst_case(3, 100, 3);
         assert_eq!(inst.processors(), 3);
         assert_eq!(inst.max_chain_length(), 9);
-        let pct = |i: usize, j: usize| (inst.processor_jobs(i)[j].requirement * Ratio::from_integer(100)).to_f64();
+        let pct = |i: usize, j: usize| {
+            (inst.processor_jobs(i)[j].requirement * Ratio::from_integer(100)).to_f64()
+        };
         // Block 1 first column: 99, 98, 97.
         assert_eq!(pct(0, 0), 99.0);
         assert_eq!(pct(1, 0), 98.0);
@@ -224,7 +228,10 @@ mod tests {
     #[test]
     fn block_count_guard() {
         let max3 = greedy_balance_max_blocks(3, 100);
-        assert!(max3 >= 3, "Figure 5 shows at least three blocks for ε = 0.01");
+        assert!(
+            max3 >= 3,
+            "Figure 5 shows at least three blocks for ε = 0.01"
+        );
         assert!(build_greedy_blocks(3, 100, max3 + 1).is_none());
         // A finer grid admits more blocks.
         assert!(greedy_balance_max_blocks(3, 1000) > max3);
@@ -243,7 +250,10 @@ mod tests {
         for m in 2..=5 {
             let inst = greedy_balance_worst_case(m, 1000, 1);
             let workload = inst.total_workload().to_f64();
-            assert!((workload - m as f64).abs() < 0.1, "m={m}: workload {workload}");
+            assert!(
+                (workload - m as f64).abs() < 0.1,
+                "m={m}: workload {workload}"
+            );
         }
     }
 }

@@ -1,0 +1,149 @@
+//! Round-trip coverage for `cr_instances::serde_io`: instance → JSON →
+//! instance equality, including the degenerate 0% and 100% resource shares
+//! the experiment harness can emit, plus file-level and string-level paths.
+
+use cr_core::{Instance, Job, Ratio, Schedule};
+use cr_instances::serde_io::{
+    read_instance, read_json, schedule_from_json, schedule_to_json, write_instance, write_json,
+    NamedInstance,
+};
+use cr_instances::{random_sized_instance, random_unit_instance, MeasurementRecord, RandomConfig};
+use std::fs;
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cr-serde-roundtrip-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn named(name: &str, instance: Instance) -> NamedInstance {
+    NamedInstance {
+        name: name.to_string(),
+        description: format!("round-trip coverage instance `{name}`"),
+        instance,
+    }
+}
+
+#[test]
+fn degenerate_zero_percent_shares_roundtrip() {
+    // A 0% requirement is legal (the job needs no resource at all) and must
+    // survive serialization exactly — `0/1` in lowest terms.
+    let instance = Instance::unit_from_percentages(&[&[0, 50], &[0, 0, 100]]);
+    let json = serde_json::to_string(&instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, instance);
+    let zero = back.processor_jobs(0)[0].requirement;
+    assert!(zero.is_zero());
+    assert_eq!(zero.denom(), 1);
+}
+
+#[test]
+fn degenerate_full_shares_roundtrip() {
+    // 100% requirements (the resource bottleneck regime) and whole-resource
+    // schedule rows.
+    let instance = Instance::unit_from_percentages(&[&[100, 100], &[100]]);
+    let json = serde_json::to_string(&instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, instance);
+
+    let schedule = Schedule::new(vec![
+        vec![Ratio::ONE, Ratio::ZERO],
+        vec![Ratio::ONE, Ratio::ZERO],
+        vec![Ratio::ZERO, Ratio::ONE],
+    ]);
+    let text = schedule_to_json(&schedule);
+    let back = schedule_from_json(&text).unwrap();
+    assert_eq!(back, schedule);
+}
+
+#[test]
+fn mixed_extreme_instance_roundtrips_through_file() {
+    let dir = tempdir("mixed");
+    let path = dir.join("extreme.json");
+    let instance = Instance::unit_from_percentages(&[&[0, 100, 0], &[100, 0], &[50]]);
+    let original = named("extremes", instance);
+    write_instance(&path, &original).unwrap();
+    let back = read_instance(&path).unwrap();
+    assert_eq!(back, original);
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn random_instances_roundtrip_exactly() {
+    // Unit-size and arbitrary-size random instances keep every rational
+    // component exact through JSON (i128-exact numbers in the writer).
+    for seed in 0..10u64 {
+        let unit = random_unit_instance(&RandomConfig::uniform(4, 6), seed);
+        let json = serde_json::to_string(&unit).unwrap();
+        assert_eq!(serde_json::from_str::<Instance>(&json).unwrap(), unit);
+
+        let sized = random_sized_instance(&RandomConfig::uniform(3, 5), 7, seed);
+        let json = serde_json::to_string(&sized).unwrap();
+        assert_eq!(serde_json::from_str::<Instance>(&json).unwrap(), sized);
+    }
+}
+
+#[test]
+fn volumes_and_awkward_rationals_roundtrip() {
+    // Non-unit volumes and rationals with large coprime components.
+    let instance = Instance::new(vec![
+        vec![Job::new(Ratio::new(1, 3), Ratio::new(7, 2))],
+        vec![Job::new(
+            Ratio::new(999_983, 1_000_003),
+            Ratio::from_integer(12),
+        )],
+    ])
+    .unwrap();
+    let json = serde_json::to_string_pretty(&instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, instance);
+}
+
+#[test]
+fn named_instance_with_unicode_metadata_roundtrips() {
+    let dir = tempdir("unicode");
+    let path = dir.join("unicode.json");
+    let mut original = named("fig1", Instance::unit_from_percentages(&[&[60, 40]]));
+    original.description = "ratio ≤ 2 − 1/m — \"quoted\", backslash \\, newline\n".to_string();
+    write_instance(&path, &original).unwrap();
+    let back = read_instance(&path).unwrap();
+    assert_eq!(back, original);
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn measurement_record_roundtrips_via_generic_helpers() {
+    let dir = tempdir("record");
+    let path = dir.join("record.json");
+    let record = MeasurementRecord {
+        experiment: "E8".to_string(),
+        instance: "uniform m=4 n=20 rep=3".to_string(),
+        algorithm: "GreedyBalance".to_string(),
+        processors: 4,
+        max_chain: 20,
+        makespan: 23,
+        lower_bound: 21,
+    };
+    write_json(&path, &record).unwrap();
+    let back: MeasurementRecord = read_json(&path).unwrap();
+    assert_eq!(back, record);
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn empty_processor_rows_roundtrip() {
+    // Processors with no jobs are legal instances and must survive I/O.
+    let instance = Instance::new(vec![vec![Job::unit(Ratio::new(1, 2))], vec![]]).unwrap();
+    let json = serde_json::to_string(&instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, instance);
+    assert_eq!(back.jobs_on(1), 0);
+}

@@ -125,9 +125,9 @@ impl Simulator {
             }
             builder.push_step(shares);
             steps += 1;
-            for i in 0..m {
-                if completion[i] == 0 && builder.unfinished_jobs(i) == 0 {
-                    completion[i] = steps;
+            for (i, done_at) in completion.iter_mut().enumerate() {
+                if *done_at == 0 && builder.unfinished_jobs(i) == 0 {
+                    *done_at = steps;
                 }
             }
         }
@@ -186,10 +186,20 @@ mod tests {
         vec![
             Task::new(
                 "io0",
-                vec![Phase::unit(ratio(9, 10)), Phase::unit(ratio(8, 10)), Phase::unit(ratio(7, 10))],
+                vec![
+                    Phase::unit(ratio(9, 10)),
+                    Phase::unit(ratio(8, 10)),
+                    Phase::unit(ratio(7, 10)),
+                ],
             ),
-            Task::new("cpu0", vec![Phase::unit(ratio(1, 10)), Phase::unit(ratio(1, 10))]),
-            Task::new("io1", vec![Phase::unit(ratio(6, 10)), Phase::unit(ratio(5, 10))]),
+            Task::new(
+                "cpu0",
+                vec![Phase::unit(ratio(1, 10)), Phase::unit(ratio(1, 10))],
+            ),
+            Task::new(
+                "io1",
+                vec![Phase::unit(ratio(6, 10)), Phase::unit(ratio(5, 10))],
+            ),
         ]
     }
 
@@ -203,7 +213,11 @@ mod tests {
         assert_eq!(trace.makespan(), outcome.report.makespan);
         assert!(outcome.report.makespan >= outcome.report.lower_bound);
         assert!(outcome.report.bus_utilization > 0.0);
-        assert!(outcome.report.per_core.iter().all(|c| c.completion_time > 0));
+        assert!(outcome
+            .report
+            .per_core
+            .iter()
+            .all(|c| c.completion_time > 0));
     }
 
     #[test]

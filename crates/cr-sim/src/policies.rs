@@ -93,7 +93,11 @@ impl OnlinePolicy for GreedyBalancePolicy {
             cores[b]
                 .remaining_phases
                 .cmp(&cores[a].remaining_phases)
-                .then_with(|| cores[b].remaining_workload.cmp(&cores[a].remaining_workload))
+                .then_with(|| {
+                    cores[b]
+                        .remaining_workload
+                        .cmp(&cores[a].remaining_workload)
+                })
                 .then_with(|| a.cmp(&b))
         });
         serve_in_priority_order(cores, order)
@@ -229,7 +233,11 @@ mod tests {
 
     #[test]
     fn equal_share_ignores_demand() {
-        let cores = vec![view(Some((1, 10)), 1), view(Some((9, 10)), 1), view(None, 0)];
+        let cores = vec![
+            view(Some((1, 10)), 1),
+            view(Some((9, 10)), 1),
+            view(None, 0),
+        ];
         let shares = EqualSharePolicy.allocate(&cores);
         assert_eq!(shares[0], ratio(1, 2));
         assert_eq!(shares[1], ratio(1, 2));

@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn conversion_roundtrip() {
         let tasks = vec![
-            Task::new("core0", vec![Phase::unit(ratio(1, 2)), Phase::unit(ratio(1, 4))]),
+            Task::new(
+                "core0",
+                vec![Phase::unit(ratio(1, 2)), Phase::unit(ratio(1, 4))],
+            ),
             Task::new("core1", vec![Phase::new(ratio(3, 4), ratio(2, 1))]),
         ];
         let instance = tasks_to_instance(&tasks);

@@ -13,6 +13,6 @@ pub mod render;
 pub mod svg;
 
 pub use render::{
-    render_components, render_instance, render_schedule, render_share_matrix, percent_label,
+    percent_label, render_components, render_instance, render_schedule, render_share_matrix,
 };
 pub use svg::schedule_svg;

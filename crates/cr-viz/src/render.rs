@@ -63,7 +63,10 @@ pub fn render_schedule(instance: &Instance, trace: &ScheduleTrace) -> String {
                 Some(job) if trace.is_active(t, i) => {
                     let share = percent_label(trace.assigned(t, i));
                     let marker = if trace.completes_in(job, t) { "*" } else { " " };
-                    out.push_str(&format!("{:>10}", format!("j{}:{}{}", job.index, share, marker)));
+                    out.push_str(&format!(
+                        "{:>10}",
+                        format!("j{}:{}{}", job.index, share, marker)
+                    ));
                 }
                 _ => out.push_str(&format!("{:>10}", "·")),
             }
@@ -73,7 +76,9 @@ pub fn render_schedule(instance: &Instance, trace: &ScheduleTrace) -> String {
     let wasted: f64 = (0..trace.makespan())
         .map(|t| 1.0 - trace.consumed_total(t).to_f64())
         .sum();
-    out.push_str(&format!("  unused resource over the horizon: {wasted:.3} steps\n"));
+    out.push_str(&format!(
+        "  unused resource over the horizon: {wasted:.3} steps\n"
+    ));
     out
 }
 

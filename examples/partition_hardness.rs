@@ -54,9 +54,7 @@ fn main() {
                 assert!(optimum >= PartitionReduction::NO_MAKESPAN);
             }
         }
-        println!(
-            "  optimal makespan (brute force): {optimum}    GreedyBalance: {greedy}\n"
-        );
+        println!("  optimal makespan (brute force): {optimum}    GreedyBalance: {greedy}\n");
     }
 
     println!(

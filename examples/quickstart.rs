@@ -14,11 +14,8 @@ use crsharing::viz::{render_components, render_instance, render_schedule};
 fn main() {
     // The running example of the paper (Figure 1): three processors sharing
     // one resource, requirements given in percent.
-    let instance = Instance::unit_from_percentages(&[
-        &[20, 10, 10, 10],
-        &[50, 55, 90, 55, 10],
-        &[50, 40, 95],
-    ]);
+    let instance =
+        Instance::unit_from_percentages(&[&[20, 10, 10, 10], &[50, 55, 90, 55, 10], &[50, 40, 95]]);
 
     println!("{}", render_instance(&instance));
     println!(

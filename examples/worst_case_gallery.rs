@@ -41,7 +41,13 @@ fn main() {
         } else {
             round_robin_worst_case_opt(n)
         };
-        println!("{:>6} {:>8} {:>8} {:>8.3}", n, rr, opt, rr as f64 / opt as f64);
+        println!(
+            "{:>6} {:>8} {:>8} {:>8.3}",
+            n,
+            rr,
+            opt,
+            rr as f64 / opt as f64
+        );
     }
     println!();
 

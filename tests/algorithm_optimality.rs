@@ -6,8 +6,8 @@ mod common;
 
 use common::{tiny_instance, unit_instance};
 use crsharing::algos::{
-    brute_force_makespan, opt_m_makespan, opt_two_makespan, opt_two_makespan_sparse,
-    GreedyBalance, OptM, OptTwo, RoundRobin, Scheduler,
+    brute_force_makespan, opt_m_makespan, opt_two_makespan, opt_two_makespan_sparse, GreedyBalance,
+    OptM, OptTwo, RoundRobin, Scheduler,
 };
 use crsharing::core::bounds;
 use proptest::prelude::*;

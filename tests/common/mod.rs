@@ -1,5 +1,9 @@
 //! Shared proptest strategies for the cross-crate integration tests.
 
+// Each integration-test target compiles its own copy of this module and not
+// every target uses every strategy.
+#![allow(dead_code)]
+
 use crsharing::core::{Instance, Ratio};
 use proptest::prelude::*;
 
@@ -12,11 +16,8 @@ pub fn requirement() -> impl Strategy<Value = Ratio> {
 /// Strategy for a unit-size instance with `m ∈ [1, max_m]` processors and
 /// between 1 and `max_n` jobs per processor.
 pub fn unit_instance(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
-    prop::collection::vec(
-        prop::collection::vec(requirement(), 1..=max_n),
-        1..=max_m,
-    )
-    .prop_map(Instance::unit_from_requirements)
+    prop::collection::vec(prop::collection::vec(requirement(), 1..=max_n), 1..=max_m)
+        .prop_map(Instance::unit_from_requirements)
 }
 
 /// Strategy for small instances on which the brute-force solver is fast.

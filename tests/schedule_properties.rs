@@ -7,14 +7,13 @@ mod common;
 
 use common::unit_instance;
 use crsharing::algos::{
-    EqualShare, GreedyBalance, ProportionalShare, RoundRobin, Scheduler,
-    SmallestRequirementFirst,
+    EqualShare, GreedyBalance, ProportionalShare, RoundRobin, Scheduler, SmallestRequirementFirst,
 };
 use crsharing::core::properties::{
     is_balanced, is_non_wasting, is_progressive, proposition1_holds, proposition2_holds,
     PropertyReport,
 };
-use crsharing::core::{bounds, transform, SchedulingGraph};
+use crsharing::core::{bounds, transform, Component, SchedulingGraph};
 use proptest::prelude::*;
 
 proptest! {
@@ -52,10 +51,10 @@ proptest! {
         prop_assert!(graph.components_are_consecutive());
         prop_assert!(graph.satisfies_lemma2());
         // Every job appears in exactly one component.
-        let total_nodes: usize = graph.components().iter().map(|c| c.num_nodes()).sum();
+        let total_nodes: usize = graph.components().iter().map(Component::num_nodes).sum();
         prop_assert_eq!(total_nodes, instance.total_jobs());
         // Edges partition the time steps.
-        let total_edges: usize = graph.components().iter().map(|c| c.num_edges()).sum();
+        let total_edges: usize = graph.components().iter().map(Component::num_edges).sum();
         prop_assert_eq!(total_edges, trace.makespan());
     }
 

@@ -9,9 +9,7 @@ use common::unit_instance;
 use crsharing::algos::{GreedyBalance, RoundRobin, Scheduler};
 use crsharing::core::bounds;
 use crsharing::instances::{generate_workload, TaskMix, WorkloadConfig};
-use crsharing::sim::{
-    standard_policies, GreedyBalancePolicy, RoundRobinPolicy, Simulator,
-};
+use crsharing::sim::{standard_policies, GreedyBalancePolicy, RoundRobinPolicy, Simulator};
 use proptest::prelude::*;
 
 proptest! {
@@ -66,7 +64,12 @@ proptest! {
 
 #[test]
 fn greedy_balance_policy_meets_theorem7_bound_on_workloads() {
-    for mix in [TaskMix::IoBound, TaskMix::Mixed, TaskMix::Bursty, TaskMix::ComputeBound] {
+    for mix in [
+        TaskMix::IoBound,
+        TaskMix::Mixed,
+        TaskMix::Bursty,
+        TaskMix::ComputeBound,
+    ] {
         for cores in [4usize, 8, 16] {
             let cfg = WorkloadConfig {
                 cores,

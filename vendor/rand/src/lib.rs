@@ -1,0 +1,164 @@
+//! Minimal, workspace-local stand-in for the `rand` crate.
+//!
+//! Provides exactly what the instance generators use: a deterministic
+//! [`rngs::StdRng`] seeded through [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] extension trait with `random_range` / `random_bool`.
+//!
+//! The generator is SplitMix64: tiny, fast, platform-independent and
+//! statistically solid for experiment sampling.  Determinism is the hard
+//! requirement here — every experiment cell must reproduce byte-identically
+//! from its seed on any host.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// The raw 64-bit output interface.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The value one below `self` (used to close half-open ranges).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sampling range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                // 128 random bits modulo the span: the bias is at most
+                // 2^-64 for the span sizes used in this repository.
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let offset = (wide % span) as i128;
+                ((lo as i128) + offset) as $ty
+            }
+            fn prev(self) -> Self {
+                self.checked_sub(1)
+                    .expect("random_range: empty half-open range")
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&lo) => lo,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("random_range requires an inclusive lower bound")
+            }
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&hi) => hi,
+            Bound::Excluded(&hi) => hi.prev(),
+            Bound::Unbounded => panic!("random_range requires a bounded upper end"),
+        };
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Compare against 53 uniform mantissa bits.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v = rng.random_range(1u64..=6);
+            assert!((1..=6).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.random_range(0usize..5);
+            assert!(v < 5);
+        }
+        // Signed ranges.
+        for _ in 0..100 {
+            let v = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&heads), "heads = {heads}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal, workspace-local stand-in for the `rayon` crate.
+//!
+//! Implements the data-parallel subset the experiment pipeline uses —
+//! `par_iter()` / `into_par_iter()` followed by `map(...).collect()` — on
+//! top of `std::thread::scope`.  Items are split into one contiguous chunk
+//! per worker thread; output order always matches input order, so parallel
+//! runs are byte-identical to serial ones.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel operations.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion of `&self` into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type (a reference).
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates a parallel iterator over references to `self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// A parallel iterator: fan work out across threads, keep input order.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Drains the iterator into an ordered `Vec` (terminal operation; the
+    /// one place where threads are actually spawned).
+    fn drain_ordered(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects the results, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drain_ordered().into_iter().collect()
+    }
+
+    /// Number of elements (terminal operation).
+    fn count(self) -> usize {
+        self.drain_ordered().len()
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drain_ordered(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn drain_ordered(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// Parallel `map` adapter: the stage where threads fan out.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn drain_ordered(self) -> Vec<U> {
+        let items = self.inner.drain_ordered();
+        let f = &self.f;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_len = n.div_ceil(workers);
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        // Give each worker one contiguous chunk of inputs and the matching
+        // chunk of output slots; order is preserved by construction.
+        let mut input_chunks: Vec<Vec<I::Item>> = Vec::with_capacity(workers);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_len));
+            input_chunks.push(items);
+            items = rest;
+        }
+        thread::scope(|scope| {
+            let mut out_slots: &mut [Option<U>] = &mut out;
+            for chunk in input_chunks {
+                let (slots, rest) = out_slots.split_at_mut(chunk.len());
+                out_slots = rest;
+                scope.spawn(move || {
+                    for (slot, item) in slots.iter_mut().zip(chunk) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn into_par_iter_consumes_and_preserves_order() {
+        let input: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+        let expected = input.clone();
+        let output: Vec<String> = input.into_par_iter().map(|s| s).collect();
+        assert_eq!(output, expected);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Minimal, workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the *exact* API surface its crates use: the
+//! [`Serialize`] / [`Deserialize`] traits, their derive macros (re-exported
+//! from `serde_derive`), and a self-describing [`Value`] tree that
+//! `serde_json` renders to and parses from JSON text.
+//!
+//! The data model is intentionally JSON-shaped (null, bool, number, string,
+//! array, object) — exactly what the experiment harness persists.  Numbers
+//! keep an exact `i128` representation when possible so that the `Ratio`
+//! type's numerators and denominators round-trip losslessly.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (exact integer where possible).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key/value map.  Insertion order is preserved so that serialization
+    /// is deterministic (a requirement for byte-identical experiment dumps).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON number: an exact integer or a double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integer that fits `i128` (covers every `Ratio` component).
+    Int(i128),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `i128` if it is an exact integer.
+    #[must_use]
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 2f64.powi(96) {
+                    Some(f as i128)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `f64` (lossy for very large integers).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// Error produced during (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rendered into the serde [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the serde [`Value`] data model.
+///
+/// The lifetime parameter mirrors the real serde API (`for<'de>` bounds in
+/// downstream code must compile unchanged); this implementation never
+/// borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserializes one named field of an object (helper used by the derive
+/// macro expansion).
+pub fn de_field<T: for<'de> Deserialize<'de>>(value: &Value, key: &str) -> Result<T, Error> {
+    let field = value
+        .get(key)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))?;
+    T::deserialize(field).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::Int(*self as i128))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i128()
+                        .and_then(|i| <$ty>::try_from(i).ok())
+                        .ok_or_else(|| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        match i128::try_from(*self) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::Float(*self as f64)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => n
+                .as_i128()
+                .and_then(|i| u128::try_from(i).ok())
+                .ok_or_else(|| Error::custom("integer out of range for u128")),
+            _ => Err(Error::custom("expected integer for u128")),
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::Float(f64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $ty),
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,302 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (no registry access): the input token
+//! stream is scanned by hand.  Supported shapes are the ones this workspace
+//! actually derives on — non-generic structs with named fields, tuple
+//! structs, unit structs, and enums whose variants are unit-like or carry
+//! named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<(String, Shape)>),
+}
+
+fn expand(input: &TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    code.parse().expect("derive expansion must be valid Rust")
+}
+
+/// Extracts the item name and field layout from a `struct` / `enum` item.
+fn parse_item(input: &TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Shape::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Splits a brace-group token stream into top-level comma-separated chunks.
+fn split_top_level(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream.clone() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let mut name = None;
+            let mut j = 0;
+            while j < chunk.len() {
+                match &chunk[j] {
+                    TokenTree::Punct(p) if p.as_char() == '#' => j += 2,
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        j += 1;
+                        if let Some(TokenTree::Group(g)) = chunk.get(j) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                j += 1;
+                            }
+                        }
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        break;
+                    }
+                    other => panic!("unexpected token in field: {other:?}"),
+                }
+            }
+            name.expect("field must have a name")
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Variant names and payload shapes of an enum body.
+fn parse_variants(stream: &TokenStream) -> Vec<(String, Shape)> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let mut j = 0;
+            while matches!(chunk.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                j += 2;
+            }
+            let name = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let shape = match chunk.get(j + 1) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(&g.stream()))
+                }
+                other => panic!("unsupported variant body: {other:?}"),
+            };
+            (name, shape)
+        })
+        .collect()
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                items.into_iter().next().expect("one field")
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Named(fields) => obj_literal(fields, "self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Shape::Named(fields) => {
+                        let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                        let inner = obj_literal(fields, "");
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), {inner})]),",
+                            pat.join(", ")
+                        )
+                    }
+                    _ => panic!("tuple enum variants are not supported"),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+/// `Value::Object` literal serializing `prefix`-qualified fields.
+fn obj_literal(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let amp = if prefix.is_empty() { "" } else { "&" };
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({amp}{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(n) if *n == 1 => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{ ::serde::Value::Array(items) => ::std::result::Result::Ok({name}({})), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected array\")) }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(value, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, vs)| matches!(vs, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let named_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, vs)| match vs {
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(inner, \"{f}\")?"))
+                            .collect();
+                        Some(format!(
+                            "if let ::std::option::Option::Some(inner) = value.get(\"{v}\") {{ return ::std::result::Result::Ok({name}::{v} {{ {} }}); }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    _ => None,
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(tag) = value {{ return match tag.as_str() {{ {} _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown enum variant\")) }}; }} {} ::std::result::Result::Err(::serde::Error::custom(\"unknown enum variant\"))",
+                unit_arms.join(" "),
+                named_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n    fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}\n"
+    )
+}
