@@ -9,8 +9,14 @@
 //! `OptResAssignment`, `OptResAssignment2` and the approximation-ratio
 //! experiments.
 
+//! The hot path runs the memoized search on a [`ScaledInstance`] through
+//! [`crate::scaled_engine`]; the original `Ratio`-based search is retained as
+//! [`brute_force_makespan_rational`] for cross-checking and as the overflow
+//! fallback.
+
 use crate::opt_m::{successors, Config};
-use cr_core::{bounds, Instance};
+use crate::scaled_engine;
+use cr_core::{bounds, Instance, ScaledInstance};
 use std::collections::HashMap;
 
 /// Search statistics of a brute-force run (useful for reporting how much
@@ -34,8 +40,38 @@ pub fn brute_force_makespan(instance: &Instance) -> usize {
 }
 
 /// Like [`brute_force_makespan`] but also reports search statistics.
+///
+/// Runs on the scaled-integer engine whenever the instance's requirement
+/// denominators admit a `u64` LCM, falling back to the rational search
+/// otherwise.
 #[must_use]
 pub fn brute_force_with_stats(instance: &Instance) -> (usize, SearchStats) {
+    assert!(
+        instance.is_unit_size(),
+        "brute force solver requires unit-size jobs"
+    );
+    match ScaledInstance::try_new(instance) {
+        Some(scaled) => {
+            let (result, states, expansions) = scaled_engine::brute_force(&scaled);
+            (result, SearchStats { states, expansions })
+        }
+        None => brute_force_with_stats_rational(instance),
+    }
+}
+
+/// The original `Ratio`-arithmetic exhaustive search (reference path).
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit size jobs.
+#[must_use]
+pub fn brute_force_makespan_rational(instance: &Instance) -> usize {
+    brute_force_with_stats_rational(instance).0
+}
+
+/// Like [`brute_force_makespan_rational`] but also reports statistics.
+#[must_use]
+pub fn brute_force_with_stats_rational(instance: &Instance) -> (usize, SearchStats) {
     assert!(
         instance.is_unit_size(),
         "brute force solver requires unit-size jobs"
@@ -178,5 +214,22 @@ mod tests {
         assert_eq!(opt, 2);
         assert!(stats.states > 0);
         assert!(stats.expansions > 0);
+    }
+
+    #[test]
+    fn scaled_and_rational_paths_agree() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40], &[60, 40]]),
+            Instance::unit_from_percentages(&[&[80, 20], &[70, 30], &[10, 90]]),
+            Instance::unit_from_percentages(&[&[0, 100], &[100, 0], &[50, 50]]),
+            Instance::unit_from_percentages(&[&[50, 50, 50, 50], &[100], &[100]]),
+        ];
+        for inst in instances {
+            assert_eq!(
+                brute_force_makespan(&inst),
+                brute_force_makespan_rational(&inst),
+                "{inst}"
+            );
+        }
     }
 }

@@ -28,15 +28,19 @@ pub mod heuristics;
 pub mod opt_m;
 pub mod opt_two;
 pub mod round_robin;
+mod scaled_engine;
 pub mod traits;
 
-pub use brute_force::{brute_force_makespan, brute_force_with_stats, SearchStats};
+pub use brute_force::{
+    brute_force_makespan, brute_force_makespan_rational, brute_force_with_stats,
+    brute_force_with_stats_rational, SearchStats,
+};
 pub use greedy_balance::GreedyBalance;
 pub use heuristics::{
     EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst,
 };
-pub use opt_m::{opt_m_makespan, OptM};
-pub use opt_two::{opt_two_makespan, opt_two_makespan_sparse, OptTwo};
+pub use opt_m::{opt_m_makespan, opt_m_makespan_rational, OptM};
+pub use opt_two::{opt_two_makespan, opt_two_makespan_rational, opt_two_makespan_sparse, OptTwo};
 pub use round_robin::{phase_length, round_robin_upper_bound, RoundRobin};
 pub use traits::{standard_line_up, BoxedScheduler, Scheduler};
 

@@ -11,9 +11,17 @@
 //! (Lemma 4), and stops as soon as a configuration with all jobs completed
 //! appears.  The number of surviving configurations is polynomial in `n` for
 //! fixed `m`, which yields Theorem 6's polynomial running time.
+//!
+//! Two implementations share this file's entry points: the hot path runs the
+//! search on a [`ScaledInstance`] through [`crate::scaled_engine`] (integer
+//! units, packed configuration keys, FxHash memoization), and the original
+//! `Ratio`-based search is retained as [`opt_m_makespan_rational`] — both the
+//! fallback when scaling would overflow and the reference the property tests
+//! cross-check against.
 
+use crate::scaled_engine;
 use crate::traits::Scheduler;
-use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
+use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
 use std::collections::HashMap;
 
 /// A configuration: how many jobs each processor has completed and how much
@@ -245,11 +253,35 @@ fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
 
 /// The optimal makespan computed by the configuration search.
 ///
+/// Runs on the scaled-integer engine whenever the instance's requirement
+/// denominators admit a `u64` LCM (always, for the families in this
+/// repository), and falls back to the exact rational search otherwise.
+///
 /// # Panics
 ///
 /// Panics if the instance contains non-unit job sizes.
 #[must_use]
 pub fn opt_m_makespan(instance: &Instance) -> usize {
+    assert_unit(instance);
+    match ScaledInstance::try_new(instance) {
+        Some(scaled) => {
+            let rounds = scaled_engine::run_search(&scaled);
+            scaled_engine::search_makespan(&scaled, &rounds)
+        }
+        None => opt_m_makespan_rational(instance),
+    }
+}
+
+/// The original `Ratio`-arithmetic configuration search (reference path).
+///
+/// Kept verbatim so property tests can cross-check the scaled engine and as
+/// the fallback for instances whose denominator LCM overflows `u64`.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit job sizes.
+#[must_use]
+pub fn opt_m_makespan_rational(instance: &Instance) -> usize {
     assert_unit(instance);
     let rounds = run_search(instance);
     if rounds[0][0].config.is_final(instance) {
@@ -292,6 +324,10 @@ impl Scheduler for OptM {
 
     fn schedule(&self, instance: &Instance) -> Schedule {
         assert_unit(instance);
+        if let Some(scaled) = ScaledInstance::try_new(instance) {
+            let rounds = scaled_engine::run_search(&scaled);
+            return scaled_engine::search_schedule(instance, &scaled, &rounds);
+        }
         let rounds = run_search(instance);
         let last = rounds.len() - 1;
         if last == 0 {
@@ -400,6 +436,23 @@ mod tests {
         assert!(opt >= bounds::trivial_lower_bound(&inst));
         let m = inst.processors() as f64;
         assert!(greedy as f64 <= (2.0 - 1.0 / m) * opt as f64 + 1e-9);
+    }
+
+    #[test]
+    fn scaled_and_rational_paths_agree() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40, 80], &[30, 90, 10]]),
+            Instance::unit_from_percentages(&[&[100], &[100], &[100]]),
+            Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]),
+            Instance::unit_from_percentages(&[&[0, 100], &[100, 0], &[50, 50]]),
+            Instance::unit_from_percentages(&[&[90, 5], &[80, 15], &[70, 25]]),
+        ];
+        for inst in instances {
+            let scaled = opt_m_makespan(&inst);
+            let rational = opt_m_makespan_rational(&inst);
+            assert_eq!(scaled, rational, "{inst}");
+            assert_eq!(OptM::new().schedule(&inst).makespan(&inst).unwrap(), scaled);
+        }
     }
 
     #[test]

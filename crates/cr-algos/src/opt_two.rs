@@ -19,10 +19,16 @@
 //! * otherwise finish only the first processor's frontier job and give the
 //!   leftover resource to the second processor's frontier job;
 //! * or vice versa.
+//!
+//! The hot path runs the dense DP on a flat integer table over a
+//! [`ScaledInstance`] (see [`crate::scaled_engine`]); the original
+//! `Ratio`-based table is retained as [`opt_two_makespan_rational`] for
+//! cross-checking and as the overflow fallback.
 
+use crate::scaled_engine::{ScaledDpTable, DP_BOTH, DP_FIRST, DP_SECOND};
 use crate::traits::Scheduler;
-use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
-use std::collections::HashMap;
+use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
+use rustc_hash::FxHashMap;
 
 /// Which jobs complete in a time step of the reconstructed schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,12 +201,34 @@ fn run_dp(instance: &Instance) -> Vec<Vec<Option<CellValue>>> {
 /// The optimal makespan for a two-processor unit-size instance, computed by
 /// the dense dynamic program of Algorithm 1.
 ///
+/// Runs on the flat scaled-integer table whenever the instance's requirement
+/// denominators admit a `u64` LCM, falling back to the rational table
+/// otherwise.
+///
 /// # Panics
 ///
 /// Panics if the instance does not have exactly two processors or contains
 /// non-unit job sizes.
 #[must_use]
 pub fn opt_two_makespan(instance: &Instance) -> usize {
+    assert_two_unit_processors(instance);
+    match ScaledInstance::try_new(instance) {
+        Some(scaled) => ScaledDpTable::compute(&scaled).makespan(),
+        None => opt_two_makespan_rational(instance),
+    }
+}
+
+/// The original `Ratio`-arithmetic dense dynamic program (reference path).
+///
+/// Kept so property tests can cross-check the scaled table and as the
+/// fallback for instances whose denominator LCM overflows `u64`.
+///
+/// # Panics
+///
+/// Panics if the instance does not have exactly two processors or contains
+/// non-unit job sizes.
+#[must_use]
+pub fn opt_two_makespan_rational(instance: &Instance) -> usize {
     assert_two_unit_processors(instance);
     let table = run_dp(instance);
     table[instance.jobs_on(0)][instance.jobs_on(1)]
@@ -218,13 +246,13 @@ pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
     let n1 = instance.jobs_on(0);
     let n2 = instance.jobs_on(1);
 
-    let mut cells: HashMap<(usize, usize), (usize, Ratio)> = HashMap::new();
+    let mut cells: FxHashMap<(usize, usize), (usize, Ratio)> = FxHashMap::default();
     cells.insert(
         (0, 0),
         (0, req_or_zero(instance, 0, 0) + req_or_zero(instance, 1, 0)),
     );
 
-    let relax = |cells: &mut HashMap<(usize, usize), (usize, Ratio)>,
+    let relax = |cells: &mut FxHashMap<(usize, usize), (usize, Ratio)>,
                  key: (usize, usize),
                  t: usize,
                  r: Ratio| {
@@ -289,6 +317,31 @@ pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
     cells[&(n1, n2)].0
 }
 
+/// Back-traces the rational DP table into the forward decision sequence
+/// (reference / fallback path of [`OptTwo::schedule`]).
+fn rational_decisions(instance: &Instance) -> Vec<Decision> {
+    let n1 = instance.jobs_on(0);
+    let n2 = instance.jobs_on(1);
+    let table = run_dp(instance);
+    let mut decisions = Vec::new();
+    let (mut c1, mut c2) = (n1, n2);
+    while let Some(cell) = table[c1][c2] {
+        let Some(decision) = cell.decision else { break };
+        decisions.push(decision);
+        match decision {
+            Decision::AdvanceBoth => {
+                c1 -= 1;
+                c2 -= 1;
+            }
+            Decision::FinishFirst => c1 -= 1,
+            Decision::FinishSecond => c2 -= 1,
+        }
+    }
+    assert_eq!((c1, c2), (0, 0), "back-trace must reach the origin");
+    decisions.reverse();
+    decisions
+}
+
 impl Scheduler for OptTwo {
     fn name(&self) -> &'static str {
         "OptResAssignment(m=2)"
@@ -298,27 +351,19 @@ impl Scheduler for OptTwo {
     /// back-tracing the table and replaying the per-step decisions.
     fn schedule(&self, instance: &Instance) -> Schedule {
         assert_two_unit_processors(instance);
-        let n1 = instance.jobs_on(0);
-        let n2 = instance.jobs_on(1);
-        let table = run_dp(instance);
-
-        // Back-trace the decisions from the final cell to the origin.
-        let mut decisions = Vec::new();
-        let (mut c1, mut c2) = (n1, n2);
-        while let Some(cell) = table[c1][c2] {
-            let Some(decision) = cell.decision else { break };
-            decisions.push(decision);
-            match decision {
-                Decision::AdvanceBoth => {
-                    c1 -= 1;
-                    c2 -= 1;
-                }
-                Decision::FinishFirst => c1 -= 1,
-                Decision::FinishSecond => c2 -= 1,
-            }
-        }
-        assert_eq!((c1, c2), (0, 0), "back-trace must reach the origin");
-        decisions.reverse();
+        let decisions = match ScaledInstance::try_new(instance) {
+            Some(scaled) => ScaledDpTable::compute(&scaled)
+                .decisions()
+                .into_iter()
+                .map(|byte| match byte {
+                    DP_BOTH => Decision::AdvanceBoth,
+                    DP_FIRST => Decision::FinishFirst,
+                    DP_SECOND => Decision::FinishSecond,
+                    other => unreachable!("invalid DP decision byte {other}"),
+                })
+                .collect(),
+            None => rational_decisions(instance),
+        };
 
         // Replay the decisions, tracking the exact remaining requirement of
         // both frontier jobs to materialize the resource shares.
@@ -406,6 +451,24 @@ mod tests {
             let schedule = OptTwo::new().schedule(&inst);
             assert_eq!(schedule.makespan(&inst).unwrap(), dp);
             assert!(dp >= bounds::trivial_lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn scaled_and_rational_paths_agree() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40, 80], &[30, 90, 10]]),
+            Instance::unit_from_percentages(&[&[100, 1, 100, 1], &[1, 100, 1, 100]]),
+            Instance::unit_from_percentages(&[&[0, 50, 100], &[100, 50, 0]]),
+            Instance::unit_from_percentages(&[&[55, 45, 35, 25], &[65, 75, 85, 95]]),
+        ];
+        for inst in instances {
+            let scaled = opt_two_makespan(&inst);
+            assert_eq!(scaled, opt_two_makespan_rational(&inst), "{inst}");
+            assert_eq!(
+                OptTwo::new().schedule(&inst).makespan(&inst).unwrap(),
+                scaled
+            );
         }
     }
 

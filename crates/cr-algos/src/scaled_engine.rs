@@ -1,0 +1,646 @@
+//! The scaled-integer engine behind the exact solvers.
+//!
+//! `opt_two`, `opt_m` and `brute_force` all expose `Ratio`-based public APIs
+//! but delegate their hot search loops to this module, which works on a
+//! [`ScaledInstance`]: requirements as plain `u64` units with resource
+//! capacity `D` (the denominators' LCM).  Compared to the retained rational
+//! reference paths this removes
+//!
+//! * every gcd: sums, capacity tests and leftover computations are single
+//!   integer ops;
+//! * the `Config { Vec<usize>, Vec<Ratio> }` search key: configurations are
+//!   packed into one flat `Rc<[u64]>` of `2m` words (`completed` counts, then
+//!   `spent` units) and deduplicated through an `FxHashMap` probed with a
+//!   borrowed slice, so duplicate successors allocate nothing;
+//! * per-call successor `Vec`s: [`for_each_successor`] streams successors
+//!   through a callback, filling caller-provided [`SuccScratch`] buffers.
+//!
+//! The engine is internal; its correctness contract is "identical makespans
+//! to the rational reference solvers", enforced by unit tests here and by the
+//! `proptest_scaled` cross-check suite.
+
+use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
+use rustc_hash::FxHashMap;
+use std::rc::Rc;
+
+/// A packed configuration: `2m` words, `[completed_0, …, completed_{m-1},
+/// spent_0, …, spent_{m-1}]` with `spent` in units.
+pub(crate) type PackedConfig = Rc<[u64]>;
+
+/// The initial configuration: nothing completed, nothing spent.
+pub(crate) fn initial_config(m: usize) -> PackedConfig {
+    Rc::from(vec![0u64; 2 * m])
+}
+
+/// Whether every processor has completed all of its jobs.
+pub(crate) fn is_final(scaled: &ScaledInstance, config: &[u64]) -> bool {
+    (0..scaled.processors()).all(|i| config[i] as usize >= scaled.jobs_on(i))
+}
+
+/// `true` if `a` dominates `b` (component-wise at least as far, in the
+/// Lemma 4 order: more jobs completed, or equally many and at least as much
+/// spent on the frontier job).
+pub(crate) fn dominates(m: usize, a: &[u64], b: &[u64]) -> bool {
+    (0..m).all(|i| a[i] > b[i] || (a[i] == b[i] && a[m + i] >= b[m + i]))
+}
+
+/// The decision producing a successor: which of the parent's *active*
+/// processors complete (bitmask over the active list, in index order) and
+/// which processor, if any, receives the leftover units without completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ScaledChoice {
+    /// Bitmask over the parent configuration's active-processor list.
+    pub finished_mask: u32,
+    /// Processor granted the leftover, with the amount in units.
+    pub partial: Option<(usize, u64)>,
+}
+
+/// Reusable scratch buffers for successor generation (one per search, not
+/// one per expansion).
+#[derive(Debug, Default)]
+pub(crate) struct SuccScratch {
+    active: Vec<usize>,
+    remaining: Vec<u64>,
+    tmp: Vec<u64>,
+}
+
+/// Writes the successor reached from `config` by `choice` into `tmp`.
+fn build_successor(
+    tmp: &mut Vec<u64>,
+    config: &[u64],
+    active: &[usize],
+    m: usize,
+    mask: u32,
+    partial: Option<(usize, u64)>,
+) {
+    tmp.clear();
+    tmp.extend_from_slice(config);
+    for (bit, &i) in active.iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            tmp[i] += 1;
+            tmp[m + i] = 0;
+        }
+    }
+    if let Some((p, amount)) = partial {
+        tmp[m + p] += amount;
+    }
+}
+
+/// Streams all successor configurations of `config` reachable in one
+/// normalized (non-wasting, progressive) time step to `emit`.  The slice
+/// handed to `emit` is `scratch.tmp` — callers that keep a successor must
+/// copy it out (typically only after a memo-table probe misses).
+///
+/// Mirrors the rational `opt_m::successors` step enumeration exactly.
+pub(crate) fn for_each_successor(
+    scaled: &ScaledInstance,
+    config: &[u64],
+    scratch: &mut SuccScratch,
+    mut emit: impl FnMut(&[u64], ScaledChoice),
+) {
+    let m = scaled.processors();
+    let SuccScratch {
+        active,
+        remaining,
+        tmp,
+    } = scratch;
+    active.clear();
+    remaining.clear();
+    for i in 0..m {
+        let done = config[i] as usize;
+        if done < scaled.jobs_on(i) {
+            active.push(i);
+            remaining.push(scaled.unit_req(i, done) - config[m + i]);
+        }
+    }
+    if active.is_empty() {
+        return;
+    }
+    let k = active.len();
+    assert!(
+        k < 32,
+        "configuration search supports at most 31 simultaneously active processors"
+    );
+    let cap = scaled.capacity();
+    let total: u64 = remaining.iter().sum();
+
+    // Non-wasting: if everything fits, all active jobs finish.
+    if total <= cap {
+        let mask = (1u32 << k) - 1;
+        build_successor(tmp, config, active, m, mask, None);
+        emit(
+            tmp,
+            ScaledChoice {
+                finished_mask: mask,
+                partial: None,
+            },
+        );
+        return;
+    }
+
+    // Enumerate non-empty subsets of the active processors whose remaining
+    // requirements fit into the resource.
+    for mask in 1u32..(1u32 << k) {
+        let mut sum = 0u64;
+        for (bit, &r) in remaining.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                sum += r;
+            }
+        }
+        if sum > cap {
+            continue;
+        }
+        let leftover = cap - sum;
+        if leftover == 0 {
+            build_successor(tmp, config, active, m, mask, None);
+            emit(
+                tmp,
+                ScaledChoice {
+                    finished_mask: mask,
+                    partial: None,
+                },
+            );
+            continue;
+        }
+        // Non-wasting: the leftover must go to exactly one remaining active
+        // job that cannot be completed with it (otherwise a larger subset
+        // covers the case).
+        for (bit, &proc_idx) in active.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                continue;
+            }
+            if remaining[bit] > leftover {
+                let partial = Some((proc_idx, leftover));
+                build_successor(tmp, config, active, m, mask, partial);
+                emit(
+                    tmp,
+                    ScaledChoice {
+                        finished_mask: mask,
+                        partial,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// One node of the round-by-round configuration search.
+#[derive(Debug, Clone)]
+pub(crate) struct ScaledNode {
+    /// The configuration this node represents.
+    pub config: PackedConfig,
+    /// Index of the parent node in the previous round (`u32::MAX` for the
+    /// initial node).
+    pub parent: u32,
+    /// Decision that produced this node from its parent.
+    pub choice: ScaledChoice,
+}
+
+/// Runs the Algorithm 2 configuration search on the scaled instance and
+/// returns, per round, the surviving (deduplicated, non-dominated) nodes.
+/// The search stops after the first round containing a final configuration.
+pub(crate) fn run_search(scaled: &ScaledInstance) -> Vec<Vec<ScaledNode>> {
+    let m = scaled.processors();
+    let initial = initial_config(m);
+    let mut rounds: Vec<Vec<ScaledNode>> = vec![vec![ScaledNode {
+        config: initial.clone(),
+        parent: u32::MAX,
+        choice: ScaledChoice {
+            finished_mask: 0,
+            partial: None,
+        },
+    }]];
+    if is_final(scaled, &initial) {
+        return rounds;
+    }
+
+    let mut scratch = SuccScratch::default();
+    let max_rounds = scaled.total_jobs() + 1;
+    for _round in 0..max_rounds {
+        let prev = rounds.last().expect("at least the initial round");
+        let mut seen: FxHashMap<PackedConfig, u32> = FxHashMap::default();
+        let mut next: Vec<ScaledNode> = Vec::new();
+        for (parent_idx, node) in prev.iter().enumerate() {
+            for_each_successor(scaled, &node.config, &mut scratch, |tmp, choice| {
+                // Exact duplicate: keep the first representative.  Probing
+                // with the borrowed scratch slice means duplicates cost no
+                // allocation at all.
+                if seen.contains_key(tmp) {
+                    return;
+                }
+                let config: PackedConfig = Rc::from(tmp);
+                seen.insert(
+                    config.clone(),
+                    u32::try_from(next.len()).expect("round size fits u32"),
+                );
+                next.push(ScaledNode {
+                    config,
+                    parent: u32::try_from(parent_idx).expect("round size fits u32"),
+                    choice,
+                });
+            });
+        }
+
+        // Remove dominated configurations (Lemma 4).  The surviving set is
+        // the unique maximal antichain of the domination order, so it can be
+        // computed with one forward pass over candidates sorted by
+        // (Σ completed, Σ spent) descending: `a` dominates `b` implies
+        // Σc(a) ≥ Σc(b), and on equality Σs(a) ≥ Σs(b), so every dominator
+        // precedes what it dominates and only the kept prefix must be
+        // checked — O(candidates · survivors) integer slice compares instead
+        // of O(candidates²).
+        let mut order: Vec<(u64, u64, u32)> = next
+            .iter()
+            .enumerate()
+            .map(|(idx, node)| {
+                let sum_completed: u64 = node.config[..m].iter().sum();
+                let sum_spent: u64 = node.config[m..].iter().sum();
+                (
+                    sum_completed,
+                    sum_spent,
+                    u32::try_from(idx).expect("round size fits u32"),
+                )
+            })
+            .collect();
+        order.sort_unstable_by(|a, b| b.cmp(a));
+        let mut kept: Vec<u32> = Vec::with_capacity(order.len());
+        for &(_, _, idx) in &order {
+            let candidate = &next[idx as usize].config;
+            if !kept
+                .iter()
+                .any(|&k| dominates(m, &next[k as usize].config, candidate))
+            {
+                kept.push(idx);
+            }
+        }
+        let filtered: Vec<ScaledNode> = kept
+            .into_iter()
+            .map(|idx| next[idx as usize].clone())
+            .collect();
+
+        let done = filtered.iter().any(|n| is_final(scaled, &n.config));
+        rounds.push(filtered);
+        if done {
+            break;
+        }
+    }
+    rounds
+}
+
+/// The optimal makespan from a finished configuration search.
+pub(crate) fn search_makespan(scaled: &ScaledInstance, rounds: &[Vec<ScaledNode>]) -> usize {
+    if is_final(scaled, &rounds[0][0].config) {
+        return 0;
+    }
+    let last = rounds.len() - 1;
+    assert!(
+        rounds[last].iter().any(|n| is_final(scaled, &n.config)),
+        "configuration search ended without reaching a final configuration"
+    );
+    last
+}
+
+/// Reconstructs an optimal schedule from a finished configuration search by
+/// back-tracing the winner and replaying the per-step decisions through the
+/// exact `Ratio`-based [`ScheduleBuilder`] (the scaled units convert back
+/// losslessly via [`ScaledInstance::to_ratio`]).
+pub(crate) fn search_schedule(
+    instance: &Instance,
+    scaled: &ScaledInstance,
+    rounds: &[Vec<ScaledNode>],
+) -> Schedule {
+    let last = rounds.len() - 1;
+    if last == 0 {
+        return Schedule::empty();
+    }
+    let winner = rounds[last]
+        .iter()
+        .position(|n| is_final(scaled, &n.config))
+        .expect("search ended on a final configuration");
+
+    // Walk back through the rounds, collecting (parent index, choice).
+    let mut path: Vec<(usize, ScaledChoice)> = Vec::with_capacity(last);
+    let mut round = last;
+    let mut idx = winner;
+    while round > 0 {
+        let node = &rounds[round][idx];
+        idx = node.parent as usize;
+        path.push((idx, node.choice));
+        round -= 1;
+    }
+    path.reverse();
+
+    // Replay the decisions into an explicit resource assignment.  The
+    // finished mask indexes the *parent's* active-processor list, which is
+    // recomputed here from the parent configuration.
+    let m = scaled.processors();
+    let mut builder = ScheduleBuilder::new(instance);
+    for (step, &(parent_idx, choice)) in path.iter().enumerate() {
+        let parent = &rounds[step][parent_idx].config;
+        let mut shares = vec![Ratio::ZERO; m];
+        let mut bit = 0u32;
+        for i in 0..m {
+            if (parent[i] as usize) < scaled.jobs_on(i) {
+                if choice.finished_mask & (1 << bit) != 0 {
+                    shares[i] = builder.remaining_workload(i);
+                }
+                bit += 1;
+            }
+        }
+        if let Some((p, amount)) = choice.partial {
+            shares[p] = scaled.to_ratio(amount);
+        }
+        builder.push_step(shares);
+    }
+    builder.finish()
+}
+
+/// Memoized exhaustive search (the brute-force reference) on the scaled
+/// instance.  Returns `(optimal makespan, memoized states, expansions)`.
+pub(crate) fn brute_force(scaled: &ScaledInstance) -> (usize, usize, usize) {
+    let mut memo: FxHashMap<PackedConfig, usize> = FxHashMap::default();
+    let mut scratch = SuccScratch::default();
+    let mut expansions = 0usize;
+    let initial = initial_config(scaled.processors());
+    let best = brute_force_dfs(scaled, &initial, &mut memo, &mut scratch, &mut expansions);
+    (best, memo.len(), expansions)
+}
+
+fn brute_force_dfs(
+    scaled: &ScaledInstance,
+    config: &PackedConfig,
+    memo: &mut FxHashMap<PackedConfig, usize>,
+    scratch: &mut SuccScratch,
+    expansions: &mut usize,
+) -> usize {
+    if is_final(scaled, config) {
+        return 0;
+    }
+    if let Some(&v) = memo.get(config) {
+        return v;
+    }
+    *expansions += 1;
+    // Collect successors first (the scratch buffers are reused by the
+    // recursive calls), then recurse.
+    let mut successors: Vec<PackedConfig> = Vec::new();
+    for_each_successor(scaled, config, scratch, |tmp, _choice| {
+        successors.push(Rc::from(tmp));
+    });
+    let mut best = usize::MAX;
+    for next in &successors {
+        let sub = brute_force_dfs(scaled, next, memo, scratch, expansions);
+        if sub != usize::MAX {
+            best = best.min(sub + 1);
+        }
+    }
+    memo.insert(config.clone(), best);
+    best
+}
+
+/// Decision per DP step of the two-processor dynamic program, stored as one
+/// byte in the flat table.
+pub(crate) const DP_NONE: u8 = 0;
+/// Both frontier jobs finish in this step.
+pub(crate) const DP_BOTH: u8 = 1;
+/// Only processor 0's frontier job finishes.
+pub(crate) const DP_FIRST: u8 = 2;
+/// Only processor 1's frontier job finishes.
+pub(crate) const DP_SECOND: u8 = 3;
+
+const UNREACHED: u32 = u32::MAX;
+
+/// One cell of the flat two-processor DP table.
+#[derive(Debug, Clone, Copy)]
+struct FlatCell {
+    /// Earliest step count reaching this cell (`UNREACHED` if not yet).
+    t: u32,
+    /// Smallest achievable frontier-remainder sum at time `t`, in units.
+    r: u64,
+    /// Decision taken on the best path into this cell.
+    decision: u8,
+}
+
+/// The Algorithm 1 dynamic program on a flat `(n1+1)·(n2+1)` table of
+/// integer cells (no hashing, no rational arithmetic, contiguous memory).
+#[derive(Debug)]
+pub(crate) struct ScaledDpTable {
+    cells: Vec<FlatCell>,
+    n1: usize,
+    n2: usize,
+}
+
+impl ScaledDpTable {
+    /// Runs the dense DP for a two-processor scaled instance.
+    pub(crate) fn compute(scaled: &ScaledInstance) -> Self {
+        assert_eq!(scaled.processors(), 2, "scaled DP needs two processors");
+        let n1 = scaled.jobs_on(0);
+        let n2 = scaled.jobs_on(1);
+        let cap = scaled.capacity();
+        let row1 = scaled.row(0);
+        let row2 = scaled.row(1);
+        let req1 = |c: usize| -> u64 { row1.get(c).copied().unwrap_or(0) };
+        let req2 = |c: usize| -> u64 { row2.get(c).copied().unwrap_or(0) };
+
+        let stride = n2 + 1;
+        let mut cells = vec![
+            FlatCell {
+                t: UNREACHED,
+                r: 0,
+                decision: DP_NONE,
+            };
+            (n1 + 1) * stride
+        ];
+        cells[0] = FlatCell {
+            t: 0,
+            r: req1(0) + req2(0),
+            decision: DP_NONE,
+        };
+
+        // Row-major order visits every predecessor before its successors:
+        // all three transitions strictly increase (c1, c2) lexicographically.
+        for c1 in 0..=n1 {
+            for c2 in 0..=n2 {
+                let cell = cells[c1 * stride + c2];
+                if cell.t == UNREACHED || (c1 == n1 && c2 == n2) {
+                    continue;
+                }
+                let (t, r) = (cell.t + 1, cell.r);
+                if c1 < n1 && c2 == n2 {
+                    relax(
+                        &mut cells[(c1 + 1) * stride + c2],
+                        t,
+                        req1(c1 + 1),
+                        DP_FIRST,
+                    );
+                } else if c1 == n1 {
+                    relax(&mut cells[c1 * stride + c2 + 1], t, req2(c2 + 1), DP_SECOND);
+                } else if r <= cap {
+                    relax(
+                        &mut cells[(c1 + 1) * stride + c2 + 1],
+                        t,
+                        req1(c1 + 1) + req2(c2 + 1),
+                        DP_BOTH,
+                    );
+                } else {
+                    let carried = r - cap;
+                    relax(
+                        &mut cells[(c1 + 1) * stride + c2],
+                        t,
+                        req1(c1 + 1) + carried,
+                        DP_FIRST,
+                    );
+                    relax(
+                        &mut cells[c1 * stride + c2 + 1],
+                        t,
+                        carried + req2(c2 + 1),
+                        DP_SECOND,
+                    );
+                }
+            }
+        }
+        ScaledDpTable { cells, n1, n2 }
+    }
+
+    /// The optimal makespan (value of the final cell).
+    pub(crate) fn makespan(&self) -> usize {
+        let cell = &self.cells[self.n1 * (self.n2 + 1) + self.n2];
+        assert!(cell.t != UNREACHED, "final DP cell is always reachable");
+        cell.t as usize
+    }
+
+    /// Back-traces the decisions from the final cell to the origin, in
+    /// forward (replay) order.
+    pub(crate) fn decisions(&self) -> Vec<u8> {
+        let stride = self.n2 + 1;
+        let mut decisions = Vec::with_capacity(self.makespan());
+        let (mut c1, mut c2) = (self.n1, self.n2);
+        loop {
+            let cell = &self.cells[c1 * stride + c2];
+            match cell.decision {
+                DP_NONE => break,
+                DP_BOTH => {
+                    c1 -= 1;
+                    c2 -= 1;
+                }
+                DP_FIRST => c1 -= 1,
+                DP_SECOND => c2 -= 1,
+                other => unreachable!("invalid DP decision byte {other}"),
+            }
+            decisions.push(cell.decision);
+        }
+        assert_eq!((c1, c2), (0, 0), "back-trace must reach the origin");
+        decisions.reverse();
+        decisions
+    }
+}
+
+#[inline]
+fn relax(cell: &mut FlatCell, t: u32, r: u64, decision: u8) {
+    if cell.t == UNREACHED || t < cell.t || (t == cell.t && r < cell.r) {
+        *cell = FlatCell { t, r, decision };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::InstanceBuilder;
+
+    fn scaled(rows: &[&[i64]]) -> ScaledInstance {
+        ScaledInstance::try_new(&Instance::unit_from_percentages(rows)).unwrap()
+    }
+
+    #[test]
+    fn successor_streaming_matches_manual_enumeration() {
+        let s = scaled(&[&[60, 40], &[60, 40]]);
+        let init = initial_config(2);
+        let mut scratch = SuccScratch::default();
+        let mut seen = Vec::new();
+        for_each_successor(&s, &init, &mut scratch, |cfg, choice| {
+            seen.push((cfg.to_vec(), choice));
+        });
+        // 60 + 60 > 100: either frontier may finish, the other carries 40.
+        assert_eq!(seen.len(), 2);
+        for (cfg, choice) in &seen {
+            assert_eq!(choice.finished_mask.count_ones(), 1);
+            let (p, amount) = choice.partial.unwrap();
+            assert_eq!(s.to_ratio(amount), Ratio::from_percent(40));
+            assert_eq!(cfg[2 + p], amount);
+        }
+    }
+
+    #[test]
+    fn all_fit_step_finishes_everything() {
+        let s = scaled(&[&[30], &[30], &[40]]);
+        let init = initial_config(3);
+        let mut scratch = SuccScratch::default();
+        let mut count = 0;
+        for_each_successor(&s, &init, &mut scratch, |cfg, choice| {
+            count += 1;
+            assert_eq!(choice.finished_mask, 0b111);
+            assert!(choice.partial.is_none());
+            assert!(is_final(&s, cfg));
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn domination_is_reflexive_and_ordered() {
+        // completed = [2, 1] / spent = [0, 30] dominates [1, 1] / [90, 10].
+        let a = [2u64, 1, 0, 30];
+        let b = [1u64, 1, 90, 10];
+        assert!(dominates(2, &a, &a));
+        assert!(dominates(2, &a, &b));
+        assert!(!dominates(2, &b, &a));
+    }
+
+    #[test]
+    fn search_solves_known_instances() {
+        let s = scaled(&[&[100], &[100], &[100]]);
+        assert_eq!(search_makespan(&s, &run_search(&s)), 3);
+        let s = scaled(&[&[50, 20], &[30, 30], &[20, 50]]);
+        assert_eq!(search_makespan(&s, &run_search(&s)), 2);
+        let s = scaled(&[&[50, 50, 50, 50], &[100], &[100]]);
+        assert_eq!(search_makespan(&s, &run_search(&s)), 4);
+    }
+
+    #[test]
+    fn empty_instance_is_final_immediately() {
+        let inst = InstanceBuilder::new()
+            .empty_processor()
+            .empty_processor()
+            .build();
+        let s = ScaledInstance::try_new(&inst).unwrap();
+        let rounds = run_search(&s);
+        assert_eq!(search_makespan(&s, &rounds), 0);
+        assert_eq!(search_schedule(&inst, &s, &rounds).num_steps(), 0);
+    }
+
+    #[test]
+    fn flat_dp_matches_search_on_two_processors() {
+        for rows in [
+            &[&[60i64, 40][..], &[60, 40][..]][..],
+            &[&[100, 1, 100][..], &[1, 100, 1][..]][..],
+            &[&[55, 45, 35][..], &[65, 75, 85][..]][..],
+        ] {
+            let s = scaled(rows);
+            let dp = ScaledDpTable::compute(&s);
+            assert_eq!(dp.makespan(), search_makespan(&s, &run_search(&s)));
+            assert_eq!(dp.decisions().len(), dp.makespan());
+        }
+    }
+
+    #[test]
+    fn brute_force_agrees_with_search() {
+        for rows in [
+            &[&[50i64, 20][..], &[30, 30][..], &[20, 50][..]][..],
+            &[&[90, 5][..], &[80, 15][..], &[70, 25][..]][..],
+        ] {
+            let s = scaled(rows);
+            let (best, states, expansions) = brute_force(&s);
+            assert_eq!(best, search_makespan(&s, &run_search(&s)));
+            assert!(states > 0);
+            assert!(expansions > 0);
+        }
+    }
+}

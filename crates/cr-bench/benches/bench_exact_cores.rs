@@ -1,0 +1,75 @@
+//! Scaled-integer vs. rational cores of the exact solvers (ISSUE-2).
+//!
+//! Each group benchmarks one solver twice on the same instance: through the
+//! public entry point (the scaled engine) and through the retained
+//! `*_rational` reference path.  The `bench_exact` binary produces the
+//! committed `BENCH_exact.json` from the same comparison at a coarser grain.
+
+use cr_algos::{
+    brute_force_makespan, brute_force_makespan_rational, opt_m_makespan, opt_m_makespan_rational,
+    opt_two_makespan, opt_two_makespan_rational,
+};
+use cr_instances::{random_unit_instance, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_opt_two_cores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_two_cores");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[128usize, 512] {
+        let instance = random_unit_instance(&RandomConfig::uniform(2, n), 11);
+        group.bench_with_input(BenchmarkId::new("scaled", n), &instance, |b, inst| {
+            b.iter(|| black_box(opt_two_makespan(black_box(inst))));
+        });
+        group.bench_with_input(BenchmarkId::new("rational", n), &instance, |b, inst| {
+            b.iter(|| black_box(opt_two_makespan_rational(black_box(inst))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_m_cores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_m_cores");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &(m, n) in &[(3usize, 4usize), (4, 3)] {
+        let instance = random_unit_instance(&RandomConfig::uniform(m, n), 23);
+        let id = format!("m{m}_n{n}");
+        group.bench_with_input(BenchmarkId::new("scaled", &id), &instance, |b, inst| {
+            b.iter(|| black_box(opt_m_makespan(black_box(inst))));
+        });
+        group.bench_with_input(BenchmarkId::new("rational", &id), &instance, |b, inst| {
+            b.iter(|| black_box(opt_m_makespan_rational(black_box(inst))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force_cores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force_cores");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let instance = random_unit_instance(&RandomConfig::uniform(3, 4), 23);
+    group.bench_with_input(BenchmarkId::new("scaled", "m3_n4"), &instance, |b, inst| {
+        b.iter(|| black_box(brute_force_makespan(black_box(inst))));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("rational", "m3_n4"),
+        &instance,
+        |b, inst| b.iter(|| black_box(brute_force_makespan_rational(black_box(inst)))),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_opt_two_cores,
+    bench_opt_m_cores,
+    bench_brute_force_cores
+);
+criterion_main!(benches);

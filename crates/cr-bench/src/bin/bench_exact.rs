@@ -1,0 +1,219 @@
+//! Scaled-core vs. rational-core timing for the exact solvers.
+//!
+//! Times each exact solver twice on identical instances — once through its
+//! public entry point (the scaled-integer engine) and once through the
+//! retained `*_rational` reference path — and writes `BENCH_exact.json`
+//! with per-family medians and speedup factors.  This is the benchmark the
+//! ISSUE-2 ≥5× acceptance target is tracked against at solver granularity
+//! (the pipeline-level number lives in `BENCH_pipeline.json`).
+//!
+//! Usage: `cargo run --release -p cr-bench --bin bench_exact --
+//! [--out-dir DIR] [--iters N]`
+
+use cr_algos::{
+    brute_force_makespan, brute_force_makespan_rational, opt_m_makespan, opt_m_makespan_rational,
+    opt_two_makespan, opt_two_makespan_rational,
+};
+use cr_core::Instance;
+use cr_instances::{random_unit_instance, RandomConfig, RequirementProfile};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    out_dir: PathBuf,
+    iters: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_dir: PathBuf::from("."),
+        iters: 5,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(iter.next().expect("--out-dir requires a value"));
+            }
+            "--iters" => {
+                args.iters = iter
+                    .next()
+                    .expect("--iters requires a value")
+                    .parse()
+                    .expect("invalid iteration count");
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_exact [--out-dir DIR] [--iters N]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    args
+}
+
+/// Median wall time in milliseconds of `iters` runs of `f` (which must
+/// return a checksum so the work cannot be optimized away).
+fn median_ms(iters: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(iters);
+    let mut checksum = 0usize;
+    for _ in 0..iters {
+        let start = Instant::now();
+        checksum = f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], checksum)
+}
+
+struct CaseResult {
+    case: String,
+    solver: &'static str,
+    instances: usize,
+    scaled_ms: f64,
+    rational_ms: f64,
+}
+
+fn measure(
+    out: &mut Vec<CaseResult>,
+    iters: usize,
+    case: impl Into<String>,
+    solver: &'static str,
+    instances: &[Instance],
+    scaled: impl Fn(&Instance) -> usize,
+    rational: impl Fn(&Instance) -> usize,
+) {
+    let sum_over = |f: &dyn Fn(&Instance) -> usize| -> usize { instances.iter().map(f).sum() };
+    let (scaled_ms, scaled_sum) = median_ms(iters, || sum_over(&scaled));
+    let (rational_ms, rational_sum) = median_ms(iters, || sum_over(&rational));
+    assert_eq!(
+        scaled_sum, rational_sum,
+        "scaled and rational cores disagree on a makespan"
+    );
+    out.push(CaseResult {
+        case: case.into(),
+        solver,
+        instances: instances.len(),
+        scaled_ms,
+        rational_ms,
+    });
+}
+
+fn main() {
+    let args = parse_args();
+    let mut results: Vec<CaseResult> = Vec::new();
+
+    // The random-exact grid's (m, n, profile) sweep — the pipeline's hot set.
+    for (m, n) in [(2usize, 4usize), (3, 3), (3, 4), (4, 3)] {
+        for profile in [RequirementProfile::Uniform, RequirementProfile::Light] {
+            let cfg = RandomConfig {
+                profile,
+                ..RandomConfig::uniform(m, n)
+            };
+            let instances: Vec<Instance> = (0..10)
+                .map(|rep| random_unit_instance(&cfg, 1000 + rep))
+                .collect();
+            measure(
+                &mut results,
+                args.iters,
+                format!("{profile:?} m={m} n={n}"),
+                "opt_m",
+                &instances,
+                opt_m_makespan,
+                opt_m_makespan_rational,
+            );
+        }
+    }
+
+    // The two-processor DP at sizes where the O(n²) table dominates.
+    for n in [128usize, 512, 1024] {
+        let instances: Vec<Instance> = vec![random_unit_instance(&RandomConfig::uniform(2, n), 11)];
+        measure(
+            &mut results,
+            args.iters,
+            format!("Uniform m=2 n={n}"),
+            "opt_two",
+            &instances,
+            opt_two_makespan,
+            opt_two_makespan_rational,
+        );
+    }
+
+    // Brute force on a three-processor reference workload.
+    let instances: Vec<Instance> = (0..5)
+        .map(|rep| random_unit_instance(&RandomConfig::uniform(3, 4), 2000 + rep))
+        .collect();
+    measure(
+        &mut results,
+        args.iters,
+        "Uniform m=3 n=4".to_string(),
+        "brute_force",
+        &instances,
+        brute_force_makespan,
+        brute_force_makespan_rational,
+    );
+
+    println!(
+        "{:<24} {:<12} {:>6} {:>12} {:>12} {:>9}",
+        "case", "solver", "insts", "scaled ms", "rational ms", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<24} {:<12} {:>6} {:>12.3} {:>12.3} {:>8.1}x",
+            r.case,
+            r.solver,
+            r.instances,
+            r.scaled_ms,
+            r.rational_ms,
+            r.rational_ms / r.scaled_ms.max(1e-9)
+        );
+    }
+
+    let json = results_json(&results);
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let path = args.out_dir.join("BENCH_exact.json");
+    std::fs::write(&path, json).expect("write BENCH_exact.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn results_json(results: &[CaseResult]) -> String {
+    let round = |x: f64| (x * 1000.0).round() / 1000.0;
+    let cases: Vec<serde::Value> = results
+        .iter()
+        .map(|r| {
+            serde::Value::Object(vec![
+                ("case".to_string(), serde::Value::String(r.case.clone())),
+                (
+                    "solver".to_string(),
+                    serde::Value::String(r.solver.to_string()),
+                ),
+                (
+                    "instances".to_string(),
+                    serde::Value::Number(serde::Number::Int(r.instances as i128)),
+                ),
+                (
+                    "scaled_ms".to_string(),
+                    serde::Value::Number(serde::Number::Float(round(r.scaled_ms))),
+                ),
+                (
+                    "rational_ms".to_string(),
+                    serde::Value::Number(serde::Number::Float(round(r.rational_ms))),
+                ),
+                (
+                    "speedup".to_string(),
+                    serde::Value::Number(serde::Number::Float(round(
+                        r.rational_ms / r.scaled_ms.max(1e-9),
+                    ))),
+                ),
+            ])
+        })
+        .collect();
+    let root = serde::Value::Object(vec![
+        (
+            "benchmark".to_string(),
+            serde::Value::String("exact solver cores: scaled vs rational".to_string()),
+        ),
+        ("cases".to_string(), serde::Value::Array(cases)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("benchmark serialization is infallible")
+}

@@ -11,7 +11,11 @@
 //!   perf baseline future PRs compare against).
 //!
 //! Usage: `cargo run --release -p cr-bench --bin experiments --
-//! [--seed N] [--out-dir DIR]`
+//! [--seed N] [--out-dir DIR] [--reduced]`
+//!
+//! `--reduced` shrinks every sweep (fewer repetitions, shorter fig3 chains)
+//! while keeping the same eight tables; CI's perf-smoke job runs it to get a
+//! representative timing artifact per PR without paying for the full grid.
 
 use cr_bench::grids;
 use cr_bench::pipeline::{Cell, ExperimentReport, Runner};
@@ -22,12 +26,14 @@ use std::time::Instant;
 struct Args {
     seed: u64,
     out_dir: PathBuf,
+    reduced: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         seed: 0xC0FF_EE00,
         out_dir: PathBuf::from("."),
+        reduced: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -39,8 +45,9 @@ fn parse_args() -> Args {
             "--out-dir" => {
                 args.out_dir = PathBuf::from(iter.next().expect("--out-dir requires a value"));
             }
+            "--reduced" => args.reduced = true,
             "--help" | "-h" => {
-                println!("usage: experiments [--seed N] [--out-dir DIR]");
+                println!("usage: experiments [--seed N] [--out-dir DIR] [--reduced]");
                 std::process::exit(0);
             }
             other => panic!("unknown flag `{other}` (try --help)"),
@@ -60,6 +67,13 @@ fn parse_seed(text: &str) -> u64 {
 fn main() {
     let args = parse_args();
     let runner = Runner::new(args.seed);
+    // The reduced grid keeps all eight tables (so timing artifacts stay
+    // comparable shape-wise) but sweeps fewer repetitions / sizes.
+    let (fig3_sizes, exact_reps, large_reps, sized_reps) = if args.reduced {
+        (&grids::FIG3_SIZES[..5], 5, 5, 2)
+    } else {
+        (&grids::FIG3_SIZES[..], 25, 25, 5)
+    };
     let grids: Vec<(&str, Vec<Cell>)> = vec![
         (
             "Figure 1 running example (vs. exact optimum)",
@@ -68,7 +82,7 @@ fn main() {
         ("Figure 2 nested-schedule example", grids::fig2_cells()),
         (
             "Figure 3 adversarial family (Theorem 3)",
-            grids::fig3_cells(&grids::FIG3_SIZES),
+            grids::fig3_cells(fig3_sizes),
         ),
         (
             "Figure 4 Partition reduction (Theorem 4)",
@@ -81,15 +95,18 @@ fn main() {
         (
             "Random grid vs. exact optimum (Theorem 7)",
             grids::random_exact_cells(
-                25,
+                exact_reps,
                 &[RequirementProfile::Uniform, RequirementProfile::Light],
             ),
         ),
         (
             "Random grid vs. best lower bound",
-            grids::random_large_cells(25),
+            grids::random_large_cells(large_reps),
         ),
-        ("Arbitrary-size grid (Section 9)", grids::sized_cells(5)),
+        (
+            "Arbitrary-size grid (Section 9)",
+            grids::sized_cells(sized_reps),
+        ),
     ];
     let total_cells: usize = grids.iter().map(|(_, cells)| cells.len()).sum();
     println!(
@@ -104,13 +121,18 @@ fn main() {
     let run_start = Instant::now();
     for (title, cells) in &grids {
         let start = Instant::now();
-        let table = runner.run_table(*title, cells);
+        let (table, max_cell_ms) = runner.run_table_timed(*title, cells);
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         println!(
-            "  {title:<46} {:>5} cells  {elapsed_ms:>9.1} ms",
+            "  {title:<46} {:>5} cells  {elapsed_ms:>9.1} ms  (max cell {max_cell_ms:>7.1} ms)",
             cells.len()
         );
-        timings.push(((*title).to_string(), cells.len(), elapsed_ms));
+        timings.push(TableTiming {
+            title: (*title).to_string(),
+            cells: cells.len(),
+            wall_ms: elapsed_ms,
+            max_cell_ms,
+        });
         tables.push(table);
     }
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
@@ -136,8 +158,11 @@ fn main() {
     let bench_path = args.out_dir.join("BENCH_pipeline.json");
     std::fs::write(&json_path, report.to_json()).expect("write experiments.json");
     std::fs::write(&md_path, report.to_markdown()).expect("write experiments.md");
-    std::fs::write(&bench_path, timing_json(&timings, total_ms, total_cells))
-        .expect("write BENCH_pipeline.json");
+    std::fs::write(
+        &bench_path,
+        timing_json(&timings, total_ms, total_cells, args.reduced),
+    )
+    .expect("write BENCH_pipeline.json");
 
     println!("\n{}", report.to_markdown());
     println!(
@@ -148,21 +173,43 @@ fn main() {
     );
 }
 
+/// One table's timing record for `BENCH_pipeline.json`.
+struct TableTiming {
+    title: String,
+    cells: usize,
+    wall_ms: f64,
+    /// Wall time of the slowest single unit of work (one memoized reference
+    /// evaluation or one measured cell) — the table's critical cell.
+    max_cell_ms: f64,
+}
+
 /// Renders the timing baseline (schema: see BENCH_pipeline.json at the repo
-/// root).
-fn timing_json(timings: &[(String, usize, f64)], total_ms: f64, total_cells: usize) -> String {
+/// root).  `threads` is the rayon worker count actually used by this run's
+/// parallel fan-out; `reduced` marks a `--reduced` sweep so a shrunken grid
+/// can never masquerade as the committed full-grid baseline.
+fn timing_json(
+    timings: &[TableTiming],
+    total_ms: f64,
+    total_cells: usize,
+    reduced: bool,
+) -> String {
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
     let phases: Vec<serde::Value> = timings
         .iter()
-        .map(|(title, cells, ms)| {
+        .map(|t| {
             serde::Value::Object(vec![
-                ("table".to_string(), serde::Value::String(title.clone())),
+                ("table".to_string(), serde::Value::String(t.title.clone())),
                 (
                     "cells".to_string(),
-                    serde::Value::Number(serde::Number::Int(*cells as i128)),
+                    serde::Value::Number(serde::Number::Int(t.cells as i128)),
                 ),
                 (
                     "wall_ms".to_string(),
-                    serde::Value::Number(serde::Number::Float((ms * 10.0).round() / 10.0)),
+                    serde::Value::Number(serde::Number::Float(round1(t.wall_ms))),
+                ),
+                (
+                    "max_cell_ms".to_string(),
+                    serde::Value::Number(serde::Number::Float(round1(t.max_cell_ms))),
                 ),
             ])
         })
@@ -172,6 +219,7 @@ fn timing_json(timings: &[(String, usize, f64)], total_ms: f64, total_cells: usi
             "benchmark".to_string(),
             serde::Value::String("experiments pipeline".to_string()),
         ),
+        ("reduced".to_string(), serde::Value::Bool(reduced)),
         (
             "threads".to_string(),
             serde::Value::Number(serde::Number::Int(rayon::current_num_threads() as i128)),

@@ -29,6 +29,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Memoization key for reference evaluation inside [`Runner::run`].
 type RefKey<'a> = (&'a str, &'a str, Reference);
@@ -383,6 +384,17 @@ impl Runner {
     /// deterministic function of the materialized instance.
     #[must_use]
     pub fn run(&self, cells: &[Cell]) -> Vec<CellResult> {
+        self.run_with_timings(cells).0
+    }
+
+    /// Like [`Runner::run`], but additionally reports the wall time of the
+    /// slowest single unit of work in the grid — one memoized reference
+    /// evaluation or one measured cell, whichever is worse.  The per-cell
+    /// timings never influence the (deterministic) results; they exist so
+    /// `BENCH_pipeline.json` can attribute a table's wall time to its
+    /// critical cell.
+    #[must_use]
+    pub fn run_with_timings(&self, cells: &[Cell]) -> (Vec<CellResult>, f64) {
         // Phase 1: evaluate each distinct reference once, in parallel.
         let mut ref_tasks: Vec<&Cell> = Vec::new();
         let mut ref_index: HashMap<RefKey<'_>, usize> = HashMap::new();
@@ -397,18 +409,21 @@ impl Runner {
                 ref_tasks.push(cell);
             }
         }
-        let ref_values: Vec<(usize, bool)> = ref_tasks
+        let ref_values: Vec<((usize, bool), f64)> = ref_tasks
             .par_iter()
             .map(|cell| {
+                let start = Instant::now();
                 let instance = cell.family.instantiate(self.cell_seed(cell));
-                cell.reference.evaluate(&instance)
+                let value = cell.reference.evaluate(&instance);
+                (value, start.elapsed().as_secs_f64() * 1e3)
             })
             .collect();
 
         // Phase 2: measure every algorithm cell against the cached values.
-        cells
+        let timed: Vec<(CellResult, f64)> = cells
             .par_iter()
             .map(|cell| {
+                let start = Instant::now();
                 let seed = self.cell_seed(cell);
                 let instance = cell.family.instantiate(seed);
                 let key = (
@@ -416,7 +431,7 @@ impl Runner {
                     cell.instance.as_str(),
                     cell.reference,
                 );
-                let (reference, reference_is_optimal) = ref_values[ref_index[&key]];
+                let ((reference, reference_is_optimal), _) = ref_values[ref_index[&key]];
                 // When the measured algorithm is the exact solver the
                 // reference already ran, reuse its optimum instead of
                 // repeating the (possibly exponential) search.
@@ -425,7 +440,7 @@ impl Runner {
                 } else {
                     cell.algorithm.makespan(&instance)
                 };
-                CellResult {
+                let result = CellResult {
                     experiment: cell.experiment.clone(),
                     instance: cell.instance.clone(),
                     algorithm: cell.algorithm.name().to_string(),
@@ -435,18 +450,44 @@ impl Runner {
                     makespan,
                     reference,
                     reference_is_optimal,
-                }
+                };
+                (result, start.elapsed().as_secs_f64() * 1e3)
             })
-            .collect()
+            .collect();
+
+        let max_cell_ms = ref_values
+            .iter()
+            .map(|&(_, ms)| ms)
+            .chain(timed.iter().map(|&(_, ms)| ms))
+            .fold(0.0f64, f64::max);
+        (
+            timed.into_iter().map(|(result, _)| result).collect(),
+            max_cell_ms,
+        )
     }
 
     /// Runs a grid and renders it as one named experiment table.
     #[must_use]
     pub fn run_table(&self, title: impl Into<String>, cells: &[Cell]) -> ExperimentTable {
-        ExperimentTable {
-            title: title.into(),
-            results: self.run(cells),
-        }
+        self.run_table_timed(title, cells).0
+    }
+
+    /// Like [`Runner::run_table`], but also reports the slowest single unit
+    /// of work (see [`Runner::run_with_timings`]).
+    #[must_use]
+    pub fn run_table_timed(
+        &self,
+        title: impl Into<String>,
+        cells: &[Cell],
+    ) -> (ExperimentTable, f64) {
+        let (results, max_cell_ms) = self.run_with_timings(cells);
+        (
+            ExperimentTable {
+                title: title.into(),
+                results,
+            },
+            max_cell_ms,
+        )
     }
 }
 

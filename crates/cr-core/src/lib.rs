@@ -12,6 +12,10 @@
 //!
 //! * [`Ratio`] — exact rational arithmetic (all scheduling decisions in this
 //!   repository are made exactly, never in floating point);
+//! * [`ScaledInstance`] — the same requirements as scaled `u64` units on the
+//!   denominators' LCM grid, the representation the exact solver cores in
+//!   `cr-algos` run on (see the `rational` module docs for the
+//!   two-representation design);
 //! * [`Job`], [`JobId`], [`Instance`], [`InstanceBuilder`] — the problem input;
 //! * [`Schedule`], [`ScheduleTrace`], [`ScheduleBuilder`] — resource
 //!   assignments, their simulation, validation and makespan;
@@ -52,6 +56,7 @@ pub mod instance;
 pub mod job;
 pub mod properties;
 pub mod rational;
+pub mod scaled;
 pub mod schedule;
 pub mod transform;
 
@@ -61,6 +66,7 @@ pub use instance::{Instance, InstanceBuilder};
 pub use job::{Job, JobId};
 pub use properties::{PropertyReport, PropertyViolation};
 pub use rational::{ratio, Ratio};
+pub use scaled::ScaledInstance;
 pub use schedule::{Schedule, ScheduleBuilder, ScheduleTrace};
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -68,7 +74,7 @@ pub mod prelude {
     pub use crate::bounds;
     pub use crate::properties;
     pub use crate::{
-        Instance, InstanceBuilder, Job, JobId, PropertyReport, Ratio, Schedule, ScheduleBuilder,
-        ScheduleTrace, SchedulingGraph,
+        Instance, InstanceBuilder, Job, JobId, PropertyReport, Ratio, ScaledInstance, Schedule,
+        ScheduleBuilder, ScheduleTrace, SchedulingGraph,
     };
 }

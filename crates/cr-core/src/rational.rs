@@ -12,6 +12,21 @@
 //! eagerly and panics with a descriptive message on `i128` overflow (which
 //! cannot occur for the instance families shipped in this repository, whose
 //! denominators are bounded by a few million).
+//!
+//! # Two representations: `Ratio` at the boundary, scaled `u64` in solver cores
+//!
+//! `Ratio` is the **authoritative** representation at every public API
+//! boundary — instances, schedules, bounds, serialization — because it is
+//! closed under the arithmetic any caller may perform.  The exact solvers in
+//! `cr-algos`, however, run their hot search loops on a
+//! [`ScaledInstance`](crate::scaled::ScaledInstance): all requirements of one
+//! instance re-expressed as integer units on the common grid `1/D` (`D` = the
+//! denominators' LCM), where sums and capacity comparisons are single integer
+//! ops with no gcd.  The conversion round-trips exactly in both directions,
+//! so the two representations never disagree; when the LCM would overflow the
+//! scaled form's `u64` headroom, the solvers simply stay on the `Ratio` path.
+//! Property tests in `cr-algos` cross-check the two paths on random
+//! instances.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -40,16 +55,17 @@ pub struct Ratio {
     den: i128,
 }
 
-/// Greatest common divisor of the absolute values (Euclid).
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
+/// Greatest common divisor of the absolute values (Euclid).  Works on
+/// `unsigned_abs` so `i128::MIN` inputs are handled exactly; the result
+/// always fits `i128` because it divides the (non-`MIN`) companion operand.
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    i128::try_from(a).expect("gcd exceeds i128 (both operands were i128::MIN)")
 }
 
 impl Ratio {
@@ -64,12 +80,21 @@ impl Ratio {
     ///
     /// # Panics
     ///
-    /// Panics if `den == 0`.
+    /// Panics if `den == 0`, or if normalizing the sign overflows (which
+    /// happens only for `i128::MIN`, whose negation does not exist).
     #[must_use]
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Ratio denominator must be non-zero");
-        let sign = if den < 0 { -1 } else { 1 };
-        let (num, den) = (num * sign, den * sign);
+        let (num, den) = if den < 0 {
+            (
+                num.checked_neg()
+                    .expect("Ratio construction overflow (cannot negate i128::MIN numerator)"),
+                den.checked_neg()
+                    .expect("Ratio construction overflow (cannot negate i128::MIN denominator)"),
+            )
+        } else {
+            (num, den)
+        };
         if num == 0 {
             return Ratio { num: 0, den: 1 };
         }
@@ -246,10 +271,19 @@ impl Ratio {
     /// outputs to a fixed grid keeps every derived quantity's denominator
     /// bounded while only ever *under*-allocating (never overusing) the
     /// resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is not positive or if `num · denominator`
+    /// overflows `i128`.
     #[must_use]
     pub fn floor_to_denominator(&self, denominator: i128) -> Self {
         assert!(denominator > 0, "grid denominator must be positive");
-        let scaled = (self.num * denominator).div_euclid(self.den);
+        let scaled = self
+            .num
+            .checked_mul(denominator)
+            .expect("Ratio floor_to_denominator overflow")
+            .div_euclid(self.den);
         Ratio::new(scaled, denominator)
     }
 
@@ -466,6 +500,34 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_denominator_panics() {
         let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "construction overflow")]
+    fn min_numerator_negation_panics_descriptively() {
+        let _ = Ratio::new(i128::MIN, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "construction overflow")]
+    fn min_denominator_negation_panics_descriptively() {
+        let _ = Ratio::new(1, i128::MIN);
+    }
+
+    #[test]
+    fn extreme_but_valid_constructions_still_work() {
+        assert_eq!(Ratio::new(i128::MIN + 1, -1).numer(), i128::MAX);
+        assert_eq!(Ratio::new(-1, 1), Ratio::new(1, -1));
+        // i128::MIN numerators are representable; gcd works on unsigned_abs.
+        assert_eq!(Ratio::new(i128::MIN, 1).numer(), i128::MIN);
+        assert_eq!(Ratio::new(i128::MIN, 2), Ratio::new(i128::MIN / 2, 1));
+        assert_eq!(Ratio::new(i128::MIN, i128::MAX).denom(), i128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor_to_denominator overflow")]
+    fn floor_to_denominator_overflow_panics_descriptively() {
+        let _ = Ratio::new(i128::MAX / 2, 1).floor_to_denominator(1_000);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Scaled-integer view of an instance's resource requirements.
+//!
+//! The exact solvers spend essentially all of their time comparing and
+//! summing [`Ratio`] requirements: every `Ratio` addition runs Euclid's gcd
+//! on `i128` operands, and every comparison cross-multiplies.  For a *fixed*
+//! instance none of that generality is needed — all requirements live on the
+//! common grid `1/D`, where `D` is the least common multiple of their
+//! denominators (bounded, for every instance family shipped in this
+//! repository, by a few million — see the `rational` module docs).
+//!
+//! [`ScaledInstance`] precomputes `D` once and re-expresses every requirement
+//! as a plain `u64` number of *units* with resource capacity `D`.  Sums,
+//! "does it exceed the resource?" tests and leftover computations then become
+//! single integer operations with no gcd anywhere.  The conversion is exact
+//! in both directions: [`ScaledInstance::to_ratio`] returns the original
+//! requirement value bit-for-bit (same reduced fraction), which is what lets
+//! the solver cores run on units internally while the public API keeps
+//! speaking exact [`Ratio`]s.
+//!
+//! Construction is fallible ([`ScaledInstance::try_new`]): if the LCM blows
+//! past the overflow-safe bound (so that sums of `m` requirements might not
+//! fit in `u64`), callers fall back to the rational-arithmetic path.
+
+use crate::instance::Instance;
+use crate::rational::Ratio;
+
+/// An instance's requirements re-expressed as integer units on the common
+/// grid `1/capacity`.
+///
+/// Rows are stored in one flat buffer (CSR-style) so iterating a processor's
+/// chain is a contiguous slice scan.
+///
+/// # Examples
+///
+/// ```
+/// use cr_core::{Instance, Ratio, ScaledInstance};
+///
+/// let inst = Instance::unit_from_percentages(&[&[60, 40], &[50]]);
+/// let scaled = ScaledInstance::try_new(&inst).unwrap();
+/// // 60%, 40% and 50% share the grid 1/5 after reduction (3/5, 2/5, 1/2 → lcm 10).
+/// assert_eq!(scaled.capacity(), 10);
+/// assert_eq!(scaled.row(0), &[6, 4]);
+/// assert_eq!(scaled.row(1), &[5]);
+/// assert_eq!(scaled.to_ratio(6), Ratio::from_percent(60));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaledInstance {
+    /// The shared resource capacity `D` (the requirement denominators' LCM).
+    capacity: u64,
+    /// Row start offsets into `units`; length `processors + 1`.
+    offsets: Vec<u32>,
+    /// All requirements in units, processor-major.
+    units: Vec<u64>,
+}
+
+/// Greatest common divisor (Euclid) on `u64`.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl ScaledInstance {
+    /// Builds the scaled view, or `None` when the denominators' LCM `D` is so
+    /// large that `(m + 1) · D` — the headroom needed so any sum of per-step
+    /// remaining requirements plus a carried leftover fits in `u64` — would
+    /// overflow.  Callers treat `None` as "use the rational path".
+    #[must_use]
+    pub fn try_new(instance: &Instance) -> Option<Self> {
+        let m = instance.processors();
+        // LCM of all requirement denominators.  Denominators are positive and
+        // requirements lie in [0, 1], so they fit u64.
+        let mut capacity: u64 = 1;
+        for (_, job) in instance.iter_jobs() {
+            let den = u64::try_from(job.requirement.denom()).ok()?;
+            let g = gcd(capacity, den);
+            capacity = capacity.checked_mul(den / g)?;
+            // Keep headroom for sums of m requirements plus one leftover.
+            capacity.checked_mul(m as u64 + 1)?;
+        }
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut units = Vec::with_capacity(instance.total_jobs());
+        offsets.push(0u32);
+        for i in 0..m {
+            for job in instance.processor_jobs(i) {
+                let num = u64::try_from(job.requirement.numer()).ok()?;
+                let den = u64::try_from(job.requirement.denom()).ok()?;
+                // num ≤ den divides capacity, so num · (capacity / den) ≤ capacity.
+                units.push(num * (capacity / den));
+            }
+            offsets.push(u32::try_from(units.len()).ok()?);
+        }
+        Some(ScaledInstance {
+            capacity,
+            offsets,
+            units,
+        })
+    }
+
+    /// The resource capacity `D`: a full time step hands out exactly
+    /// `capacity` units.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of jobs on processor `i`.
+    #[must_use]
+    pub fn jobs_on(&self, processor: usize) -> usize {
+        (self.offsets[processor + 1] - self.offsets[processor]) as usize
+    }
+
+    /// Total number of jobs over all processors.
+    #[must_use]
+    pub fn total_jobs(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Requirements of processor `i` in units, in chain order.
+    #[must_use]
+    pub fn row(&self, processor: usize) -> &[u64] {
+        &self.units[self.offsets[processor] as usize..self.offsets[processor + 1] as usize]
+    }
+
+    /// Requirement of job `(processor, index)` in units.
+    #[must_use]
+    pub fn unit_req(&self, processor: usize, index: usize) -> u64 {
+        self.units[self.offsets[processor] as usize + index]
+    }
+
+    /// Converts a unit count back to the exact rational share
+    /// `units / capacity` (reduced — round-trips the original requirement).
+    #[must_use]
+    pub fn to_ratio(&self, units: u64) -> Ratio {
+        Ratio::new(i128::from(units), i128::from(self.capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::rational::ratio;
+
+    #[test]
+    fn lcm_and_units_are_exact() {
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 3), ratio(1, 4)])
+            .processor([ratio(5, 6)])
+            .build();
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        assert_eq!(scaled.capacity(), 12);
+        assert_eq!(scaled.row(0), &[4, 3]);
+        assert_eq!(scaled.row(1), &[10]);
+        assert_eq!(scaled.processors(), 2);
+        assert_eq!(scaled.total_jobs(), 3);
+        assert_eq!(scaled.jobs_on(0), 2);
+        assert_eq!(scaled.unit_req(1, 0), 10);
+    }
+
+    #[test]
+    fn round_trips_every_requirement() {
+        let inst = Instance::unit_from_percentages(&[&[20, 10, 0, 100], &[55, 90], &[33]]);
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        for i in 0..inst.processors() {
+            for (j, job) in inst.processor_jobs(i).iter().enumerate() {
+                assert_eq!(scaled.to_ratio(scaled.unit_req(i, j)), job.requirement);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_processors_give_empty_rows() {
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2)])
+            .empty_processor()
+            .build();
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        assert_eq!(scaled.jobs_on(1), 0);
+        assert!(scaled.row(1).is_empty());
+    }
+
+    #[test]
+    fn zero_and_full_requirements() {
+        let inst = Instance::unit_from_percentages(&[&[0, 100], &[100, 0]]);
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        assert_eq!(scaled.capacity(), 1);
+        assert_eq!(scaled.row(0), &[0, 1]);
+        assert_eq!(scaled.to_ratio(0), Ratio::ZERO);
+        assert_eq!(scaled.to_ratio(1), Ratio::ONE);
+    }
+
+    #[test]
+    fn overflowing_lcm_is_rejected() {
+        // Denominators are pairwise-coprime large primes: the LCM exceeds the
+        // u64 headroom bound and construction must decline, not panic.
+        let primes: [i128; 4] = [4_294_967_291, 4_294_967_279, 4_294_967_231, 4_294_967_197];
+        let inst = InstanceBuilder::new()
+            .processor(primes.map(|p| ratio(1, p)))
+            .build();
+        assert!(ScaledInstance::try_new(&inst).is_none());
+    }
+}

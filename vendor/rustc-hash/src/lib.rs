@@ -1,0 +1,152 @@
+//! Minimal, workspace-local stand-in for the `rustc-hash` crate.
+//!
+//! Provides [`FxHasher`] — the non-cryptographic multiply-xor hash used by
+//! the Rust compiler — together with the usual [`FxHashMap`] / [`FxHashSet`]
+//! aliases.  The solver cores in `cr-algos` key their memo tables by small
+//! integer slices; `std`'s default SipHash is DoS-resistant but an order of
+//! magnitude slower than Fx on such keys, and the memo maps never face
+//! attacker-controlled input.
+//!
+//! Differences from the real crate: only the 64-bit hashing path is
+//! implemented (no `FxHasher32`/`FxHasher64` split, no seeded variants).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The odd multiplier of the Fx hash (derived from the golden ratio, as in
+/// the Firefox/rustc original).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: per word, rotate-xor-multiply.  Fast on short integer
+/// keys, not collision-resistant against adversarial input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_behave_like_std() {
+        let mut map: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
+        map.insert(vec![1, 2, 3], 10);
+        map.insert(vec![4, 5], 20);
+        assert_eq!(map.get([1u64, 2, 3].as_slice()), Some(&10));
+        assert_eq!(map.len(), 2);
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for x in 0..1000u64 {
+            set.insert(x % 100);
+        }
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let hash_of = |val: &[u64]| {
+            let mut h = FxHasher::default();
+            for &w in val {
+                h.write_u64(w);
+            }
+            h.finish()
+        };
+        assert_eq!(hash_of(&[1, 2, 3]), hash_of(&[1, 2, 3]));
+        assert_ne!(hash_of(&[1, 2, 3]), hash_of(&[3, 2, 1]));
+        // Low-entropy keys must not collapse onto a few buckets.
+        let mut distinct: FxHashSet<u64> = FxHashSet::default();
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                distinct.insert(hash_of(&[a, b]));
+            }
+        }
+        assert_eq!(distinct.len(), 32 * 32);
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_words() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        h2.write(&[9]);
+        // Same bytes, same chunking behavior for the full prefix word.
+        assert_ne!(h1.finish(), 0);
+        assert_ne!(h2.finish(), 0);
+    }
+}
