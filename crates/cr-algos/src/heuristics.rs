@@ -16,14 +16,76 @@
 //! * [`SmallestRequirementFirst`] — serve active jobs in order of increasing
 //!   remaining requirement (maximizes the number of jobs finished per step;
 //!   this is the schedule depicted in Figure 1 of the paper).
+//!
+//! # Exact splits on the scaled grid
+//!
+//! The splitting heuristics run on a
+//! [`ScaledScheduleBuilder`](cr_core::ScaledScheduleBuilder): the resource is
+//! a pool of `D` integer units (`D` = the instance's requirement/workload
+//! denominator LCM), and uniform / demand-proportional splits are computed
+//! exactly with deterministic largest-remainder rounding
+//! ([`cr_core::scaled::largest_remainder_split`]).  Shares therefore always
+//! sum to exactly one pool — no sliver is wasted, and a positive demand is
+//! only ever given zero units when the whole pool went to other positive
+//! demands.  (The previous implementation floored every share onto a fixed
+//! `1/100 000` grid, which could quantize a small positive `demand/total` to
+//! a *zero* share and starve a core indefinitely.)  Each heuristic retains a
+//! `schedule_rational` reference implementation computing the identical
+//! split in exact [`Ratio`] arithmetic, cross-checked by the
+//! `proptest_scaled_sched` suite; it doubles as the fallback for instances
+//! whose unit grid overflows `u64` (where it splits exactly, without grid
+//! quantization, at the cost of growing denominators).
 
+use crate::scaled_sched::serve_units_in_order;
 use crate::traits::Scheduler;
-use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
+use cr_core::scaled::{largest_remainder_split, largest_remainder_split_ratio, schedule_unit_grid};
+use cr_core::{Instance, Ratio, ScaledScheduleBuilder, Schedule, ScheduleBuilder};
 
-/// Grid used to quantize the shares of the requirement-oblivious heuristics,
-/// so that long schedules keep bounded denominators in the exact arithmetic
-/// (see `cr_core::Ratio::floor_to_denominator`).
-const SHARE_GRID: i128 = 100_000;
+/// The unit grid of `instance` as an `i128`, if representable (see
+/// [`schedule_unit_grid`]).
+fn unit_grid(instance: &Instance) -> Option<i128> {
+    schedule_unit_grid(instance).map(i128::from)
+}
+
+/// Splits the full unit pool proportionally to `weights` in exact rational
+/// arithmetic: largest-remainder rounding on the instance grid when one is
+/// representable, the exact (unquantized) proportional split otherwise.
+/// Callers guarantee at least one positive weight.
+fn split_unit_pool(grid: Option<i128>, weights: &[Ratio]) -> Vec<Ratio> {
+    match grid {
+        Some(grid) => largest_remainder_split_ratio(grid, weights),
+        None => {
+            let total: Ratio = weights.iter().sum();
+            weights.iter().map(|&w| w / total).collect()
+        }
+    }
+}
+
+/// Splits the instance of `builder` uniformly over its currently active
+/// processors and advances one step.
+fn push_equal_step(builder: &mut ScaledScheduleBuilder<'_>) {
+    let weights: Vec<u64> = (0..builder.processors())
+        .map(|i| u64::from(builder.is_active(i)))
+        .collect();
+    let shares = largest_remainder_split(builder.capacity(), &weights);
+    builder.push_step(shares);
+}
+
+/// Splits the instance of `builder` proportionally to the active jobs' step
+/// demands and advances one step.  When the demands fit the pool they are
+/// granted exactly.
+fn push_proportional_step(builder: &mut ScaledScheduleBuilder<'_>) {
+    let demands: Vec<u64> = (0..builder.processors())
+        .map(|i| builder.step_demand_units(i))
+        .collect();
+    let total: u128 = demands.iter().map(|&d| u128::from(d)).sum();
+    let shares = if total <= u128::from(builder.capacity()) {
+        demands
+    } else {
+        largest_remainder_split(builder.capacity(), &demands)
+    };
+    builder.push_step(shares);
+}
 
 /// Splits the resource uniformly among all active processors.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,6 +97,30 @@ impl EqualShare {
     pub fn new() -> Self {
         EqualShare
     }
+
+    /// The exact-rational reference implementation of
+    /// [`EqualShare::schedule`] (identical output; see the module docs).
+    #[must_use]
+    pub fn schedule_rational(&self, instance: &Instance) -> Schedule {
+        let grid = unit_grid(instance);
+        let m = instance.processors();
+        let mut builder = ScheduleBuilder::new(instance);
+        while !builder.all_done() {
+            let weights: Vec<Ratio> = (0..m)
+                .map(|i| {
+                    if builder.is_active(i) {
+                        Ratio::ONE
+                    } else {
+                        Ratio::ZERO
+                    }
+                })
+                .collect();
+            // The uniform share is handed out regardless of the jobs'
+            // demands; anything a job cannot absorb is wasted.
+            builder.push_step(split_unit_pool(grid, &weights));
+        }
+        builder.finish()
+    }
 }
 
 impl Scheduler for EqualShare {
@@ -43,20 +129,15 @@ impl Scheduler for EqualShare {
     }
 
     fn schedule(&self, instance: &Instance) -> Schedule {
-        let m = instance.processors();
-        let mut builder = ScheduleBuilder::new(instance);
-        while !builder.all_done() {
-            let active: Vec<usize> = (0..m).filter(|&i| builder.is_active(i)).collect();
-            let share = Ratio::new(1, active.len() as i128).floor_to_denominator(SHARE_GRID);
-            let mut shares = vec![Ratio::ZERO; m];
-            for &i in &active {
-                // The uniform share is handed out regardless of the job's
-                // demand; anything the job cannot absorb is wasted.
-                shares[i] = share;
+        match ScaledScheduleBuilder::try_new(instance) {
+            Some(mut builder) => {
+                while !builder.all_done() {
+                    push_equal_step(&mut builder);
+                }
+                builder.finish()
             }
-            builder.push_step(shares);
+            None => self.schedule_rational(instance),
         }
-        builder.finish()
     }
 }
 
@@ -70,6 +151,28 @@ impl ProportionalShare {
     pub fn new() -> Self {
         ProportionalShare
     }
+
+    /// The exact-rational reference implementation of
+    /// [`ProportionalShare::schedule`] (identical output; see the module
+    /// docs).
+    #[must_use]
+    pub fn schedule_rational(&self, instance: &Instance) -> Schedule {
+        let grid = unit_grid(instance);
+        let m = instance.processors();
+        let mut builder = ScheduleBuilder::new(instance);
+        while !builder.all_done() {
+            let demands: Vec<Ratio> = (0..m).map(|i| builder.step_demand(i)).collect();
+            let total: Ratio = demands.iter().sum();
+            let shares = if total <= Ratio::ONE {
+                // Everything fits: give every job exactly what it needs.
+                demands
+            } else {
+                split_unit_pool(grid, &demands)
+            };
+            builder.push_step(shares);
+        }
+        builder.finish()
+    }
 }
 
 impl Scheduler for ProportionalShare {
@@ -78,23 +181,15 @@ impl Scheduler for ProportionalShare {
     }
 
     fn schedule(&self, instance: &Instance) -> Schedule {
-        let m = instance.processors();
-        let mut builder = ScheduleBuilder::new(instance);
-        while !builder.all_done() {
-            let demands: Vec<Ratio> = (0..m).map(|i| builder.step_demand(i)).collect();
-            let total: Ratio = demands.iter().sum();
-            let mut shares = vec![Ratio::ZERO; m];
-            if total <= Ratio::ONE {
-                // Everything fits: give every job exactly what it needs.
-                shares.clone_from_slice(&demands);
-            } else {
-                for i in 0..m {
-                    shares[i] = (demands[i] / total).floor_to_denominator(SHARE_GRID);
+        match ScaledScheduleBuilder::try_new(instance) {
+            Some(mut builder) => {
+                while !builder.all_done() {
+                    push_proportional_step(&mut builder);
                 }
+                builder.finish()
             }
-            builder.push_step(shares);
+            None => self.schedule_rational(instance),
         }
-        builder.finish()
     }
 }
 
@@ -107,6 +202,13 @@ impl LargestRequirementFirst {
     #[must_use]
     pub fn new() -> Self {
         LargestRequirementFirst
+    }
+
+    /// The exact-rational reference implementation of
+    /// [`LargestRequirementFirst::schedule`] (identical output).
+    #[must_use]
+    pub fn schedule_rational(&self, instance: &Instance) -> Schedule {
+        serve_in_order_rational(instance, true)
     }
 }
 
@@ -122,9 +224,16 @@ impl SmallestRequirementFirst {
     pub fn new() -> Self {
         SmallestRequirementFirst
     }
+
+    /// The exact-rational reference implementation of
+    /// [`SmallestRequirementFirst::schedule`] (identical output).
+    #[must_use]
+    pub fn schedule_rational(&self, instance: &Instance) -> Schedule {
+        serve_in_order_rational(instance, false)
+    }
 }
 
-fn serve_in_order(instance: &Instance, order_desc: bool) -> Schedule {
+fn serve_in_order_rational(instance: &Instance, order_desc: bool) -> Schedule {
     let m = instance.processors();
     let mut builder = ScheduleBuilder::new(instance);
     while !builder.all_done() {
@@ -149,6 +258,30 @@ fn serve_in_order(instance: &Instance, order_desc: bool) -> Schedule {
         builder.push_step(shares);
     }
     builder.finish()
+}
+
+fn serve_in_order_scaled(mut builder: ScaledScheduleBuilder<'_>, order_desc: bool) -> Schedule {
+    while !builder.all_done() {
+        let mut order: Vec<usize> = (0..builder.processors())
+            .filter(|&i| builder.is_active(i))
+            .collect();
+        order.sort_by(|&a, &b| {
+            let cmp = builder
+                .remaining_workload_units(a)
+                .cmp(&builder.remaining_workload_units(b));
+            let cmp = if order_desc { cmp.reverse() } else { cmp };
+            cmp.then_with(|| a.cmp(&b))
+        });
+        serve_units_in_order(&mut builder, &order);
+    }
+    builder.finish()
+}
+
+fn serve_in_order(instance: &Instance, order_desc: bool) -> Schedule {
+    match ScaledScheduleBuilder::try_new(instance) {
+        Some(builder) => serve_in_order_scaled(builder, order_desc),
+        None => serve_in_order_rational(instance, order_desc),
+    }
 }
 
 impl Scheduler for LargestRequirementFirst {
@@ -176,6 +309,7 @@ mod tests {
     use super::*;
     use cr_core::bounds;
     use cr_core::properties::{is_non_wasting, is_progressive};
+    use cr_core::{ratio, InstanceBuilder};
 
     fn sample_instances() -> Vec<Instance> {
         vec![
@@ -212,6 +346,28 @@ mod tests {
     }
 
     #[test]
+    fn scaled_and_rational_paths_agree_on_samples() {
+        for inst in sample_instances() {
+            assert_eq!(
+                EqualShare::new().schedule(&inst),
+                EqualShare::new().schedule_rational(&inst)
+            );
+            assert_eq!(
+                ProportionalShare::new().schedule(&inst),
+                ProportionalShare::new().schedule_rational(&inst)
+            );
+            assert_eq!(
+                LargestRequirementFirst::new().schedule(&inst),
+                LargestRequirementFirst::new().schedule_rational(&inst)
+            );
+            assert_eq!(
+                SmallestRequirementFirst::new().schedule(&inst),
+                SmallestRequirementFirst::new().schedule_rational(&inst)
+            );
+        }
+    }
+
+    #[test]
     fn priority_heuristics_are_non_wasting_and_progressive() {
         for inst in sample_instances() {
             for h in [
@@ -241,11 +397,24 @@ mod tests {
         // each 50%, wasting 40% on the small job.
         let inst = Instance::unit_from_percentages(&[&[100], &[10]]);
         let schedule = EqualShare::new().schedule(&inst);
+        assert_eq!(schedule.share(0, 0), Ratio::new(1, 2));
         let trace = schedule.trace(&inst).unwrap();
         assert_eq!(trace.makespan(), 2);
         // GreedyBalance-style serving would have finished in 2 steps as well,
         // but EqualShare needs 2 steps even though total workload is 1.1.
         assert!(!is_non_wasting(&trace) || trace.makespan() == 2);
+    }
+
+    #[test]
+    fn equal_share_hands_out_the_whole_pool() {
+        // Three actives on an odd grid: 7/20 + 7/20 + 6/20 = 1 — the old
+        // SHARE_GRID floor would have left a sliver of the resource unused.
+        let inst = Instance::unit_from_percentages(&[&[20], &[55], &[95]]);
+        let schedule = EqualShare::new().schedule(&inst);
+        assert_eq!(schedule.share(0, 0), ratio(7, 20));
+        assert_eq!(schedule.share(0, 1), ratio(7, 20));
+        assert_eq!(schedule.share(0, 2), ratio(6, 20));
+        assert_eq!(schedule.assigned_total(0), Ratio::ONE);
     }
 
     #[test]
@@ -258,8 +427,47 @@ mod tests {
     fn proportional_share_scales_down_when_oversubscribed() {
         let inst = Instance::unit_from_percentages(&[&[80], &[80]]);
         let schedule = ProportionalShare::new().schedule(&inst);
-        // Each job gets 1/2 per step; they need 80% → finish in step 1 (second).
+        // The exact largest-remainder split of the 5-unit pool between equal
+        // demands of 4 units is 3 + 2 (the extra unit goes to the lower
+        // index); both jobs need 80% → finish in step 1 (second).
         assert_eq!(schedule.makespan(&inst).unwrap(), 2);
-        assert_eq!(schedule.share(0, 0), Ratio::new(1, 2));
+        assert_eq!(schedule.share(0, 0), ratio(3, 5));
+        assert_eq!(schedule.share(0, 1), ratio(2, 5));
+        assert_eq!(schedule.assigned_total(0), Ratio::ONE);
+    }
+
+    #[test]
+    fn proportional_share_does_not_starve_tiny_demands() {
+        // Regression test for the SHARE_GRID quantization bug: one huge
+        // demand next to several tiny ones.  The old fixed `1/100 000` floor
+        // quantized `tiny/total` to a *zero* share, starving the tiny cores
+        // (and, with no step limit in the offline loop, risking a livelock).
+        // The exact largest-remainder split gives every tiny demand its unit
+        // as long as the pool allows: here the tiny jobs finish in the very
+        // first step.
+        let tiny = ratio(1, 1_000_000);
+        let inst = InstanceBuilder::new()
+            .processor([Ratio::ONE, Ratio::ONE, Ratio::ONE])
+            .processor([tiny])
+            .processor([tiny])
+            .processor([tiny])
+            .processor([tiny])
+            .build();
+        let schedule = ProportionalShare::new().schedule(&inst);
+        let trace = schedule.trace(&inst).unwrap();
+        for p in 1..=4 {
+            assert_eq!(
+                trace.completion_step(cr_core::JobId::new(p, 0)),
+                Some(0),
+                "tiny demand on processor {p} was starved"
+            );
+        }
+        // While oversubscribed the whole pool is handed out, so the huge
+        // chain finishes within its workload bound: 3 full jobs plus the
+        // sliver lost to the tiny cores in step 0 → 4 steps total.
+        assert_eq!(trace.makespan(), 4);
+        assert_eq!(schedule.assigned_total(0), Ratio::ONE);
+        // And the same run through the rational reference is identical.
+        assert_eq!(schedule, ProportionalShare::new().schedule_rational(&inst));
     }
 }

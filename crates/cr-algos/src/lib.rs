@@ -29,6 +29,7 @@ pub mod opt_m;
 pub mod opt_two;
 pub mod round_robin;
 mod scaled_engine;
+mod scaled_sched;
 pub mod traits;
 
 pub use brute_force::{

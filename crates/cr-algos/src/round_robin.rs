@@ -11,10 +11,16 @@
 //! the factor 2 is tight (the tight family is provided by
 //! `cr-instances::worst_case::round_robin_family`).
 
+use crate::scaled_sched::serve_units_in_order;
 use crate::traits::Scheduler;
-use cr_core::{Instance, Ratio, Schedule, ScheduleBuilder};
+use cr_core::{Instance, Ratio, ScaledScheduleBuilder, Schedule, ScheduleBuilder};
 
 /// The phase-based RoundRobin 2-approximation.
+///
+/// The production path runs on the scaled-integer grid
+/// ([`ScaledScheduleBuilder`]); [`RoundRobin::schedule_rational`] is the
+/// retained exact-[`Ratio`] reference (identical output), which also serves
+/// as the fallback for instances whose unit grid overflows `u64`.
 ///
 /// # Examples
 ///
@@ -35,14 +41,11 @@ impl RoundRobin {
     pub fn new() -> Self {
         RoundRobin
     }
-}
 
-impl Scheduler for RoundRobin {
-    fn name(&self) -> &'static str {
-        "RoundRobin"
-    }
-
-    fn schedule(&self, instance: &Instance) -> Schedule {
+    /// The exact-rational reference implementation of
+    /// [`Scheduler::schedule`] (identical output).
+    #[must_use]
+    pub fn schedule_rational(&self, instance: &Instance) -> Schedule {
         let m = instance.processors();
         let n = instance.max_chain_length();
         let mut builder = ScheduleBuilder::new(instance);
@@ -74,6 +77,36 @@ impl Scheduler for RoundRobin {
                     left -= give;
                 }
                 builder.push_step(shares);
+            }
+        }
+        builder.finish()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+
+    fn schedule(&self, instance: &Instance) -> Schedule {
+        let Some(mut builder) = ScaledScheduleBuilder::try_new(instance) else {
+            return self.schedule_rational(instance);
+        };
+        let m = instance.processors();
+        for phase in 0..instance.max_chain_length() {
+            loop {
+                let participants: Vec<usize> = (0..m)
+                    .filter(|&i| {
+                        builder
+                            .active_job(i)
+                            .map(|id| id.index == phase)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if participants.is_empty() {
+                    break;
+                }
+                serve_units_in_order(&mut builder, &participants);
             }
         }
         builder.finish()

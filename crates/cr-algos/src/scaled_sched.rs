@@ -1,0 +1,27 @@
+//! Shared helper for the scaled (integer-unit) scheduling loops.
+//!
+//! The production paths of [`GreedyBalance`](crate::GreedyBalance),
+//! [`RoundRobin`](crate::RoundRobin) and the priority heuristics all follow
+//! the same step pattern: compute a priority order over the active
+//! processors, then hand each one its full step demand until the unit pool
+//! runs out.  This module hosts that inner step so the algorithms only
+//! differ in how they order (or filter) the processors.
+
+use cr_core::ScaledScheduleBuilder;
+
+/// Serves the processors of `order` in sequence, granting each its full
+/// step demand (in units) until the pool is exhausted, and pushes the
+/// resulting step.
+pub(crate) fn serve_units_in_order(builder: &mut ScaledScheduleBuilder<'_>, order: &[usize]) {
+    let mut shares = vec![0u64; builder.processors()];
+    let mut left = builder.capacity();
+    for &i in order {
+        if left == 0 {
+            break;
+        }
+        let give = builder.step_demand_units(i).min(left);
+        shares[i] = give;
+        left -= give;
+    }
+    builder.push_step(shares);
+}

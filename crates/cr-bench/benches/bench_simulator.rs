@@ -23,13 +23,13 @@ fn bench_simulator(c: &mut Criterion) {
         let workload = generate_workload(&cfg, 99);
         let sim = Simulator::from_instance(&workload);
         group.bench_with_input(BenchmarkId::new("GreedyBalance", cores), &sim, |b, sim| {
-            b.iter(|| black_box(sim.run(&mut GreedyBalancePolicy).report.makespan));
+            b.iter(|| black_box(sim.run(&mut GreedyBalancePolicy).unwrap().report.makespan));
         });
         group.bench_with_input(BenchmarkId::new("RoundRobin", cores), &sim, |b, sim| {
-            b.iter(|| black_box(sim.run(&mut RoundRobinPolicy).report.makespan));
+            b.iter(|| black_box(sim.run(&mut RoundRobinPolicy).unwrap().report.makespan));
         });
         group.bench_with_input(BenchmarkId::new("EqualShare", cores), &sim, |b, sim| {
-            b.iter(|| black_box(sim.run(&mut EqualSharePolicy).report.makespan));
+            b.iter(|| black_box(sim.run(&mut EqualSharePolicy).unwrap().report.makespan));
         });
     }
     group.finish();

@@ -1,4 +1,5 @@
-//! Scaled-core vs. rational-core timing for the exact solvers.
+//! Scaled-core vs. rational-core timing for the exact solvers, the
+//! scheduling heuristics and the online simulator.
 //!
 //! Times each exact solver twice on identical instances — once through its
 //! public entry point (the scaled-integer engine) and once through the
@@ -7,15 +8,31 @@
 //! ISSUE-2 ≥5× acceptance target is tracked against at solver granularity
 //! (the pipeline-level number lives in `BENCH_pipeline.json`).
 //!
+//! ISSUE-3 extends the comparison to the scheduling layer: the six
+//! polynomial schedulers (scaled production path vs. `schedule_rational`
+//! reference), and the `cr-sim` online policies (the integer-unit engine
+//! vs. the offline rational counterpart that computes the identical
+//! schedule with per-step `Ratio` arithmetic — the cost model of the
+//! pre-ISSUE-3 engine).  Every case's two paths must agree on the summed
+//! makespans; the binary asserts this.
+//!
 //! Usage: `cargo run --release -p cr-bench --bin bench_exact --
 //! [--out-dir DIR] [--iters N]`
 
 use cr_algos::{
     brute_force_makespan, brute_force_makespan_rational, opt_m_makespan, opt_m_makespan_rational,
-    opt_two_makespan, opt_two_makespan_rational,
+    opt_two_makespan, opt_two_makespan_rational, EqualShare, GreedyBalance,
+    LargestRequirementFirst, ProportionalShare, RoundRobin, Scheduler, SmallestRequirementFirst,
 };
 use cr_core::Instance;
-use cr_instances::{random_unit_instance, RandomConfig, RequirementProfile};
+use cr_instances::{
+    generate_workload, random_unit_instance, RandomConfig, RequirementProfile, TaskMix,
+    WorkloadConfig,
+};
+use cr_sim::{
+    EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy, ProportionalSharePolicy, RoundRobinPolicy,
+    Simulator,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -152,6 +169,139 @@ fn main() {
         brute_force_makespan,
         brute_force_makespan_rational,
     );
+
+    // The scheduling layer: scaled production paths vs. the rational
+    // reference implementations of the six polynomial schedulers.
+    for (m, n) in [(8usize, 48usize), (16, 64)] {
+        let instances: Vec<Instance> = (0..8)
+            .map(|rep| random_unit_instance(&RandomConfig::uniform(m, n), 3000 + rep))
+            .collect();
+        let case = format!("Uniform m={m} n={n}");
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "greedy_balance",
+            &instances,
+            |i| GreedyBalance::new().schedule(i).num_steps(),
+            |i| GreedyBalance::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "round_robin",
+            &instances,
+            |i| RoundRobin::new().schedule(i).num_steps(),
+            |i| RoundRobin::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "equal_share",
+            &instances,
+            |i| EqualShare::new().schedule(i).num_steps(),
+            |i| EqualShare::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "proportional_share",
+            &instances,
+            |i| ProportionalShare::new().schedule(i).num_steps(),
+            |i| ProportionalShare::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "largest_first",
+            &instances,
+            |i| LargestRequirementFirst::new().schedule(i).num_steps(),
+            |i| {
+                LargestRequirementFirst::new()
+                    .schedule_rational(i)
+                    .num_steps()
+            },
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case,
+            "smallest_first",
+            &instances,
+            |i| SmallestRequirementFirst::new().schedule(i).num_steps(),
+            |i| {
+                SmallestRequirementFirst::new()
+                    .schedule_rational(i)
+                    .num_steps()
+            },
+        );
+    }
+
+    // The online simulator: the integer-unit engine vs. the offline
+    // rational counterpart producing the identical schedule (the per-step
+    // Ratio arithmetic the engine ran on before the scaled port).  The
+    // workloads have equal phase counts per task, so every online policy
+    // reproduces its offline twin's makespan exactly.
+    fn run_sim(instance: &Instance, policy: &mut dyn OnlinePolicy) -> usize {
+        Simulator::from_instance(instance)
+            .run(policy)
+            .expect("simulation completes")
+            .report
+            .makespan
+    }
+    for (cores, mix) in [(16usize, TaskMix::Mixed), (64, TaskMix::IoBound)] {
+        let cfg = WorkloadConfig {
+            cores,
+            phases_per_task: 16,
+            mix,
+            denominator: 100,
+            unit_phases: true,
+        };
+        let workloads: Vec<Instance> = (0..4)
+            .map(|rep| generate_workload(&cfg, 9000 + cores as u64 + rep))
+            .collect();
+        let case = format!("{mix:?} cores={cores}");
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "sim_greedy",
+            &workloads,
+            |i| run_sim(i, &mut GreedyBalancePolicy),
+            |i| GreedyBalance::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "sim_round_robin",
+            &workloads,
+            |i| run_sim(i, &mut RoundRobinPolicy),
+            |i| RoundRobin::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case.clone(),
+            "sim_equal_share",
+            &workloads,
+            |i| run_sim(i, &mut EqualSharePolicy),
+            |i| EqualShare::new().schedule_rational(i).num_steps(),
+        );
+        measure(
+            &mut results,
+            args.iters,
+            case,
+            "sim_proportional",
+            &workloads,
+            |i| run_sim(i, &mut ProportionalSharePolicy),
+            |i| ProportionalShare::new().schedule_rational(i).num_steps(),
+        );
+    }
 
     println!(
         "{:<24} {:<12} {:>6} {:>12} {:>12} {:>9}",

@@ -16,8 +16,8 @@ fn main() {
     ] {
         println!("── task mix {mix:?} ──");
         println!(
-            "{:>6} {:>20} {:>9} {:>9} {:>8} {:>9} {:>9}",
-            "cores", "policy", "makespan", "LB", "ratio", "bus util", "avg slow"
+            "{:>6} {:>20} {:>9} {:>9} {:>8} {:>9} {:>9} {:>10}",
+            "cores", "policy", "makespan", "LB", "ratio", "bus util", "avg slow", "peak waste"
         );
         for cores in [4usize, 8, 16, 32, 64] {
             let cfg = WorkloadConfig {
@@ -30,9 +30,14 @@ fn main() {
             let workload = generate_workload(&cfg, 7_000 + cores as u64);
             let sim = Simulator::from_instance(&workload);
             let mut policies = standard_policies();
-            for report in sim.compare(&mut policies) {
+            for report in sim.compare(&mut policies).expect("simulation completes") {
+                // The exact wasted-share-per-step series drives the waste
+                // figures; the peak is its worst single step.
+                let peak_waste = (0..report.makespan)
+                    .map(|t| report.wasted_fraction(t))
+                    .fold(0.0f64, f64::max);
                 println!(
-                    "{:>6} {:>20} {:>9} {:>9} {:>8.3} {:>8.1}% {:>9.2}",
+                    "{:>6} {:>20} {:>9} {:>9} {:>8.3} {:>8.1}% {:>9.2} {:>9.1}%",
                     cores,
                     report.policy,
                     report.makespan,
@@ -40,6 +45,7 @@ fn main() {
                     report.normalized_makespan(),
                     report.bus_utilization * 100.0,
                     report.average_slowdown(),
+                    peak_waste * 100.0,
                 );
             }
         }

@@ -8,18 +8,30 @@
 //!   byte-identical across runs with the same `--seed`;
 //! * `experiments.md` — the same tables as GitHub-flavoured markdown;
 //! * `BENCH_pipeline.json` — wall-clock timings of the parallel run (the
-//!   perf baseline future PRs compare against).
+//!   perf baseline future PRs compare against).  Besides the eight report
+//!   tables this also times two *timing-only* sweeps — the heuristic
+//!   line-up and the many-core simulator on the scaled engine — which
+//!   appear in `BENCH_pipeline.json` but never in `experiments.json`.
 //!
 //! Usage: `cargo run --release -p cr-bench --bin experiments --
 //! [--seed N] [--out-dir DIR] [--reduced]`
 //!
 //! `--reduced` shrinks every sweep (fewer repetitions, shorter fig3 chains)
-//! while keeping the same eight tables; CI's perf-smoke job runs it to get a
-//! representative timing artifact per PR without paying for the full grid.
+//! while keeping the same table line-up; CI's perf-smoke job runs it to get
+//! a representative timing artifact per PR without paying for the full
+//! grid, and asserts the cell counts of every table — including the timing
+//! sweeps — against the committed baseline.
 
+use cr_algos::standard_line_up;
 use cr_bench::grids;
 use cr_bench::pipeline::{Cell, ExperimentReport, Runner};
-use cr_instances::RequirementProfile;
+use cr_instances::{
+    generate_workload, random_unit_instance, RandomConfig, RequirementProfile, TaskMix,
+    WorkloadConfig,
+};
+use cr_sim::{standard_policies, Simulator};
+use rayon::prelude::*;
+use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -135,6 +147,25 @@ fn main() {
         });
         tables.push(table);
     }
+
+    // Timing-only sweeps of the scaled scheduling/simulation layer.  They
+    // contribute tables to BENCH_pipeline.json (so the perf baseline covers
+    // the heuristic and simulator hot paths) but no rows to
+    // experiments.json, whose content must stay a pure function of the seed.
+    let mut timing_cells = 0usize;
+    for (title, cells) in [
+        heuristic_timing_cells(args.reduced),
+        simulator_timing_cells(args.reduced),
+    ] {
+        timing_cells += cells.len();
+        let timing = run_timing_table(title, &cells);
+        println!(
+            "  {:<46} {:>5} cells  {:>9.1} ms  (max cell {:>7.1} ms)",
+            timing.title, timing.cells, timing.wall_ms, timing.max_cell_ms
+        );
+        timings.push(timing);
+    }
+    let total_cells = total_cells + timing_cells;
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
 
     // Sanity assertions mirroring the paper's claims before anything is
@@ -171,6 +202,89 @@ fn main() {
         md_path.display(),
         bench_path.display()
     );
+}
+
+/// One deferred unit of timing-only work: a label plus the closure whose
+/// wall time is measured (the returned makespan is black-boxed so the work
+/// cannot be optimized away).
+type TimingCell = (String, Box<dyn Fn() -> usize + Send + Sync>);
+
+/// The heuristic line-up on the scaled engine: every polynomial scheduler
+/// over random uniform instances (the post-ISSUE-3 hot path of the random
+/// sweeps).
+fn heuristic_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
+    let reps: u64 = if reduced { 1 } else { 3 };
+    let mut cells: Vec<TimingCell> = Vec::new();
+    for (m, n) in [(8usize, 48usize), (16, 64)] {
+        for rep in 0..reps {
+            let instance = random_unit_instance(&RandomConfig::uniform(m, n), 4000 + rep);
+            for scheduler in standard_line_up() {
+                let instance = instance.clone();
+                cells.push((
+                    format!("{} m={m} n={n} rep={rep}", scheduler.name()),
+                    Box::new(move || scheduler.schedule(&instance).num_steps()),
+                ));
+            }
+        }
+    }
+    ("Heuristic line-up timing (scaled engine)", cells)
+}
+
+/// The many-core simulator on the scaled engine: every online policy over
+/// synthetic workloads (the E10 sweep's hot path).
+fn simulator_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
+    let core_counts: &[usize] = if reduced { &[16] } else { &[16, 64] };
+    let mut cells: Vec<TimingCell> = Vec::new();
+    for mix in [TaskMix::IoBound, TaskMix::Mixed] {
+        for &cores in core_counts {
+            let cfg = WorkloadConfig {
+                cores,
+                phases_per_task: 16,
+                mix,
+                denominator: 100,
+                unit_phases: true,
+            };
+            let workload = generate_workload(&cfg, 8000 + cores as u64);
+            for index in 0..standard_policies().len() {
+                let workload = workload.clone();
+                cells.push((
+                    format!(
+                        "{} {mix:?} cores={cores}",
+                        standard_policies()[index].name()
+                    ),
+                    Box::new(move || {
+                        let mut policies = standard_policies();
+                        Simulator::from_instance(&workload)
+                            .run(policies[index].as_mut())
+                            .expect("simulation completes")
+                            .report
+                            .makespan
+                    }),
+                ));
+            }
+        }
+    }
+    ("Many-core simulator timing (scaled engine)", cells)
+}
+
+/// Fans a timing-only sweep out with rayon and records its wall time plus
+/// the slowest single cell, mirroring `Runner::run_with_timings`.
+fn run_timing_table(title: &'static str, cells: &[TimingCell]) -> TableTiming {
+    let start = Instant::now();
+    let per_cell_ms: Vec<f64> = cells
+        .par_iter()
+        .map(|(_, work)| {
+            let cell_start = Instant::now();
+            black_box(work());
+            cell_start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    TableTiming {
+        title: title.to_string(),
+        cells: cells.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+    }
 }
 
 /// One table's timing record for `BENCH_pipeline.json`.

@@ -12,10 +12,11 @@
 //!
 //! * [`Ratio`] — exact rational arithmetic (all scheduling decisions in this
 //!   repository are made exactly, never in floating point);
-//! * [`ScaledInstance`] — the same requirements as scaled `u64` units on the
-//!   denominators' LCM grid, the representation the exact solver cores in
-//!   `cr-algos` run on (see the `rational` module docs for the
-//!   two-representation design);
+//! * [`ScaledInstance`] / [`ScaledScheduleBuilder`] — the same requirements
+//!   (and workloads) as scaled `u64` units on the denominators' LCM grid,
+//!   the representation the exact solver cores *and* the scheduling /
+//!   simulation layer in `cr-algos` / `cr-sim` run on (see the `rational`
+//!   module docs for the two-representation design);
 //! * [`Job`], [`JobId`], [`Instance`], [`InstanceBuilder`] — the problem input;
 //! * [`Schedule`], [`ScheduleTrace`], [`ScheduleBuilder`] — resource
 //!   assignments, their simulation, validation and makespan;
@@ -66,7 +67,7 @@ pub use instance::{Instance, InstanceBuilder};
 pub use job::{Job, JobId};
 pub use properties::{PropertyReport, PropertyViolation};
 pub use rational::{ratio, Ratio};
-pub use scaled::ScaledInstance;
+pub use scaled::{ScaledInstance, ScaledScheduleBuilder};
 pub use schedule::{Schedule, ScheduleBuilder, ScheduleTrace};
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -74,7 +75,7 @@ pub mod prelude {
     pub use crate::bounds;
     pub use crate::properties;
     pub use crate::{
-        Instance, InstanceBuilder, Job, JobId, PropertyReport, Ratio, ScaledInstance, Schedule,
-        ScheduleBuilder, ScheduleTrace, SchedulingGraph,
+        Instance, InstanceBuilder, Job, JobId, PropertyReport, Ratio, ScaledInstance,
+        ScaledScheduleBuilder, Schedule, ScheduleBuilder, ScheduleTrace, SchedulingGraph,
     };
 }

@@ -13,19 +13,22 @@
 //! cannot occur for the instance families shipped in this repository, whose
 //! denominators are bounded by a few million).
 //!
-//! # Two representations: `Ratio` at the boundary, scaled `u64` in solver cores
+//! # Two representations: `Ratio` at the boundary, scaled `u64` in hot loops
 //!
 //! `Ratio` is the **authoritative** representation at every public API
 //! boundary — instances, schedules, bounds, serialization — because it is
 //! closed under the arithmetic any caller may perform.  The exact solvers in
 //! `cr-algos`, however, run their hot search loops on a
-//! [`ScaledInstance`](crate::scaled::ScaledInstance): all requirements of one
-//! instance re-expressed as integer units on the common grid `1/D` (`D` = the
-//! denominators' LCM), where sums and capacity comparisons are single integer
-//! ops with no gcd.  The conversion round-trips exactly in both directions,
-//! so the two representations never disagree; when the LCM would overflow the
-//! scaled form's `u64` headroom, the solvers simply stay on the `Ratio` path.
-//! Property tests in `cr-algos` cross-check the two paths on random
+//! [`ScaledInstance`](crate::scaled::ScaledInstance), and the schedulers and
+//! the `cr-sim` online arbiter run on a
+//! [`ScaledScheduleBuilder`](crate::scaled::ScaledScheduleBuilder): all
+//! requirements (and workloads) of one instance re-expressed as integer
+//! units on the common grid `1/D` (`D` = the denominators' LCM), where sums,
+//! capacity comparisons and share splits are single integer ops with no gcd.
+//! The conversion round-trips exactly in both directions, so the two
+//! representations never disagree; when the LCM would overflow the scaled
+//! form's `u64` headroom, solvers and schedulers simply stay on the `Ratio`
+//! path.  Property tests in `cr-algos` cross-check the two paths on random
 //! instances.
 
 use serde::{Deserialize, Serialize};
@@ -264,13 +267,12 @@ impl Ratio {
 
     /// Rounds the value **down** to the nearest multiple of `1/denominator`.
     ///
-    /// Long-running simulations with demand-proportional or uniform resource
-    /// splits would otherwise accumulate ever-growing denominators (the least
-    /// common multiple of every divisor encountered), eventually overflowing
-    /// the `i128` cross-multiplication used for comparisons.  Snapping policy
-    /// outputs to a fixed grid keeps every derived quantity's denominator
-    /// bounded while only ever *under*-allocating (never overusing) the
-    /// resource.
+    /// This is the floor step of the deterministic largest-remainder
+    /// splitting used by the scheduling layer (see
+    /// [`scaled::largest_remainder_split_ratio`](crate::scaled::largest_remainder_split_ratio)):
+    /// quantities snapped to an instance's unit grid keep bounded
+    /// denominators over arbitrarily long schedules, and snapping down never
+    /// overuses the resource.
     ///
     /// # Panics
     ///

@@ -1,4 +1,5 @@
-//! Scaled-integer view of an instance's resource requirements.
+//! Scaled-integer view of an instance's resource requirements, and the
+//! scaled scheduling layer built on top of it.
 //!
 //! The exact solvers spend essentially all of their time comparing and
 //! summing [`Ratio`] requirements: every `Ratio` addition runs Euclid's gcd
@@ -17,12 +18,41 @@
 //! the solver cores run on units internally while the public API keeps
 //! speaking exact [`Ratio`]s.
 //!
-//! Construction is fallible ([`ScaledInstance::try_new`]): if the LCM blows
-//! past the overflow-safe bound (so that sums of `m` requirements might not
-//! fit in `u64`), callers fall back to the rational-arithmetic path.
+//! # The scaled scheduling layer
+//!
+//! [`ScaledScheduleBuilder`] extends the same representation from the exact
+//! solvers to *schedule construction*: it mirrors
+//! [`ScheduleBuilder`](crate::schedule::ScheduleBuilder) step for step, but
+//! tracks the remaining **workload** `r·p` of each frontier job as `u64`
+//! units on the grid `1/D`, where `D` is the LCM of all requirement *and*
+//! workload denominators.  A time step hands out exactly `D` units; granting
+//! `c ≤ min(workload, r·D)` units to a job reduces its remaining workload by
+//! exactly `c`, so a whole simulation step is a handful of integer ops.
+//! [`ScaledScheduleBuilder::finish`] converts the unit shares back to exact
+//! [`Ratio`]s (`units/D`), so the resulting [`Schedule`] is bit-for-bit the
+//! schedule the equivalent `Ratio` arithmetic would have produced — the
+//! schedulers in `cr-algos` and the online arbiter in `cr-sim` run on units
+//! internally while their public APIs keep speaking exact `Ratio` schedules.
+//!
+//! [`largest_remainder_split`] is the companion primitive for policies that
+//! *divide* the resource (uniform or demand-proportional shares): it splits
+//! the `D`-unit pool proportionally to integer weights with deterministic
+//! largest-remainder rounding, so shares always sum to exactly one pool —
+//! no sliver of the resource is silently wasted, and a positive demand is
+//! only ever given zero units when the entire pool went to other positive
+//! demands.  This replaces the lossy fixed `SHARE_GRID` floor the heuristics
+//! and the online policies used before, which could quantize small positive
+//! demands to a zero share and starve a core.
+//!
+//! Construction is fallible ([`ScaledInstance::try_new`],
+//! [`ScaledScheduleBuilder::try_new`]): if the LCM blows past the
+//! overflow-safe bound (so that sums of `m` shares might not fit in `u64`),
+//! callers fall back to the rational-arithmetic path.
 
 use crate::instance::Instance;
+use crate::job::JobId;
 use crate::rational::Ratio;
+use crate::schedule::Schedule;
 
 /// An instance's requirements re-expressed as integer units on the common
 /// grid `1/capacity`.
@@ -145,6 +175,391 @@ impl ScaledInstance {
     }
 }
 
+/// Least common multiple of all requirement *and* workload denominators of
+/// `instance` — the unit grid the scaled scheduling layer runs on — or
+/// `None` when the LCM (with `(m + 1)·D` headroom, so sums of `m` shares
+/// plus a carry always fit `u64`) would overflow.
+///
+/// This is the capacity a [`ScaledScheduleBuilder`] for the same instance
+/// reports; it is exposed separately so the `*_rational` reference
+/// implementations in `cr-algos` can quantize their splits to the identical
+/// grid without constructing a builder.
+#[must_use]
+pub fn schedule_unit_grid(instance: &Instance) -> Option<u64> {
+    let m = instance.processors() as u64;
+    let mut capacity: u64 = 1;
+    let mut fold = |den: i128| -> Option<()> {
+        let den = u64::try_from(den).ok()?;
+        let g = gcd(capacity, den);
+        capacity = capacity.checked_mul(den / g)?;
+        capacity.checked_mul(m + 1)?;
+        Some(())
+    };
+    for (_, job) in instance.iter_jobs() {
+        fold(job.requirement.denom())?;
+        if job.requirement.is_positive() {
+            let workload = job.requirement.checked_mul(job.volume)?;
+            fold(workload.denom())?;
+        }
+    }
+    Some(capacity)
+}
+
+/// Splits a pool of `pool` resource units proportionally to integer
+/// `weights`, with deterministic largest-remainder rounding.
+///
+/// Each entry receives `⌊pool·wᵢ/Σw⌋` units, and the remaining units are
+/// handed out one each in order of decreasing fractional part
+/// `(pool·wᵢ) mod Σw` (ties broken towards the lower index).  The result
+/// always sums to exactly `pool` (or to zero when all weights are zero), a
+/// zero weight always receives zero units, and no entry exceeds
+/// `⌈pool·wᵢ/Σw⌉` — in particular, when `Σw > pool` no entry exceeds its own
+/// weight, so demand-proportional splits never over-allocate a job.
+///
+/// # Examples
+///
+/// ```
+/// use cr_core::scaled::largest_remainder_split;
+///
+/// // A 10-unit pool split uniformly among three actives: 4 + 3 + 3.
+/// assert_eq!(largest_remainder_split(10, &[1, 1, 1]), vec![4, 3, 3]);
+/// // Proportional to demands 7 and 3 (oversubscribed pool of 5): 4 + 1.
+/// assert_eq!(largest_remainder_split(5, &[7, 3]), vec![4, 1]);
+/// ```
+#[must_use]
+pub fn largest_remainder_split(pool: u64, weights: &[u64]) -> Vec<u64> {
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut shares = vec![0u64; weights.len()];
+    let mut fracs: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let product = u128::from(pool) * u128::from(w);
+        // product / total ≤ pool, so the quotient fits u64.
+        let base = (product / total) as u64;
+        shares[i] = base;
+        assigned += base;
+        fracs.push((product % total, i));
+    }
+    // Σ fracᵢ = rest·total with every frac < total, so rest < len and every
+    // bumped entry has a strictly positive fractional part (zero weights are
+    // never bumped).
+    let rest = (pool - assigned) as usize;
+    fracs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    for &(_, i) in fracs.iter().take(rest) {
+        shares[i] += 1;
+    }
+    shares
+}
+
+/// The [`Ratio`]-arithmetic twin of [`largest_remainder_split`]: splits the
+/// full unit pool (`1`) proportionally to `weights` on the grid `1/grid`.
+///
+/// For weights that are multiples of `1/grid` this produces exactly the
+/// shares `largest_remainder_split(grid, unit_weights)` produces (divided by
+/// `grid`) — it exists so the retained rational reference implementations of
+/// the splitting heuristics compute bit-identical schedules to their scaled
+/// production paths, which the cross-check property tests in `cr-algos`
+/// assert.
+///
+/// # Panics
+///
+/// Panics if `grid` is not positive.
+#[must_use]
+pub fn largest_remainder_split_ratio(grid: i128, weights: &[Ratio]) -> Vec<Ratio> {
+    assert!(grid > 0, "split grid must be positive");
+    let total: Ratio = weights.iter().sum();
+    if total.is_zero() {
+        return vec![Ratio::ZERO; weights.len()];
+    }
+    let step = Ratio::new(1, grid);
+    let mut shares = Vec::with_capacity(weights.len());
+    let mut fracs: Vec<(Ratio, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = Ratio::ZERO;
+    for (i, &w) in weights.iter().enumerate() {
+        let ideal = w / total;
+        let base = ideal.floor_to_denominator(grid);
+        assigned += base;
+        fracs.push((ideal - base, i));
+        shares.push(base);
+    }
+    // 1 − Σ base is a non-negative multiple of 1/grid.
+    let rest = ((Ratio::ONE - assigned) * Ratio::new(grid, 1)).numer();
+    let rest = usize::try_from(rest).expect("largest-remainder rest count fits usize");
+    fracs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    for &(_, i) in fracs.iter().take(rest) {
+        shares[i] += step;
+    }
+    shares
+}
+
+/// Forward-simulating schedule builder on the scaled-integer grid — the
+/// `u64` twin of [`ScheduleBuilder`](crate::schedule::ScheduleBuilder).
+///
+/// All quantities are *units* on the grid `1/capacity` (see
+/// [`schedule_unit_grid`]): a full time step hands out exactly
+/// [`capacity`](Self::capacity) units, a job's step demand and remaining
+/// workload are plain `u64`s, and one simulation step is pure integer
+/// arithmetic.  [`finish`](Self::finish) converts the accumulated unit
+/// shares back to exact [`Ratio`]s, so the produced [`Schedule`] is
+/// bit-for-bit the one the equivalent `Ratio` computation would build.
+///
+/// Jobs with a **zero requirement** have zero workload but still occupy
+/// steps (they advance one volume unit per step regardless of their share,
+/// like in [`Schedule::trace`]); the builder tracks them by their remaining
+/// step count `⌈p⌉` instead of workload units.
+///
+/// # Examples
+///
+/// ```
+/// use cr_core::{Instance, ScaledScheduleBuilder};
+///
+/// let inst = Instance::unit_from_percentages(&[&[60], &[40]]);
+/// let mut b = ScaledScheduleBuilder::try_new(&inst).unwrap();
+/// assert_eq!(b.capacity(), 5);
+/// assert_eq!(b.step_demand_units(0), 3);
+/// b.push_step(vec![3, 2]);
+/// assert!(b.all_done());
+/// let schedule = b.finish();
+/// assert_eq!(schedule.makespan(&inst).unwrap(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaledScheduleBuilder<'a> {
+    instance: &'a Instance,
+    /// The unit grid `D`: a full step hands out exactly `capacity` units.
+    capacity: u64,
+    /// Row start offsets into the per-job arrays; length `processors + 1`.
+    offsets: Vec<u32>,
+    /// Requirement of each job in units, processor-major.
+    req_units: Vec<u64>,
+    /// Initial cost of each job: workload `r·p` in units for jobs with a
+    /// positive requirement, remaining step count `⌈p⌉` for zero-requirement
+    /// jobs.
+    cost: Vec<u64>,
+    next_job: Vec<usize>,
+    /// Remaining cost of each processor's frontier job (same encoding as
+    /// `cost`).
+    frontier: Vec<u64>,
+    steps: Vec<Vec<u64>>,
+}
+
+impl<'a> ScaledScheduleBuilder<'a> {
+    /// Builds the scaled schedule builder, or `None` when the unit grid
+    /// overflows (see [`schedule_unit_grid`]); callers treat `None` as "use
+    /// the rational [`ScheduleBuilder`](crate::schedule::ScheduleBuilder)
+    /// path".
+    #[must_use]
+    pub fn try_new(instance: &'a Instance) -> Option<Self> {
+        let capacity = schedule_unit_grid(instance)?;
+        let m = instance.processors();
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut req_units = Vec::with_capacity(instance.total_jobs());
+        let mut cost = Vec::with_capacity(instance.total_jobs());
+        offsets.push(0u32);
+        for i in 0..m {
+            for job in instance.processor_jobs(i) {
+                let num = u64::try_from(job.requirement.numer()).ok()?;
+                let den = u64::try_from(job.requirement.denom()).ok()?;
+                req_units.push(num * (capacity / den));
+                if job.requirement.is_positive() {
+                    let workload = job.requirement.checked_mul(job.volume)?;
+                    let num = u64::try_from(workload.numer()).ok()?;
+                    let den = u64::try_from(workload.denom()).ok()?;
+                    cost.push(num.checked_mul(capacity / den)?);
+                } else {
+                    cost.push(u64::try_from(job.volume.ceil()).ok()?);
+                }
+            }
+            offsets.push(u32::try_from(req_units.len()).ok()?);
+        }
+        let frontier = (0..m)
+            .map(|i| {
+                let row = offsets[i] as usize;
+                if offsets[i + 1] as usize > row {
+                    cost[row]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Some(ScaledScheduleBuilder {
+            instance,
+            capacity,
+            offsets,
+            req_units,
+            cost,
+            next_job: vec![0; m],
+            frontier,
+            steps: Vec::new(),
+        })
+    }
+
+    /// The instance being scheduled.
+    #[must_use]
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// The unit grid `D`: a full time step hands out exactly `capacity`
+    /// units, and a share of `u` units round-trips to the exact [`Ratio`]
+    /// `u / capacity`.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of steps emitted so far.
+    #[must_use]
+    pub fn current_step(&self) -> usize {
+        self.steps.len()
+    }
+
+    fn job_slot(&self, processor: usize) -> Option<usize> {
+        let slot = self.offsets[processor] as usize + self.next_job[processor];
+        (slot < self.offsets[processor + 1] as usize).then_some(slot)
+    }
+
+    /// The active (first unfinished) job of processor `i`.
+    #[must_use]
+    pub fn active_job(&self, processor: usize) -> Option<JobId> {
+        self.job_slot(processor)
+            .map(|_| JobId::new(processor, self.next_job[processor]))
+    }
+
+    /// Requirement of the active job of processor `i` in units.
+    #[must_use]
+    pub fn active_requirement_units(&self, processor: usize) -> Option<u64> {
+        self.job_slot(processor).map(|slot| self.req_units[slot])
+    }
+
+    /// Whether processor `i` still has unfinished jobs.
+    #[must_use]
+    pub fn is_active(&self, processor: usize) -> bool {
+        self.job_slot(processor).is_some()
+    }
+
+    /// Number of unfinished jobs on processor `i` (the paper's `nᵢ(t)`).
+    #[must_use]
+    pub fn unfinished_jobs(&self, processor: usize) -> usize {
+        (self.offsets[processor + 1] as usize - self.offsets[processor] as usize)
+            - self.next_job[processor]
+    }
+
+    /// Remaining workload `r · (remaining volume)` of the active job in
+    /// units — the total resource still needed to finish it (zero if the
+    /// processor is idle or its active job needs no resource).
+    #[must_use]
+    pub fn remaining_workload_units(&self, processor: usize) -> u64 {
+        match self.job_slot(processor) {
+            Some(slot) if self.req_units[slot] > 0 => self.frontier[processor],
+            _ => 0,
+        }
+    }
+
+    /// Maximum resource the active job of processor `i` can usefully absorb
+    /// in a single step, in units: `min(remaining workload, r·D)` — exactly
+    /// `r · min(remaining volume, 1)` on the unit grid.
+    #[must_use]
+    pub fn step_demand_units(&self, processor: usize) -> u64 {
+        match self.job_slot(processor) {
+            Some(slot) => self.frontier[processor].min(self.req_units[slot]),
+            None => 0,
+        }
+    }
+
+    /// Whether every job of the instance has been completed.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        (0..self.processors()).all(|i| !self.is_active(i))
+    }
+
+    /// Applies one time step with the given resource shares (in units) and
+    /// advances the simulated state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug and release builds alike) if the shares are
+    /// infeasible — algorithms must never emit an infeasible step.
+    pub fn push_step(&mut self, shares: Vec<u64>) {
+        assert_eq!(
+            shares.len(),
+            self.processors(),
+            "step must assign a share to every processor"
+        );
+        let mut total: u64 = 0;
+        for (i, &share) in shares.iter().enumerate() {
+            assert!(
+                share <= self.capacity,
+                "share of {share} units for processor {i} exceeds the capacity {}",
+                self.capacity
+            );
+            // Cannot overflow: try_new guarantees (m + 1)·capacity fits u64.
+            total += share;
+        }
+        assert!(
+            total <= self.capacity,
+            "step overuses the resource: {total} units assigned, capacity {}",
+            self.capacity
+        );
+
+        for (i, &share) in shares.iter().enumerate() {
+            let Some(slot) = self.job_slot(i) else {
+                continue;
+            };
+            if self.req_units[slot] > 0 {
+                // Consumption = min(share, step demand); remaining workload
+                // decreases by exactly the consumed units.
+                let consumed = share.min(self.frontier[i].min(self.req_units[slot]));
+                self.frontier[i] -= consumed;
+            } else {
+                // Zero-requirement jobs advance one volume unit per step for
+                // free; `frontier` counts their remaining steps.
+                self.frontier[i] -= 1;
+            }
+            if self.frontier[i] == 0 {
+                self.next_job[i] += 1;
+                if let Some(next_slot) = self.job_slot(i) {
+                    self.frontier[i] = self.cost[next_slot];
+                }
+            }
+        }
+        self.steps.push(shares);
+    }
+
+    /// Finalizes the schedule, converting every unit share back to the exact
+    /// rational `units / capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs remain unfinished — that would be an algorithm bug.
+    #[must_use]
+    pub fn finish(self) -> Schedule {
+        assert!(
+            self.all_done(),
+            "ScaledScheduleBuilder::finish called with unfinished jobs"
+        );
+        let capacity = i128::from(self.capacity);
+        Schedule::new(
+            self.steps
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|units| Ratio::new(i128::from(units), capacity))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +623,176 @@ mod tests {
             .processor(primes.map(|p| ratio(1, p)))
             .build();
         assert!(ScaledInstance::try_new(&inst).is_none());
+        assert!(schedule_unit_grid(&inst).is_none());
+        assert!(ScaledScheduleBuilder::try_new(&inst).is_none());
+    }
+
+    #[test]
+    fn largest_remainder_sums_to_pool_and_respects_weights() {
+        assert_eq!(largest_remainder_split(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(largest_remainder_split(5, &[7, 3]), vec![4, 1]);
+        assert_eq!(largest_remainder_split(7, &[0, 0]), vec![0, 0]);
+        assert_eq!(
+            largest_remainder_split(3, &[1, 0, 1, 0, 1]),
+            vec![1, 0, 1, 0, 1]
+        );
+        // One huge and many tiny demands: the pool is fully assigned and the
+        // huge demand never exceeds the pool it can absorb.
+        let shares = largest_remainder_split(100, &[1_000_000, 1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        for (share, weight) in shares.iter().zip([1_000_000u64, 1, 1, 1]) {
+            assert!(*share <= weight);
+        }
+        // Oversubscribed splits never exceed the weight (demand cap).
+        for pool in 1..=20u64 {
+            for weights in [vec![3u64, 9, 8, 1], vec![20, 1, 1], vec![5, 5, 5, 5]] {
+                let total: u64 = weights.iter().sum();
+                if total <= pool {
+                    continue;
+                }
+                let shares = largest_remainder_split(pool, &weights);
+                assert_eq!(shares.iter().sum::<u64>(), pool);
+                assert!(shares.iter().zip(&weights).all(|(s, w)| s <= w));
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_split_matches_integer_split_on_the_same_grid() {
+        let grid = 60u64;
+        for weights in [
+            vec![7u64, 3, 0, 12],
+            vec![1, 1, 1],
+            vec![59, 1],
+            vec![60, 60, 60],
+        ] {
+            let integer = largest_remainder_split(grid, &weights);
+            let ratios: Vec<Ratio> = weights
+                .iter()
+                .map(|&w| Ratio::new(i128::from(w), i128::from(grid)))
+                .collect();
+            let rational = largest_remainder_split_ratio(i128::from(grid), &ratios);
+            for (u, r) in integer.iter().zip(&rational) {
+                assert_eq!(Ratio::new(i128::from(*u), i128::from(grid)), *r);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_builder_mirrors_ratio_builder() {
+        use crate::schedule::ScheduleBuilder;
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2), ratio(1, 2)])
+            .processor([ratio(3, 4), ratio(1, 4)])
+            .build();
+        let mut scaled = ScaledScheduleBuilder::try_new(&inst).unwrap();
+        let mut rational = ScheduleBuilder::new(&inst);
+        assert_eq!(scaled.capacity(), 4);
+        let d = i128::from(scaled.capacity());
+        while !scaled.all_done() {
+            assert!(!rational.all_done());
+            let m = scaled.processors();
+            for i in 0..m {
+                assert_eq!(scaled.is_active(i), rational.is_active(i));
+                assert_eq!(scaled.active_job(i), rational.active_job(i));
+                assert_eq!(scaled.unfinished_jobs(i), rational.unfinished_jobs(i));
+                assert_eq!(
+                    Ratio::new(i128::from(scaled.step_demand_units(i)), d),
+                    rational.step_demand(i)
+                );
+                assert_eq!(
+                    Ratio::new(i128::from(scaled.remaining_workload_units(i)), d),
+                    rational.remaining_workload(i)
+                );
+            }
+            // Serve in processor order.
+            let mut units = vec![0u64; m];
+            let mut left = scaled.capacity();
+            for (i, unit) in units.iter_mut().enumerate() {
+                *unit = scaled.step_demand_units(i).min(left);
+                left -= *unit;
+            }
+            rational.push_step(
+                units
+                    .iter()
+                    .map(|&u| Ratio::new(i128::from(u), d))
+                    .collect(),
+            );
+            scaled.push_step(units);
+        }
+        assert!(rational.all_done());
+        assert_eq!(scaled.finish(), rational.finish());
+    }
+
+    #[test]
+    fn schedule_builder_handles_volumes_and_zero_requirements() {
+        use crate::job::Job;
+        // p0: a 2.5-step zero-requirement job then a 50% job;
+        // p1: a volume-3 job at requirement 1/4 (workload 3/4).
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(Ratio::ZERO, ratio(5, 2)), Job::unit(ratio(1, 2))])
+            .processor_jobs([Job::new(ratio(1, 4), ratio(3, 1))])
+            .build();
+        let mut b = ScaledScheduleBuilder::try_new(&inst).unwrap();
+        assert_eq!(b.capacity(), 4);
+        // Zero-requirement frontier: no demand, no workload.
+        assert_eq!(b.step_demand_units(0), 0);
+        assert_eq!(b.remaining_workload_units(0), 0);
+        assert_eq!(b.active_requirement_units(0), Some(0));
+        // Volume-3 job: demand capped at one step's worth (r·D = 1 unit).
+        assert_eq!(b.step_demand_units(1), 1);
+        assert_eq!(b.remaining_workload_units(1), 3);
+        for step in 0..3 {
+            assert_eq!(b.unfinished_jobs(0), 2, "step {step}");
+            b.push_step(vec![0, 1]);
+        }
+        // The free job took ⌈5/2⌉ = 3 steps; p1's volume job finished too.
+        assert_eq!(b.unfinished_jobs(0), 1);
+        assert_eq!(b.unfinished_jobs(1), 0);
+        assert_eq!(b.step_demand_units(0), 2);
+        b.push_step(vec![2, 0]);
+        assert!(b.all_done());
+        let schedule = b.finish();
+        assert_eq!(schedule.makespan(&inst).unwrap(), 4);
+        assert_eq!(schedule.share(3, 0), ratio(1, 2));
+        // The exact trace agrees with the scaled bookkeeping step for step.
+        let trace = schedule.trace(&inst).unwrap();
+        assert_eq!(trace.completion_step(JobId::new(0, 0)), Some(2));
+        assert_eq!(trace.completion_step(JobId::new(1, 0)), Some(2));
+        assert_eq!(trace.completion_step(JobId::new(0, 1)), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overuses the resource")]
+    fn schedule_builder_rejects_overuse() {
+        let inst = Instance::unit_from_percentages(&[&[50], &[50]]);
+        let mut b = ScaledScheduleBuilder::try_new(&inst).unwrap();
+        let over = b.capacity();
+        b.push_step(vec![over, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished jobs")]
+    fn schedule_builder_finish_requires_completion() {
+        let inst = Instance::unit_from_percentages(&[&[50]]);
+        let b = ScaledScheduleBuilder::try_new(&inst).unwrap();
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn schedule_grid_covers_workload_denominators() {
+        use crate::job::Job;
+        // Requirement 1/3 with volume 5/2: the workload 5/6 forces grid 6.
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(ratio(1, 3), ratio(5, 2))])
+            .build();
+        assert_eq!(schedule_unit_grid(&inst), Some(6));
+        // A zero-requirement job's fractional volume does not inflate the
+        // grid (it is tracked by step count, not workload units).
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(Ratio::ZERO, ratio(5, 7))])
+            .processor([ratio(1, 2)])
+            .build();
+        assert_eq!(schedule_unit_grid(&inst), Some(2));
     }
 }

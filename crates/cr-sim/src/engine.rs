@@ -2,15 +2,20 @@
 //!
 //! The engine owns a workload (one task per core), repeatedly asks an
 //! [`OnlinePolicy`] for a bus-share vector, validates it, advances the cores
-//! and collects metrics.  Internally it reuses the exact simulation semantics
-//! of [`cr_core::ScheduleBuilder`], so a simulation run is bit-for-bit a
-//! CRSharing schedule and can be validated, rendered and analyzed with the
-//! rest of the tool chain.
+//! and collects metrics.  Internally it runs on the exact scaled-integer
+//! simulation semantics of [`cr_core::ScaledScheduleBuilder`]: the bus is a
+//! pool of `capacity` integer units per step (the workload's unit grid), a
+//! policy answers in units, and one simulated step is pure integer
+//! arithmetic — no rational arithmetic, no floating point, and every metric
+//! (consumption, waste, utilization) is exact.  A finished run is
+//! bit-for-bit a CRSharing [`Schedule`] and can be validated, rendered and
+//! analyzed with the rest of the tool chain.
 
 use crate::metrics::{CoreReport, SimReport};
 use crate::policies::{CoreView, OnlinePolicy};
 use crate::task::{tasks_to_instance, Task};
-use cr_core::{bounds, Instance, Schedule, ScheduleBuilder};
+use cr_core::{bounds, Instance, ScaledScheduleBuilder, Schedule};
+use std::fmt;
 
 /// A simulation of one workload under one policy.
 pub struct Simulator {
@@ -30,6 +35,45 @@ pub struct SimOutcome {
     /// The exact schedule the policy produced.
     pub schedule: Schedule,
 }
+
+/// A structured simulation failure.
+///
+/// These are *environment or policy* conditions a caller may want to handle
+/// (report, retry with another policy, …) rather than programming errors:
+/// the engine still panics when a policy returns a malformed share vector
+/// (wrong length, overusing the pool), because that is a bug in the policy
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The workload's unit grid (requirement/workload denominator LCM)
+    /// overflows the scaled engine's `u64` headroom.
+    GridOverflow,
+    /// The policy failed to finish the workload within the step limit — it
+    /// is starving a core or making no progress.
+    StepLimit {
+        /// Name of the policy that exceeded the limit.
+        policy: String,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GridOverflow => write!(
+                f,
+                "workload unit grid overflows u64 — simulate via the rational offline schedulers"
+            ),
+            SimError::StepLimit { policy, limit } => write!(
+                f,
+                "policy {policy} exceeded the step limit of {limit} — it is starving a core"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 impl Simulator {
     /// Creates a simulator for a set of tasks (one per core).
@@ -74,37 +118,50 @@ impl Simulator {
 
     /// Runs the workload to completion under `policy`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GridOverflow`] when the workload's unit grid does
+    /// not fit the scaled engine, and [`SimError::StepLimit`] when the
+    /// policy fails to finish the workload within the step limit.
+    ///
     /// # Panics
     ///
-    /// Panics if the policy returns an infeasible share vector or fails to
-    /// make progress within the step limit.
-    #[must_use]
-    pub fn run(&self, policy: &mut dyn OnlinePolicy) -> SimOutcome {
+    /// Panics if the policy returns a malformed share vector (wrong length,
+    /// share above the capacity, or total above the pool) — that is a bug in
+    /// the policy, not a runtime condition.
+    pub fn run(&self, policy: &mut dyn OnlinePolicy) -> Result<SimOutcome, SimError> {
+        let mut builder =
+            ScaledScheduleBuilder::try_new(&self.instance).ok_or(SimError::GridOverflow)?;
+        let capacity = builder.capacity();
         let m = self.instance.processors();
-        let mut builder = ScheduleBuilder::new(&self.instance);
-        let mut completion = vec![0usize; m];
+
+        // Completion is recorded *before* the first step too, so a core
+        // whose task is already empty reports completion time 0 instead of
+        // being credited with the first simulated step.
+        let mut completion: Vec<Option<usize>> = (0..m)
+            .map(|i| (builder.unfinished_jobs(i) == 0).then_some(0))
+            .collect();
         let mut starved = vec![0usize; m];
-        let mut consumed_total = 0.0_f64;
+        let mut consumed_units: u64 = 0;
+        let mut wasted_units_per_step: Vec<u64> = Vec::new();
 
         let mut steps = 0usize;
         while !builder.all_done() {
-            assert!(
-                steps < self.step_limit,
-                "policy {} exceeded the step limit of {} — it is starving a core",
-                policy.name(),
-                self.step_limit
-            );
+            if steps >= self.step_limit {
+                return Err(SimError::StepLimit {
+                    policy: policy.name().to_string(),
+                    limit: self.step_limit,
+                });
+            }
             let views: Vec<CoreView> = (0..m)
                 .map(|i| CoreView {
-                    active_requirement: builder
-                        .active_job(i)
-                        .map(|id| self.instance.job(id).requirement),
-                    step_demand: builder.step_demand(i),
-                    remaining_workload: builder.remaining_workload(i),
+                    active_requirement: builder.active_requirement_units(i),
+                    step_demand: builder.step_demand_units(i),
+                    remaining_workload: builder.remaining_workload_units(i),
                     remaining_phases: builder.unfinished_jobs(i),
                 })
                 .collect();
-            let shares = policy.allocate(&views);
+            let shares = policy.allocate(capacity, &views);
             assert_eq!(
                 shares.len(),
                 m,
@@ -114,20 +171,22 @@ impl Simulator {
                 m
             );
 
+            let mut useful: u64 = 0;
             for i in 0..m {
                 if views[i].is_active() {
-                    let consumed = shares[i].min(views[i].step_demand);
-                    consumed_total += consumed.to_f64();
-                    if shares[i].is_zero() && views[i].step_demand.is_positive() {
+                    useful += shares[i].min(views[i].step_demand);
+                    if shares[i] == 0 && views[i].step_demand > 0 {
                         starved[i] += 1;
                     }
                 }
             }
+            consumed_units = consumed_units.saturating_add(useful);
+            wasted_units_per_step.push(capacity - useful);
             builder.push_step(shares);
             steps += 1;
             for (i, done_at) in completion.iter_mut().enumerate() {
-                if *done_at == 0 && builder.unfinished_jobs(i) == 0 {
-                    *done_at = steps;
+                if done_at.is_none() && builder.unfinished_jobs(i) == 0 {
+                    *done_at = Some(steps);
                 }
             }
         }
@@ -140,34 +199,44 @@ impl Simulator {
             .enumerate()
             .map(|(i, task)| CoreReport {
                 name: task.name.clone(),
-                completion_time: completion[i],
+                completion_time: completion[i].expect("all cores completed"),
                 ideal_completion_time: task.ideal_completion_time(),
                 starved_steps: starved[i],
             })
             .collect();
 
+        let pool_total = (makespan as u64).saturating_mul(capacity);
         let report = SimReport {
             policy: policy.name().to_string(),
             cores: m,
             makespan,
-            bus_utilization: if makespan == 0 {
+            capacity,
+            consumed_units,
+            wasted_units_per_step,
+            bus_utilization: if pool_total == 0 {
                 0.0
             } else {
-                consumed_total / makespan as f64
+                consumed_units as f64 / pool_total as f64
             },
             lower_bound: bounds::trivial_lower_bound(&self.instance),
             per_core,
         };
-        SimOutcome { report, schedule }
+        Ok(SimOutcome { report, schedule })
     }
 
     /// Runs the workload under every provided policy and returns the reports
     /// in the same order.
-    #[must_use]
-    pub fn compare(&self, policies: &mut [Box<dyn OnlinePolicy>]) -> Vec<SimReport> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] any policy produces.
+    pub fn compare(
+        &self,
+        policies: &mut [Box<dyn OnlinePolicy>],
+    ) -> Result<Vec<SimReport>, SimError> {
         policies
             .iter_mut()
-            .map(|p| self.run(p.as_mut()).report)
+            .map(|p| Ok(self.run(p.as_mut())?.report))
             .collect()
     }
 }
@@ -176,10 +245,11 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::policies::{
-        standard_policies, EqualSharePolicy, GreedyBalancePolicy, RoundRobinPolicy,
+        standard_policies, EqualSharePolicy, GreedyBalancePolicy, ProportionalSharePolicy,
+        RoundRobinPolicy,
     };
     use crate::task::Phase;
-    use cr_core::{ratio, Ratio};
+    use cr_core::ratio;
     use cr_instances::{generate_workload, TaskMix, WorkloadConfig};
 
     fn small_workload() -> Vec<Task> {
@@ -206,7 +276,7 @@ mod tests {
     #[test]
     fn simulation_completes_and_matches_schedule_semantics() {
         let sim = Simulator::new(small_workload());
-        let outcome = sim.run(&mut GreedyBalancePolicy);
+        let outcome = sim.run(&mut GreedyBalancePolicy).unwrap();
         // The schedule the engine reports is feasible and has the same
         // makespan as the engine's own step count.
         let trace = outcome.schedule.trace(sim.instance()).unwrap();
@@ -221,17 +291,65 @@ mod tests {
     }
 
     #[test]
+    fn consumed_units_match_the_exact_trace() {
+        let sim = Simulator::new(small_workload());
+        for mut policy in standard_policies() {
+            let outcome = sim.run(policy.as_mut()).unwrap();
+            let trace = outcome.schedule.trace(sim.instance()).unwrap();
+            let capacity = outcome.report.capacity;
+            // The engine's unit accounting equals the exact rational trace:
+            // Σ_t consumed(t) == consumed_units / capacity …
+            let traced: cr_core::Ratio = (0..trace.num_steps())
+                .map(|t| trace.consumed_total(t))
+                .sum();
+            assert_eq!(
+                traced,
+                cr_core::Ratio::new(
+                    i128::from(outcome.report.consumed_units),
+                    i128::from(capacity)
+                ),
+                "{}",
+                outcome.report.policy
+            );
+            // … and the per-step waste series complements it exactly.
+            assert_eq!(
+                outcome.report.wasted_units_per_step.len(),
+                outcome.report.makespan
+            );
+            let wasted: u64 = outcome.report.wasted_units_per_step.iter().sum();
+            assert_eq!(
+                wasted + outcome.report.consumed_units,
+                capacity * outcome.report.makespan as u64
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tasks_complete_before_the_first_step() {
+        let tasks = vec![
+            Task::new("idle", vec![]),
+            Task::new("busy", vec![Phase::unit(ratio(1, 2))]),
+        ];
+        let sim = Simulator::new(tasks);
+        let outcome = sim.run(&mut GreedyBalancePolicy).unwrap();
+        assert_eq!(outcome.report.makespan, 1);
+        assert_eq!(outcome.report.per_core[0].completion_time, 0);
+        assert_eq!(outcome.report.per_core[1].completion_time, 1);
+        assert!((outcome.report.per_core[0].slowdown() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn greedy_balance_is_no_worse_than_equal_share_here() {
         let sim = Simulator::new(small_workload());
-        let greedy = sim.run(&mut GreedyBalancePolicy).report;
-        let equal = sim.run(&mut EqualSharePolicy).report;
+        let greedy = sim.run(&mut GreedyBalancePolicy).unwrap().report;
+        let equal = sim.run(&mut EqualSharePolicy).unwrap().report;
         assert!(greedy.makespan <= equal.makespan);
     }
 
     #[test]
     fn round_robin_respects_phase_barriers() {
         let sim = Simulator::new(small_workload());
-        let rr = sim.run(&mut RoundRobinPolicy).report;
+        let rr = sim.run(&mut RoundRobinPolicy).unwrap().report;
         // Round robin is a 2-approximation; with the lower bound as proxy for
         // the optimum the ratio must stay below 2 (plus 1 step of slack for
         // the ceiling effects on this tiny workload).
@@ -248,7 +366,7 @@ mod tests {
         };
         let sim = Simulator::from_instance(&generate_workload(&cfg, 7));
         let mut policies = standard_policies();
-        let reports = sim.compare(&mut policies);
+        let reports = sim.compare(&mut policies).unwrap();
         assert_eq!(reports.len(), policies.len());
         for r in &reports {
             assert!(r.makespan >= r.lower_bound);
@@ -260,18 +378,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "step limit")]
+    fn proportional_share_does_not_starve_tiny_demands() {
+        // Regression test for the SHARE_GRID starvation bug class: one core
+        // with full-bus phases next to cores with microscopic demands.  The
+        // old fixed-grid floor gave the tiny cores zero shares until the
+        // huge core finished; the exact largest-remainder split serves them
+        // immediately, so nobody records a starved step.
+        let tiny = ratio(1, 1_000_000);
+        let mut tasks = vec![Task::new("huge", vec![Phase::unit(cr_core::Ratio::ONE); 3])];
+        for i in 0..4 {
+            tasks.push(Task::new(format!("tiny{i}"), vec![Phase::unit(tiny)]));
+        }
+        let sim = Simulator::new(tasks);
+        let report = sim.run(&mut ProportionalSharePolicy).unwrap().report;
+        assert_eq!(report.makespan, 4);
+        for core in &report.per_core {
+            assert_eq!(core.starved_steps, 0, "{} was starved", core.name);
+            if core.name.starts_with("tiny") {
+                assert_eq!(core.completion_time, 1);
+            }
+        }
+    }
+
+    #[test]
     fn starving_policies_are_detected() {
         struct DoNothing;
         impl OnlinePolicy for DoNothing {
             fn name(&self) -> &'static str {
                 "DoNothing"
             }
-            fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
-                vec![Ratio::ZERO; cores.len()]
+            fn allocate(&mut self, _capacity: u64, cores: &[CoreView]) -> Vec<u64> {
+                vec![0; cores.len()]
             }
         }
         let sim = Simulator::new(small_workload()).with_step_limit(16);
-        let _ = sim.run(&mut DoNothing);
+        let err = sim.run(&mut DoNothing).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::StepLimit {
+                policy: "DoNothing".to_string(),
+                limit: 16
+            }
+        );
+        assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn grid_overflow_is_reported_not_panicked() {
+        // Pairwise-coprime huge prime denominators overflow the u64 grid.
+        let primes: [i128; 4] = [4_294_967_291, 4_294_967_279, 4_294_967_231, 4_294_967_197];
+        let tasks = vec![Task::new(
+            "huge-grid",
+            primes.map(|p| Phase::unit(ratio(1, p))).to_vec(),
+        )];
+        let sim = Simulator::new(tasks);
+        assert_eq!(
+            sim.run(&mut GreedyBalancePolicy).unwrap_err(),
+            SimError::GridOverflow
+        );
     }
 }

@@ -6,10 +6,13 @@
 //! The paper never measures such a platform; this crate provides the
 //! synthetic stand-in.  Cores run multi-phase [`Task`]s, a bus arbiter
 //! ([`OnlinePolicy`]) splits the bus every time step, and the engine collects
-//! makespan, utilization and slowdown metrics.  Because every simulation step
-//! follows the exact CRSharing semantics (via `cr_core::ScheduleBuilder`),
-//! simulation results are directly comparable to the offline algorithms and
-//! bounds of `cr-algos`/`cr-core`.
+//! makespan, utilization and slowdown metrics.  Every simulation step follows
+//! the exact CRSharing semantics on the scaled-integer grid (via
+//! `cr_core::ScaledScheduleBuilder`): the bus is a pool of integer bandwidth
+//! units, policies answer in units — like a hardware credit-based arbiter —
+//! and all consumption/waste metrics are exact.  Simulation results are
+//! bit-for-bit CRSharing schedules, directly comparable to the offline
+//! algorithms and bounds of `cr-algos`/`cr-core`.
 //!
 //! ```
 //! use cr_sim::{Simulator, GreedyBalancePolicy};
@@ -17,7 +20,7 @@
 //!
 //! let workload = generate_workload(&WorkloadConfig::default(), 42);
 //! let sim = Simulator::from_instance(&workload);
-//! let outcome = sim.run(&mut GreedyBalancePolicy);
+//! let outcome = sim.run(&mut GreedyBalancePolicy).unwrap();
 //! assert!(outcome.report.makespan >= outcome.report.lower_bound);
 //! ```
 
@@ -29,7 +32,7 @@ pub mod metrics;
 pub mod policies;
 pub mod task;
 
-pub use engine::{SimOutcome, Simulator};
+pub use engine::{SimError, SimOutcome, Simulator};
 pub use metrics::{CoreReport, SimReport};
 pub use policies::{
     standard_policies, CoreView, EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy,

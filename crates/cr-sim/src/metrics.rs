@@ -7,7 +7,8 @@ use serde::{Deserialize, Serialize};
 pub struct CoreReport {
     /// Task / core name.
     pub name: String,
-    /// Step (1-based count) in which the core's task finished.
+    /// Step (1-based count) in which the core's task finished; `0` when the
+    /// task was already empty before the first step.
     pub completion_time: usize,
     /// Completion time the task would have achieved with the bus to itself.
     pub ideal_completion_time: usize,
@@ -27,6 +28,15 @@ impl CoreReport {
 }
 
 /// Aggregate outcome of a simulation run.
+///
+/// Consumption and waste are reported **exactly**, as integer units on the
+/// workload's grid: one simulated step hands out [`capacity`](Self::capacity)
+/// units, [`consumed_units`](Self::consumed_units) of the
+/// `capacity · makespan` total were usefully absorbed, and
+/// [`wasted_units_per_step`](Self::wasted_units_per_step) is the exact
+/// per-step series of units no core could use (the raw data behind the
+/// utilization figures).  The float [`bus_utilization`](Self::bus_utilization)
+/// is derived from these integers once, at the end of the run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Policy that produced the run.
@@ -35,8 +45,16 @@ pub struct SimReport {
     pub cores: usize,
     /// Makespan: the step count after which every task is finished.
     pub makespan: usize,
+    /// Units the bus hands out per step (the workload's unit-grid
+    /// denominator `D`).
+    pub capacity: u64,
+    /// Exact number of units usefully consumed over the whole run.
+    pub consumed_units: u64,
+    /// Exact number of units wasted in each step (`capacity` minus the
+    /// useful consumption), one entry per simulated step.
+    pub wasted_units_per_step: Vec<u64>,
     /// Average fraction of the bus that was usefully consumed per step
-    /// (up to the makespan).
+    /// (up to the makespan); derived from the exact unit counts.
     pub bus_utilization: f64,
     /// Lower bound on the optimal makespan (total bus demand and longest
     /// task), for normalized comparisons.
@@ -46,6 +64,21 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Total units wasted over the whole run (exact).
+    #[must_use]
+    pub fn wasted_units_total(&self) -> u64 {
+        self.wasted_units_per_step.iter().sum()
+    }
+
+    /// Fraction of the bus wasted in `step`, for plotting the waste series.
+    #[must_use]
+    pub fn wasted_fraction(&self, step: usize) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.wasted_units_per_step[step] as f64 / self.capacity as f64
+    }
+
     /// Makespan normalized by the lower bound.
     #[must_use]
     pub fn normalized_makespan(&self) -> f64 {
@@ -98,6 +131,9 @@ mod tests {
             policy: "GreedyBalance".into(),
             cores: 2,
             makespan: 10,
+            capacity: 10,
+            consumed_units: 80,
+            wasted_units_per_step: vec![2; 10],
             bus_utilization: 0.8,
             lower_bound: 8,
             per_core: vec![
@@ -141,6 +177,9 @@ mod tests {
             policy: "x".into(),
             cores: 0,
             makespan: 0,
+            capacity: 0,
+            consumed_units: 0,
+            wasted_units_per_step: vec![],
             bus_utilization: 0.0,
             lower_bound: 0,
             per_core: vec![],
@@ -148,6 +187,19 @@ mod tests {
         assert_eq!(r.normalized_makespan(), 1.0);
         assert_eq!(r.average_slowdown(), 1.0);
         assert_eq!(r.max_slowdown(), 1.0);
+        assert_eq!(r.wasted_units_total(), 0);
+    }
+
+    #[test]
+    fn exact_waste_accounting() {
+        let r = report();
+        assert_eq!(r.wasted_units_total(), 20);
+        assert!((r.wasted_fraction(0) - 0.2).abs() < 1e-12);
+        // consumed + wasted == capacity · makespan, exactly.
+        assert_eq!(
+            r.consumed_units + r.wasted_units_total(),
+            r.capacity * r.makespan as u64
+        );
     }
 
     #[test]

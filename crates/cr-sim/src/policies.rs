@@ -6,20 +6,33 @@
 //! remaining phase counts), not the future phases — this is the situation a
 //! real bus arbiter is in, and it is where the structural insight of the
 //! paper (balance the number of remaining jobs) pays off.
+//!
+//! All quantities are integer **units** on the workload's unit grid: the
+//! engine tells the policy the pool `capacity` (the number of units one time
+//! step hands out — the grid denominator `D` of the underlying
+//! [`ScaledScheduleBuilder`](cr_core::ScaledScheduleBuilder)), and the policy
+//! returns one unit share per core.  This is exactly the position of a
+//! hardware arbiter distributing integer bandwidth credits, and it makes
+//! every split exact: the dividing policies use
+//! [`largest_remainder_split`], so shares sum to exactly one pool and no
+//! positive demand is ever quantized to zero while units remain.  (The
+//! previous `Ratio`-based policies floored shares onto a fixed `1/100 000`
+//! grid, which could starve a core with a small positive demand.)
 
-use cr_core::Ratio;
+use cr_core::scaled::largest_remainder_split;
 
-/// Snapshot of one core at the start of a time step.
+/// Snapshot of one core at the start of a time step.  All resource
+/// quantities are units on the simulation's grid (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreView {
-    /// Bandwidth requirement of the active phase (`None` if the core's task
-    /// is finished).
-    pub active_requirement: Option<Ratio>,
-    /// Bus time still needed to finish the active phase, capped at one step's
-    /// worth (`requirement · min(remaining length, 1)`).
-    pub step_demand: Ratio,
-    /// Total bus time still needed to finish the active phase.
-    pub remaining_workload: Ratio,
+    /// Bandwidth requirement of the active phase in units (`None` if the
+    /// core's task is finished).
+    pub active_requirement: Option<u64>,
+    /// Bus units still usable by the active phase this step, capped at one
+    /// step's worth (`requirement · min(remaining length, 1)` in units).
+    pub step_demand: u64,
+    /// Total bus units still needed to finish the active phase.
+    pub remaining_workload: u64,
     /// Number of unfinished phases of the task (including the active one).
     pub remaining_phases: usize,
 }
@@ -32,22 +45,29 @@ impl CoreView {
     }
 }
 
-/// Grid used to quantize the shares of the requirement-oblivious policies.
-/// Without it, uniform (`1/k` for a varying number `k` of active cores) and
-/// demand-proportional splits accumulate unbounded denominators over long
-/// runs; snapping down to this grid keeps the exact arithmetic bounded and
-/// only ever leaves a sliver of the bus unused.
-const SHARE_GRID: i128 = 100_000;
-
 /// An online bus-arbitration policy.
 pub trait OnlinePolicy {
     /// Stable policy name for reports.
     fn name(&self) -> &'static str;
 
-    /// Decides the bus shares for this step.  The returned vector must have
-    /// one entry per core, entries in `[0, 1]`, and sum to at most 1; the
-    /// engine validates this.
-    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio>;
+    /// Decides the bus shares for this step, in units.  The returned vector
+    /// must have one entry per core, entries in `[0, capacity]`, and sum to
+    /// at most `capacity`; the engine validates this.
+    fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64>;
+}
+
+fn serve_in_priority_order(capacity: u64, cores: &[CoreView], order: Vec<usize>) -> Vec<u64> {
+    let mut shares = vec![0u64; cores.len()];
+    let mut left = capacity;
+    for i in order {
+        if left == 0 {
+            break;
+        }
+        let give = cores[i].step_demand.min(left);
+        shares[i] = give;
+        left -= give;
+    }
+    shares
 }
 
 /// Serve the cores with the most remaining phases first (ties: larger
@@ -68,26 +88,12 @@ pub struct EqualSharePolicy;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProportionalSharePolicy;
 
-fn serve_in_priority_order(cores: &[CoreView], order: Vec<usize>) -> Vec<Ratio> {
-    let mut shares = vec![Ratio::ZERO; cores.len()];
-    let mut left = Ratio::ONE;
-    for i in order {
-        if left.is_zero() {
-            break;
-        }
-        let give = cores[i].step_demand.min(left);
-        shares[i] = give;
-        left -= give;
-    }
-    shares
-}
-
 impl OnlinePolicy for GreedyBalancePolicy {
     fn name(&self) -> &'static str {
         "GreedyBalance"
     }
 
-    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
+    fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64> {
         let mut order: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_active()).collect();
         order.sort_by(|&a, &b| {
             cores[b]
@@ -100,7 +106,7 @@ impl OnlinePolicy for GreedyBalancePolicy {
                 })
                 .then_with(|| a.cmp(&b))
         });
-        serve_in_priority_order(cores, order)
+        serve_in_priority_order(capacity, cores, order)
     }
 }
 
@@ -109,7 +115,7 @@ impl OnlinePolicy for RoundRobinPolicy {
         "RoundRobin"
     }
 
-    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
+    fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64> {
         // The current phase index of a core is (total phases) − (remaining);
         // serving only the cores with the *minimal* phase index reproduces
         // the offline algorithm's phase barriers without knowing the future.
@@ -119,7 +125,7 @@ impl OnlinePolicy for RoundRobinPolicy {
         // fewest-phases-completed-first rule.
         let active: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_active()).collect();
         if active.is_empty() {
-            return vec![Ratio::ZERO; cores.len()];
+            return vec![0; cores.len()];
         }
         let max_remaining = active
             .iter()
@@ -131,7 +137,7 @@ impl OnlinePolicy for RoundRobinPolicy {
             .copied()
             .filter(|&i| cores[i].remaining_phases == max_remaining)
             .collect();
-        serve_in_priority_order(cores, participants)
+        serve_in_priority_order(capacity, cores, participants)
     }
 }
 
@@ -140,17 +146,11 @@ impl OnlinePolicy for EqualSharePolicy {
         "EqualShare"
     }
 
-    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
-        let active: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_active()).collect();
-        let mut shares = vec![Ratio::ZERO; cores.len()];
-        if active.is_empty() {
-            return shares;
-        }
-        let share = Ratio::new(1, active.len() as i128).floor_to_denominator(SHARE_GRID);
-        for &i in &active {
-            shares[i] = share;
-        }
-        shares
+    fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64> {
+        // Exact uniform split of the whole pool over the active cores; the
+        // pool remainder goes to the lowest-indexed actives, one unit each.
+        let weights: Vec<u64> = cores.iter().map(|c| u64::from(c.is_active())).collect();
+        largest_remainder_split(capacity, &weights)
     }
 }
 
@@ -159,20 +159,16 @@ impl OnlinePolicy for ProportionalSharePolicy {
         "ProportionalShare"
     }
 
-    fn allocate(&mut self, cores: &[CoreView]) -> Vec<Ratio> {
-        let total: Ratio = cores.iter().map(|c| c.step_demand).sum();
-        let mut shares = vec![Ratio::ZERO; cores.len()];
-        if total.is_zero() {
-            return shares;
+    fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64> {
+        let demands: Vec<u64> = cores.iter().map(|c| c.step_demand).collect();
+        let total: u128 = demands.iter().map(|&d| u128::from(d)).sum();
+        if total <= u128::from(capacity) {
+            // Everything fits (including the all-zero case): grant demands
+            // exactly.
+            demands
+        } else {
+            largest_remainder_split(capacity, &demands)
         }
-        for (i, core) in cores.iter().enumerate() {
-            shares[i] = if total <= Ratio::ONE {
-                core.step_demand
-            } else {
-                (core.step_demand / total).floor_to_denominator(SHARE_GRID)
-            };
-        }
-        shares
     }
 }
 
@@ -190,20 +186,22 @@ pub fn standard_policies() -> Vec<Box<dyn OnlinePolicy>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cr_core::ratio;
 
-    fn view(req: Option<(i64, i64)>, remaining: usize) -> CoreView {
-        match req {
-            Some((n, d)) => CoreView {
-                active_requirement: Some(ratio(n as i128, d as i128)),
-                step_demand: ratio(n as i128, d as i128),
-                remaining_workload: ratio(n as i128, d as i128),
+    /// A ten-unit pool stands in for the engine's grid in these tests.
+    const POOL: u64 = 10;
+
+    fn view(demand: Option<u64>, remaining: usize) -> CoreView {
+        match demand {
+            Some(units) => CoreView {
+                active_requirement: Some(units),
+                step_demand: units,
+                remaining_workload: units,
                 remaining_phases: remaining,
             },
             None => CoreView {
                 active_requirement: None,
-                step_demand: Ratio::ZERO,
-                remaining_workload: Ratio::ZERO,
+                step_demand: 0,
+                remaining_workload: 0,
                 remaining_phases: 0,
             },
         }
@@ -211,66 +209,83 @@ mod tests {
 
     #[test]
     fn greedy_balance_prefers_longer_chains() {
-        let cores = vec![view(Some((1, 2)), 1), view(Some((1, 2)), 3)];
-        let shares = GreedyBalancePolicy.allocate(&cores);
-        assert_eq!(shares[1], ratio(1, 2));
-        assert_eq!(shares[0], ratio(1, 2));
+        let cores = vec![view(Some(5), 1), view(Some(5), 3)];
+        let shares = GreedyBalancePolicy.allocate(POOL, &cores);
+        assert_eq!(shares, vec![5, 5]);
         // With scarce resource the longer chain wins entirely.
-        let cores = vec![view(Some((9, 10)), 1), view(Some((9, 10)), 3)];
-        let shares = GreedyBalancePolicy.allocate(&cores);
-        assert_eq!(shares[1], ratio(9, 10));
-        assert_eq!(shares[0], ratio(1, 10));
+        let cores = vec![view(Some(9), 1), view(Some(9), 3)];
+        let shares = GreedyBalancePolicy.allocate(POOL, &cores);
+        assert_eq!(shares, vec![1, 9]);
     }
 
     #[test]
     fn round_robin_serves_only_the_current_phase_barrier() {
         // Core 0 has already finished one phase more than core 1.
-        let cores = vec![view(Some((1, 2)), 1), view(Some((1, 2)), 2)];
-        let shares = RoundRobinPolicy.allocate(&cores);
-        assert_eq!(shares[1], ratio(1, 2));
-        assert_eq!(shares[0], Ratio::ZERO, "cores ahead of the barrier wait");
+        let cores = vec![view(Some(5), 1), view(Some(5), 2)];
+        let shares = RoundRobinPolicy.allocate(POOL, &cores);
+        assert_eq!(shares[1], 5);
+        assert_eq!(shares[0], 0, "cores ahead of the barrier wait");
     }
 
     #[test]
-    fn equal_share_ignores_demand() {
-        let cores = vec![
-            view(Some((1, 10)), 1),
-            view(Some((9, 10)), 1),
-            view(None, 0),
-        ];
-        let shares = EqualSharePolicy.allocate(&cores);
-        assert_eq!(shares[0], ratio(1, 2));
-        assert_eq!(shares[1], ratio(1, 2));
-        assert_eq!(shares[2], Ratio::ZERO);
+    fn equal_share_ignores_demand_and_spends_the_pool() {
+        let cores = vec![view(Some(1), 1), view(Some(9), 1), view(None, 0)];
+        let shares = EqualSharePolicy.allocate(POOL, &cores);
+        assert_eq!(shares, vec![5, 5, 0]);
+        // Odd splits hand the remainder to the lowest-indexed actives, so
+        // the whole pool is always spent.
+        let cores = vec![view(Some(1), 1), view(Some(9), 1), view(Some(3), 1)];
+        let shares = EqualSharePolicy.allocate(POOL, &cores);
+        assert_eq!(shares, vec![4, 3, 3]);
     }
 
     #[test]
     fn proportional_share_scales_to_capacity() {
-        let cores = vec![view(Some((3, 4)), 1), view(Some((3, 4)), 1)];
-        let shares = ProportionalSharePolicy.allocate(&cores);
-        assert_eq!(shares[0], ratio(1, 2));
-        assert_eq!(shares[1], ratio(1, 2));
+        let cores = vec![view(Some(8), 1), view(Some(8), 1)];
+        let shares = ProportionalSharePolicy.allocate(POOL, &cores);
+        assert_eq!(shares, vec![5, 5]);
         // Under-subscribed: demands are granted exactly.
-        let cores = vec![view(Some((1, 4)), 1), view(Some((1, 2)), 1)];
-        let shares = ProportionalSharePolicy.allocate(&cores);
-        assert_eq!(shares[0], ratio(1, 4));
-        assert_eq!(shares[1], ratio(1, 2));
+        let cores = vec![view(Some(3), 1), view(Some(5), 1)];
+        let shares = ProportionalSharePolicy.allocate(POOL, &cores);
+        assert_eq!(shares, vec![3, 5]);
+    }
+
+    #[test]
+    fn proportional_share_never_zeroes_a_positive_demand_while_units_remain() {
+        // One huge and many tiny demands on a large grid: the old fixed-grid
+        // floor gave the tiny cores a zero share; the exact split hands each
+        // of them their unit.
+        let pool = 1_000_000u64;
+        let cores = vec![
+            view(Some(pool), 1),
+            view(Some(1), 1),
+            view(Some(1), 1),
+            view(Some(1), 1),
+        ];
+        let shares = ProportionalSharePolicy.allocate(pool, &cores);
+        assert_eq!(shares[1], 1);
+        assert_eq!(shares[2], 1);
+        assert_eq!(shares[3], 1);
+        assert_eq!(shares.iter().sum::<u64>(), pool);
     }
 
     #[test]
     fn all_policies_return_feasible_vectors() {
         let cores = vec![
-            view(Some((9, 10)), 4),
-            view(Some((7, 10)), 2),
-            view(Some((2, 10)), 6),
+            view(Some(9), 4),
+            view(Some(7), 2),
+            view(Some(2), 6),
             view(None, 0),
         ];
         for mut policy in standard_policies() {
-            let shares = policy.allocate(&cores);
+            let shares = policy.allocate(POOL, &cores);
             assert_eq!(shares.len(), cores.len());
-            let total: Ratio = shares.iter().sum();
-            assert!(total <= Ratio::ONE, "{} overuses the bus", policy.name());
-            assert!(shares.iter().all(Ratio::in_unit_interval));
+            assert!(
+                shares.iter().sum::<u64>() <= POOL,
+                "{} overuses the bus",
+                policy.name()
+            );
+            assert!(shares.iter().all(|&s| s <= POOL));
         }
     }
 }

@@ -38,7 +38,7 @@ fn main() {
             workload.max_chain_length()
         );
         let mut policies = standard_policies();
-        for report in sim.compare(&mut policies) {
+        for report in sim.compare(&mut policies).expect("simulation completes") {
             println!("    {}", report.summary());
         }
         println!();

@@ -1,15 +1,19 @@
 //! Integration tests tying the online simulator (`cr-sim`) back to the
-//! offline algorithms and bounds: the online GreedyBalance policy reproduces
-//! the offline GreedyBalance schedule exactly, and all policies respect the
-//! model's feasibility constraints and lower bounds.
+//! offline algorithms and bounds: the online policies reproduce their
+//! offline counterparts' schedules exactly (the engine and the offline
+//! schedulers share the scaled-integer semantics), and all policies respect
+//! the model's feasibility constraints and lower bounds.
 
 mod common;
 
 use common::unit_instance;
-use crsharing::algos::{GreedyBalance, RoundRobin, Scheduler};
+use crsharing::algos::{EqualShare, GreedyBalance, ProportionalShare, RoundRobin, Scheduler};
 use crsharing::core::bounds;
 use crsharing::instances::{generate_workload, TaskMix, WorkloadConfig};
-use crsharing::sim::{standard_policies, GreedyBalancePolicy, RoundRobinPolicy, Simulator};
+use crsharing::sim::{
+    standard_policies, EqualSharePolicy, GreedyBalancePolicy, ProportionalSharePolicy,
+    RoundRobinPolicy, Simulator,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -22,8 +26,20 @@ proptest! {
     fn online_greedy_matches_offline_greedy(instance in unit_instance(4, 5)) {
         let offline = GreedyBalance::new().schedule(&instance);
         let sim = Simulator::from_instance(&instance);
-        let outcome = sim.run(&mut GreedyBalancePolicy);
+        let outcome = sim.run(&mut GreedyBalancePolicy).unwrap();
         prop_assert_eq!(outcome.schedule, offline);
+    }
+
+    /// The splitting policies also reproduce their offline counterparts:
+    /// engine and offline schedulers compute the identical largest-remainder
+    /// splits on the identical unit grid.
+    #[test]
+    fn online_splitters_match_offline_splitters(instance in unit_instance(4, 4)) {
+        let sim = Simulator::from_instance(&instance);
+        let equal = sim.run(&mut EqualSharePolicy).unwrap();
+        prop_assert_eq!(equal.schedule, EqualShare::new().schedule(&instance));
+        let prop = sim.run(&mut ProportionalSharePolicy).unwrap();
+        prop_assert_eq!(prop.schedule, ProportionalShare::new().schedule(&instance));
     }
 
     /// The online RoundRobin policy needs at most as many steps as the
@@ -31,7 +47,7 @@ proptest! {
     #[test]
     fn online_round_robin_is_consistent(instance in unit_instance(4, 4)) {
         let sim = Simulator::from_instance(&instance);
-        let outcome = sim.run(&mut RoundRobinPolicy);
+        let outcome = sim.run(&mut RoundRobinPolicy).unwrap();
         let offline = RoundRobin::new().makespan(&instance);
         prop_assert!(outcome.report.makespan >= bounds::trivial_lower_bound(&instance));
         // The online variant keeps the phase barriers, so it matches the
@@ -44,16 +60,21 @@ proptest! {
     }
 
     /// Every built-in policy terminates, produces a feasible schedule and
-    /// reports consistent metrics.
+    /// reports consistent (and exactly-accounted) metrics.
     #[test]
     fn all_policies_are_feasible(instance in unit_instance(4, 4)) {
         let sim = Simulator::from_instance(&instance);
         for mut policy in standard_policies() {
-            let outcome = sim.run(policy.as_mut());
+            let outcome = sim.run(policy.as_mut()).unwrap();
             let trace = outcome.schedule.trace(&instance).expect("feasible schedule");
             prop_assert_eq!(trace.makespan(), outcome.report.makespan);
             prop_assert!(outcome.report.bus_utilization <= 1.0 + 1e-9);
             prop_assert!(outcome.report.makespan >= outcome.report.lower_bound);
+            // Exact accounting: consumed + wasted units cover the pool.
+            prop_assert_eq!(
+                outcome.report.consumed_units + outcome.report.wasted_units_total(),
+                outcome.report.capacity * outcome.report.makespan as u64
+            );
             for core in &outcome.report.per_core {
                 prop_assert!(core.completion_time <= outcome.report.makespan);
                 prop_assert!(core.slowdown() >= 1.0 - 1e-9);
@@ -80,7 +101,7 @@ fn greedy_balance_policy_meets_theorem7_bound_on_workloads() {
             };
             let workload = generate_workload(&cfg, 1234 + cores as u64);
             let sim = Simulator::from_instance(&workload);
-            let report = sim.run(&mut GreedyBalancePolicy).report;
+            let report = sim.run(&mut GreedyBalancePolicy).unwrap().report;
             assert!(
                 report.normalized_makespan() <= 2.0 - 1.0 / cores as f64 + 1e-9,
                 "Theorem 7 violated for {mix:?} on {cores} cores: {}",
@@ -101,7 +122,7 @@ fn io_bound_workloads_saturate_the_bus_under_greedy_balance() {
     };
     let workload = generate_workload(&cfg, 5);
     let sim = Simulator::from_instance(&workload);
-    let report = sim.run(&mut GreedyBalancePolicy).report;
+    let report = sim.run(&mut GreedyBalancePolicy).unwrap().report;
     assert!(
         report.bus_utilization > 0.9,
         "bandwidth-bound workload should keep the bus busy, got {}",
