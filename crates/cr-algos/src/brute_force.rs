@@ -2,9 +2,10 @@
 //!
 //! The solver explores the same normalized step space as
 //! [`crate::opt_m`] (at least one frontier job completes per step, the
-//! leftover goes to at most one job — justified by Lemma 1), but performs a
-//! memoized depth-first search **without** the domination pruning of
-//! Algorithm 2.  Its running time is exponential, which is fine for the small
+//! leftover goes to at most one job — justified by Lemma 1, enumerated by
+//! the shared width-independent pruned DFS of `crate::subset_enum`), but
+//! performs a memoized depth-first search **without** the domination
+//! pruning of Algorithm 2.  Its running time is exponential, which is fine for the small
 //! instances where it serves as an independent reference for
 //! `OptResAssignment`, `OptResAssignment2` and the approximation-ratio
 //! experiments.

@@ -30,6 +30,7 @@ pub mod opt_two;
 pub mod round_robin;
 mod scaled_engine;
 mod scaled_sched;
+mod subset_enum;
 pub mod traits;
 
 pub use brute_force::{
@@ -40,9 +41,10 @@ pub use greedy_balance::GreedyBalance;
 pub use heuristics::{
     EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst,
 };
-pub use opt_m::{opt_m_makespan, opt_m_makespan_rational, OptM};
+pub use opt_m::{opt_m_makespan, opt_m_makespan_rational, try_opt_m_makespan, OptM};
 pub use opt_two::{opt_two_makespan, opt_two_makespan_rational, opt_two_makespan_sparse, OptTwo};
 pub use round_robin::{phase_length, round_robin_upper_bound, RoundRobin};
+pub use scaled_engine::SearchError;
 pub use traits::{standard_line_up, BoxedScheduler, Scheduler};
 
 /// Commonly used items for glob import.

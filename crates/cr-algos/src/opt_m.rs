@@ -14,12 +14,22 @@
 //!
 //! Two implementations share this file's entry points: the hot path runs the
 //! search on a [`ScaledInstance`] through [`crate::scaled_engine`] (integer
-//! units, packed configuration keys, FxHash memoization), and the original
-//! `Ratio`-based search is retained as [`opt_m_makespan_rational`] — both the
-//! fallback when scaling would overflow and the reference the property tests
-//! cross-check against.
+//! units, packed configuration keys, FxHash memoization, rayon-parallel
+//! round expansion), and the `Ratio`-based search is retained as
+//! [`opt_m_makespan_rational`] — the fallback when scaling would overflow
+//! (or a search round outgrows the engine's `u32` parent-index headroom,
+//! surfaced as a structured [`crate::SearchError`]) and the reference the
+//! property tests cross-check against.
+//!
+//! Both paths enumerate successors through the shared pruned DFS enumerator
+//! ([`crate::subset_enum`]), so any number of simultaneously active
+//! processors is supported.  The pre-ISSUE-4 rational path scanned
+//! `1u32 << k` subset masks, which shift-overflowed for `k ≥ 32` active
+//! processors — a debug panic, and a silent wrap to a wrong (possibly
+//! empty) successor enumeration in release builds.
 
 use crate::scaled_engine;
+use crate::subset_enum::{for_each_choice, EnumScratch};
 use crate::traits::Scheduler;
 use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
 use std::collections::HashMap;
@@ -93,6 +103,11 @@ pub(crate) struct StepChoice {
 /// Restricting the search to such steps is justified by Lemma 1: some optimal
 /// schedule is non-wasting, progressive and nested, and for unit-size jobs
 /// every such step completes at least one job.
+///
+/// Runs on the shared pruned DFS enumerator (`crate::subset_enum`): only
+/// fitting subsets of the requirement-sorted active processors are visited,
+/// zero-requirement frontiers always complete (the variants skipping them
+/// are strictly dominated), and the active-processor count is unbounded.
 pub(crate) fn successors(instance: &Instance, config: &Config) -> Vec<(Config, StepChoice)> {
     let m = instance.processors();
     let active: Vec<usize> = (0..m)
@@ -105,64 +120,36 @@ pub(crate) fn successors(instance: &Instance, config: &Config) -> Vec<(Config, S
         .iter()
         .map(|&i| config.remaining(instance, i).expect("active processor"))
         .collect();
-    let total: Ratio = remaining.iter().sum();
 
-    let apply = |finished: &[usize], partial: Option<(usize, Ratio)>| -> (Config, StepChoice) {
-        let mut next = config.clone();
-        for &i in finished {
-            next.completed[i] += 1;
-            next.spent[i] = Ratio::ZERO;
-        }
-        if let Some((p, amount)) = partial {
-            next.spent[p] += amount;
-        }
-        (
-            next,
-            StepChoice {
-                finished: finished.to_vec(),
-                partial,
-            },
-        )
-    };
-
-    // Non-wasting: if everything fits, all active jobs finish.
-    if total <= Ratio::ONE {
-        return vec![apply(&active, None)];
-    }
-
+    let mut scratch = EnumScratch::default();
     let mut out = Vec::new();
-    // Enumerate non-empty subsets of the active processors whose remaining
-    // requirements fit into the resource.
-    let k = active.len();
-    for mask in 1u32..(1u32 << k) {
-        let mut sum = Ratio::ZERO;
-        let mut finished = Vec::new();
-        for (bit, &proc_idx) in active.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                sum += remaining[bit];
-                finished.push(proc_idx);
+    for_each_choice(
+        &remaining,
+        Ratio::ONE,
+        &mut scratch,
+        &mut |finished, partial| {
+            let mut next = config.clone();
+            let mut finished_procs = Vec::with_capacity(finished.len());
+            for &entry in finished {
+                let i = active[entry as usize];
+                next.completed[i] += 1;
+                next.spent[i] = Ratio::ZERO;
+                finished_procs.push(i);
             }
-        }
-        if sum > Ratio::ONE {
-            continue;
-        }
-        let leftover = Ratio::ONE - sum;
-        if leftover.is_zero() {
-            out.push(apply(&finished, None));
-            continue;
-        }
-        // Non-wasting: the leftover must go to exactly one remaining active
-        // job that cannot be completed with it (otherwise a larger subset
-        // covers the case).
-        for (bit, &proc_idx) in active.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                continue;
-            }
-            if remaining[bit] > leftover {
-                out.push(apply(&finished, Some((proc_idx, leftover))));
-            }
-        }
-    }
+            let partial = partial.map(|(entry, amount)| {
+                let p = active[entry as usize];
+                next.spent[p] += amount;
+                (p, amount)
+            });
+            out.push((
+                next,
+                StepChoice {
+                    finished: finished_procs,
+                    partial,
+                },
+            ));
+        },
+    );
     out
 }
 
@@ -253,22 +240,47 @@ fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
 
 /// The optimal makespan computed by the configuration search.
 ///
-/// Runs on the scaled-integer engine whenever the instance's requirement
-/// denominators admit a `u64` LCM (always, for the families in this
-/// repository), and falls back to the exact rational search otherwise.
+/// Runs on the scaled-integer engine (rayon-parallel round expansion)
+/// whenever the instance's requirement denominators admit a `u64` LCM
+/// (always, for the families in this repository), and falls back to the
+/// exact rational search otherwise — either when scaling overflows or when
+/// the engine reports a structured [`crate::SearchError`] because a search
+/// round outgrew its `u32` parent-index headroom.
 ///
 /// # Panics
 ///
 /// Panics if the instance contains non-unit job sizes.
 #[must_use]
 pub fn opt_m_makespan(instance: &Instance) -> usize {
+    try_opt_m_makespan(instance).unwrap_or_else(|_| opt_m_makespan_rational(instance))
+}
+
+/// Like [`opt_m_makespan`], but surfaces the scaled engine's structured
+/// failure instead of silently recovering through the rational search.
+///
+/// Instances whose denominators do not scale at all still run (and succeed)
+/// on the rational path; the only `Err` is a
+/// [`SearchError`](crate::SearchError) from the scaled configuration search
+/// itself — a round outgrowing the `u32` parent-index headroom — which
+/// callers can either report or recover from via
+/// [`opt_m_makespan_rational`] (exactly what [`opt_m_makespan`] does).
+///
+/// # Errors
+///
+/// [`crate::SearchError::RoundTooLarge`] when a scaled search round holds
+/// more nodes than `u32` parent indices can address.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit job sizes.
+pub fn try_opt_m_makespan(instance: &Instance) -> Result<usize, crate::SearchError> {
     assert_unit(instance);
     match ScaledInstance::try_new(instance) {
         Some(scaled) => {
-            let rounds = scaled_engine::run_search(&scaled);
-            scaled_engine::search_makespan(&scaled, &rounds)
+            let rounds = scaled_engine::run_search(&scaled)?;
+            Ok(scaled_engine::search_makespan(&scaled, &rounds))
         }
-        None => opt_m_makespan_rational(instance),
+        None => Ok(opt_m_makespan_rational(instance)),
     }
 }
 
@@ -325,8 +337,9 @@ impl Scheduler for OptM {
     fn schedule(&self, instance: &Instance) -> Schedule {
         assert_unit(instance);
         if let Some(scaled) = ScaledInstance::try_new(instance) {
-            let rounds = scaled_engine::run_search(&scaled);
-            return scaled_engine::search_schedule(instance, &scaled, &rounds);
+            if let Ok(rounds) = scaled_engine::run_search(&scaled) {
+                return scaled_engine::search_schedule(instance, &scaled, &rounds);
+            }
         }
         let rounds = run_search(instance);
         let last = rounds.len() - 1;
@@ -453,6 +466,39 @@ mod tests {
             assert_eq!(scaled, rational, "{inst}");
             assert_eq!(OptM::new().schedule(&inst).makespan(&inst).unwrap(), scaled);
         }
+    }
+
+    #[test]
+    fn try_variant_agrees_with_the_silent_fallback_entry_point() {
+        let instances = vec![
+            Instance::unit_from_percentages(&[&[60, 40], &[60, 40]]),
+            Instance::unit_from_percentages(&[&[50, 20], &[30, 30], &[20, 50]]),
+        ];
+        for inst in instances {
+            assert_eq!(try_opt_m_makespan(&inst).unwrap(), opt_m_makespan(&inst));
+        }
+    }
+
+    #[test]
+    fn forty_processor_oversubscribed_instance_solves_exactly() {
+        // 40 simultaneously active processors: 4 oversubscribed heavies
+        // (90% each — any two exceed the resource) plus 36 processors whose
+        // chains of zero-requirement jobs keep them in the active set.  The
+        // pre-ISSUE-4 scaled engine asserted `k < 32`; the rational path
+        // shift-overflowed `1u32 << 40` (a debug panic, and a silent wrap to
+        // a wrong enumeration in release).
+        let mut reqs: Vec<Vec<Ratio>> = vec![vec![Ratio::from_percent(90)]; 4];
+        reqs.extend(vec![vec![Ratio::ZERO; 2]; 36]);
+        let inst = Instance::unit_from_requirements(reqs);
+
+        // Workload 3.6 rounds up to 4: finish one heavy per step, handing
+        // the growing leftover to the next (10, 20, 30 units).
+        let scaled = opt_m_makespan(&inst);
+        assert_eq!(scaled, 4);
+        assert_eq!(opt_m_makespan_rational(&inst), 4);
+        assert_eq!(crate::brute_force::brute_force_makespan(&inst), 4);
+        let schedule = OptM::new().schedule(&inst);
+        assert_eq!(schedule.makespan(&inst).unwrap(), 4);
     }
 
     #[test]

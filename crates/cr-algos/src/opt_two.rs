@@ -23,7 +23,10 @@
 //! The hot path runs the dense DP on a flat integer table over a
 //! [`ScaledInstance`] (see [`crate::scaled_engine`]); the original
 //! `Ratio`-based table is retained as [`opt_two_makespan_rational`] for
-//! cross-checking and as the overflow fallback.
+//! cross-checking and as the overflow fallback.  The DP's cell values —
+//! one frontier requirement plus one carried leftover, each at most the
+//! capacity `D` — are exactly what the `2·D` headroom of
+//! [`ScaledInstance::try_new`] reserves.
 
 use crate::scaled_engine::{ScaledDpTable, DP_BOTH, DP_FIRST, DP_SECOND};
 use crate::traits::Scheduler;

@@ -9,27 +9,78 @@
 //! * every gcd: sums, capacity tests and leftover computations are single
 //!   integer ops;
 //! * the `Config { Vec<usize>, Vec<Ratio> }` search key: configurations are
-//!   packed into one flat `Rc<[u64]>` of `2m` words (`completed` counts, then
-//!   `spent` units) and deduplicated through an `FxHashMap` probed with a
-//!   borrowed slice, so duplicate successors allocate nothing;
+//!   packed into one flat `Arc<[u64]>` of `2m` words (`completed` counts,
+//!   then `spent` units) and deduplicated through an `FxHashSet` probed with
+//!   a borrowed slice, so duplicate successors allocate nothing;
 //! * per-call successor `Vec`s: [`for_each_successor`] streams successors
 //!   through a callback, filling caller-provided [`SuccScratch`] buffers.
 //!
+//! Successor generation runs on the width-independent pruned DFS enumerator
+//! shared with the rational search ([`crate::subset_enum`]), so any number
+//! of simultaneously active processors is supported — the pre-ISSUE-4
+//! engine asserted `k < 32` because it scanned `1u32 << k` subset masks.
+//!
+//! [`run_search`] expands each round in parallel: the previous round's
+//! nodes are fanned out with rayon in contiguous chunks, each chunk
+//! produces a locally deduplicated shard, and the shards are merged in
+//! chunk order — exactly the order a serial scan would have produced — so
+//! parallel runs are byte-identical to serial ones (the same determinism
+//! contract the experiment pipeline documents).  A round that outgrows the
+//! `u32` parent-index headroom surfaces as a structured [`SearchError`]
+//! instead of a panic; callers fall back to the rational reference search.
+//!
 //! The engine is internal; its correctness contract is "identical makespans
-//! to the rational reference solvers", enforced by unit tests here and by the
-//! `proptest_scaled` cross-check suite.
+//! to the rational reference solvers", enforced by unit tests here and by
+//! the `proptest_scaled` cross-check suite.
 
+use crate::subset_enum::{for_each_choice, EnumScratch};
 use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
-use rustc_hash::FxHashMap;
-use std::rc::Rc;
+use rayon::prelude::*;
+use rustc_hash::FxHashSet;
+use std::fmt;
+use std::sync::Arc;
 
 /// A packed configuration: `2m` words, `[completed_0, …, completed_{m-1},
 /// spent_0, …, spent_{m-1}]` with `spent` in units.
-pub(crate) type PackedConfig = Rc<[u64]>;
+///
+/// `Arc` (not `Rc`) so round expansion can fan configurations out across
+/// rayon workers.
+pub(crate) type PackedConfig = Arc<[u64]>;
+
+/// Structured failure of the configuration search.  The search is total for
+/// every realistic instance; this exists so the single capacity limit left
+/// in the engine — parent back-pointers are `u32` — degrades into a
+/// recoverable error (callers fall back to the rational search) instead of
+/// a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchError {
+    /// A search round holds more nodes than `u32` parent indices can
+    /// address.
+    RoundTooLarge {
+        /// The 0-based round whose node count overflowed.
+        round: usize,
+        /// Its node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::RoundTooLarge { round, nodes } => write!(
+                f,
+                "configuration-search round {round} holds {nodes} nodes, \
+                 exceeding the u32 parent-index headroom"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// The initial configuration: nothing completed, nothing spent.
 pub(crate) fn initial_config(m: usize) -> PackedConfig {
-    Rc::from(vec![0u64; 2 * m])
+    Arc::from(vec![0u64; 2 * m])
 }
 
 /// Whether every processor has completed all of its jobs.
@@ -44,65 +95,61 @@ pub(crate) fn dominates(m: usize, a: &[u64], b: &[u64]) -> bool {
     (0..m).all(|i| a[i] > b[i] || (a[i] == b[i] && a[m + i] >= b[m + i]))
 }
 
-/// The decision producing a successor: which of the parent's *active*
-/// processors complete (bitmask over the active list, in index order) and
-/// which processor, if any, receives the leftover units without completing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The decision producing a successor: which of the parent's active
+/// processors complete and which processor, if any, receives the leftover
+/// units without completing.  Width-independent (any number of active
+/// processors) and cheap to clone across rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct ScaledChoice {
-    /// Bitmask over the parent configuration's active-processor list.
-    pub finished_mask: u32,
+    /// Processors whose frontier job completes in this step.
+    pub finished: Arc<[u32]>,
     /// Processor granted the leftover, with the amount in units.
-    pub partial: Option<(usize, u64)>,
+    pub partial: Option<(u32, u64)>,
 }
 
-/// Reusable scratch buffers for successor generation (one per search, not
-/// one per expansion).
+impl ScaledChoice {
+    fn initial() -> Self {
+        ScaledChoice {
+            finished: Arc::from([]),
+            partial: None,
+        }
+    }
+}
+
+/// Reusable scratch buffers for successor generation (one per search chunk,
+/// not one per expansion).
 #[derive(Debug, Default)]
 pub(crate) struct SuccScratch {
     active: Vec<usize>,
     remaining: Vec<u64>,
     tmp: Vec<u64>,
-}
-
-/// Writes the successor reached from `config` by `choice` into `tmp`.
-fn build_successor(
-    tmp: &mut Vec<u64>,
-    config: &[u64],
-    active: &[usize],
-    m: usize,
-    mask: u32,
-    partial: Option<(usize, u64)>,
-) {
-    tmp.clear();
-    tmp.extend_from_slice(config);
-    for (bit, &i) in active.iter().enumerate() {
-        if mask & (1 << bit) != 0 {
-            tmp[i] += 1;
-            tmp[m + i] = 0;
-        }
-    }
-    if let Some((p, amount)) = partial {
-        tmp[m + p] += amount;
-    }
+    finished_procs: Vec<u32>,
+    choices: EnumScratch,
 }
 
 /// Streams all successor configurations of `config` reachable in one
-/// normalized (non-wasting, progressive) time step to `emit`.  The slice
-/// handed to `emit` is `scratch.tmp` — callers that keep a successor must
-/// copy it out (typically only after a memo-table probe misses).
+/// normalized (non-wasting, progressive) time step to `emit`, together with
+/// the finished processors and the partial receiver of each step decision.
+/// The slices handed to `emit` live in `scratch` — callers that keep a
+/// successor must copy them out (typically only after a memo-table probe
+/// misses).
 ///
+/// Runs on the shared pruned DFS enumerator (`crate::subset_enum`), so the
+/// active-processor count is unbounded and unit sums are overflow-checked.
 /// Mirrors the rational `opt_m::successors` step enumeration exactly.
 pub(crate) fn for_each_successor(
     scaled: &ScaledInstance,
     config: &[u64],
     scratch: &mut SuccScratch,
-    mut emit: impl FnMut(&[u64], ScaledChoice),
+    mut emit: impl FnMut(&[u64], &[u32], Option<(u32, u64)>),
 ) {
     let m = scaled.processors();
     let SuccScratch {
         active,
         remaining,
         tmp,
+        finished_procs,
+        choices,
     } = scratch;
     active.clear();
     remaining.clear();
@@ -116,76 +163,34 @@ pub(crate) fn for_each_successor(
     if active.is_empty() {
         return;
     }
-    let k = active.len();
-    assert!(
-        k < 32,
-        "configuration search supports at most 31 simultaneously active processors"
+    for_each_choice(
+        remaining,
+        scaled.capacity(),
+        choices,
+        &mut |finished, partial| {
+            tmp.clear();
+            tmp.extend_from_slice(config);
+            finished_procs.clear();
+            for &entry in finished {
+                let p = active[entry as usize];
+                // Processor indices fit u32: ScaledInstance stores u32 offsets.
+                finished_procs.push(u32::try_from(p).expect("processor index fits u32"));
+                tmp[p] += 1;
+                tmp[m + p] = 0;
+            }
+            let partial = partial.map(|(entry, amount)| {
+                let p = active[entry as usize];
+                // spent + leftover stays below the frontier requirement ≤ D.
+                tmp[m + p] += amount;
+                (u32::try_from(p).expect("processor index fits u32"), amount)
+            });
+            emit(tmp, finished_procs, partial);
+        },
     );
-    let cap = scaled.capacity();
-    let total: u64 = remaining.iter().sum();
-
-    // Non-wasting: if everything fits, all active jobs finish.
-    if total <= cap {
-        let mask = (1u32 << k) - 1;
-        build_successor(tmp, config, active, m, mask, None);
-        emit(
-            tmp,
-            ScaledChoice {
-                finished_mask: mask,
-                partial: None,
-            },
-        );
-        return;
-    }
-
-    // Enumerate non-empty subsets of the active processors whose remaining
-    // requirements fit into the resource.
-    for mask in 1u32..(1u32 << k) {
-        let mut sum = 0u64;
-        for (bit, &r) in remaining.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                sum += r;
-            }
-        }
-        if sum > cap {
-            continue;
-        }
-        let leftover = cap - sum;
-        if leftover == 0 {
-            build_successor(tmp, config, active, m, mask, None);
-            emit(
-                tmp,
-                ScaledChoice {
-                    finished_mask: mask,
-                    partial: None,
-                },
-            );
-            continue;
-        }
-        // Non-wasting: the leftover must go to exactly one remaining active
-        // job that cannot be completed with it (otherwise a larger subset
-        // covers the case).
-        for (bit, &proc_idx) in active.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                continue;
-            }
-            if remaining[bit] > leftover {
-                let partial = Some((proc_idx, leftover));
-                build_successor(tmp, config, active, m, mask, partial);
-                emit(
-                    tmp,
-                    ScaledChoice {
-                        finished_mask: mask,
-                        partial,
-                    },
-                );
-            }
-        }
-    }
 }
 
 /// One node of the round-by-round configuration search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct ScaledNode {
     /// The configuration this node represents.
     pub config: PackedConfig,
@@ -196,48 +201,147 @@ pub(crate) struct ScaledNode {
     pub choice: ScaledChoice,
 }
 
+/// Expands one contiguous chunk of the previous round into its successor
+/// shard: nodes in parent order, locally deduplicated (first representative
+/// wins, matching what a serial scan of the same chunk keeps).
+fn expand_chunk(
+    scaled: &ScaledInstance,
+    base: u32,
+    nodes: &[ScaledNode],
+    scratch: &mut SuccScratch,
+) -> Vec<ScaledNode> {
+    let mut local_seen: FxHashSet<PackedConfig> = FxHashSet::default();
+    let mut out: Vec<ScaledNode> = Vec::new();
+    for (offset, node) in nodes.iter().enumerate() {
+        let parent = base + u32::try_from(offset).expect("chunk offset fits u32");
+        for_each_successor(scaled, &node.config, scratch, |tmp, finished, partial| {
+            // Exact duplicate within the shard: keep the first
+            // representative.  Probing with the borrowed scratch slice means
+            // duplicates cost no allocation at all.
+            if local_seen.contains(tmp) {
+                return;
+            }
+            let config: PackedConfig = Arc::from(tmp);
+            local_seen.insert(config.clone());
+            out.push(ScaledNode {
+                config,
+                parent,
+                choice: ScaledChoice {
+                    finished: Arc::from(finished),
+                    partial,
+                },
+            });
+        });
+    }
+    out
+}
+
 /// Runs the Algorithm 2 configuration search on the scaled instance and
 /// returns, per round, the surviving (deduplicated, non-dominated) nodes.
 /// The search stops after the first round containing a final configuration.
-pub(crate) fn run_search(scaled: &ScaledInstance) -> Vec<Vec<ScaledNode>> {
+///
+/// Round expansion is rayon-parallel with byte-identical output to a serial
+/// run (see the module docs); [`run_search_chunked`] exposes the chunk size
+/// so tests can pin both extremes.
+///
+/// # Errors
+///
+/// [`SearchError::RoundTooLarge`] when a round outgrows the `u32`
+/// parent-index headroom; callers fall back to the rational search.
+pub(crate) fn run_search(scaled: &ScaledInstance) -> Result<Vec<Vec<ScaledNode>>, SearchError> {
+    run_search_chunked(scaled, None)
+}
+
+/// [`run_search`] with an explicit expansion chunk size (`None` derives one
+/// chunk per rayon worker).  Output is independent of the chunk size — the
+/// determinism property tests compare per-node chunks against a single
+/// serial chunk.
+pub(crate) fn run_search_chunked(
+    scaled: &ScaledInstance,
+    chunk_size: Option<usize>,
+) -> Result<Vec<Vec<ScaledNode>>, SearchError> {
     let m = scaled.processors();
     let initial = initial_config(m);
     let mut rounds: Vec<Vec<ScaledNode>> = vec![vec![ScaledNode {
         config: initial.clone(),
         parent: u32::MAX,
-        choice: ScaledChoice {
-            finished_mask: 0,
-            partial: None,
-        },
+        choice: ScaledChoice::initial(),
     }]];
     if is_final(scaled, &initial) {
-        return rounds;
+        return Ok(rounds);
     }
 
-    let mut scratch = SuccScratch::default();
+    // Below this round size the fan-out cannot win: the vendored rayon
+    // spawns one OS thread per chunk, which costs more than expanding a
+    // few hundred nodes serially (and the search may nest under the
+    // experiment pipeline's own worker fan-out).  An explicit `chunk_size`
+    // bypasses the cutoff so the determinism tests can force tiny chunks.
+    const MIN_PARALLEL_ROUND: usize = 256;
+
+    let mut serial_scratch = SuccScratch::default();
     let max_rounds = scaled.total_jobs() + 1;
     for _round in 0..max_rounds {
+        // Invariant: `prev` was size-checked against the u32 parent-index
+        // headroom when it was produced (the initial round has one node).
         let prev = rounds.last().expect("at least the initial round");
-        let mut seen: FxHashMap<PackedConfig, u32> = FxHashMap::default();
-        let mut next: Vec<ScaledNode> = Vec::new();
-        for (parent_idx, node) in prev.iter().enumerate() {
-            for_each_successor(scaled, &node.config, &mut scratch, |tmp, choice| {
-                // Exact duplicate: keep the first representative.  Probing
-                // with the borrowed scratch slice means duplicates cost no
-                // allocation at all.
-                if seen.contains_key(tmp) {
-                    return;
+        let chunk = chunk_size
+            .unwrap_or_else(|| prev.len().div_ceil(rayon::current_num_threads()))
+            .max(1);
+
+        let serial =
+            chunk >= prev.len() || (chunk_size.is_none() && prev.len() < MIN_PARALLEL_ROUND);
+        let next: Vec<ScaledNode> = if serial {
+            // One chunk: its local dedup already is the global dedup, so the
+            // merge (and the parallel plumbing) would be pure overhead.
+            // Small instances take this path on every round.
+            expand_chunk(scaled, 0, prev, &mut serial_scratch)
+        } else {
+            // Fan the round out chunk-wise; each shard arrives locally
+            // deduped and in parent order, and the chunks come back in
+            // input order, so the sequential merge below sees successors in
+            // exactly the order a serial scan would produce them.
+            let chunks: Vec<(u32, &[ScaledNode])> = prev
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, slice)| {
+                    (
+                        u32::try_from(ci * chunk).expect("round size fits u32"),
+                        slice,
+                    )
+                })
+                .collect();
+            let shards: Vec<Vec<ScaledNode>> = chunks
+                .par_iter()
+                .map(|&(base, slice)| {
+                    let mut scratch = SuccScratch::default();
+                    expand_chunk(scaled, base, slice, &mut scratch)
+                })
+                .collect();
+
+            let mut seen: FxHashSet<PackedConfig> = FxHashSet::default();
+            let mut merged: Vec<ScaledNode> = Vec::new();
+            for shard in shards {
+                for node in shard {
+                    // Cross-shard duplicate: the first shard (lowest parent
+                    // index) keeps its representative, as in a serial scan.
+                    if seen.contains(&*node.config) {
+                        continue;
+                    }
+                    seen.insert(node.config.clone());
+                    merged.push(node);
                 }
-                let config: PackedConfig = Rc::from(tmp);
-                seen.insert(
-                    config.clone(),
-                    u32::try_from(next.len()).expect("round size fits u32"),
-                );
-                next.push(ScaledNode {
-                    config,
-                    parent: u32::try_from(parent_idx).expect("round size fits u32"),
-                    choice,
-                });
+            }
+            merged
+        };
+
+        // The structured-error gate: this merged round becomes the next
+        // round's parent space, so its size must fit the u32 back-pointers
+        // *before* anything indexes it.  (The dominance filter below only
+        // shrinks it.)
+        if u32::try_from(next.len()).is_err() {
+            return Err(SearchError::RoundTooLarge {
+                round: rounds.len(),
+                nodes: next.len(),
             });
         }
 
@@ -248,17 +352,18 @@ pub(crate) fn run_search(scaled: &ScaledInstance) -> Vec<Vec<ScaledNode>> {
         // Σc(a) ≥ Σc(b), and on equality Σs(a) ≥ Σs(b), so every dominator
         // precedes what it dominates and only the kept prefix must be
         // checked — O(candidates · survivors) integer slice compares instead
-        // of O(candidates²).
-        let mut order: Vec<(u64, u64, u32)> = next
+        // of O(candidates²).  Spent sums are accumulated in u128: with the
+        // relaxed 2·D capacity headroom an m-fold unit sum may exceed u64.
+        let mut order: Vec<(u64, u128, u32)> = next
             .iter()
             .enumerate()
             .map(|(idx, node)| {
                 let sum_completed: u64 = node.config[..m].iter().sum();
-                let sum_spent: u64 = node.config[m..].iter().sum();
+                let sum_spent: u128 = node.config[m..].iter().map(|&s| u128::from(s)).sum();
                 (
                     sum_completed,
                     sum_spent,
-                    u32::try_from(idx).expect("round size fits u32"),
+                    u32::try_from(idx).expect("round size gated above"),
                 )
             })
             .collect();
@@ -284,7 +389,7 @@ pub(crate) fn run_search(scaled: &ScaledInstance) -> Vec<Vec<ScaledNode>> {
             break;
         }
     }
-    rounds
+    Ok(rounds)
 }
 
 /// The optimal makespan from a finished configuration search.
@@ -318,37 +423,27 @@ pub(crate) fn search_schedule(
         .position(|n| is_final(scaled, &n.config))
         .expect("search ended on a final configuration");
 
-    // Walk back through the rounds, collecting (parent index, choice).
-    let mut path: Vec<(usize, ScaledChoice)> = Vec::with_capacity(last);
-    let mut round = last;
+    // Walk back through the rounds, collecting the per-step decisions.  The
+    // choices carry explicit processor indices, so no parent configuration
+    // needs to be re-derived during replay.
+    let mut choices: Vec<ScaledChoice> = Vec::with_capacity(last);
     let mut idx = winner;
-    while round > 0 {
+    for round in (1..=last).rev() {
         let node = &rounds[round][idx];
+        choices.push(node.choice.clone());
         idx = node.parent as usize;
-        path.push((idx, node.choice));
-        round -= 1;
     }
-    path.reverse();
+    choices.reverse();
 
-    // Replay the decisions into an explicit resource assignment.  The
-    // finished mask indexes the *parent's* active-processor list, which is
-    // recomputed here from the parent configuration.
     let m = scaled.processors();
     let mut builder = ScheduleBuilder::new(instance);
-    for (step, &(parent_idx, choice)) in path.iter().enumerate() {
-        let parent = &rounds[step][parent_idx].config;
+    for choice in choices {
         let mut shares = vec![Ratio::ZERO; m];
-        let mut bit = 0u32;
-        for i in 0..m {
-            if (parent[i] as usize) < scaled.jobs_on(i) {
-                if choice.finished_mask & (1 << bit) != 0 {
-                    shares[i] = builder.remaining_workload(i);
-                }
-                bit += 1;
-            }
+        for &p in choice.finished.iter() {
+            shares[p as usize] = builder.remaining_workload(p as usize);
         }
         if let Some((p, amount)) = choice.partial {
-            shares[p] = scaled.to_ratio(amount);
+            shares[p as usize] = scaled.to_ratio(amount);
         }
         builder.push_step(shares);
     }
@@ -358,7 +453,7 @@ pub(crate) fn search_schedule(
 /// Memoized exhaustive search (the brute-force reference) on the scaled
 /// instance.  Returns `(optimal makespan, memoized states, expansions)`.
 pub(crate) fn brute_force(scaled: &ScaledInstance) -> (usize, usize, usize) {
-    let mut memo: FxHashMap<PackedConfig, usize> = FxHashMap::default();
+    let mut memo: rustc_hash::FxHashMap<PackedConfig, usize> = rustc_hash::FxHashMap::default();
     let mut scratch = SuccScratch::default();
     let mut expansions = 0usize;
     let initial = initial_config(scaled.processors());
@@ -369,7 +464,7 @@ pub(crate) fn brute_force(scaled: &ScaledInstance) -> (usize, usize, usize) {
 fn brute_force_dfs(
     scaled: &ScaledInstance,
     config: &PackedConfig,
-    memo: &mut FxHashMap<PackedConfig, usize>,
+    memo: &mut rustc_hash::FxHashMap<PackedConfig, usize>,
     scratch: &mut SuccScratch,
     expansions: &mut usize,
 ) -> usize {
@@ -383,8 +478,8 @@ fn brute_force_dfs(
     // Collect successors first (the scratch buffers are reused by the
     // recursive calls), then recurse.
     let mut successors: Vec<PackedConfig> = Vec::new();
-    for_each_successor(scaled, config, scratch, |tmp, _choice| {
-        successors.push(Rc::from(tmp));
+    for_each_successor(scaled, config, scratch, |tmp, _finished, _partial| {
+        successors.push(Arc::from(tmp));
     });
     let mut best = usize::MAX;
     for next in &successors {
@@ -415,6 +510,8 @@ struct FlatCell {
     /// Earliest step count reaching this cell (`UNREACHED` if not yet).
     t: u32,
     /// Smallest achievable frontier-remainder sum at time `t`, in units.
+    /// Bounded by `2·D` (one requirement plus one carried leftover) — the
+    /// exact headroom [`ScaledInstance::try_new`] reserves.
     r: u64,
     /// Decision taken on the best path into this cell.
     decision: u8,
@@ -545,9 +642,104 @@ fn relax(cell: &mut FlatCell, t: u32, r: u64, decision: u8) {
 mod tests {
     use super::*;
     use cr_core::InstanceBuilder;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
 
     fn scaled(rows: &[&[i64]]) -> ScaledInstance {
         ScaledInstance::try_new(&Instance::unit_from_percentages(rows)).unwrap()
+    }
+
+    /// One successor as a comparable value: configuration, sorted finished
+    /// processors, partial receiver.
+    type ChoiceKey = (Vec<u64>, Vec<u32>, Option<(u32, u64)>);
+
+    fn enumerator_choices(s: &ScaledInstance, config: &[u64]) -> BTreeSet<ChoiceKey> {
+        let mut scratch = SuccScratch::default();
+        let mut out = BTreeSet::new();
+        for_each_successor(s, config, &mut scratch, |cfg, finished, partial| {
+            let mut finished = finished.to_vec();
+            finished.sort_unstable();
+            assert!(
+                out.insert((cfg.to_vec(), finished, partial)),
+                "the enumerator must not emit a choice twice"
+            );
+        });
+        out
+    }
+
+    /// The reference `2^k` bitmask scan (the pre-ISSUE-4 algorithm),
+    /// normalized to the Lemma 4 rule that zero-remaining frontiers always
+    /// complete (the variants that skip them are strictly dominated and the
+    /// pruned enumerator no longer emits them).  Only valid for `k ≤ 31`.
+    fn mask_scan_choices(s: &ScaledInstance, config: &[u64]) -> BTreeSet<ChoiceKey> {
+        let m = s.processors();
+        let mut active = Vec::new();
+        let mut remaining = Vec::new();
+        for i in 0..m {
+            let done = config[i] as usize;
+            if done < s.jobs_on(i) {
+                active.push(i);
+                remaining.push(s.unit_req(i, done) - config[m + i]);
+            }
+        }
+        let mut out = BTreeSet::new();
+        if active.is_empty() {
+            return out;
+        }
+        let k = active.len();
+        assert!(k < 32, "the reference mask scan is limited to 31 actives");
+        let cap = s.capacity();
+        let build = |mask: u32, partial: Option<(u32, u64)>| -> ChoiceKey {
+            let mut cfg = config.to_vec();
+            let mut finished = Vec::new();
+            for (bit, &p) in active.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    cfg[p] += 1;
+                    cfg[m + p] = 0;
+                    finished.push(u32::try_from(p).unwrap());
+                }
+            }
+            if let Some((p, amount)) = partial {
+                cfg[m + p as usize] += amount;
+            }
+            finished.sort_unstable();
+            (cfg, finished, partial)
+        };
+        let total: u128 = remaining.iter().map(|&r| u128::from(r)).sum();
+        if total <= u128::from(cap) {
+            out.insert(build((1u32 << k) - 1, None));
+            return out;
+        }
+        for mask in 1u32..(1u32 << k) {
+            // Normalization: every zero-remaining frontier completes.
+            if remaining
+                .iter()
+                .enumerate()
+                .any(|(bit, &r)| r == 0 && mask & (1 << bit) == 0)
+            {
+                continue;
+            }
+            let sum: u128 = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(bit, _)| mask & (1 << bit) != 0)
+                .map(|(_, &r)| u128::from(r))
+                .sum();
+            if sum > u128::from(cap) {
+                continue;
+            }
+            let leftover = cap - u64::try_from(sum).unwrap();
+            if leftover == 0 {
+                out.insert(build(mask, None));
+                continue;
+            }
+            for (bit, &p) in active.iter().enumerate() {
+                if mask & (1 << bit) == 0 && remaining[bit] > leftover {
+                    out.insert(build(mask, Some((u32::try_from(p).unwrap(), leftover))));
+                }
+            }
+        }
+        out
     }
 
     #[test]
@@ -556,16 +748,17 @@ mod tests {
         let init = initial_config(2);
         let mut scratch = SuccScratch::default();
         let mut seen = Vec::new();
-        for_each_successor(&s, &init, &mut scratch, |cfg, choice| {
-            seen.push((cfg.to_vec(), choice));
+        for_each_successor(&s, &init, &mut scratch, |cfg, finished, partial| {
+            seen.push((cfg.to_vec(), finished.to_vec(), partial));
         });
         // 60 + 60 > 100: either frontier may finish, the other carries 40.
         assert_eq!(seen.len(), 2);
-        for (cfg, choice) in &seen {
-            assert_eq!(choice.finished_mask.count_ones(), 1);
-            let (p, amount) = choice.partial.unwrap();
+        for (cfg, finished, partial) in &seen {
+            assert_eq!(finished.len(), 1);
+            let (p, amount) = partial.unwrap();
             assert_eq!(s.to_ratio(amount), Ratio::from_percent(40));
-            assert_eq!(cfg[2 + p], amount);
+            assert_eq!(cfg[2 + p as usize], amount);
+            assert_ne!(finished[0], p);
         }
     }
 
@@ -575,13 +768,59 @@ mod tests {
         let init = initial_config(3);
         let mut scratch = SuccScratch::default();
         let mut count = 0;
-        for_each_successor(&s, &init, &mut scratch, |cfg, choice| {
+        for_each_successor(&s, &init, &mut scratch, |cfg, finished, partial| {
             count += 1;
-            assert_eq!(choice.finished_mask, 0b111);
-            assert!(choice.partial.is_none());
+            assert_eq!(finished, &[0, 1, 2]);
+            assert!(partial.is_none());
             assert!(is_final(&s, cfg));
         });
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn wide_active_sets_no_longer_assert() {
+        // 40 active processors: 4 oversubscribed heavies plus 36 free
+        // (zero-requirement) frontiers.  The pre-ISSUE-4 engine asserted
+        // `k < 32` here.
+        let mut rows: Vec<&[i64]> = Vec::new();
+        for _ in 0..4 {
+            rows.push(&[90]);
+        }
+        for _ in 0..36 {
+            rows.push(&[0]);
+        }
+        let s = scaled(&rows);
+        let init = initial_config(40);
+        let mut scratch = SuccScratch::default();
+        let mut count = 0;
+        for_each_successor(&s, &init, &mut scratch, |_cfg, finished, partial| {
+            count += 1;
+            // The 36 free frontiers complete in every choice, exactly one
+            // heavy completes, and another heavy carries the leftover.
+            assert_eq!(finished.len(), 37);
+            assert!(partial.is_some());
+        });
+        assert_eq!(count, 4 * 3);
+    }
+
+    #[test]
+    fn near_max_capacity_sums_are_checked_not_wrapped() {
+        // Largest prime below 2^63: the capacity consumes all but one bit of
+        // u64, so the three-fold remaining sum overflows and must be treated
+        // as oversubscribed (pre-ISSUE-4: silent wraparound in release).
+        let p: i128 = 9_223_372_036_854_775_783;
+        let inst = InstanceBuilder::new()
+            .processor([Ratio::new(p - 1, p)])
+            .processor([Ratio::new(p - 1, p)])
+            .processor([Ratio::new(p - 1, p)])
+            .build();
+        let s = ScaledInstance::try_new(&inst).expect("2·D headroom admits capacities up to 2^63");
+        assert_eq!(s.capacity(), 9_223_372_036_854_775_783u64);
+        let rounds = run_search(&s).unwrap();
+        // One job finishes per step; the one-unit leftover barely helps.
+        assert_eq!(search_makespan(&s, &rounds), 3);
+        let schedule = search_schedule(&inst, &s, &rounds);
+        assert_eq!(schedule.makespan(&inst).unwrap(), 3);
     }
 
     #[test]
@@ -597,11 +836,11 @@ mod tests {
     #[test]
     fn search_solves_known_instances() {
         let s = scaled(&[&[100], &[100], &[100]]);
-        assert_eq!(search_makespan(&s, &run_search(&s)), 3);
+        assert_eq!(search_makespan(&s, &run_search(&s).unwrap()), 3);
         let s = scaled(&[&[50, 20], &[30, 30], &[20, 50]]);
-        assert_eq!(search_makespan(&s, &run_search(&s)), 2);
+        assert_eq!(search_makespan(&s, &run_search(&s).unwrap()), 2);
         let s = scaled(&[&[50, 50, 50, 50], &[100], &[100]]);
-        assert_eq!(search_makespan(&s, &run_search(&s)), 4);
+        assert_eq!(search_makespan(&s, &run_search(&s).unwrap()), 4);
     }
 
     #[test]
@@ -611,7 +850,7 @@ mod tests {
             .empty_processor()
             .build();
         let s = ScaledInstance::try_new(&inst).unwrap();
-        let rounds = run_search(&s);
+        let rounds = run_search(&s).unwrap();
         assert_eq!(search_makespan(&s, &rounds), 0);
         assert_eq!(search_schedule(&inst, &s, &rounds).num_steps(), 0);
     }
@@ -625,7 +864,7 @@ mod tests {
         ] {
             let s = scaled(rows);
             let dp = ScaledDpTable::compute(&s);
-            assert_eq!(dp.makespan(), search_makespan(&s, &run_search(&s)));
+            assert_eq!(dp.makespan(), search_makespan(&s, &run_search(&s).unwrap()));
             assert_eq!(dp.decisions().len(), dp.makespan());
         }
     }
@@ -638,9 +877,81 @@ mod tests {
         ] {
             let s = scaled(rows);
             let (best, states, expansions) = brute_force(&s);
-            assert_eq!(best, search_makespan(&s, &run_search(&s)));
+            assert_eq!(best, search_makespan(&s, &run_search(&s).unwrap()));
             assert!(states > 0);
             assert!(expansions > 0);
+        }
+    }
+
+    #[test]
+    fn search_error_displays_the_offending_round() {
+        let err = SearchError::RoundTooLarge {
+            round: 7,
+            nodes: 5_000_000_000,
+        };
+        assert!(err.to_string().contains("round 7"));
+        assert!(err.to_string().contains("5000000000"));
+    }
+
+    fn percent_instance(den: u64, rows: &[Vec<u64>]) -> Instance {
+        let reqs = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&pct| Ratio::from_parts(pct * den / 100, den))
+                    .collect()
+            })
+            .collect();
+        Instance::unit_from_requirements(reqs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The pruned DFS enumerator emits exactly the successor set of the
+        /// reference mask scan for active widths up to k = 12, on the
+        /// initial configuration and on a sample of first-round successors.
+        #[test]
+        fn enumerator_matches_reference_mask_scan(
+            den in 1u64..=24,
+            rows in prop::collection::vec(prop::collection::vec(0u64..=100, 1..=2), 1..=12),
+        ) {
+            let inst = percent_instance(den, &rows);
+            let s = ScaledInstance::try_new(&inst).expect("small denominators always scale");
+            let init = initial_config(s.processors());
+            prop_assert_eq!(enumerator_choices(&s, &init), mask_scan_choices(&s, &init));
+            // Wide oversubscribed frontiers can have hundreds of first-round
+            // successors; re-checking a prefix keeps the reference 2^k scan
+            // affordable while still covering non-initial spent states.
+            for (config, _, _) in enumerator_choices(&s, &init).into_iter().take(16) {
+                prop_assert_eq!(
+                    enumerator_choices(&s, &config),
+                    mask_scan_choices(&s, &config)
+                );
+            }
+        }
+
+        /// Parallel round expansion is byte-identical to serial: every chunk
+        /// granularity produces the same rounds (nodes, parents, choices)
+        /// and therefore the same reconstructed schedule.
+        #[test]
+        fn parallel_search_is_bit_identical_to_serial(
+            den in 1u64..=24,
+            rows in prop::collection::vec(prop::collection::vec(0u64..=100, 1..=3), 2..=4),
+        ) {
+            let inst = percent_instance(den, &rows);
+            let s = ScaledInstance::try_new(&inst).expect("small denominators always scale");
+            let serial = run_search_chunked(&s, Some(usize::MAX)).unwrap();
+            for chunk in [1usize, 2, 3] {
+                let parallel = run_search_chunked(&s, Some(chunk)).unwrap();
+                prop_assert_eq!(&parallel, &serial);
+            }
+            let default = run_search(&s).unwrap();
+            prop_assert_eq!(&default, &serial);
+            prop_assert_eq!(
+                search_schedule(&inst, &s, &default),
+                search_schedule(&inst, &s, &serial)
+            );
         }
     }
 }

@@ -26,8 +26,8 @@ use cr_algos::{
 };
 use cr_core::Instance;
 use cr_instances::{
-    generate_workload, random_unit_instance, RandomConfig, RequirementProfile, TaskMix,
-    WorkloadConfig,
+    generate_workload, random_unit_instance, wide_oversubscribed_instance, RandomConfig,
+    RequirementProfile, TaskMix, WorkloadConfig,
 };
 use cr_sim::{
     EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy, ProportionalSharePolicy, RoundRobinPolicy,
@@ -140,6 +140,25 @@ fn main() {
                 opt_m_makespan_rational,
             );
         }
+    }
+
+    // Wide-m oversubscribed instances: 32 or more simultaneously active
+    // processors were a hard error before ISSUE 4 (the scaled engine
+    // asserted, the rational path shift-overflowed its u32 subset mask).
+    // The family keeps the active set at full width while the heavy chains
+    // oversubscribe the resource; see
+    // `cr_instances::wide_oversubscribed_instance`.
+    for m in [16usize, 32, 48] {
+        let instances = vec![wide_oversubscribed_instance(m, 4, 3, 12, 90)];
+        measure(
+            &mut results,
+            args.iters,
+            format!("WideOversub m={m}"),
+            "opt_m",
+            &instances,
+            opt_m_makespan,
+            opt_m_makespan_rational,
+        );
     }
 
     // The two-processor DP at sizes where the O(n²) table dominates.

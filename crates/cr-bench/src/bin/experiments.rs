@@ -9,9 +9,11 @@
 //! * `experiments.md` — the same tables as GitHub-flavoured markdown;
 //! * `BENCH_pipeline.json` — wall-clock timings of the parallel run (the
 //!   perf baseline future PRs compare against).  Besides the eight report
-//!   tables this also times two *timing-only* sweeps — the heuristic
-//!   line-up and the many-core simulator on the scaled engine — which
-//!   appear in `BENCH_pipeline.json` but never in `experiments.json`.
+//!   tables this also times three *timing-only* sweeps — the heuristic
+//!   line-up, the many-core simulator on the scaled engine, and the OPT(m)
+//!   thread-scaling record (the rayon-parallel round expansion at pinned
+//!   worker counts) — which appear in `BENCH_pipeline.json` but never in
+//!   `experiments.json`.
 //!
 //! Usage: `cargo run --release -p cr-bench --bin experiments --
 //! [--seed N] [--out-dir DIR] [--reduced]`
@@ -22,12 +24,13 @@
 //! grid, and asserts the cell counts of every table — including the timing
 //! sweeps — against the committed baseline.
 
-use cr_algos::standard_line_up;
+use cr_algos::{opt_m_makespan, standard_line_up};
 use cr_bench::grids;
 use cr_bench::pipeline::{Cell, ExperimentReport, Runner};
+use cr_core::Instance;
 use cr_instances::{
-    generate_workload, random_unit_instance, RandomConfig, RequirementProfile, TaskMix,
-    WorkloadConfig,
+    generate_workload, random_unit_instance, wide_oversubscribed_instance, RandomConfig,
+    RequirementProfile, TaskMix, WorkloadConfig,
 };
 use cr_sim::{standard_policies, Simulator};
 use rayon::prelude::*;
@@ -165,6 +168,13 @@ fn main() {
         );
         timings.push(timing);
     }
+    let scaling = run_thread_scaling_table(args.reduced);
+    println!(
+        "  {:<46} {:>5} cells  {:>9.1} ms  (max cell {:>7.1} ms)",
+        scaling.title, scaling.cells, scaling.wall_ms, scaling.max_cell_ms
+    );
+    timing_cells += scaling.cells;
+    timings.push(scaling);
     let total_cells = total_cells + timing_cells;
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
 
@@ -265,6 +275,61 @@ fn simulator_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
         }
     }
     ("Many-core simulator timing (scaled engine)", cells)
+}
+
+/// Times the parallel OPT(m) round expansion at pinned rayon worker counts
+/// over a fixed batch of large oversubscribed instances — the ISSUE-4
+/// thread-scaling record (one cell per worker count).  The engine's round
+/// fan-out reads `RAYON_NUM_THREADS` per expansion, so the sweep pins the
+/// variable for each cell and restores it afterwards; it must therefore run
+/// on the main thread between tables, never inside a parallel section.
+/// Parallel runs are byte-identical to serial ones, which the summed
+/// makespans double-check across worker counts.
+fn run_thread_scaling_table(reduced: bool) -> TableTiming {
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    let reps: u64 = if reduced { 1 } else { 3 };
+    let wide_m = if reduced { 16 } else { 32 };
+    // Dense uniform searches (rounds with many surviving configurations)
+    // plus one wide-active-set instance; both oversubscribe the resource.
+    let mut instances: Vec<Instance> = (0..reps)
+        .map(|rep| random_unit_instance(&RandomConfig::uniform(4, 3), 1000 + rep))
+        .collect();
+    instances.push(wide_oversubscribed_instance(wide_m, 4, 3, 12, 90));
+
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    let start = Instant::now();
+    let mut per_cell_ms = Vec::with_capacity(THREADS.len());
+    let mut reference: Option<usize> = None;
+    for &threads in &THREADS {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        // Inside a rayon worker the shim reports a parallelism of 1 and the
+        // pin would be silently ignored — every cell would measure serial
+        // execution and record a flat, meaningless scaling curve.
+        assert_eq!(
+            rayon::current_num_threads(),
+            threads,
+            "thread-scaling sweep must run outside any rayon worker"
+        );
+        let cell_start = Instant::now();
+        let sum: usize = instances.iter().map(opt_m_makespan).sum();
+        per_cell_ms.push(cell_start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            *reference.get_or_insert(sum),
+            sum,
+            "worker count changed an optimal makespan"
+        );
+        black_box(sum);
+    }
+    match saved {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    TableTiming {
+        title: "OPT(m) thread scaling (parallel rounds)".to_string(),
+        cells: THREADS.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+    }
 }
 
 /// Fans a timing-only sweep out with rayon and records its wall time plus

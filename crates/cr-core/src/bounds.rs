@@ -19,11 +19,24 @@ pub fn workload_bound(instance: &Instance) -> Ratio {
     instance.total_workload()
 }
 
-/// Observation 1 rounded up to an integral number of time steps.
+/// Converts a non-negative `i128` step count to `usize`, saturating at
+/// `usize::MAX`.
+///
+/// Saturating (rather than collapsing to `0`, as this module did before
+/// ISSUE 4) matters because these are *lower* bounds: an instance whose
+/// exact bound overflows `usize` needs an astronomically large number of
+/// steps, and reporting `0` instead turned the strongest bounds into
+/// vacuous ones — normalized-makespan ratios computed against them silently
+/// lost their denominator.
+fn saturating_steps(b: i128) -> usize {
+    usize::try_from(b.max(0)).unwrap_or(usize::MAX)
+}
+
+/// Observation 1 rounded up to an integral number of time steps (saturating
+/// at `usize::MAX` when the exact bound overflows).
 #[must_use]
 pub fn workload_bound_steps(instance: &Instance) -> usize {
-    let b = workload_bound(instance).ceil();
-    usize::try_from(b.max(0)).unwrap_or(0)
+    saturating_steps(workload_bound(instance).ceil())
 }
 
 /// The chain bound `n = maxᵢ nᵢ` (valid for unit-size jobs; for general
@@ -36,7 +49,8 @@ pub fn chain_bound(instance: &Instance) -> usize {
 
 /// For arbitrary volumes, a slightly stronger chain bound: the maximum over
 /// processors of `Σ_j ⌈p_ij⌉` (every job needs at least `⌈p⌉` steps even at
-/// full speed).
+/// full speed).  Saturates at `usize::MAX` — both per job and across a
+/// chain — when the exact bound overflows.
 #[must_use]
 pub fn volume_chain_bound(instance: &Instance) -> usize {
     (0..instance.processors())
@@ -44,8 +58,8 @@ pub fn volume_chain_bound(instance: &Instance) -> usize {
             instance
                 .processor_jobs(i)
                 .iter()
-                .map(|job| usize::try_from(job.volume.ceil().max(0)).unwrap_or(0))
-                .sum::<usize>()
+                .map(|job| saturating_steps(job.volume.ceil()))
+                .fold(0usize, usize::saturating_add)
         })
         .max()
         .unwrap_or(0)
@@ -89,10 +103,11 @@ pub fn class_bound(graph: &SchedulingGraph, processors: usize) -> Ratio {
     total
 }
 
-/// Lemma 6 rounded up to an integral number of time steps.
+/// Lemma 6 rounded up to an integral number of time steps (saturating at
+/// `usize::MAX` when the exact bound overflows).
 #[must_use]
 pub fn class_bound_steps(graph: &SchedulingGraph, processors: usize) -> usize {
-    usize::try_from(class_bound(graph, processors).ceil().max(0)).unwrap_or(0)
+    saturating_steps(class_bound(graph, processors).ceil())
 }
 
 /// The strongest lower bound available from an instance together with the
@@ -157,6 +172,39 @@ mod tests {
         assert_eq!(volume_chain_bound(&inst), 4);
         assert_eq!(chain_bound(&inst), 2);
         assert_eq!(trivial_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn overflowing_bounds_saturate_to_usize_max() {
+        // One job whose volume exceeds usize::MAX by exactly one: both the
+        // workload bound (r = 1, so workload = volume) and the volume-chain
+        // bound must saturate instead of collapsing to a vacuous 0.
+        let just_over = i128::try_from(usize::MAX).unwrap() + 1;
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(Ratio::ONE, Ratio::new(just_over, 1))])
+            .build();
+        assert_eq!(workload_bound_steps(&inst), usize::MAX);
+        assert_eq!(volume_chain_bound(&inst), usize::MAX);
+        assert_eq!(trivial_lower_bound(&inst), usize::MAX);
+
+        // The largest representable bound still converts exactly.
+        let at_max = i128::try_from(usize::MAX).unwrap();
+        let inst = InstanceBuilder::new()
+            .processor_jobs([Job::new(Ratio::ONE, Ratio::new(at_max, 1))])
+            .build();
+        assert_eq!(workload_bound_steps(&inst), usize::MAX);
+        assert_eq!(volume_chain_bound(&inst), usize::MAX);
+
+        // A chain of huge-but-representable volumes overflows the *sum*:
+        // the fold saturates instead of wrapping (or panicking in debug).
+        let half = i128::try_from(usize::MAX / 2 + 1).unwrap();
+        let inst = InstanceBuilder::new()
+            .processor_jobs([
+                Job::new(Ratio::ONE, Ratio::new(half, 1)),
+                Job::new(Ratio::ONE, Ratio::new(half, 1)),
+            ])
+            .build();
+        assert_eq!(volume_chain_bound(&inst), usize::MAX);
     }
 
     #[test]

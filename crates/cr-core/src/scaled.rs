@@ -46,8 +46,13 @@
 //!
 //! Construction is fallible ([`ScaledInstance::try_new`],
 //! [`ScaledScheduleBuilder::try_new`]): if the LCM blows past the
-//! overflow-safe bound (so that sums of `m` shares might not fit in `u64`),
-//! callers fall back to the rational-arithmetic path.
+//! overflow-safe bound, callers fall back to the rational-arithmetic path.
+//! The two layers reserve different headroom above the LCM `D`:
+//! [`ScaledInstance`] only needs `2 · D` (the two-processor DP's
+//! requirement-plus-carry cells; the wide configuration engines in
+//! `cr-algos` overflow-check their own `m`-fold sums), while
+//! [`ScaledScheduleBuilder`] keeps `(m + 1) · D` because its step
+//! application accumulates `m` shares unchecked.
 
 use crate::instance::Instance;
 use crate::job::JobId;
@@ -94,10 +99,25 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 }
 
 impl ScaledInstance {
-    /// Builds the scaled view, or `None` when the denominators' LCM `D` is so
-    /// large that `(m + 1) · D` — the headroom needed so any sum of per-step
-    /// remaining requirements plus a carried leftover fits in `u64` — would
-    /// overflow.  Callers treat `None` as "use the rational path".
+    /// Builds the scaled view, or `None` when the denominators' LCM `D` is
+    /// so large that `2 · D` would overflow `u64`.  Callers treat `None` as
+    /// "use the rational path".
+    ///
+    /// # Headroom invariant
+    ///
+    /// The factor-two headroom is exactly what the two-processor dynamic
+    /// program needs: its cell values are one frontier requirement plus one
+    /// carried leftover, each at most `D`.  Wider sums — over the
+    /// *m*-processor active set of the configuration search — are **not**
+    /// covered and may exceed `u64`; the engines in `cr-algos` use
+    /// overflow-checked additions for those (an overflowing sum is, a
+    /// fortiori, oversubscribed).  Before ISSUE 4 this reserved
+    /// `(m + 1) · D` instead, needlessly pushing wide many-core instances
+    /// with large denominators onto the slow rational path.
+    ///
+    /// The scheduling-layer grid ([`schedule_unit_grid`] /
+    /// [`ScaledScheduleBuilder`]) still reserves `(m + 1) · D`: its step
+    /// application accumulates `m` shares unchecked.
     #[must_use]
     pub fn try_new(instance: &Instance) -> Option<Self> {
         let m = instance.processors();
@@ -108,8 +128,8 @@ impl ScaledInstance {
             let den = u64::try_from(job.requirement.denom()).ok()?;
             let g = gcd(capacity, den);
             capacity = capacity.checked_mul(den / g)?;
-            // Keep headroom for sums of m requirements plus one leftover.
-            capacity.checked_mul(m as u64 + 1)?;
+            // Keep headroom for one requirement plus one carried leftover.
+            capacity.checked_mul(2)?;
         }
         let mut offsets = Vec::with_capacity(m + 1);
         let mut units = Vec::with_capacity(instance.total_jobs());
@@ -612,6 +632,27 @@ mod tests {
         assert_eq!(scaled.row(0), &[0, 1]);
         assert_eq!(scaled.to_ratio(0), Ratio::ZERO);
         assert_eq!(scaled.to_ratio(1), Ratio::ONE);
+    }
+
+    #[test]
+    fn near_u64_max_capacity_is_accepted_for_solvers() {
+        // Largest prime below 2^63: `2·D` still fits u64, so the solver view
+        // scales regardless of the processor count (the pre-ISSUE-4
+        // `(m + 1)·D` headroom would have rejected this for m ≥ 2), while
+        // the scheduling-layer grid keeps its wider `(m + 1)·D` reserve and
+        // correctly declines.
+        let p: i128 = 9_223_372_036_854_775_783;
+        let inst = InstanceBuilder::new()
+            .processor([ratio(p - 1, p)])
+            .processor([ratio(p - 1, p)])
+            .processor([ratio(p - 1, p)])
+            .build();
+        let scaled = ScaledInstance::try_new(&inst).expect("2·D headroom fits u64");
+        assert_eq!(scaled.capacity(), 9_223_372_036_854_775_783u64);
+        assert_eq!(scaled.row(0), &[9_223_372_036_854_775_782u64]);
+        assert_eq!(scaled.to_ratio(scaled.unit_req(0, 0)), ratio(p - 1, p));
+        assert!(schedule_unit_grid(&inst).is_none());
+        assert!(ScaledScheduleBuilder::try_new(&inst).is_none());
     }
 
     #[test]

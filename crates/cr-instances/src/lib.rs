@@ -33,4 +33,5 @@ pub use workload::{average_demand, generate_workload, TaskMix, WorkloadConfig};
 pub use worst_case::{
     figure1_instance, figure2_instance, greedy_balance_max_blocks, greedy_balance_worst_case,
     greedy_balance_worst_case_steps, round_robin_worst_case, round_robin_worst_case_opt,
+    wide_oversubscribed_instance,
 };

@@ -158,6 +158,57 @@ pub fn greedy_balance_worst_case_steps(m: usize, blocks: usize) -> usize {
     (2 * m - 1) * blocks
 }
 
+/// A scalability family for the exact configuration search with arbitrarily
+/// wide active sets (ISSUE 4: the pre-ISSUE-4 engines refused 32 or more
+/// simultaneously active processors).
+///
+/// The first `heavy` processors carry chains of `heavy_chain` jobs at
+/// requirement `heavy_pct`%; because `heavy_pct > 50`, any two heavy
+/// frontiers oversubscribe the resource, so at most one heavy job completes
+/// per step and the successor choice space stays small.  The remaining
+/// `m − heavy` processors carry chains of `zero_chain` zero-requirement
+/// jobs, which keep the *active set* at the full width `m` for the first
+/// `zero_chain` rounds without inflating the configuration space (free
+/// frontiers complete deterministically every step).
+///
+/// The search cost thus scales with `heavy` and `heavy_chain` but **not**
+/// with `m` — exactly the knob the wide-m benchmarks sweep.
+///
+/// # Panics
+///
+/// Panics if `heavy` is zero or exceeds `m`, if `heavy_pct` is not in
+/// `51..=100` (the family must be oversubscribed pairwise), or if a chain
+/// length is zero.
+#[must_use]
+pub fn wide_oversubscribed_instance(
+    m: usize,
+    heavy: usize,
+    heavy_chain: usize,
+    zero_chain: usize,
+    heavy_pct: i64,
+) -> Instance {
+    assert!(
+        heavy >= 1 && heavy <= m,
+        "need between 1 and m heavy processors"
+    );
+    assert!(
+        (51..=100).contains(&heavy_pct),
+        "heavy requirement must oversubscribe pairwise (51..=100 percent)"
+    );
+    assert!(
+        heavy_chain >= 1 && zero_chain >= 1,
+        "chains must be non-empty"
+    );
+    let mut rows: Vec<Vec<Ratio>> = Vec::with_capacity(m);
+    for _ in 0..heavy {
+        rows.push(vec![Ratio::from_percent(heavy_pct); heavy_chain]);
+    }
+    for _ in heavy..m {
+        rows.push(vec![Ratio::ZERO; zero_chain]);
+    }
+    Instance::unit_from_requirements(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +292,32 @@ mod tests {
     #[should_panic(expected = "at least two processors")]
     fn construction_needs_two_processors() {
         let _ = greedy_balance_worst_case(1, 100, 1);
+    }
+
+    #[test]
+    fn wide_family_has_the_documented_shape() {
+        let inst = wide_oversubscribed_instance(40, 4, 3, 5, 90);
+        assert_eq!(inst.processors(), 40);
+        assert_eq!(inst.total_jobs(), 4 * 3 + 36 * 5);
+        assert_eq!(inst.max_chain_length(), 5);
+        // Heavies are pairwise oversubscribed; the rest are free.
+        let heavy = inst.processor_jobs(0)[0].requirement;
+        assert_eq!(heavy, Ratio::from_percent(90));
+        assert!(heavy + heavy > Ratio::ONE);
+        assert!(inst.processor_jobs(4)[0].requirement.is_zero());
+        // The first round's active frontier spans all 40 processors and is
+        // oversubscribed (the ISSUE-4 regression shape: the pre-ISSUE-4
+        // engines refused 32+ simultaneously active processors).
+        let frontier_sum: Ratio = (0..inst.processors())
+            .map(|i| inst.processor_jobs(i)[0].requirement)
+            .sum();
+        assert!(frontier_sum > Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe pairwise")]
+    fn wide_family_rejects_fitting_heavies() {
+        let _ = wide_oversubscribed_instance(8, 2, 1, 1, 50);
     }
 
     #[test]

@@ -8,26 +8,58 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 use std::thread;
+
+thread_local! {
+    /// Whether the current thread is itself a worker of an enclosing
+    /// parallel operation.  Real rayon serves nested parallelism from one
+    /// shared pool; this shim spawns fresh scoped threads instead, so
+    /// nested `par_iter`s on an N-core machine would oversubscribe up to
+    /// N² CPU-bound threads (e.g. the experiment pipeline fanning out
+    /// cells whose exact solver fans out its own search rounds).  Workers
+    /// therefore report a parallelism of 1, which collapses any nested
+    /// operation onto the already-parallel outer level.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
+/// The machine's available parallelism, probed once.  `available_parallelism`
+/// inspects cgroup quotas on Linux (file reads), which is far too expensive
+/// for callers that consult the worker count per work item — e.g. the
+/// per-round fan-out of the exact-solver search.
+fn default_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// Number of worker threads used for parallel operations.
+///
+/// `RAYON_NUM_THREADS` is re-read on every call (the thread-scaling
+/// benchmark pins it per measurement); only the hardware probe is cached.
+/// Inside a worker of an enclosing parallel operation this reports 1, so
+/// nested parallelism runs serially instead of oversubscribing the machine
+/// (see `IN_WORKER`).
 #[must_use]
 pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
     std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+        .unwrap_or_else(default_parallelism)
 }
 
 /// Conversion into an owning parallel iterator.
@@ -173,6 +205,7 @@ where
                 let (slots, rest) = out_slots.split_at_mut(chunk.len());
                 out_slots = rest;
                 scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
                     for (slot, item) in slots.iter_mut().zip(chunk) {
                         *slot = Some(f(item));
                     }
@@ -203,6 +236,20 @@ mod tests {
         let expected = input.clone();
         let output: Vec<String> = input.into_par_iter().map(|s| s).collect();
         assert_eq!(output, expected);
+    }
+
+    #[test]
+    fn nested_parallelism_is_serialized() {
+        // Pin two workers so the outer map actually spawns threads even on
+        // a single-core machine; the workers must report parallelism 1 so
+        // nested par_iters run serially instead of oversubscribing.
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        let inner: Vec<usize> = vec![(), (), (), ()]
+            .par_iter()
+            .map(|()| crate::current_num_threads())
+            .collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(inner.iter().all(|&n| n == 1), "{inner:?}");
     }
 
     #[test]
