@@ -16,7 +16,12 @@
 //!
 //! All algorithms consume a [`cr_core::Instance`] and produce a
 //! [`cr_core::Schedule`] through the shared [`Scheduler`] trait, so they can
-//! be swapped freely in experiments.
+//! be swapped freely in experiments.  The [`solver`] module layers the
+//! unified request/response surface on top: every algorithm (plus the
+//! bounds-only evaluator) is a [`solver::Solver`] behind the string-keyed
+//! [`solver::registry`], with engine preferences, budgets and structured
+//! [`solver::SolveError`]s — the interface the batch solver service in
+//! `cr-service` fans out over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,7 @@ pub mod opt_two;
 pub mod round_robin;
 mod scaled_engine;
 mod scaled_sched;
+pub mod solver;
 mod subset_enum;
 pub mod traits;
 
@@ -45,12 +51,19 @@ pub use opt_m::{opt_m_makespan, opt_m_makespan_rational, try_opt_m_makespan, Opt
 pub use opt_two::{opt_two_makespan, opt_two_makespan_rational, opt_two_makespan_sparse, OptTwo};
 pub use round_robin::{phase_length, round_robin_upper_bound, RoundRobin};
 pub use scaled_engine::SearchError;
-pub use traits::{standard_line_up, BoxedScheduler, Scheduler};
+pub use solver::{
+    registry, Budget, Engine, EnginePreference, LowerBounds, Prepared, Registry, SolveError,
+    SolveOutcome, SolveRequest, Solver,
+};
+#[allow(deprecated)]
+pub use traits::standard_line_up;
+pub use traits::{BoxedScheduler, Scheduler};
 
 /// Commonly used items for glob import.
 pub mod prelude {
     pub use crate::{
-        brute_force_makespan, opt_m_makespan, opt_two_makespan, standard_line_up, EqualShare,
-        GreedyBalance, OptM, OptTwo, ProportionalShare, RoundRobin, Scheduler,
+        brute_force_makespan, opt_m_makespan, opt_two_makespan, registry, EqualShare,
+        GreedyBalance, OptM, OptTwo, ProportionalShare, RoundRobin, Scheduler, SolveRequest,
+        Solver,
     };
 }

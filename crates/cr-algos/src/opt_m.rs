@@ -173,6 +173,15 @@ fn assert_unit(instance: &Instance) {
 /// (non-dominated) nodes.  The search stops after the first round containing
 /// a final configuration.
 fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
+    run_search_limited(instance, None).expect("uncapped search reaches a final configuration")
+}
+
+/// [`run_search`] with a hard cap on the number of expanded rounds (the
+/// solver layer's `max_rounds` budget on the rational path).  `None` when
+/// the cap cut the search off before any final configuration appeared —
+/// the search genuinely stops early, mirroring the scaled engine's
+/// `run_search_capped`.
+fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<Vec<Vec<Node>>> {
     let m = instance.processors();
     let initial = Config::initial(m);
     let mut rounds: Vec<Vec<Node>> = vec![vec![Node {
@@ -182,11 +191,13 @@ fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
     }]];
 
     if initial.is_final(instance) {
-        return rounds;
+        return Some(rounds);
     }
 
     let max_rounds = instance.total_jobs() + 1;
-    for _round in 0..max_rounds {
+    let round_limit = round_cap.map_or(max_rounds, |cap| cap.min(max_rounds));
+    let mut found_final = false;
+    for _round in 0..round_limit {
         let prev = rounds.last().expect("at least the initial round");
         let mut seen: HashMap<Config, usize> = HashMap::new();
         let mut next: Vec<Node> = Vec::new();
@@ -232,10 +243,40 @@ fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
         let done = filtered.iter().any(|n| n.config.is_final(instance));
         rounds.push(filtered);
         if done {
+            found_final = true;
             break;
         }
     }
-    rounds
+    if found_final {
+        Some(rounds)
+    } else {
+        debug_assert!(round_cap.is_some(), "uncapped search must terminate");
+        None
+    }
+}
+
+/// One rational configuration search answering both questions at once:
+/// the makespan plus (when requested) the reconstructed schedule, so the
+/// solver layer never pays for the exponential search twice.  `None` when
+/// `round_cap` cut the search off.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit job sizes.
+pub(crate) fn solve_rational(
+    instance: &Instance,
+    round_cap: Option<usize>,
+    want_schedule: bool,
+) -> Option<(usize, Option<Schedule>)> {
+    assert_unit(instance);
+    let rounds = run_search_limited(instance, round_cap)?;
+    let makespan = if rounds[0][0].config.is_final(instance) {
+        0
+    } else {
+        rounds.len() - 1
+    };
+    let schedule = want_schedule.then(|| schedule_from_rounds(instance, &rounds));
+    Some((makespan, schedule))
 }
 
 /// The optimal makespan computed by the configuration search.
@@ -341,43 +382,54 @@ impl Scheduler for OptM {
                 return scaled_engine::search_schedule(instance, &scaled, &rounds);
             }
         }
-        let rounds = run_search(instance);
-        let last = rounds.len() - 1;
-        if last == 0 {
-            return Schedule::empty();
-        }
-        let winner = rounds[last]
-            .iter()
-            .position(|n| n.config.is_final(instance))
-            .expect("search ended on a final configuration");
-
-        // Walk back through the rounds, collecting the per-step decisions.
-        let mut choices = Vec::with_capacity(last);
-        let mut round = last;
-        let mut idx = winner;
-        while round > 0 {
-            let node = &rounds[round][idx];
-            choices.push(node.choice.clone().expect("non-initial node has a choice"));
-            idx = node.parent;
-            round -= 1;
-        }
-        choices.reverse();
-
-        // Replay the decisions into an explicit resource assignment.
-        let m = instance.processors();
-        let mut builder = ScheduleBuilder::new(instance);
-        for choice in choices {
-            let mut shares = vec![Ratio::ZERO; m];
-            for &i in &choice.finished {
-                shares[i] = builder.remaining_workload(i);
-            }
-            if let Some((p, amount)) = choice.partial {
-                shares[p] = amount;
-            }
-            builder.push_step(shares);
-        }
-        builder.finish()
+        schedule_rational(instance)
     }
+}
+
+/// Runs the rational configuration search and reconstructs an optimal
+/// schedule (the reference / fallback path of [`OptM::schedule`]).
+pub(crate) fn schedule_rational(instance: &Instance) -> Schedule {
+    schedule_from_rounds(instance, &run_search(instance))
+}
+
+/// Reconstructs an optimal schedule from a finished rational search by
+/// back-tracing the winner and replaying the per-step decisions.
+fn schedule_from_rounds(instance: &Instance, rounds: &[Vec<Node>]) -> Schedule {
+    let last = rounds.len() - 1;
+    if last == 0 {
+        return Schedule::empty();
+    }
+    let winner = rounds[last]
+        .iter()
+        .position(|n| n.config.is_final(instance))
+        .expect("search ended on a final configuration");
+
+    // Walk back through the rounds, collecting the per-step decisions.
+    let mut choices = Vec::with_capacity(last);
+    let mut round = last;
+    let mut idx = winner;
+    while round > 0 {
+        let node = &rounds[round][idx];
+        choices.push(node.choice.clone().expect("non-initial node has a choice"));
+        idx = node.parent;
+        round -= 1;
+    }
+    choices.reverse();
+
+    // Replay the decisions into an explicit resource assignment.
+    let m = instance.processors();
+    let mut builder = ScheduleBuilder::new(instance);
+    for choice in choices {
+        let mut shares = vec![Ratio::ZERO; m];
+        for &i in &choice.finished {
+            shares[i] = builder.remaining_workload(i);
+        }
+        if let Some((p, amount)) = choice.partial {
+            shares[p] = amount;
+        }
+        builder.push_step(shares);
+    }
+    builder.finish()
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ use rustc_hash::FxHashMap;
 
 /// Which jobs complete in a time step of the reconstructed schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Decision {
+pub(crate) enum Decision {
     /// Both frontier jobs finish in this step.
     AdvanceBoth,
     /// Only processor 0's frontier job finishes; the leftover goes to
@@ -320,9 +320,50 @@ pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
     cells[&(n1, n2)].0
 }
 
+/// Back-traces the scaled DP table into the forward decision sequence (the
+/// hot path of [`OptTwo::schedule`]).
+pub(crate) fn scaled_decisions(scaled: &ScaledInstance) -> Vec<Decision> {
+    ScaledDpTable::compute(scaled)
+        .decisions()
+        .into_iter()
+        .map(|byte| match byte {
+            DP_BOTH => Decision::AdvanceBoth,
+            DP_FIRST => Decision::FinishFirst,
+            DP_SECOND => Decision::FinishSecond,
+            other => unreachable!("invalid DP decision byte {other}"),
+        })
+        .collect()
+}
+
+/// Replays a DP decision sequence into an explicit resource assignment,
+/// tracking the exact remaining requirement of both frontier jobs.
+pub(crate) fn replay_decisions(instance: &Instance, decisions: Vec<Decision>) -> Schedule {
+    let mut builder = ScheduleBuilder::new(instance);
+    for decision in decisions {
+        let v0 = builder.remaining_workload(0);
+        let v1 = builder.remaining_workload(1);
+        let shares = match decision {
+            Decision::AdvanceBoth => {
+                debug_assert!(v0 + v1 <= Ratio::ONE);
+                vec![v0, v1]
+            }
+            Decision::FinishFirst => {
+                let leftover = (Ratio::ONE - v0).min(v1).max(Ratio::ZERO);
+                vec![v0, leftover]
+            }
+            Decision::FinishSecond => {
+                let leftover = (Ratio::ONE - v1).min(v0).max(Ratio::ZERO);
+                vec![leftover, v1]
+            }
+        };
+        builder.push_step(shares);
+    }
+    builder.finish()
+}
+
 /// Back-traces the rational DP table into the forward decision sequence
 /// (reference / fallback path of [`OptTwo::schedule`]).
-fn rational_decisions(instance: &Instance) -> Vec<Decision> {
+pub(crate) fn rational_decisions(instance: &Instance) -> Vec<Decision> {
     let n1 = instance.jobs_on(0);
     let n2 = instance.jobs_on(1);
     let table = run_dp(instance);
@@ -355,42 +396,10 @@ impl Scheduler for OptTwo {
     fn schedule(&self, instance: &Instance) -> Schedule {
         assert_two_unit_processors(instance);
         let decisions = match ScaledInstance::try_new(instance) {
-            Some(scaled) => ScaledDpTable::compute(&scaled)
-                .decisions()
-                .into_iter()
-                .map(|byte| match byte {
-                    DP_BOTH => Decision::AdvanceBoth,
-                    DP_FIRST => Decision::FinishFirst,
-                    DP_SECOND => Decision::FinishSecond,
-                    other => unreachable!("invalid DP decision byte {other}"),
-                })
-                .collect(),
+            Some(scaled) => scaled_decisions(&scaled),
             None => rational_decisions(instance),
         };
-
-        // Replay the decisions, tracking the exact remaining requirement of
-        // both frontier jobs to materialize the resource shares.
-        let mut builder = ScheduleBuilder::new(instance);
-        for decision in decisions {
-            let v0 = builder.remaining_workload(0);
-            let v1 = builder.remaining_workload(1);
-            let shares = match decision {
-                Decision::AdvanceBoth => {
-                    debug_assert!(v0 + v1 <= Ratio::ONE);
-                    vec![v0, v1]
-                }
-                Decision::FinishFirst => {
-                    let leftover = (Ratio::ONE - v0).min(v1).max(Ratio::ZERO);
-                    vec![v0, leftover]
-                }
-                Decision::FinishSecond => {
-                    let leftover = (Ratio::ONE - v1).min(v0).max(Ratio::ZERO);
-                    vec![leftover, v1]
-                }
-            };
-            builder.push_step(shares);
-        }
-        builder.finish()
+        replay_decisions(instance, decisions)
     }
 }
 

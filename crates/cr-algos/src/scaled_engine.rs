@@ -252,6 +252,18 @@ pub(crate) fn run_search(scaled: &ScaledInstance) -> Result<Vec<Vec<ScaledNode>>
     run_search_chunked(scaled, None)
 }
 
+/// [`run_search`] with a hard cap on the number of expanded rounds (the
+/// solver layer's `max_rounds` budget).  Returns `Ok(None)` when the cap is
+/// reached before any final configuration appears — the search genuinely
+/// stops early instead of burning the full expansion, so a deliberately
+/// over-budget request costs at most `cap` rounds.
+pub(crate) fn run_search_capped(
+    scaled: &ScaledInstance,
+    cap: usize,
+) -> Result<Option<Vec<Vec<ScaledNode>>>, SearchError> {
+    run_search_impl(scaled, None, Some(cap))
+}
+
 /// [`run_search`] with an explicit expansion chunk size (`None` derives one
 /// chunk per rayon worker).  Output is independent of the chunk size — the
 /// determinism property tests compare per-node chunks against a single
@@ -260,6 +272,17 @@ pub(crate) fn run_search_chunked(
     scaled: &ScaledInstance,
     chunk_size: Option<usize>,
 ) -> Result<Vec<Vec<ScaledNode>>, SearchError> {
+    run_search_impl(scaled, chunk_size, None)
+        .map(|rounds| rounds.expect("uncapped search always reaches a final configuration"))
+}
+
+/// The configuration search with both knobs: expansion chunk size and round
+/// cap.  `Ok(None)` is only produced when `round_cap` cuts the search off.
+fn run_search_impl(
+    scaled: &ScaledInstance,
+    chunk_size: Option<usize>,
+    round_cap: Option<usize>,
+) -> Result<Option<Vec<Vec<ScaledNode>>>, SearchError> {
     let m = scaled.processors();
     let initial = initial_config(m);
     let mut rounds: Vec<Vec<ScaledNode>> = vec![vec![ScaledNode {
@@ -268,7 +291,7 @@ pub(crate) fn run_search_chunked(
         choice: ScaledChoice::initial(),
     }]];
     if is_final(scaled, &initial) {
-        return Ok(rounds);
+        return Ok(Some(rounds));
     }
 
     // Below this round size the fan-out cannot win: the vendored rayon
@@ -280,7 +303,9 @@ pub(crate) fn run_search_chunked(
 
     let mut serial_scratch = SuccScratch::default();
     let max_rounds = scaled.total_jobs() + 1;
-    for _round in 0..max_rounds {
+    let round_limit = round_cap.map_or(max_rounds, |cap| cap.min(max_rounds));
+    let mut found_final = false;
+    for _round in 0..round_limit {
         // Invariant: `prev` was size-checked against the u32 parent-index
         // headroom when it was produced (the initial round has one node).
         let prev = rounds.last().expect("at least the initial round");
@@ -386,10 +411,19 @@ pub(crate) fn run_search_chunked(
         let done = filtered.iter().any(|n| is_final(scaled, &n.config));
         rounds.push(filtered);
         if done {
+            found_final = true;
             break;
         }
     }
-    Ok(rounds)
+    if found_final {
+        Ok(Some(rounds))
+    } else {
+        // Only a round cap can leave the search unfinished: the uncapped
+        // limit of `total_jobs + 1` rounds always suffices (every normalized
+        // step completes at least one job).
+        debug_assert!(round_cap.is_some(), "uncapped search must terminate");
+        Ok(None)
+    }
 }
 
 /// The optimal makespan from a finished configuration search.

@@ -1,0 +1,1342 @@
+//! The unified, fallible `Solve` surface over every algorithm in this crate.
+//!
+//! Historically each algorithm family had its own entry points: the
+//! infallible [`Scheduler`] trait for the polynomial schedulers, free
+//! functions (`opt_m_makespan` / `try_opt_m_makespan` /
+//! `opt_m_makespan_rational`, and the `opt_two_*` / `brute_force_*` twins)
+//! for the exact engines, and ad-hoc bound helpers.  This module replaces
+//! that patchwork with one request/response interface:
+//!
+//! * [`SolveRequest`] — the instance, a string method selector (a registry
+//!   key), an [`EnginePreference`], a [`Budget`] and optional per-processor
+//!   arrival times (consumed by the online solvers in `cr-sim`);
+//! * [`SolveOutcome`] — makespan and/or schedule, the instance's
+//!   [`LowerBounds`], the [`Engine`] actually used, the fallbacks taken and
+//!   step/round counters;
+//! * [`SolveError`] — every failure the old surfaces expressed as a panic or
+//!   crate-specific error ([`SearchError`], grid overflow, infeasible
+//!   schedules, exhausted budgets, malformed requests);
+//! * [`Solver`] — `fn solve(&SolveRequest) -> Result<SolveOutcome,
+//!   SolveError>`, implemented by every heuristic, both exact engines and
+//!   the bounds-only evaluator;
+//! * [`registry`] — the string-keyed line-up of all offline solvers,
+//!   superseding [`standard_line_up`](crate::standard_line_up) (which is
+//!   kept as a thin deprecated shim).
+//!
+//! # Engine preference and fallback contract
+//!
+//! Every offline method has two interchangeable cores: the scaled-integer
+//! hot path (`u64` units on the instance's denominator-LCM grid) and the
+//! exact `Ratio` reference path.  [`EnginePreference`] selects between them:
+//!
+//! * [`EnginePreference::Auto`] (the default) runs the scaled core whenever
+//!   the instance's grid fits `u64` and transparently falls back to the
+//!   rational core otherwise — or when the scaled configuration search
+//!   reports a structured [`SearchError`].  Every fallback taken is recorded
+//!   in [`SolveOutcome::fallbacks`], and [`SolveOutcome::engine`] names the
+//!   core that actually produced the result.  `Auto` never fails for engine
+//!   reasons.
+//! * [`EnginePreference::Scaled`] demands the scaled core: if the grid
+//!   overflows the request fails with [`SolveError::GridOverflow`], and a
+//!   [`SearchError`] surfaces as [`SolveError::RoundTooLarge`] instead of
+//!   falling back.
+//! * [`EnginePreference::Rational`] runs the retained reference core — the
+//!   cross-checking path of the property-test suites.  The online simulator
+//!   methods in `cr-sim` are integer-native and reject this preference with
+//!   [`SolveError::EngineUnavailable`].
+//!
+//! Both cores produce identical makespans (enforced by the `proptest_scaled`
+//! suites), so the preference changes performance and failure modes, never
+//! values.
+//!
+//! # Budgets
+//!
+//! [`Budget::max_steps`] caps the schedule length of the answer; requests
+//! whose result would exceed it fail with [`SolveError::BudgetExhausted`].
+//! Every method enforces it and pre-checks it against the instance's
+//! trivial lower bound, so a provably over-budget request fails before any
+//! work runs.  [`Budget::max_rounds`] applies only to the `"OptM"`
+//! configuration search (the one method with rounds; everyone else ignores
+//! it): both the scaled and the rational search genuinely stop expanding
+//! after that many rounds, so a deliberately over-budget request costs at
+//! most the capped expansion.  The polynomial schedulers always terminate
+//! in linear time, so their `max_steps` budget is verified on the finished
+//! schedule (a response-size contract, not a watchdog); the online
+//! simulator methods enforce `max_steps` as a hard step limit while
+//! simulating.
+
+use crate::brute_force::{brute_force_with_stats_rational, SearchStats};
+use crate::greedy_balance::GreedyBalance;
+use crate::heuristics::{
+    EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst,
+};
+use crate::opt_m;
+use crate::opt_two;
+use crate::round_robin::RoundRobin;
+use crate::scaled_engine::{self, SearchError};
+use crate::traits::Scheduler;
+use crate::OptM;
+use crate::OptTwo;
+use cr_core::{
+    bounds, Instance, ScaledInstance, ScaledScheduleBuilder, Schedule, ScheduleError,
+    SchedulingGraph,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which of a method's two cores a request may run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePreference {
+    /// Scaled-integer core when the grid fits, rational core otherwise
+    /// (fallbacks recorded in [`SolveOutcome::fallbacks`]).  The default.
+    #[default]
+    Auto,
+    /// Scaled-integer core only; fails with [`SolveError::GridOverflow`] /
+    /// [`SolveError::RoundTooLarge`] instead of falling back.
+    Scaled,
+    /// The exact `Ratio` reference core only.
+    Rational,
+}
+
+impl EnginePreference {
+    /// Stable lower-case name used on the service wire.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EnginePreference::Auto => "auto",
+            EnginePreference::Scaled => "scaled",
+            EnginePreference::Rational => "rational",
+        }
+    }
+}
+
+/// The core that actually produced a [`SolveOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The scaled-integer hot path.
+    Scaled,
+    /// The exact `Ratio` reference path.
+    Rational,
+}
+
+impl Engine {
+    /// Stable lower-case name used on the service wire.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Scaled => "scaled",
+            Engine::Rational => "rational",
+        }
+    }
+}
+
+/// Resource limits of one request (see the module docs for semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Cap on the schedule length (time steps) of the answer.
+    pub max_steps: Option<usize>,
+    /// Cap on the expanded rounds of the exact configuration search.
+    pub max_rounds: Option<usize>,
+}
+
+impl Budget {
+    /// No limits (the default).
+    pub const UNLIMITED: Budget = Budget {
+        max_steps: None,
+        max_rounds: None,
+    };
+}
+
+/// One solve request: an instance plus everything needed to route it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The problem instance.
+    pub instance: Instance,
+    /// Registry key of the method to run (`"GreedyBalance"`, `"OptM"`, …).
+    pub method: String,
+    /// Which engine core the method may use.
+    pub engine: EnginePreference,
+    /// Resource limits for this request.
+    pub budget: Budget,
+    /// Whether the response should carry the full schedule (makespan and
+    /// bounds are always computed; schedules can be large on the wire).
+    pub want_schedule: bool,
+    /// Per-processor arrival times for the online simulator methods: core
+    /// `i` is invisible to the policy before step `arrivals[i]`.  Offline
+    /// methods reject requests carrying arrivals with
+    /// [`SolveError::ArrivalsUnsupported`].
+    pub arrivals: Option<Vec<usize>>,
+}
+
+impl SolveRequest {
+    /// A makespan-only request with default engine preference and no budget.
+    #[must_use]
+    pub fn new(method: impl Into<String>, instance: Instance) -> Self {
+        SolveRequest {
+            instance,
+            method: method.into(),
+            engine: EnginePreference::Auto,
+            budget: Budget::UNLIMITED,
+            want_schedule: false,
+            arrivals: None,
+        }
+    }
+
+    /// Requests the full schedule in the response.
+    #[must_use]
+    pub fn with_schedule(mut self) -> Self {
+        self.want_schedule = true;
+        self
+    }
+
+    /// Overrides the engine preference.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EnginePreference) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches per-processor arrival times (online methods only).
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: Vec<usize>) -> Self {
+        self.arrivals = Some(arrivals);
+        self
+    }
+}
+
+/// The instance-only lower bounds reported with every outcome, plus the
+/// schedule-derived bound the `"Bounds"` evaluator computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBounds {
+    /// Observation 1: `⌈Σ workload⌉`.
+    pub workload: usize,
+    /// The longest chain (jobs are processed sequentially per processor).
+    pub chain: usize,
+    /// The volume-weighted chain bound (relevant for arbitrary job sizes).
+    pub volume_chain: usize,
+    /// `max(workload, chain, volume_chain)` — the strongest instance-only
+    /// bound.
+    pub trivial: usize,
+    /// The best schedule-derived bound (Observation 1, components, classes
+    /// of the scheduling hypergraph); only computed by the `"Bounds"`
+    /// method, `None` elsewhere.
+    pub best: Option<usize>,
+}
+
+impl LowerBounds {
+    /// Computes the instance-only bounds.
+    #[must_use]
+    pub fn compute(instance: &Instance) -> Self {
+        LowerBounds {
+            workload: bounds::workload_bound_steps(instance),
+            chain: bounds::chain_bound(instance),
+            volume_chain: bounds::volume_chain_bound(instance),
+            trivial: bounds::trivial_lower_bound(instance),
+            best: None,
+        }
+    }
+}
+
+/// A successful solve: the answer plus provenance counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Registry key of the method that ran.
+    pub method: String,
+    /// The engine core that actually produced the result.
+    pub engine: Engine,
+    /// Human-readable descriptions of every fallback taken (empty when the
+    /// preferred core ran directly).
+    pub fallbacks: Vec<String>,
+    /// The computed makespan (`None` for the bounds-only evaluator).
+    pub makespan: Option<usize>,
+    /// The full schedule, when requested and the method produces one.
+    pub schedule: Option<Schedule>,
+    /// Lower bounds of the instance (with `best` filled by `"Bounds"`).
+    pub lower_bounds: LowerBounds,
+    /// Schedule steps materialized while solving (0 for value-only methods).
+    pub steps: usize,
+    /// Search rounds (OPT(m)) or memoized expansions (brute force) the exact
+    /// engines performed; 0 for the polynomial schedulers.
+    pub rounds: usize,
+}
+
+/// Which budget knob a [`SolveError::BudgetExhausted`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// [`Budget::max_steps`].
+    Steps,
+    /// [`Budget::max_rounds`].
+    Rounds,
+}
+
+impl BudgetKind {
+    /// Stable lower-case name used on the service wire.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetKind::Steps => "steps",
+            BudgetKind::Rounds => "rounds",
+        }
+    }
+}
+
+/// Structured failure of one solve request.
+///
+/// Absorbs every failure mode of the pre-redesign surfaces: the scaled
+/// search's [`SearchError`], grid overflow (previously a silent internal
+/// fallback or a panic), infeasible schedules (previously
+/// `Scheduler::makespan`'s `expect`), exhausted budgets and malformed
+/// requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The request named a method the registry does not know.
+    UnknownMethod {
+        /// The unknown registry key.
+        method: String,
+    },
+    /// The method requires unit-size jobs (Theorems 5/6) but the instance
+    /// has sized jobs.
+    NonUnitJobs {
+        /// The rejecting method.
+        method: String,
+    },
+    /// The method requires a fixed processor count (OptTwo: exactly 2).
+    WrongProcessorCount {
+        /// The rejecting method.
+        method: String,
+        /// Required processor count.
+        expected: usize,
+        /// The instance's processor count.
+        found: usize,
+    },
+    /// [`EnginePreference::Scaled`] was demanded but the instance's unit
+    /// grid overflows `u64`.
+    GridOverflow {
+        /// The rejecting method.
+        method: String,
+    },
+    /// The method does not implement the requested engine core at all
+    /// (e.g. the integer-native online simulator asked for `Rational`).
+    EngineUnavailable {
+        /// The rejecting method.
+        method: String,
+        /// The unavailable preference.
+        engine: EnginePreference,
+    },
+    /// The scaled configuration search outgrew its `u32` parent-index
+    /// headroom (absorbs [`SearchError::RoundTooLarge`]).
+    RoundTooLarge {
+        /// The 0-based round whose node count overflowed.
+        round: usize,
+        /// Its node count.
+        nodes: usize,
+    },
+    /// The request's [`Budget`] was exhausted before an answer within it
+    /// could be produced.
+    BudgetExhausted {
+        /// The method that ran out of budget.
+        method: String,
+        /// Which budget knob was exhausted.
+        kind: BudgetKind,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A produced schedule failed validation (absorbs [`ScheduleError`];
+    /// previously `Scheduler::makespan` panicked on this).
+    Infeasible {
+        /// The underlying schedule validation error.
+        error: ScheduleError,
+    },
+    /// An offline method received arrival traces.
+    ArrivalsUnsupported {
+        /// The rejecting method.
+        method: String,
+    },
+    /// The arrival vector does not have one entry per processor.
+    InvalidArrivals {
+        /// Processors in the instance.
+        expected: usize,
+        /// Entries in the arrival vector.
+        found: usize,
+    },
+}
+
+impl SolveError {
+    /// Stable snake_case discriminant used on the service wire.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveError::UnknownMethod { .. } => "unknown_method",
+            SolveError::NonUnitJobs { .. } => "non_unit_jobs",
+            SolveError::WrongProcessorCount { .. } => "wrong_processor_count",
+            SolveError::GridOverflow { .. } => "grid_overflow",
+            SolveError::EngineUnavailable { .. } => "engine_unavailable",
+            SolveError::RoundTooLarge { .. } => "round_too_large",
+            SolveError::BudgetExhausted { .. } => "budget_exhausted",
+            SolveError::Infeasible { .. } => "infeasible",
+            SolveError::ArrivalsUnsupported { .. } => "arrivals_unsupported",
+            SolveError::InvalidArrivals { .. } => "invalid_arrivals",
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::UnknownMethod { method } => {
+                write!(f, "unknown method `{method}` (not in the registry)")
+            }
+            SolveError::NonUnitJobs { method } => {
+                write!(f, "method {method} requires unit-size jobs")
+            }
+            SolveError::WrongProcessorCount {
+                method,
+                expected,
+                found,
+            } => write!(
+                f,
+                "method {method} requires exactly {expected} processors, instance has {found}"
+            ),
+            SolveError::GridOverflow { method } => write!(
+                f,
+                "method {method}: the instance's unit grid overflows u64 and the scaled engine \
+                 was demanded (use the auto or rational engine preference)"
+            ),
+            SolveError::EngineUnavailable { method, engine } => {
+                write!(f, "method {method} has no {} engine core", engine.as_str())
+            }
+            SolveError::RoundTooLarge { round, nodes } => write!(
+                f,
+                "configuration-search round {round} holds {nodes} nodes, exceeding the u32 \
+                 parent-index headroom"
+            ),
+            SolveError::BudgetExhausted {
+                method,
+                kind,
+                limit,
+            } => write!(
+                f,
+                "method {method} exhausted its {} budget of {limit}",
+                kind.as_str()
+            ),
+            SolveError::Infeasible { error } => {
+                write!(f, "produced schedule is infeasible: {error}")
+            }
+            SolveError::ArrivalsUnsupported { method } => write!(
+                f,
+                "method {method} is offline and does not accept arrival traces"
+            ),
+            SolveError::InvalidArrivals { expected, found } => write!(
+                f,
+                "arrival vector has {found} entries for {expected} processors"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<SearchError> for SolveError {
+    fn from(err: SearchError) -> Self {
+        match err {
+            SearchError::RoundTooLarge { round, nodes } => {
+                SolveError::RoundTooLarge { round, nodes }
+            }
+        }
+    }
+}
+
+impl From<ScheduleError> for SolveError {
+    fn from(error: ScheduleError) -> Self {
+        SolveError::Infeasible { error }
+    }
+}
+
+/// Warm per-instance state shared by every solve against one instance: the
+/// scaled-integer conversion of the exact engines, the scheduling layer's
+/// grid viability, and the instance-only lower bounds.
+///
+/// [`Solver::solve`] builds one on the fly; the batch service in
+/// `cr-service` memoizes them so repeated requests against one instance pay
+/// for the conversion once.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The exact engines' scaled conversion (`None`: grid overflows `u64`).
+    pub scaled: Option<Arc<ScaledInstance>>,
+    /// Whether the scheduling layer's (requirement × workload) unit grid is
+    /// representable — the gate the polynomial schedulers route on.
+    pub sched_scaled: bool,
+    /// Instance-only lower bounds ([`LowerBounds::best`] left `None`).
+    pub lower_bounds: LowerBounds,
+}
+
+impl Prepared {
+    /// Performs the conversions for `instance`.
+    #[must_use]
+    pub fn new(instance: &Instance) -> Self {
+        Prepared {
+            scaled: ScaledInstance::try_new(instance).map(Arc::new),
+            sched_scaled: ScaledScheduleBuilder::try_new(instance).is_some(),
+            lower_bounds: LowerBounds::compute(instance),
+        }
+    }
+}
+
+/// A solving policy behind the unified request/response interface.
+///
+/// Implementations must be deterministic: the same request always produces
+/// the same outcome, regardless of thread count (the batch service's
+/// byte-identity contract builds on this).
+pub trait Solver: Send + Sync {
+    /// Solves `request` with pre-computed per-instance state.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SolveError`] applicable to the method (see the variants).
+    fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError>;
+
+    /// Solves `request`, deriving the per-instance state on the fly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SolveError`] applicable to the method (see the variants).
+    fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
+        self.solve_prepared(request, &Prepared::new(&request.instance))
+    }
+}
+
+/// Rejects arrival traces on offline methods.
+fn reject_arrivals(method: &str, request: &SolveRequest) -> Result<(), SolveError> {
+    if request.arrivals.is_some() {
+        return Err(SolveError::ArrivalsUnsupported {
+            method: method.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Fails fast when the trivial lower bound already exceeds a budget cap
+/// (any answer would too); `kind` names the knob the cap came from.
+fn precheck_cap(
+    method: &str,
+    kind: BudgetKind,
+    cap: Option<usize>,
+    lower_bounds: &LowerBounds,
+) -> Result<(), SolveError> {
+    if let Some(limit) = cap {
+        if lower_bounds.trivial > limit {
+            return Err(SolveError::BudgetExhausted {
+                method: method.to_string(),
+                kind,
+                limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Post-hoc `max_steps` check on a finished answer.
+fn check_steps_budget(method: &str, budget: &Budget, makespan: usize) -> Result<(), SolveError> {
+    if let Some(limit) = budget.max_steps {
+        if makespan > limit {
+            return Err(SolveError::BudgetExhausted {
+                method: method.to_string(),
+                kind: BudgetKind::Steps,
+                limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The standard fallback note recorded when `Auto` routes around an
+/// unrepresentable grid.
+fn grid_fallback_note() -> String {
+    "unit grid overflows u64: fell back to the rational core".to_string()
+}
+
+/// The shared engine-routing contract of the scheduling-layer methods:
+/// picks the scaled or rational schedule producer per the preference and
+/// the grid viability, recording any `Auto` fallback taken.
+fn route_schedule(
+    method: &str,
+    engine: EnginePreference,
+    sched_scaled: bool,
+    scaled_schedule: &dyn Fn() -> Schedule,
+    rational_schedule: &dyn Fn() -> Schedule,
+) -> Result<(Engine, Vec<String>, Schedule), SolveError> {
+    match engine {
+        EnginePreference::Scaled => {
+            if !sched_scaled {
+                return Err(SolveError::GridOverflow {
+                    method: method.to_string(),
+                });
+            }
+            Ok((Engine::Scaled, Vec::new(), scaled_schedule()))
+        }
+        EnginePreference::Rational => Ok((Engine::Rational, Vec::new(), rational_schedule())),
+        EnginePreference::Auto => {
+            if sched_scaled {
+                Ok((Engine::Scaled, Vec::new(), scaled_schedule()))
+            } else {
+                Ok((
+                    Engine::Rational,
+                    vec![grid_fallback_note()],
+                    rational_schedule(),
+                ))
+            }
+        }
+    }
+}
+
+/// Shared solve logic of the six polynomial schedulers: engine routing over
+/// the (scaled schedule, rational schedule) pair, feasibility validation and
+/// budget enforcement.  `max_rounds` does not apply (there is no search);
+/// only `max_steps` is enforced.
+fn solve_polynomial(
+    method: &str,
+    request: &SolveRequest,
+    prepared: &Prepared,
+    scaled_schedule: &dyn Fn(&Instance) -> Schedule,
+    rational_schedule: &dyn Fn(&Instance) -> Schedule,
+) -> Result<SolveOutcome, SolveError> {
+    reject_arrivals(method, request)?;
+    precheck_cap(
+        method,
+        BudgetKind::Steps,
+        request.budget.max_steps,
+        &prepared.lower_bounds,
+    )?;
+    let instance = &request.instance;
+    let (engine, fallbacks, schedule) = route_schedule(
+        method,
+        request.engine,
+        prepared.sched_scaled,
+        &|| scaled_schedule(instance),
+        &|| rational_schedule(instance),
+    )?;
+    let makespan = schedule.makespan(instance)?;
+    check_steps_budget(method, &request.budget, makespan)?;
+    Ok(SolveOutcome {
+        method: method.to_string(),
+        engine,
+        fallbacks,
+        makespan: Some(makespan),
+        steps: schedule.num_steps(),
+        rounds: 0,
+        schedule: request.want_schedule.then_some(schedule),
+        lower_bounds: prepared.lower_bounds,
+    })
+}
+
+macro_rules! impl_polynomial_solver {
+    ($ty:ty, $name:literal) => {
+        impl Solver for $ty {
+            fn solve_prepared(
+                &self,
+                request: &SolveRequest,
+                prepared: &Prepared,
+            ) -> Result<SolveOutcome, SolveError> {
+                solve_polynomial(
+                    $name,
+                    request,
+                    prepared,
+                    &|i| Scheduler::schedule(self, i),
+                    &|i| self.schedule_rational(i),
+                )
+            }
+        }
+    };
+}
+
+impl_polynomial_solver!(GreedyBalance, "GreedyBalance");
+impl_polynomial_solver!(RoundRobin, "RoundRobin");
+impl_polynomial_solver!(EqualShare, "EqualShare");
+impl_polynomial_solver!(ProportionalShare, "ProportionalShare");
+impl_polynomial_solver!(LargestRequirementFirst, "LargestRequirementFirst");
+impl_polynomial_solver!(SmallestRequirementFirst, "SmallestRequirementFirst");
+
+/// Validates the unit-size precondition of the exact engines.
+fn require_unit(method: &str, instance: &Instance) -> Result<(), SolveError> {
+    if !instance.is_unit_size() {
+        return Err(SolveError::NonUnitJobs {
+            method: method.to_string(),
+        });
+    }
+    Ok(())
+}
+
+impl Solver for OptTwo {
+    fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        const METHOD: &str = "OptTwo";
+        reject_arrivals(METHOD, request)?;
+        let instance = &request.instance;
+        if instance.processors() != 2 {
+            return Err(SolveError::WrongProcessorCount {
+                method: METHOD.to_string(),
+                expected: 2,
+                found: instance.processors(),
+            });
+        }
+        require_unit(METHOD, instance)?;
+        // The DP has no configuration-search rounds, so only max_steps
+        // applies.
+        precheck_cap(
+            METHOD,
+            BudgetKind::Steps,
+            request.budget.max_steps,
+            &prepared.lower_bounds,
+        )?;
+
+        let (engine, fallbacks, decisions) = match (request.engine, &prepared.scaled) {
+            (EnginePreference::Scaled, None) => {
+                return Err(SolveError::GridOverflow {
+                    method: METHOD.to_string(),
+                })
+            }
+            (EnginePreference::Scaled | EnginePreference::Auto, Some(scaled)) => (
+                Engine::Scaled,
+                Vec::new(),
+                opt_two::scaled_decisions(scaled),
+            ),
+            (EnginePreference::Auto, None) => (
+                Engine::Rational,
+                vec![grid_fallback_note()],
+                opt_two::rational_decisions(instance),
+            ),
+            (EnginePreference::Rational, _) => (
+                Engine::Rational,
+                Vec::new(),
+                opt_two::rational_decisions(instance),
+            ),
+        };
+        let makespan = decisions.len();
+        check_steps_budget(METHOD, &request.budget, makespan)?;
+        let schedule = request
+            .want_schedule
+            .then(|| opt_two::replay_decisions(instance, decisions));
+        Ok(SolveOutcome {
+            method: METHOD.to_string(),
+            engine,
+            fallbacks,
+            makespan: Some(makespan),
+            steps: schedule.as_ref().map_or(0, Schedule::num_steps),
+            rounds: 0,
+            schedule,
+            lower_bounds: prepared.lower_bounds,
+        })
+    }
+}
+
+impl Solver for OptM {
+    fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        const METHOD: &str = "OptM";
+        reject_arrivals(METHOD, request)?;
+        let instance = &request.instance;
+        require_unit(METHOD, instance)?;
+        // A round of the configuration search advances the makespan by one,
+        // so both caps are makespan-shaped here and prechecked against the
+        // trivial lower bound.
+        precheck_cap(
+            METHOD,
+            BudgetKind::Steps,
+            request.budget.max_steps,
+            &prepared.lower_bounds,
+        )?;
+        precheck_cap(
+            METHOD,
+            BudgetKind::Rounds,
+            request.budget.max_rounds,
+            &prepared.lower_bounds,
+        )?;
+
+        // The scaled configuration search, budget-capped when requested.
+        let run_scaled = |scaled: &ScaledInstance| -> Result<
+            Option<Vec<Vec<scaled_engine::ScaledNode>>>,
+            SearchError,
+        > {
+            match request.budget.max_rounds {
+                Some(cap) => scaled_engine::run_search_capped(scaled, cap),
+                None => scaled_engine::run_search(scaled).map(Some),
+            }
+        };
+
+        let scaled_result = match (request.engine, &prepared.scaled) {
+            (EnginePreference::Rational, _) | (EnginePreference::Auto, None) => None,
+            (EnginePreference::Scaled, None) => {
+                return Err(SolveError::GridOverflow {
+                    method: METHOD.to_string(),
+                })
+            }
+            (EnginePreference::Scaled | EnginePreference::Auto, Some(scaled)) => {
+                Some((scaled, run_scaled(scaled)))
+            }
+        };
+
+        let mut fallbacks = Vec::new();
+        match scaled_result {
+            Some((scaled, Ok(Some(rounds)))) => {
+                let makespan = scaled_engine::search_makespan(scaled, &rounds);
+                check_steps_budget(METHOD, &request.budget, makespan)?;
+                let schedule = request
+                    .want_schedule
+                    .then(|| scaled_engine::search_schedule(instance, scaled, &rounds));
+                Ok(SolveOutcome {
+                    method: METHOD.to_string(),
+                    engine: Engine::Scaled,
+                    fallbacks,
+                    makespan: Some(makespan),
+                    steps: schedule.as_ref().map_or(0, Schedule::num_steps),
+                    rounds: rounds.len() - 1,
+                    schedule,
+                    lower_bounds: prepared.lower_bounds,
+                })
+            }
+            Some((_, Ok(None))) => {
+                let limit = request.budget.max_rounds.expect("cap produced the cutoff");
+                Err(SolveError::BudgetExhausted {
+                    method: METHOD.to_string(),
+                    kind: BudgetKind::Rounds,
+                    limit,
+                })
+            }
+            Some((_, Err(err))) if request.engine == EnginePreference::Scaled => {
+                Err(SolveError::from(err))
+            }
+            other => {
+                // The rational reference search: requested explicitly, the
+                // grid fallback, or the recovery from a SearchError.
+                if let Some((_, Err(err))) = other {
+                    fallbacks.push(format!("{err}: fell back to the rational search"));
+                } else if request.engine == EnginePreference::Auto {
+                    fallbacks.push(grid_fallback_note());
+                }
+                // One rational search answers both makespan and schedule;
+                // it honors the round cap too, stopping after `cap` rounds
+                // instead of running to completion.
+                let Some((makespan, schedule)) = opt_m::solve_rational(
+                    instance,
+                    request.budget.max_rounds,
+                    request.want_schedule,
+                ) else {
+                    return Err(SolveError::BudgetExhausted {
+                        method: METHOD.to_string(),
+                        kind: BudgetKind::Rounds,
+                        limit: request.budget.max_rounds.expect("cap produced the cutoff"),
+                    });
+                };
+                check_steps_budget(METHOD, &request.budget, makespan)?;
+                Ok(SolveOutcome {
+                    method: METHOD.to_string(),
+                    engine: Engine::Rational,
+                    fallbacks,
+                    makespan: Some(makespan),
+                    steps: schedule.as_ref().map_or(0, Schedule::num_steps),
+                    rounds: makespan,
+                    schedule,
+                    lower_bounds: prepared.lower_bounds,
+                })
+            }
+        }
+    }
+}
+
+/// The exhaustive reference solver behind the `"BruteForce"` registry key.
+///
+/// Value-only: it reports the optimal makespan and search statistics but
+/// never reconstructs a schedule (use `"OptM"` for schedules).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceSolver;
+
+impl Solver for BruteForceSolver {
+    fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        const METHOD: &str = "BruteForce";
+        reject_arrivals(METHOD, request)?;
+        let instance = &request.instance;
+        require_unit(METHOD, instance)?;
+        // The memoized DFS has no rounds; only max_steps applies.
+        precheck_cap(
+            METHOD,
+            BudgetKind::Steps,
+            request.budget.max_steps,
+            &prepared.lower_bounds,
+        )?;
+
+        let (engine, fallbacks, makespan, stats) = match (request.engine, &prepared.scaled) {
+            (EnginePreference::Scaled, None) => {
+                return Err(SolveError::GridOverflow {
+                    method: METHOD.to_string(),
+                })
+            }
+            (EnginePreference::Scaled | EnginePreference::Auto, Some(scaled)) => {
+                let (value, states, expansions) = scaled_engine::brute_force(scaled);
+                (
+                    Engine::Scaled,
+                    Vec::new(),
+                    value,
+                    SearchStats { states, expansions },
+                )
+            }
+            (EnginePreference::Auto, None) => {
+                let (value, stats) = brute_force_with_stats_rational(instance);
+                (Engine::Rational, vec![grid_fallback_note()], value, stats)
+            }
+            (EnginePreference::Rational, _) => {
+                let (value, stats) = brute_force_with_stats_rational(instance);
+                (Engine::Rational, Vec::new(), value, stats)
+            }
+        };
+        check_steps_budget(METHOD, &request.budget, makespan)?;
+        Ok(SolveOutcome {
+            method: METHOD.to_string(),
+            engine,
+            fallbacks,
+            makespan: Some(makespan),
+            steps: 0,
+            rounds: stats.expansions,
+            schedule: None,
+            lower_bounds: prepared.lower_bounds,
+        })
+    }
+}
+
+/// The bounds-only evaluator behind the `"Bounds"` registry key.
+///
+/// Reports no makespan; instead it fills [`LowerBounds::best`] — the best
+/// schedule-derived lower bound, computed from a GreedyBalance schedule's
+/// scheduling hypergraph (Observation 1, component and class bounds).  The
+/// engine preference routes the internal GreedyBalance schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundsOnly;
+
+impl Solver for BoundsOnly {
+    fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        const METHOD: &str = "Bounds";
+        reject_arrivals(METHOD, request)?;
+        let instance = &request.instance;
+        let greedy = GreedyBalance::new();
+        let (engine, fallbacks, schedule) = route_schedule(
+            METHOD,
+            request.engine,
+            prepared.sched_scaled,
+            &|| Scheduler::schedule(&greedy, instance),
+            &|| greedy.schedule_rational(instance),
+        )?;
+        let trace = schedule.trace(instance)?;
+        let graph = SchedulingGraph::build(instance, &trace);
+        let mut lower_bounds = prepared.lower_bounds;
+        lower_bounds.best = Some(bounds::best_lower_bound(instance, &graph));
+        Ok(SolveOutcome {
+            method: METHOD.to_string(),
+            engine,
+            fallbacks,
+            makespan: None,
+            steps: 0,
+            rounds: 0,
+            schedule: None,
+            lower_bounds,
+        })
+    }
+}
+
+/// Registry keys of the six polynomial schedulers, in line-up order.
+pub const POLY_METHODS: [&str; 6] = [
+    "GreedyBalance",
+    "RoundRobin",
+    "EqualShare",
+    "ProportionalShare",
+    "LargestRequirementFirst",
+    "SmallestRequirementFirst",
+];
+
+/// A string-keyed line-up of [`Solver`]s.
+///
+/// Registration order is preserved (and is the iteration order of
+/// [`Registry::names`]); keys are unique — re-registering a key replaces the
+/// previous solver.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(String, Box<dyn Solver>)>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("methods", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers `solver` under `key`, replacing any previous entry.
+    pub fn register(&mut self, key: impl Into<String>, solver: Box<dyn Solver>) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = solver;
+        } else {
+            self.entries.push((key, solver));
+        }
+    }
+
+    /// Looks up a solver by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&dyn Solver> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| s.as_ref())
+    }
+
+    /// The registered keys, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Dispatches `request` to the solver registered under its method key.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownMethod`] for unregistered keys, plus anything
+    /// the solver itself reports.
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
+        self.solve_prepared(request, &Prepared::new(&request.instance))
+    }
+
+    /// [`Registry::solve`] with pre-computed per-instance state (the batch
+    /// service's memoized path).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownMethod`] for unregistered keys, plus anything
+    /// the solver itself reports.
+    pub fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        let solver = self
+            .get(&request.method)
+            .ok_or_else(|| SolveError::UnknownMethod {
+                method: request.method.clone(),
+            })?;
+        solver.solve_prepared(request, prepared)
+    }
+}
+
+/// The standard offline line-up: the six polynomial schedulers, both exact
+/// engines, the exhaustive reference and the bounds-only evaluator.
+///
+/// Supersedes [`standard_line_up`](crate::standard_line_up); the online
+/// simulator methods register on top via `cr_sim::register_online`.
+#[must_use]
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register("GreedyBalance", Box::new(GreedyBalance::new()));
+    r.register("RoundRobin", Box::new(RoundRobin::new()));
+    r.register("EqualShare", Box::new(EqualShare::new()));
+    r.register("ProportionalShare", Box::new(ProportionalShare::new()));
+    r.register(
+        "LargestRequirementFirst",
+        Box::new(LargestRequirementFirst::new()),
+    );
+    r.register(
+        "SmallestRequirementFirst",
+        Box::new(SmallestRequirementFirst::new()),
+    );
+    r.register("OptTwo", Box::new(OptTwo::new()));
+    r.register("OptM", Box::new(OptM::new()));
+    r.register("BruteForce", Box::new(BruteForceSolver));
+    r.register("Bounds", Box::new(BoundsOnly));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::Ratio;
+
+    fn fig_like() -> Instance {
+        Instance::unit_from_percentages(&[&[60, 40, 80], &[30, 90, 10]])
+    }
+
+    #[test]
+    fn registry_contains_every_offline_method() {
+        let reg = registry();
+        let names: Vec<&str> = reg.names().collect();
+        for method in POLY_METHODS {
+            assert!(names.contains(&method), "{method} missing");
+        }
+        for method in ["OptTwo", "OptM", "BruteForce", "Bounds"] {
+            assert!(names.contains(&method), "{method} missing");
+        }
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn unknown_method_is_a_structured_error() {
+        let err = registry()
+            .solve(&SolveRequest::new("NoSuchMethod", fig_like()))
+            .unwrap_err();
+        assert_eq!(err.kind(), "unknown_method");
+    }
+
+    #[test]
+    fn every_method_agrees_with_its_legacy_entry_point() {
+        let reg = registry();
+        let inst = fig_like();
+        for method in POLY_METHODS {
+            let outcome = reg.solve(&SolveRequest::new(method, inst.clone())).unwrap();
+            assert_eq!(outcome.engine, Engine::Scaled);
+            assert!(outcome.fallbacks.is_empty());
+            assert!(outcome.makespan.unwrap() >= outcome.lower_bounds.trivial);
+        }
+        let opt_m_outcome = reg.solve(&SolveRequest::new("OptM", inst.clone())).unwrap();
+        assert_eq!(
+            opt_m_outcome.makespan.unwrap(),
+            crate::opt_m_makespan(&inst)
+        );
+        assert_eq!(opt_m_outcome.rounds, opt_m_outcome.makespan.unwrap());
+        let opt_two_outcome = reg
+            .solve(&SolveRequest::new("OptTwo", inst.clone()))
+            .unwrap();
+        assert_eq!(
+            opt_two_outcome.makespan.unwrap(),
+            crate::opt_two_makespan(&inst)
+        );
+        let bf = reg
+            .solve(&SolveRequest::new("BruteForce", inst.clone()))
+            .unwrap();
+        assert_eq!(bf.makespan, opt_m_outcome.makespan);
+        assert!(bf.rounds > 0, "brute force reports expansions");
+    }
+
+    #[test]
+    fn engine_preferences_agree_on_values() {
+        let reg = registry();
+        let inst = fig_like();
+        for method in ["GreedyBalance", "OptM", "OptTwo", "BruteForce"] {
+            let auto = reg.solve(&SolveRequest::new(method, inst.clone())).unwrap();
+            let scaled = reg
+                .solve(
+                    &SolveRequest::new(method, inst.clone()).with_engine(EnginePreference::Scaled),
+                )
+                .unwrap();
+            let rational = reg
+                .solve(
+                    &SolveRequest::new(method, inst.clone())
+                        .with_engine(EnginePreference::Rational),
+                )
+                .unwrap();
+            assert_eq!(auto.makespan, scaled.makespan, "{method}");
+            assert_eq!(auto.makespan, rational.makespan, "{method}");
+            assert_eq!(rational.engine, Engine::Rational);
+            assert_eq!(scaled.engine, Engine::Scaled);
+        }
+    }
+
+    #[test]
+    fn schedules_are_returned_only_on_request() {
+        let reg = registry();
+        let inst = fig_like();
+        let without = reg.solve(&SolveRequest::new("OptM", inst.clone())).unwrap();
+        assert!(without.schedule.is_none());
+        let with = reg
+            .solve(&SolveRequest::new("OptM", inst.clone()).with_schedule())
+            .unwrap();
+        let schedule = with.schedule.expect("schedule requested");
+        assert_eq!(schedule.makespan(&inst).unwrap(), with.makespan.unwrap());
+        assert_eq!(with.steps, schedule.num_steps());
+    }
+
+    #[test]
+    fn round_budget_cuts_the_search_off() {
+        // Three full-resource jobs: makespan 3, so a 1-round budget fails.
+        let inst = Instance::unit_from_percentages(&[&[100], &[100], &[100]]);
+        let err = registry()
+            .solve(
+                &SolveRequest::new("OptM", inst.clone()).with_budget(Budget {
+                    max_rounds: Some(1),
+                    max_steps: None,
+                }),
+            )
+            .unwrap_err();
+        match err {
+            SolveError::BudgetExhausted { kind, limit, .. } => {
+                assert_eq!(limit, 1);
+                assert_eq!(kind.as_str(), "rounds");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // A sufficient budget succeeds with the exact value.
+        let ok = registry()
+            .solve(
+                &SolveRequest::new("OptM", inst.clone()).with_budget(Budget {
+                    max_rounds: Some(3),
+                    max_steps: None,
+                }),
+            )
+            .unwrap();
+        assert_eq!(ok.makespan, Some(3));
+
+        // The rational reference search honors the cap too — the capped
+        // entry point (checked directly, below the precheck layer) stops
+        // expanding at the cap instead of running to completion, and the
+        // registry path reports the same structured error.
+        assert_eq!(opt_m::solve_rational(&inst, Some(1), false), None);
+        assert_eq!(
+            opt_m::solve_rational(&inst, Some(3), false),
+            Some((3, None))
+        );
+        let err = registry()
+            .solve(
+                &SolveRequest::new("OptM", inst)
+                    .with_engine(EnginePreference::Rational)
+                    .with_budget(Budget {
+                        max_rounds: Some(1),
+                        max_steps: None,
+                    }),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+    }
+
+    #[test]
+    fn round_budget_is_ignored_by_methods_without_rounds() {
+        // Chain of three 100% jobs on one processor: makespan 3.  max_rounds
+        // must not reject methods that have no configuration search.
+        let inst = Instance::unit_from_percentages(&[&[100], &[100], &[100]]);
+        let budget = Budget {
+            max_rounds: Some(1),
+            max_steps: None,
+        };
+        for method in ["GreedyBalance", "EqualShare", "BruteForce"] {
+            let outcome = registry()
+                .solve(&SolveRequest::new(method, inst.clone()).with_budget(budget))
+                .unwrap_or_else(|e| panic!("{method} must ignore max_rounds: {e}"));
+            assert_eq!(outcome.makespan, Some(3), "{method}");
+        }
+    }
+
+    #[test]
+    fn step_budget_applies_to_heuristics() {
+        let inst = Instance::unit_from_percentages(&[&[100], &[100], &[100]]);
+        let err = registry()
+            .solve(
+                &SolveRequest::new("EqualShare", inst.clone()).with_budget(Budget {
+                    max_steps: Some(1),
+                    max_rounds: None,
+                }),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+    }
+
+    #[test]
+    fn opt_two_validates_its_preconditions() {
+        let three = Instance::unit_from_percentages(&[&[50], &[50], &[50]]);
+        let err = registry()
+            .solve(&SolveRequest::new("OptTwo", three))
+            .unwrap_err();
+        assert_eq!(err.kind(), "wrong_processor_count");
+
+        let sized = Instance::new(vec![vec![cr_core::Job::new(
+            Ratio::from_percent(50),
+            Ratio::new(3, 2),
+        )]])
+        .unwrap();
+        let err = registry()
+            .solve(&SolveRequest::new("OptM", sized))
+            .unwrap_err();
+        assert_eq!(err.kind(), "non_unit_jobs");
+    }
+
+    #[test]
+    fn offline_methods_reject_arrival_traces() {
+        let err = registry()
+            .solve(&SolveRequest::new("GreedyBalance", fig_like()).with_arrivals(vec![0, 0]))
+            .unwrap_err();
+        assert_eq!(err.kind(), "arrivals_unsupported");
+    }
+
+    #[test]
+    fn bounds_only_fills_the_best_bound() {
+        let outcome = registry()
+            .solve(&SolveRequest::new("Bounds", fig_like()))
+            .unwrap();
+        assert!(outcome.makespan.is_none());
+        assert!(outcome.schedule.is_none());
+        let best = outcome.lower_bounds.best.expect("best bound computed");
+        assert!(best >= outcome.lower_bounds.trivial);
+    }
+
+    #[test]
+    fn grid_overflow_is_an_error_only_when_scaled_is_demanded() {
+        // A denominator of exactly 2^63 makes both the exact-engine grid
+        // (2·D) and the scheduling grid ((m+1)·D) overflow u64, while the
+        // rational fallback's i128 arithmetic stays comfortably in range.
+        let inst = Instance::unit_from_requirements(vec![vec![Ratio::new(1, 1i128 << 63)]]);
+        assert!(Prepared::new(&inst).scaled.is_none());
+        let reg = registry();
+
+        let err = reg
+            .solve(
+                &SolveRequest::new("GreedyBalance", inst.clone())
+                    .with_engine(EnginePreference::Scaled),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "grid_overflow");
+
+        let auto = reg
+            .solve(&SolveRequest::new("GreedyBalance", inst))
+            .unwrap();
+        assert_eq!(auto.engine, Engine::Rational);
+        assert_eq!(auto.fallbacks.len(), 1, "fallback recorded");
+    }
+
+    #[test]
+    fn prepared_is_reusable_across_methods() {
+        let inst = fig_like();
+        let prepared = Prepared::new(&inst);
+        assert!(prepared.scaled.is_some());
+        assert!(prepared.sched_scaled);
+        let reg = registry();
+        let a = reg
+            .solve_prepared(&SolveRequest::new("OptM", inst.clone()), &prepared)
+            .unwrap();
+        let b = reg.solve(&SolveRequest::new("OptM", inst)).unwrap();
+        assert_eq!(a, b);
+    }
+}

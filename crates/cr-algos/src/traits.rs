@@ -1,5 +1,6 @@
 //! The [`Scheduler`] abstraction shared by all algorithms in this crate.
 
+use crate::solver::SolveError;
 use cr_core::{Instance, Schedule};
 
 /// An offline CRSharing scheduler: given a full problem instance it produces
@@ -7,7 +8,10 @@ use cr_core::{Instance, Schedule};
 ///
 /// Every algorithm of the paper (RoundRobin, GreedyBalance, the exact
 /// algorithms) and every baseline heuristic implements this trait, which lets
-/// the experiment harness sweep over algorithms generically.
+/// the experiment harness sweep over algorithms generically.  For the
+/// request/response surface (engine preferences, budgets, structured
+/// errors) see [`crate::solver`] — every scheduler also implements
+/// [`crate::solver::Solver`].
 pub trait Scheduler {
     /// A short, stable, human-readable name (used in experiment output).
     fn name(&self) -> &'static str;
@@ -19,11 +23,31 @@ pub trait Scheduler {
     /// `cr_core::ScheduleBuilder` they are built on.
     fn schedule(&self, instance: &Instance) -> Schedule;
 
-    /// Convenience: the makespan of the schedule this algorithm produces.
-    fn makespan(&self, instance: &Instance) -> usize {
+    /// The makespan of the schedule this algorithm produces, validated
+    /// against the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the produced schedule fails
+    /// validation (a bug in the scheduler implementation, surfaced as a
+    /// structured error instead of a panic).
+    fn try_makespan(&self, instance: &Instance) -> Result<usize, SolveError> {
         let schedule = self.schedule(instance);
-        schedule
-            .makespan(instance)
+        schedule.makespan(instance).map_err(SolveError::from)
+    }
+
+    /// Convenience: the makespan of the schedule this algorithm produces.
+    ///
+    /// A thin wrapper over the fallible path, kept for call sites (tests,
+    /// benchmarks, examples) where an infeasible schedule is unrecoverable
+    /// anyway; prefer [`Scheduler::try_makespan`] — or the full
+    /// [`crate::solver`] surface — where errors should be handled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the produced schedule is infeasible.
+    fn makespan(&self, instance: &Instance) -> usize {
+        self.try_makespan(instance)
             .expect("scheduler produced an infeasible schedule")
     }
 }
@@ -35,6 +59,11 @@ pub type BoxedScheduler = Box<dyn Scheduler + Send + Sync>;
 /// Returns the full line-up of polynomial-time schedulers implemented in this
 /// crate (the exact exponential/DP algorithms are excluded because they do
 /// not scale to arbitrary instances).
+#[deprecated(
+    since = "0.1.0",
+    note = "use cr_algos::solver::registry() — the string-keyed solver registry with \
+            engine preferences, budgets and structured errors"
+)]
 #[must_use]
 pub fn standard_line_up() -> Vec<BoxedScheduler> {
     vec![
@@ -48,6 +77,7 @@ pub fn standard_line_up() -> Vec<BoxedScheduler> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use cr_core::Ratio;
@@ -72,6 +102,14 @@ mod tests {
                 "{} beats Observation 1",
                 s.name()
             );
+        }
+    }
+
+    #[test]
+    fn try_makespan_matches_the_panicking_wrapper() {
+        let inst = Instance::unit_from_percentages(&[&[60, 30, 10], &[50, 50], &[90]]);
+        for s in standard_line_up() {
+            assert_eq!(s.try_makespan(&inst).unwrap(), s.makespan(&inst));
         }
     }
 }

@@ -3,7 +3,8 @@
 //! size.  The paper claims linear-time behaviour for GreedyBalance and
 //! RoundRobin; the criterion groups below make the scaling visible.
 
-use cr_algos::{standard_line_up, Scheduler};
+use cr_algos::solver::{SolveRequest, POLY_METHODS};
+use cr_bench::pipeline::shared_service;
 use cr_instances::{random_unit_instance, RandomConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -14,14 +15,21 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(400));
     group.measurement_time(Duration::from_secs(2));
+    // The request is built once and dispatched through the warm service, so
+    // an iteration measures the scheduler itself — not a fresh per-call
+    // instance clone + scaled conversion.
+    let service = shared_service();
     for &(m, n) in &[(4usize, 16usize), (4, 64), (8, 64), (16, 128)] {
         let cfg = RandomConfig::uniform(m, n);
         let instance = random_unit_instance(&cfg, 42);
-        for scheduler in standard_line_up() {
+        for method in POLY_METHODS {
+            let request = SolveRequest::new(method, instance.clone());
             group.bench_with_input(
-                BenchmarkId::new(scheduler.name(), format!("m{m}_n{n}")),
-                &instance,
-                |b, inst| b.iter(|| black_box(scheduler.makespan(black_box(inst)))),
+                BenchmarkId::new(method, format!("m{m}_n{n}")),
+                &request,
+                |b, request| {
+                    b.iter(|| black_box(service.solve(black_box(request)).unwrap().makespan));
+                },
             );
         }
     }
@@ -35,7 +43,7 @@ fn bench_schedule_validation(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let cfg = RandomConfig::uniform(8, 128);
     let instance = random_unit_instance(&cfg, 7);
-    let schedule = cr_algos::GreedyBalance::new().schedule(&instance);
+    let schedule = cr_algos::Scheduler::schedule(&cr_algos::GreedyBalance::new(), &instance);
     group.bench_function("greedy_m8_n128", |b| {
         b.iter(|| black_box(schedule.trace(black_box(&instance)).unwrap().makespan()));
     });

@@ -1,37 +1,34 @@
 //! Scaled-core vs. rational-core timing for the exact solvers, the
 //! scheduling heuristics and the online simulator.
 //!
-//! Times each exact solver twice on identical instances — once through its
-//! public entry point (the scaled-integer engine) and once through the
-//! retained `*_rational` reference path — and writes `BENCH_exact.json`
-//! with per-family medians and speedup factors.  This is the benchmark the
-//! ISSUE-2 ≥5× acceptance target is tracked against at solver granularity
-//! (the pipeline-level number lives in `BENCH_pipeline.json`).
+//! Every case dispatches through the shared solver registry (the same
+//! `cr_algos::solver` surface `cr-serve` exposes): the scaled column pins
+//! [`EnginePreference::Scaled`], the rational column pins
+//! [`EnginePreference::Rational`], and the two columns must agree on the
+//! summed makespans — the binary asserts this.  Adding a solver to the
+//! comparison is one registry registration plus one entry in a method list
+//! here; the pre-redesign version duplicated a hand-written match arm per
+//! algorithm instead.
 //!
-//! ISSUE-3 extends the comparison to the scheduling layer: the six
-//! polynomial schedulers (scaled production path vs. `schedule_rational`
-//! reference), and the `cr-sim` online policies (the integer-unit engine
-//! vs. the offline rational counterpart that computes the identical
-//! schedule with per-step `Ratio` arithmetic — the cost model of the
-//! pre-ISSUE-3 engine).  Every case's two paths must agree on the summed
-//! makespans; the binary asserts this.
+//! The online simulator methods (`sim:*`) are integer-native, so their
+//! rational column runs the *offline* twin's rational reference on the same
+//! workload — the cost model of the pre-ISSUE-3 engine.  The workloads have
+//! equal phase counts per task, so every online policy reproduces its
+//! offline twin's makespan exactly and the equality assert still holds.
+//!
+//! Writes `BENCH_exact.json` with per-case medians and speedup factors
+//! (the solver-granularity record of the ISSUE-2 ≥5× acceptance target; the
+//! pipeline-level number lives in `BENCH_pipeline.json`).
 //!
 //! Usage: `cargo run --release -p cr-bench --bin bench_exact --
 //! [--out-dir DIR] [--iters N]`
 
-use cr_algos::{
-    brute_force_makespan, brute_force_makespan_rational, opt_m_makespan, opt_m_makespan_rational,
-    opt_two_makespan, opt_two_makespan_rational, EqualShare, GreedyBalance,
-    LargestRequirementFirst, ProportionalShare, RoundRobin, Scheduler, SmallestRequirementFirst,
-};
+use cr_algos::solver::{EnginePreference, SolveRequest, POLY_METHODS};
+use cr_bench::pipeline::shared_service;
 use cr_core::Instance;
 use cr_instances::{
     generate_workload, random_unit_instance, wide_oversubscribed_instance, RandomConfig,
     RequirementProfile, TaskMix, WorkloadConfig,
-};
-use cr_sim::{
-    EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy, ProportionalSharePolicy, RoundRobinPolicy,
-    Simulator,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -83,33 +80,59 @@ fn median_ms(iters: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
     (times[times.len() / 2], checksum)
 }
 
+/// Solves `method` on `instance` with a pinned engine preference through
+/// the shared registry and returns the makespan.
+fn method_makespan(method: &str, engine: EnginePreference, instance: &Instance) -> usize {
+    shared_service()
+        .solve(&SolveRequest::new(method, instance.clone()).with_engine(engine))
+        .unwrap_or_else(|e| panic!("bench solve failed for {method}: {e}"))
+        .makespan
+        .expect("bench methods report makespans")
+}
+
 struct CaseResult {
     case: String,
-    solver: &'static str,
+    solver: String,
     instances: usize,
     scaled_ms: f64,
     rational_ms: f64,
 }
 
+/// Times one (case, method) pair: the method's scaled core against a
+/// rational reference method (usually itself; the offline twin for `sim:`
+/// methods), asserting value equality.
 fn measure(
     out: &mut Vec<CaseResult>,
     iters: usize,
     case: impl Into<String>,
-    solver: &'static str,
+    scaled_method: &str,
+    rational_method: &str,
     instances: &[Instance],
-    scaled: impl Fn(&Instance) -> usize,
-    rational: impl Fn(&Instance) -> usize,
 ) {
-    let sum_over = |f: &dyn Fn(&Instance) -> usize| -> usize { instances.iter().map(f).sum() };
-    let (scaled_ms, scaled_sum) = median_ms(iters, || sum_over(&scaled));
-    let (rational_ms, rational_sum) = median_ms(iters, || sum_over(&rational));
+    let sum_over = |method: &str, engine: EnginePreference| -> usize {
+        instances
+            .iter()
+            .map(|i| method_makespan(method, engine, i))
+            .sum()
+    };
+    // The sim:* methods have no rational core; their scaled column runs the
+    // integer engine through Auto.
+    let scaled_engine = if scaled_method == rational_method {
+        EnginePreference::Scaled
+    } else {
+        EnginePreference::Auto
+    };
+    let (scaled_ms, scaled_sum) = median_ms(iters, || sum_over(scaled_method, scaled_engine));
+    let (rational_ms, rational_sum) = median_ms(iters, || {
+        sum_over(rational_method, EnginePreference::Rational)
+    });
     assert_eq!(
         scaled_sum, rational_sum,
-        "scaled and rational cores disagree on a makespan"
+        "scaled and rational cores disagree on a makespan ({scaled_method} vs {rational_method})"
     );
     out.push(CaseResult {
         case: case.into(),
-        solver,
+        solver: scaled_method.to_string(),
         instances: instances.len(),
         scaled_ms,
         rational_ms,
@@ -134,10 +157,9 @@ fn main() {
                 &mut results,
                 args.iters,
                 format!("{profile:?} m={m} n={n}"),
-                "opt_m",
+                "OptM",
+                "OptM",
                 &instances,
-                opt_m_makespan,
-                opt_m_makespan_rational,
             );
         }
     }
@@ -154,10 +176,9 @@ fn main() {
             &mut results,
             args.iters,
             format!("WideOversub m={m}"),
-            "opt_m",
+            "OptM",
+            "OptM",
             &instances,
-            opt_m_makespan,
-            opt_m_makespan_rational,
         );
     }
 
@@ -168,10 +189,9 @@ fn main() {
             &mut results,
             args.iters,
             format!("Uniform m=2 n={n}"),
-            "opt_two",
+            "OptTwo",
+            "OptTwo",
             &instances,
-            opt_two_makespan,
-            opt_two_makespan_rational,
         );
     }
 
@@ -182,96 +202,31 @@ fn main() {
     measure(
         &mut results,
         args.iters,
-        "Uniform m=3 n=4".to_string(),
-        "brute_force",
+        "Uniform m=3 n=4",
+        "BruteForce",
+        "BruteForce",
         &instances,
-        brute_force_makespan,
-        brute_force_makespan_rational,
     );
 
-    // The scheduling layer: scaled production paths vs. the rational
-    // reference implementations of the six polynomial schedulers.
+    // The scheduling layer: the scaled production path vs. the rational
+    // reference of all six polynomial methods, straight off the registry.
     for (m, n) in [(8usize, 48usize), (16, 64)] {
         let instances: Vec<Instance> = (0..8)
             .map(|rep| random_unit_instance(&RandomConfig::uniform(m, n), 3000 + rep))
             .collect();
-        let case = format!("Uniform m={m} n={n}");
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "greedy_balance",
-            &instances,
-            |i| GreedyBalance::new().schedule(i).num_steps(),
-            |i| GreedyBalance::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "round_robin",
-            &instances,
-            |i| RoundRobin::new().schedule(i).num_steps(),
-            |i| RoundRobin::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "equal_share",
-            &instances,
-            |i| EqualShare::new().schedule(i).num_steps(),
-            |i| EqualShare::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "proportional_share",
-            &instances,
-            |i| ProportionalShare::new().schedule(i).num_steps(),
-            |i| ProportionalShare::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "largest_first",
-            &instances,
-            |i| LargestRequirementFirst::new().schedule(i).num_steps(),
-            |i| {
-                LargestRequirementFirst::new()
-                    .schedule_rational(i)
-                    .num_steps()
-            },
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case,
-            "smallest_first",
-            &instances,
-            |i| SmallestRequirementFirst::new().schedule(i).num_steps(),
-            |i| {
-                SmallestRequirementFirst::new()
-                    .schedule_rational(i)
-                    .num_steps()
-            },
-        );
+        for method in POLY_METHODS {
+            measure(
+                &mut results,
+                args.iters,
+                format!("Uniform m={m} n={n}"),
+                method,
+                method,
+                &instances,
+            );
+        }
     }
 
-    // The online simulator: the integer-unit engine vs. the offline
-    // rational counterpart producing the identical schedule (the per-step
-    // Ratio arithmetic the engine ran on before the scaled port).  The
-    // workloads have equal phase counts per task, so every online policy
-    // reproduces its offline twin's makespan exactly.
-    fn run_sim(instance: &Instance, policy: &mut dyn OnlinePolicy) -> usize {
-        Simulator::from_instance(instance)
-            .run(policy)
-            .expect("simulation completes")
-            .report
-            .makespan
-    }
+    // The online simulator methods vs. their offline rational twins.
     for (cores, mix) in [(16usize, TaskMix::Mixed), (64, TaskMix::IoBound)] {
         let cfg = WorkloadConfig {
             cores,
@@ -283,52 +238,30 @@ fn main() {
         let workloads: Vec<Instance> = (0..4)
             .map(|rep| generate_workload(&cfg, 9000 + cores as u64 + rep))
             .collect();
-        let case = format!("{mix:?} cores={cores}");
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "sim_greedy",
-            &workloads,
-            |i| run_sim(i, &mut GreedyBalancePolicy),
-            |i| GreedyBalance::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "sim_round_robin",
-            &workloads,
-            |i| run_sim(i, &mut RoundRobinPolicy),
-            |i| RoundRobin::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case.clone(),
-            "sim_equal_share",
-            &workloads,
-            |i| run_sim(i, &mut EqualSharePolicy),
-            |i| EqualShare::new().schedule_rational(i).num_steps(),
-        );
-        measure(
-            &mut results,
-            args.iters,
-            case,
-            "sim_proportional",
-            &workloads,
-            |i| run_sim(i, &mut ProportionalSharePolicy),
-            |i| ProportionalShare::new().schedule_rational(i).num_steps(),
-        );
+        for (sim_method, offline_twin) in [
+            ("sim:GreedyBalance", "GreedyBalance"),
+            ("sim:RoundRobin", "RoundRobin"),
+            ("sim:EqualShare", "EqualShare"),
+            ("sim:ProportionalShare", "ProportionalShare"),
+        ] {
+            measure(
+                &mut results,
+                args.iters,
+                format!("{mix:?} cores={cores}"),
+                sim_method,
+                offline_twin,
+                &workloads,
+            );
+        }
     }
 
     println!(
-        "{:<24} {:<12} {:>6} {:>12} {:>12} {:>9}",
+        "{:<24} {:<24} {:>6} {:>12} {:>12} {:>9}",
         "case", "solver", "insts", "scaled ms", "rational ms", "speedup"
     );
     for r in &results {
         println!(
-            "{:<24} {:<12} {:>6} {:>12.3} {:>12.3} {:>8.1}x",
+            "{:<24} {:<24} {:>6} {:>12.3} {:>12.3} {:>8.1}x",
             r.case,
             r.solver,
             r.instances,
@@ -352,10 +285,7 @@ fn results_json(results: &[CaseResult]) -> String {
         .map(|r| {
             serde::Value::Object(vec![
                 ("case".to_string(), serde::Value::String(r.case.clone())),
-                (
-                    "solver".to_string(),
-                    serde::Value::String(r.solver.to_string()),
-                ),
+                ("solver".to_string(), serde::Value::String(r.solver.clone())),
                 (
                     "instances".to_string(),
                     serde::Value::Number(serde::Number::Int(r.instances as i128)),

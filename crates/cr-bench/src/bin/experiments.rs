@@ -24,15 +24,16 @@
 //! grid, and asserts the cell counts of every table — including the timing
 //! sweeps — against the committed baseline.
 
-use cr_algos::{opt_m_makespan, standard_line_up};
+use cr_algos::opt_m_makespan;
+use cr_algos::solver::{SolveRequest, POLY_METHODS};
 use cr_bench::grids;
-use cr_bench::pipeline::{Cell, ExperimentReport, Runner};
+use cr_bench::pipeline::{shared_service, Cell, ExperimentReport, Runner};
 use cr_core::Instance;
 use cr_instances::{
     generate_workload, random_unit_instance, wide_oversubscribed_instance, RandomConfig,
     RequirementProfile, TaskMix, WorkloadConfig,
 };
-use cr_sim::{standard_policies, Simulator};
+use cr_sim::ONLINE_METHODS;
 use rayon::prelude::*;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -147,6 +148,7 @@ fn main() {
             cells: cells.len(),
             wall_ms: elapsed_ms,
             max_cell_ms,
+            extra: Vec::new(),
         });
         tables.push(table);
     }
@@ -175,6 +177,13 @@ fn main() {
     );
     timing_cells += scaling.cells;
     timings.push(scaling);
+    let batch = run_batch_throughput_table(args.reduced);
+    println!(
+        "  {:<46} {:>5} cells  {:>9.1} ms  (max cell {:>7.1} ms)",
+        batch.title, batch.cells, batch.wall_ms, batch.max_cell_ms
+    );
+    timing_cells += batch.cells;
+    timings.push(batch);
     let total_cells = total_cells + timing_cells;
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
 
@@ -219,20 +228,35 @@ fn main() {
 /// cannot be optimized away).
 type TimingCell = (String, Box<dyn Fn() -> usize + Send + Sync>);
 
-/// The heuristic line-up on the scaled engine: every polynomial scheduler
-/// over random uniform instances (the post-ISSUE-3 hot path of the random
-/// sweeps).
+/// A timing cell solving one method over one instance through the shared
+/// solver service (the same code path `cr-serve` exercises).
+fn service_cell(label: String, method: &'static str, instance: Instance) -> TimingCell {
+    (
+        label,
+        Box::new(move || {
+            shared_service()
+                .solve(&SolveRequest::new(method, instance.clone()))
+                .expect("timing solve succeeds")
+                .makespan
+                .expect("timing methods report makespans")
+        }),
+    )
+}
+
+/// The heuristic line-up on the scaled engine: every polynomial method of
+/// the registry over random uniform instances (the post-ISSUE-3 hot path of
+/// the random sweeps).
 fn heuristic_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
     let reps: u64 = if reduced { 1 } else { 3 };
     let mut cells: Vec<TimingCell> = Vec::new();
     for (m, n) in [(8usize, 48usize), (16, 64)] {
         for rep in 0..reps {
             let instance = random_unit_instance(&RandomConfig::uniform(m, n), 4000 + rep);
-            for scheduler in standard_line_up() {
-                let instance = instance.clone();
-                cells.push((
-                    format!("{} m={m} n={n} rep={rep}", scheduler.name()),
-                    Box::new(move || scheduler.schedule(&instance).num_steps()),
+            for method in POLY_METHODS {
+                cells.push(service_cell(
+                    format!("{method} m={m} n={n} rep={rep}"),
+                    method,
+                    instance.clone(),
                 ));
             }
         }
@@ -240,8 +264,8 @@ fn heuristic_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
     ("Heuristic line-up timing (scaled engine)", cells)
 }
 
-/// The many-core simulator on the scaled engine: every online policy over
-/// synthetic workloads (the E10 sweep's hot path).
+/// The many-core simulator on the scaled engine: every online `sim:` method
+/// of the registry over synthetic workloads (the E10 sweep's hot path).
 fn simulator_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
     let core_counts: &[usize] = if reduced { &[16] } else { &[16, 64] };
     let mut cells: Vec<TimingCell> = Vec::new();
@@ -255,26 +279,93 @@ fn simulator_timing_cells(reduced: bool) -> (&'static str, Vec<TimingCell>) {
                 unit_phases: true,
             };
             let workload = generate_workload(&cfg, 8000 + cores as u64);
-            for index in 0..standard_policies().len() {
-                let workload = workload.clone();
-                cells.push((
-                    format!(
-                        "{} {mix:?} cores={cores}",
-                        standard_policies()[index].name()
-                    ),
-                    Box::new(move || {
-                        let mut policies = standard_policies();
-                        Simulator::from_instance(&workload)
-                            .run(policies[index].as_mut())
-                            .expect("simulation completes")
-                            .report
-                            .makespan
-                    }),
+            for method in ONLINE_METHODS {
+                cells.push(service_cell(
+                    format!("{method} {mix:?} cores={cores}"),
+                    method,
+                    workload.clone(),
                 ));
             }
         }
     }
     ("Many-core simulator timing (scaled engine)", cells)
+}
+
+/// The batch solver service throughput record: one cell per batch size,
+/// each solving a mixed heuristic + exact batch through
+/// `SolverService::solve_batch` and reporting instances/sec (the
+/// `throughput` rows of `BENCH_pipeline.json`).
+fn run_batch_throughput_table(reduced: bool) -> TableTiming {
+    const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+    let (m, n) = if reduced { (4usize, 12usize) } else { (8, 32) };
+    let service = shared_service();
+    let start = Instant::now();
+    let mut per_cell_ms = Vec::with_capacity(BATCH_SIZES.len());
+    let mut throughput = Vec::with_capacity(BATCH_SIZES.len());
+    for &batch_size in &BATCH_SIZES {
+        // A fresh instance per slot so the cell measures conversion + solve,
+        // not the warm cache; methods rotate heuristics with one exact
+        // OPT(m) per 8 requests (a realistic mixed serving batch).
+        let requests: Vec<SolveRequest> = (0..batch_size)
+            .map(|slot| {
+                let (method, instance) = if slot % 8 == 7 {
+                    (
+                        "OptM",
+                        random_unit_instance(
+                            &RandomConfig::uniform(3, 3),
+                            7000 + batch_size as u64 * 100 + slot as u64,
+                        ),
+                    )
+                } else {
+                    (
+                        POLY_METHODS[slot % POLY_METHODS.len()],
+                        random_unit_instance(
+                            &RandomConfig::uniform(m, n),
+                            6000 + batch_size as u64 * 100 + slot as u64,
+                        ),
+                    )
+                };
+                SolveRequest::new(method, instance)
+            })
+            .collect();
+        let cell_start = Instant::now();
+        let results = service.solve_batch(&requests);
+        let elapsed = cell_start.elapsed().as_secs_f64();
+        assert!(
+            results.iter().all(Result::is_ok),
+            "throughput batch must succeed"
+        );
+        black_box(results);
+        per_cell_ms.push(elapsed * 1e3);
+        throughput.push((batch_size, batch_size as f64 / elapsed.max(1e-9)));
+    }
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    TableTiming {
+        title: "Batch solver service throughput (cr-service)".to_string(),
+        cells: BATCH_SIZES.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+        extra: vec![(
+            "throughput".to_string(),
+            serde::Value::Array(
+                throughput
+                    .into_iter()
+                    .map(|(batch, per_sec)| {
+                        serde::Value::Object(vec![
+                            (
+                                "batch".to_string(),
+                                serde::Value::Number(serde::Number::Int(batch as i128)),
+                            ),
+                            (
+                                "instances_per_sec".to_string(),
+                                serde::Value::Number(serde::Number::Float(round1(per_sec))),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )],
+    }
 }
 
 /// Times the parallel OPT(m) round expansion at pinned rayon worker counts
@@ -329,6 +420,7 @@ fn run_thread_scaling_table(reduced: bool) -> TableTiming {
         cells: THREADS.len(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+        extra: Vec::new(),
     }
 }
 
@@ -349,6 +441,7 @@ fn run_timing_table(title: &'static str, cells: &[TimingCell]) -> TableTiming {
         cells: cells.len(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+        extra: Vec::new(),
     }
 }
 
@@ -360,6 +453,9 @@ struct TableTiming {
     /// Wall time of the slowest single unit of work (one memoized reference
     /// evaluation or one measured cell) — the table's critical cell.
     max_cell_ms: f64,
+    /// Additional table-specific JSON entries (e.g. the batch-throughput
+    /// curve); appended verbatim to the table object.
+    extra: Vec<(String, serde::Value)>,
 }
 
 /// Renders the timing baseline (schema: see BENCH_pipeline.json at the repo
@@ -376,7 +472,7 @@ fn timing_json(
     let phases: Vec<serde::Value> = timings
         .iter()
         .map(|t| {
-            serde::Value::Object(vec![
+            let mut entries = vec![
                 ("table".to_string(), serde::Value::String(t.title.clone())),
                 (
                     "cells".to_string(),
@@ -390,7 +486,9 @@ fn timing_json(
                     "max_cell_ms".to_string(),
                     serde::Value::Number(serde::Number::Float(round1(t.max_cell_ms))),
                 ),
-            ])
+            ];
+            entries.extend(t.extra.iter().cloned());
+            serde::Value::Object(entries)
         })
         .collect();
     let root = serde::Value::Object(vec![

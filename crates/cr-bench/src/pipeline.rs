@@ -14,22 +14,41 @@
 //! same base seed produce the same JSON byte-for-byte.
 
 use crate::harness::{markdown_table, ExperimentRow};
-use cr_algos::{
-    brute_force_makespan, opt_m_makespan, opt_two_makespan, EqualShare, GreedyBalance,
-    LargestRequirementFirst, OptM, OptTwo, ProportionalShare, RoundRobin, Scheduler,
-    SmallestRequirementFirst,
-};
-use cr_core::{bounds, Instance, SchedulingGraph};
+use cr_algos::solver::SolveRequest;
+use cr_core::Instance;
 use cr_instances::{
     figure1_instance, figure2_instance, greedy_balance_worst_case, partition_to_crsharing,
     random_sized_instance, random_unit_instance, round_robin_worst_case, RandomConfig,
     RequirementProfile,
 };
+use cr_service::SolverService;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// The process-wide warm solver service every measurement goes through:
+/// the experiment tables and the serving path (`cr-serve`) exercise the
+/// same code, and repeated measurements of one instance share its warm
+/// conversions.
+pub fn shared_service() -> &'static SolverService {
+    static SERVICE: OnceLock<SolverService> = OnceLock::new();
+    SERVICE.get_or_init(SolverService::with_standard_registry)
+}
+
+/// Dispatches a makespan-only request for `method` through the shared
+/// service, panicking on structured errors (the pipeline only pairs methods
+/// with instance families they accept).
+fn service_makespan(method: &str, instance: &Instance) -> usize {
+    let outcome = shared_service()
+        .solve(&SolveRequest::new(method, instance.clone()))
+        .unwrap_or_else(|e| panic!("pipeline solve failed for {method}: {e}"));
+    outcome
+        .makespan
+        .unwrap_or_else(|| panic!("method {method} reports no makespan"))
+}
 
 /// Memoization key for reference evaluation inside [`Runner::run`].
 type RefKey<'a> = (&'a str, &'a str, Reference);
@@ -86,22 +105,28 @@ impl Algorithm {
         }
     }
 
-    /// Measures the algorithm's makespan on `instance`.
+    /// The registry key this algorithm dispatches to (one registration in
+    /// `cr_algos::solver::registry` is all it takes to add a line-up entry).
+    #[must_use]
+    pub fn method_key(self) -> &'static str {
+        match self {
+            Algorithm::GreedyBalance => "GreedyBalance",
+            Algorithm::RoundRobin => "RoundRobin",
+            Algorithm::EqualShare => "EqualShare",
+            Algorithm::ProportionalShare => "ProportionalShare",
+            Algorithm::LargestRequirementFirst => "LargestRequirementFirst",
+            Algorithm::SmallestRequirementFirst => "SmallestRequirementFirst",
+            Algorithm::OptTwo => "OptTwo",
+            Algorithm::OptM => "OptM",
+            Algorithm::BruteForce => "BruteForce",
+        }
+    }
+
+    /// Measures the algorithm's makespan on `instance` through the shared
+    /// solver service.
     #[must_use]
     pub fn makespan(self, instance: &Instance) -> usize {
-        match self {
-            Algorithm::GreedyBalance => GreedyBalance::new().makespan(instance),
-            Algorithm::RoundRobin => RoundRobin::new().makespan(instance),
-            Algorithm::EqualShare => EqualShare::new().makespan(instance),
-            Algorithm::ProportionalShare => ProportionalShare::new().makespan(instance),
-            Algorithm::LargestRequirementFirst => LargestRequirementFirst::new().makespan(instance),
-            Algorithm::SmallestRequirementFirst => {
-                SmallestRequirementFirst::new().makespan(instance)
-            }
-            Algorithm::OptTwo => OptTwo::new().makespan(instance),
-            Algorithm::OptM => OptM::new().makespan(instance),
-            Algorithm::BruteForce => brute_force_makespan(instance),
-        }
+        service_makespan(self.method_key(), instance)
     }
 
     /// The polynomial-time line-up swept by the random grids.
@@ -217,22 +242,34 @@ pub enum Reference {
 }
 
 impl Reference {
-    /// Evaluates the reference on `instance`, returning the value and
-    /// whether it is a proven optimum.
+    /// Evaluates the reference on `instance` through the shared solver
+    /// service, returning the value and whether it is a proven optimum.
+    ///
+    /// Exact references dispatch to the same registry methods the measured
+    /// cells use.  The instance-only bounds read the service's warm
+    /// per-instance state directly (no solver runs); only `BestLowerBound`
+    /// dispatches the `"Bounds"` evaluator, which schedules GreedyBalance
+    /// and analyzes its scheduling hypergraph.
     #[must_use]
     pub fn evaluate(self, instance: &Instance) -> (usize, bool) {
         match self {
-            Reference::BruteForce => (brute_force_makespan(instance), true),
-            Reference::OptTwo => (opt_two_makespan(instance), true),
-            Reference::OptM => (opt_m_makespan(instance), true),
+            Reference::BruteForce => (service_makespan("BruteForce", instance), true),
+            Reference::OptTwo => (service_makespan("OptTwo", instance), true),
+            Reference::OptM => (service_makespan("OptM", instance), true),
             Reference::KnownOptimum(value) => (value, true),
-            Reference::WorkloadBound => (bounds::workload_bound_steps(instance), false),
-            Reference::TrivialLowerBound => (bounds::trivial_lower_bound(instance), false),
+            Reference::WorkloadBound => (shared_service().lower_bounds(instance).workload, false),
+            Reference::TrivialLowerBound => {
+                (shared_service().lower_bounds(instance).trivial, false)
+            }
             Reference::BestLowerBound => {
-                let schedule = GreedyBalance::new().schedule(instance);
-                let trace = schedule.trace(instance).expect("GreedyBalance is feasible");
-                let graph = SchedulingGraph::build(instance, &trace);
-                (bounds::best_lower_bound(instance, &graph), false)
+                let outcome = shared_service()
+                    .solve(&SolveRequest::new("Bounds", instance.clone()))
+                    .expect("bounds evaluation is total for pipeline instances");
+                let best = outcome
+                    .lower_bounds
+                    .best
+                    .expect("Bounds fills the best bound");
+                (best, false)
             }
         }
     }

@@ -1,0 +1,54 @@
+//! `cr-serve` — the JSONL stdin/stdout face of the batch solver service.
+//!
+//! Reads request objects line by line from stdin (see `cr_service::wire` for
+//! the schema).  A **blank line** flushes the accumulated batch through the
+//! warm [`SolverService`] — responses come back one line each, in input
+//! order, followed by a stdout flush — so a driver process can stream
+//! multiple batches through one process and keep the per-instance
+//! conversion cache warm across them.  EOF flushes the final batch and
+//! exits.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cr-service --bin cr-serve < requests.jsonl
+//! ```
+
+use cr_service::{wire, SolverService};
+use std::io::{self, BufRead, Write};
+
+fn flush_batch(
+    service: &SolverService,
+    batch: &mut Vec<String>,
+    next_id: &mut u64,
+    out: &mut impl Write,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let responses = wire::process_batch(service, batch, *next_id);
+    *next_id += batch.len() as u64;
+    batch.clear();
+    for line in responses {
+        writeln!(out, "{line}").expect("write response line");
+    }
+    out.flush().expect("flush responses");
+}
+
+fn main() {
+    let service = SolverService::with_standard_registry();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut batch: Vec<String> = Vec::new();
+    let mut next_id: u64 = 0;
+    for line in stdin.lock().lines() {
+        let line = line.expect("read request line");
+        if line.trim().is_empty() {
+            flush_batch(&service, &mut batch, &mut next_id, &mut out);
+        } else {
+            batch.push(line);
+        }
+    }
+    flush_batch(&service, &mut batch, &mut next_id, &mut out);
+}

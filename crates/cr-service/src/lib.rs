@@ -1,0 +1,248 @@
+//! # cr-service — the batch solver service
+//!
+//! The step from "experiment pipeline" to "serving traffic": a long-running
+//! [`SolverService`] accepts batches of [`SolveRequest`]s, fans them out
+//! across the same deterministic rayon pool the per-round OPT(m) expansion
+//! uses, and returns one `Result<SolveOutcome, SolveError>` per request —
+//! **in batch order**, with per-request isolation (a failing request
+//! occupies its slot with a structured [`SolveError`] without poisoning its
+//! siblings).
+//!
+//! Determinism contract: results are a pure function of the requests.
+//! Thread count, batch split points and the warm conversion cache never
+//! change a byte of the (serialized) responses — the property-test suite in
+//! `tests/service.rs` pins this.
+//!
+//! The service keeps a warm per-instance cache of [`Prepared`] state (the
+//! exact engines' `ScaledInstance` conversion, the scheduling grid
+//! viability and the instance-only lower bounds), so repeated requests
+//! against one instance — the common shape of a method-comparison batch —
+//! pay for the conversion once per service lifetime, not once per request.
+//! Cache entries are keyed by a structural FNV-1a hash of the instance and
+//! verified by full equality on lookup, so a hash collision can never hand
+//! a request another instance's conversions.
+//!
+//! The [`wire`] module speaks JSONL: one request object per line in, one
+//! response object per line out, implemented by the `cr-serve` binary so a
+//! driver process can stream instances in and schedules + bounds out of one
+//! warm process.  See the README's "Serving" section for the protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use cr_algos::solver::{Prepared, Registry, SolveError, SolveOutcome, SolveRequest};
+use cr_core::Instance;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Instances the warm conversion cache may hold before it is wholesale
+/// evicted (a simple bound so a long-running process cannot grow without
+/// limit; batches re-warm it on the next call).
+const CACHE_CAP: usize = 4096;
+
+/// One hash bucket of the conversion cache: the instances that hashed to
+/// the key, each with its prepared state (equality-verified on lookup).
+type CacheBucket = Vec<(Instance, Arc<Prepared>)>;
+
+/// Structural FNV-1a hash of an instance (processor layout plus every
+/// requirement/volume rational), cheap enough for one hash per request.
+fn instance_hash(instance: &Instance) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    fold(instance.processors() as u64);
+    for i in 0..instance.processors() {
+        fold(instance.jobs_on(i) as u64);
+        for job in instance.processor_jobs(i) {
+            for ratio in [job.requirement, job.volume] {
+                fold(ratio.numer() as u64);
+                fold((ratio.numer() as u128 >> 64) as u64);
+                fold(ratio.denom() as u64);
+                fold((ratio.denom() as u128 >> 64) as u64);
+            }
+        }
+    }
+    hash
+}
+
+/// Finds `instance` in a bucket (full equality, not just hash equality).
+fn bucket_get(bucket: &CacheBucket, instance: &Instance) -> Option<Arc<Prepared>> {
+    bucket
+        .iter()
+        .find(|(cached, _)| cached == instance)
+        .map(|(_, prepared)| Arc::clone(prepared))
+}
+
+/// A long-running batch solver: a registry plus a warm per-instance
+/// conversion cache.
+pub struct SolverService {
+    registry: Registry,
+    cache: Mutex<HashMap<u64, CacheBucket>>,
+}
+
+impl SolverService {
+    /// A service over an explicit registry.
+    #[must_use]
+    pub fn new(registry: Registry) -> Self {
+        SolverService {
+            registry,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A service over the full standard line-up: every offline method of
+    /// [`cr_algos::solver::registry`] plus the `sim:`-prefixed online
+    /// simulator methods.
+    #[must_use]
+    pub fn with_standard_registry() -> Self {
+        SolverService::new(cr_sim::full_registry())
+    }
+
+    /// The registry requests are dispatched against.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of instances currently held in the warm conversion cache
+    /// (observability / test hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned (a solver panicked mid-batch).
+    #[must_use]
+    pub fn cached_instances(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("cache mutex poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Inserts `(instance, prepared)` under `key` unless an equal instance
+    /// is already cached; evicts wholesale at the cap.  Caller holds no
+    /// cache lock.
+    fn cache_insert(&self, key: u64, instance: &Instance, prepared: &Arc<Prepared>) {
+        let mut cache = self.cache.lock().expect("cache mutex poisoned");
+        if cache.values().map(Vec::len).sum::<usize>() >= CACHE_CAP {
+            cache.clear();
+        }
+        let bucket = cache.entry(key).or_default();
+        if bucket_get(bucket, instance).is_none() {
+            bucket.push((instance.clone(), Arc::clone(prepared)));
+        }
+    }
+
+    /// The warm [`Prepared`] state for `instance`, converting and caching on
+    /// miss.
+    fn prepared_for(&self, instance: &Instance) -> Arc<Prepared> {
+        let key = instance_hash(instance);
+        {
+            let cache = self.cache.lock().expect("cache mutex poisoned");
+            if let Some(hit) = cache.get(&key).and_then(|b| bucket_get(b, instance)) {
+                return hit;
+            }
+        }
+        let prepared = Arc::new(Prepared::new(instance));
+        self.cache_insert(key, instance, &prepared);
+        prepared
+    }
+
+    /// Solves one request against the warm cache.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the dispatched solver reports (see [`SolveError`]).
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
+        let prepared = self.prepared_for(&request.instance);
+        self.registry.solve_prepared(request, &prepared)
+    }
+
+    /// The instance-only lower bounds from the warm cache, without running
+    /// any solver ([`cr_algos::solver::LowerBounds::best`] stays `None`;
+    /// dispatch the `"Bounds"` method for the schedule-derived bound).
+    #[must_use]
+    pub fn lower_bounds(&self, instance: &Instance) -> cr_algos::solver::LowerBounds {
+        self.prepared_for(instance).lower_bounds
+    }
+
+    /// Solves a batch, fanning the requests out across the rayon pool.
+    ///
+    /// Results come back in batch order — response `i` answers request `i` —
+    /// and requests are isolated: a failing request returns its
+    /// [`SolveError`] in its slot while its siblings succeed.  The batch is
+    /// solved in two phases: every *distinct* instance in the batch is
+    /// converted (or fetched from the warm cache) first, then all requests
+    /// solve in parallel against the shared conversions.
+    #[must_use]
+    pub fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<Result<SolveOutcome, SolveError>> {
+        // Phase 1: warm the conversion cache for every distinct instance
+        // not already in it.
+        let keys: Vec<u64> = requests
+            .iter()
+            .map(|r| instance_hash(&r.instance))
+            .collect();
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache mutex poisoned");
+            for (idx, (request, &key)) in requests.iter().zip(&keys).enumerate() {
+                let in_cache = cache
+                    .get(&key)
+                    .and_then(|b| bucket_get(b, &request.instance))
+                    .is_some();
+                // Hash first — full instance equality only on key collision.
+                let in_batch = missing
+                    .iter()
+                    .any(|&prev| keys[prev] == key && requests[prev].instance == request.instance);
+                if !in_cache && !in_batch {
+                    missing.push(idx);
+                }
+            }
+        }
+        let fresh: Vec<Arc<Prepared>> = missing
+            .par_iter()
+            .map(|&idx| Arc::new(Prepared::new(&requests[idx].instance)))
+            .collect();
+        for (&idx, prepared) in missing.iter().zip(&fresh) {
+            self.cache_insert(keys[idx], &requests[idx].instance, prepared);
+        }
+        let prepared: Vec<Arc<Prepared>> = {
+            let cache = self.cache.lock().expect("cache mutex poisoned");
+            requests
+                .iter()
+                .zip(&keys)
+                .map(|(request, key)| {
+                    match cache
+                        .get(key)
+                        .and_then(|b| bucket_get(b, &request.instance))
+                    {
+                        Some(hit) => hit,
+                        // Evicted between phases (cache overflow): rebuild.
+                        None => Arc::new(Prepared::new(&request.instance)),
+                    }
+                })
+                .collect()
+        };
+
+        // Phase 2: solve every request against the shared conversions, in
+        // parallel, order-stable.
+        let work: Vec<(usize, Arc<Prepared>)> = prepared.into_iter().enumerate().collect();
+        work.par_iter()
+            .map(|(idx, prepared)| self.registry.solve_prepared(&requests[*idx], prepared))
+            .collect()
+    }
+}
+
+impl Default for SolverService {
+    fn default() -> Self {
+        SolverService::with_standard_registry()
+    }
+}

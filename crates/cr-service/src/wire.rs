@@ -1,0 +1,287 @@
+//! The JSONL wire protocol of the `cr-serve` binary.
+//!
+//! One JSON object per line in, one per line out, batch-order stable.
+//!
+//! # Request
+//!
+//! ```json
+//! {"id": 1, "method": "OptM", "engine": "auto", "want_schedule": false,
+//!  "budget": {"max_rounds": 8}, "rows": [[60, 40], [40, 60]]}
+//! ```
+//!
+//! * `method` (required) — a registry key (`"GreedyBalance"`, `"OptM"`,
+//!   `"Bounds"`, `"sim:GreedyBalance"`, …).
+//! * The instance, one of:
+//!   * `rows` — per-processor requirement lists in integer percent (the
+//!     paper's figure notation), unit-size jobs;
+//!   * `instance` — the full serialized [`Instance`] (exact rationals,
+//!     arbitrary volumes), as produced by serde.
+//! * `id` (optional) — echoed in the response; defaults to the 0-based
+//!   position of the line in the stream.
+//! * `engine` (optional) — `"auto"` (default) | `"scaled"` | `"rational"`.
+//! * `budget` (optional) — `{"max_steps": N, "max_rounds": N}`, both
+//!   optional.
+//! * `want_schedule` (optional, default `false`) — include the full
+//!   schedule in the response.
+//! * `arrivals` (optional) — per-processor arrival steps (online `sim:*`
+//!   methods only).
+//!
+//! # Response
+//!
+//! ```json
+//! {"id": 1, "method": "OptM", "ok": {"makespan": 3, "engine": "scaled",
+//!  "fallbacks": [], "steps": 0, "rounds": 3, "lower_bounds": {...},
+//!  "schedule": null}, "error": null}
+//! ```
+//!
+//! Exactly one of `ok` / `error` is non-null.  `error` carries a stable
+//! snake_case `kind` (see `SolveError::kind`) plus a human-readable
+//! `message`; a line that fails to parse gets `kind: "bad_request"`.
+
+use crate::SolverService;
+use cr_algos::solver::{Budget, EnginePreference, SolveError, SolveOutcome, SolveRequest};
+use cr_core::{Instance, Job, Ratio};
+use serde::{Deserialize, Serialize, Value};
+
+/// One parsed request line: the wire id plus the solve request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Echoed in the response.
+    pub id: u64,
+    /// The request to dispatch.
+    pub request: SolveRequest,
+}
+
+fn field_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => u64::deserialize(v)
+            .map(Some)
+            .map_err(|e| format!("field `{key}`: {e}")),
+    }
+}
+
+fn field_usize(value: &Value, key: &str) -> Result<Option<usize>, String> {
+    Ok(field_u64(value, key)?.map(|v| usize::try_from(v).expect("u64 fits usize")))
+}
+
+/// Rebuilds a deserialized instance through the validating constructors, so
+/// malformed wire input (zero denominators, out-of-range requirements,
+/// non-positive volumes) is rejected at parse time instead of panicking
+/// inside a solver.
+fn sanitize_instance(instance: &Instance) -> Result<Instance, String> {
+    let mut rows: Vec<Vec<Job>> = Vec::with_capacity(instance.processors());
+    for i in 0..instance.processors() {
+        let mut row = Vec::with_capacity(instance.jobs_on(i));
+        for job in instance.processor_jobs(i) {
+            // The derived Deserialize fills Ratio's raw fields unchecked;
+            // only strictly positive denominators and non-extreme
+            // numerators are guaranteed to re-enter Ratio::new without
+            // panicking (our own serializer only emits normalized,
+            // positive-denominator rationals, so this rejects nothing
+            // round-tripped).
+            for (what, ratio) in [("requirement", job.requirement), ("volume", job.volume)] {
+                if ratio.denom() <= 0 {
+                    return Err(format!("job {what} has a non-positive denominator"));
+                }
+                if ratio.numer() == i128::MIN {
+                    return Err(format!("job {what} numerator out of range"));
+                }
+            }
+            row.push(Job::new(
+                Ratio::new(job.requirement.numer(), job.requirement.denom()),
+                Ratio::new(job.volume.numer(), job.volume.denom()),
+            ));
+        }
+        rows.push(row);
+    }
+    Instance::new(rows).map_err(|e| e.to_string())
+}
+
+/// Parses the instance part of a request object (`rows` shorthand or full
+/// `instance`).
+fn parse_instance(value: &Value) -> Result<Instance, String> {
+    if let Some(rows_value) = value.get("rows") {
+        let rows: Vec<Vec<i64>> =
+            Vec::deserialize(rows_value).map_err(|e| format!("field `rows`: {e}"))?;
+        let mut jobs: Vec<Vec<Job>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut out = Vec::with_capacity(row.len());
+            for pct in row {
+                if !(0..=100).contains(&pct) {
+                    return Err(format!("field `rows`: percentage {pct} outside [0, 100]"));
+                }
+                out.push(Job::unit(Ratio::new(i128::from(pct), 100)));
+            }
+            jobs.push(out);
+        }
+        return Instance::new(jobs).map_err(|e| e.to_string());
+    }
+    if let Some(instance_value) = value.get("instance") {
+        let instance =
+            Instance::deserialize(instance_value).map_err(|e| format!("field `instance`: {e}"))?;
+        return sanitize_instance(&instance);
+    }
+    Err("request needs an instance: either `rows` (percent shorthand) or `instance`".to_string())
+}
+
+/// Parses one request line.  `default_id` is used when the line carries no
+/// `id` of its own.
+///
+/// # Errors
+///
+/// A human-readable message describing the malformed field; the serve loop
+/// reports it as a `bad_request` response in the line's slot.
+pub fn parse_request(line: &str, default_id: u64) -> Result<WireRequest, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let method = match value.get("method") {
+        Some(Value::String(s)) => s.clone(),
+        Some(_) => return Err("field `method` must be a string".to_string()),
+        None => return Err("missing field `method`".to_string()),
+    };
+    let instance = parse_instance(&value)?;
+    let engine = match value.get("engine") {
+        None | Some(Value::Null) => EnginePreference::Auto,
+        Some(Value::String(s)) => match s.as_str() {
+            "auto" => EnginePreference::Auto,
+            "scaled" => EnginePreference::Scaled,
+            "rational" => EnginePreference::Rational,
+            other => return Err(format!("unknown engine preference `{other}`")),
+        },
+        Some(_) => return Err("field `engine` must be a string".to_string()),
+    };
+    let budget = match value.get("budget") {
+        None | Some(Value::Null) => Budget::UNLIMITED,
+        Some(b) => Budget {
+            max_steps: field_usize(b, "max_steps")?,
+            max_rounds: field_usize(b, "max_rounds")?,
+        },
+    };
+    let want_schedule = match value.get("want_schedule") {
+        None | Some(Value::Null) => false,
+        Some(v) => bool::deserialize(v).map_err(|e| format!("field `want_schedule`: {e}"))?,
+    };
+    let arrivals = match value.get("arrivals") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            Vec::<u64>::deserialize(v)
+                .map_err(|e| format!("field `arrivals`: {e}"))?
+                .into_iter()
+                .map(|a| usize::try_from(a).expect("u64 fits usize"))
+                .collect(),
+        ),
+    };
+    let id = field_u64(&value, "id")?.unwrap_or(default_id);
+    let mut request = SolveRequest::new(method, instance)
+        .with_engine(engine)
+        .with_budget(budget);
+    request.want_schedule = want_schedule;
+    request.arrivals = arrivals;
+    Ok(WireRequest { id, request })
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn opt_usize(value: Option<usize>) -> Value {
+    value.map_or(Value::Null, |v| v.serialize())
+}
+
+fn outcome_value(outcome: &SolveOutcome) -> Value {
+    let lb = &outcome.lower_bounds;
+    obj(vec![
+        ("makespan", opt_usize(outcome.makespan)),
+        ("engine", Value::String(outcome.engine.as_str().to_string())),
+        ("fallbacks", outcome.fallbacks.serialize()),
+        ("steps", outcome.steps.serialize()),
+        ("rounds", outcome.rounds.serialize()),
+        (
+            "lower_bounds",
+            obj(vec![
+                ("workload", lb.workload.serialize()),
+                ("chain", lb.chain.serialize()),
+                ("volume_chain", lb.volume_chain.serialize()),
+                ("trivial", lb.trivial.serialize()),
+                ("best", opt_usize(lb.best)),
+            ]),
+        ),
+        (
+            "schedule",
+            outcome
+                .schedule
+                .as_ref()
+                .map_or(Value::Null, Serialize::serialize),
+        ),
+    ])
+}
+
+fn error_value(kind: &str, message: &str) -> Value {
+    obj(vec![
+        ("kind", Value::String(kind.to_string())),
+        ("message", Value::String(message.to_string())),
+    ])
+}
+
+fn render_response(id: u64, method: &str, ok: Value, error: Value) -> String {
+    serde_json::to_string(&obj(vec![
+        ("id", id.serialize()),
+        ("method", Value::String(method.to_string())),
+        ("ok", ok),
+        ("error", error),
+    ]))
+    .expect("response serialization is infallible")
+}
+
+/// Renders one solve result as a single-line JSON response.
+#[must_use]
+pub fn response_line(id: u64, method: &str, result: &Result<SolveOutcome, SolveError>) -> String {
+    match result {
+        Ok(outcome) => render_response(id, method, outcome_value(outcome), Value::Null),
+        Err(err) => render_response(
+            id,
+            method,
+            Value::Null,
+            error_value(err.kind(), &err.to_string()),
+        ),
+    }
+}
+
+/// Renders a parse failure as a single-line JSON response.
+#[must_use]
+pub fn bad_request_line(id: u64, message: &str) -> String {
+    render_response(id, "", Value::Null, error_value("bad_request", message))
+}
+
+/// Processes one batch of JSONL request lines end to end: parse, fan out
+/// through `service`, render — one response line per request line, in input
+/// order.  Lines default their `id` to `first_id + position`.
+#[must_use]
+pub fn process_batch(service: &SolverService, lines: &[String], first_id: u64) -> Vec<String> {
+    let parsed: Vec<Result<WireRequest, String>> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| parse_request(line, first_id + i as u64))
+        .collect();
+    let requests: Vec<SolveRequest> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok().map(|w| w.request.clone()))
+        .collect();
+    let mut results = service.solve_batch(&requests).into_iter();
+    parsed
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| match entry {
+            Ok(wire) => {
+                let result = results.next().expect("one result per parsed request");
+                response_line(wire.id, &wire.request.method, &result)
+            }
+            Err(message) => bad_request_line(first_id + i as u64, message),
+        })
+        .collect()
+}

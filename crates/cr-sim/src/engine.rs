@@ -110,6 +110,13 @@ impl Simulator {
         self
     }
 
+    /// The current step limit (the default starvation watchdog unless
+    /// overridden).
+    #[must_use]
+    pub fn step_limit(&self) -> usize {
+        self.step_limit
+    }
+
     /// The workload as a CRSharing instance.
     #[must_use]
     pub fn instance(&self) -> &Instance {

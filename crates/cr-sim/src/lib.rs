@@ -12,7 +12,10 @@
 //! units, policies answer in units — like a hardware credit-based arbiter —
 //! and all consumption/waste metrics are exact.  Simulation results are
 //! bit-for-bit CRSharing schedules, directly comparable to the offline
-//! algorithms and bounds of `cr-algos`/`cr-core`.
+//! algorithms and bounds of `cr-algos`/`cr-core`.  The [`solver`] module
+//! exposes every policy through the unified `cr_algos::solver::Solver`
+//! interface (with optional per-core arrival traces), so online and offline
+//! methods are selectable from one registry ([`full_registry`]).
 //!
 //! ```
 //! use cr_sim::{Simulator, GreedyBalancePolicy};
@@ -30,6 +33,7 @@
 pub mod engine;
 pub mod metrics;
 pub mod policies;
+pub mod solver;
 pub mod task;
 
 pub use engine::{SimError, SimOutcome, Simulator};
@@ -38,4 +42,5 @@ pub use policies::{
     standard_policies, CoreView, EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy,
     ProportionalSharePolicy, RoundRobinPolicy,
 };
+pub use solver::{full_registry, register_online, OnlinePolicySolver, ONLINE_METHODS};
 pub use task::{instance_to_tasks, tasks_to_instance, Phase, Task};

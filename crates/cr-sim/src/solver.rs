@@ -1,0 +1,322 @@
+//! Online simulator policies behind the unified [`Solver`] interface.
+//!
+//! This makes the online methods selectable from the same string-keyed
+//! registry as the offline algorithms: `cr_algos::solver::registry()` plus
+//! [`register_online`] yields one line-up spanning both worlds, which is
+//! what the batch solver service in `cr-service` serves.
+//!
+//! Online methods are registered under `sim:`-prefixed keys
+//! ([`ONLINE_METHODS`]).  A [`SolveRequest`] routed to them may carry
+//! **arrival traces** (`SolveRequest::arrivals`): core `i` is invisible to
+//! the policy — and receives no bandwidth — before step `arrivals[i]`, as
+//! if its task arrived at that point of the trace.  The reported makespan
+//! includes the waiting.
+//!
+//! Engine contract: the simulator is integer-native (it *is* the scaled
+//! engine — a credit-based arbiter on the workload's unit grid), so
+//! [`EnginePreference::Rational`] is rejected with
+//! [`SolveError::EngineUnavailable`] and both `Auto` and `Scaled` run the
+//! integer engine.  A workload whose grid overflows `u64` fails with
+//! [`SolveError::GridOverflow`].  [`Budget::max_steps`] is enforced as a
+//! hard simulation step limit — the run genuinely stops at the limit.
+
+use crate::engine::{SimError, Simulator};
+use crate::policies::{
+    CoreView, EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy, ProportionalSharePolicy,
+    RoundRobinPolicy,
+};
+use cr_algos::solver::{
+    BudgetKind, Engine, EnginePreference, Prepared, Registry, SolveError, SolveOutcome,
+    SolveRequest, Solver,
+};
+/// Registry keys of the online simulator methods, in line-up order.
+pub const ONLINE_METHODS: [&str; 4] = [
+    "sim:GreedyBalance",
+    "sim:RoundRobin",
+    "sim:EqualShare",
+    "sim:ProportionalShare",
+];
+
+/// Which built-in policy an [`OnlinePolicySolver`] simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PolicyKind {
+    GreedyBalance,
+    RoundRobin,
+    EqualShare,
+    ProportionalShare,
+}
+
+impl PolicyKind {
+    fn method(self) -> &'static str {
+        match self {
+            PolicyKind::GreedyBalance => "sim:GreedyBalance",
+            PolicyKind::RoundRobin => "sim:RoundRobin",
+            PolicyKind::EqualShare => "sim:EqualShare",
+            PolicyKind::ProportionalShare => "sim:ProportionalShare",
+        }
+    }
+
+    /// A fresh policy instance (policies are stateful across steps, so every
+    /// solve gets its own).
+    fn make(self) -> Box<dyn OnlinePolicy> {
+        match self {
+            PolicyKind::GreedyBalance => Box::new(GreedyBalancePolicy),
+            PolicyKind::RoundRobin => Box::new(RoundRobinPolicy),
+            PolicyKind::EqualShare => Box::new(EqualSharePolicy),
+            PolicyKind::ProportionalShare => Box::new(ProportionalSharePolicy),
+        }
+    }
+}
+
+/// Masks cores whose task has not arrived yet: before step `arrivals[i]`
+/// the inner policy sees core `i` as inactive and any share it would assign
+/// there is withheld.
+struct ArrivalGate {
+    arrivals: Vec<usize>,
+    step: usize,
+    inner: Box<dyn OnlinePolicy>,
+}
+
+impl OnlinePolicy for ArrivalGate {
+    fn name(&self) -> &'static str {
+        "ArrivalGated"
+    }
+
+    fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64> {
+        let masked: Vec<CoreView> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, view)| {
+                if self.arrivals[i] > self.step {
+                    CoreView {
+                        active_requirement: None,
+                        step_demand: 0,
+                        remaining_workload: 0,
+                        remaining_phases: 0,
+                    }
+                } else {
+                    *view
+                }
+            })
+            .collect();
+        let mut shares = self.inner.allocate(capacity, &masked);
+        for (i, share) in shares.iter_mut().enumerate() {
+            if self.arrivals[i] > self.step {
+                *share = 0;
+            }
+        }
+        self.step += 1;
+        shares
+    }
+}
+
+/// One online policy as a [`Solver`] (see the module docs for the
+/// engine/arrival/budget contract).
+#[derive(Debug, Clone, Copy)]
+pub struct OnlinePolicySolver {
+    kind: PolicyKind,
+}
+
+impl Solver for OnlinePolicySolver {
+    fn solve_prepared(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        let method = self.kind.method();
+        if request.engine == EnginePreference::Rational {
+            return Err(SolveError::EngineUnavailable {
+                method: method.to_string(),
+                engine: request.engine,
+            });
+        }
+        let mut sim = Simulator::from_instance(&request.instance);
+        let default_limit = request.budget.max_steps.is_none();
+        match request.budget.max_steps {
+            Some(limit) => sim = sim.with_step_limit(limit),
+            None => {
+                // The default watchdog is sized for tasks present at t = 0;
+                // a late arrival legitimately stretches the makespan by its
+                // waiting time, so widen the watchdog by the latest arrival
+                // instead of reporting a spurious budget error.
+                if let Some(arrivals) = &request.arrivals {
+                    let latest = arrivals.iter().copied().max().unwrap_or(0);
+                    let limit = sim.step_limit().saturating_add(latest);
+                    sim = sim.with_step_limit(limit);
+                }
+            }
+        }
+
+        let mut policy: Box<dyn OnlinePolicy> = match &request.arrivals {
+            Some(arrivals) => {
+                if arrivals.len() != request.instance.processors() {
+                    return Err(SolveError::InvalidArrivals {
+                        expected: request.instance.processors(),
+                        found: arrivals.len(),
+                    });
+                }
+                Box::new(ArrivalGate {
+                    arrivals: arrivals.clone(),
+                    step: 0,
+                    inner: self.kind.make(),
+                })
+            }
+            None => self.kind.make(),
+        };
+
+        match sim.run(policy.as_mut()) {
+            Ok(outcome) => Ok(SolveOutcome {
+                method: method.to_string(),
+                engine: Engine::Scaled,
+                fallbacks: Vec::new(),
+                makespan: Some(outcome.report.makespan),
+                steps: outcome.schedule.num_steps(),
+                rounds: 0,
+                schedule: request.want_schedule.then_some(outcome.schedule),
+                lower_bounds: prepared.lower_bounds,
+            }),
+            Err(SimError::GridOverflow) => Err(SolveError::GridOverflow {
+                method: method.to_string(),
+            }),
+            Err(SimError::StepLimit { limit, .. }) => {
+                // With an explicit budget this is the requested cutoff; the
+                // default limit is the engine's starvation watchdog — both
+                // are step budgets from the caller's point of view.
+                debug_assert!(default_limit || Some(limit) == request.budget.max_steps);
+                Err(SolveError::BudgetExhausted {
+                    method: method.to_string(),
+                    kind: BudgetKind::Steps,
+                    limit,
+                })
+            }
+        }
+    }
+}
+
+/// Registers the four online simulator methods on top of an (offline)
+/// registry, so online and offline methods are selectable from one line-up.
+pub fn register_online(registry: &mut Registry) {
+    for kind in [
+        PolicyKind::GreedyBalance,
+        PolicyKind::RoundRobin,
+        PolicyKind::EqualShare,
+        PolicyKind::ProportionalShare,
+    ] {
+        registry.register(kind.method(), Box::new(OnlinePolicySolver { kind }));
+    }
+}
+
+/// The full combined registry: every offline method of
+/// [`cr_algos::solver::registry`] plus the online simulator methods.
+#[must_use]
+pub fn full_registry() -> Registry {
+    let mut registry = cr_algos::solver::registry();
+    register_online(&mut registry);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::{ratio, Instance, Ratio};
+
+    fn workload() -> Instance {
+        Instance::unit_from_requirements(vec![
+            vec![ratio(9, 10), ratio(8, 10)],
+            vec![ratio(1, 10), ratio(1, 10)],
+            vec![ratio(6, 10), ratio(5, 10)],
+        ])
+    }
+
+    #[test]
+    fn online_methods_are_in_the_combined_registry() {
+        let registry = full_registry();
+        for method in ONLINE_METHODS {
+            assert!(registry.get(method).is_some(), "{method} missing");
+        }
+        // Offline methods remain selectable.
+        assert!(registry.get("OptM").is_some());
+    }
+
+    #[test]
+    fn online_solve_matches_the_simulator() {
+        let inst = workload();
+        let outcome = full_registry()
+            .solve(&SolveRequest::new("sim:GreedyBalance", inst.clone()).with_schedule())
+            .unwrap();
+        let direct = Simulator::from_instance(&inst)
+            .run(&mut GreedyBalancePolicy)
+            .unwrap();
+        assert_eq!(outcome.makespan, Some(direct.report.makespan));
+        assert_eq!(outcome.schedule.unwrap(), direct.schedule);
+        assert_eq!(outcome.engine, Engine::Scaled);
+    }
+
+    #[test]
+    fn rational_engine_is_unavailable_online() {
+        let err = full_registry()
+            .solve(
+                &SolveRequest::new("sim:EqualShare", workload())
+                    .with_engine(EnginePreference::Rational),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "engine_unavailable");
+    }
+
+    #[test]
+    fn arrivals_delay_cores_and_lengthen_the_makespan() {
+        let inst = workload();
+        let registry = full_registry();
+        let immediate = registry
+            .solve(&SolveRequest::new("sim:GreedyBalance", inst.clone()))
+            .unwrap()
+            .makespan
+            .unwrap();
+        let delayed = registry
+            .solve(
+                &SolveRequest::new("sim:GreedyBalance", inst.clone())
+                    .with_arrivals(vec![0, 0, 6])
+                    .with_schedule(),
+            )
+            .unwrap();
+        assert!(
+            delayed.makespan.unwrap() > immediate,
+            "a late arrival must delay completion ({} vs {immediate})",
+            delayed.makespan.unwrap()
+        );
+        // Before its arrival step the gated core receives nothing.
+        let schedule = delayed.schedule.unwrap();
+        let trace = schedule.trace(&inst).unwrap();
+        for step in 0..6 {
+            assert_eq!(trace.assigned(step, 2), Ratio::ZERO, "step {step}");
+        }
+        assert_eq!(
+            full_registry()
+                .solve(&SolveRequest::new("sim:GreedyBalance", inst).with_arrivals(vec![0, 0]))
+                .unwrap_err()
+                .kind(),
+            "invalid_arrivals"
+        );
+    }
+
+    #[test]
+    fn step_budget_is_a_hard_simulation_limit() {
+        let err = full_registry()
+            .solve(
+                &SolveRequest::new("sim:RoundRobin", workload()).with_budget(
+                    cr_algos::solver::Budget {
+                        max_steps: Some(1),
+                        max_rounds: None,
+                    },
+                ),
+            )
+            .unwrap_err();
+        match err {
+            SolveError::BudgetExhausted { kind, limit, .. } => {
+                assert_eq!(limit, 1);
+                assert_eq!(kind, BudgetKind::Steps);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+}

@@ -6,9 +6,11 @@
 //! cargo run --example quickstart
 //! ```
 
-use crsharing::algos::{standard_line_up, OptM, Scheduler};
+use crsharing::algos::solver::POLY_METHODS;
+use crsharing::algos::{OptM, Scheduler, SolveRequest};
 use crsharing::core::properties::PropertyReport;
 use crsharing::core::{bounds, Instance, SchedulingGraph};
+use crsharing::service::SolverService;
 use crsharing::viz::{render_components, render_instance, render_schedule};
 
 fn main() {
@@ -31,14 +33,22 @@ fn main() {
     let opt_makespan = opt_schedule.makespan(&instance).expect("feasible");
     println!("optimal makespan (OptResAssignment2): {opt_makespan}\n");
 
-    // Every polynomial-time algorithm of the paper plus the baselines.
-    for scheduler in standard_line_up() {
-        let schedule = scheduler.schedule(&instance);
+    // Every polynomial-time algorithm of the paper plus the baselines,
+    // dispatched through the unified solver service (the same surface the
+    // cr-serve batch binary exposes).
+    let service = SolverService::with_standard_registry();
+    let requests: Vec<SolveRequest> = POLY_METHODS
+        .iter()
+        .map(|&method| SolveRequest::new(method, instance.clone()).with_schedule())
+        .collect();
+    for (method, result) in POLY_METHODS.iter().zip(service.solve_batch(&requests)) {
+        let outcome = result.expect("polynomial methods are total");
+        let schedule = outcome.schedule.expect("schedule requested");
         let trace = schedule.trace(&instance).expect("feasible schedule");
         let report = PropertyReport::analyze(&trace);
         println!(
             "{:<26} makespan {:>2}  ratio vs OPT {:.3}   [{report}]",
-            scheduler.name(),
+            method,
             trace.makespan(),
             trace.makespan() as f64 / opt_makespan as f64,
         );

@@ -11,7 +11,9 @@
 //! * [`instances`] (`cr-instances`) — random and adversarial instance
 //!   families, the NP-hardness reduction and workload generators;
 //! * [`sim`] (`cr-sim`) — the discrete-time many-core shared-bus simulator;
-//! * [`viz`] (`cr-viz`) — ASCII/SVG rendering of instances and schedules.
+//! * [`viz`] (`cr-viz`) — ASCII/SVG rendering of instances and schedules;
+//! * [`service`] (`cr-service`) — the batch solver service behind the
+//!   `cr-serve` JSONL binary (see the README's "Serving" section).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@
 pub use cr_algos as algos;
 pub use cr_core as core;
 pub use cr_instances as instances;
+pub use cr_service as service;
 pub use cr_sim as sim;
 pub use cr_viz as viz;
 

@@ -56,13 +56,19 @@ proptest! {
         prop_assert!(rr >= opt);
     }
 
-    /// Every algorithm in the standard line-up produces a feasible schedule
-    /// whose makespan lies between the lower bound and the total job count.
+    /// Every polynomial method of the solver registry produces a feasible
+    /// schedule whose makespan lies between the lower bound and the total
+    /// job count.
     #[test]
     fn line_up_produces_feasible_schedules(instance in unit_instance(4, 5)) {
-        for scheduler in crsharing::algos::standard_line_up() {
-            let schedule = scheduler.schedule(&instance);
+        let registry = crsharing::algos::registry();
+        for method in crsharing::algos::solver::POLY_METHODS {
+            let request = crsharing::algos::SolveRequest::new(method, instance.clone())
+                .with_schedule();
+            let outcome = registry.solve(&request).expect("polynomial methods are total");
+            let schedule = outcome.schedule.expect("schedule requested");
             let trace = schedule.trace(&instance).expect("feasible schedule");
+            prop_assert_eq!(outcome.makespan, Some(trace.makespan()));
             prop_assert!(trace.makespan() >= bounds::workload_bound_steps(&instance));
             prop_assert!(trace.makespan() >= bounds::chain_bound(&instance));
             prop_assert!(trace.makespan() <= instance.total_jobs().max(1));
