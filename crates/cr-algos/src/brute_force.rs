@@ -11,7 +11,7 @@
 //! experiments.
 
 //! The hot path runs the memoized search on a [`ScaledInstance`] through
-//! [`crate::scaled_engine`]; the original `Ratio`-based search is retained as
+//! the internal `scaled_engine` module; the original `Ratio`-based search is retained as
 //! [`brute_force_makespan_rational`] for cross-checking and as the overflow
 //! fallback.
 

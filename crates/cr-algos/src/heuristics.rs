@@ -20,7 +20,7 @@
 //! # Exact splits on the scaled grid
 //!
 //! The splitting heuristics run on a
-//! [`ScaledScheduleBuilder`](cr_core::ScaledScheduleBuilder): the resource is
+//! [`cr_core::ScaledScheduleBuilder`]: the resource is
 //! a pool of `D` integer units (`D` = the instance's requirement/workload
 //! denominator LCM), and uniform / demand-proportional splits are computed
 //! exactly with deterministic largest-remainder rounding

@@ -13,7 +13,7 @@
 //! fixed `m`, which yields Theorem 6's polynomial running time.
 //!
 //! Two implementations share this file's entry points: the hot path runs the
-//! search on a [`ScaledInstance`] through [`crate::scaled_engine`] (integer
+//! search on a [`ScaledInstance`] through the internal `scaled_engine` module (integer
 //! units, packed configuration keys, FxHash memoization, rayon-parallel
 //! round expansion), and the `Ratio`-based search is retained as
 //! [`opt_m_makespan_rational`] — the fallback when scaling would overflow
@@ -22,7 +22,7 @@
 //! property tests cross-check against.
 //!
 //! Both paths enumerate successors through the shared pruned DFS enumerator
-//! ([`crate::subset_enum`]), so any number of simultaneously active
+//! (the internal `subset_enum` module), so any number of simultaneously active
 //! processors is supported.  The pre-ISSUE-4 rational path scanned
 //! `1u32 << k` subset masks, which shift-overflowed for `k ≥ 32` active
 //! processors — a debug panic, and a silent wrap to a wrong (possibly

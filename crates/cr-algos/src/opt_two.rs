@@ -21,7 +21,7 @@
 //! * or vice versa.
 //!
 //! The hot path runs the dense DP on a flat integer table over a
-//! [`ScaledInstance`] (see [`crate::scaled_engine`]); the original
+//! [`ScaledInstance`] (see the internal `scaled_engine` module); the original
 //! `Ratio`-based table is retained as [`opt_two_makespan_rational`] for
 //! cross-checking and as the overflow fallback.  The DP's cell values —
 //! one frontier requirement plus one carried leftover, each at most the

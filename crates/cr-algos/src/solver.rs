@@ -369,6 +369,30 @@ pub enum SolveError {
 }
 
 impl SolveError {
+    /// Every stable `kind()` string a solver can emit, in variant order.
+    ///
+    /// The wire layer (`cr-service`) adds its own transport-level kinds on
+    /// top (`bad_request`, `quota_exceeded`, `overloaded`, `draining`); the
+    /// union of both lists is the complete error vocabulary of the serving
+    /// surface, and `docs/WIRE.md` documents every entry (an enumerated test
+    /// in `cr-service` keeps the document honest).
+    ///
+    /// ```
+    /// assert!(cr_algos::solver::SolveError::ALL_KINDS.contains(&"budget_exhausted"));
+    /// ```
+    pub const ALL_KINDS: [&'static str; 10] = [
+        "unknown_method",
+        "non_unit_jobs",
+        "wrong_processor_count",
+        "grid_overflow",
+        "engine_unavailable",
+        "round_too_large",
+        "budget_exhausted",
+        "infeasible",
+        "arrivals_unsupported",
+        "invalid_arrivals",
+    ];
+
     /// Stable snake_case discriminant used on the service wire.
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -1324,6 +1348,52 @@ mod tests {
             .unwrap();
         assert_eq!(auto.engine, Engine::Rational);
         assert_eq!(auto.fallbacks.len(), 1, "fallback recorded");
+    }
+
+    #[test]
+    fn all_kinds_enumerates_every_variant_without_duplicates() {
+        let samples: Vec<SolveError> = vec![
+            SolveError::UnknownMethod { method: "x".into() },
+            SolveError::NonUnitJobs { method: "x".into() },
+            SolveError::WrongProcessorCount {
+                method: "x".into(),
+                expected: 2,
+                found: 3,
+            },
+            SolveError::GridOverflow { method: "x".into() },
+            SolveError::EngineUnavailable {
+                method: "x".into(),
+                engine: EnginePreference::Rational,
+            },
+            SolveError::RoundTooLarge { round: 1, nodes: 2 },
+            SolveError::BudgetExhausted {
+                method: "x".into(),
+                kind: BudgetKind::Steps,
+                limit: 1,
+            },
+            SolveError::Infeasible {
+                error: ScheduleError::WrongProcessorCount {
+                    step: 0,
+                    expected: 1,
+                    found: 2,
+                },
+            },
+            SolveError::ArrivalsUnsupported { method: "x".into() },
+            SolveError::InvalidArrivals {
+                expected: 1,
+                found: 2,
+            },
+        ];
+        assert_eq!(samples.len(), SolveError::ALL_KINDS.len());
+        let mut seen = std::collections::HashSet::new();
+        for err in &samples {
+            assert!(
+                SolveError::ALL_KINDS.contains(&err.kind()),
+                "{} missing from ALL_KINDS",
+                err.kind()
+            );
+            assert!(seen.insert(err.kind()), "duplicate kind {}", err.kind());
+        }
     }
 
     #[test]

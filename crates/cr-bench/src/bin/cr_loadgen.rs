@@ -1,0 +1,121 @@
+//! `cr-loadgen` — sustained mixed-traffic load generator for the socket
+//! serving tier.
+//!
+//! Drives N concurrent client connections against a running
+//! `cr-serve --listen` server (or, with no `--addr`, an in-process server
+//! it spawns itself) with a Poisson-paced blend of heuristic, exact and
+//! simulator requests, then prints a latency/throughput summary:
+//!
+//! ```text
+//! cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N]
+//!            [--rate HZ] [--seed N]
+//! cr-loadgen --addr HOST:PORT --smoke
+//! ```
+//!
+//! `--smoke` is the CI handshake: replay the committed golden batch, check
+//! the responses byte-for-byte against the in-process reference, then drain
+//! the server via `{"control":"shutdown"}` and verify the clean close.
+//! Exits non-zero on any divergence.
+
+use cr_bench::loadgen::{self, LoadConfig};
+use cr_service::net::{Server, ServerConfig};
+use cr_service::SolverService;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+struct Args {
+    addr: Option<SocketAddr>,
+    smoke: bool,
+    config: LoadConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        smoke: false,
+        config: LoadConfig::default(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                let text = value("--addr");
+                args.addr = Some(
+                    text.parse()
+                        .unwrap_or_else(|e| panic!("--addr {text}: {e}")),
+                );
+            }
+            "--smoke" => args.smoke = true,
+            "--clients" => args.config.clients = value("--clients").parse().expect("--clients"),
+            "--requests" => {
+                args.config.requests_per_client = value("--requests").parse().expect("--requests");
+            }
+            "--rate" => args.config.rate_hz = value("--rate").parse().expect("--rate"),
+            "--seed" => args.config.seed = value("--seed").parse().expect("--seed"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
+                     [--rate HZ] [--seed N] [--smoke]\n\
+                     Without --addr, spawns an in-process server to load."
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    // No --addr: load an in-process server (handy for a one-command local
+    // benchmark; CI drives a separately spawned cr-serve instead).
+    let local = if args.addr.is_none() {
+        let service = Arc::new(SolverService::with_standard_registry());
+        Some(
+            Server::spawn(service, "127.0.0.1:0", ServerConfig::default())
+                .expect("spawn in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .unwrap_or_else(|| local.as_ref().expect("in-process server").addr());
+
+    if args.smoke {
+        match loadgen::smoke(addr) {
+            Ok(()) => println!("{{\"smoke\":\"ok\",\"addr\":\"{addr}\"}}"),
+            Err(e) => {
+                eprintln!("cr-loadgen smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let report = loadgen::run(addr, &args.config);
+        println!(
+            "{{\"addr\":\"{addr}\",\"clients\":{},\"requests\":{},\"ok\":{},\"rejected\":{},\
+             \"wall_secs\":{:.3},\"p50_ms\":{:.2},\"p95_ms\":{:.2},\"p99_ms\":{:.2},\
+             \"max_ms\":{:.2},\"requests_per_sec\":{:.1}}}",
+            args.config.clients,
+            report.answered(),
+            report.ok,
+            report.rejected,
+            report.wall_secs,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.max_ms,
+            report.requests_per_sec
+        );
+    }
+
+    if let Some(handle) = local {
+        handle.shutdown();
+        handle.join();
+    }
+}

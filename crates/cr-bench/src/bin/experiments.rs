@@ -184,6 +184,13 @@ fn main() {
     );
     timing_cells += batch.cells;
     timings.push(batch);
+    let serving = run_socket_serving_table(args.reduced);
+    println!(
+        "  {:<46} {:>5} cells  {:>9.1} ms  (max cell {:>7.1} ms)",
+        serving.title, serving.cells, serving.wall_ms, serving.max_cell_ms
+    );
+    timing_cells += serving.cells;
+    timings.push(serving);
     let total_cells = total_cells + timing_cells;
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
 
@@ -365,6 +372,67 @@ fn run_batch_throughput_table(reduced: bool) -> TableTiming {
                     .collect(),
             ),
         )],
+    }
+}
+
+/// The socket serving tier under sustained mixed load: one cell per client
+/// count, each driving Poisson-paced heuristic + exact + simulator traffic
+/// through a real TCP server (`cr_service::net`) via the `cr-loadgen` core,
+/// recording p50/p95/p99 request latencies and aggregate throughput (the
+/// `latency` rows of `BENCH_pipeline.json`).  One server — and therefore
+/// one warm conversion cache — serves all four cells, mirroring production.
+fn run_socket_serving_table(reduced: bool) -> TableTiming {
+    const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let requests_per_client = if reduced { 8 } else { 32 };
+    let service = std::sync::Arc::new(cr_service::SolverService::with_standard_registry());
+    let handle = cr_service::net::Server::spawn(
+        service,
+        "127.0.0.1:0",
+        cr_service::net::ServerConfig::default(),
+    )
+    .expect("spawn serving-latency socket server");
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let float = |x: f64| serde::Value::Number(serde::Number::Float(round2(x)));
+    let start = Instant::now();
+    let mut per_cell_ms = Vec::with_capacity(CLIENT_COUNTS.len());
+    let mut latency_rows = Vec::with_capacity(CLIENT_COUNTS.len());
+    for &clients in &CLIENT_COUNTS {
+        let config = cr_bench::loadgen::LoadConfig {
+            clients,
+            requests_per_client,
+            rate_hz: 200.0,
+            seed: 0x10AD_6E17 + clients as u64,
+        };
+        let report = cr_bench::loadgen::run(handle.addr(), &config);
+        assert_eq!(
+            report.answered(),
+            clients * requests_per_client,
+            "every load request must be answered"
+        );
+        assert_eq!(report.rejected, 0, "sustained load must not be shed");
+        per_cell_ms.push(report.wall_secs * 1e3);
+        latency_rows.push(serde::Value::Object(vec![
+            (
+                "clients".to_string(),
+                serde::Value::Number(serde::Number::Int(clients as i128)),
+            ),
+            ("p50_ms".to_string(), float(report.p50_ms)),
+            ("p95_ms".to_string(), float(report.p95_ms)),
+            ("p99_ms".to_string(), float(report.p99_ms)),
+            (
+                "requests_per_sec".to_string(),
+                float(report.requests_per_sec),
+            ),
+        ]));
+    }
+    handle.shutdown();
+    handle.join();
+    TableTiming {
+        title: "Socket serving latency + throughput (cr-loadgen)".to_string(),
+        cells: CLIENT_COUNTS.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+        extra: vec![("latency".to_string(), serde::Value::Array(latency_rows))],
     }
 }
 

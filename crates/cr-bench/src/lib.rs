@@ -10,6 +10,7 @@
 
 pub mod grids;
 pub mod harness;
+pub mod loadgen;
 pub mod pipeline;
 
 pub use harness::{markdown_table, ratio_string, ExperimentRow};

@@ -1,0 +1,325 @@
+//! Load generation for the socket serving tier (`cr-serve --listen`).
+//!
+//! The `cr-loadgen` binary and the "Socket serving latency + throughput"
+//! table of `BENCH_pipeline.json` share this module: N client threads, each
+//! on its own connection, drive a sustained mix of heuristic, exact and
+//! simulator requests with Poisson interarrival times at the server, and
+//! the per-request wall latencies are folded into p50/p95/p99 percentiles
+//! plus an aggregate throughput figure.
+//!
+//! Traffic is generated from the vendored SplitMix64 [`StdRng`], so a
+//! `(seed, clients, requests)` triple always produces the same request
+//! byte stream — a load run is reproducible even though its *timings*
+//! are not.
+//!
+//! The [`smoke`] entry point is the CI handshake: it replays the committed
+//! golden batch of `crates/cr-service/tests/data/smoke_batch.jsonl` over
+//! the socket, asserts the responses are byte-identical to the in-process
+//! reference rendering, then requests a graceful drain via the
+//! `{"control":"shutdown"}` frame and verifies the server acknowledges and
+//! closes cleanly.
+
+use cr_service::{wire, SolverService};
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The committed golden batch the CI smoke replays (10 mixed requests, one
+/// deliberately over budget).
+pub const SMOKE_BATCH: &str = include_str!("../../cr-service/tests/data/smoke_batch.jsonl");
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends (one flush per request, so every request
+    /// has an observable wall latency).
+    pub requests_per_client: usize,
+    /// Poisson arrival rate per client in requests/second; `0.0` disables
+    /// pacing (closed-loop back-to-back requests, the max-throughput mode).
+    pub rate_hz: f64,
+    /// Seed of the per-client SplitMix64 traffic generators.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 32,
+            rate_hz: 200.0,
+            seed: 0x10AD_6E17,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that answered `ok`.
+    pub ok: usize,
+    /// Requests that answered a structured error (solver or transport).
+    pub rejected: usize,
+    /// Wall time of the whole run (first byte sent to last byte read).
+    pub wall_secs: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest single request, milliseconds.
+    pub max_ms: f64,
+    /// Aggregate completed requests per second across all clients.
+    pub requests_per_sec: f64,
+}
+
+impl LoadReport {
+    /// Total requests that received a response.
+    #[must_use]
+    pub fn answered(&self) -> usize {
+        self.ok + self.rejected
+    }
+}
+
+/// Nearest-rank percentile of an **already sorted** latency list.
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// One synthetic request line of the sustained mix: heuristics dominate,
+/// with an exact OPT(m) solve every 8th slot and an online simulator
+/// request every 5th — the production-shaped blend the serving tier is
+/// sized for.  Instances stay small enough that exact requests bound the
+/// tail, not the run.
+#[must_use]
+pub fn request_line(rng: &mut StdRng, slot: usize) -> String {
+    let (method, m, n_per) = if slot % 8 == 7 {
+        ("OptM", 3usize, 1usize)
+    } else if slot % 5 == 4 {
+        ("sim:GreedyBalance", 3, 2)
+    } else {
+        (
+            [
+                "GreedyBalance",
+                "RoundRobin",
+                "EqualShare",
+                "ProportionalShare",
+            ][slot % 4],
+            rng.random_range(2usize..=4),
+            rng.random_range(2usize..=4),
+        )
+    };
+    let rows: Vec<String> = (0..m)
+        .map(|_| {
+            let row: Vec<String> = (0..n_per)
+                .map(|_| rng.random_range(5u64..=100).to_string())
+                .collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    format!("{{\"method\":\"{method}\",\"rows\":[{}]}}", rows.join(","))
+}
+
+/// An exponential interarrival draw (`-ln(u)/rate`) for Poisson arrivals.
+fn interarrival(rng: &mut StdRng, rate_hz: f64) -> Duration {
+    // 53 uniform mantissa bits in (0, 1]; u = 0 is impossible so ln is finite.
+    let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64((-u.ln() / rate_hz).min(1.0))
+}
+
+/// One client thread's closed loop: send a request, await its response
+/// line(s), record the latency, sleep out the Poisson gap.  Returns
+/// `(latencies_ms, ok_count, rejected_count)`.
+fn client_loop(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    client: usize,
+) -> std::io::Result<(Vec<f64>, usize, usize)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(client as u64 + 1)),
+    );
+    let mut latencies = Vec::with_capacity(config.requests_per_client);
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    let mut line = String::new();
+    for slot in 0..config.requests_per_client {
+        if config.rate_hz > 0.0 {
+            std::thread::sleep(interarrival(&mut rng, config.rate_hz));
+        }
+        let request = request_line(&mut rng, slot);
+        let sent = Instant::now();
+        writeln!(writer, "{request}\n")?;
+        writer.flush()?;
+        // One flush → one response; a streamed response is consumed frame
+        // by frame until its end marker.
+        line.clear();
+        reader.read_line(&mut line)?;
+        if line.contains("\"frame\":\"head\"") {
+            while !line.contains("\"frame\":\"end\"") {
+                line.clear();
+                reader.read_line(&mut line)?;
+            }
+        }
+        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+        if line.contains("\"error\":null") || line.contains("\"frame\":\"end\"") {
+            ok += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    Ok((latencies, ok, rejected))
+}
+
+/// Drives one full load run against a serving socket and folds the
+/// per-request latencies into a [`LoadReport`].
+///
+/// # Panics
+///
+/// Panics if a client thread fails to connect or loses its connection
+/// mid-run (the server is expected to outlive the load).
+#[must_use]
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let start = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<(Vec<f64>, usize, usize)>> = (0..config.clients)
+        .map(|client| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                client_loop(addr, &config, client).expect("load client lost its connection")
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for worker in workers {
+        let (client_latencies, client_ok, client_rejected) =
+            worker.join().expect("load client panicked");
+        latencies.extend(client_latencies);
+        ok += client_ok;
+        rejected += client_rejected;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    LoadReport {
+        ok,
+        rejected,
+        wall_secs,
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        requests_per_sec: latencies.len() as f64 / wall_secs.max(1e-9),
+    }
+}
+
+/// The CI smoke handshake: replays the committed golden batch over the
+/// socket, asserts byte-identity against the in-process reference, then
+/// drains the server via the shutdown control frame.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence (connect failure,
+/// response mismatch, missing drain acknowledgment, unclean close).
+pub fn smoke(addr: SocketAddr) -> Result<(), String> {
+    let batch: Vec<String> = SMOKE_BATCH.lines().map(str::to_string).collect();
+    let reference = wire::process_batch(&SolverService::with_standard_registry(), &batch, 0);
+
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    for line in &batch {
+        writeln!(writer, "{line}").map_err(|e| format!("send request: {e}"))?;
+    }
+    writeln!(writer).map_err(|e| format!("send flush: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    for (i, expected) in reference.iter().enumerate() {
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read response {i}: {e}"))?;
+        if line.trim_end() != expected.as_str() {
+            return Err(format!(
+                "smoke response {i} diverged from the reference:\n  got:  {}\n  want: {expected}",
+                line.trim_end()
+            ));
+        }
+    }
+
+    writeln!(writer, r#"{{"control":"shutdown"}}"#).map_err(|e| format!("send shutdown: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+    line.clear();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read drain ack: {e}"))?;
+    if !(line.contains("\"control\":\"shutdown\"") && line.contains("\"draining\":true")) {
+        return Err(format!(
+            "missing drain acknowledgment, got: {}",
+            line.trim_end()
+        ));
+    }
+    line.clear();
+    let eof = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read post-drain close: {e}"))?;
+    if eof != 0 {
+        return Err(format!(
+            "server kept the connection open after the drain ack: {}",
+            line.trim_end()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_are_deterministic_and_parseable() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for slot in 0..50 {
+            let line = request_line(&mut a, slot);
+            assert_eq!(line, request_line(&mut b, slot));
+            wire::parse_request(&line, 0).expect("generated line parses");
+        }
+    }
+
+    #[test]
+    fn traffic_mix_covers_heuristic_exact_and_sim() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lines: Vec<String> = (0..40).map(|slot| request_line(&mut rng, slot)).collect();
+        assert!(lines.iter().any(|l| l.contains("\"OptM\"")));
+        assert!(lines.iter().any(|l| l.contains("\"sim:GreedyBalance\"")));
+        assert!(lines.iter().any(|l| l.contains("\"GreedyBalance\"")));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

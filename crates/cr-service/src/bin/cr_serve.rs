@@ -1,21 +1,35 @@
-//! `cr-serve` — the JSONL stdin/stdout face of the batch solver service.
+//! `cr-serve` — the JSONL face of the batch solver service.
 //!
-//! Reads request objects line by line from stdin (see `cr_service::wire` for
-//! the schema).  A **blank line** flushes the accumulated batch through the
-//! warm [`SolverService`] — responses come back one line each, in input
-//! order, followed by a stdout flush — so a driver process can stream
-//! multiple batches through one process and keep the per-instance
-//! conversion cache warm across them.  EOF flushes the final batch and
-//! exits.
+//! Two transports, one protocol (specified in `docs/WIRE.md`):
+//!
+//! * **stdin mode** (default): reads request objects line by line from
+//!   stdin.  A **blank line** flushes the accumulated batch through the
+//!   warm [`SolverService`] — responses come back one line each, in input
+//!   order, followed by a stdout flush — so a driver process can stream
+//!   multiple batches through one process and keep the per-instance
+//!   conversion cache warm across them.  EOF flushes the final batch and
+//!   exits.  A blank-line flush with no accumulated requests answers with a
+//!   structured `bad_request` row instead of being silently swallowed.
+//! * **socket mode** (`--listen ADDR`): binds a TCP listener and serves
+//!   many concurrent clients through `cr_service::net` — same line
+//!   protocol per connection, plus per-client quotas (`quota_exceeded`),
+//!   global load shedding (`overloaded`), schedule streaming and graceful
+//!   drain on a `{"control":"shutdown"}` frame.  The bound address is
+//!   printed as a `{"listening": "..."}` line on stdout so drivers can use
+//!   port 0.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p cr-service --bin cr-serve < requests.jsonl
+//! cargo run --release -p cr-service --bin cr-serve -- --listen 127.0.0.1:7878 \
+//!     [--quota N] [--max-inflight N] [--max-clients N] [--stream-threshold N]
 //! ```
 
+use cr_service::net::{Server, ServerConfig};
 use cr_service::{wire, SolverService};
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 fn flush_batch(
     service: &SolverService,
@@ -35,7 +49,7 @@ fn flush_batch(
     out.flush().expect("flush responses");
 }
 
-fn main() {
+fn serve_stdin() {
     let service = SolverService::with_standard_registry();
     let stdin = io::stdin();
     let stdout = io::stdout();
@@ -45,10 +59,67 @@ fn main() {
     for line in stdin.lock().lines() {
         let line = line.expect("read request line");
         if line.trim().is_empty() {
-            flush_batch(&service, &mut batch, &mut next_id, &mut out);
+            if batch.is_empty() {
+                // A flush with nothing to flush is a protocol error the
+                // client should hear about, not a silent no-op.
+                let response = wire::empty_flush_line(next_id);
+                next_id += 1;
+                writeln!(out, "{response}").expect("write response line");
+                out.flush().expect("flush responses");
+            } else {
+                flush_batch(&service, &mut batch, &mut next_id, &mut out);
+            }
         } else {
             batch.push(line);
         }
     }
     flush_batch(&service, &mut batch, &mut next_id, &mut out);
+}
+
+fn serve_socket(addr: &str, config: ServerConfig) {
+    let service = Arc::new(SolverService::with_standard_registry());
+    let handle = Server::spawn(service, addr, config)
+        .unwrap_or_else(|e| panic!("cr-serve: cannot bind {addr}: {e}"));
+    println!("{{\"listening\":\"{}\"}}", handle.addr());
+    io::stdout().flush().expect("flush listening line");
+    // Serve until a client requests a drain via {"control":"shutdown"};
+    // join() then returns once every in-flight batch has answered.
+    handle.join();
+}
+
+fn parse_usize(flag: &str, value: Option<String>) -> usize {
+    value
+        .unwrap_or_else(|| panic!("{flag} requires a value"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{flag}: {e}"))
+}
+
+fn main() {
+    let mut listen: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--listen" => listen = Some(args.next().expect("--listen requires ADDR")),
+            "--quota" => config.per_client_quota = parse_usize("--quota", args.next()),
+            "--max-inflight" => config.max_inflight = parse_usize("--max-inflight", args.next()),
+            "--max-clients" => config.max_clients = parse_usize("--max-clients", args.next()),
+            "--stream-threshold" => {
+                config.stream.threshold_steps = parse_usize("--stream-threshold", args.next());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cr-serve [--listen ADDR [--quota N] [--max-inflight N] \
+                     [--max-clients N] [--stream-threshold N]]\n\
+                     Without --listen, serves the JSONL protocol on stdin/stdout."
+                );
+                return;
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    match listen {
+        Some(addr) => serve_socket(&addr, config),
+        None => serve_stdin(),
+    }
 }

@@ -25,11 +25,35 @@
 //! The [`wire`] module speaks JSONL: one request object per line in, one
 //! response object per line out, implemented by the `cr-serve` binary so a
 //! driver process can stream instances in and schedules + bounds out of one
-//! warm process.  See the README's "Serving" section for the protocol.
+//! warm process.  The [`net`] module is the production front door: a TCP
+//! server multiplexing many concurrent clients onto one warm service, with
+//! per-client quotas, global load shedding, schedule streaming and graceful
+//! drain.  `docs/WIRE.md` specifies the protocol frame by frame;
+//! `docs/ARCHITECTURE.md` maps the crates.
+//!
+//! # Example
+//!
+//! ```
+//! use cr_algos::solver::SolveRequest;
+//! use cr_core::Instance;
+//! use cr_service::SolverService;
+//!
+//! let service = SolverService::with_standard_registry();
+//! let instance = Instance::unit_from_percentages(&[&[60, 40], &[40, 60]]);
+//! let batch = vec![
+//!     SolveRequest::new("GreedyBalance", instance.clone()),
+//!     SolveRequest::new("OptM", instance),
+//! ];
+//! let results = service.solve_batch(&batch);
+//! let greedy = results[0].as_ref().unwrap().makespan.unwrap();
+//! let exact = results[1].as_ref().unwrap().makespan.unwrap();
+//! assert!(exact <= greedy);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
 pub mod wire;
 
 use cr_algos::solver::{Prepared, Registry, SolveError, SolveOutcome, SolveRequest};

@@ -1,0 +1,563 @@
+//! The network front door: a hand-rolled TCP serving tier on top of
+//! [`SolverService`].
+//!
+//! `cr-serve --listen ADDR` (and [`Server::spawn`] embedded in tests and the
+//! load generator) accepts many concurrent JSONL clients and multiplexes
+//! them onto **one** warm service — every connection shares the same
+//! per-instance conversion cache and the same deterministic rayon pool, so
+//! a schedule computed for client A warms the cache for client B.
+//!
+//! The transport is deliberately simple and dependency-free: a blocking
+//! `std::net::TcpListener` acceptor thread plus one OS thread per
+//! connection (bounded by [`ServerConfig::max_clients`]), which on a
+//! many-core box behaves like the classic thread-per-core design for the
+//! connection counts this repository targets.  Every connection speaks the
+//! exact protocol of the stdin mode — request lines accumulate, a blank
+//! line flushes the batch — so `nc` against a socket and a pipe into
+//! `cr-serve` are interchangeable (see `docs/WIRE.md`).
+//!
+//! # Admission control and load shedding
+//!
+//! The budgets carried by [`SolveRequest`](cr_algos::solver::SolveRequest)
+//! bound the *work of one request*; this layer bounds the *number of
+//! requests in flight*:
+//!
+//! * **Per-client quota** ([`ServerConfig::per_client_quota`]): of one
+//!   flushed batch, only the first `quota` requests are admitted; the rest
+//!   answer with structured `quota_exceeded` errors — the connection stays
+//!   open and the response stream stays order-stable.
+//! * **Global cap** ([`ServerConfig::max_inflight`]): a flush whose
+//!   admitted requests would push the server past its total in-flight cap
+//!   is shed *whole* — every slot answers `overloaded` immediately, no
+//!   queueing, so latency of admitted traffic stays bounded.
+//! * **Connection cap** ([`ServerConfig::max_clients`]): connections past
+//!   the cap receive a single `overloaded` line and are closed.
+//! * **Graceful drain**: a `{"control":"shutdown"}` line (or
+//!   [`ServerHandle::shutdown`]) stops the acceptor; batches already
+//!   flushed complete and respond, every connection finishes its pending
+//!   partial batch, later flushes answer `draining` for a short grace
+//!   window (~2 s) so in-flight clients hear the rejection instead of a
+//!   closed socket, and [`ServerHandle::join`] returns once the last
+//!   worker exits.
+//!
+//! # Streaming
+//!
+//! Responses whose schedules reach [`StreamPolicy::threshold_steps`] are
+//! streamed as `head`/`chunk`/`end` frames instead of one giant line (see
+//! [`wire::render_item_streamed`] and `docs/WIRE.md`); clients reassemble
+//! with [`wire::assemble_streamed`].
+
+use crate::wire::{self, BatchItem, StreamPolicy};
+use crate::SolverService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum requests of one flushed batch admitted per client;
+    /// requests past the cut answer `quota_exceeded`.
+    pub per_client_quota: usize,
+    /// Total requests the server will solve concurrently across all
+    /// clients; a flush that would exceed it is answered `overloaded`.
+    pub max_inflight: usize,
+    /// Concurrent connections accepted; excess connections get one
+    /// `overloaded` line and are closed.
+    pub max_clients: usize,
+    /// When and how large schedules stream (see [`StreamPolicy`]).
+    pub stream: StreamPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            per_client_quota: 256,
+            max_inflight: 1024,
+            max_clients: 64,
+            stream: StreamPolicy::DEFAULT,
+        }
+    }
+}
+
+/// Liveness counters of a running server (all monotonically increasing
+/// except `inflight`), exposed through the `{"control":"stats"}` frame and
+/// [`ServerHandle::stats`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later shed).
+    pub connections: AtomicU64,
+    /// Requests solved to completion (ok or structured solve error).
+    pub served: AtomicU64,
+    /// Requests rejected with `quota_exceeded`.
+    pub quota_rejected: AtomicU64,
+    /// Requests shed with `overloaded` (including shed connections).
+    pub overloaded: AtomicU64,
+    /// Requests currently being solved.
+    pub inflight: AtomicUsize,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests solved to completion.
+    pub served: u64,
+    /// Requests rejected with `quota_exceeded`.
+    pub quota_rejected: u64,
+    /// Requests shed with `overloaded`.
+    pub overloaded: u64,
+    /// Requests currently being solved.
+    pub inflight: usize,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tries to reserve `n` in-flight slots; all-or-nothing so one flush is
+    /// never half-admitted.
+    fn try_acquire(&self, n: usize, cap: usize) -> bool {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current + n > cap {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn release(&self, n: usize) {
+        self.inflight.fetch_sub(n, Ordering::AcqRel);
+    }
+}
+
+/// Shared state of a running server.
+struct Shared {
+    service: Arc<SolverService>,
+    config: ServerConfig,
+    draining: AtomicBool,
+    stats: ServerStats,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    active_clients: AtomicUsize,
+}
+
+/// A running socket server.  Dropping the handle does **not** stop the
+/// server; call [`ServerHandle::shutdown`] + [`ServerHandle::join`] (or let
+/// a client send `{"control":"shutdown"}`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Namespace for [`Server::spawn`] (the server runs entirely on background
+/// threads; there is no long-lived `Server` value).
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service` on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding the listener.
+    pub fn spawn(
+        service: Arc<SolverService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept polled against the drain flag: portable
+        // (no epoll/kqueue binding in a vendored-shim build) and the 10 ms
+        // poll is invisible next to solve times.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            draining: AtomicBool::new(false),
+            stats: ServerStats::default(),
+            workers: Mutex::new(Vec::new()),
+            active_clients: AtomicUsize::new(0),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("cr-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &acceptor_shared))
+            .expect("spawn acceptor thread");
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time serving counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Whether a drain has been requested (by this handle or a client's
+    /// shutdown control frame).
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful drain: stop accepting, let in-flight batches
+    /// respond, answer later flushes with `draining`.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the acceptor and every connection worker have exited
+    /// (drain must have been requested, or this waits for all clients to
+    /// hang up on their own).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        // Workers register themselves before the acceptor exits, so after
+        // the acceptor is gone this list is complete.
+        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("worker registry"));
+        for worker in workers {
+            worker.join().expect("connection worker panicked");
+        }
+    }
+}
+
+/// Accepts connections until drain, spawning one worker thread each.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if shared.active_clients.load(Ordering::Acquire) >= shared.config.max_clients {
+                    shed_connection(stream, shared);
+                    continue;
+                }
+                shared.active_clients.fetch_add(1, Ordering::AcqRel);
+                let worker_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("cr-serve-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(stream, &worker_shared);
+                        worker_shared.active_clients.fetch_sub(1, Ordering::AcqRel);
+                    })
+                    .expect("spawn connection worker");
+                shared.workers.lock().expect("worker registry").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Answers a connection past the client cap with one `overloaded` line.
+fn shed_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+    let line = wire::render_item(&BatchItem::rejected(
+        0,
+        "overloaded",
+        format!(
+            "server at its connection cap of {}",
+            shared.config.max_clients
+        ),
+    ));
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Read-timeout polls a draining connection survives before it is closed
+/// (40 × the 50 ms read timeout ≈ 2 s): long enough that a client flushing
+/// concurrently with the drain gets a structured `draining` answer instead
+/// of a closed socket, short enough that [`ServerHandle::join`] stays
+/// bounded even when an idle client never hangs up.
+const DRAIN_GRACE_POLLS: u32 = 40;
+
+/// The per-connection worker: the stdin serve loop, plus admission control,
+/// streaming and drain handling.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // A short read timeout turns the blocking read loop into a poll against
+    // the drain flag without busy-waiting.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut batch: Vec<String> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut line = String::new();
+    let mut drain_polls: u32 = 0;
+    loop {
+        // NB: `line` is cleared only after a complete line is handled — a
+        // read timeout can strike mid-line, and the partial bytes already
+        // pulled from the socket must survive the retry.
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // EOF: answer whatever the client left unflushed, then close.
+                if !batch.is_empty() {
+                    let _ = flush_batch(shared, &mut batch, &mut next_id, &mut writer);
+                }
+                return;
+            }
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    // Explicit flush; an empty batch is a protocol error and
+                    // answers with a structured bad_request row (it used to
+                    // be swallowed silently).
+                    if batch.is_empty() {
+                        let response = wire::empty_flush_line(next_id);
+                        next_id += 1;
+                        if writeln!(writer, "{response}")
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            return;
+                        }
+                    } else if flush_batch(shared, &mut batch, &mut next_id, &mut writer).is_err() {
+                        return;
+                    }
+                } else if let Some(op) = parse_control(trimmed) {
+                    if handle_control(&op, shared, &mut batch, &mut next_id, &mut writer).is_err() {
+                        return;
+                    }
+                    if op == "shutdown" {
+                        return;
+                    }
+                } else {
+                    batch.push(trimmed.to_string());
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining.load(Ordering::Acquire) {
+                    // Graceful drain: complete the pending partial batch
+                    // (it was already accepted), then keep answering for a
+                    // grace window — flushes racing the drain get their
+                    // structured `draining` rows — before closing.
+                    if !batch.is_empty() {
+                        let _ =
+                            flush_batch_during_drain(shared, &mut batch, &mut next_id, &mut writer);
+                    }
+                    drain_polls += 1;
+                    if drain_polls >= DRAIN_GRACE_POLLS {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Recognizes a `{"control": "..."}` frame (an object whose only meaning is
+/// the control op; anything else is a request line).
+fn parse_control(line: &str) -> Option<String> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    match value.get("control") {
+        Some(serde::Value::String(op)) => Some(op.clone()),
+        _ => None,
+    }
+}
+
+/// Handles a control frame: `shutdown` flushes pending work, acknowledges
+/// and starts the drain; `stats` reports the serving counters.
+fn handle_control(
+    op: &str,
+    shared: &Arc<Shared>,
+    batch: &mut Vec<String>,
+    next_id: &mut u64,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    match op {
+        "shutdown" => {
+            if !batch.is_empty() {
+                flush_batch(shared, batch, next_id, writer)?;
+            }
+            shared.draining.store(true, Ordering::Release);
+            writeln!(writer, r#"{{"control":"shutdown","draining":true}}"#)?;
+            writer.flush()
+        }
+        "stats" => {
+            let s = shared.stats.snapshot();
+            writeln!(
+                writer,
+                r#"{{"control":"stats","connections":{},"served":{},"quota_rejected":{},"overloaded":{},"inflight":{}}}"#,
+                s.connections, s.served, s.quota_rejected, s.overloaded, s.inflight
+            )?;
+            writer.flush()
+        }
+        other => {
+            writeln!(
+                writer,
+                r#"{{"control":{},"error":"unknown control op"}}"#,
+                serde_json::to_string(&serde::Value::String(other.to_string()))
+                    .expect("string serialization is infallible")
+            )?;
+            writer.flush()
+        }
+    }
+}
+
+/// Admits, solves and answers one flushed batch (the order-stable heart of
+/// the serving tier).
+fn flush_batch(
+    shared: &Arc<Shared>,
+    batch: &mut Vec<String>,
+    next_id: &mut u64,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    write_items(shared, batch, next_id, writer, false)
+}
+
+/// [`flush_batch`] for the partial batch completed during a graceful drain:
+/// quota and load shedding still apply, but the drain flag itself does not
+/// reject the already-accepted work.
+fn flush_batch_during_drain(
+    shared: &Arc<Shared>,
+    batch: &mut Vec<String>,
+    next_id: &mut u64,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    write_items(shared, batch, next_id, writer, true)
+}
+
+fn write_items(
+    shared: &Arc<Shared>,
+    batch: &mut Vec<String>,
+    next_id: &mut u64,
+    writer: &mut impl Write,
+    during_drain: bool,
+) -> io::Result<()> {
+    let lines = std::mem::take(batch);
+    let first_id = *next_id;
+    *next_id += lines.len() as u64;
+    let items = admit_and_solve(shared, &lines, first_id, during_drain);
+    for item in &items {
+        for line in wire::render_item_streamed(item, shared.config.stream) {
+            writeln!(writer, "{line}")?;
+        }
+    }
+    writer.flush()
+}
+
+/// The admission pipeline of one flush: drain check, per-client quota cut,
+/// global in-flight reservation, then the shared parse + solve path.
+fn admit_and_solve(
+    shared: &Arc<Shared>,
+    lines: &[String],
+    first_id: u64,
+    during_drain: bool,
+) -> Vec<BatchItem> {
+    let stats = &shared.stats;
+    if !during_drain && shared.draining.load(Ordering::Acquire) {
+        return (0..lines.len() as u64)
+            .map(|i| {
+                BatchItem::rejected(
+                    first_id + i,
+                    "draining",
+                    "server is draining for shutdown; no new requests accepted",
+                )
+            })
+            .collect();
+    }
+    let quota = shared.config.per_client_quota;
+    let admitted = lines.len().min(quota);
+    if !stats.try_acquire(admitted, shared.config.max_inflight) {
+        stats
+            .overloaded
+            .fetch_add(lines.len() as u64, Ordering::Relaxed);
+        return (0..lines.len() as u64)
+            .map(|i| {
+                BatchItem::rejected(
+                    first_id + i,
+                    "overloaded",
+                    format!(
+                        "server over its in-flight cap of {}; retry later",
+                        shared.config.max_inflight
+                    ),
+                )
+            })
+            .collect();
+    }
+    let mut items = wire::solve_batch_items(&shared.service, &lines[..admitted], first_id);
+    stats.release(admitted);
+    stats.served.fetch_add(admitted as u64, Ordering::Relaxed);
+    for (i, _) in lines.iter().enumerate().skip(admitted) {
+        stats.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        items.push(BatchItem::rejected(
+            first_id + i as u64,
+            "quota_exceeded",
+            format!("request {i} of this flush exceeds the per-client in-flight quota of {quota}"),
+        ));
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_acquire_is_all_or_nothing() {
+        let stats = ServerStats::default();
+        assert!(stats.try_acquire(3, 4));
+        assert!(!stats.try_acquire(2, 4));
+        assert!(stats.try_acquire(1, 4));
+        stats.release(4);
+        assert_eq!(stats.snapshot().inflight, 0);
+    }
+
+    #[test]
+    fn control_frames_are_recognized() {
+        assert_eq!(
+            parse_control(r#"{"control":"stats"}"#).as_deref(),
+            Some("stats")
+        );
+        assert_eq!(parse_control(r#"{"method":"OptM","rows":[[50]]}"#), None);
+        assert_eq!(parse_control("not json"), None);
+    }
+}

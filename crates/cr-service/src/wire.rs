@@ -37,6 +37,33 @@
 //! Exactly one of `ok` / `error` is non-null.  `error` carries a stable
 //! snake_case `kind` (see `SolveError::kind`) plus a human-readable
 //! `message`; a line that fails to parse gets `kind: "bad_request"`.
+//!
+//! # Transport-level error kinds
+//!
+//! The serving layer adds four kinds of its own on top of the solver's
+//! [`SolveError::kind`] vocabulary (see [`WIRE_ERROR_KINDS`]):
+//!
+//! * `bad_request` — the line failed to parse, or a blank-line flush
+//!   arrived with no accumulated requests;
+//! * `quota_exceeded` — the request exceeded the client's in-flight quota
+//!   (socket server; requests past the quota cut of one flush);
+//! * `overloaded` — the server shed the whole flush because its global
+//!   in-flight cap was reached (socket server);
+//! * `draining` — the flush arrived while the server was draining for
+//!   shutdown.
+//!
+//! # Streaming frames
+//!
+//! A response whose requested schedule has at least
+//! [`StreamPolicy::threshold_steps`] steps is *streamed* instead of
+//! buffered into one giant line: a `"frame":"head"` line (the normal
+//! response with `schedule: null` plus a `stream` descriptor), a sequence
+//! of `"frame":"chunk"` lines each carrying up to
+//! [`StreamPolicy::chunk_steps`] schedule rows, and a closing
+//! `"frame":"end"` line.  Non-streamed lines carry no `frame` key.
+//! [`assemble_streamed`] reassembles the frames into the exact single-line
+//! response a non-streaming path would have produced, byte for byte.
+//! `docs/WIRE.md` specifies every frame with worked examples.
 
 use crate::SolverService;
 use cr_algos::solver::{Budget, EnginePreference, SolveError, SolveOutcome, SolveRequest};
@@ -258,11 +285,72 @@ pub fn bad_request_line(id: u64, message: &str) -> String {
     render_response(id, "", Value::Null, error_value("bad_request", message))
 }
 
-/// Processes one batch of JSONL request lines end to end: parse, fan out
-/// through `service`, render — one response line per request line, in input
-/// order.  Lines default their `id` to `first_id + position`.
+/// The structured response to a blank-line flush that carried no requests
+/// (previously the serve loop swallowed such batches silently).
 #[must_use]
-pub fn process_batch(service: &SolverService, lines: &[String], first_id: u64) -> Vec<String> {
+pub fn empty_flush_line(id: u64) -> String {
+    bad_request_line(id, "empty batch: blank-line flush with no requests")
+}
+
+/// Every transport-level error `kind` the serving layer itself can emit
+/// (the solvers' own vocabulary is [`SolveError::ALL_KINDS`]).
+pub const WIRE_ERROR_KINDS: [&str; 4] = ["bad_request", "quota_exceeded", "overloaded", "draining"];
+
+/// One response slot of a processed batch, before rendering: either a
+/// dispatched solve or a transport-level rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// The line parsed and was dispatched through the service.
+    Solved {
+        /// Echoed wire id.
+        id: u64,
+        /// The dispatched method key.
+        method: String,
+        /// The solve result occupying this slot.
+        result: Result<SolveOutcome, SolveError>,
+    },
+    /// The serving layer rejected the slot without dispatching it.
+    Rejected {
+        /// Echoed wire id.
+        id: u64,
+        /// One of [`WIRE_ERROR_KINDS`].
+        kind: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl BatchItem {
+    /// The wire id this slot answers.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            BatchItem::Solved { id, .. } | BatchItem::Rejected { id, .. } => *id,
+        }
+    }
+
+    /// A rejection slot for a raw line that was never parsed.
+    #[must_use]
+    pub fn rejected(id: u64, kind: &'static str, message: impl Into<String>) -> Self {
+        debug_assert!(WIRE_ERROR_KINDS.contains(&kind));
+        BatchItem::Rejected {
+            id,
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses and solves one batch of JSONL request lines, returning one
+/// structured [`BatchItem`] per line, in input order.  Lines default their
+/// `id` to `first_id + position`; unparseable lines occupy their slot as
+/// `bad_request` rejections.
+#[must_use]
+pub fn solve_batch_items(
+    service: &SolverService,
+    lines: &[String],
+    first_id: u64,
+) -> Vec<BatchItem> {
     let parsed: Vec<Result<WireRequest, String>> = lines
         .iter()
         .enumerate()
@@ -274,14 +362,229 @@ pub fn process_batch(service: &SolverService, lines: &[String], first_id: u64) -
         .collect();
     let mut results = service.solve_batch(&requests).into_iter();
     parsed
-        .iter()
+        .into_iter()
         .enumerate()
         .map(|(i, entry)| match entry {
-            Ok(wire) => {
-                let result = results.next().expect("one result per parsed request");
-                response_line(wire.id, &wire.request.method, &result)
-            }
-            Err(message) => bad_request_line(first_id + i as u64, message),
+            Ok(wire) => BatchItem::Solved {
+                id: wire.id,
+                method: wire.request.method,
+                result: results.next().expect("one result per parsed request"),
+            },
+            Err(message) => BatchItem::Rejected {
+                id: first_id + i as u64,
+                kind: "bad_request",
+                message,
+            },
         })
+        .collect()
+}
+
+/// Renders one batch item as a single (non-streamed) response line.
+#[must_use]
+pub fn render_item(item: &BatchItem) -> String {
+    match item {
+        BatchItem::Solved { id, method, result } => response_line(*id, method, result),
+        BatchItem::Rejected { id, kind, message } => {
+            render_response(*id, "", Value::Null, error_value(kind, message))
+        }
+    }
+}
+
+/// When and how large schedules are streamed as multi-line responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPolicy {
+    /// Schedules with at least this many steps stream; shorter ones (and
+    /// every schedule when the threshold is `usize::MAX`) ride in one line.
+    pub threshold_steps: usize,
+    /// Schedule rows per `"frame":"chunk"` line (must be positive).
+    pub chunk_steps: usize,
+}
+
+impl StreamPolicy {
+    /// Never stream (the stdin `cr-serve` default, and the rendering used
+    /// by the golden batch tests).
+    pub const BUFFERED: StreamPolicy = StreamPolicy {
+        threshold_steps: usize::MAX,
+        chunk_steps: usize::MAX,
+    };
+
+    /// The socket server's default: schedules of 256+ steps stream in
+    /// 64-row chunks.
+    pub const DEFAULT: StreamPolicy = StreamPolicy {
+        threshold_steps: 256,
+        chunk_steps: 64,
+    };
+}
+
+/// Renders one batch item under a streaming policy: one line for ordinary
+/// responses, `head` + `chunk`* + `end` lines when the response carries a
+/// schedule of at least [`StreamPolicy::threshold_steps`] steps.
+#[must_use]
+pub fn render_item_streamed(item: &BatchItem, policy: StreamPolicy) -> Vec<String> {
+    let BatchItem::Solved {
+        id,
+        method,
+        result: Ok(outcome),
+    } = item
+    else {
+        return vec![render_item(item)];
+    };
+    let Some(schedule) = outcome.schedule.as_ref() else {
+        return vec![render_item(item)];
+    };
+    let steps = schedule.num_steps();
+    if steps < policy.threshold_steps {
+        return vec![render_item(item)];
+    }
+    let chunk_steps = policy.chunk_steps.max(1);
+    let chunks = steps.div_ceil(chunk_steps);
+
+    // Head: the ordinary response shape with the schedule nulled out, a
+    // `stream` descriptor appended inside `ok`, and a top-level frame tag.
+    let mut ok = outcome_value(outcome);
+    if let Value::Object(entries) = &mut ok {
+        for (key, value) in entries.iter_mut() {
+            if key == "schedule" {
+                *value = Value::Null;
+            }
+        }
+        entries.push((
+            "stream".to_string(),
+            obj(vec![
+                ("steps", steps.serialize()),
+                ("chunks", chunks.serialize()),
+                ("chunk_steps", chunk_steps.serialize()),
+            ]),
+        ));
+    }
+    let head = serde_json::to_string(&obj(vec![
+        ("id", id.serialize()),
+        ("method", Value::String(method.clone())),
+        ("ok", ok),
+        ("error", Value::Null),
+        ("frame", Value::String("head".to_string())),
+    ]))
+    .expect("head serialization is infallible");
+
+    let mut lines = Vec::with_capacity(chunks + 2);
+    lines.push(head);
+    for (seq, rows) in schedule.steps().chunks(chunk_steps).enumerate() {
+        lines.push(
+            serde_json::to_string(&obj(vec![
+                ("id", id.serialize()),
+                ("frame", Value::String("chunk".to_string())),
+                ("seq", seq.serialize()),
+                (
+                    "steps",
+                    Value::Array(rows.iter().map(Serialize::serialize).collect()),
+                ),
+            ]))
+            .expect("chunk serialization is infallible"),
+        );
+    }
+    lines.push(
+        serde_json::to_string(&obj(vec![
+            ("id", id.serialize()),
+            ("frame", Value::String("end".to_string())),
+            ("chunks", chunks.serialize()),
+        ]))
+        .expect("end serialization is infallible"),
+    );
+    lines
+}
+
+/// Reassembles the streamed frames of one response (`head`, `chunk`*,
+/// `end`, in order) into the exact single-line response a non-streaming
+/// renderer would have produced — byte for byte.
+///
+/// # Errors
+///
+/// A human-readable message when the frame sequence is malformed (missing
+/// head/end, out-of-order chunks, id mismatches, wrong chunk count).
+pub fn assemble_streamed(lines: &[String]) -> Result<String, String> {
+    let parse = |line: &str| -> Result<Value, String> {
+        serde_json::from_str(line).map_err(|e| format!("invalid frame JSON: {e}"))
+    };
+    let frame_tag = |value: &Value| -> Option<String> {
+        match value.get("frame") {
+            Some(Value::String(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    let (head_line, rest) = lines.split_first().ok_or("no frames")?;
+    let head = parse(head_line)?;
+    if frame_tag(&head).as_deref() != Some("head") {
+        return Err("first frame is not a head".to_string());
+    }
+    let id = field_u64(&head, "id")?.ok_or("head frame has no id")?;
+    let mut steps: Vec<Value> = Vec::new();
+    let mut chunks_seen = 0usize;
+    let mut closed = false;
+    for line in rest {
+        let frame = parse(line)?;
+        if field_u64(&frame, "id")? != Some(id) {
+            return Err("frame id mismatch".to_string());
+        }
+        match frame_tag(&frame).as_deref() {
+            Some("chunk") => {
+                if closed {
+                    return Err("chunk after end frame".to_string());
+                }
+                let seq = field_u64(&frame, "seq")?.ok_or("chunk frame has no seq")?;
+                if seq != chunks_seen as u64 {
+                    return Err(format!("chunk {seq} out of order (expected {chunks_seen})"));
+                }
+                match frame.get("steps") {
+                    Some(Value::Array(rows)) => steps.extend(rows.iter().cloned()),
+                    _ => return Err("chunk frame has no steps array".to_string()),
+                }
+                chunks_seen += 1;
+            }
+            Some("end") => {
+                let expected = field_u64(&frame, "chunks")?.ok_or("end frame has no chunks")?;
+                if expected != chunks_seen as u64 {
+                    return Err(format!("end expects {expected} chunks, saw {chunks_seen}"));
+                }
+                closed = true;
+            }
+            other => return Err(format!("unexpected frame tag {other:?}")),
+        }
+    }
+    if !closed {
+        return Err("stream not closed by an end frame".to_string());
+    }
+
+    // Rebuild the single-line shape: drop the frame tag and the stream
+    // descriptor, splice the schedule rows back in.
+    let Value::Object(mut entries) = head else {
+        return Err("head frame is not an object".to_string());
+    };
+    entries.retain(|(k, _)| k != "frame");
+    for (key, value) in &mut entries {
+        if key == "ok" {
+            if let Value::Object(ok_entries) = value {
+                ok_entries.retain(|(k, _)| k != "stream");
+                for (ok_key, ok_value) in ok_entries.iter_mut() {
+                    if ok_key == "schedule" {
+                        *ok_value = Value::Object(vec![(
+                            "steps".to_string(),
+                            Value::Array(std::mem::take(&mut steps)),
+                        )]);
+                    }
+                }
+            }
+        }
+    }
+    serde_json::to_string(&Value::Object(entries)).map_err(|e| e.to_string())
+}
+
+/// Processes one batch of JSONL request lines end to end: parse, fan out
+/// through `service`, render — one response line per request line, in input
+/// order.  Lines default their `id` to `first_id + position`.
+#[must_use]
+pub fn process_batch(service: &SolverService, lines: &[String], first_id: u64) -> Vec<String> {
+    solve_batch_items(service, lines, first_id)
+        .iter()
+        .map(render_item)
         .collect()
 }

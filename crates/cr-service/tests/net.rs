@@ -1,0 +1,261 @@
+//! Socket serving tier contracts: multi-client byte-identity, order
+//! stability, quota/overload shedding as structured errors, schedule
+//! streaming, the empty-flush regression and graceful drain.
+
+use cr_service::net::{Server, ServerConfig, ServerHandle};
+use cr_service::wire::{self, StreamPolicy};
+use cr_service::SolverService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The committed CI smoke batch (10 mixed requests, one over budget).
+fn smoke_lines() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/smoke_batch.jsonl");
+    std::fs::read_to_string(path)
+        .expect("read smoke batch")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    let service = Arc::new(SolverService::with_standard_registry());
+    Server::spawn(service, "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+/// A test client: connects, sends `lines` plus a flushing blank line, reads
+/// `expect` response lines.
+fn drive(addr: std::net::SocketAddr, lines: &[String], expect: usize) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    for line in lines {
+        writeln!(stream, "{line}").expect("send request line");
+    }
+    writeln!(stream).expect("send flush line");
+    stream.flush().expect("flush requests");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response line");
+        responses.push(line.trim_end().to_string());
+    }
+    responses
+}
+
+/// The single-client reference rendering: exactly what the stdin mode (and
+/// a lone socket client) would answer.
+fn reference_responses(lines: &[String]) -> Vec<String> {
+    let service = SolverService::with_standard_registry();
+    wire::process_batch(&service, lines, 0)
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_order_stable_responses() {
+    const CLIENTS: usize = 6;
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.addr();
+    let lines = smoke_lines();
+    let reference = reference_responses(&lines);
+
+    let workers: Vec<std::thread::JoinHandle<Vec<String>>> = (0..CLIENTS)
+        .map(|_| {
+            let lines = lines.clone();
+            std::thread::spawn(move || drive(addr, &lines, 10))
+        })
+        .collect();
+    for worker in workers {
+        let responses = worker.join().expect("client thread");
+        assert_eq!(
+            responses, reference,
+            "a concurrent client's responses diverged from the single-client reference"
+        );
+        for (i, response) in responses.iter().enumerate() {
+            assert!(
+                response.starts_with(&format!("{{\"id\":{i},")),
+                "order instability at slot {i}: {response}"
+            );
+        }
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.connections, CLIENTS as u64);
+    assert_eq!(stats.served, (CLIENTS * 10) as u64);
+    assert_eq!(stats.inflight, 0);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn quota_rejections_are_structured_and_order_stable() {
+    let handle = spawn_server(ServerConfig {
+        per_client_quota: 4,
+        ..ServerConfig::default()
+    });
+    let lines = smoke_lines();
+    let reference = reference_responses(&lines);
+    let responses = drive(handle.addr(), &lines, 10);
+    // The first four slots are admitted and byte-identical to the
+    // unthrottled reference; the rest answer quota_exceeded in order.
+    assert_eq!(responses[..4], reference[..4]);
+    for (i, response) in responses.iter().enumerate().skip(4) {
+        assert!(
+            response.contains("\"kind\":\"quota_exceeded\""),
+            "slot {i} must be a structured quota rejection: {response}"
+        );
+        assert!(
+            response.starts_with(&format!("{{\"id\":{i},")),
+            "{response}"
+        );
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.served, 4);
+    assert_eq!(stats.quota_rejected, 6);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn exhausted_global_cap_sheds_the_whole_flush_as_overloaded() {
+    let handle = spawn_server(ServerConfig {
+        max_inflight: 0,
+        ..ServerConfig::default()
+    });
+    let lines = smoke_lines();
+    let responses = drive(handle.addr(), &lines, 10);
+    for (i, response) in responses.iter().enumerate() {
+        assert!(
+            response.contains("\"kind\":\"overloaded\""),
+            "slot {i} must be shed: {response}"
+        );
+        assert!(
+            response.starts_with(&format!("{{\"id\":{i},")),
+            "{response}"
+        );
+    }
+    assert_eq!(handle.stats().overloaded, 10);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn empty_flush_answers_bad_request_and_ids_keep_counting() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    // A lone blank line: previously swallowed silently, now a structured
+    // bad_request row.
+    writeln!(stream).expect("send empty flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.contains("\"kind\":\"bad_request\""), "{line}");
+    assert!(line.contains("empty batch"), "{line}");
+    assert!(line.starts_with("{\"id\":0,"), "{line}");
+    // The empty flush consumed id 0; a real request now answers as id 1.
+    writeln!(stream, r#"{{"method":"GreedyBalance","rows":[[50,50]]}}"#).expect("send");
+    writeln!(stream).expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.starts_with("{\"id\":1,"), "{line}");
+    assert!(line.contains("\"makespan\":2"), "{line}");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn long_schedules_stream_and_reassemble_byte_identically() {
+    let handle = spawn_server(ServerConfig {
+        stream: StreamPolicy {
+            threshold_steps: 3,
+            chunk_steps: 2,
+        },
+        ..ServerConfig::default()
+    });
+    // Three chained 100% jobs: a 3-step schedule, over the 3-step threshold
+    // → head + 2 chunks + end.
+    let request = vec![
+        r#"{"method":"EqualShare","rows":[[100],[100],[100]],"want_schedule":true}"#.to_string(),
+    ];
+    let frames = drive(handle.addr(), &request, 4);
+    assert!(frames[0].contains("\"frame\":\"head\""), "{}", frames[0]);
+    assert!(frames[0].contains("\"schedule\":null"), "{}", frames[0]);
+    assert!(
+        frames[0].contains("\"stream\":{\"steps\":3,\"chunks\":2,\"chunk_steps\":2}"),
+        "{}",
+        frames[0]
+    );
+    assert!(frames[1].contains("\"frame\":\"chunk\""), "{}", frames[1]);
+    assert!(frames[2].contains("\"seq\":1"), "{}", frames[2]);
+    assert!(frames[3].contains("\"frame\":\"end\""), "{}", frames[3]);
+
+    let assembled = wire::assemble_streamed(&frames).expect("reassemble stream");
+    let reference = reference_responses(&request);
+    assert_eq!(assembled, reference[0], "streamed ≠ buffered response");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_control_frame_drains_gracefully() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    // Pending (un-flushed) work plus a shutdown control frame: the pending
+    // batch completes before the drain acknowledgment.
+    writeln!(stream, r#"{{"method":"OptTwo","rows":[[60,40],[40,60]]}}"#).expect("send");
+    writeln!(stream, r#"{{"control":"stats"}}"#).expect("send stats");
+    writeln!(stream, r#"{{"control":"shutdown"}}"#).expect("send shutdown");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read stats");
+    assert!(line.contains("\"control\":\"stats\""), "{line}");
+    line.clear();
+    reader.read_line(&mut line).expect("read pending response");
+    assert!(line.contains("\"makespan\":2"), "{line}");
+    line.clear();
+    reader.read_line(&mut line).expect("read drain ack");
+    assert!(
+        line.contains("\"control\":\"shutdown\"") && line.contains("\"draining\":true"),
+        "{line}"
+    );
+    // Clean close after the ack.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("read EOF"), 0);
+    assert!(handle.is_draining());
+    handle.join();
+}
+
+#[test]
+fn draining_server_answers_new_flushes_with_draining_errors() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    // Ensure the connection is up before the drain starts.
+    writeln!(stream, r#"{{"method":"GreedyBalance","rows":[[50]]}}"#).expect("send");
+    writeln!(stream).expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.contains("\"makespan\":1"), "{line}");
+
+    handle.shutdown();
+    // An explicit flush after the drain started answers with structured
+    // draining rows (the connection is not dropped mid-protocol).
+    writeln!(stream, r#"{{"method":"GreedyBalance","rows":[[50]]}}"#).expect("send");
+    writeln!(stream).expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("read draining row");
+    assert!(line.contains("\"kind\":\"draining\""), "{line}");
+    drop(stream);
+    handle.join();
+}

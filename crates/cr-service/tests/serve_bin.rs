@@ -1,0 +1,62 @@
+//! End-to-end regression tests driving the `cr-serve` binary itself.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Pipes `input` through `cr-serve` in stdin mode and returns stdout lines.
+fn run_serve_stdin(input: &str) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cr-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cr-serve");
+    child
+        .stdin
+        .take()
+        .expect("child stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let output = child.wait_with_output().expect("wait for cr-serve");
+    assert!(output.status.success(), "cr-serve exited {}", output.status);
+    String::from_utf8(output.stdout)
+        .expect("utf8 stdout")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn blank_line_only_input_answers_bad_request_instead_of_silence() {
+    // Regression: a blank-line flush with no accumulated requests used to
+    // be swallowed silently and the process exited with no output at all.
+    let lines = run_serve_stdin("\n");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(
+        lines[0].contains("\"kind\":\"bad_request\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("empty batch"), "{}", lines[0]);
+}
+
+#[test]
+fn empty_flushes_consume_ids_between_real_batches() {
+    let input = "\n\
+        {\"method\":\"GreedyBalance\",\"rows\":[[50,50]]}\n\
+        \n\
+        \n";
+    let lines = run_serve_stdin(input);
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    // Empty flush (id 0), the real request (id 1), empty flush again (id 2).
+    assert!(lines[0].starts_with("{\"id\":0,") && lines[0].contains("bad_request"));
+    assert!(lines[1].starts_with("{\"id\":1,") && lines[1].contains("\"makespan\":2"));
+    assert!(lines[2].starts_with("{\"id\":2,") && lines[2].contains("bad_request"));
+}
+
+#[test]
+fn trailing_batch_without_final_blank_line_still_answers_on_eof() {
+    let lines = run_serve_stdin("{\"method\":\"Bounds\",\"rows\":[[60,40],[40,60]]}");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("\"lower_bounds\""), "{}", lines[0]);
+}

@@ -1,0 +1,42 @@
+//! Keeps `docs/WIRE.md` honest: the protocol spec must document every
+//! stable error `kind` string the serving surface can emit.
+
+use cr_algos::solver::SolveError;
+use cr_service::wire::WIRE_ERROR_KINDS;
+
+fn wire_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/WIRE.md");
+    std::fs::read_to_string(path).expect("docs/WIRE.md exists at the workspace root")
+}
+
+#[test]
+fn wire_md_documents_every_solver_error_kind() {
+    let doc = wire_md();
+    for kind in SolveError::ALL_KINDS {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "docs/WIRE.md does not document the solver error kind `{kind}`"
+        );
+    }
+}
+
+#[test]
+fn wire_md_documents_every_transport_error_kind() {
+    let doc = wire_md();
+    for kind in WIRE_ERROR_KINDS {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "docs/WIRE.md does not document the transport error kind `{kind}`"
+        );
+    }
+}
+
+#[test]
+fn solver_and_transport_vocabularies_do_not_overlap() {
+    for kind in WIRE_ERROR_KINDS {
+        assert!(
+            !SolveError::ALL_KINDS.contains(&kind),
+            "transport kind `{kind}` shadows a solver kind"
+        );
+    }
+}

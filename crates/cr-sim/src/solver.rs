@@ -17,7 +17,7 @@
 //! [`EnginePreference::Rational`] is rejected with
 //! [`SolveError::EngineUnavailable`] and both `Auto` and `Scaled` run the
 //! integer engine.  A workload whose grid overflows `u64` fails with
-//! [`SolveError::GridOverflow`].  [`Budget::max_steps`] is enforced as a
+//! [`SolveError::GridOverflow`].  [`Budget::max_steps`](cr_algos::solver::Budget::max_steps) is enforced as a
 //! hard simulation step limit — the run genuinely stops at the limit.
 
 use crate::engine::{SimError, Simulator};
