@@ -15,9 +15,10 @@
 //! [`brute_force_makespan_rational`] for cross-checking and as the overflow
 //! fallback.
 
-use crate::opt_m::{successors, Config};
+use crate::opt_m::{successors_cancellable, Config};
 use crate::scaled_engine;
-use cr_core::{bounds, Instance, ScaledInstance};
+use crate::subset_enum::CHOICE_CHECK_STRIDE;
+use cr_core::{bounds, CancelGate, CancelReason, CancelToken, Instance, ScaledInstance};
 use std::collections::HashMap;
 
 /// Search statistics of a brute-force run (useful for reporting how much
@@ -47,16 +48,31 @@ pub fn brute_force_makespan(instance: &Instance) -> usize {
 /// otherwise.
 #[must_use]
 pub fn brute_force_with_stats(instance: &Instance) -> (usize, SearchStats) {
+    brute_force_with_stats_cancellable(instance, &CancelToken::never())
+        .expect("a never token cannot fire")
+}
+
+/// [`brute_force_with_stats`] with cooperative cancellation on both the
+/// scaled and the rational path.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit size jobs.
+pub(crate) fn brute_force_with_stats_cancellable(
+    instance: &Instance,
+    token: &CancelToken,
+) -> Result<(usize, SearchStats), CancelReason> {
     assert!(
         instance.is_unit_size(),
         "brute force solver requires unit-size jobs"
     );
     match ScaledInstance::try_new(instance) {
         Some(scaled) => {
-            let (result, states, expansions) = scaled_engine::brute_force(&scaled);
-            (result, SearchStats { states, expansions })
+            let (result, states, expansions) =
+                scaled_engine::brute_force_cancellable(&scaled, token)?;
+            Ok((result, SearchStats { states, expansions }))
         }
-        None => brute_force_with_stats_rational(instance),
+        None => brute_force_with_stats_rational_cancellable(instance, token),
     }
 }
 
@@ -73,41 +89,60 @@ pub fn brute_force_makespan_rational(instance: &Instance) -> usize {
 /// Like [`brute_force_makespan_rational`] but also reports statistics.
 #[must_use]
 pub fn brute_force_with_stats_rational(instance: &Instance) -> (usize, SearchStats) {
+    brute_force_with_stats_rational_cancellable(instance, &CancelToken::never())
+        .expect("a never token cannot fire")
+}
+
+/// [`brute_force_with_stats_rational`] with cooperative cancellation: the
+/// token is checked per expansion and (through the shared gate) per DFS
+/// extension inside the successor enumeration.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit size jobs.
+pub(crate) fn brute_force_with_stats_rational_cancellable(
+    instance: &Instance,
+    token: &CancelToken,
+) -> Result<(usize, SearchStats), CancelReason> {
     assert!(
         instance.is_unit_size(),
         "brute force solver requires unit-size jobs"
     );
+    token.check()?;
     let m = instance.processors();
     let mut memo: HashMap<Config, usize> = HashMap::new();
     let mut stats = SearchStats::default();
+    let mut gate = token.gate(CHOICE_CHECK_STRIDE);
     let initial = Config::initial(m);
-    let result = search(instance, &initial, &mut memo, &mut stats);
+    let result = search(instance, &initial, &mut memo, &mut gate, &mut stats)?;
     stats.states = memo.len();
-    (result, stats)
+    Ok((result, stats))
 }
 
 fn search(
     instance: &Instance,
     config: &Config,
     memo: &mut HashMap<Config, usize>,
+    gate: &mut CancelGate,
     stats: &mut SearchStats,
-) -> usize {
+) -> Result<usize, CancelReason> {
     if config.is_final(instance) {
-        return 0;
+        return Ok(0);
     }
     if let Some(&v) = memo.get(config) {
-        return v;
+        return Ok(v);
     }
+    gate.tick()?;
     stats.expansions += 1;
     let mut best = usize::MAX;
-    for (next, _choice) in successors(instance, config) {
-        let sub = search(instance, &next, memo, stats);
+    for (next, _choice) in successors_cancellable(instance, config, gate)? {
+        let sub = search(instance, &next, memo, gate, stats)?;
         if sub != usize::MAX {
             best = best.min(sub + 1);
         }
     }
     memo.insert(config.clone(), best);
-    best
+    Ok(best)
 }
 
 /// Convenience wrapper asserting that a claimed makespan is optimal; returns
@@ -215,6 +250,26 @@ mod tests {
         assert_eq!(opt, 2);
         assert!(stats.states > 0);
         assert!(stats.expansions > 0);
+    }
+
+    #[test]
+    fn cancelled_rational_brute_force_stops_early() {
+        let inst = Instance::unit_from_percentages(&[&[80, 20], &[70, 30], &[10, 90]]);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            brute_force_with_stats_rational_cancellable(&inst, &token),
+            Err(CancelReason::Cancelled)
+        );
+        assert_eq!(
+            brute_force_with_stats_cancellable(&inst, &token),
+            Err(CancelReason::Cancelled)
+        );
+        let live = CancelToken::new();
+        assert_eq!(
+            brute_force_with_stats_cancellable(&inst, &live).unwrap(),
+            brute_force_with_stats(&inst)
+        );
     }
 
     #[test]

@@ -29,9 +29,12 @@
 //! empty) successor enumeration in release builds.
 
 use crate::scaled_engine;
-use crate::subset_enum::{for_each_choice, EnumScratch};
+use crate::subset_enum::{for_each_choice_cancellable, EnumScratch, CHOICE_CHECK_STRIDE};
 use crate::traits::Scheduler;
-use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
+use cr_core::{
+    CancelGate, CancelReason, CancelToken, Instance, Ratio, ScaledInstance, Schedule,
+    ScheduleBuilder,
+};
 use std::collections::HashMap;
 
 /// A configuration: how many jobs each processor has completed and how much
@@ -108,13 +111,17 @@ pub(crate) struct StepChoice {
 /// fitting subsets of the requirement-sorted active processors are visited,
 /// zero-requirement frontiers always complete (the variants skipping them
 /// are strictly dominated), and the active-processor count is unbounded.
-pub(crate) fn successors(instance: &Instance, config: &Config) -> Vec<(Config, StepChoice)> {
+pub(crate) fn successors_cancellable(
+    instance: &Instance,
+    config: &Config,
+    gate: &mut CancelGate,
+) -> Result<Vec<(Config, StepChoice)>, CancelReason> {
     let m = instance.processors();
     let active: Vec<usize> = (0..m)
         .filter(|&i| config.completed[i] < instance.jobs_on(i))
         .collect();
     if active.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let remaining: Vec<Ratio> = active
         .iter()
@@ -123,10 +130,11 @@ pub(crate) fn successors(instance: &Instance, config: &Config) -> Vec<(Config, S
 
     let mut scratch = EnumScratch::default();
     let mut out = Vec::new();
-    for_each_choice(
+    for_each_choice_cancellable(
         &remaining,
         Ratio::ONE,
         &mut scratch,
+        gate,
         &mut |finished, partial| {
             let mut next = config.clone();
             let mut finished_procs = Vec::with_capacity(finished.len());
@@ -149,8 +157,8 @@ pub(crate) fn successors(instance: &Instance, config: &Config) -> Vec<(Config, S
                 },
             ));
         },
-    );
-    out
+    )?;
+    Ok(out)
 }
 
 /// One node of the round-by-round search, with a back pointer for schedule
@@ -182,6 +190,19 @@ fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
 /// the search genuinely stops early, mirroring the scaled engine's
 /// `run_search_capped`.
 fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<Vec<Vec<Node>>> {
+    run_search_limited_cancellable(instance, round_cap, &CancelToken::never())
+        .expect("a never token cannot fire")
+}
+
+/// [`run_search_limited`] with cooperative cancellation: the token is
+/// checked at every round boundary and (through the shared gate) per DFS
+/// extension inside the successor enumeration, so even a single huge round
+/// observes the deadline within [`cr_core::cancel::CHECK_INTERVAL_MS`].
+fn run_search_limited_cancellable(
+    instance: &Instance,
+    round_cap: Option<usize>,
+    token: &CancelToken,
+) -> Result<Option<Vec<Vec<Node>>>, CancelReason> {
     let m = instance.processors();
     let initial = Config::initial(m);
     let mut rounds: Vec<Vec<Node>> = vec![vec![Node {
@@ -191,18 +212,21 @@ fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<V
     }]];
 
     if initial.is_final(instance) {
-        return Some(rounds);
+        return Ok(Some(rounds));
     }
 
+    let mut gate = token.gate(CHOICE_CHECK_STRIDE);
+    let mut filter_gate = token.gate(FILTER_CHECK_STRIDE);
     let max_rounds = instance.total_jobs() + 1;
     let round_limit = round_cap.map_or(max_rounds, |cap| cap.min(max_rounds));
     let mut found_final = false;
     for _round in 0..round_limit {
+        token.check()?;
         let prev = rounds.last().expect("at least the initial round");
         let mut seen: HashMap<Config, usize> = HashMap::new();
         let mut next: Vec<Node> = Vec::new();
         for (parent_idx, node) in prev.iter().enumerate() {
-            for (config, choice) in successors(instance, &node.config) {
+            for (config, choice) in successors_cancellable(instance, &node.config, &mut gate)? {
                 if let Some(&existing) = seen.get(&config) {
                     // Exact duplicate: keep the first representative.
                     let _ = existing;
@@ -222,6 +246,7 @@ fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<V
         // plain domination keeps an optimal continuation around).
         let mut keep = vec![true; next.len()];
         for a in 0..next.len() {
+            filter_gate.tick()?;
             if !keep[a] {
                 continue;
             }
@@ -248,12 +273,17 @@ fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<V
         }
     }
     if found_final {
-        Some(rounds)
+        Ok(Some(rounds))
     } else {
         debug_assert!(round_cap.is_some(), "uncapped search must terminate");
-        None
+        Ok(None)
     }
 }
+
+/// The per-candidate check stride for the quadratic dominance filter
+/// (each outer iteration scans every other survivor, so checks stay cheap
+/// relative to the work between them even at a small stride).
+const FILTER_CHECK_STRIDE: u32 = 64;
 
 /// One rational configuration search answering both questions at once:
 /// the makespan plus (when requested) the reconstructed schedule, so the
@@ -263,20 +293,39 @@ fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<V
 /// # Panics
 ///
 /// Panics if the instance contains non-unit job sizes.
+#[cfg(test)]
 pub(crate) fn solve_rational(
     instance: &Instance,
     round_cap: Option<usize>,
     want_schedule: bool,
 ) -> Option<(usize, Option<Schedule>)> {
+    solve_rational_cancellable(instance, round_cap, want_schedule, &CancelToken::never())
+        .expect("a never token cannot fire")
+}
+
+/// [`solve_rational`] with cooperative cancellation — `Err` when the token
+/// fired mid-search, `Ok(None)` when `round_cap` cut the search off.
+///
+/// # Panics
+///
+/// Panics if the instance contains non-unit job sizes.
+pub(crate) fn solve_rational_cancellable(
+    instance: &Instance,
+    round_cap: Option<usize>,
+    want_schedule: bool,
+    token: &CancelToken,
+) -> Result<Option<(usize, Option<Schedule>)>, CancelReason> {
     assert_unit(instance);
-    let rounds = run_search_limited(instance, round_cap)?;
+    let Some(rounds) = run_search_limited_cancellable(instance, round_cap, token)? else {
+        return Ok(None);
+    };
     let makespan = if rounds[0][0].config.is_final(instance) {
         0
     } else {
         rounds.len() - 1
     };
     let schedule = want_schedule.then(|| schedule_from_rounds(instance, &rounds));
-    Some((makespan, schedule))
+    Ok(Some((makespan, schedule)))
 }
 
 /// The optimal makespan computed by the configuration search.
@@ -561,6 +610,23 @@ mod tests {
             .build();
         assert_eq!(opt_m_makespan(&inst), 0);
         assert_eq!(OptM::new().schedule(&inst).num_steps(), 0);
+    }
+
+    #[test]
+    fn cancelled_rational_search_stops_early() {
+        let inst = Instance::unit_from_percentages(&[&[60, 40, 80], &[30, 90, 10]]);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            solve_rational_cancellable(&inst, None, false, &token),
+            Err(CancelReason::Cancelled)
+        );
+        // A live token reproduces the plain path exactly.
+        let live = CancelToken::new();
+        assert_eq!(
+            solve_rational_cancellable(&inst, None, false, &live).unwrap(),
+            solve_rational(&inst, None, false)
+        );
     }
 
     #[test]

@@ -33,8 +33,11 @@
 //! to the rational reference solvers", enforced by unit tests here and by
 //! the `proptest_scaled` cross-check suite.
 
-use crate::subset_enum::{for_each_choice, EnumScratch};
-use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
+use crate::subset_enum::{for_each_choice_cancellable, EnumScratch, CHOICE_CHECK_STRIDE};
+use cr_core::{
+    CancelGate, CancelReason, CancelToken, Instance, Ratio, ScaledInstance, Schedule,
+    ScheduleBuilder,
+};
 use rayon::prelude::*;
 use rustc_hash::FxHashSet;
 use std::fmt;
@@ -62,6 +65,12 @@ pub enum SearchError {
         /// Its node count.
         nodes: usize,
     },
+    /// The search's [`CancelToken`] fired (deadline passed or the request
+    /// was cancelled externally) and the loops stopped cooperatively.
+    Cancelled {
+        /// Why the token fired.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -72,6 +81,9 @@ impl fmt::Display for SearchError {
                 "configuration-search round {round} holds {nodes} nodes, \
                  exceeding the u32 parent-index headroom"
             ),
+            SearchError::Cancelled { reason } => {
+                write!(f, "configuration search stopped: {reason}")
+            }
         }
     }
 }
@@ -137,12 +149,29 @@ pub(crate) struct SuccScratch {
 /// Runs on the shared pruned DFS enumerator (`crate::subset_enum`), so the
 /// active-processor count is unbounded and unit sums are overflow-checked.
 /// Mirrors the rational `opt_m::successors` step enumeration exactly.
+#[cfg(test)]
 pub(crate) fn for_each_successor(
     scaled: &ScaledInstance,
     config: &[u64],
     scratch: &mut SuccScratch,
-    mut emit: impl FnMut(&[u64], &[u32], Option<(u32, u64)>),
+    emit: impl FnMut(&[u64], &[u32], Option<(u32, u64)>),
 ) {
+    let mut gate = CancelToken::never().gate(CHOICE_CHECK_STRIDE);
+    for_each_successor_cancellable(scaled, config, scratch, &mut gate, emit)
+        .expect("a never token cannot fire");
+}
+
+/// [`for_each_successor`] with cooperative cancellation: the underlying
+/// choice DFS consults `gate`, so even a single configuration with an
+/// exponentially large choice space stops promptly.  Successors already
+/// emitted before the cut are not unwound.
+pub(crate) fn for_each_successor_cancellable(
+    scaled: &ScaledInstance,
+    config: &[u64],
+    scratch: &mut SuccScratch,
+    gate: &mut CancelGate,
+    mut emit: impl FnMut(&[u64], &[u32], Option<(u32, u64)>),
+) -> Result<(), CancelReason> {
     let m = scaled.processors();
     let SuccScratch {
         active,
@@ -161,12 +190,13 @@ pub(crate) fn for_each_successor(
         }
     }
     if active.is_empty() {
-        return;
+        return Ok(());
     }
-    for_each_choice(
+    for_each_choice_cancellable(
         remaining,
         scaled.capacity(),
         choices,
+        gate,
         &mut |finished, partial| {
             tmp.clear();
             tmp.extend_from_slice(config);
@@ -186,7 +216,7 @@ pub(crate) fn for_each_successor(
             });
             emit(tmp, finished_procs, partial);
         },
-    );
+    )
 }
 
 /// One node of the round-by-round configuration search.
@@ -209,31 +239,39 @@ fn expand_chunk(
     base: u32,
     nodes: &[ScaledNode],
     scratch: &mut SuccScratch,
-) -> Vec<ScaledNode> {
+    token: &CancelToken,
+) -> Result<Vec<ScaledNode>, CancelReason> {
+    let mut gate = token.gate(CHOICE_CHECK_STRIDE);
     let mut local_seen: FxHashSet<PackedConfig> = FxHashSet::default();
     let mut out: Vec<ScaledNode> = Vec::new();
     for (offset, node) in nodes.iter().enumerate() {
         let parent = base + u32::try_from(offset).expect("chunk offset fits u32");
-        for_each_successor(scaled, &node.config, scratch, |tmp, finished, partial| {
-            // Exact duplicate within the shard: keep the first
-            // representative.  Probing with the borrowed scratch slice means
-            // duplicates cost no allocation at all.
-            if local_seen.contains(tmp) {
-                return;
-            }
-            let config: PackedConfig = Arc::from(tmp);
-            local_seen.insert(config.clone());
-            out.push(ScaledNode {
-                config,
-                parent,
-                choice: ScaledChoice {
-                    finished: Arc::from(finished),
-                    partial,
-                },
-            });
-        });
+        for_each_successor_cancellable(
+            scaled,
+            &node.config,
+            scratch,
+            &mut gate,
+            |tmp, finished, partial| {
+                // Exact duplicate within the shard: keep the first
+                // representative.  Probing with the borrowed scratch slice means
+                // duplicates cost no allocation at all.
+                if local_seen.contains(tmp) {
+                    return;
+                }
+                let config: PackedConfig = Arc::from(tmp);
+                local_seen.insert(config.clone());
+                out.push(ScaledNode {
+                    config,
+                    parent,
+                    choice: ScaledChoice {
+                        finished: Arc::from(finished),
+                        partial,
+                    },
+                });
+            },
+        )?;
     }
-    out
+    Ok(out)
 }
 
 /// Runs the Algorithm 2 configuration search on the scaled instance and
@@ -252,16 +290,19 @@ pub(crate) fn run_search(scaled: &ScaledInstance) -> Result<Vec<Vec<ScaledNode>>
     run_search_chunked(scaled, None)
 }
 
-/// [`run_search`] with a hard cap on the number of expanded rounds (the
-/// solver layer's `max_rounds` budget).  Returns `Ok(None)` when the cap is
-/// reached before any final configuration appears — the search genuinely
-/// stops early instead of burning the full expansion, so a deliberately
-/// over-budget request costs at most `cap` rounds.
-pub(crate) fn run_search_capped(
+/// [`run_search`] with a hard round cap (the solver layer's `max_rounds`
+/// budget; `Ok(None)` when the cap is reached before a final configuration
+/// appears, so a deliberately over-budget request costs at most `cap`
+/// rounds) and cooperative cancellation: every long loop of the search
+/// (round expansion, the choice DFS, the dominance filter) consults
+/// `token`, so the search stops within one check interval of the token
+/// firing, surfacing [`SearchError::Cancelled`].
+pub(crate) fn run_search_cancellable(
     scaled: &ScaledInstance,
-    cap: usize,
+    round_cap: Option<usize>,
+    token: &CancelToken,
 ) -> Result<Option<Vec<Vec<ScaledNode>>>, SearchError> {
-    run_search_impl(scaled, None, Some(cap))
+    run_search_impl(scaled, None, round_cap, token)
 }
 
 /// [`run_search`] with an explicit expansion chunk size (`None` derives one
@@ -272,17 +313,26 @@ pub(crate) fn run_search_chunked(
     scaled: &ScaledInstance,
     chunk_size: Option<usize>,
 ) -> Result<Vec<Vec<ScaledNode>>, SearchError> {
-    run_search_impl(scaled, chunk_size, None)
+    run_search_impl(scaled, chunk_size, None, &CancelToken::never())
         .map(|rounds| rounds.expect("uncapped search always reaches a final configuration"))
 }
 
-/// The configuration search with both knobs: expansion chunk size and round
-/// cap.  `Ok(None)` is only produced when `round_cap` cuts the search off.
+/// How many dominance-filter candidates pass between token checks: one
+/// candidate costs a kept-prefix scan of slice compares (microseconds on
+/// the largest observed rounds), so this stride checks far more often than
+/// the [`cr_core::cancel::CHECK_INTERVAL_MS`] contract requires.
+const FILTER_CHECK_STRIDE: u32 = 64;
+
+/// The configuration search with all knobs: expansion chunk size, round
+/// cap and cancellation.  `Ok(None)` is only produced when `round_cap` cuts
+/// the search off.
 fn run_search_impl(
     scaled: &ScaledInstance,
     chunk_size: Option<usize>,
     round_cap: Option<usize>,
+    token: &CancelToken,
 ) -> Result<Option<Vec<Vec<ScaledNode>>>, SearchError> {
+    let cancelled = |reason: CancelReason| SearchError::Cancelled { reason };
     let m = scaled.processors();
     let initial = initial_config(m);
     let mut rounds: Vec<Vec<ScaledNode>> = vec![vec![ScaledNode {
@@ -306,6 +356,7 @@ fn run_search_impl(
     let round_limit = round_cap.map_or(max_rounds, |cap| cap.min(max_rounds));
     let mut found_final = false;
     for _round in 0..round_limit {
+        token.check().map_err(cancelled)?;
         // Invariant: `prev` was size-checked against the u32 parent-index
         // headroom when it was produced (the initial round has one node).
         let prev = rounds.last().expect("at least the initial round");
@@ -319,7 +370,7 @@ fn run_search_impl(
             // One chunk: its local dedup already is the global dedup, so the
             // merge (and the parallel plumbing) would be pure overhead.
             // Small instances take this path on every round.
-            expand_chunk(scaled, 0, prev, &mut serial_scratch)
+            expand_chunk(scaled, 0, prev, &mut serial_scratch, token).map_err(cancelled)?
         } else {
             // Fan the round out chunk-wise; each shard arrives locally
             // deduped and in parent order, and the chunks come back in
@@ -335,18 +386,20 @@ fn run_search_impl(
                     )
                 })
                 .collect();
-            let shards: Vec<Vec<ScaledNode>> = chunks
+            let shards: Vec<Result<Vec<ScaledNode>, CancelReason>> = chunks
                 .par_iter()
                 .map(|&(base, slice)| {
                     let mut scratch = SuccScratch::default();
-                    expand_chunk(scaled, base, slice, &mut scratch)
+                    expand_chunk(scaled, base, slice, &mut scratch, token)
                 })
                 .collect();
 
             let mut seen: FxHashSet<PackedConfig> = FxHashSet::default();
             let mut merged: Vec<ScaledNode> = Vec::new();
             for shard in shards {
-                for node in shard {
+                // A cancelled shard aborts the whole round: the other shards
+                // observed the same token and bailed within one stride.
+                for node in shard.map_err(cancelled)? {
                     // Cross-shard duplicate: the first shard (lowest parent
                     // index) keeps its representative, as in a serial scan.
                     if seen.contains(&*node.config) {
@@ -394,7 +447,9 @@ fn run_search_impl(
             .collect();
         order.sort_unstable_by(|a, b| b.cmp(a));
         let mut kept: Vec<u32> = Vec::with_capacity(order.len());
+        let mut filter_gate = token.gate(FILTER_CHECK_STRIDE);
         for &(_, _, idx) in &order {
+            filter_gate.tick().map_err(cancelled)?;
             let candidate = &next[idx as usize].config;
             if !kept
                 .iter()
@@ -486,13 +541,33 @@ pub(crate) fn search_schedule(
 
 /// Memoized exhaustive search (the brute-force reference) on the scaled
 /// instance.  Returns `(optimal makespan, memoized states, expansions)`.
+#[cfg(test)]
 pub(crate) fn brute_force(scaled: &ScaledInstance) -> (usize, usize, usize) {
+    brute_force_cancellable(scaled, &CancelToken::never()).expect("a never token cannot fire")
+}
+
+/// [`brute_force`] with cooperative cancellation: the memoized DFS consults
+/// `token` on every expansion (and inside the choice enumeration), so even
+/// an exponential search stops within one check stride of the token firing.
+pub(crate) fn brute_force_cancellable(
+    scaled: &ScaledInstance,
+    token: &CancelToken,
+) -> Result<(usize, usize, usize), CancelReason> {
+    token.check()?;
     let mut memo: rustc_hash::FxHashMap<PackedConfig, usize> = rustc_hash::FxHashMap::default();
     let mut scratch = SuccScratch::default();
     let mut expansions = 0usize;
+    let mut gate = token.gate(CHOICE_CHECK_STRIDE);
     let initial = initial_config(scaled.processors());
-    let best = brute_force_dfs(scaled, &initial, &mut memo, &mut scratch, &mut expansions);
-    (best, memo.len(), expansions)
+    let best = brute_force_dfs(
+        scaled,
+        &initial,
+        &mut memo,
+        &mut scratch,
+        &mut gate,
+        &mut expansions,
+    )?;
+    Ok((best, memo.len(), expansions))
 }
 
 fn brute_force_dfs(
@@ -500,30 +575,32 @@ fn brute_force_dfs(
     config: &PackedConfig,
     memo: &mut rustc_hash::FxHashMap<PackedConfig, usize>,
     scratch: &mut SuccScratch,
+    gate: &mut CancelGate,
     expansions: &mut usize,
-) -> usize {
+) -> Result<usize, CancelReason> {
     if is_final(scaled, config) {
-        return 0;
+        return Ok(0);
     }
     if let Some(&v) = memo.get(config) {
-        return v;
+        return Ok(v);
     }
+    gate.tick()?;
     *expansions += 1;
     // Collect successors first (the scratch buffers are reused by the
     // recursive calls), then recurse.
     let mut successors: Vec<PackedConfig> = Vec::new();
-    for_each_successor(scaled, config, scratch, |tmp, _finished, _partial| {
+    for_each_successor_cancellable(scaled, config, scratch, gate, |tmp, _finished, _partial| {
         successors.push(Arc::from(tmp));
-    });
+    })?;
     let mut best = usize::MAX;
     for next in &successors {
-        let sub = brute_force_dfs(scaled, next, memo, scratch, expansions);
+        let sub = brute_force_dfs(scaled, next, memo, scratch, gate, expansions)?;
         if sub != usize::MAX {
             best = best.min(sub + 1);
         }
     }
     memo.insert(config.clone(), best);
-    best
+    Ok(best)
 }
 
 /// Decision per DP step of the two-processor dynamic program, stored as one
@@ -915,6 +992,27 @@ mod tests {
             assert!(states > 0);
             assert!(expansions > 0);
         }
+    }
+
+    #[test]
+    fn cancelled_search_surfaces_a_structured_error() {
+        let s = scaled(&[&[100], &[100], &[100]]);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = run_search_cancellable(&s, None, &token).unwrap_err();
+        assert_eq!(
+            err,
+            SearchError::Cancelled {
+                reason: CancelReason::Cancelled
+            }
+        );
+        assert!(err.to_string().contains("cancelled externally"));
+        let err = brute_force_cancellable(&s, &token).unwrap_err();
+        assert_eq!(err, CancelReason::Cancelled);
+        // An unfired token changes nothing: same rounds as the plain entry.
+        let live = CancelToken::new();
+        let cancellable = run_search_cancellable(&s, None, &live).unwrap().unwrap();
+        assert_eq!(cancellable, run_search(&s).unwrap());
     }
 
     #[test]

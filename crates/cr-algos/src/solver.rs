@@ -64,8 +64,16 @@
 //! schedule (a response-size contract, not a watchdog); the online
 //! simulator methods enforce `max_steps` as a hard step limit while
 //! simulating.
+//!
+//! [`Budget::max_wall_ms`] is the one *time*-shaped knob: it derives a
+//! [`CancelToken`] deadline that every long-running loop observes within
+//! [`cr_core::cancel::CHECK_INTERVAL_MS`], failing the request with
+//! [`SolveError::DeadlineExceeded`] instead of pinning a worker forever.
+//! The serving tier combines it with a per-connection token through
+//! [`Solver::solve_cancellable`], so a dying connection also stops its
+//! in-flight work.
 
-use crate::brute_force::{brute_force_with_stats_rational, SearchStats};
+use crate::brute_force::{brute_force_with_stats_rational_cancellable, SearchStats};
 use crate::greedy_balance::GreedyBalance;
 use crate::heuristics::{
     EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst,
@@ -78,8 +86,8 @@ use crate::traits::Scheduler;
 use crate::OptM;
 use crate::OptTwo;
 use cr_core::{
-    bounds, Instance, ScaledInstance, ScaledScheduleBuilder, Schedule, ScheduleError,
-    SchedulingGraph,
+    bounds, CancelReason, CancelToken, Instance, ScaledInstance, ScaledScheduleBuilder, Schedule,
+    ScheduleError, SchedulingGraph,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -137,6 +145,12 @@ pub struct Budget {
     pub max_steps: Option<usize>,
     /// Cap on the expanded rounds of the exact configuration search.
     pub max_rounds: Option<usize>,
+    /// Wall-clock deadline for the whole request, in milliseconds (the wire
+    /// layer's `deadline_ms` field).  Unlike the shape-based caps above this
+    /// bounds *time*: every long-running loop checks a [`CancelToken`]
+    /// derived from it and stops within [`cr_core::cancel::CHECK_INTERVAL_MS`]
+    /// of the deadline, failing with [`SolveError::DeadlineExceeded`].
+    pub max_wall_ms: Option<u64>,
 }
 
 impl Budget {
@@ -144,6 +158,7 @@ impl Budget {
     pub const UNLIMITED: Budget = Budget {
         max_steps: None,
         max_rounds: None,
+        max_wall_ms: None,
     };
 }
 
@@ -366,6 +381,19 @@ pub enum SolveError {
         /// Entries in the arrival vector.
         found: usize,
     },
+    /// The request's wall-clock deadline ([`Budget::max_wall_ms`] or the
+    /// wire layer's `deadline_ms`) passed — or the request was cancelled
+    /// externally (its connection died) — before an answer was produced.
+    DeadlineExceeded {
+        /// Whether the deadline fired or the request was cancelled.
+        reason: CancelReason,
+    },
+    /// The solver panicked; the panic was contained (sibling requests in
+    /// the same batch are unaffected) and surfaced as this structured row.
+    Internal {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl SolveError {
@@ -380,7 +408,7 @@ impl SolveError {
     /// ```
     /// assert!(cr_algos::solver::SolveError::ALL_KINDS.contains(&"budget_exhausted"));
     /// ```
-    pub const ALL_KINDS: [&'static str; 10] = [
+    pub const ALL_KINDS: [&'static str; 12] = [
         "unknown_method",
         "non_unit_jobs",
         "wrong_processor_count",
@@ -391,6 +419,8 @@ impl SolveError {
         "infeasible",
         "arrivals_unsupported",
         "invalid_arrivals",
+        "deadline_exceeded",
+        "internal_error",
     ];
 
     /// Stable snake_case discriminant used on the service wire.
@@ -407,6 +437,8 @@ impl SolveError {
             SolveError::Infeasible { .. } => "infeasible",
             SolveError::ArrivalsUnsupported { .. } => "arrivals_unsupported",
             SolveError::InvalidArrivals { .. } => "invalid_arrivals",
+            SolveError::DeadlineExceeded { .. } => "deadline_exceeded",
+            SolveError::Internal { .. } => "internal_error",
         }
     }
 }
@@ -461,6 +493,12 @@ impl fmt::Display for SolveError {
                 f,
                 "arrival vector has {found} entries for {expected} processors"
             ),
+            SolveError::DeadlineExceeded { reason } => {
+                write!(f, "request stopped: {reason}")
+            }
+            SolveError::Internal { message } => {
+                write!(f, "solver panicked (contained): {message}")
+            }
         }
     }
 }
@@ -473,7 +511,14 @@ impl From<SearchError> for SolveError {
             SearchError::RoundTooLarge { round, nodes } => {
                 SolveError::RoundTooLarge { round, nodes }
             }
+            SearchError::Cancelled { reason } => SolveError::DeadlineExceeded { reason },
         }
+    }
+}
+
+impl From<CancelReason> for SolveError {
+    fn from(reason: CancelReason) -> Self {
+        SolveError::DeadlineExceeded { reason }
     }
 }
 
@@ -537,6 +582,32 @@ pub trait Solver: Send + Sync {
     /// Any [`SolveError`] applicable to the method (see the variants).
     fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
         self.solve_prepared(request, &Prepared::new(&request.instance))
+    }
+
+    /// Solves `request` under cooperative cancellation: the effective token
+    /// is `cancel` (typically the serving tier's per-flush token, cancelled
+    /// when the requesting connection dies) *combined with* the request's own
+    /// [`Budget::max_wall_ms`] deadline.
+    ///
+    /// The default implementation checks the token once up front and then
+    /// runs [`Solver::solve_prepared`] — exactly right for the polynomial
+    /// schedulers, whose linear-time runs finish well within any sensible
+    /// deadline.  The exact engines override this with genuinely
+    /// interruptible searches.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::DeadlineExceeded`] once the token fires, plus anything
+    /// [`Solver::solve_prepared`] reports.
+    fn solve_cancellable(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, SolveError> {
+        let token = cancel.child_with_deadline_ms(request.budget.max_wall_ms);
+        token.check()?;
+        self.solve_prepared(request, prepared)
     }
 }
 
@@ -773,8 +844,18 @@ impl Solver for OptM {
         request: &SolveRequest,
         prepared: &Prepared,
     ) -> Result<SolveOutcome, SolveError> {
+        self.solve_cancellable(request, prepared, &CancelToken::never())
+    }
+
+    fn solve_cancellable(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, SolveError> {
         const METHOD: &str = "OptM";
         reject_arrivals(METHOD, request)?;
+        let token = cancel.child_with_deadline_ms(request.budget.max_wall_ms);
         let instance = &request.instance;
         require_unit(METHOD, instance)?;
         // A round of the configuration search advances the makespan by one,
@@ -793,15 +874,13 @@ impl Solver for OptM {
             &prepared.lower_bounds,
         )?;
 
-        // The scaled configuration search, budget-capped when requested.
+        // The scaled configuration search, budget-capped when requested and
+        // interruptible through the request's token.
         let run_scaled = |scaled: &ScaledInstance| -> Result<
             Option<Vec<Vec<scaled_engine::ScaledNode>>>,
             SearchError,
         > {
-            match request.budget.max_rounds {
-                Some(cap) => scaled_engine::run_search_capped(scaled, cap),
-                None => scaled_engine::run_search(scaled).map(Some),
-            }
+            scaled_engine::run_search_cancellable(scaled, request.budget.max_rounds, &token)
         };
 
         let scaled_result = match (request.engine, &prepared.scaled) {
@@ -843,6 +922,11 @@ impl Solver for OptM {
                     limit,
                 })
             }
+            Some((_, Err(SearchError::Cancelled { reason }))) => {
+                // A fired deadline is terminal: recovering through the (even
+                // slower) rational search would only blow through it again.
+                Err(SolveError::DeadlineExceeded { reason })
+            }
             Some((_, Err(err))) if request.engine == EnginePreference::Scaled => {
                 Err(SolveError::from(err))
             }
@@ -857,11 +941,13 @@ impl Solver for OptM {
                 // One rational search answers both makespan and schedule;
                 // it honors the round cap too, stopping after `cap` rounds
                 // instead of running to completion.
-                let Some((makespan, schedule)) = opt_m::solve_rational(
+                let Some((makespan, schedule)) = opt_m::solve_rational_cancellable(
                     instance,
                     request.budget.max_rounds,
                     request.want_schedule,
-                ) else {
+                    &token,
+                )?
+                else {
                     return Err(SolveError::BudgetExhausted {
                         method: METHOD.to_string(),
                         kind: BudgetKind::Rounds,
@@ -897,8 +983,18 @@ impl Solver for BruteForceSolver {
         request: &SolveRequest,
         prepared: &Prepared,
     ) -> Result<SolveOutcome, SolveError> {
+        self.solve_cancellable(request, prepared, &CancelToken::never())
+    }
+
+    fn solve_cancellable(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, SolveError> {
         const METHOD: &str = "BruteForce";
         reject_arrivals(METHOD, request)?;
+        let token = cancel.child_with_deadline_ms(request.budget.max_wall_ms);
         let instance = &request.instance;
         require_unit(METHOD, instance)?;
         // The memoized DFS has no rounds; only max_steps applies.
@@ -916,7 +1012,8 @@ impl Solver for BruteForceSolver {
                 })
             }
             (EnginePreference::Scaled | EnginePreference::Auto, Some(scaled)) => {
-                let (value, states, expansions) = scaled_engine::brute_force(scaled);
+                let (value, states, expansions) =
+                    scaled_engine::brute_force_cancellable(scaled, &token)?;
                 (
                     Engine::Scaled,
                     Vec::new(),
@@ -925,11 +1022,11 @@ impl Solver for BruteForceSolver {
                 )
             }
             (EnginePreference::Auto, None) => {
-                let (value, stats) = brute_force_with_stats_rational(instance);
+                let (value, stats) = brute_force_with_stats_rational_cancellable(instance, &token)?;
                 (Engine::Rational, vec![grid_fallback_note()], value, stats)
             }
             (EnginePreference::Rational, _) => {
-                let (value, stats) = brute_force_with_stats_rational(instance);
+                let (value, stats) = brute_force_with_stats_rational_cancellable(instance, &token)?;
                 (Engine::Rational, Vec::new(), value, stats)
             }
         };
@@ -1078,6 +1175,28 @@ impl Registry {
             })?;
         solver.solve_prepared(request, prepared)
     }
+
+    /// [`Registry::solve_prepared`] under cooperative cancellation (see
+    /// [`Solver::solve_cancellable`]) — the serving tier's entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownMethod`] for unregistered keys,
+    /// [`SolveError::DeadlineExceeded`] once the token fires, plus anything
+    /// the solver itself reports.
+    pub fn solve_cancellable(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, SolveError> {
+        let solver = self
+            .get(&request.method)
+            .ok_or_else(|| SolveError::UnknownMethod {
+                method: request.method.clone(),
+            })?;
+        solver.solve_cancellable(request, prepared, cancel)
+    }
 }
 
 /// The standard offline line-up: the six polynomial schedulers, both exact
@@ -1213,7 +1332,7 @@ mod tests {
             .solve(
                 &SolveRequest::new("OptM", inst.clone()).with_budget(Budget {
                     max_rounds: Some(1),
-                    max_steps: None,
+                    ..Budget::UNLIMITED
                 }),
             )
             .unwrap_err();
@@ -1229,7 +1348,7 @@ mod tests {
             .solve(
                 &SolveRequest::new("OptM", inst.clone()).with_budget(Budget {
                     max_rounds: Some(3),
-                    max_steps: None,
+                    ..Budget::UNLIMITED
                 }),
             )
             .unwrap();
@@ -1250,7 +1369,7 @@ mod tests {
                     .with_engine(EnginePreference::Rational)
                     .with_budget(Budget {
                         max_rounds: Some(1),
-                        max_steps: None,
+                        ..Budget::UNLIMITED
                     }),
             )
             .unwrap_err();
@@ -1264,7 +1383,7 @@ mod tests {
         let inst = Instance::unit_from_percentages(&[&[100], &[100], &[100]]);
         let budget = Budget {
             max_rounds: Some(1),
-            max_steps: None,
+            ..Budget::UNLIMITED
         };
         for method in ["GreedyBalance", "EqualShare", "BruteForce"] {
             let outcome = registry()
@@ -1281,7 +1400,7 @@ mod tests {
             .solve(
                 &SolveRequest::new("EqualShare", inst.clone()).with_budget(Budget {
                     max_steps: Some(1),
-                    max_rounds: None,
+                    ..Budget::UNLIMITED
                 }),
             )
             .unwrap_err();
@@ -1383,6 +1502,12 @@ mod tests {
                 expected: 1,
                 found: 2,
             },
+            SolveError::DeadlineExceeded {
+                reason: CancelReason::DeadlineExceeded,
+            },
+            SolveError::Internal {
+                message: "x".into(),
+            },
         ];
         assert_eq!(samples.len(), SolveError::ALL_KINDS.len());
         let mut seen = std::collections::HashSet::new();
@@ -1394,6 +1519,60 @@ mod tests {
             );
             assert!(seen.insert(err.kind()), "duplicate kind {}", err.kind());
         }
+    }
+
+    #[test]
+    fn cancelled_requests_surface_deadline_exceeded() {
+        let reg = registry();
+        let inst = fig_like();
+        let prepared = Prepared::new(&inst);
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        // Exact engines and (via the default entry check) heuristics alike.
+        for method in ["OptM", "BruteForce", "GreedyBalance", "OptTwo"] {
+            let mut req = SolveRequest::new(method, inst.clone());
+            if method == "OptTwo" {
+                req.instance = Instance::unit_from_percentages(&[&[60, 40], &[40, 60]]);
+            }
+            let prep = Prepared::new(&req.instance);
+            let err = reg.solve_cancellable(&req, &prep, &cancelled).unwrap_err();
+            assert_eq!(err.kind(), "deadline_exceeded", "{method}");
+            assert!(err.to_string().contains("cancelled externally"));
+        }
+        // A zero-millisecond wall budget fires the deadline reason, and the
+        // rational core observes it too (no fallback-and-retry).
+        for engine in [EnginePreference::Auto, EnginePreference::Rational] {
+            let req = SolveRequest::new("OptM", inst.clone())
+                .with_engine(engine)
+                .with_budget(Budget {
+                    max_wall_ms: Some(0),
+                    ..Budget::UNLIMITED
+                });
+            let err = reg
+                .solve_cancellable(&req, &prepared, &CancelToken::never())
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SolveError::DeadlineExceeded {
+                    reason: CancelReason::DeadlineExceeded
+                },
+                "{engine:?}"
+            );
+        }
+        // A live token with a generous budget reproduces the plain outcome.
+        let req = SolveRequest::new("OptM", inst.clone()).with_budget(Budget {
+            max_wall_ms: Some(60_000),
+            ..Budget::UNLIMITED
+        });
+        let outcome = reg
+            .solve_cancellable(&req, &prepared, &CancelToken::new())
+            .unwrap();
+        assert_eq!(
+            outcome.makespan,
+            reg.solve(&SolveRequest::new("OptM", inst))
+                .unwrap()
+                .makespan
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@
 //! semantics, which advances zero-requirement frontiers every step
 //! regardless of their share.
 
-use cr_core::Ratio;
+#[cfg(test)]
+use cr_core::CancelToken;
+use cr_core::{CancelGate, CancelReason, Ratio};
 
 /// A resource value the enumerator can sum and compare: `u64` units on the
 /// scaled grid, or an exact [`Ratio`].
@@ -108,15 +110,38 @@ pub(crate) struct EnumScratch {
 /// choices that complete every zero-remaining frontier (see the module docs
 /// for why the rest are dominated), which the enumerator property tests in
 /// `scaled_engine` assert.
+#[cfg(test)]
 pub(crate) fn for_each_choice<V: ResourceUnit>(
     remaining: &[V],
     cap: V,
     scratch: &mut EnumScratch,
     emit: &mut impl FnMut(&[u32], Option<(u32, V)>),
 ) {
+    let mut gate = CancelToken::never().gate(CHOICE_CHECK_STRIDE);
+    for_each_choice_cancellable(remaining, cap, scratch, &mut gate, emit)
+        .expect("a never token cannot fire");
+}
+
+/// How many DFS extensions pass between token checks: the per-extension
+/// work is a handful of integer ops, so even pathological frontiers check
+/// far more often than [`cr_core::cancel::CHECK_INTERVAL_MS`] demands.
+pub(crate) const CHOICE_CHECK_STRIDE: u32 = 1024;
+
+/// [`for_each_choice`] with cooperative cancellation: the DFS consults
+/// `gate` on every subset extension, so an exponentially large choice space
+/// stops within one check stride of the token firing.  Choices already
+/// emitted before the cut are *not* unwound — callers must discard partial
+/// results on `Err`.
+pub(crate) fn for_each_choice_cancellable<V: ResourceUnit>(
+    remaining: &[V],
+    cap: V,
+    scratch: &mut EnumScratch,
+    gate: &mut CancelGate,
+    emit: &mut impl FnMut(&[u32], Option<(u32, V)>),
+) -> Result<(), CancelReason> {
     let k = remaining.len();
     if k == 0 {
-        return;
+        return Ok(());
     }
     let EnumScratch {
         order,
@@ -154,7 +179,7 @@ pub(crate) fn for_each_choice<V: ResourceUnit>(
         finished.clear();
         finished.extend(0..u32::try_from(k).expect("active list fits u32"));
         emit(finished, None);
-        return;
+        return Ok(());
     }
 
     // The zeros-only choice: only valid when it wastes nothing, i.e. when
@@ -166,7 +191,7 @@ pub(crate) fn for_each_choice<V: ResourceUnit>(
     }
 
     let zeros = finished.len();
-    descend(
+    let result = descend(
         remaining,
         cap,
         order,
@@ -174,9 +199,14 @@ pub(crate) fn for_each_choice<V: ResourceUnit>(
         V::ZERO,
         finished,
         in_finished,
+        gate,
         emit,
     );
-    debug_assert_eq!(finished.len(), zeros, "DFS unwinds its stack");
+    debug_assert!(
+        result.is_err() || finished.len() == zeros,
+        "DFS unwinds its stack"
+    );
+    result
 }
 
 /// One DFS level: try extending the chosen subset with each not-yet-tried
@@ -190,9 +220,11 @@ fn descend<V: ResourceUnit>(
     sum: V,
     finished: &mut Vec<u32>,
     in_finished: &mut [bool],
+    gate: &mut CancelGate,
     emit: &mut impl FnMut(&[u32], Option<(u32, V)>),
-) {
+) -> Result<(), CancelReason> {
     for pos in start..order.len() {
+        gate.tick()?;
         let entry = order[pos];
         // Checked: an overflowing sum is larger than any capacity.  The
         // candidates are sorted ascending, so the first one that does not
@@ -229,11 +261,13 @@ fn descend<V: ResourceUnit>(
             subset_sum,
             finished,
             in_finished,
+            gate,
             emit,
-        );
+        )?;
         in_finished[entry as usize] = false;
         finished.pop();
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -322,5 +356,23 @@ mod tests {
     fn empty_active_list_emits_nothing() {
         let choices = collect_choices::<u64>(&[], 100);
         assert!(choices.is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_dfs_early() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut gate = token.gate(1);
+        let mut scratch = EnumScratch::default();
+        let mut emitted = 0usize;
+        // Oversubscribed: the full enumeration would emit 8·7 = 56 partial
+        // choices; a pre-cancelled stride-1 gate stops at the first check.
+        let remaining = vec![60u64; 8];
+        let result =
+            for_each_choice_cancellable(&remaining, 100, &mut scratch, &mut gate, &mut |_, _| {
+                emitted += 1;
+            });
+        assert_eq!(result, Err(CancelReason::Cancelled));
+        assert_eq!(emitted, 0);
     }
 }

@@ -10,13 +10,21 @@
 //! cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N]
 //!            [--rate HZ] [--seed N]
 //! cr-loadgen --addr HOST:PORT --smoke
+//! cr-loadgen --addr HOST:PORT --chaos [--rounds N]
 //! ```
 //!
 //! `--smoke` is the CI handshake: replay the committed golden batch, check
 //! the responses byte-for-byte against the in-process reference, then drain
 //! the server via `{"control":"shutdown"}` and verify the clean close.
 //! Exits non-zero on any divergence.
+//!
+//! `--chaos` runs the fault-injection suite of [`cr_bench::chaos`]:
+//! mid-line disconnects, slow-loris dribbling, malformed frames,
+//! deadline-busting solves and kill-while-streaming, with a golden smoke
+//! byte-identity check plus an `inflight == 0` stats probe after every
+//! storm.  Exits non-zero on the first broken contract.
 
+use cr_bench::chaos::{self, ChaosConfig};
 use cr_bench::loadgen::{self, LoadConfig};
 use cr_service::net::{Server, ServerConfig};
 use cr_service::SolverService;
@@ -26,6 +34,8 @@ use std::sync::Arc;
 struct Args {
     addr: Option<SocketAddr>,
     smoke: bool,
+    chaos: bool,
+    chaos_config: ChaosConfig,
     config: LoadConfig,
 }
 
@@ -33,6 +43,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         addr: None,
         smoke: false,
+        chaos: false,
+        chaos_config: ChaosConfig::default(),
         config: LoadConfig::default(),
     };
     let mut iter = std::env::args().skip(1);
@@ -50,6 +62,10 @@ fn parse_args() -> Args {
                 );
             }
             "--smoke" => args.smoke = true,
+            "--chaos" => args.chaos = true,
+            "--rounds" => {
+                args.chaos_config.rounds = value("--rounds").parse().expect("--rounds");
+            }
             "--clients" => args.config.clients = value("--clients").parse().expect("--clients"),
             "--requests" => {
                 args.config.requests_per_client = value("--requests").parse().expect("--requests");
@@ -59,7 +75,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
-                     [--rate HZ] [--seed N] [--smoke]\n\
+                     [--rate HZ] [--seed N] [--smoke] [--chaos [--rounds N]]\n\
                      Without --addr, spawns an in-process server to load."
                 );
                 std::process::exit(0);
@@ -95,16 +111,36 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    } else if args.chaos {
+        match chaos::run(addr, &args.chaos_config) {
+            Ok(report) => println!(
+                "{{\"chaos\":\"ok\",\"addr\":\"{addr}\",\"storms\":{},\"smoke_checks\":{},\
+                 \"deadline_exceeded_rows\":{},\"bad_request_rows\":{},\
+                 \"connections_killed\":{}}}",
+                report.storms,
+                report.smoke_checks,
+                report.deadline_exceeded_rows,
+                report.bad_request_rows,
+                report.connections_killed
+            ),
+            Err(e) => {
+                eprintln!("cr-loadgen chaos failed: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         let report = loadgen::run(addr, &args.config);
         println!(
             "{{\"addr\":\"{addr}\",\"clients\":{},\"requests\":{},\"ok\":{},\"rejected\":{},\
+             \"retries\":{},\"retry_exhausted\":{},\
              \"wall_secs\":{:.3},\"p50_ms\":{:.2},\"p95_ms\":{:.2},\"p99_ms\":{:.2},\
              \"max_ms\":{:.2},\"requests_per_sec\":{:.1}}}",
             args.config.clients,
             report.answered(),
             report.ok,
             report.rejected,
+            report.retries,
+            report.retry_exhausted,
             report.wall_secs,
             report.p50_ms,
             report.p95_ms,

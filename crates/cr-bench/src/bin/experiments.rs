@@ -380,7 +380,10 @@ fn run_batch_throughput_table(reduced: bool) -> TableTiming {
 /// through a real TCP server (`cr_service::net`) via the `cr-loadgen` core,
 /// recording p50/p95/p99 request latencies and aggregate throughput (the
 /// `latency` rows of `BENCH_pipeline.json`).  One server — and therefore
-/// one warm conversion cache — serves all four cells, mirroring production.
+/// one warm conversion cache — serves all cells, mirroring production.
+/// A fifth cell measures deadline enforcement: over-deadline pathological
+/// solves must answer `deadline_exceeded` with p99 wall latency within
+/// the deadline plus one cancellation check interval.
 fn run_socket_serving_table(reduced: bool) -> TableTiming {
     const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
     let requests_per_client = if reduced { 8 } else { 32 };
@@ -410,6 +413,10 @@ fn run_socket_serving_table(reduced: bool) -> TableTiming {
             "every load request must be answered"
         );
         assert_eq!(report.rejected, 0, "sustained load must not be shed");
+        assert_eq!(
+            report.retry_exhausted, 0,
+            "no request may exhaust its retry budget under sustained load"
+        );
         per_cell_ms.push(report.wall_secs * 1e3);
         latency_rows.push(serde::Value::Object(vec![
             (
@@ -425,11 +432,63 @@ fn run_socket_serving_table(reduced: bool) -> TableTiming {
             ),
         ]));
     }
+    // Deadline-enforcement cell: each over-deadline pathological request
+    // is its own flush, so every solve has an observable wall latency
+    // bounded by its deadline rather than by the brute-force search it
+    // would otherwise run for minutes.
+    const DEADLINE_MS: u64 = 100;
+    let deadline_requests = if reduced { 4 } else { 8 };
+    let cell_start = Instant::now();
+    let mut deadline_lats = Vec::with_capacity(deadline_requests);
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::net::TcpStream::connect(handle.addr())
+            .expect("connect deadline-enforcement client");
+        let mut writer = stream.try_clone().expect("clone deadline stream");
+        let mut reader = BufReader::new(stream);
+        let line = cr_bench::chaos::pathological_line(DEADLINE_MS);
+        for _ in 0..deadline_requests {
+            let sent = Instant::now();
+            writeln!(writer, "{line}\n").expect("send deadline request");
+            writer.flush().expect("flush deadline request");
+            let mut response = String::new();
+            reader
+                .read_line(&mut response)
+                .expect("read deadline response");
+            deadline_lats.push(sent.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                response.contains("\"kind\":\"deadline_exceeded\""),
+                "over-deadline request must answer deadline_exceeded: {response}"
+            );
+        }
+    }
+    deadline_lats.sort_by(f64::total_cmp);
+    // Nearest-rank p99 (the max at this sample count): the enforcement
+    // contract is the deadline plus one cancellation check interval.
+    let deadline_p99 = deadline_lats.last().copied().unwrap_or(0.0);
+    let bound_ms = (DEADLINE_MS + cr_core::cancel::CHECK_INTERVAL_MS) as f64;
+    assert!(
+        deadline_p99 <= bound_ms,
+        "deadline enforcement p99 {deadline_p99:.1} ms exceeds {bound_ms} ms \
+         (deadline {DEADLINE_MS} ms + one check interval)"
+    );
+    per_cell_ms.push(cell_start.elapsed().as_secs_f64() * 1e3);
+    latency_rows.push(serde::Value::Object(vec![
+        (
+            "deadline_ms".to_string(),
+            serde::Value::Number(serde::Number::Int(DEADLINE_MS as i128)),
+        ),
+        (
+            "requests".to_string(),
+            serde::Value::Number(serde::Number::Int(deadline_requests as i128)),
+        ),
+        ("p99_ms".to_string(), float(deadline_p99)),
+    ]));
     handle.shutdown();
     handle.join();
     TableTiming {
         title: "Socket serving latency + throughput (cr-loadgen)".to_string(),
-        cells: CLIENT_COUNTS.len(),
+        cells: CLIENT_COUNTS.len() + 1,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
         extra: vec![("latency".to_string(), serde::Value::Array(latency_rows))],

@@ -1,0 +1,412 @@
+//! Chaos / fault-injection harness for the socket serving tier.
+//!
+//! `cr-loadgen --chaos` drives this module against a live `cr-serve
+//! --listen` process.  Each *storm* injects one class of client
+//! misbehavior — mid-line disconnects, slow-loris dribbling, oversized and
+//! malformed frames, deadline-busting solves, connections killed while a
+//! schedule is streaming — and after **every** storm the harness replays
+//! the committed golden smoke batch on a fresh connection and demands
+//! byte-identity with the in-process reference, then probes the
+//! `{"control":"stats"}` frame until `inflight` returns to zero.
+//!
+//! The contract under test is the serving tier's failure-domain design
+//! (`docs/ARCHITECTURE.md`): a misbehaving client may lose *its own*
+//! connection, but never a sibling's answer, never an in-flight slot, and
+//! never the server process.
+
+use crate::loadgen::SMOKE_BATCH;
+use cr_service::{wire, SolverService};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One chaos run's shape.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Full storm-cycle repetitions (every cycle runs all five storms,
+    /// each followed by a golden smoke + quiescence check).
+    pub rounds: usize,
+    /// Per-request deadline handed to the deadline-buster storm; the
+    /// pathological instance it guards runs for minutes uncancelled.
+    pub deadline_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            rounds: 2,
+            deadline_ms: 100,
+        }
+    }
+}
+
+/// Aggregated tallies of one chaos run (all asserts already passed if this
+/// is returned at all — the counts exist so drivers can print evidence
+/// that the storms actually exercised their fault paths).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Storms injected (5 per round).
+    pub storms: usize,
+    /// Golden smoke-batch byte-identity checks that passed (one per storm).
+    pub smoke_checks: usize,
+    /// `deadline_exceeded` rows observed from the deadline-buster storm.
+    pub deadline_exceeded_rows: usize,
+    /// `bad_request` rows observed from the malformed-frame storm.
+    pub bad_request_rows: usize,
+    /// Connections deliberately killed mid-protocol across all storms.
+    pub connections_killed: usize,
+}
+
+/// How long the quiescence probe will poll `stats` for `inflight` to
+/// return to zero (a cancelled flush may still be unwinding when the
+/// chaos client's socket closes).
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn connect(addr: SocketAddr) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// Sends `lines` plus a flushing blank line and reads `expect` response
+/// lines on one fresh connection.
+fn roundtrip(addr: SocketAddr, lines: &[String], expect: usize) -> Result<Vec<String>, String> {
+    let mut stream = connect(addr)?;
+    for line in lines {
+        writeln!(stream, "{line}").map_err(|e| format!("send request: {e}"))?;
+    }
+    writeln!(stream).map_err(|e| format!("send flush: {e}"))?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(expect);
+    for i in 0..expect {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read response {i}: {e}"))?;
+        if line.is_empty() {
+            return Err(format!("connection closed before response {i}"));
+        }
+        responses.push(line.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+/// The golden check run after every storm: the committed smoke batch must
+/// come back byte-identical to the in-process reference on a fresh
+/// connection — a misbehaving sibling may never corrupt a well-behaved
+/// client's answers.
+fn golden_smoke(addr: SocketAddr) -> Result<(), String> {
+    let batch: Vec<String> = SMOKE_BATCH.lines().map(str::to_string).collect();
+    let reference = wire::process_batch(&SolverService::with_standard_registry(), &batch, 0);
+    let responses = roundtrip(addr, &batch, reference.len())?;
+    for (i, (got, want)) in responses.iter().zip(&reference).enumerate() {
+        if got != want {
+            return Err(format!(
+                "post-storm smoke response {i} diverged:\n  got:  {got}\n  want: {want}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts an integer counter from a stats frame line.
+fn stats_field(line: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\":");
+    let rest = &line[line.find(&key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Polls the `{"control":"stats"}` frame until `inflight` returns to zero:
+/// no storm may leak a request slot, even when it cancelled a flush by
+/// dying mid-solve.
+fn assert_quiescent(addr: SocketAddr) -> Result<(), String> {
+    let start = Instant::now();
+    let mut last = String::new();
+    while start.elapsed() < QUIESCE_TIMEOUT {
+        let mut stream = connect(addr)?;
+        writeln!(stream, r#"{{"control":"stats"}}"#).map_err(|e| format!("send stats: {e}"))?;
+        stream.flush().map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read stats: {e}"))?;
+        if !line.contains("\"control\":\"stats\"") {
+            return Err(format!(
+                "stats probe got a non-stats line: {}",
+                line.trim_end()
+            ));
+        }
+        match stats_field(&line, "inflight") {
+            Some(0) => return Ok(()),
+            Some(_) => last = line.trim_end().to_string(),
+            None => return Err(format!("stats frame without inflight: {}", line.trim_end())),
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    Err(format!("in-flight slots never drained to zero: {last}"))
+}
+
+/// The deadline-busting request: a 6-processor brute-force instance that
+/// runs for minutes uncancelled (same instance the `cr-service` net tests
+/// pin), bounded only by its `deadline_ms`.  Public so the experiments
+/// driver's deadline-enforcement cell measures the same workload the
+/// chaos suite storms with.
+#[must_use]
+pub fn pathological_line(deadline_ms: u64) -> String {
+    format!(
+        concat!(
+            r#"{{"method":"BruteForce","deadline_ms":{},"rows":"#,
+            r#"[[10,20,30,40,50],[15,25,35,45,55],[12,22,32,42,52],"#,
+            r#"[13,23,33,43,53],[14,24,34,44,54],[16,26,36,46,56]]}}"#
+        ),
+        deadline_ms
+    )
+}
+
+/// Storm 1: connections dropped mid-protocol — half a request line with no
+/// newline, a complete line that was never flushed, and a flushed batch
+/// whose responses are never read.
+fn storm_midline_disconnect(addr: SocketAddr, report: &mut ChaosReport) -> Result<(), String> {
+    // Half a line, no terminating newline.
+    let mut partial = connect(addr)?;
+    partial
+        .write_all(br#"{"method":"GreedyBalance","rows":[[60,"#)
+        .map_err(|e| format!("send partial line: {e}"))?;
+    partial.flush().map_err(|e| e.to_string())?;
+    drop(partial);
+
+    // A complete request line, but the client dies before the blank-line
+    // flush ever arrives.
+    let mut unflushed = connect(addr)?;
+    writeln!(unflushed, r#"{{"method":"OptM","rows":[[60,40],[40,60]]}}"#)
+        .map_err(|e| format!("send unflushed line: {e}"))?;
+    unflushed.flush().map_err(|e| e.to_string())?;
+    drop(unflushed);
+
+    // A flushed batch whose client hangs up without reading a byte back.
+    let mut unread = connect(addr)?;
+    writeln!(unread, r#"{{"method":"OptM","rows":[[60,40],[40,60]]}}"#)
+        .map_err(|e| format!("send unread batch: {e}"))?;
+    writeln!(unread).map_err(|e| format!("send unread flush: {e}"))?;
+    unread.flush().map_err(|e| e.to_string())?;
+    drop(unread);
+
+    report.connections_killed += 3;
+    Ok(())
+}
+
+/// Storm 2: slow-loris — a well-formed request dribbled a byte at a time
+/// must still answer correctly (mid-line bytes count as activity, not
+/// idleness), then a dribbler that gives up mid-line.
+fn storm_slow_loris(addr: SocketAddr, report: &mut ChaosReport) -> Result<(), String> {
+    let stream = connect(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let request = "{\"method\":\"GreedyBalance\",\"rows\":[[50,50]]}\n\n";
+    for chunk in request.as_bytes().chunks(3) {
+        writer
+            .write_all(chunk)
+            .map_err(|e| format!("dribble chunk: {e}"))?;
+        writer.flush().map_err(|e| e.to_string())?;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read dribbled response: {e}"))?;
+    // One processor, a chain of two 50% jobs: the chain bound forces 2.
+    if !line.contains("\"makespan\":2") {
+        return Err(format!(
+            "dribbled request answered wrong: {}",
+            line.trim_end()
+        ));
+    }
+
+    // The loris that never finishes its line.
+    let mut quitter = connect(addr)?;
+    for chunk in br#"{"method":"RoundRobin","ro"#.chunks(2) {
+        quitter
+            .write_all(chunk)
+            .map_err(|e| format!("dribble quitter: {e}"))?;
+        quitter.flush().map_err(|e| e.to_string())?;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(quitter);
+    report.connections_killed += 1;
+    Ok(())
+}
+
+/// Storm 3: oversized and malformed frames answer structured
+/// `bad_request` rows on a connection that survives to serve the valid
+/// sibling in the same batch.
+fn storm_malformed_frames(addr: SocketAddr, report: &mut ChaosReport) -> Result<(), String> {
+    let oversized = format!("{{\"method\":\"{}\"}}", "x".repeat(1 << 16));
+    let lines = vec![
+        oversized,
+        "definitely not json".to_string(),
+        r#"{"method":"GreedyBalance","rows":[[150]]}"#.to_string(),
+        r#"{"method":"GreedyBalance","rows":[[50,50]]}"#.to_string(),
+    ];
+    let responses = roundtrip(addr, &lines, lines.len())?;
+    for (i, response) in responses[..3].iter().enumerate() {
+        if !response.contains("\"kind\":\"bad_request\"") {
+            return Err(format!(
+                "malformed frame {i} was not a structured bad_request: {response}"
+            ));
+        }
+        report.bad_request_rows += 1;
+    }
+    if !responses[3].contains("\"makespan\":2") {
+        return Err(format!(
+            "valid sibling of malformed frames answered wrong: {}",
+            responses[3]
+        ));
+    }
+    Ok(())
+}
+
+/// Storm 4: deadline-busters — pathological solves bounded only by their
+/// `deadline_ms` must answer `deadline_exceeded` promptly with a
+/// byte-identical well-behaved sibling.
+fn storm_deadline_busters(
+    addr: SocketAddr,
+    config: &ChaosConfig,
+    report: &mut ChaosReport,
+) -> Result<(), String> {
+    let greedy = r#"{"method":"GreedyBalance","rows":[[60,40],[40,60]]}"#.to_string();
+    let reference = wire::process_batch(
+        &SolverService::with_standard_registry(),
+        std::slice::from_ref(&greedy),
+        0,
+    );
+    let lines = vec![greedy, pathological_line(config.deadline_ms)];
+    let start = Instant::now();
+    let responses = roundtrip(addr, &lines, 2)?;
+    let elapsed = start.elapsed();
+    if responses[0] != reference[0] {
+        return Err(format!(
+            "deadline-buster's sibling diverged:\n  got:  {}\n  want: {}",
+            responses[0], reference[0]
+        ));
+    }
+    if !responses[1].contains("\"kind\":\"deadline_exceeded\"") {
+        return Err(format!(
+            "pathological request did not hit its deadline: {}",
+            responses[1]
+        ));
+    }
+    report.deadline_exceeded_rows += 1;
+    // Generous wall bound: the uncancelled solve runs for minutes, so even
+    // 10× the deadline proves enforcement while tolerating slow CI hosts.
+    let bound = Duration::from_millis(config.deadline_ms.saturating_mul(10).max(2_000));
+    if elapsed > bound {
+        return Err(format!(
+            "deadline enforcement took {elapsed:?} (deadline {} ms)",
+            config.deadline_ms
+        ));
+    }
+    Ok(())
+}
+
+/// Storm 5: the client dies while a schedule is streaming — head and one
+/// chunk are read, then the socket drops mid-stream.
+fn storm_kill_while_streaming(addr: SocketAddr, report: &mut ChaosReport) -> Result<(), String> {
+    // 300 chained 100% jobs: a 300-step schedule, over the default
+    // 256-step streaming threshold.
+    let rows = vec!["[100]"; 300];
+    let line = format!(
+        "{{\"method\":\"EqualShare\",\"rows\":[{}],\"want_schedule\":true}}",
+        rows.join(",")
+    );
+    let stream = connect(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").map_err(|e| format!("send streaming request: {e}"))?;
+    writeln!(writer).map_err(|e| format!("send flush: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut frame = String::new();
+    reader
+        .read_line(&mut frame)
+        .map_err(|e| format!("read stream head: {e}"))?;
+    if !frame.contains("\"frame\":\"head\"") {
+        return Err(format!("expected a stream head, got: {}", frame.trim_end()));
+    }
+    frame.clear();
+    reader
+        .read_line(&mut frame)
+        .map_err(|e| format!("read first chunk: {e}"))?;
+    if !frame.contains("\"frame\":\"chunk\"") {
+        return Err(format!(
+            "expected a stream chunk, got: {}",
+            frame.trim_end()
+        ));
+    }
+    // Die with the rest of the stream still in flight.
+    drop(reader);
+    drop(writer);
+    report.connections_killed += 1;
+    Ok(())
+}
+
+/// Runs the full chaos suite against a serving socket.
+///
+/// # Errors
+///
+/// A human-readable description of the first broken contract: a corrupted
+/// sibling response, a missing structured error, a leaked in-flight slot,
+/// or a server that stopped answering.
+pub fn run(addr: SocketAddr, config: &ChaosConfig) -> Result<ChaosReport, String> {
+    /// One storm entry: injects its faults and tallies what it exercised.
+    type Storm = fn(SocketAddr, &ChaosConfig, &mut ChaosReport) -> Result<(), String>;
+    let mut report = ChaosReport::default();
+    let storms: [(&str, Storm); 5] = [
+        ("midline-disconnect", |a, _, r| {
+            storm_midline_disconnect(a, r)
+        }),
+        ("slow-loris", |a, _, r| storm_slow_loris(a, r)),
+        ("malformed-frames", |a, _, r| storm_malformed_frames(a, r)),
+        ("deadline-busters", storm_deadline_busters),
+        ("kill-while-streaming", |a, _, r| {
+            storm_kill_while_streaming(a, r)
+        }),
+    ];
+    for round in 0..config.rounds.max(1) {
+        for (name, storm) in &storms {
+            storm(addr, config, &mut report)
+                .map_err(|e| format!("round {round}, storm {name}: {e}"))?;
+            report.storms += 1;
+            golden_smoke(addr).map_err(|e| format!("round {round}, after storm {name}: {e}"))?;
+            report.smoke_checks += 1;
+            assert_quiescent(addr)
+                .map_err(|e| format!("round {round}, after storm {name}: {e}"))?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_fields_parse_out_of_frame_lines() {
+        let line = r#"{"control":"stats","connections":3,"served":12,"inflight":0}"#;
+        assert_eq!(stats_field(line, "inflight"), Some(0));
+        assert_eq!(stats_field(line, "served"), Some(12));
+        assert_eq!(stats_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn pathological_lines_parse_and_carry_their_deadline() {
+        let line = pathological_line(100);
+        assert!(line.contains("\"deadline_ms\":100"));
+        let parsed = cr_service::wire::parse_request(&line, 0).expect("parses");
+        assert_eq!(parsed.request.budget.max_wall_ms, Some(100));
+    }
+}

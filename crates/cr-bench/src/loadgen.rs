@@ -56,6 +56,15 @@ impl Default for LoadConfig {
     }
 }
 
+/// Most send attempts one request may consume: the first try plus
+/// [`MAX_RETRIES`] backed-off retries after `overloaded`/`draining`
+/// rejections.
+pub const MAX_RETRIES: u32 = 5;
+
+/// Base delay of the jittered exponential backoff (doubles per retry, up
+/// to `BACKOFF_BASE_MS << MAX_RETRIES`, each step jittered ±50%).
+pub const BACKOFF_BASE_MS: u64 = 10;
+
 /// Aggregated result of one load run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -63,6 +72,11 @@ pub struct LoadReport {
     pub ok: usize,
     /// Requests that answered a structured error (solver or transport).
     pub rejected: usize,
+    /// Backed-off re-sends after `overloaded`/`draining` rejections.
+    pub retries: usize,
+    /// Requests still rejected `overloaded`/`draining` after the whole
+    /// retry budget (these also count in `rejected`).
+    pub retry_exhausted: usize,
     /// Wall time of the whole run (first byte sent to last byte read).
     pub wall_secs: f64,
     /// Median request latency, milliseconds.
@@ -135,14 +149,40 @@ fn interarrival(rng: &mut StdRng, rate_hz: f64) -> Duration {
     Duration::from_secs_f64((-u.ln() / rate_hz).min(1.0))
 }
 
+/// The jittered exponential backoff before retry `attempt` (0-based):
+/// `BACKOFF_BASE_MS << attempt`, jittered uniformly in ±50% so colliding
+/// clients don't re-converge on the overloaded server in lockstep.
+fn backoff(rng: &mut StdRng, attempt: u32) -> Duration {
+    let base = (BACKOFF_BASE_MS << attempt.min(MAX_RETRIES)) as f64;
+    let jitter = 0.5 + (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64(base * jitter / 1e3)
+}
+
+/// Whether a response line is a transient load-shedding rejection worth
+/// backing off and retrying (`overloaded` / `draining`), as opposed to a
+/// deterministic solver or parse error.
+fn is_transient_rejection(line: &str) -> bool {
+    line.contains("\"kind\":\"overloaded\"") || line.contains("\"kind\":\"draining\"")
+}
+
+/// Per-client tallies of one load run.
+#[derive(Debug, Default)]
+struct ClientTallies {
+    latencies: Vec<f64>,
+    ok: usize,
+    rejected: usize,
+    retries: usize,
+    retry_exhausted: usize,
+}
+
 /// One client thread's closed loop: send a request, await its response
-/// line(s), record the latency, sleep out the Poisson gap.  Returns
-/// `(latencies_ms, ok_count, rejected_count)`.
+/// line(s), retry shed flushes under a jittered exponential backoff
+/// budget, record the latency, sleep out the Poisson gap.
 fn client_loop(
     addr: SocketAddr,
     config: &LoadConfig,
     client: usize,
-) -> std::io::Result<(Vec<f64>, usize, usize)> {
+) -> std::io::Result<ClientTallies> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
@@ -153,9 +193,10 @@ fn client_loop(
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(client as u64 + 1)),
     );
-    let mut latencies = Vec::with_capacity(config.requests_per_client);
-    let mut ok = 0usize;
-    let mut rejected = 0usize;
+    let mut tallies = ClientTallies {
+        latencies: Vec::with_capacity(config.requests_per_client),
+        ..ClientTallies::default()
+    };
     let mut line = String::new();
     for slot in 0..config.requests_per_client {
         if config.rate_hz > 0.0 {
@@ -163,26 +204,39 @@ fn client_loop(
         }
         let request = request_line(&mut rng, slot);
         let sent = Instant::now();
-        writeln!(writer, "{request}\n")?;
-        writer.flush()?;
-        // One flush → one response; a streamed response is consumed frame
-        // by frame until its end marker.
-        line.clear();
-        reader.read_line(&mut line)?;
-        if line.contains("\"frame\":\"head\"") {
-            while !line.contains("\"frame\":\"end\"") {
-                line.clear();
-                reader.read_line(&mut line)?;
+        let mut attempt: u32 = 0;
+        loop {
+            writeln!(writer, "{request}\n")?;
+            writer.flush()?;
+            // One flush → one response; a streamed response is consumed
+            // frame by frame until its end marker.
+            line.clear();
+            reader.read_line(&mut line)?;
+            if line.contains("\"frame\":\"head\"") {
+                while !line.contains("\"frame\":\"end\"") {
+                    line.clear();
+                    reader.read_line(&mut line)?;
+                }
+            }
+            if is_transient_rejection(&line) && attempt < MAX_RETRIES {
+                tallies.retries += 1;
+                std::thread::sleep(backoff(&mut rng, attempt));
+                attempt += 1;
+                continue;
+            }
+            break;
+        }
+        tallies.latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+        if line.contains("\"error\":null") || line.contains("\"frame\":\"end\"") {
+            tallies.ok += 1;
+        } else {
+            tallies.rejected += 1;
+            if is_transient_rejection(&line) {
+                tallies.retry_exhausted += 1;
             }
         }
-        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
-        if line.contains("\"error\":null") || line.contains("\"frame\":\"end\"") {
-            ok += 1;
-        } else {
-            rejected += 1;
-        }
     }
-    Ok((latencies, ok, rejected))
+    Ok(tallies)
 }
 
 /// Drives one full load run against a serving socket and folds the
@@ -195,7 +249,7 @@ fn client_loop(
 #[must_use]
 pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let start = Instant::now();
-    let workers: Vec<std::thread::JoinHandle<(Vec<f64>, usize, usize)>> = (0..config.clients)
+    let workers: Vec<std::thread::JoinHandle<ClientTallies>> = (0..config.clients)
         .map(|client| {
             let config = config.clone();
             std::thread::spawn(move || {
@@ -206,18 +260,23 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let mut latencies: Vec<f64> = Vec::new();
     let mut ok = 0usize;
     let mut rejected = 0usize;
+    let mut retries = 0usize;
+    let mut retry_exhausted = 0usize;
     for worker in workers {
-        let (client_latencies, client_ok, client_rejected) =
-            worker.join().expect("load client panicked");
-        latencies.extend(client_latencies);
-        ok += client_ok;
-        rejected += client_rejected;
+        let tallies = worker.join().expect("load client panicked");
+        latencies.extend(tallies.latencies);
+        ok += tallies.ok;
+        rejected += tallies.rejected;
+        retries += tallies.retries;
+        retry_exhausted += tallies.retry_exhausted;
     }
     let wall_secs = start.elapsed().as_secs_f64();
     latencies.sort_by(f64::total_cmp);
     LoadReport {
         ok,
         rejected,
+        retries,
+        retry_exhausted,
         wall_secs,
         p50_ms: percentile(&latencies, 50.0),
         p95_ms: percentile(&latencies, 95.0),

@@ -1,0 +1,306 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! The exact engines in `cr-algos` and the step loop in `cr-sim` can run
+//! for an unbounded wall-clock time on adversarial instances (the paper's
+//! §6 families are *designed* to blow up search effort).  A [`CancelToken`]
+//! carries the two signals that bound a request's lifetime:
+//!
+//! * a **deadline** — an absolute [`Instant`] derived from the request's
+//!   `max_wall_ms` budget or the serving tier's `deadline_ms` field;
+//! * an **external cancel flag** — flipped by the serving tier when the
+//!   requesting connection dies mid-solve or the server shuts down, so the
+//!   doomed work stops burning a rayon worker.
+//!
+//! Tokens form a tree: [`CancelToken::child_with_deadline_ms`] derives a
+//! per-request token from a per-flush parent, so cancelling the parent
+//! cancels every child while each child keeps its own deadline.
+//!
+//! Checking is *cooperative*: the search loops call [`CancelGate::tick`]
+//! every iteration, and the gate only consults the clock every `stride`
+//! ticks, so the hot paths stay unmeasurably slower.  The contract is that
+//! every loop checks often enough that cancellation is observed within
+//! [`CHECK_INTERVAL_MS`] of the deadline passing.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The guaranteed cancellation granularity, in milliseconds: every
+/// cancellable loop checks its token at least this often, so a request
+/// with `deadline_ms: D` returns within roughly `D + CHECK_INTERVAL_MS`.
+pub const CHECK_INTERVAL_MS: u64 = 50;
+
+/// Why a cancellable computation was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The token's wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The token (or an ancestor) was cancelled externally — the requesting
+    /// connection died or the server is shutting down.
+    Cancelled,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+            CancelReason::Cancelled => write!(f, "cancelled externally"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn reason(&self) -> Option<CancelReason> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelReason::DeadlineExceeded);
+            }
+        }
+        self.parent.as_ref().and_then(|p| p.reason())
+    }
+}
+
+/// A shared cancellation signal: an optional absolute deadline plus an
+/// externally flippable cancel flag (see the module docs).
+///
+/// Cloning is cheap (one `Arc` bump) and clones observe the same signal.
+/// The default token ([`CancelToken::never`]) never fires and its checks
+/// are a single branch, so unconditional threading costs nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires (checks reduce to one branch).
+    #[must_use]
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A token with no deadline that fires only via [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            })),
+        }
+    }
+
+    /// A token that fires `timeout` from now (or earlier, via `cancel`).
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: None,
+            })),
+        }
+    }
+
+    /// [`CancelToken::after`] with a millisecond budget — the shape of the
+    /// `max_wall_ms` / `deadline_ms` knobs on the solve surface.
+    #[must_use]
+    pub fn after_ms(ms: u64) -> Self {
+        CancelToken::after(Duration::from_millis(ms))
+    }
+
+    /// Derives a child token: it fires when this token fires *or* when its
+    /// own `deadline_ms` budget (if any) runs out.
+    ///
+    /// With no budget and a never parent the child is again
+    /// [`CancelToken::never`], so the derivation is free on the default
+    /// path.
+    #[must_use]
+    pub fn child_with_deadline_ms(&self, deadline_ms: Option<u64>) -> Self {
+        match (deadline_ms, &self.inner) {
+            (None, None) => CancelToken::never(),
+            (None, Some(_)) => self.clone(),
+            (Some(ms), parent) => CancelToken {
+                inner: Some(Arc::new(Inner {
+                    cancelled: AtomicBool::new(false),
+                    deadline: Some(Instant::now() + Duration::from_millis(ms)),
+                    parent: parent.clone(),
+                })),
+            },
+        }
+    }
+
+    /// Flips the external cancel flag; every clone and child observes it.
+    /// A no-op on [`CancelToken::never`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this token can ever fire.
+    #[must_use]
+    pub fn is_never(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The firing reason, if the token has fired.
+    #[must_use]
+    pub fn reason(&self) -> Option<CancelReason> {
+        self.inner.as_ref().and_then(|inner| inner.reason())
+    }
+
+    /// Whether the token has fired (deadline passed or cancelled).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.reason().is_some()
+    }
+
+    /// `Err(reason)` once the token fires — the shape the search loops
+    /// thread outward with `?`.
+    ///
+    /// # Errors
+    ///
+    /// The [`CancelReason`] once the deadline passed or `cancel` was called.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        match self.reason() {
+            None => Ok(()),
+            Some(reason) => Err(reason),
+        }
+    }
+
+    /// A strided checker over this token (see [`CancelGate`]).
+    #[must_use]
+    pub fn gate(&self, stride: u32) -> CancelGate {
+        CancelGate::new(self, stride)
+    }
+}
+
+/// Amortizes token checks over a hot loop: [`CancelGate::tick`] is a
+/// counter bump on most calls and only consults the token (one atomic load
+/// plus possibly a clock read) every `stride` ticks.
+///
+/// `stride` is rounded up to a power of two.  Pick it so the loop body
+/// times `stride` stays well under [`CHECK_INTERVAL_MS`].
+#[derive(Debug)]
+pub struct CancelGate {
+    token: CancelToken,
+    mask: u32,
+    ticks: u32,
+}
+
+impl CancelGate {
+    /// A gate over `token` checking every `stride` ticks (rounded up to a
+    /// power of two; `stride` 0 and 1 both check every tick).
+    #[must_use]
+    pub fn new(token: &CancelToken, stride: u32) -> Self {
+        CancelGate {
+            token: token.clone(),
+            mask: stride.next_power_of_two().saturating_sub(1),
+            ticks: 0,
+        }
+    }
+
+    /// Counts one loop iteration; every `stride` calls, checks the token.
+    ///
+    /// # Errors
+    ///
+    /// The [`CancelReason`] once the underlying token fires.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), CancelReason> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & self.mask == 0 {
+            self.token.check()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Checks the token immediately, ignoring the stride.
+    ///
+    /// # Errors
+    ///
+    /// The [`CancelReason`] once the underlying token fires.
+    pub fn check_now(&self) -> Result<(), CancelReason> {
+        self.token.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_fires() {
+        let token = CancelToken::never();
+        assert!(token.is_never());
+        token.cancel(); // no-op
+        assert!(!token.is_cancelled());
+        assert_eq!(token.check(), Ok(()));
+        let mut gate = token.gate(64);
+        for _ in 0..1000 {
+            assert_eq!(gate.tick(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn external_cancel_fires_clones_and_children() {
+        let parent = CancelToken::new();
+        let clone = parent.clone();
+        let child = parent.child_with_deadline_ms(Some(60_000));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert_eq!(clone.check(), Err(CancelReason::Cancelled));
+        assert_eq!(child.check(), Err(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_with_the_deadline_reason() {
+        let token = CancelToken::after(Duration::from_millis(0));
+        assert_eq!(token.check(), Err(CancelReason::DeadlineExceeded));
+        // An explicit cancel takes precedence over the deadline reason.
+        let token = CancelToken::after(Duration::from_millis(0));
+        token.cancel();
+        assert_eq!(token.check(), Err(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn child_deadline_is_independent_of_the_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline_ms(Some(0));
+        assert_eq!(child.check(), Err(CancelReason::DeadlineExceeded));
+        assert_eq!(parent.check(), Ok(()), "child deadlines never flow up");
+    }
+
+    #[test]
+    fn child_derivation_is_free_on_the_default_path() {
+        let never = CancelToken::never();
+        assert!(never.child_with_deadline_ms(None).is_never());
+        let parent = CancelToken::new();
+        assert!(!parent.child_with_deadline_ms(None).is_never());
+    }
+
+    #[test]
+    fn gate_checks_on_the_stride_boundary() {
+        let token = CancelToken::new();
+        let mut gate = token.gate(4);
+        token.cancel();
+        // Ticks 1..=3 are counter bumps; tick 4 hits the stride and checks.
+        assert_eq!(gate.tick(), Ok(()));
+        assert_eq!(gate.tick(), Ok(()));
+        assert_eq!(gate.tick(), Ok(()));
+        assert_eq!(gate.tick(), Err(CancelReason::Cancelled));
+        assert_eq!(gate.check_now(), Err(CancelReason::Cancelled));
+    }
+}

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cancel;
 pub mod error;
 pub mod hypergraph;
 pub mod instance;
@@ -61,6 +62,7 @@ pub mod scaled;
 pub mod schedule;
 pub mod transform;
 
+pub use cancel::{CancelGate, CancelReason, CancelToken};
 pub use error::{InstanceError, ScheduleError};
 pub use hypergraph::{Component, SchedulingGraph, UnionFind};
 pub use instance::{Instance, InstanceBuilder};
@@ -75,7 +77,8 @@ pub mod prelude {
     pub use crate::bounds;
     pub use crate::properties;
     pub use crate::{
-        Instance, InstanceBuilder, Job, JobId, PropertyReport, Ratio, ScaledInstance,
-        ScaledScheduleBuilder, Schedule, ScheduleBuilder, ScheduleTrace, SchedulingGraph,
+        CancelGate, CancelReason, CancelToken, Instance, InstanceBuilder, Job, JobId,
+        PropertyReport, Ratio, ScaledInstance, ScaledScheduleBuilder, Schedule, ScheduleBuilder,
+        ScheduleTrace, SchedulingGraph,
     };
 }

@@ -23,13 +23,29 @@
 //! ```text
 //! cargo run --release -p cr-service --bin cr-serve < requests.jsonl
 //! cargo run --release -p cr-service --bin cr-serve -- --listen 127.0.0.1:7878 \
-//!     [--quota N] [--max-inflight N] [--max-clients N] [--stream-threshold N]
+//!     [--quota N] [--max-inflight N] [--max-clients N] [--stream-threshold N] \
+//!     [--deadline-ms N] [--idle-timeout-ms N] [--debug-methods]
 //! ```
+//!
+//! Bad flags and bind failures are *usage errors*: one line on stderr and
+//! exit code 2, never a panic backtrace.
 
 use cr_service::net::{Server, ServerConfig};
 use cr_service::{wire, SolverService};
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
+
+const USAGE: &str = "usage: cr-serve [--listen ADDR] [--quota N] [--max-inflight N] \
+[--max-clients N] [--stream-threshold N] [--deadline-ms N] [--idle-timeout-ms N] \
+[--debug-methods]\nWithout --listen, serves the JSONL protocol on stdin/stdout.";
+
+/// Reports a usage error the way a CLI should: one line on stderr, the
+/// usage string, exit code 2 (distinct from runtime failures).
+fn usage_error(message: &str) -> ! {
+    eprintln!("cr-serve: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
 
 fn flush_batch(
     service: &SolverService,
@@ -49,8 +65,7 @@ fn flush_batch(
     out.flush().expect("flush responses");
 }
 
-fn serve_stdin() {
-    let service = SolverService::with_standard_registry();
+fn serve_stdin(service: &SolverService) {
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();
@@ -67,19 +82,20 @@ fn serve_stdin() {
                 writeln!(out, "{response}").expect("write response line");
                 out.flush().expect("flush responses");
             } else {
-                flush_batch(&service, &mut batch, &mut next_id, &mut out);
+                flush_batch(service, &mut batch, &mut next_id, &mut out);
             }
         } else {
             batch.push(line);
         }
     }
-    flush_batch(&service, &mut batch, &mut next_id, &mut out);
+    flush_batch(service, &mut batch, &mut next_id, &mut out);
 }
 
-fn serve_socket(addr: &str, config: ServerConfig) {
-    let service = Arc::new(SolverService::with_standard_registry());
-    let handle = Server::spawn(service, addr, config)
-        .unwrap_or_else(|e| panic!("cr-serve: cannot bind {addr}: {e}"));
+fn serve_socket(service: SolverService, addr: &str, config: ServerConfig) {
+    let handle = match Server::spawn(Arc::new(service), addr, config) {
+        Ok(handle) => handle,
+        Err(e) => usage_error(&format!("cannot bind {addr}: {e}")),
+    };
     println!("{{\"listening\":\"{}\"}}", handle.addr());
     io::stdout().flush().expect("flush listening line");
     // Serve until a client requests a drain via {"control":"shutdown"};
@@ -88,38 +104,63 @@ fn serve_socket(addr: &str, config: ServerConfig) {
 }
 
 fn parse_usize(flag: &str, value: Option<String>) -> usize {
-    value
-        .unwrap_or_else(|| panic!("{flag} requires a value"))
-        .parse()
-        .unwrap_or_else(|e| panic!("{flag}: {e}"))
+    match value {
+        None => usage_error(&format!("{flag} requires a value")),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|e| usage_error(&format!("{flag}: {e}"))),
+    }
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    match value {
+        None => usage_error(&format!("{flag} requires a value")),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|e| usage_error(&format!("{flag}: {e}"))),
+    }
 }
 
 fn main() {
     let mut listen: Option<String> = None;
     let mut config = ServerConfig::default();
+    let mut debug_methods = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--listen" => listen = Some(args.next().expect("--listen requires ADDR")),
+            "--listen" => match args.next() {
+                Some(addr) => listen = Some(addr),
+                None => usage_error("--listen requires ADDR"),
+            },
             "--quota" => config.per_client_quota = parse_usize("--quota", args.next()),
             "--max-inflight" => config.max_inflight = parse_usize("--max-inflight", args.next()),
             "--max-clients" => config.max_clients = parse_usize("--max-clients", args.next()),
             "--stream-threshold" => {
                 config.stream.threshold_steps = parse_usize("--stream-threshold", args.next());
             }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(parse_u64("--deadline-ms", args.next()));
+            }
+            "--idle-timeout-ms" => {
+                // 0 disables the idle timeout.
+                let ms = parse_u64("--idle-timeout-ms", args.next());
+                config.idle_timeout_ms = (ms > 0).then_some(ms);
+            }
+            "--debug-methods" => debug_methods = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: cr-serve [--listen ADDR [--quota N] [--max-inflight N] \
-                     [--max-clients N] [--stream-threshold N]]\n\
-                     Without --listen, serves the JSONL protocol on stdin/stdout."
-                );
+                println!("{USAGE}");
                 return;
             }
-            other => panic!("unknown flag `{other}` (try --help)"),
+            other => usage_error(&format!("unknown flag `{other}`")),
         }
     }
+    let service = if debug_methods {
+        SolverService::with_standard_registry_and_debug()
+    } else {
+        SolverService::with_standard_registry()
+    };
     match listen {
-        Some(addr) => serve_socket(&addr, config),
-        None => serve_stdin(),
+        Some(addr) => serve_socket(service, &addr, config),
+        None => serve_stdin(&service),
     }
 }

@@ -56,11 +56,13 @@
 pub mod net;
 pub mod wire;
 
-use cr_algos::solver::{Prepared, Registry, SolveError, SolveOutcome, SolveRequest};
-use cr_core::Instance;
+use cr_algos::solver::{Prepared, Registry, SolveError, SolveOutcome, SolveRequest, Solver};
+use cr_core::{CancelToken, Instance};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Instances the warm conversion cache may hold before it is wholesale
 /// evicted (a simple bound so a long-running process cannot grow without
@@ -104,11 +106,58 @@ fn bucket_get(bucket: &CacheBucket, instance: &Instance) -> Option<Arc<Prepared>
         .map(|(_, prepared)| Arc::clone(prepared))
 }
 
+/// Renders a panic payload as a one-line message for a structured
+/// [`SolveError::Internal`] row.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "solver panicked with a non-string payload".to_string(),
+        },
+    }
+}
+
+/// Runs `f` behind a panic boundary, mapping an unwind to the panic's
+/// message.  `AssertUnwindSafe` is sound here because a caught panic either
+/// never touched shared state (`Prepared::new` builds a fresh value) or the
+/// shared state it touched is the poison-recovering cache, which is cleared
+/// and rebuilt on the next lock.
+fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(panic_message)
+}
+
+/// A deliberately panicking solver registered as `debug:panic` by
+/// [`register_debug_methods`]: the chaos harness and the panic-isolation
+/// tests dispatch it to prove a panicking solver yields exactly one
+/// `internal_error` row while its batch siblings succeed.
+#[derive(Debug, Clone, Copy, Default)]
+struct DebugPanicSolver;
+
+impl Solver for DebugPanicSolver {
+    fn solve_prepared(
+        &self,
+        _request: &SolveRequest,
+        _prepared: &Prepared,
+    ) -> Result<SolveOutcome, SolveError> {
+        panic!("deliberate panic (debug:panic test method)")
+    }
+}
+
+/// Registers the debug fault-injection methods (currently `debug:panic`, a
+/// solver that always panics) on `registry`.  Serving binaries only expose
+/// these behind an explicit opt-in flag.
+pub fn register_debug_methods(registry: &mut Registry) {
+    registry.register("debug:panic", Box::new(DebugPanicSolver));
+}
+
 /// A long-running batch solver: a registry plus a warm per-instance
 /// conversion cache.
 pub struct SolverService {
     registry: Registry,
     cache: Mutex<HashMap<u64, CacheBucket>>,
+    /// Times the cache was cleared after recovering a poisoned lock.
+    cache_rebuilds: AtomicU64,
 }
 
 impl SolverService {
@@ -118,6 +167,7 @@ impl SolverService {
         SolverService {
             registry,
             cache: Mutex::new(HashMap::new()),
+            cache_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +179,15 @@ impl SolverService {
         SolverService::new(cr_sim::full_registry())
     }
 
+    /// [`SolverService::with_standard_registry`] plus the opt-in debug
+    /// fault-injection methods of [`register_debug_methods`].
+    #[must_use]
+    pub fn with_standard_registry_and_debug() -> Self {
+        let mut registry = cr_sim::full_registry();
+        register_debug_methods(&mut registry);
+        SolverService::new(registry)
+    }
+
     /// The registry requests are dispatched against.
     #[must_use]
     pub fn registry(&self) -> &Registry {
@@ -137,25 +196,54 @@ impl SolverService {
 
     /// Number of instances currently held in the warm conversion cache
     /// (observability / test hook).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache mutex is poisoned (a solver panicked mid-batch).
     #[must_use]
     pub fn cached_instances(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("cache mutex poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.lock_cache().values().map(Vec::len).sum()
+    }
+
+    /// Times the warm cache was cleared and rebuilt after recovering a
+    /// poisoned lock (a panic unwound through a cache critical section).
+    #[must_use]
+    pub fn cache_rebuilds(&self) -> u64 {
+        self.cache_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Locks the conversion cache, recovering from poisoning: a panic that
+    /// unwound mid-mutation may have left a bucket half-written, so the
+    /// recovered map is cleared (it is only a cache — the next batch
+    /// re-warms it) and the rebuild is counted for `stats` observability.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<u64, CacheBucket>> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.cache.clear_poison();
+                self.cache_rebuilds.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Deliberately poisons the cache mutex (panics a helper thread while
+    /// it holds the lock).  Test hook for the poison-recovery path.
+    #[doc(hidden)]
+    pub fn poison_cache_for_tests(&self) {
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = self.cache.lock().expect("cache already poisoned");
+                    panic!("deliberate poison (test hook)");
+                })
+                .join()
+        });
     }
 
     /// Inserts `(instance, prepared)` under `key` unless an equal instance
     /// is already cached; evicts wholesale at the cap.  Caller holds no
     /// cache lock.
     fn cache_insert(&self, key: u64, instance: &Instance, prepared: &Arc<Prepared>) {
-        let mut cache = self.cache.lock().expect("cache mutex poisoned");
+        let mut cache = self.lock_cache();
         if cache.values().map(Vec::len).sum::<usize>() >= CACHE_CAP {
             cache.clear();
         }
@@ -170,7 +258,7 @@ impl SolverService {
     fn prepared_for(&self, instance: &Instance) -> Arc<Prepared> {
         let key = instance_hash(instance);
         {
-            let cache = self.cache.lock().expect("cache mutex poisoned");
+            let cache = self.lock_cache();
             if let Some(hit) = cache.get(&key).and_then(|b| bucket_get(b, instance)) {
                 return hit;
             }
@@ -208,6 +296,25 @@ impl SolverService {
     /// solve in parallel against the shared conversions.
     #[must_use]
     pub fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<Result<SolveOutcome, SolveError>> {
+        self.solve_batch_cancellable(requests, &CancelToken::never())
+    }
+
+    /// [`Self::solve_batch`] under a parent [`CancelToken`]: every request
+    /// solves under a child of `parent` additionally bounded by its own
+    /// `budget.max_wall_ms`, so cancelling `parent` (say, because the
+    /// requesting connection died) stops the whole flush cooperatively and
+    /// each over-deadline request reports
+    /// [`SolveError::DeadlineExceeded`] in its slot.
+    ///
+    /// Isolation is complete: a request whose solver *panics* occupies its
+    /// slot with [`SolveError::Internal`] while its siblings return
+    /// normally, and the panic never unwinds into the caller.
+    #[must_use]
+    pub fn solve_batch_cancellable(
+        &self,
+        requests: &[SolveRequest],
+        parent: &CancelToken,
+    ) -> Vec<Result<SolveOutcome, SolveError>> {
         // Phase 1: warm the conversion cache for every distinct instance
         // not already in it.
         let keys: Vec<u64> = requests
@@ -216,7 +323,7 @@ impl SolverService {
             .collect();
         let mut missing: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.lock().expect("cache mutex poisoned");
+            let cache = self.lock_cache();
             for (idx, (request, &key)) in requests.iter().zip(&keys).enumerate() {
                 let in_cache = cache
                     .get(&key)
@@ -231,15 +338,17 @@ impl SolverService {
                 }
             }
         }
-        let fresh: Vec<Arc<Prepared>> = missing
+        let fresh: Vec<Result<Arc<Prepared>, String>> = missing
             .par_iter()
-            .map(|&idx| Arc::new(Prepared::new(&requests[idx].instance)))
+            .map(|&idx| catch_panic(|| Arc::new(Prepared::new(&requests[idx].instance))))
             .collect();
         for (&idx, prepared) in missing.iter().zip(&fresh) {
-            self.cache_insert(keys[idx], &requests[idx].instance, prepared);
+            if let Ok(prepared) = prepared {
+                self.cache_insert(keys[idx], &requests[idx].instance, prepared);
+            }
         }
-        let prepared: Vec<Arc<Prepared>> = {
-            let cache = self.cache.lock().expect("cache mutex poisoned");
+        let prepared: Vec<Result<Arc<Prepared>, String>> = {
+            let cache = self.lock_cache();
             requests
                 .iter()
                 .zip(&keys)
@@ -248,19 +357,32 @@ impl SolverService {
                         .get(key)
                         .and_then(|b| bucket_get(b, &request.instance))
                     {
-                        Some(hit) => hit,
-                        // Evicted between phases (cache overflow): rebuild.
-                        None => Arc::new(Prepared::new(&request.instance)),
+                        Some(hit) => Ok(hit),
+                        // Either evicted between phases (cache overflow) or
+                        // its conversion panicked above; retry behind the
+                        // boundary so a deterministic conversion panic
+                        // stays one structured row.
+                        None => catch_panic(|| Arc::new(Prepared::new(&request.instance))),
                     }
                 })
                 .collect()
         };
 
         // Phase 2: solve every request against the shared conversions, in
-        // parallel, order-stable.
-        let work: Vec<(usize, Arc<Prepared>)> = prepared.into_iter().enumerate().collect();
+        // parallel, order-stable, each behind its own panic boundary.
+        let work: Vec<(usize, Result<Arc<Prepared>, String>)> =
+            prepared.into_iter().enumerate().collect();
         work.par_iter()
-            .map(|(idx, prepared)| self.registry.solve_prepared(&requests[*idx], prepared))
+            .map(|(idx, prepared)| match prepared {
+                Ok(prepared) => catch_panic(|| {
+                    self.registry
+                        .solve_cancellable(&requests[*idx], prepared, parent)
+                })
+                .unwrap_or_else(|message| Err(SolveError::Internal { message })),
+                Err(message) => Err(SolveError::Internal {
+                    message: message.clone(),
+                }),
+            })
             .collect()
     }
 }

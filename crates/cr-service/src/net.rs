@@ -40,6 +40,25 @@
 //!   closed socket, and [`ServerHandle::join`] returns once the last
 //!   worker exits.
 //!
+//! # Deadlines and cancellation
+//!
+//! Every flush solves under a per-flush [`CancelToken`]: the server's
+//! [`ServerConfig::default_deadline_ms`] bounds it, each request's own
+//! `deadline_ms` tightens its child, and a per-connection watcher cancels
+//! it when the socket dies hard (reset) mid-solve — over-deadline requests
+//! answer structured `deadline_exceeded` rows within about one check
+//! interval (50 ms) while their in-deadline siblings answer normally.
+//! Connections idle past [`ServerConfig::idle_timeout_ms`] receive one
+//! `idle_timeout` notice line and are closed.
+//!
+//! # Failure domains
+//!
+//! A panicking solver is caught per request ([`SolverService`]'s panic
+//! boundary) and answers an `internal_error` row; a panicking connection
+//! worker closes exactly its own connection (counted in `worker_panics`)
+//! and frees its client slot; the acceptor survives per-connection setup
+//! panics.  The server process itself never exits on request input.
+//!
 //! # Streaming
 //!
 //! Responses whose schedules reach [`StreamPolicy::threshold_steps`] are
@@ -49,12 +68,14 @@
 
 use crate::wire::{self, BatchItem, StreamPolicy};
 use crate::SolverService;
+use cr_core::CancelToken;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of one [`Server`].
 #[derive(Debug, Clone)]
@@ -70,6 +91,14 @@ pub struct ServerConfig {
     pub max_clients: usize,
     /// When and how large schedules stream (see [`StreamPolicy`]).
     pub stream: StreamPolicy,
+    /// Wall-clock deadline applied to every flush, in milliseconds
+    /// (`None` = no server-side deadline).  A client's own `deadline_ms`
+    /// tightens but never loosens this: over-deadline requests answer
+    /// `deadline_exceeded` in their slots.
+    pub default_deadline_ms: Option<u64>,
+    /// Connections idle (no bytes received) this long are sent one
+    /// structured `idle_timeout` notice line and closed (`None` = never).
+    pub idle_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +108,8 @@ impl Default for ServerConfig {
             max_inflight: 1024,
             max_clients: 64,
             stream: StreamPolicy::DEFAULT,
+            default_deadline_ms: None,
+            idle_timeout_ms: Some(60_000),
         }
     }
 }
@@ -98,6 +129,11 @@ pub struct ServerStats {
     pub overloaded: AtomicU64,
     /// Requests currently being solved.
     pub inflight: AtomicUsize,
+    /// Connection workers that panicked (the panic closed one connection;
+    /// the server kept serving).
+    pub worker_panics: AtomicU64,
+    /// Connections closed with an `idle_timeout` notice.
+    pub idle_closed: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -113,16 +149,26 @@ pub struct StatsSnapshot {
     pub overloaded: u64,
     /// Requests currently being solved.
     pub inflight: usize,
+    /// Connection workers that panicked (connection closed, server alive).
+    pub worker_panics: u64,
+    /// Connections closed with an `idle_timeout` notice.
+    pub idle_closed: u64,
+    /// Times the service's warm cache recovered a poisoned lock (see
+    /// [`SolverService::cache_rebuilds`]).
+    pub cache_rebuilds: u64,
 }
 
 impl ServerStats {
-    fn snapshot(&self) -> StatsSnapshot {
+    fn snapshot(&self, cache_rebuilds: u64) -> StatsSnapshot {
         StatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            cache_rebuilds,
         }
     }
 
@@ -159,6 +205,12 @@ struct Shared {
     stats: ServerStats,
     workers: Mutex<Vec<JoinHandle<()>>>,
     active_clients: AtomicUsize,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(self.service.cache_rebuilds())
+    }
 }
 
 /// A running socket server.  Dropping the handle does **not** stop the
@@ -223,7 +275,7 @@ impl ServerHandle {
     /// Point-in-time serving counters.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.snapshot()
     }
 
     /// Whether a drain has been requested (by this handle or a client's
@@ -247,10 +299,19 @@ impl ServerHandle {
             acceptor.join().expect("acceptor thread panicked");
         }
         // Workers register themselves before the acceptor exits, so after
-        // the acceptor is gone this list is complete.
-        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("worker registry"));
+        // the acceptor is gone this list is complete.  Worker panics are
+        // caught and counted inside the worker itself, so a failed join
+        // here (only possible for a panic outside that boundary) must not
+        // take the whole process down with it.
+        let workers = std::mem::take(
+            &mut *self
+                .shared
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for worker in workers {
-            worker.join().expect("connection worker panicked");
+            let _ = worker.join();
         }
     }
 }
@@ -263,21 +324,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                if shared.active_clients.load(Ordering::Acquire) >= shared.config.max_clients {
-                    shed_connection(stream, shared);
-                    continue;
+                // A panic anywhere in this connection's setup costs exactly
+                // that connection; the acceptor keeps accepting.
+                let result = catch_unwind(AssertUnwindSafe(|| admit_connection(stream, shared)));
+                if result.is_err() {
+                    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
                 }
-                shared.active_clients.fetch_add(1, Ordering::AcqRel);
-                let worker_shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("cr-serve-conn".to_string())
-                    .spawn(move || {
-                        serve_connection(stream, &worker_shared);
-                        worker_shared.active_clients.fetch_sub(1, Ordering::AcqRel);
-                    })
-                    .expect("spawn connection worker");
-                shared.workers.lock().expect("worker registry").push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -285,6 +337,41 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
+}
+
+/// Admits one accepted connection: shed past the client cap, otherwise
+/// spawn its worker thread behind a panic boundary (a panicking worker
+/// closes its own connection and bumps `worker_panics`; the server and its
+/// client-slot accounting survive).
+fn admit_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    if shared.active_clients.load(Ordering::Acquire) >= shared.config.max_clients {
+        shed_connection(stream, shared);
+        return;
+    }
+    shared.active_clients.fetch_add(1, Ordering::AcqRel);
+    let worker_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("cr-serve-conn".to_string())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                serve_connection(stream, &worker_shared);
+            }));
+            if result.is_err() {
+                worker_shared
+                    .stats
+                    .worker_panics
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // The slot is freed on every exit path, panic included.
+            worker_shared.active_clients.fetch_sub(1, Ordering::AcqRel);
+        })
+        .expect("spawn connection worker");
+    shared
+        .workers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(handle);
 }
 
 /// Answers a connection past the client cap with one `overloaded` line.
@@ -309,22 +396,98 @@ fn shed_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// bounded even when an idle client never hangs up.
 const DRAIN_GRACE_POLLS: u32 = 40;
 
+/// How often the disconnect watcher polls its socket while a flush solves.
+const DISCONNECT_POLL_MS: u64 = 50;
+
+/// The cancellation bridge between one connection's reader and its
+/// disconnect watcher: while a flush is solving, its parent token sits in
+/// `flush`; the watcher cancels it when the socket dies hard.
+#[derive(Default)]
+struct FlushWatch {
+    flush: Mutex<Option<CancelToken>>,
+    done: AtomicBool,
+}
+
+impl FlushWatch {
+    fn set(&self, token: Option<CancelToken>) {
+        *self
+            .flush
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = token;
+    }
+
+    fn cancel_active(&self) {
+        if let Some(token) = self
+            .flush
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            token.cancel();
+        }
+    }
+}
+
+/// Polls `monitor` while the connection lives, cancelling the in-flight
+/// flush (if any) when the socket errors hard (reset / aborted).  A clean
+/// FIN is *not* a cancellation: a client may half-close after its last
+/// request and still expect its answers.
+fn watch_disconnect(monitor: &TcpStream, watch: &FlushWatch) {
+    let mut buf = [0u8; 1];
+    while !watch.done.load(Ordering::Acquire) {
+        match monitor.peek(&mut buf) {
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                watch.cancel_active();
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(DISCONNECT_POLL_MS));
+    }
+}
+
 /// The per-connection worker: the stdin serve loop, plus admission control,
-/// streaming and drain handling.
+/// streaming, deadlines, idle timeout and drain handling.
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // A short read timeout turns the blocking read loop into a poll against
     // the drain flag without busy-waiting.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
+    let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let monitor = stream.try_clone().ok();
+    let reader = BufReader::new(stream);
+    let watch = FlushWatch::default();
+    std::thread::scope(|scope| {
+        if let Some(monitor) = &monitor {
+            scope.spawn(|| watch_disconnect(monitor, &watch));
+        }
+        connection_loop(reader, writer, shared, &watch);
+        watch.done.store(true, Ordering::Release);
+    });
+}
+
+/// The read-accumulate-flush loop of one connection.
+fn connection_loop(
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    shared: &Arc<Shared>,
+    watch: &FlushWatch,
+) {
     let mut batch: Vec<String> = Vec::new();
     let mut next_id: u64 = 0;
     let mut line = String::new();
     let mut drain_polls: u32 = 0;
+    let idle_timeout = shared.config.idle_timeout_ms.map(Duration::from_millis);
+    let mut last_activity = Instant::now();
+    let mut seen_len = 0usize;
     loop {
         // NB: `line` is cleared only after a complete line is handled — a
         // read timeout can strike mid-line, and the partial bytes already
@@ -333,11 +496,13 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(0) => {
                 // EOF: answer whatever the client left unflushed, then close.
                 if !batch.is_empty() {
-                    let _ = flush_batch(shared, &mut batch, &mut next_id, &mut writer);
+                    let _ = flush_batch(shared, &mut batch, &mut next_id, &mut writer, watch);
                 }
                 return;
             }
             Ok(_) => {
+                last_activity = Instant::now();
+                seen_len = 0;
                 let trimmed = line.trim();
                 if trimmed.is_empty() {
                     // Explicit flush; an empty batch is a protocol error and
@@ -352,11 +517,15 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                         {
                             return;
                         }
-                    } else if flush_batch(shared, &mut batch, &mut next_id, &mut writer).is_err() {
+                    } else if flush_batch(shared, &mut batch, &mut next_id, &mut writer, watch)
+                        .is_err()
+                    {
                         return;
                     }
                 } else if let Some(op) = parse_control(trimmed) {
-                    if handle_control(&op, shared, &mut batch, &mut next_id, &mut writer).is_err() {
+                    if handle_control(&op, shared, &mut batch, &mut next_id, &mut writer, watch)
+                        .is_err()
+                    {
                         return;
                     }
                     if op == "shutdown" {
@@ -373,19 +542,45 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                // A timeout can strike mid-line; bytes dribbled into the
+                // partial line still count as activity (a slow sender is
+                // not an idle one).
+                if line.len() > seen_len {
+                    seen_len = line.len();
+                    last_activity = Instant::now();
+                }
                 if shared.draining.load(Ordering::Acquire) {
                     // Graceful drain: complete the pending partial batch
                     // (it was already accepted), then keep answering for a
                     // grace window — flushes racing the drain get their
                     // structured `draining` rows — before closing.
                     if !batch.is_empty() {
-                        let _ =
-                            flush_batch_during_drain(shared, &mut batch, &mut next_id, &mut writer);
+                        let _ = flush_batch_during_drain(
+                            shared,
+                            &mut batch,
+                            &mut next_id,
+                            &mut writer,
+                            watch,
+                        );
                     }
                     drain_polls += 1;
                     if drain_polls >= DRAIN_GRACE_POLLS {
                         return;
                     }
+                } else if idle_timeout.is_some_and(|t| last_activity.elapsed() >= t) {
+                    // Structured notice, then close: the client learns why
+                    // the socket went away instead of seeing a bare FIN.
+                    shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    let notice = wire::render_item(&BatchItem::rejected(
+                        next_id,
+                        "idle_timeout",
+                        format!(
+                            "connection idle past the server's idle timeout of {} ms",
+                            shared.config.idle_timeout_ms.unwrap_or_default()
+                        ),
+                    ));
+                    let _ = writeln!(writer, "{notice}").and_then(|()| writer.flush());
+                    return;
                 }
             }
             Err(_) => return,
@@ -411,22 +606,30 @@ fn handle_control(
     batch: &mut Vec<String>,
     next_id: &mut u64,
     writer: &mut impl Write,
+    watch: &FlushWatch,
 ) -> io::Result<()> {
     match op {
         "shutdown" => {
             if !batch.is_empty() {
-                flush_batch(shared, batch, next_id, writer)?;
+                flush_batch(shared, batch, next_id, writer, watch)?;
             }
             shared.draining.store(true, Ordering::Release);
             writeln!(writer, r#"{{"control":"shutdown","draining":true}}"#)?;
             writer.flush()
         }
         "stats" => {
-            let s = shared.stats.snapshot();
+            let s = shared.snapshot();
             writeln!(
                 writer,
-                r#"{{"control":"stats","connections":{},"served":{},"quota_rejected":{},"overloaded":{},"inflight":{}}}"#,
-                s.connections, s.served, s.quota_rejected, s.overloaded, s.inflight
+                r#"{{"control":"stats","connections":{},"served":{},"quota_rejected":{},"overloaded":{},"inflight":{},"worker_panics":{},"idle_closed":{},"cache_rebuilds":{}}}"#,
+                s.connections,
+                s.served,
+                s.quota_rejected,
+                s.overloaded,
+                s.inflight,
+                s.worker_panics,
+                s.idle_closed,
+                s.cache_rebuilds
             )?;
             writer.flush()
         }
@@ -449,8 +652,9 @@ fn flush_batch(
     batch: &mut Vec<String>,
     next_id: &mut u64,
     writer: &mut impl Write,
+    watch: &FlushWatch,
 ) -> io::Result<()> {
-    write_items(shared, batch, next_id, writer, false)
+    write_items(shared, batch, next_id, writer, false, watch)
 }
 
 /// [`flush_batch`] for the partial batch completed during a graceful drain:
@@ -461,8 +665,9 @@ fn flush_batch_during_drain(
     batch: &mut Vec<String>,
     next_id: &mut u64,
     writer: &mut impl Write,
+    watch: &FlushWatch,
 ) -> io::Result<()> {
-    write_items(shared, batch, next_id, writer, true)
+    write_items(shared, batch, next_id, writer, true, watch)
 }
 
 fn write_items(
@@ -471,11 +676,12 @@ fn write_items(
     next_id: &mut u64,
     writer: &mut impl Write,
     during_drain: bool,
+    watch: &FlushWatch,
 ) -> io::Result<()> {
     let lines = std::mem::take(batch);
     let first_id = *next_id;
     *next_id += lines.len() as u64;
-    let items = admit_and_solve(shared, &lines, first_id, during_drain);
+    let items = admit_and_solve(shared, &lines, first_id, during_drain, watch);
     for item in &items {
         for line in wire::render_item_streamed(item, shared.config.stream) {
             writeln!(writer, "{line}")?;
@@ -485,12 +691,15 @@ fn write_items(
 }
 
 /// The admission pipeline of one flush: drain check, per-client quota cut,
-/// global in-flight reservation, then the shared parse + solve path.
+/// global in-flight reservation, then the shared parse + solve path under
+/// a per-flush [`CancelToken`] (bounded by the server's default deadline,
+/// cancelled by the disconnect watcher if the socket dies hard).
 fn admit_and_solve(
     shared: &Arc<Shared>,
     lines: &[String],
     first_id: u64,
     during_drain: bool,
+    watch: &FlushWatch,
 ) -> Vec<BatchItem> {
     let stats = &shared.stats;
     if !during_drain && shared.draining.load(Ordering::Acquire) {
@@ -523,7 +732,18 @@ fn admit_and_solve(
             })
             .collect();
     }
-    let mut items = wire::solve_batch_items(&shared.service, &lines[..admitted], first_id);
+    // Parent token for the whole flush: an explicitly cancellable root
+    // (so the disconnect watcher can stop it) tightened by the server's
+    // default deadline when one is configured.  Each request further
+    // tightens its child with its own `deadline_ms`.
+    let parent = match shared.config.default_deadline_ms {
+        Some(ms) => CancelToken::after_ms(ms),
+        None => CancelToken::new(),
+    };
+    watch.set(Some(parent.clone()));
+    let mut items =
+        wire::solve_batch_items_cancellable(&shared.service, &lines[..admitted], first_id, &parent);
+    watch.set(None);
     stats.release(admitted);
     stats.served.fetch_add(admitted as u64, Ordering::Relaxed);
     for (i, _) in lines.iter().enumerate().skip(admitted) {
@@ -548,7 +768,7 @@ mod tests {
         assert!(!stats.try_acquire(2, 4));
         assert!(stats.try_acquire(1, 4));
         stats.release(4);
-        assert_eq!(stats.snapshot().inflight, 0);
+        assert_eq!(stats.snapshot(0).inflight, 0);
     }
 
     #[test]

@@ -19,8 +19,13 @@
 //! * `id` (optional) — echoed in the response; defaults to the 0-based
 //!   position of the line in the stream.
 //! * `engine` (optional) — `"auto"` (default) | `"scaled"` | `"rational"`.
-//! * `budget` (optional) — `{"max_steps": N, "max_rounds": N}`, both
-//!   optional.
+//! * `budget` (optional) — `{"max_steps": N, "max_rounds": N,
+//!   "max_wall_ms": N}`, all optional.
+//! * `deadline_ms` (optional) — wall-clock deadline for this request in
+//!   milliseconds, shorthand for `budget.max_wall_ms` (when both appear
+//!   the smaller wins); an over-deadline request answers with a
+//!   `deadline_exceeded` error in its slot within roughly one check
+//!   interval (50 ms) past the deadline.
 //! * `want_schedule` (optional, default `false`) — include the full
 //!   schedule in the response.
 //! * `arrivals` (optional) — per-processor arrival steps (online `sim:*`
@@ -40,7 +45,7 @@
 //!
 //! # Transport-level error kinds
 //!
-//! The serving layer adds four kinds of its own on top of the solver's
+//! The serving layer adds five kinds of its own on top of the solver's
 //! [`SolveError::kind`] vocabulary (see [`WIRE_ERROR_KINDS`]):
 //!
 //! * `bad_request` — the line failed to parse, or a blank-line flush
@@ -50,7 +55,10 @@
 //! * `overloaded` — the server shed the whole flush because its global
 //!   in-flight cap was reached (socket server);
 //! * `draining` — the flush arrived while the server was draining for
-//!   shutdown.
+//!   shutdown;
+//! * `idle_timeout` — the connection sat idle (no bytes received) past the
+//!   server's idle timeout and is being closed (socket server; sent as a
+//!   final notice line, not in a request's slot).
 //!
 //! # Streaming frames
 //!
@@ -177,13 +185,23 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<WireRequest, String>
         },
         Some(_) => return Err("field `engine` must be a string".to_string()),
     };
-    let budget = match value.get("budget") {
+    let mut budget = match value.get("budget") {
         None | Some(Value::Null) => Budget::UNLIMITED,
         Some(b) => Budget {
             max_steps: field_usize(b, "max_steps")?,
             max_rounds: field_usize(b, "max_rounds")?,
+            max_wall_ms: field_u64(b, "max_wall_ms")?,
         },
     };
+    // Top-level `deadline_ms` is shorthand for `budget.max_wall_ms`; when
+    // both appear the tighter bound wins.
+    if let Some(deadline_ms) = field_u64(&value, "deadline_ms")? {
+        budget.max_wall_ms = Some(
+            budget
+                .max_wall_ms
+                .map_or(deadline_ms, |w| w.min(deadline_ms)),
+        );
+    }
     let want_schedule = match value.get("want_schedule") {
         None | Some(Value::Null) => false,
         Some(v) => bool::deserialize(v).map_err(|e| format!("field `want_schedule`: {e}"))?,
@@ -294,7 +312,13 @@ pub fn empty_flush_line(id: u64) -> String {
 
 /// Every transport-level error `kind` the serving layer itself can emit
 /// (the solvers' own vocabulary is [`SolveError::ALL_KINDS`]).
-pub const WIRE_ERROR_KINDS: [&str; 4] = ["bad_request", "quota_exceeded", "overloaded", "draining"];
+pub const WIRE_ERROR_KINDS: [&str; 5] = [
+    "bad_request",
+    "quota_exceeded",
+    "overloaded",
+    "draining",
+    "idle_timeout",
+];
 
 /// One response slot of a processed batch, before rendering: either a
 /// dispatched solve or a transport-level rejection.
@@ -351,6 +375,21 @@ pub fn solve_batch_items(
     lines: &[String],
     first_id: u64,
 ) -> Vec<BatchItem> {
+    solve_batch_items_cancellable(service, lines, first_id, &cr_core::CancelToken::never())
+}
+
+/// [`solve_batch_items`] under a parent [`cr_core::CancelToken`]: the
+/// socket server derives one token per flush (bounded by the server's
+/// default deadline, cancelled when the connection dies) and every request
+/// solves under a child of it, additionally bounded by its own
+/// `deadline_ms`.
+#[must_use]
+pub fn solve_batch_items_cancellable(
+    service: &SolverService,
+    lines: &[String],
+    first_id: u64,
+    parent: &cr_core::CancelToken,
+) -> Vec<BatchItem> {
     let parsed: Vec<Result<WireRequest, String>> = lines
         .iter()
         .enumerate()
@@ -360,7 +399,9 @@ pub fn solve_batch_items(
         .iter()
         .filter_map(|p| p.as_ref().ok().map(|w| w.request.clone()))
         .collect();
-    let mut results = service.solve_batch(&requests).into_iter();
+    let mut results = service
+        .solve_batch_cancellable(&requests, parent)
+        .into_iter();
     parsed
         .into_iter()
         .enumerate()

@@ -259,3 +259,196 @@ fn draining_server_answers_new_flushes_with_draining_errors() {
     drop(stream);
     handle.join();
 }
+
+/// A 6-processor brute-force request that runs for minutes uninterrupted
+/// (measured >60 s in release): only a fired deadline can answer it fast.
+fn pathological_line(deadline_ms: u64) -> String {
+    format!(
+        concat!(
+            r#"{{"method":"BruteForce","deadline_ms":{},"rows":"#,
+            r#"[[10,20,30,40,50],[15,25,35,45,55],[12,22,32,42,52],"#,
+            r#"[13,23,33,43,53],[14,24,34,44,54],[16,26,36,46,56]]}}"#
+        ),
+        deadline_ms
+    )
+}
+
+#[test]
+fn deadline_exceeded_answers_fast_with_byte_identical_siblings() {
+    let handle = spawn_server(ServerConfig::default());
+    let greedy = r#"{"method":"GreedyBalance","rows":[[60,40],[40,60]]}"#.to_string();
+    let lines = vec![greedy.clone(), pathological_line(100)];
+    let start = std::time::Instant::now();
+    let responses = drive(handle.addr(), &lines, 2);
+    let elapsed = start.elapsed();
+    // The sibling is byte-identical to its single-request reference.
+    assert_eq!(responses[0], reference_responses(&[greedy])[0]);
+    assert!(
+        responses[1].contains("\"kind\":\"deadline_exceeded\""),
+        "{}",
+        responses[1]
+    );
+    // 100 ms deadline + one 50 ms check interval, with debug-build slack;
+    // without cancellation this solve runs for minutes.
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "deadline enforcement took {elapsed:?}"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.inflight, 0, "leaked in-flight slots");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn server_default_deadline_bounds_requests_without_their_own() {
+    let handle = spawn_server(ServerConfig {
+        default_deadline_ms: Some(100),
+        ..ServerConfig::default()
+    });
+    // No per-request deadline: the server's own default must stop it.
+    let line = pathological_line(3_600_000);
+    let start = std::time::Instant::now();
+    let responses = drive(handle.addr(), &[line], 1);
+    assert!(
+        responses[0].contains("\"kind\":\"deadline_exceeded\""),
+        "{}",
+        responses[0]
+    );
+    assert!(
+        start.elapsed() < Duration::from_millis(1500),
+        "server default deadline took {:?}",
+        start.elapsed()
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn injected_panic_yields_one_internal_error_row_with_intact_siblings() {
+    let service = Arc::new(SolverService::with_standard_registry_and_debug());
+    let handle =
+        Server::spawn(service, "127.0.0.1:0", ServerConfig::default()).expect("bind ephemeral");
+    let greedy = r#"{"method":"GreedyBalance","rows":[[60,40],[40,60]]}"#.to_string();
+    let boom = r#"{"method":"debug:panic","rows":[[50]]}"#.to_string();
+    let bounds = r#"{"method":"Bounds","rows":[[20,10],[50,55]]}"#.to_string();
+    let responses = drive(handle.addr(), &[greedy.clone(), boom, bounds.clone()], 3);
+    assert_eq!(responses[0], reference_responses(&[greedy])[0]);
+    assert!(
+        responses[1].contains("\"kind\":\"internal_error\""),
+        "{}",
+        responses[1]
+    );
+    assert!(
+        responses[1].contains("deliberate panic"),
+        "{}",
+        responses[1]
+    );
+    {
+        let reference = reference_responses(&[bounds]);
+        // The reference has id 0; the sibling answered as id 2.
+        assert_eq!(
+            responses[2].replacen("{\"id\":2,", "{\"id\":0,", 1),
+            reference[0]
+        );
+    }
+    // The server must still answer the full golden batch byte-identically
+    // after containing a panic.
+    let lines = smoke_lines();
+    let after = drive(handle.addr(), &lines, 10);
+    assert_eq!(after, reference_responses(&lines));
+    let stats = handle.stats();
+    assert_eq!(stats.inflight, 0, "leaked in-flight slots");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn mid_line_disconnects_leak_nothing_and_server_keeps_serving() {
+    let handle = spawn_server(ServerConfig::default());
+    // Abandon a connection mid-line (bytes sent, no newline), another one
+    // mid-batch (lines sent, no flush), and one right after a flush.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(br#"{"method":"GreedyBal"#)
+            .expect("send partial line");
+        stream.flush().expect("flush bytes");
+    }
+    {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        writeln!(stream, r#"{{"method":"GreedyBalance","rows":[[50]]}}"#).expect("send line");
+    }
+    {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        writeln!(stream, r#"{{"method":"GreedyBalance","rows":[[50]]}}"#).expect("send line");
+        writeln!(stream).expect("send flush");
+        // Dropped without reading the response.
+    }
+    // Give the workers a moment to observe the disconnects.
+    std::thread::sleep(Duration::from_millis(300));
+    let lines = smoke_lines();
+    let responses = drive(handle.addr(), &lines, 10);
+    assert_eq!(responses, reference_responses(&lines));
+    let stats = handle.stats();
+    assert_eq!(stats.inflight, 0, "leaked in-flight slots");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn idle_connections_get_a_structured_notice_then_close() {
+    let handle = spawn_server(ServerConfig {
+        idle_timeout_ms: Some(200),
+        ..ServerConfig::default()
+    });
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let start = std::time::Instant::now();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read idle notice");
+    assert!(line.contains("\"kind\":\"idle_timeout\""), "{line}");
+    assert!(
+        start.elapsed() >= Duration::from_millis(200),
+        "closed before the idle timeout"
+    );
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("read EOF"), 0);
+    let stats = handle.stats();
+    assert_eq!(stats.idle_closed, 1);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn assemble_streamed_rejects_truncated_streams() {
+    let handle = spawn_server(ServerConfig {
+        stream: StreamPolicy {
+            threshold_steps: 3,
+            chunk_steps: 2,
+        },
+        ..ServerConfig::default()
+    });
+    let request = vec![
+        r#"{"method":"EqualShare","rows":[[100],[100],[100]],"want_schedule":true}"#.to_string(),
+    ];
+    let frames = drive(handle.addr(), &request, 4);
+    // A disconnect mid-stream leaves the client without the end frame (or
+    // worse, mid-chunk): reassembly must fail loudly, not fabricate a
+    // partial schedule.
+    let missing_end = &frames[..3];
+    assert!(
+        wire::assemble_streamed(missing_end).is_err(),
+        "accepted a stream with no end frame"
+    );
+    let missing_chunk = vec![frames[0].clone(), frames[1].clone(), frames[3].clone()];
+    assert!(
+        wire::assemble_streamed(&missing_chunk).is_err(),
+        "accepted a stream with a missing chunk"
+    );
+    handle.shutdown();
+    handle.join();
+}

@@ -60,3 +60,51 @@ fn trailing_batch_without_final_blank_line_still_answers_on_eof() {
     assert_eq!(lines.len(), 1, "{lines:?}");
     assert!(lines[0].contains("\"lower_bounds\""), "{}", lines[0]);
 }
+
+/// Runs `cr-serve` with `args` and no stdin, returning (exit code, stderr).
+fn run_serve_args(args: &[&str]) -> (Option<i32>, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_cr-serve"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run cr-serve");
+    (
+        output.status.code(),
+        String::from_utf8(output.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error_not_a_panic() {
+    let (code, stderr) = run_serve_args(&["--no-such-flag"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("unknown flag `--no-such-flag`"), "{stderr}");
+    assert!(stderr.contains("usage: cr-serve"), "{stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "usage errors must not be panics: {stderr}"
+    );
+}
+
+#[test]
+fn missing_and_malformed_flag_values_are_usage_errors() {
+    let (code, stderr) = run_serve_args(&["--quota"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--quota requires a value"), "{stderr}");
+
+    let (code, stderr) = run_serve_args(&["--deadline-ms", "soon"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--deadline-ms"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn bind_failure_is_a_usage_error_not_a_panic() {
+    // An unresolvable listen address cannot bind.
+    let (code, stderr) = run_serve_args(&["--listen", "definitely.invalid.localdomain:0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("cannot bind"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

@@ -50,7 +50,7 @@ fn mixed_batch_isolates_failures_without_poisoning_siblings() {
         SolveRequest::new("NoSuchMethod", fig.clone()),
         SolveRequest::new("OptM", tall.clone()).with_budget(Budget {
             max_rounds: Some(1),
-            max_steps: None,
+            ..Budget::UNLIMITED
         }),
         SolveRequest::new("OptTwo", tall.clone()),
         SolveRequest::new("OptM", fig.clone()),
@@ -234,4 +234,49 @@ proptest! {
         prop_assert_eq!(&parallel, &joined);
         joined.clear();
     }
+}
+
+#[test]
+fn poisoned_cache_mutex_recovers_and_counts_the_rebuild() {
+    let service = SolverService::with_standard_registry();
+    let instance = instance_from(&[vec![60, 40], vec![40, 60]]);
+    // Warm the cache, then poison its mutex the way a panicking solver
+    // holding the lock would.
+    let _ = service.solve_batch(&[SolveRequest::new("GreedyBalance", instance.clone())]);
+    assert_eq!(service.cached_instances(), 1);
+    assert_eq!(service.cache_rebuilds(), 0);
+    service.poison_cache_for_tests();
+    // The next batch recovers: the cache is cleared and rebuilt warm, the
+    // rebuild is counted once, and results are unaffected.
+    let results = service.solve_batch(&[SolveRequest::new("GreedyBalance", instance)]);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    assert_eq!(service.cache_rebuilds(), 1);
+    assert_eq!(service.cached_instances(), 1);
+}
+
+#[test]
+fn panicking_solver_occupies_its_slot_while_siblings_answer() {
+    let service = SolverService::with_standard_registry_and_debug();
+    let instance = instance_from(&[vec![60, 40], vec![40, 60]]);
+    let requests = vec![
+        SolveRequest::new("GreedyBalance", instance.clone()),
+        SolveRequest::new("debug:panic", instance.clone()),
+        SolveRequest::new("Bounds", instance.clone()),
+    ];
+    let results = service.solve_batch(&requests);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    match &results[1] {
+        Err(err) => {
+            assert_eq!(err.kind(), "internal_error");
+            assert!(err.to_string().contains("deliberate panic"), "{err}");
+        }
+        Ok(_) => panic!("panicking solver reported success"),
+    }
+    assert!(results[2].is_ok(), "{:?}", results[2]);
+    // The service keeps answering normally afterwards — byte-identical to
+    // a fresh service.
+    let sane = vec![SolveRequest::new("OptM", instance)];
+    let after = render(&service, &sane);
+    let fresh = render(&SolverService::with_standard_registry(), &sane);
+    assert_eq!(after, fresh);
 }

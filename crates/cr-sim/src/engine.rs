@@ -14,8 +14,14 @@
 use crate::metrics::{CoreReport, SimReport};
 use crate::policies::{CoreView, OnlinePolicy};
 use crate::task::{tasks_to_instance, Task};
-use cr_core::{bounds, Instance, ScaledScheduleBuilder, Schedule};
+use cr_core::{bounds, CancelReason, CancelToken, Instance, ScaledScheduleBuilder, Schedule};
 use std::fmt;
+
+/// How many simulated steps pass between cancel-token checks in the engine
+/// loop: one step costs `O(m)` integer work plus a policy call, so even
+/// wide workloads check far more often than
+/// [`cr_core::cancel::CHECK_INTERVAL_MS`] demands.
+const STEP_CHECK_STRIDE: u32 = 64;
 
 /// A simulation of one workload under one policy.
 pub struct Simulator {
@@ -56,6 +62,12 @@ pub enum SimError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// The simulation's cancel token fired (wall-clock deadline passed, or
+    /// the requesting connection died) before the workload finished.
+    Cancelled {
+        /// Whether the deadline fired or the run was cancelled externally.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +81,7 @@ impl fmt::Display for SimError {
                 f,
                 "policy {policy} exceeded the step limit of {limit} — it is starving a core"
             ),
+            SimError::Cancelled { reason } => write!(f, "simulation stopped: {reason}"),
         }
     }
 }
@@ -137,6 +150,30 @@ impl Simulator {
     /// share above the capacity, or total above the pool) — that is a bug in
     /// the policy, not a runtime condition.
     pub fn run(&self, policy: &mut dyn OnlinePolicy) -> Result<SimOutcome, SimError> {
+        self.run_cancellable(policy, &CancelToken::never())
+    }
+
+    /// [`Simulator::run`] with cooperative cancellation: the step loop
+    /// consults `token` on a strided gate (every 64 steps), failing with
+    /// [`SimError::Cancelled`] once it fires.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulator::run`] reports, plus [`SimError::Cancelled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns a malformed share vector (wrong length,
+    /// share above the capacity, or total above the pool) — that is a bug in
+    /// the policy, not a runtime condition.
+    pub fn run_cancellable(
+        &self,
+        policy: &mut dyn OnlinePolicy,
+        token: &CancelToken,
+    ) -> Result<SimOutcome, SimError> {
+        let cancelled = |reason: CancelReason| SimError::Cancelled { reason };
+        token.check().map_err(cancelled)?;
+        let mut gate = token.gate(STEP_CHECK_STRIDE);
         let mut builder =
             ScaledScheduleBuilder::try_new(&self.instance).ok_or(SimError::GridOverflow)?;
         let capacity = builder.capacity();
@@ -154,6 +191,7 @@ impl Simulator {
 
         let mut steps = 0usize;
         while !builder.all_done() {
+            gate.tick().map_err(cancelled)?;
             if steps >= self.step_limit {
                 return Err(SimError::StepLimit {
                     policy: policy.name().to_string(),
@@ -428,6 +466,28 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn cancelled_simulation_stops_early() {
+        let sim = Simulator::new(small_workload());
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            sim.run_cancellable(&mut GreedyBalancePolicy, &token)
+                .unwrap_err(),
+            SimError::Cancelled {
+                reason: CancelReason::Cancelled
+            }
+        );
+        // A live token reproduces the plain run exactly.
+        let live = CancelToken::new();
+        let cancellable = sim
+            .run_cancellable(&mut GreedyBalancePolicy, &live)
+            .unwrap();
+        let plain = sim.run(&mut GreedyBalancePolicy).unwrap();
+        assert_eq!(cancellable.report.makespan, plain.report.makespan);
+        assert_eq!(cancellable.schedule, plain.schedule);
     }
 
     #[test]

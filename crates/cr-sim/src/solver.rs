@@ -29,6 +29,8 @@ use cr_algos::solver::{
     BudgetKind, Engine, EnginePreference, Prepared, Registry, SolveError, SolveOutcome,
     SolveRequest, Solver,
 };
+use cr_core::CancelToken;
+
 /// Registry keys of the online simulator methods, in line-up order.
 pub const ONLINE_METHODS: [&str; 4] = [
     "sim:GreedyBalance",
@@ -123,7 +125,17 @@ impl Solver for OnlinePolicySolver {
         request: &SolveRequest,
         prepared: &Prepared,
     ) -> Result<SolveOutcome, SolveError> {
+        self.solve_cancellable(request, prepared, &CancelToken::never())
+    }
+
+    fn solve_cancellable(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, SolveError> {
         let method = self.kind.method();
+        let token = cancel.child_with_deadline_ms(request.budget.max_wall_ms);
         if request.engine == EnginePreference::Rational {
             return Err(SolveError::EngineUnavailable {
                 method: method.to_string(),
@@ -164,7 +176,7 @@ impl Solver for OnlinePolicySolver {
             None => self.kind.make(),
         };
 
-        match sim.run(policy.as_mut()) {
+        match sim.run_cancellable(policy.as_mut(), &token) {
             Ok(outcome) => Ok(SolveOutcome {
                 method: method.to_string(),
                 engine: Engine::Scaled,
@@ -189,6 +201,7 @@ impl Solver for OnlinePolicySolver {
                     limit,
                 })
             }
+            Err(SimError::Cancelled { reason }) => Err(SolveError::DeadlineExceeded { reason }),
         }
     }
 }
@@ -300,13 +313,44 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_simulation_solve_reports_deadline_exceeded() {
+        let inst = workload();
+        let registry = full_registry();
+        let prepared = Prepared::new(&inst);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = registry
+            .solve_cancellable(
+                &SolveRequest::new("sim:GreedyBalance", inst.clone()),
+                &prepared,
+                &token,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        // An expired wall budget fires even with a live parent token.
+        let err = registry
+            .solve_cancellable(
+                &SolveRequest::new("sim:GreedyBalance", inst).with_budget(
+                    cr_algos::solver::Budget {
+                        max_wall_ms: Some(0),
+                        ..cr_algos::solver::Budget::UNLIMITED
+                    },
+                ),
+                &prepared,
+                &CancelToken::never(),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+    }
+
+    #[test]
     fn step_budget_is_a_hard_simulation_limit() {
         let err = full_registry()
             .solve(
                 &SolveRequest::new("sim:RoundRobin", workload()).with_budget(
                     cr_algos::solver::Budget {
                         max_steps: Some(1),
-                        max_rounds: None,
+                        ..cr_algos::solver::Budget::UNLIMITED
                     },
                 ),
             )
