@@ -49,6 +49,7 @@ pub fn brute_force_makespan(instance: &Instance) -> usize {
 #[must_use]
 pub fn brute_force_with_stats(instance: &Instance) -> (usize, SearchStats) {
     brute_force_with_stats_cancellable(instance, &CancelToken::never())
+        // lint: allow(panic_hygiene) — a never-token cannot fire
         .expect("a never token cannot fire")
 }
 
@@ -90,6 +91,7 @@ pub fn brute_force_makespan_rational(instance: &Instance) -> usize {
 #[must_use]
 pub fn brute_force_with_stats_rational(instance: &Instance) -> (usize, SearchStats) {
     brute_force_with_stats_rational_cancellable(instance, &CancelToken::never())
+        // lint: allow(panic_hygiene) — a never-token cannot fire
         .expect("a never token cannot fire")
 }
 

@@ -125,6 +125,7 @@ pub(crate) fn successors_cancellable(
     }
     let remaining: Vec<Ratio> = active
         .iter()
+        // lint: allow(panic_hygiene) — `active` holds exactly the processors whose remaining() is Some
         .map(|&i| config.remaining(instance, i).expect("active processor"))
         .collect();
 
@@ -138,6 +139,7 @@ pub(crate) fn successors_cancellable(
         &mut |finished, partial| {
             let mut next = config.clone();
             let mut finished_procs = Vec::with_capacity(finished.len());
+            // lint: allow(cancel_coverage) — bounded: `finished` is a subset of the <= m active processors
             for &entry in finished {
                 let i = active[entry as usize];
                 next.completed[i] += 1;
@@ -181,6 +183,7 @@ fn assert_unit(instance: &Instance) {
 /// (non-dominated) nodes.  The search stops after the first round containing
 /// a final configuration.
 fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
+    // lint: allow(panic_hygiene) — with no round cap the search always reaches a final configuration, so the limited form never returns None
     run_search_limited(instance, None).expect("uncapped search reaches a final configuration")
 }
 
@@ -191,6 +194,7 @@ fn run_search(instance: &Instance) -> Vec<Vec<Node>> {
 /// `run_search_capped`.
 fn run_search_limited(instance: &Instance, round_cap: Option<usize>) -> Option<Vec<Vec<Node>>> {
     run_search_limited_cancellable(instance, round_cap, &CancelToken::never())
+        // lint: allow(panic_hygiene) — a never-token cannot fire
         .expect("a never token cannot fire")
 }
 
@@ -222,6 +226,7 @@ fn run_search_limited_cancellable(
     let mut found_final = false;
     for _round in 0..round_limit {
         token.check()?;
+        // lint: allow(panic_hygiene) — `rounds` is seeded with the initial round before this loop
         let prev = rounds.last().expect("at least the initial round");
         let mut seen: HashMap<Config, usize> = HashMap::new();
         let mut next: Vec<Node> = Vec::new();
@@ -250,6 +255,7 @@ fn run_search_limited_cancellable(
             if !keep[a] {
                 continue;
             }
+            // lint: allow(cancel_coverage) — bounded: pairwise domination scan over one round; the round loop polls token.check() each iteration
             for b in 0..next.len() {
                 if a == b || !keep[b] {
                     continue;
@@ -451,14 +457,17 @@ fn schedule_from_rounds(instance: &Instance, rounds: &[Vec<Node>]) -> Schedule {
     let winner = rounds[last]
         .iter()
         .position(|n| n.config.is_final(instance))
+        // lint: allow(panic_hygiene) — `last` is set only once its round contains a final configuration
         .expect("search ended on a final configuration");
 
     // Walk back through the rounds, collecting the per-step decisions.
     let mut choices = Vec::with_capacity(last);
     let mut round = last;
     let mut idx = winner;
+    // lint: allow(cancel_coverage) — bounded: the back-trace visits one node per round of the already-gated search
     while round > 0 {
         let node = &rounds[round][idx];
+        // lint: allow(panic_hygiene) — only the choice-less initial node lives in round 0, and the walk stops there
         choices.push(node.choice.clone().expect("non-initial node has a choice"));
         idx = node.parent;
         round -= 1;
@@ -468,8 +477,10 @@ fn schedule_from_rounds(instance: &Instance, rounds: &[Vec<Node>]) -> Schedule {
     // Replay the decisions into an explicit resource assignment.
     let m = instance.processors();
     let mut builder = ScheduleBuilder::new(instance);
+    // lint: allow(cancel_coverage) — bounded: replays one already-gated search round per step
     for choice in choices {
         let mut shares = vec![Ratio::ZERO; m];
+        // lint: allow(cancel_coverage) — bounded: a choice finishes at most m processors
         for &i in &choice.finished {
             shares[i] = builder.remaining_workload(i);
         }

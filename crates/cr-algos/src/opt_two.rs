@@ -30,8 +30,14 @@
 
 use crate::scaled_engine::{ScaledDpTable, DP_BOTH, DP_FIRST, DP_SECOND};
 use crate::traits::Scheduler;
-use cr_core::{Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder};
+use cr_core::{
+    CancelReason, CancelToken, Instance, Ratio, ScaledInstance, Schedule, ScheduleBuilder,
+};
 use rustc_hash::FxHashMap;
+
+/// How many rational DP cells between token checks (each cell does a few
+/// `Ratio` comparisons, so the stride can be generous).
+const DP_CHECK_STRIDE: u32 = 1024;
 
 /// Which jobs complete in a time step of the reconstructed schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +116,18 @@ fn assert_two_unit_processors(instance: &Instance) {
 
 /// Runs the dense dynamic program and returns the full table.
 fn run_dp(instance: &Instance) -> Vec<Vec<Option<CellValue>>> {
+    run_dp_cancellable(instance, &CancelToken::never())
+        // lint: allow(panic_hygiene) — a never-token cannot fire
+        .expect("never-token cannot fire")
+}
+
+/// [`run_dp`] under a [`CancelToken`]: the `O(n1·n2)` diagonal sweep polls
+/// the token every [`DP_CHECK_STRIDE`] cells and stops cooperatively once
+/// it fires.
+fn run_dp_cancellable(
+    instance: &Instance,
+    token: &CancelToken,
+) -> Result<Vec<Vec<Option<CellValue>>>, CancelReason> {
     let n1 = instance.jobs_on(0);
     let n2 = instance.jobs_on(1);
     let mut table: Vec<Vec<Option<CellValue>>> = vec![vec![None; n2 + 1]; n1 + 1];
@@ -138,9 +156,11 @@ fn run_dp(instance: &Instance) -> Vec<Vec<Option<CellValue>>> {
         }
     };
 
+    let mut gate = token.gate(DP_CHECK_STRIDE);
     for diag in 0..=(n1 + n2) {
         let lo = diag.saturating_sub(n2);
         for c1 in lo..=diag.min(n1) {
+            gate.tick()?;
             let c2 = diag - c1;
             let Some(cell) = table[c1][c2] else { continue };
             let (t, r) = (cell.t, cell.r);
@@ -198,7 +218,7 @@ fn run_dp(instance: &Instance) -> Vec<Vec<Option<CellValue>>> {
             }
         }
     }
-    table
+    Ok(table)
 }
 
 /// The optimal makespan for a two-processor unit-size instance, computed by
@@ -323,16 +343,29 @@ pub fn opt_two_makespan_sparse(instance: &Instance) -> usize {
 /// Back-traces the scaled DP table into the forward decision sequence (the
 /// hot path of [`OptTwo::schedule`]).
 pub(crate) fn scaled_decisions(scaled: &ScaledInstance) -> Vec<Decision> {
-    ScaledDpTable::compute(scaled)
+    scaled_decisions_cancellable(scaled, &CancelToken::never())
+        // lint: allow(panic_hygiene) — a never-token cannot fire
+        .expect("never-token cannot fire")
+}
+
+/// [`scaled_decisions`] under a [`CancelToken`] (the DP fill polls it; the
+/// back-trace itself is `O(n1 + n2)`).
+pub(crate) fn scaled_decisions_cancellable(
+    scaled: &ScaledInstance,
+    token: &CancelToken,
+) -> Result<Vec<Decision>, CancelReason> {
+    Ok(ScaledDpTable::compute_cancellable(scaled, token)?
         .decisions()
         .into_iter()
         .map(|byte| match byte {
             DP_BOTH => Decision::AdvanceBoth,
             DP_FIRST => Decision::FinishFirst,
             DP_SECOND => Decision::FinishSecond,
+            // lint: allow(panic_hygiene) — ScaledDpTable::decisions only
+            // emits the three decision constants matched above
             other => unreachable!("invalid DP decision byte {other}"),
         })
-        .collect()
+        .collect())
 }
 
 /// Replays a DP decision sequence into an explicit resource assignment,
@@ -364,9 +397,20 @@ pub(crate) fn replay_decisions(instance: &Instance, decisions: Vec<Decision>) ->
 /// Back-traces the rational DP table into the forward decision sequence
 /// (reference / fallback path of [`OptTwo::schedule`]).
 pub(crate) fn rational_decisions(instance: &Instance) -> Vec<Decision> {
+    rational_decisions_cancellable(instance, &CancelToken::never())
+        // lint: allow(panic_hygiene) — a never-token cannot fire
+        .expect("never-token cannot fire")
+}
+
+/// [`rational_decisions`] under a [`CancelToken`] (the DP fill polls it;
+/// the back-trace itself is `O(n1 + n2)`).
+pub(crate) fn rational_decisions_cancellable(
+    instance: &Instance,
+    token: &CancelToken,
+) -> Result<Vec<Decision>, CancelReason> {
     let n1 = instance.jobs_on(0);
     let n2 = instance.jobs_on(1);
-    let table = run_dp(instance);
+    let table = run_dp_cancellable(instance, token)?;
     let mut decisions = Vec::new();
     let (mut c1, mut c2) = (n1, n2);
     while let Some(cell) = table[c1][c2] {
@@ -383,7 +427,7 @@ pub(crate) fn rational_decisions(instance: &Instance) -> Vec<Decision> {
     }
     assert_eq!((c1, c2), (0, 0), "back-trace must reach the origin");
     decisions.reverse();
-    decisions
+    Ok(decisions)
 }
 
 impl Scheduler for OptTwo {
@@ -482,6 +526,26 @@ mod tests {
                 scaled
             );
         }
+    }
+
+    #[test]
+    fn dp_sweeps_poll_cancellation_mid_table() {
+        // Deterministic mid-sweep check: a pre-cancelled token on a table
+        // larger than the poll stride must stop both DP engines inside the
+        // cell loop (neither back-trace entry point re-checks up front).
+        let reqs: Vec<i64> = (0..120).map(|j| 1 + j % 97).collect();
+        let chain: Vec<&[i64]> = vec![&reqs, &reqs];
+        let inst = Instance::unit_from_percentages(&chain);
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(rational_decisions_cancellable(&inst, &cancelled).is_err());
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        assert!(scaled_decisions_cancellable(&scaled, &cancelled).is_err());
+        // A never-token reproduces the ungated result.
+        assert_eq!(
+            rational_decisions_cancellable(&inst, &CancelToken::never()).unwrap(),
+            rational_decisions(&inst)
+        );
     }
 
     #[test]

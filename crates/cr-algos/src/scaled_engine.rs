@@ -182,6 +182,7 @@ pub(crate) fn for_each_successor_cancellable(
     } = scratch;
     active.clear();
     remaining.clear();
+    // lint: allow(cancel_coverage) — bounded: one pass over the m processors per expansion; the choice enumeration below is gated
     for i in 0..m {
         let done = config[i] as usize;
         if done < scaled.jobs_on(i) {
@@ -201,9 +202,11 @@ pub(crate) fn for_each_successor_cancellable(
             tmp.clear();
             tmp.extend_from_slice(config);
             finished_procs.clear();
+            // lint: allow(cancel_coverage) — bounded: `finished` is a subset of the <= m active processors
             for &entry in finished {
                 let p = active[entry as usize];
                 // Processor indices fit u32: ScaledInstance stores u32 offsets.
+                // lint: allow(panic_hygiene) — processor indices stay below m, which ScaledInstance already stores as u32 offsets
                 finished_procs.push(u32::try_from(p).expect("processor index fits u32"));
                 tmp[p] += 1;
                 tmp[m + p] = 0;
@@ -212,6 +215,7 @@ pub(crate) fn for_each_successor_cancellable(
                 let p = active[entry as usize];
                 // spent + leftover stays below the frontier requirement ≤ D.
                 tmp[m + p] += amount;
+                // lint: allow(panic_hygiene) — processor indices stay below m, which ScaledInstance already stores as u32 offsets
                 (u32::try_from(p).expect("processor index fits u32"), amount)
             });
             emit(tmp, finished_procs, partial);
@@ -245,6 +249,7 @@ fn expand_chunk(
     let mut local_seen: FxHashSet<PackedConfig> = FxHashSet::default();
     let mut out: Vec<ScaledNode> = Vec::new();
     for (offset, node) in nodes.iter().enumerate() {
+        // lint: allow(panic_hygiene) — round sizes were checked against the u32 parent-index headroom when the round was admitted
         let parent = base + u32::try_from(offset).expect("chunk offset fits u32");
         for_each_successor_cancellable(
             scaled,
@@ -314,6 +319,7 @@ pub(crate) fn run_search_chunked(
     chunk_size: Option<usize>,
 ) -> Result<Vec<Vec<ScaledNode>>, SearchError> {
     run_search_impl(scaled, chunk_size, None, &CancelToken::never())
+        // lint: allow(panic_hygiene) — with no round cap the search only reports None when capped, and a never-token cannot fire
         .map(|rounds| rounds.expect("uncapped search always reaches a final configuration"))
 }
 
@@ -359,6 +365,7 @@ fn run_search_impl(
         token.check().map_err(cancelled)?;
         // Invariant: `prev` was size-checked against the u32 parent-index
         // headroom when it was produced (the initial round has one node).
+        // lint: allow(panic_hygiene) — `rounds` is seeded with the initial round before this loop
         let prev = rounds.last().expect("at least the initial round");
         let chunk = chunk_size
             .unwrap_or_else(|| prev.len().div_ceil(rayon::current_num_threads()))
@@ -381,6 +388,7 @@ fn run_search_impl(
                 .enumerate()
                 .map(|(ci, slice)| {
                     (
+                        // lint: allow(panic_hygiene) — round sizes were checked against the u32 parent-index headroom when the round was admitted
                         u32::try_from(ci * chunk).expect("round size fits u32"),
                         slice,
                     )
@@ -441,6 +449,7 @@ fn run_search_impl(
                 (
                     sum_completed,
                     sum_spent,
+                    // lint: allow(panic_hygiene) — the surrounding round was size-checked against u32 headroom, so `idx` fits
                     u32::try_from(idx).expect("round size gated above"),
                 )
             })
@@ -510,6 +519,7 @@ pub(crate) fn search_schedule(
     let winner = rounds[last]
         .iter()
         .position(|n| is_final(scaled, &n.config))
+        // lint: allow(panic_hygiene) — `last` is set only once its round contains a final configuration
         .expect("search ended on a final configuration");
 
     // Walk back through the rounds, collecting the per-step decisions.  The
@@ -517,6 +527,7 @@ pub(crate) fn search_schedule(
     // needs to be re-derived during replay.
     let mut choices: Vec<ScaledChoice> = Vec::with_capacity(last);
     let mut idx = winner;
+    // lint: allow(cancel_coverage) — bounded: the back-trace visits one node per round of the already-gated search
     for round in (1..=last).rev() {
         let node = &rounds[round][idx];
         choices.push(node.choice.clone());
@@ -526,8 +537,10 @@ pub(crate) fn search_schedule(
 
     let m = scaled.processors();
     let mut builder = ScheduleBuilder::new(instance);
+    // lint: allow(cancel_coverage) — bounded: replays one already-gated search round per step
     for choice in choices {
         let mut shares = vec![Ratio::ZERO; m];
+        // lint: allow(cancel_coverage) — bounded: a choice finishes at most m processors
         for &p in choice.finished.iter() {
             shares[p as usize] = builder.remaining_workload(p as usize);
         }
@@ -637,9 +650,26 @@ pub(crate) struct ScaledDpTable {
     n2: usize,
 }
 
+/// How many DP cells between token checks: cells are a handful of integer
+/// ops each, so the gate overhead must be amortized further than the
+/// successor filter's stride.
+const DP_CHECK_STRIDE: u32 = 4096;
+
 impl ScaledDpTable {
     /// Runs the dense DP for a two-processor scaled instance.
     pub(crate) fn compute(scaled: &ScaledInstance) -> Self {
+        Self::compute_cancellable(scaled, &CancelToken::never())
+            // lint: allow(panic_hygiene) — a never-token cannot fire
+            .expect("never-token cannot fire")
+    }
+
+    /// [`Self::compute`] under a [`CancelToken`]: the `O(n1·n2)` cell loop
+    /// polls the token every [`DP_CHECK_STRIDE`] cells and stops
+    /// cooperatively once it fires.
+    pub(crate) fn compute_cancellable(
+        scaled: &ScaledInstance,
+        token: &CancelToken,
+    ) -> Result<Self, CancelReason> {
         assert_eq!(scaled.processors(), 2, "scaled DP needs two processors");
         let n1 = scaled.jobs_on(0);
         let n2 = scaled.jobs_on(1);
@@ -666,8 +696,10 @@ impl ScaledDpTable {
 
         // Row-major order visits every predecessor before its successors:
         // all three transitions strictly increase (c1, c2) lexicographically.
+        let mut gate = token.gate(DP_CHECK_STRIDE);
         for c1 in 0..=n1 {
             for c2 in 0..=n2 {
+                gate.tick()?;
                 let cell = cells[c1 * stride + c2];
                 if cell.t == UNREACHED || (c1 == n1 && c2 == n2) {
                     continue;
@@ -706,7 +738,7 @@ impl ScaledDpTable {
                 }
             }
         }
-        ScaledDpTable { cells, n1, n2 }
+        Ok(ScaledDpTable { cells, n1, n2 })
     }
 
     /// The optimal makespan (value of the final cell).
@@ -722,6 +754,8 @@ impl ScaledDpTable {
         let stride = self.n2 + 1;
         let mut decisions = Vec::with_capacity(self.makespan());
         let (mut c1, mut c2) = (self.n1, self.n2);
+        // lint: allow(cancel_coverage) — back-trace: every step decrements
+        // c1+c2, so at most n1+n2 iterations after the (gated) DP filled.
         loop {
             let cell = &self.cells[c1 * stride + c2];
             match cell.decision {
@@ -732,6 +766,8 @@ impl ScaledDpTable {
                 }
                 DP_FIRST => c1 -= 1,
                 DP_SECOND => c2 -= 1,
+                // lint: allow(panic_hygiene) — relax() only ever writes the
+                // four DP_* constants into the decision byte
                 other => unreachable!("invalid DP decision byte {other}"),
             }
             decisions.push(cell.decision);

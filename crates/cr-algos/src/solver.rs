@@ -778,8 +778,21 @@ impl Solver for OptTwo {
         request: &SolveRequest,
         prepared: &Prepared,
     ) -> Result<SolveOutcome, SolveError> {
+        self.solve_cancellable(request, prepared, &CancelToken::never())
+    }
+
+    fn solve_cancellable(
+        &self,
+        request: &SolveRequest,
+        prepared: &Prepared,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, SolveError> {
         const METHOD: &str = "OptTwo";
         reject_arrivals(METHOD, request)?;
+        let token = cancel.child_with_deadline_ms(request.budget.max_wall_ms);
+        // Fail fast on an already-fired token; the DP's own polls are
+        // strided and would let a tiny table run to completion.
+        token.check()?;
         let instance = &request.instance;
         if instance.processors() != 2 {
             return Err(SolveError::WrongProcessorCount {
@@ -807,17 +820,17 @@ impl Solver for OptTwo {
             (EnginePreference::Scaled | EnginePreference::Auto, Some(scaled)) => (
                 Engine::Scaled,
                 Vec::new(),
-                opt_two::scaled_decisions(scaled),
+                opt_two::scaled_decisions_cancellable(scaled, &token)?,
             ),
             (EnginePreference::Auto, None) => (
                 Engine::Rational,
                 vec![grid_fallback_note()],
-                opt_two::rational_decisions(instance),
+                opt_two::rational_decisions_cancellable(instance, &token)?,
             ),
             (EnginePreference::Rational, _) => (
                 Engine::Rational,
                 Vec::new(),
-                opt_two::rational_decisions(instance),
+                opt_two::rational_decisions_cancellable(instance, &token)?,
             ),
         };
         let makespan = decisions.len();
@@ -915,6 +928,7 @@ impl Solver for OptM {
                 })
             }
             Some((_, Ok(None))) => {
+                // lint: allow(panic_hygiene) — Ok(None) is only produced when the max_rounds cap cut the search, so the cap is present
                 let limit = request.budget.max_rounds.expect("cap produced the cutoff");
                 Err(SolveError::BudgetExhausted {
                     method: METHOD.to_string(),
@@ -951,6 +965,7 @@ impl Solver for OptM {
                     return Err(SolveError::BudgetExhausted {
                         method: METHOD.to_string(),
                         kind: BudgetKind::Rounds,
+                        // lint: allow(panic_hygiene) — Ok(None) is only produced when the max_rounds cap cut the search, so the cap is present
                         limit: request.budget.max_rounds.expect("cap produced the cutoff"),
                     });
                 };
@@ -1570,6 +1585,47 @@ mod tests {
         assert_eq!(
             outcome.makespan,
             reg.solve(&SolveRequest::new("OptM", inst))
+                .unwrap()
+                .makespan
+        );
+    }
+
+    #[test]
+    fn opt_two_honors_deadlines_mid_dp() {
+        // Regression: OptTwo used to inherit the default entry-check-only
+        // cancellation, so a deadline that fired after the first cell never
+        // stopped the `O(n1·n2)` table fill.  Both DP engines now poll a
+        // strided gate inside the sweep: on a ~9M-cell table a 1ms deadline
+        // passes the entry check but must be caught mid-fill (the rational
+        // Ratio-arithmetic sweep alone would otherwise run for seconds).
+        let reg = registry();
+        let reqs: Vec<i64> = (0..3000).map(|j| 1 + j % 97).collect();
+        let chain: Vec<&[i64]> = vec![&reqs, &reqs];
+        let inst = Instance::unit_from_percentages(&chain);
+        let prepared = Prepared::new(&inst);
+        for engine in [EnginePreference::Scaled, EnginePreference::Rational] {
+            let req = SolveRequest::new("OptTwo", inst.clone())
+                .with_engine(engine)
+                .with_budget(Budget {
+                    max_wall_ms: Some(1),
+                    ..Budget::UNLIMITED
+                });
+            let err = reg
+                .solve_cancellable(&req, &prepared, &CancelToken::new())
+                .unwrap_err();
+            assert_eq!(err.kind(), "deadline_exceeded", "{engine:?}");
+        }
+        // A generous deadline reproduces the plain outcome bit for bit.
+        let req = SolveRequest::new("OptTwo", inst.clone()).with_budget(Budget {
+            max_wall_ms: Some(60_000),
+            ..Budget::UNLIMITED
+        });
+        let outcome = reg
+            .solve_cancellable(&req, &prepared, &CancelToken::new())
+            .unwrap();
+        assert_eq!(
+            outcome.makespan,
+            reg.solve(&SolveRequest::new("OptTwo", inst))
                 .unwrap()
                 .makespan
         );

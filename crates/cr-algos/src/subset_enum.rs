@@ -157,7 +157,9 @@ pub(crate) fn for_each_choice_cancellable<V: ResourceUnit>(
     // sorted ascending so the DFS can prune a whole level as soon as one
     // candidate no longer fits.
     let mut total: Option<V> = Some(V::ZERO);
+    // lint: allow(cancel_coverage) — bounded: one setup pass over the <= m active jobs; the DFS below is gated
     for (i, &r) in remaining.iter().enumerate() {
+        // lint: allow(panic_hygiene) — the active list is bounded by the processor count, far below u32::MAX
         let i = u32::try_from(i).expect("active list fits u32");
         if r == V::ZERO {
             finished.push(i);
@@ -177,6 +179,7 @@ pub(crate) fn for_each_choice_cancellable<V: ResourceUnit>(
     // every active job (an overflowing total is a fortiori oversubscribed).
     if total.is_some_and(|t| t <= cap) {
         finished.clear();
+        // lint: allow(panic_hygiene) — the active list is bounded by the processor count, far below u32::MAX
         finished.extend(0..u32::try_from(k).expect("active list fits u32"));
         emit(finished, None);
         return Ok(());
@@ -246,8 +249,10 @@ fn descend<V: ResourceUnit>(
             // Non-wasting: the leftover must go to exactly one remaining
             // active job that cannot be completed with it (otherwise a
             // larger subset covers the case).
+            // lint: allow(cancel_coverage) — bounded: one pass over the <= m active jobs per emitted subset; the enclosing DFS is gated
             for (j, &r) in remaining.iter().enumerate() {
                 if !in_finished[j] && r > leftover {
+                    // lint: allow(panic_hygiene) — the active list is bounded by the processor count, far below u32::MAX
                     let j = u32::try_from(j).expect("active list fits u32");
                     emit(finished, Some((j, leftover)));
                 }

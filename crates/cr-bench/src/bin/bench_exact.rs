@@ -23,6 +23,8 @@
 //! Usage: `cargo run --release -p cr-bench --bin bench_exact --
 //! [--out-dir DIR] [--iters N]`
 
+#![forbid(unsafe_code)]
+
 use cr_algos::solver::{EnginePreference, SolveRequest, POLY_METHODS};
 use cr_bench::pipeline::shared_service;
 use cr_core::Instance;

@@ -24,6 +24,8 @@
 //! byte-identity check plus an `inflight == 0` stats probe after every
 //! storm.  Exits non-zero on the first broken contract.
 
+#![forbid(unsafe_code)]
+
 use cr_bench::chaos::{self, ChaosConfig};
 use cr_bench::loadgen::{self, LoadConfig};
 use cr_service::net::{Server, ServerConfig};

@@ -8,6 +8,8 @@
 //! sweep the `experiments` binary runs) and fans out through the rayon
 //! pipeline.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::arbitrary::split_into_unit_jobs;
 use cr_algos::{opt_m_makespan, GreedyBalance, Scheduler};
 use cr_bench::grids::sized_cells;

@@ -2,6 +2,8 @@
 //! Lemma 6) relative to the exact optimum on small instances and relative to
 //! GreedyBalance on larger ones.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::{opt_m_makespan, GreedyBalance, Scheduler};
 use cr_core::{bounds, SchedulingGraph};
 use cr_instances::{

@@ -2,6 +2,8 @@
 //! shared-bus simulator: makespan, bus utilization and slowdown of four
 //! online arbitration policies across core counts and task mixes.
 
+#![forbid(unsafe_code)]
+
 use cr_instances::{generate_workload, TaskMix, WorkloadConfig};
 use cr_sim::{standard_policies, Simulator};
 

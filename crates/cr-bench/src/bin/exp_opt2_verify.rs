@@ -5,6 +5,8 @@
 //!
 //! The verification sweep fans out through `cr_bench::pipeline::par_check`.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::{
     brute_force_makespan, opt_two_makespan, opt_two_makespan_sparse, OptTwo, Scheduler,
 };

@@ -5,6 +5,8 @@
 //!
 //! The verification sweep fans out through `cr_bench::pipeline::par_check`.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::{brute_force_with_stats, opt_m_makespan, opt_two_makespan, OptM, Scheduler};
 use cr_bench::pipeline::par_check;
 use cr_instances::{random_unit_instance, RandomConfig};

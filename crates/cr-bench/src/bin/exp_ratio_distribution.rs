@@ -7,6 +7,8 @@
 //! and fans out through the rayon pipeline; only the summary statistics stay
 //! local.
 
+#![forbid(unsafe_code)]
+
 use cr_bench::grids::{random_exact_cells, random_large_cells};
 use cr_bench::pipeline::{Algorithm, CellResult, Runner};
 use cr_instances::RequirementProfile;

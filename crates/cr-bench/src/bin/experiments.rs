@@ -24,6 +24,8 @@
 //! grid, and asserts the cell counts of every table — including the timing
 //! sweeps — against the committed baseline.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::opt_m_makespan;
 use cr_algos::solver::{SolveRequest, POLY_METHODS};
 use cr_bench::grids;

@@ -2,6 +2,8 @@
 //! "finish as many jobs as possible" schedule on the running example, its
 //! edges, connected components and component classes.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::{Scheduler, SmallestRequirementFirst};
 use cr_core::{bounds, SchedulingGraph};
 use cr_instances::figure1_instance;

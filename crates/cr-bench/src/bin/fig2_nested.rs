@@ -2,6 +2,8 @@
 //! four-50%-jobs example, and the Lemma 1 normalization that repairs the
 //! unnested one.
 
+#![forbid(unsafe_code)]
+
 use cr_core::properties::PropertyReport;
 use cr_core::{transform, Ratio, Schedule};
 use cr_instances::figure2_instance;

@@ -7,6 +7,8 @@
 //! sweep the `experiments` binary runs) and fans out through the rayon
 //! pipeline.
 
+#![forbid(unsafe_code)]
+
 use cr_algos::opt_two_makespan;
 use cr_bench::grids::{fig3_cells, FIG3_SIZES};
 use cr_bench::pipeline::{Algorithm, Cell, Family, Reference, Runner};

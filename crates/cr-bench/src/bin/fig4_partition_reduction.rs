@@ -6,6 +6,8 @@
 //! certificate checks stay explicit because they exercise the membership
 //! reconstruction, not just makespans.
 
+#![forbid(unsafe_code)]
+
 use cr_bench::grids::{fig4_cells, fig4_default_cases};
 use cr_bench::pipeline::{Algorithm, Runner};
 use cr_instances::reduction::{

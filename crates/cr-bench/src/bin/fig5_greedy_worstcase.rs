@@ -6,6 +6,8 @@
 //! sweep the `experiments` binary runs) and fans out through the rayon
 //! pipeline.
 
+#![forbid(unsafe_code)]
+
 use cr_bench::grids::fig5_cells;
 use cr_bench::pipeline::{Family, Runner};
 use cr_instances::{greedy_balance_worst_case, greedy_balance_worst_case_steps};

@@ -68,6 +68,7 @@ fn gcd(a: i128, b: i128) -> i128 {
         a = b;
         b = t;
     }
+    // lint: allow(panic_hygiene) — only fires when both operands are i128::MIN, which the reduced-form invariant excludes
     i128::try_from(a).expect("gcd exceeds i128 (both operands were i128::MIN)")
 }
 
@@ -321,10 +322,12 @@ impl Ord for Ratio {
         let lhs = self
             .num
             .checked_mul(other.den)
+            // lint: allow(panic_hygiene) — overflow here means the small-reduced-terms invariant was already broken; fail loudly
             .expect("Ratio comparison overflow");
         let rhs = other
             .num
             .checked_mul(self.den)
+            // lint: allow(panic_hygiene) — overflow here means the small-reduced-terms invariant was already broken; fail loudly
             .expect("Ratio comparison overflow");
         lhs.cmp(&rhs)
     }
@@ -333,6 +336,7 @@ impl Ord for Ratio {
 impl Add for Ratio {
     type Output = Ratio;
     fn add(self, other: Ratio) -> Ratio {
+        // lint: allow(panic_hygiene) — the operator form panics on overflow by design; checked_add is the fallible surface
         self.checked_add(other).expect("Ratio addition overflow")
     }
 }
@@ -360,6 +364,7 @@ impl Mul for Ratio {
     type Output = Ratio;
     fn mul(self, other: Ratio) -> Ratio {
         self.checked_mul(other)
+            // lint: allow(panic_hygiene) — the operator form panics on overflow by design; checked_mul is the fallible surface
             .expect("Ratio multiplication overflow")
     }
 }

@@ -73,6 +73,7 @@ pub fn normalize_from_trace(instance: &Instance, trace: &ScheduleTrace) -> Sched
             "normalization failed to terminate — schedule or instance is inconsistent"
         );
         let mut order: Vec<usize> = (0..m).filter(|&i| builder.is_active(i)).collect();
+        // lint: allow(panic_hygiene) — `order` was filtered to active processors on the previous line
         order.sort_by_key(|&i| priority(builder.active_job(i).expect("active")));
 
         let mut shares = vec![Ratio::ZERO; m];

@@ -1,0 +1,112 @@
+//! `cr-lint` — run the workspace-invariant static analysis pass.
+//!
+//! ```text
+//! cr-lint [--root PATH] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/setup error.
+//! Without `--root`, walks up from the current directory to the first
+//! directory holding both `Cargo.toml` and `crates/`.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes `text` (plus a newline) to stdout, exiting quietly when the
+/// reader has gone away (`cr-lint | head` must not panic-backtrace).
+fn emit(text: &str) {
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(1);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in cr_lint::rules::RULE_NAMES {
+                    emit(rule);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                emit(
+                    "cr-lint [--root PATH] [--json] [--list-rules]\n\n\
+                     Workspace-invariant static analysis: cancel-gate coverage, panic\n\
+                     hygiene, lock discipline, wire-vocabulary sync, crate hygiene.\n\
+                     See docs/LINTS.md. Exit: 0 clean, 1 violations, 2 usage error.",
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            return usage(
+                "no workspace root found (looked upward for Cargo.toml + crates/); pass --root",
+            );
+        }
+    };
+
+    let report = match cr_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        emit(&cr_lint::diag::render_json(
+            &root.display().to_string(),
+            &report.diagnostics,
+            report.files_scanned,
+        ));
+    } else {
+        for d in &report.diagnostics {
+            emit(&d.to_string());
+        }
+        eprintln!(
+            "cr-lint: {} violation(s) across {} file(s) scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the workspace root.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cr-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

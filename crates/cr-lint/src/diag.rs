@@ -1,0 +1,114 @@
+//! Diagnostics: rustc-style text rendering and hand-rolled JSON output
+//! (the crate is dependency-free by design — no serde).
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`cancel_coverage`, …).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a full lint report as one pretty-printed JSON document (the CI
+/// artifact format).
+#[must_use]
+pub fn render_json(root: &str, diagnostics: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"root\": \"{}\",\n", json_escape(root)));
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", diagnostics.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let d = Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "panic_hygiene",
+            message: "bare unwrap".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: [panic_hygiene] bare unwrap"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let diags = vec![Diagnostic {
+            path: "p.rs".into(),
+            line: 1,
+            rule: "crate_hygiene",
+            message: "m".into(),
+        }];
+        let json = render_json("/r", &diags, 3);
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"rule\": \"crate_hygiene\""));
+    }
+}

@@ -1,0 +1,447 @@
+//! A hand-rolled Rust lexer: just enough tokenization for invariant
+//! linting, with exact line numbers.
+//!
+//! The lexer understands everything that could otherwise make a textual
+//! scan lie about code structure:
+//!
+//! * line comments (including doc comments, which the scope tracker reads
+//!   for `# Panics` sections) and **nested** block comments;
+//! * string literals with escapes, **raw strings** (`r"…"`, `r#"…"#`, any
+//!   hash depth) and their byte twins (`b"…"`, `br#"…"#`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * identifiers/keywords, numbers (without eating range dots: `0..n`),
+//!   and single-character punctuation.
+//!
+//! It deliberately does **not** build a syntax tree — the rules work on
+//! the token stream plus the lightweight scope analysis in
+//! [`crate::scope`], in the spirit of the repository's vendored shims.
+
+use std::fmt;
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `gate`, `unwrap`, …).
+    Ident,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, …).
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) — distinct from [`TokenKind::Char`].
+    Lifetime,
+    /// A numeric literal (integer or float, any base).
+    Number,
+    /// A `//…` comment, doc or plain, text includes the slashes.
+    LineComment,
+    /// A `/* … */` comment (nested depths collapsed), text included.
+    BlockComment,
+    /// One punctuation character (`{`, `.`, `!`, …).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text (for `Str`, includes the quotes and prefixes).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+
+    /// Whether this token is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// For a [`TokenKind::Str`] token, the literal's content with the
+    /// quote/prefix/hash decoration stripped (escapes are *not* processed —
+    /// the vocabulary strings this feeds are plain snake_case).
+    #[must_use]
+    pub fn str_content(&self) -> &str {
+        debug_assert_eq!(self.kind, TokenKind::Str);
+        let s = self.text.trim_start_matches(['b', 'r']);
+        let s = s.trim_start_matches('#');
+        let s = s.trim_start_matches('"');
+        let s = s.trim_end_matches('#');
+        s.trim_end_matches('"')
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated literals
+/// or comments simply extend to the end of the file (the linter still has
+/// to make progress over any text the compiler would reject anyway).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Counts the newlines inside a just-consumed span.
+    let bump_lines = |line: &mut u32, span: &[char]| {
+        *line += span.iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let span: Vec<char> = chars[start..i].to_vec();
+                bump_lines(&mut line, &span);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: span.iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+        }
+
+        // Identifiers, keywords — and the raw/byte string prefixes.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`: the ident run stopped at
+            // `#` or `"`, so peek for a string start.
+            let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br")
+                && i < chars.len()
+                && (chars[i] == '"' || (word != "b" && chars[i] == '#'));
+            if is_str_prefix {
+                let raw = word != "b";
+                let mut hashes = 0usize;
+                while raw && i < chars.len() && chars[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < chars.len() && chars[i] == '"' {
+                    i += 1; // opening quote
+                    loop {
+                        if i >= chars.len() {
+                            break;
+                        }
+                        if chars[i] == '"' {
+                            // A raw string ends only at `"` + `hashes` hashes.
+                            let mut j = i + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && j < chars.len() && chars[j] == '#' {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == hashes {
+                                i = j;
+                                break;
+                            }
+                            i += 1;
+                            continue;
+                        }
+                        if !raw && chars[i] == '\\' {
+                            i += 1; // escaped char in `b"…"`
+                        }
+                        i += 1;
+                    }
+                    let span: Vec<char> = chars[start..i].to_vec();
+                    bump_lines(&mut line, &span);
+                    tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: span.iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `r#raw_ident` or a stray `#`: fall through, re-lex from
+                // the ident we already consumed.
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Numbers (stop before range dots: `0..n`).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len() {
+                let ch = chars[i];
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else if ch == '.'
+                    && !seen_dot
+                    && i + 1 < chars.len()
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            if i < chars.len() && (chars[i].is_alphabetic() || chars[i] == '_') {
+                // Could be `'a'` (char) or `'a` (lifetime): consume the
+                // ident run, then look for the closing quote.
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == '\'' && j == i + 1 {
+                    // Exactly one ident char then a quote: a char literal.
+                    i = j + 1;
+                    tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: chars[start..i].iter().collect(),
+                        line: start_line,
+                    });
+                } else {
+                    i = j;
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line: start_line,
+                    });
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: `'\n'`, `'('`, `'\u{1}'`.
+            if i < chars.len() && chars[i] == '\\' {
+                i += 1;
+                if i < chars.len() && chars[i] == 'u' {
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            } else if i < chars.len() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '\'' {
+                i += 1;
+            }
+            let span: Vec<char> = chars[start..i].to_vec();
+            bump_lines(&mut line, &span);
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text: span.iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(chars.len());
+            let span: Vec<char> = chars[start..i].to_vec();
+            bump_lines(&mut line, &span);
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: span.iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Everything else: one punctuation character.
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+/// Index of the `}` matching the `{` at `open` (which must be an opening
+/// brace), or `tokens.len() - 1` when the file ends first.
+#[must_use]
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    debug_assert!(tokens[open].is_punct('{'));
+    let mut depth = 0i64;
+    for (j, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let toks = kinds("let x = 42;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct('='), "=".into()));
+        assert_eq!(toks[3], (TokenKind::Number, "42".into()));
+    }
+
+    #[test]
+    fn range_dots_stay_out_of_numbers() {
+        let toks = kinds("for i in 0..n {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Punct('.')));
+        assert!(!toks.iter().any(|(_, t)| t == "0."));
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_comments() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_comments_and_hashes() {
+        // The `//` and `"` inside the raw string must not open a comment
+        // or terminate the literal early.
+        let src = r####"let s = r#"quote " and // not a comment"#; done();"####;
+        let toks = lex(src);
+        let lit = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(lit.text.contains("not a comment"));
+        assert_eq!(lit.str_content(), "quote \" and // not a comment");
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(Token::is_comment));
+    }
+
+    #[test]
+    fn byte_and_multi_hash_raw_strings_strip_decoration() {
+        let toks = lex(r#####"b"bytes" br##"x"#y"## r"plain""#####);
+        let contents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(Token::str_content)
+            .collect();
+        assert_eq!(contents, ["bytes", "x\"#y", "plain"]);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_their_contents() {
+        // Rust block comments nest: the unwrap inside must come out as one
+        // comment token, not as code.
+        let src = "a /* outer /* inner */ x.unwrap() */ b";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("a")));
+        assert!(toks.iter().any(|t| t.is_ident("b")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        let comment = toks.iter().find(|t| t.is_comment()).unwrap();
+        assert!(comment.text.contains("inner") && comment.text.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! **cancel_coverage** — loops in the designated hot modules must poll a
+//! `CancelGate` (`cr_core::cancel::CancelGate`), or visibly delegate to a
+//! `*_cancellable` helper that does, so no search loop can ever again run
+//! past a request's deadline unnoticed.
+//!
+//! A loop is compliant when its header or body mentions *cancellation
+//! evidence*: a `tick`/`check_now`/`check` call, or any identifier
+//! containing `gate`, `cancel`, or `token` (which is how delegation to the
+//! gated helpers reads at the call site). Small structurally bounded loops
+//! — per-processor accumulations, back-trace walks over already-bounded
+//! rounds — carry a justification instead, turning every deliberate
+//! exception into in-tree documentation.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{matching_brace, Token, TokenKind};
+use crate::scope::Ctx;
+use crate::suppress::Suppressions;
+
+/// Rule name.
+pub const RULE: &str = "cancel_coverage";
+
+/// Identifiers that count as evidence of cooperative cancellation.
+fn is_evidence(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    lower == "tick"
+        || lower == "check_now"
+        || lower == "check"
+        || lower.contains("gate")
+        || lower.contains("cancel")
+        || lower.contains("token")
+}
+
+/// Runs the rule over one hot-module file.
+pub fn check(
+    path: &str,
+    tokens: &[Token],
+    ctx: &[Ctx],
+    suppressions: &Suppressions,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || ctx[i].in_test {
+            continue;
+        }
+        let keyword = tok.text.as_str();
+        if !matches!(keyword, "for" | "while" | "loop") {
+            continue;
+        }
+        // Find the body `{`, collecting the header tokens on the way.
+        // `for` is only a loop when its header contains `in` (this skips
+        // HRTBs `for<'a>` and `impl Trait for Type`).
+        let mut open = None;
+        let mut header_has_in = false;
+        let mut header_has_evidence = false;
+        let mut depth = 0i64;
+        for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+            match t.kind {
+                TokenKind::Punct('(' | '[') => depth += 1,
+                TokenKind::Punct(')' | ']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                TokenKind::Ident if t.text == "in" && depth == 0 => header_has_in = true,
+                TokenKind::Ident if is_evidence(&t.text) => header_has_evidence = true,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        if keyword == "for" && !header_has_in {
+            continue; // HRTB or `impl … for …`
+        }
+        if keyword == "loop" && tokens[i + 1..open].iter().any(|t| !t.is_comment()) {
+            continue; // `loop` only introduces a loop when followed by `{`
+        }
+        if header_has_evidence {
+            continue;
+        }
+        let close = matching_brace(tokens, open);
+        let body_has_evidence = tokens[open..=close]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && is_evidence(&t.text));
+        if body_has_evidence || suppressions.covers(RULE, tok.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: tok.line,
+            rule: RULE,
+            message: format!(
+                "`{keyword}` loop in a hot module never polls a CancelGate: add a \
+                 `gate.tick()?` (or delegate to a *_cancellable helper), or justify with \
+                 `// lint: allow({RULE}) — <why this loop is bounded>`"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::analyze;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let tokens = lex(src);
+        let ctx = analyze(&tokens);
+        let mut diags = Vec::new();
+        let sup = crate::suppress::parse("f.rs", &tokens, &mut diags);
+        check("f.rs", &tokens, &ctx, &sup, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn ungated_loop_is_flagged() {
+        let diags = run("fn f() { while busy() { step(); } }");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("CancelGate"));
+    }
+
+    #[test]
+    fn tick_in_body_passes() {
+        assert!(run("fn f() { while busy() { gate.tick()?; step(); } }").is_empty());
+    }
+
+    #[test]
+    fn cancellable_helper_in_header_passes() {
+        assert!(
+            run("fn f() { for x in successors_cancellable(i, &mut gate)? { use_it(x); } }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        assert!(run("impl Solver for OptTwo { fn f(&self) {} }").is_empty());
+        assert!(run("fn f(g: impl for<'a> Fn(&'a u8)) {}").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)] mod tests { fn t() { for i in 0..9 { go(i); } } }").is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "fn f() {\n// lint: allow(cancel_coverage) — bounded by processor count\nfor i in 0..m { init(i); }\n}";
+        assert!(run(src).is_empty());
+    }
+}

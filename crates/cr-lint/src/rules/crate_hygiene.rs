@@ -1,0 +1,138 @@
+//! **crate_hygiene** — every crate root and binary root opts into the
+//! workspace safety net: `#![forbid(unsafe_code)]` at the top of the file
+//! (library roots additionally `#![warn(missing_docs)]`), and every crate
+//! manifest inherits the workspace lint set via `[lints] workspace = true`.
+//! A crate that forgets the header silently opts out of the deny set the
+//! rest of the workspace builds under.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+
+/// Rule name.
+pub const RULE: &str = "crate_hygiene";
+
+/// Whether the token stream contains the inner attribute
+/// `#![outer(inner)]` (e.g. `forbid` / `unsafe_code`).
+#[must_use]
+pub fn has_inner_attr(tokens: &[Token], outer: &str, inner: &str) -> bool {
+    tokens.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(outer)
+            && w[4].is_punct('(')
+            && w[5].is_ident(inner)
+            && w[6].is_punct(')')
+    })
+}
+
+/// Checks one crate/binary root file.
+pub fn check_root(path: &str, tokens: &[Token], is_lib: bool, diags: &mut Vec<Diagnostic>) {
+    let tokens: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).cloned().collect();
+    if !has_inner_attr(&tokens, "forbid", "unsafe_code") {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: RULE,
+            message: "crate root is missing the standard lint header: add \
+                      `#![forbid(unsafe_code)]`"
+                .to_string(),
+        });
+    }
+    if is_lib && !has_inner_attr(&tokens, "warn", "missing_docs") {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: RULE,
+            message: "library root is missing `#![warn(missing_docs)]` (the workspace \
+                      documents every public item)"
+                .to_string(),
+        });
+    }
+}
+
+/// Checks one crate manifest for `[lints] workspace = true`.
+pub fn check_manifest(path: &str, manifest: &str, diags: &mut Vec<Diagnostic>) {
+    let mut in_lints = false;
+    let mut inherits = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && line.replace(' ', "") == "workspace=true" {
+            inherits = true;
+        }
+    }
+    if !inherits {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: RULE,
+            message: "crate manifest does not inherit the workspace lint set: add \
+                      `[lints]\\nworkspace = true`"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn full_header_passes() {
+        let src = "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}";
+        let mut diags = Vec::new();
+        check_root("lib.rs", &lex(src), true, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_forbid_is_flagged() {
+        let mut diags = Vec::new();
+        check_root("main.rs", &lex("fn main() {}"), false, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn bins_do_not_need_missing_docs() {
+        let mut diags = Vec::new();
+        check_root(
+            "main.rs",
+            &lex("#![forbid(unsafe_code)]\nfn main() {}"),
+            false,
+            &mut diags,
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn libs_need_missing_docs_too() {
+        let mut diags = Vec::new();
+        check_root(
+            "lib.rs",
+            &lex("#![forbid(unsafe_code)]\npub fn f() {}"),
+            true,
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn manifest_lint_inheritance() {
+        let mut diags = Vec::new();
+        check_manifest(
+            "Cargo.toml",
+            "[package]\nname = \"x\"\n[lints]\nworkspace = true\n",
+            &mut diags,
+        );
+        assert!(diags.is_empty());
+        check_manifest("Cargo.toml", "[package]\nname = \"x\"\n", &mut diags);
+        assert_eq!(diags.len(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! **lock_discipline** — the serving tier's cache mutex must stay a
+//! short, I/O-free critical section: while a `MutexGuard` is live in a
+//! scope, taking a second lock risks deadlock and writing to a socket or
+//! stdout stalls every other worker behind a kernel buffer.
+//!
+//! Detection is lexical but liveness-aware:
+//!
+//! * an **acquisition** is a `.lock()` call (standard-stream locks —
+//!   `stdin`/`stdout`/`stderr` receivers — are exempt: they are not mutex
+//!   guards over shared solver state) or a call of a `*lock_cache*` helper
+//!   (the service's poison-recovering wrapper);
+//! * the guard's **liveness span** depends on how the acquisition is used:
+//!   bound by `let` → to the end of the enclosing block (or an explicit
+//!   `drop(name)`); a `match`/`if`/`while` scrutinee → to the end of that
+//!   construct's braces; a bare expression statement → to its `;`;
+//! * within the span, a second acquisition or any write — the
+//!   `write!`-family macros, `print!`-family macros, or `.write_all(…)` /
+//!   `.write(…)` / `.flush(…)` method calls — is a violation.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Ctx;
+use crate::suppress::Suppressions;
+
+/// Rule name.
+pub const RULE: &str = "lock_discipline";
+
+const WRITE_MACROS: [&str; 6] = ["write", "writeln", "print", "println", "eprint", "eprintln"];
+const WRITE_METHODS: [&str; 3] = ["write_all", "write", "flush"];
+
+/// Runs the rule over one file.
+pub fn check(
+    path: &str,
+    tokens: &[Token],
+    ctx: &[Ctx],
+    suppressions: &Suppressions,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in 0..tokens.len() {
+        if ctx[i].in_test {
+            continue;
+        }
+        let Some(acq_line) = acquisition_at(tokens, i) else {
+            continue;
+        };
+        let end = liveness_end(tokens, ctx, i);
+        scan_span(path, tokens, i, end, acq_line, suppressions, diags);
+    }
+}
+
+/// If token `i` completes a lock acquisition, its line.
+fn acquisition_at(tokens: &[Token], i: usize) -> Option<u32> {
+    let tok = &tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let prev = prev_code(tokens, i);
+    let next = next_code(tokens, i);
+    let called = next.is_some_and(|j| tokens[j].is_punct('('));
+    if !called {
+        return None;
+    }
+    if tok.text == "lock" {
+        let dotted = prev.is_some_and(|j| tokens[j].is_punct('.'));
+        if !dotted || std_stream_receiver(tokens, i) {
+            return None;
+        }
+        return Some(tok.line);
+    }
+    if tok.text.contains("lock_cache") {
+        // The helper's own `fn lock_cache(…)` definition is not a call.
+        if prev.is_some_and(|j| tokens[j].is_ident("fn")) {
+            return None;
+        }
+        return Some(tok.line);
+    }
+    None
+}
+
+/// Walks the receiver chain left of the `.lock()` call looking for a
+/// standard-stream handle (`stdout.lock()`, `io::stdin().lock()`, …).
+fn std_stream_receiver(tokens: &[Token], lock_idx: usize) -> bool {
+    let mut j = lock_idx;
+    let mut paren_depth = 0i64;
+    // Scan back across the `recv.method().field.` chain.
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_comment() {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Punct(')') => paren_depth += 1,
+            TokenKind::Punct('(') => {
+                if paren_depth == 0 {
+                    return false;
+                }
+                paren_depth -= 1;
+            }
+            TokenKind::Punct('.' | ':' | '&' | '*') => {}
+            TokenKind::Ident if paren_depth == 0 => {
+                let lower = t.text.to_ascii_lowercase();
+                if lower.contains("stdout") || lower.contains("stdin") || lower.contains("stderr") {
+                    return true;
+                }
+            }
+            _ if paren_depth > 0 => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Computes the token index at which the guard acquired at `acq` dies.
+fn liveness_end(tokens: &[Token], ctx: &[Ctx], acq: usize) -> usize {
+    // Statement start: walk back to the nearest `;`, `{` or `}` at any
+    // depth — the first code token after it opens the statement.
+    let mut start = 0usize;
+    for j in (0..acq).rev() {
+        if matches!(tokens[j].kind, TokenKind::Punct(';' | '{' | '}')) {
+            start = j + 1;
+            break;
+        }
+    }
+    let opener = tokens[start..=acq]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| t.text.as_str());
+
+    match opener {
+        Some("let") => {
+            // Bound guard: live until the enclosing block closes, or an
+            // explicit `drop(name)`.
+            let name = tokens[start + 1..acq]
+                .iter()
+                .filter(|t| !t.is_comment())
+                .filter(|t| t.kind == TokenKind::Ident)
+                .find(|t| t.text != "mut")
+                .map(|t| t.text.clone());
+            // The enclosing block's `}` carries the same scope depth as the
+            // tokens inside it (inner blocks' closers are deeper), so the
+            // first close brace at `<=` the acquisition depth ends the span.
+            let depth = ctx[acq].depth;
+            for (off, t) in tokens.iter().enumerate().skip(acq + 1) {
+                if t.is_punct('}') && ctx[off].depth <= depth {
+                    return off;
+                }
+                if let Some(name) = &name {
+                    if t.is_ident("drop")
+                        && next_code(tokens, off).is_some_and(|j| tokens[j].is_punct('('))
+                        && tokens[off + 1..]
+                            .iter()
+                            .find(|t| !t.is_comment() && !t.is_punct('('))
+                            .is_some_and(|t| t.text == *name)
+                    {
+                        return off;
+                    }
+                }
+            }
+            tokens.len() - 1
+        }
+        Some("match" | "if" | "while") => {
+            // Scrutinee guard: live until the construct's braces close.
+            let mut j = acq;
+            let mut depth = 0i64;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') || tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(')') || tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].is_punct('{') && depth == 0 {
+                    return crate::lexer::matching_brace(tokens, j);
+                } else if tokens[j].is_punct(';') && depth == 0 {
+                    return j; // no braces after all
+                }
+                j += 1;
+            }
+            tokens.len() - 1
+        }
+        _ => {
+            // Temporary in an expression statement: dies at the `;` — or,
+            // for a block's tail expression, at the closing `}`.
+            let mut depth = 0i64;
+            for (j, t) in tokens.iter().enumerate().skip(acq + 1) {
+                match t.kind {
+                    TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                    TokenKind::Punct(')' | ']' | '}') => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return j;
+                        }
+                    }
+                    TokenKind::Punct(';') if depth <= 0 => return j,
+                    _ => {}
+                }
+            }
+            tokens.len() - 1
+        }
+    }
+}
+
+/// Reports second locks and writes inside the guard's liveness span.
+fn scan_span(
+    path: &str,
+    tokens: &[Token],
+    acq: usize,
+    end: usize,
+    acq_line: u32,
+    suppressions: &Suppressions,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut emit = |line: u32, what: String| {
+        if !suppressions.covers(RULE, line) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                rule: RULE,
+                message: format!(
+                    "{what} while the lock guard taken on line {acq_line} is still live: \
+                     shrink the critical section (bind, copy out, drop) or justify with \
+                     `// lint: allow({RULE}) — <reason>`"
+                ),
+            });
+        }
+    };
+    let mut j = next_code(tokens, acq).map_or(end, |j| j + 1); // skip the `(` of the acquisition
+    while j <= end.min(tokens.len() - 1) {
+        let tok = &tokens[j];
+        if tok.kind == TokenKind::Ident {
+            if acquisition_at(tokens, j).is_some() {
+                emit(tok.line, "second lock acquisition".to_string());
+            } else if WRITE_MACROS.contains(&tok.text.as_str())
+                && next_code(tokens, j).is_some_and(|k| tokens[k].is_punct('!'))
+            {
+                emit(tok.line, format!("`{}!` I/O", tok.text));
+            } else if WRITE_METHODS.contains(&tok.text.as_str())
+                && prev_code(tokens, j).is_some_and(|k| tokens[k].is_punct('.'))
+                && next_code(tokens, j).is_some_and(|k| tokens[k].is_punct('('))
+            {
+                emit(tok.line, format!("`.{}(…)` I/O", tok.text));
+            }
+        }
+        j += 1;
+    }
+}
+
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    tokens[..i].iter().rposition(|t| !t.is_comment())
+}
+
+fn next_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (i + 1..tokens.len()).find(|&j| !tokens[j].is_comment())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::analyze;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let tokens = lex(src);
+        let ctx = analyze(&tokens);
+        let mut diags = Vec::new();
+        let sup = crate::suppress::parse("f.rs", &tokens, &mut diags);
+        check("f.rs", &tokens, &ctx, &sup, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn write_under_let_bound_guard_is_flagged() {
+        let src = "fn f() { let g = m.lock().unwrap(); writeln!(s, \"x\").ok(); }";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`writeln!`"));
+    }
+
+    #[test]
+    fn second_lock_under_guard_is_flagged() {
+        let src = "fn f() { let g = a.lock().unwrap(); let h = b.lock().unwrap(); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn drop_ends_liveness() {
+        let src = "fn f() { let g = a.lock().unwrap(); drop(g); writeln!(s, \"x\").ok(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guard_frees_the_rest() {
+        let src = "fn f() { { let g = a.lock().unwrap(); use_it(&g); } writeln!(s, \"x\").ok(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let src = "fn f() { v.lock().unwrap().push(1); writeln!(s, \"x\").ok(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_guard_lives_through_the_match() {
+        let src =
+            "fn f() { match m.lock() { Ok(g) => { writeln!(s, \"x\").ok(); } Err(_) => {} } }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn stdout_and_stdin_locks_are_exempt() {
+        let src = "fn f() { let mut out = io::stdout().lock(); for l in stdin.lock().lines() { writeln!(out, \"x\").ok(); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn lock_cache_helper_counts_as_acquisition() {
+        let src = "fn f(&self) { let c = self.lock_cache(); writeln!(s, \"x\").ok(); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn multi_line_chain_hiding_the_lock_is_still_seen() {
+        let src = "fn f(&self) {\n    let g = self\n        .shared\n        .workers\n        .lock()\n        .unwrap();\n    writeln!(s, \"x\").ok();\n}";
+        assert_eq!(run(src).len(), 1);
+    }
+}

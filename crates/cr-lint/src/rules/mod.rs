@@ -1,0 +1,17 @@
+//! The named rules. Each rule is individually suppressible with
+//! `// lint: allow(<rule>) — <reason>`; `docs/LINTS.md` is the catalog.
+
+pub mod cancel_coverage;
+pub mod crate_hygiene;
+pub mod lock_discipline;
+pub mod panic_hygiene;
+pub mod vocab_sync;
+
+/// Every rule name a suppression comment may reference.
+pub const RULE_NAMES: [&str; 5] = [
+    cancel_coverage::RULE,
+    panic_hygiene::RULE,
+    lock_discipline::RULE,
+    vocab_sync::RULE,
+    crate_hygiene::RULE,
+];

@@ -1,0 +1,183 @@
+//! **panic_hygiene** — production paths of `cr-service`, `cr-algos` and
+//! `cr-core` must not panic: a panic on a serving path costs a connection
+//! worker (PR 7 contains it, but containment is the backstop, not the
+//! contract).
+//!
+//! Flags, outside test code:
+//!
+//! * `.unwrap()` / `.expect(…)` calls;
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations;
+//! * direct slice indexing `x[i]` — **in `cr-service` only**, where an
+//!   out-of-bounds index is a remote-triggerable worker panic (the numeric
+//!   kernels in `cr-algos`/`cr-core` index densely by construction and are
+//!   covered by the other three patterns).
+//!
+//! Escape hatches, in order of preference: convert to a structured error;
+//! document the invariant in the function's rustdoc under a `# Panics`
+//! section (the repository convention for contract-level panics — the rule
+//! accepts the whole function body); or justify the single site with
+//! `// lint: allow(panic_hygiene) — <proof it cannot fire>`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Ctx;
+use crate::suppress::Suppressions;
+
+/// Rule name.
+pub const RULE: &str = "panic_hygiene";
+
+/// Identifiers that, with a following `[`, do not form an index expression.
+const NON_INDEX_PRECEDERS: [&str; 8] =
+    ["mut", "ref", "in", "impl", "where", "dyn", "else", "return"];
+
+/// Runs the rule over one file. `check_indexing` is set for `cr-service`.
+pub fn check(
+    path: &str,
+    tokens: &[Token],
+    ctx: &[Ctx],
+    suppressions: &Suppressions,
+    check_indexing: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let significant_before = |i: usize| tokens[..i].iter().rposition(|t| !t.is_comment());
+    let significant_after = |i: usize| (i + 1..tokens.len()).find(|&j| !tokens[j].is_comment());
+
+    let mut emit = |line: u32, construct: &str, advice: &str| {
+        if !suppressions.covers(RULE, line) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                rule: RULE,
+                message: format!(
+                    "{construct} on a production path: {advice}, document the invariant \
+                     under a `# Panics` doc section, or justify with \
+                     `// lint: allow({RULE}) — <proof>`"
+                ),
+            });
+        }
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if ctx[i].in_test || ctx[i].in_panics_doc_fn {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Ident if tok.text == "unwrap" || tok.text == "expect" => {
+                let dotted = significant_before(i).is_some_and(|j| tokens[j].is_punct('.'));
+                let called = significant_after(i).is_some_and(|j| tokens[j].is_punct('('));
+                if dotted && called {
+                    emit(
+                        tok.line,
+                        &format!("`.{}()`", tok.text),
+                        "convert to a structured `SolveError`/`Result`",
+                    );
+                }
+            }
+            TokenKind::Ident
+                if matches!(
+                    tok.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                let banged = significant_after(i).is_some_and(|j| tokens[j].is_punct('!'));
+                // `panic` as a path segment (`std::panic::catch_unwind`)
+                // must not count: require the macro bang.
+                if banged {
+                    emit(
+                        tok.line,
+                        &format!("`{}!`", tok.text),
+                        "return a structured error instead",
+                    );
+                }
+            }
+            TokenKind::Punct('[') if check_indexing => {
+                let Some(j) = significant_before(i) else {
+                    continue;
+                };
+                let prev = &tokens[j];
+                let indexes = match prev.kind {
+                    TokenKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev.text.as_str()),
+                    TokenKind::Punct(']' | ')') => true,
+                    _ => false,
+                };
+                // `name![…]` is a macro invocation, `#[…]` an attribute.
+                let macro_bang = prev.is_punct('!')
+                    || (prev.kind == TokenKind::Ident
+                        && significant_before(j).is_some_and(|k| tokens[k].is_punct('!')));
+                if indexes && !macro_bang {
+                    emit(
+                        tok.line,
+                        "slice index `…[…]`",
+                        "use `.get(…)` and handle the miss",
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::analyze;
+
+    fn run(src: &str, indexing: bool) -> Vec<Diagnostic> {
+        let tokens = lex(src);
+        let ctx = analyze(&tokens);
+        let mut diags = Vec::new();
+        let sup = crate::suppress::parse("f.rs", &tokens, &mut diags);
+        check("f.rs", &tokens, &ctx, &sup, indexing, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let diags = run("fn f() { a.unwrap(); b.expect(\"msg\"); }", false);
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_pass() {
+        assert!(run("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); }", false).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_path_segment_is_not() {
+        let diags = run("fn f() { panic!(\"boom\"); }", false);
+        assert_eq!(diags.len(), 1);
+        assert!(run("fn f() { let _ = std::panic::catch_unwind(g); }", false).is_empty());
+    }
+
+    #[test]
+    fn panics_doc_section_exempts_the_fn() {
+        let src = "/// # Panics\n/// On overflow.\nfn f() { x.unwrap(); }";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)] mod t { fn u() { a.unwrap(); } }", false).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_when_enabled() {
+        let src = "fn f(v: &[u64]) -> u64 { v[0] }";
+        assert!(run(src, false).is_empty());
+        assert_eq!(run(src, true).len(), 1);
+    }
+
+    #[test]
+    fn indexing_skips_types_macros_attributes() {
+        let src = "#[derive(Debug)]\nfn f(v: &mut [u64]) { let a: [u8; 2] = [0, 1]; let w = vec![3]; g(&v[..]); }";
+        // `&v[..]` is a real index expression; the type/macro brackets are not.
+        assert_eq!(run(src, true).len(), 1);
+    }
+
+    #[test]
+    fn suppression_silences_one_site() {
+        let src = "fn f() { a.unwrap(); // lint: allow(panic_hygiene) — checked two lines up\n}";
+        assert!(run(src, false).is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! **vocab_sync** — the wire error vocabulary must not drift: every
+//! `kind` string in `SolveError::ALL_KINDS` (`cr-algos`) and
+//! `WIRE_ERROR_KINDS` (`cr-service`) appears in `docs/WIRE.md`, and every
+//! kind the document's tables promise exists in the code, in both
+//! directions. `cr-serve` clients dispatch on these strings; a kind that
+//! exists only on one side is a silent protocol break.
+//!
+//! The code side is read from the lexed token stream (string literals
+//! between the `ALL_KINDS` / `WIRE_ERROR_KINDS` array brackets); the doc
+//! side from the `| \`kind\` | …` table rows of every `WIRE.md` section
+//! whose heading contains "error kinds".
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Rule name.
+pub const RULE: &str = "vocab_sync";
+
+/// One vocabulary string with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kind {
+    /// The snake_case kind string.
+    pub name: String,
+    /// 1-based line it was declared on.
+    pub line: u32,
+}
+
+/// Extracts the string literals of the `const NAME: … = [ … ];` array from
+/// a lexed file. `None` when the array is missing entirely.
+#[must_use]
+pub fn array_strings(tokens: &[Token], name: &str) -> Option<Vec<Kind>> {
+    // Prefer the `const NAME` declaration site over later uses.
+    let decl = tokens
+        .iter()
+        .enumerate()
+        .position(|(i, t)| {
+            t.is_ident(name)
+                && tokens[..i]
+                    .iter()
+                    .rfind(|p| !p.is_comment())
+                    .is_some_and(|p| p.is_ident("const"))
+        })
+        .or_else(|| tokens.iter().position(|t| t.is_ident(name)))?;
+    // Find the opening `[` of the initializer (skip the type annotation's
+    // own brackets by waiting for the `=`).
+    let eq = (decl..tokens.len()).find(|&j| tokens[j].is_punct('='))?;
+    let open = (eq..tokens.len()).find(|&j| tokens[j].is_punct('['))?;
+    let mut depth = 0i64;
+    let mut out = Vec::new();
+    for tok in &tokens[open..] {
+        match tok.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Str => out.push(Kind {
+                name: tok.str_content().to_string(),
+                line: tok.line,
+            }),
+            _ => {}
+        }
+    }
+    Some(out)
+}
+
+/// Extracts the documented kinds from `WIRE.md` text: first-column
+/// backticked entries of table rows inside "… error kinds" sections.
+#[must_use]
+pub fn doc_kinds(markdown: &str) -> Vec<Kind> {
+    let mut out = Vec::new();
+    let mut in_kinds_section = false;
+    for (idx, line) in markdown.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        if let Some(heading) = line.strip_prefix('#') {
+            in_kinds_section = heading.to_ascii_lowercase().contains("error kinds");
+            continue;
+        }
+        if !in_kinds_section {
+            continue;
+        }
+        let Some(rest) = line.trim_start().strip_prefix("| `") else {
+            continue;
+        };
+        if let Some(end) = rest.find('`') {
+            let name = &rest[..end];
+            if !name.is_empty() {
+                out.push(Kind {
+                    name: name.to_string(),
+                    line: line_no,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Cross-checks the two code vocabularies against the document.
+///
+/// `solver` / `wire` are the lexed `solver.rs` / `wire.rs` token streams
+/// with their workspace-relative paths; `doc` is `(path, content)` of
+/// `WIRE.md`.
+pub fn check(
+    solver: (&str, &[Token]),
+    wire: (&str, &[Token]),
+    doc: (&str, &str),
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut code: Vec<(String, Kind)> = Vec::new();
+    for ((path, tokens), array) in [(solver, "ALL_KINDS"), (wire, "WIRE_ERROR_KINDS")] {
+        match array_strings(tokens, array) {
+            Some(kinds) => {
+                code.extend(kinds.into_iter().map(|k| (path.to_string(), k)));
+            }
+            None => diags.push(Diagnostic {
+                path: path.to_string(),
+                line: 1,
+                rule: RULE,
+                message: format!("expected a `{array}` kind array in this file, found none"),
+            }),
+        }
+    }
+    let documented = doc_kinds(doc.1);
+
+    for (path, kind) in &code {
+        if !documented.iter().any(|d| d.name == kind.name) {
+            diags.push(Diagnostic {
+                path: path.clone(),
+                line: kind.line,
+                rule: RULE,
+                message: format!(
+                    "error kind `{}` is emitted by the code but undocumented: add a \
+                     `| \\`{}\\` | … |` row to the kind tables in {}",
+                    kind.name, kind.name, doc.0
+                ),
+            });
+        }
+    }
+    for d in &documented {
+        if !code.iter().any(|(_, k)| k.name == d.name) {
+            diags.push(Diagnostic {
+                path: doc.0.to_string(),
+                line: d.line,
+                rule: RULE,
+                message: format!(
+                    "documented error kind `{}` no longer exists in `ALL_KINDS` or \
+                     `WIRE_ERROR_KINDS`: remove the row or restore the kind",
+                    d.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const SOLVER: &str = r#"
+        impl SolveError {
+            pub const ALL_KINDS: [&'static str; 2] = ["infeasible", "budget_exhausted"];
+        }
+    "#;
+    const WIRE: &str = r#"pub const WIRE_ERROR_KINDS: [&str; 1] = ["bad_request"];"#;
+
+    fn doc(kinds: &[&str]) -> String {
+        let rows: String = kinds
+            .iter()
+            .map(|k| format!("| `{k}` | when |\n"))
+            .collect();
+        format!("# Wire\n\n### Solver error kinds\n\n| kind | emitted when |\n|---|---|\n{rows}")
+    }
+
+    #[test]
+    fn in_sync_vocabulary_passes() {
+        let text = doc(&["infeasible", "budget_exhausted", "bad_request"]);
+        let mut diags = Vec::new();
+        check(
+            ("solver.rs", &lex(SOLVER)),
+            ("wire.rs", &lex(WIRE)),
+            ("WIRE.md", &text),
+            &mut diags,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn undocumented_code_kind_is_flagged() {
+        let text = doc(&["infeasible", "bad_request"]);
+        let mut diags = Vec::new();
+        check(
+            ("solver.rs", &lex(SOLVER)),
+            ("wire.rs", &lex(WIRE)),
+            ("WIRE.md", &text),
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("budget_exhausted"));
+        assert_eq!(diags[0].path, "solver.rs");
+    }
+
+    #[test]
+    fn stale_doc_kind_is_flagged() {
+        let text = doc(&["infeasible", "budget_exhausted", "bad_request", "gone_kind"]);
+        let mut diags = Vec::new();
+        check(
+            ("solver.rs", &lex(SOLVER)),
+            ("wire.rs", &lex(WIRE)),
+            ("WIRE.md", &text),
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("gone_kind"));
+        assert_eq!(diags[0].path, "WIRE.md");
+    }
+
+    #[test]
+    fn missing_array_is_flagged() {
+        let mut diags = Vec::new();
+        check(
+            ("solver.rs", &lex("fn nothing() {}")),
+            ("wire.rs", &lex(WIRE)),
+            ("WIRE.md", &doc(&["bad_request"])),
+            &mut diags,
+        );
+        assert!(diags.iter().any(|d| d.message.contains("ALL_KINDS")));
+    }
+
+    #[test]
+    fn kinds_outside_error_kind_sections_are_ignored() {
+        let text = format!(
+            "{}\n### Other table\n\n| `not_a_kind` | x |\n",
+            doc(&["infeasible", "budget_exhausted", "bad_request"])
+        );
+        let mut diags = Vec::new();
+        check(
+            ("solver.rs", &lex(SOLVER)),
+            ("wire.rs", &lex(WIRE)),
+            ("WIRE.md", &text),
+            &mut diags,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

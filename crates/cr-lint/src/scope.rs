@@ -1,0 +1,197 @@
+//! Lightweight scope analysis over the token stream: which tokens live in
+//! test code, and which live inside a function whose doc comment carries a
+//! `# Panics` contract.
+//!
+//! The tracker is a single forward pass maintaining a brace-scope stack.
+//! Between two statement boundaries it accumulates *pending* item context —
+//! attributes (`#[cfg(test)]`, `#[test]`), doc comments, and the `mod`/`fn`
+//! keywords — and folds that context into the scope opened by the next
+//! `{`. This is exactly enough structure to answer the two questions the
+//! rules ask, without building a syntax tree:
+//!
+//! * **test code**: inside a `#[cfg(test)]`-attributed item (typically
+//!   `mod tests`) or a `#[test]` function. `#[cfg(not(test))]` and other
+//!   negated forms do *not* count as test code.
+//! * **documented panics**: inside a `fn` whose immediately preceding doc
+//!   comment run contains a `# Panics` section — the rustdoc convention
+//!   this repository uses for deliberate, contract-level panics.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token context produced by [`analyze`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ctx {
+    /// Brace nesting depth (0 = file level).
+    pub depth: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Inside a `fn` documented with a `# Panics` section.
+    pub in_panics_doc_fn: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    test: bool,
+    panics_fn: bool,
+}
+
+/// Pending item context accumulated since the last statement boundary.
+#[derive(Debug, Default)]
+struct Pending {
+    attr_test: bool,
+    doc_panics: bool,
+    saw_fn: bool,
+}
+
+/// Computes one [`Ctx`] per token of `tokens`.
+#[must_use]
+pub fn analyze(tokens: &[Token]) -> Vec<Ctx> {
+    let mut ctx = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<Scope> = vec![Scope {
+        test: false,
+        panics_fn: false,
+    }];
+    let mut pending = Pending::default();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        let top = *stack.last().expect("root scope never pops");
+
+        // Doc comments feed the `# Panics` detector; they are context
+        // tokens themselves.
+        if tok.is_comment() {
+            let text = &tok.text;
+            let is_doc =
+                text.starts_with("///") || text.starts_with("//!") || text.starts_with("/**");
+            if is_doc && text.contains("# Panics") {
+                pending.doc_panics = true;
+            }
+            ctx.push(current(&stack, top));
+            i += 1;
+            continue;
+        }
+
+        // Attributes: `#[ … ]` — scan the bracketed group for `test`
+        // (rejecting negated `not(test)` forms wholesale).
+        if tok.is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let mut words: Vec<&str> = Vec::new();
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokenKind::Ident {
+                    words.push(t.text.as_str());
+                }
+                j += 1;
+            }
+            if words.contains(&"test") && !words.contains(&"not") {
+                pending.attr_test = true;
+            }
+            for _ in i..=j.min(tokens.len() - 1) {
+                ctx.push(current(&stack, top));
+            }
+            i = j + 1;
+            continue;
+        }
+
+        match tok.kind {
+            TokenKind::Ident if tok.text == "fn" => {
+                pending.saw_fn = true;
+                ctx.push(current(&stack, top));
+            }
+            TokenKind::Punct('{') => {
+                stack.push(Scope {
+                    test: top.test || pending.attr_test,
+                    panics_fn: top.panics_fn || (pending.saw_fn && pending.doc_panics),
+                });
+                pending = Pending::default();
+                // The brace belongs to the scope it opens.
+                let new_top = *stack.last().expect("just pushed");
+                ctx.push(Ctx {
+                    depth: stack.len() as u32 - 1,
+                    in_test: new_top.test,
+                    in_panics_doc_fn: new_top.panics_fn,
+                });
+            }
+            TokenKind::Punct('}') => {
+                ctx.push(current(&stack, top));
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+                pending = Pending::default();
+            }
+            TokenKind::Punct(';') => {
+                ctx.push(current(&stack, top));
+                pending = Pending::default();
+            }
+            _ => ctx.push(current(&stack, top)),
+        }
+        i += 1;
+    }
+    ctx
+}
+
+fn current(stack: &[Scope], top: Scope) -> Ctx {
+    Ctx {
+        depth: stack.len() as u32 - 1,
+        in_test: top.test,
+        in_panics_doc_fn: top.panics_fn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of(src: &str, word: &str) -> Ctx {
+        let tokens = lex(src);
+        let ctx = analyze(&tokens);
+        let idx = tokens
+            .iter()
+            .position(|t| t.is_ident(word))
+            .unwrap_or_else(|| panic!("no token `{word}`"));
+        ctx[idx]
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_contents() {
+        let src = "fn prod() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }";
+        assert!(!ctx_of(src, "a").in_test);
+        assert!(ctx_of(src, "b").in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_marks_contents() {
+        let src = "#[test]\nfn t() { probe(); }\nfn prod() { other(); }";
+        assert!(ctx_of(src, "probe").in_test);
+        assert!(!ctx_of(src, "other").in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nmod shipping { fn f() { probe(); } }";
+        assert!(!ctx_of(src, "probe").in_test);
+    }
+
+    #[test]
+    fn panics_doc_marks_fn_body() {
+        let src = "/// Does things.\n///\n/// # Panics\n/// When x.\nfn f() { probe(); }\nfn g() { other(); }";
+        assert!(ctx_of(src, "probe").in_panics_doc_fn);
+        assert!(!ctx_of(src, "other").in_panics_doc_fn);
+    }
+
+    #[test]
+    fn semicolon_clears_pending_attrs() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { probe(); }";
+        assert!(!ctx_of(src, "probe").in_test);
+    }
+}

@@ -1,0 +1,158 @@
+//! Suppression comments: `// lint: allow(rule_name) — reason`.
+//!
+//! A suppression silences findings of `rule_name` on its own line and on
+//! the next line that carries code (so the comment conventionally sits
+//! directly above the construct it justifies, or trails it on the same
+//! line). The reason is **mandatory** — a reasonless suppression is itself
+//! a violation, and so is one naming an unknown rule: the suppressions in
+//! the tree double as the documentation of every deliberate exception.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::rules::RULE_NAMES;
+use std::collections::HashMap;
+
+/// Parsed suppressions of one file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// line → rules suppressed on that line.
+    by_line: HashMap<u32, Vec<&'static str>>,
+}
+
+impl Suppressions {
+    /// Whether findings of `rule` at `line` are suppressed.
+    #[must_use]
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule))
+    }
+
+    /// Whether the file carries no suppressions at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+}
+
+/// Extracts suppressions from `tokens`, reporting malformed ones (missing
+/// reason, unknown rule) into `diags`.
+#[must_use]
+pub fn parse(path: &str, tokens: &[Token], diags: &mut Vec<Diagnostic>) -> Suppressions {
+    let mut by_line: HashMap<u32, Vec<&'static str>> = HashMap::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        // Doc comments (`///`, `//!`, `/** … */`, `/*! … */`) are prose —
+        // they may *describe* the suppression syntax without granting one.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| tok.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some(pos) = tok.text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &tok.text[pos + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: tok.line,
+                rule: "suppression",
+                message: "malformed suppression: missing `)` after the rule name".to_string(),
+            });
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let Some(rule) = RULE_NAMES.iter().find(|r| **r == rule_name) else {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: tok.line,
+                rule: "suppression",
+                message: format!(
+                    "suppression names unknown rule `{rule_name}` (known: {})",
+                    RULE_NAMES.join(", ")
+                ),
+            });
+            continue;
+        };
+        // The reason: everything after the `)`, minus separator dashes.
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t'])
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        if reason.len() < 3 {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: tok.line,
+                rule: "suppression",
+                message: format!(
+                    "suppression of `{rule_name}` carries no reason: write \
+                     `// lint: allow({rule_name}) — <why this is safe>`"
+                ),
+            });
+            continue;
+        }
+        // Covered lines: the comment's own line, plus — when the comment
+        // stands alone on its line — the next line carrying code.
+        let mut lines = vec![tok.line];
+        let leading = i == 0 || tokens[i - 1].line < tok.line;
+        if leading {
+            if let Some(next) = tokens[i + 1..].iter().find(|t| !t.is_comment()) {
+                lines.push(next.line);
+            }
+        }
+        for line in lines {
+            by_line.entry(line).or_default().push(rule);
+        }
+    }
+    Suppressions { by_line }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn suppression_covers_own_and_next_code_line() {
+        let src = "// lint: allow(panic_hygiene) — provably non-empty\nlet x = v.first().unwrap();";
+        let mut diags = Vec::new();
+        let s = parse("f.rs", &lex(src), &mut diags);
+        assert!(diags.is_empty());
+        assert!(s.covers("panic_hygiene", 1));
+        assert!(s.covers("panic_hygiene", 2));
+        assert!(!s.covers("panic_hygiene", 3));
+        assert!(!s.covers("lock_discipline", 2));
+    }
+
+    #[test]
+    fn reasonless_suppression_is_flagged_and_inert() {
+        let src = "// lint: allow(panic_hygiene)\nfoo.unwrap();";
+        let mut diags = Vec::new();
+        let s = parse("f.rs", &lex(src), &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no reason"));
+        assert!(!s.covers("panic_hygiene", 2));
+    }
+
+    #[test]
+    fn unknown_rule_is_flagged() {
+        let src = "// lint: allow(no_such_rule) — whatever\nfoo();";
+        let mut diags = Vec::new();
+        let _ = parse("f.rs", &lex(src), &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn plain_ascii_dash_separator_works() {
+        let src = "// lint: allow(cancel_coverage) - bounded by processor count\nfor i in 0..m {}";
+        let mut diags = Vec::new();
+        let s = parse("f.rs", &lex(src), &mut diags);
+        assert!(diags.is_empty());
+        assert!(s.covers("cancel_coverage", 2));
+    }
+}

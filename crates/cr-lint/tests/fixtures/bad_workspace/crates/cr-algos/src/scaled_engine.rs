@@ -1,0 +1,15 @@
+//! Fixture hot module with an ungated search loop, a production unwrap,
+//! and two malformed suppressions.
+
+/// Runs a "search" that can never be cancelled and panics on empty input.
+pub fn sweep(cells: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    while acc < 1_000 {
+        acc = acc.wrapping_add(1);
+    }
+    // lint: allow(made_up_rule) — this rule does not exist
+    acc = acc.wrapping_add(1);
+    // lint: allow(panic_hygiene)
+    acc = acc.wrapping_add(1);
+    acc.wrapping_add(*cells.first().unwrap())
+}

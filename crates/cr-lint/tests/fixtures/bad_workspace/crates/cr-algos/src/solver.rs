@@ -1,0 +1,9 @@
+//! Fixture solver vocabulary with an undocumented kind.
+
+/// Stand-in for the real error enum.
+pub struct SolveError;
+
+impl SolveError {
+    /// `deadline_exceeded` never made it into the WIRE.md tables.
+    pub const ALL_KINDS: [&'static str; 2] = ["infeasible", "deadline_exceeded"];
+}

@@ -1,0 +1,20 @@
+//! Fixture serving crate that writes to the client while holding the
+//! cache guard, and indexes a slice with an unchecked offset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Streams the cache contents while the guard is live (lock_discipline)
+/// and indexes past a client-supplied offset (panic_hygiene).
+pub fn dump(cache: &Mutex<Vec<u8>>, offset: usize, out: &mut impl Write) -> std::io::Result<()> {
+    let guard = match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    writeln!(out, "first byte past offset: {}", guard[offset])
+}

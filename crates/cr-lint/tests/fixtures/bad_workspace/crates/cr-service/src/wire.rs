@@ -1,0 +1,5 @@
+//! Fixture wire vocabulary (in sync on its own — the drift lives in the
+//! solver array and the document).
+
+/// Kinds the fixture transport emits on its own authority.
+pub const WIRE_ERROR_KINDS: [&str; 1] = ["bad_request"];

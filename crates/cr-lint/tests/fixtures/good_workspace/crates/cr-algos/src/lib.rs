@@ -1,0 +1,7 @@
+//! Fixture crate: a clean `cr-algos` stand-in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scaled_engine;
+pub mod solver;

@@ -1,0 +1,18 @@
+//! Fixture hot module: every loop either polls the gate or carries a
+//! written-down justification.
+
+use crate::solver::SolveError;
+
+/// Sums the DP cells, polling the cancellation gate each cell.
+pub fn sweep(cells: &[u64], gate: &mut impl FnMut() -> Result<(), SolveError>) -> Result<u64, SolveError> {
+    let mut acc = 0u64;
+    for &cell in cells {
+        gate()?;
+        acc = acc.wrapping_add(cell);
+    }
+    // lint: allow(cancel_coverage) — bounded: a fixed four-iteration epilogue
+    for _ in 0..4 {
+        acc = acc.wrapping_add(1);
+    }
+    Ok(acc)
+}

@@ -1,0 +1,9 @@
+//! Fixture solver vocabulary.
+
+/// Stand-in for the real error enum.
+pub struct SolveError;
+
+impl SolveError {
+    /// Every kind the fixture solver emits.
+    pub const ALL_KINDS: [&'static str; 2] = ["infeasible", "deadline_exceeded"];
+}

@@ -1,0 +1,22 @@
+//! Fixture serving crate: panic-free and lock-disciplined.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Reports the cache size without holding the guard across I/O: the
+/// length is copied out inside a block, then the guard is already dead
+/// when the write happens.
+pub fn report_len(cache: &Mutex<Vec<u8>>, out: &mut impl Write) -> std::io::Result<()> {
+    let len = {
+        match cache.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    };
+    writeln!(out, "{len}")
+}

@@ -1,0 +1,4 @@
+//! Fixture wire vocabulary.
+
+/// Kinds the fixture transport emits on its own authority.
+pub const WIRE_ERROR_KINDS: [&str; 1] = ["bad_request"];

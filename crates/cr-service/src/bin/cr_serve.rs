@@ -30,6 +30,8 @@
 //! Bad flags and bind failures are *usage errors*: one line on stderr and
 //! exit code 2, never a panic backtrace.
 
+#![forbid(unsafe_code)]
+
 use cr_service::net::{Server, ServerConfig};
 use cr_service::{wire, SolverService};
 use std::io::{self, BufRead, Write};
@@ -47,22 +49,29 @@ fn usage_error(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Reports a lost stdio peer (closed pipe, read error) the way a filter
+/// should: one line on stderr, exit code 1, never a panic backtrace.
+fn stdio_error(what: &str, e: &io::Error) -> ! {
+    eprintln!("cr-serve: {what}: {e}");
+    std::process::exit(1);
+}
+
 fn flush_batch(
     service: &SolverService,
     batch: &mut Vec<String>,
     next_id: &mut u64,
     out: &mut impl Write,
-) {
+) -> io::Result<()> {
     if batch.is_empty() {
-        return;
+        return Ok(());
     }
     let responses = wire::process_batch(service, batch, *next_id);
     *next_id += batch.len() as u64;
     batch.clear();
     for line in responses {
-        writeln!(out, "{line}").expect("write response line");
+        writeln!(out, "{line}")?;
     }
-    out.flush().expect("flush responses");
+    out.flush()
 }
 
 fn serve_stdin(service: &SolverService) {
@@ -72,23 +81,31 @@ fn serve_stdin(service: &SolverService) {
     let mut batch: Vec<String> = Vec::new();
     let mut next_id: u64 = 0;
     for line in stdin.lock().lines() {
-        let line = line.expect("read request line");
-        if line.trim().is_empty() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => stdio_error("cannot read request line", &e),
+        };
+        let wrote = if line.trim().is_empty() {
             if batch.is_empty() {
                 // A flush with nothing to flush is a protocol error the
                 // client should hear about, not a silent no-op.
                 let response = wire::empty_flush_line(next_id);
                 next_id += 1;
-                writeln!(out, "{response}").expect("write response line");
-                out.flush().expect("flush responses");
+                writeln!(out, "{response}").and_then(|()| out.flush())
             } else {
-                flush_batch(service, &mut batch, &mut next_id, &mut out);
+                flush_batch(service, &mut batch, &mut next_id, &mut out)
             }
         } else {
             batch.push(line);
+            Ok(())
+        };
+        if let Err(e) = wrote {
+            stdio_error("cannot write responses (client gone?)", &e);
         }
     }
-    flush_batch(service, &mut batch, &mut next_id, &mut out);
+    if let Err(e) = flush_batch(service, &mut batch, &mut next_id, &mut out) {
+        stdio_error("cannot write responses (client gone?)", &e);
+    }
 }
 
 fn serve_socket(service: SolverService, addr: &str, config: ServerConfig) {
@@ -97,7 +114,9 @@ fn serve_socket(service: SolverService, addr: &str, config: ServerConfig) {
         Err(e) => usage_error(&format!("cannot bind {addr}: {e}")),
     };
     println!("{{\"listening\":\"{}\"}}", handle.addr());
-    io::stdout().flush().expect("flush listening line");
+    if let Err(e) = io::stdout().flush() {
+        stdio_error("cannot write the listening line", &e);
+    }
     // Serve until a client requests a drain via {"control":"shutdown"};
     // join() then returns once every in-flight batch has answered.
     handle.join();

@@ -140,6 +140,7 @@ impl Solver for DebugPanicSolver {
         _request: &SolveRequest,
         _prepared: &Prepared,
     ) -> Result<SolveOutcome, SolveError> {
+        // lint: allow(panic_hygiene) — deliberate: the debug:panic method exists to exercise panic isolation
         panic!("deliberate panic (debug:panic test method)")
     }
 }
@@ -232,7 +233,9 @@ impl SolverService {
         let _ = std::thread::scope(|scope| {
             scope
                 .spawn(|| {
+                    // lint: allow(panic_hygiene) — deliberate: the hook panics while holding the guard to poison the cache for tests
                     let _guard = self.cache.lock().expect("cache already poisoned");
+                    // lint: allow(panic_hygiene) — deliberate poison so tests can exercise lock recovery
                     panic!("deliberate poison (test hook)");
                 })
                 .join()
@@ -332,6 +335,7 @@ impl SolverService {
                 // Hash first — full instance equality only on key collision.
                 let in_batch = missing
                     .iter()
+                    // lint: allow(panic_hygiene) — `missing` holds indices from enumerating these same `requests`/`keys`
                     .any(|&prev| keys[prev] == key && requests[prev].instance == request.instance);
                 if !in_cache && !in_batch {
                     missing.push(idx);
@@ -340,10 +344,12 @@ impl SolverService {
         }
         let fresh: Vec<Result<Arc<Prepared>, String>> = missing
             .par_iter()
+            // lint: allow(panic_hygiene) — `missing` holds indices from enumerating these same `requests`
             .map(|&idx| catch_panic(|| Arc::new(Prepared::new(&requests[idx].instance))))
             .collect();
         for (&idx, prepared) in missing.iter().zip(&fresh) {
             if let Ok(prepared) = prepared {
+                // lint: allow(panic_hygiene) — `missing` holds indices from enumerating these same `requests`/`keys`
                 self.cache_insert(keys[idx], &requests[idx].instance, prepared);
             }
         }
@@ -376,6 +382,7 @@ impl SolverService {
             .map(|(idx, prepared)| match prepared {
                 Ok(prepared) => catch_panic(|| {
                     self.registry
+                        // lint: allow(panic_hygiene) — `work` pairs each prepared result with its index into these same `requests`
                         .solve_cancellable(&requests[*idx], prepared, parent)
                 })
                 .unwrap_or_else(|message| Err(SolveError::Internal { message })),

@@ -256,6 +256,7 @@ impl Server {
         let acceptor = std::thread::Builder::new()
             .name("cr-serve-accept".to_string())
             .spawn(move || accept_loop(&listener, &acceptor_shared))
+            // lint: allow(panic_hygiene) — thread spawn only fails on OS resource exhaustion; a server that cannot accept must die loudly
             .expect("spawn acceptor thread");
         Ok(ServerHandle {
             addr: local,
@@ -296,6 +297,7 @@ impl ServerHandle {
     /// hang up on their own).
     pub fn join(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
+            // lint: allow(panic_hygiene) — re-raising an acceptor panic is deliberate: the accept loop must not die silently
             acceptor.join().expect("acceptor thread panicked");
         }
         // Workers register themselves before the acceptor exits, so after
@@ -366,6 +368,7 @@ fn admit_connection(stream: TcpStream, shared: &Arc<Shared>) {
             // The slot is freed on every exit path, panic included.
             worker_shared.active_clients.fetch_sub(1, Ordering::AcqRel);
         })
+        // lint: allow(panic_hygiene) — thread spawn only fails on OS resource exhaustion; without a worker the connection cannot be served
         .expect("spawn connection worker");
     shared
         .workers
@@ -638,6 +641,7 @@ fn handle_control(
                 writer,
                 r#"{{"control":{},"error":"unknown control op"}}"#,
                 serde_json::to_string(&serde::Value::String(other.to_string()))
+                    // lint: allow(panic_hygiene) — serializing a String into an in-memory String cannot fail
                     .expect("string serialization is infallible")
             )?;
             writer.flush()
@@ -742,6 +746,7 @@ fn admit_and_solve(
     };
     watch.set(Some(parent.clone()));
     let mut items =
+        // lint: allow(panic_hygiene) — `admitted` was computed as a prefix length of `lines` by the quota check
         wire::solve_batch_items_cancellable(&shared.service, &lines[..admitted], first_id, &parent);
     watch.set(None);
     stats.release(admitted);

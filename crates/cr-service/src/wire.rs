@@ -97,7 +97,12 @@ fn field_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
 }
 
 fn field_usize(value: &Value, key: &str) -> Result<Option<usize>, String> {
-    Ok(field_u64(value, key)?.map(|v| usize::try_from(v).expect("u64 fits usize")))
+    match field_u64(value, key)? {
+        None => Ok(None),
+        Some(v) => usize::try_from(v)
+            .map(Some)
+            .map_err(|_| format!("field `{key}`: {v} does not fit this platform's usize")),
+    }
 }
 
 /// Rebuilds a deserialized instance through the validating constructors, so
@@ -212,8 +217,12 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<WireRequest, String>
             Vec::<u64>::deserialize(v)
                 .map_err(|e| format!("field `arrivals`: {e}"))?
                 .into_iter()
-                .map(|a| usize::try_from(a).expect("u64 fits usize"))
-                .collect(),
+                .map(|a| {
+                    usize::try_from(a).map_err(|_| {
+                        format!("field `arrivals`: {a} does not fit this platform's usize")
+                    })
+                })
+                .collect::<Result<Vec<usize>, String>>()?,
         ),
     };
     let id = field_u64(&value, "id")?.unwrap_or(default_id);
@@ -280,6 +289,7 @@ fn render_response(id: u64, method: &str, ok: Value, error: Value) -> String {
         ("ok", ok),
         ("error", error),
     ]))
+    // lint: allow(panic_hygiene) — serialization into an in-memory String is infallible
     .expect("response serialization is infallible")
 }
 
@@ -409,6 +419,7 @@ pub fn solve_batch_items_cancellable(
             Ok(wire) => BatchItem::Solved {
                 id: wire.id,
                 method: wire.request.method,
+                // lint: allow(panic_hygiene) — `results` was built with exactly one entry per Ok(parsed) request
                 result: results.next().expect("one result per parsed request"),
             },
             Err(message) => BatchItem::Rejected {
@@ -505,6 +516,7 @@ pub fn render_item_streamed(item: &BatchItem, policy: StreamPolicy) -> Vec<Strin
         ("error", Value::Null),
         ("frame", Value::String("head".to_string())),
     ]))
+    // lint: allow(panic_hygiene) — serialization into an in-memory String is infallible
     .expect("head serialization is infallible");
 
     let mut lines = Vec::with_capacity(chunks + 2);
@@ -520,6 +532,7 @@ pub fn render_item_streamed(item: &BatchItem, policy: StreamPolicy) -> Vec<Strin
                     Value::Array(rows.iter().map(Serialize::serialize).collect()),
                 ),
             ]))
+            // lint: allow(panic_hygiene) — serialization into an in-memory String is infallible
             .expect("chunk serialization is infallible"),
         );
     }
@@ -529,6 +542,7 @@ pub fn render_item_streamed(item: &BatchItem, policy: StreamPolicy) -> Vec<Strin
             ("frame", Value::String("end".to_string())),
             ("chunks", chunks.serialize()),
         ]))
+        // lint: allow(panic_hygiene) — serialization into an in-memory String is infallible
         .expect("end serialization is infallible"),
     );
     lines

@@ -217,6 +217,7 @@ impl Simulator {
             );
 
             let mut useful: u64 = 0;
+            // lint: allow(cancel_coverage) — bounded: one pass over m processors per simulated step; the step loop polls the gate
             for i in 0..m {
                 if views[i].is_active() {
                     useful += shares[i].min(views[i].step_demand);
@@ -229,6 +230,7 @@ impl Simulator {
             wasted_units_per_step.push(capacity - useful);
             builder.push_step(shares);
             steps += 1;
+            // lint: allow(cancel_coverage) — bounded: completion scan over m processors per step; the step loop polls the gate
             for (i, done_at) in completion.iter_mut().enumerate() {
                 if done_at.is_none() && builder.unfinished_jobs(i) == 0 {
                     *done_at = Some(steps);
