@@ -30,6 +30,8 @@ pub mod arbitrary;
 pub mod brute_force;
 pub mod greedy_balance;
 pub mod heuristics;
+mod multi_engine;
+mod multi_sched;
 pub mod opt_m;
 pub mod opt_two;
 pub mod round_robin;

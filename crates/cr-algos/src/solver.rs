@@ -78,6 +78,8 @@ use crate::greedy_balance::GreedyBalance;
 use crate::heuristics::{
     EqualShare, LargestRequirementFirst, ProportionalShare, SmallestRequirementFirst,
 };
+use crate::multi_engine::{self, MultiView};
+use crate::multi_sched::{self, PolyKind};
 use crate::opt_m;
 use crate::opt_two;
 use crate::round_robin::RoundRobin;
@@ -394,6 +396,23 @@ pub enum SolveError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The request asked for something the multi-resource (`k ≥ 2`) paths
+    /// do not produce — today, a full schedule (`want_schedule`): the
+    /// [`Schedule`] type is single-resource, so `k ≥ 2` requests report
+    /// makespans and bounds only.
+    ResourceMismatch {
+        /// The rejecting method.
+        method: String,
+        /// The instance's resource count.
+        resources: usize,
+    },
+    /// [`EnginePreference::Scaled`] was demanded but a resource layer's
+    /// unit grid overflows `u64` (the multi-resource analogue of
+    /// [`SolveError::GridOverflow`], which keeps naming the base grid).
+    ResourceOverflow {
+        /// The rejecting method.
+        method: String,
+    },
 }
 
 impl SolveError {
@@ -408,7 +427,7 @@ impl SolveError {
     /// ```
     /// assert!(cr_algos::solver::SolveError::ALL_KINDS.contains(&"budget_exhausted"));
     /// ```
-    pub const ALL_KINDS: [&'static str; 12] = [
+    pub const ALL_KINDS: [&'static str; 14] = [
         "unknown_method",
         "non_unit_jobs",
         "wrong_processor_count",
@@ -421,6 +440,8 @@ impl SolveError {
         "invalid_arrivals",
         "deadline_exceeded",
         "internal_error",
+        "resource_mismatch",
+        "resource_overflow",
     ];
 
     /// Stable snake_case discriminant used on the service wire.
@@ -439,6 +460,8 @@ impl SolveError {
             SolveError::InvalidArrivals { .. } => "invalid_arrivals",
             SolveError::DeadlineExceeded { .. } => "deadline_exceeded",
             SolveError::Internal { .. } => "internal_error",
+            SolveError::ResourceMismatch { .. } => "resource_mismatch",
+            SolveError::ResourceOverflow { .. } => "resource_overflow",
         }
     }
 }
@@ -499,6 +522,16 @@ impl fmt::Display for SolveError {
             SolveError::Internal { message } => {
                 write!(f, "solver panicked (contained): {message}")
             }
+            SolveError::ResourceMismatch { method, resources } => write!(
+                f,
+                "method {method}: schedules are single-resource, so this {resources}-resource \
+                 request must not set want_schedule (makespan and bounds only)"
+            ),
+            SolveError::ResourceOverflow { method } => write!(
+                f,
+                "method {method}: a resource layer's unit grid overflows u64 and the scaled \
+                 engine was demanded (use the auto or rational engine preference)"
+            ),
         }
     }
 }
@@ -661,6 +694,24 @@ fn grid_fallback_note() -> String {
     "unit grid overflows u64: fell back to the rational core".to_string()
 }
 
+/// The multi-resource analogue of [`grid_fallback_note`]: some layer's
+/// per-resource grid overflowed.
+fn multi_grid_fallback_note() -> String {
+    "a resource layer's unit grid overflows u64: fell back to the rational core".to_string()
+}
+
+/// Rejects `want_schedule` on multi-resource requests: [`Schedule`] is
+/// single-resource, so `k ≥ 2` answers are makespan-and-bounds only.
+fn reject_multi_schedule(method: &str, request: &SolveRequest) -> Result<(), SolveError> {
+    if request.want_schedule {
+        return Err(SolveError::ResourceMismatch {
+            method: method.to_string(),
+            resources: request.instance.resources(),
+        });
+    }
+    Ok(())
+}
+
 /// The shared engine-routing contract of the scheduling-layer methods:
 /// picks the scaled or rational schedule producer per the preference and
 /// the grid viability, recording any `Auto` fallback taken.
@@ -699,8 +750,13 @@ fn route_schedule(
 /// the (scaled schedule, rational schedule) pair, feasibility validation and
 /// budget enforcement.  `max_rounds` does not apply (there is no search);
 /// only `max_steps` is enforced.
+///
+/// Multi-resource (`k ≥ 2`) instances route to the per-resource runners in
+/// [`multi_sched`] instead; the scalar schedulers below stay the `k = 1`
+/// production fast path untouched.
 fn solve_polynomial(
     method: &str,
+    kind: PolyKind,
     request: &SolveRequest,
     prepared: &Prepared,
     scaled_schedule: &dyn Fn(&Instance) -> Schedule,
@@ -713,6 +769,9 @@ fn solve_polynomial(
         request.budget.max_steps,
         &prepared.lower_bounds,
     )?;
+    if request.instance.resources() > 1 {
+        return solve_polynomial_multi(method, kind, request, prepared);
+    }
     let instance = &request.instance;
     let (engine, fallbacks, schedule) = route_schedule(
         method,
@@ -735,8 +794,140 @@ fn solve_polynomial(
     })
 }
 
+/// The multi-resource (`k ≥ 2`) polynomial path: runs the heuristic's
+/// per-resource share rule on the [`cr_core::MultiStepper`] and reports the
+/// makespan.  Schedules are not produced ([`SolveError::ResourceMismatch`]);
+/// the engine preference routes between the per-layer scaled grids and the
+/// exact rational stepper with the usual `Auto` fallback contract.
+fn solve_polynomial_multi(
+    method: &str,
+    kind: PolyKind,
+    request: &SolveRequest,
+    prepared: &Prepared,
+) -> Result<SolveOutcome, SolveError> {
+    reject_multi_schedule(method, request)?;
+    let instance = &request.instance;
+    let (engine, fallbacks, makespan) = match request.engine {
+        EnginePreference::Scaled => match multi_sched::multi_makespan_scaled(kind, instance) {
+            Some(value) => (Engine::Scaled, Vec::new(), value),
+            None => {
+                return Err(SolveError::ResourceOverflow {
+                    method: method.to_string(),
+                })
+            }
+        },
+        EnginePreference::Rational => (
+            Engine::Rational,
+            Vec::new(),
+            multi_sched::multi_makespan_rational(kind, instance),
+        ),
+        EnginePreference::Auto => match multi_sched::multi_makespan_scaled(kind, instance) {
+            Some(value) => (Engine::Scaled, Vec::new(), value),
+            None => (
+                Engine::Rational,
+                vec![multi_grid_fallback_note()],
+                multi_sched::multi_makespan_rational(kind, instance),
+            ),
+        },
+    };
+    check_steps_budget(method, &request.budget, makespan)?;
+    Ok(SolveOutcome {
+        method: method.to_string(),
+        engine,
+        fallbacks,
+        makespan: Some(makespan),
+        steps: makespan,
+        rounds: 0,
+        schedule: None,
+        lower_bounds: prepared.lower_bounds,
+    })
+}
+
+/// The multi-resource (`k ≥ 2`) exact path shared by `OptTwo`, `OptM` and
+/// `BruteForce`: one configuration search over per-resource capacities (see
+/// [`multi_engine`]'s module docs for the normalized step class and its
+/// exactness caveat).  Value-only — `want_schedule` is rejected with
+/// [`SolveError::ResourceMismatch`].  `max_rounds` applies to `"OptM"` just
+/// as on the scalar path; the others ignore it.
+fn solve_exact_multi(
+    method: &str,
+    request: &SolveRequest,
+    prepared: &Prepared,
+    token: &CancelToken,
+) -> Result<SolveOutcome, SolveError> {
+    reject_multi_schedule(method, request)?;
+    let instance = &request.instance;
+    let round_cap = if method == "OptM" {
+        precheck_cap(
+            method,
+            BudgetKind::Rounds,
+            request.budget.max_rounds,
+            &prepared.lower_bounds,
+        )?;
+        request.budget.max_rounds
+    } else {
+        None
+    };
+    let (engine, fallbacks, result) = match (request.engine, &prepared.scaled) {
+        (EnginePreference::Scaled, None) => {
+            return Err(SolveError::ResourceOverflow {
+                method: method.to_string(),
+            })
+        }
+        (EnginePreference::Scaled | EnginePreference::Auto, Some(scaled)) => {
+            let view = MultiView::from_scaled(scaled);
+            (
+                Engine::Scaled,
+                Vec::new(),
+                multi_engine::search_cancellable(&view, round_cap, token)?,
+            )
+        }
+        (EnginePreference::Auto, None) => {
+            let view = MultiView::rational(instance);
+            (
+                Engine::Rational,
+                vec![multi_grid_fallback_note()],
+                multi_engine::search_cancellable(&view, round_cap, token)?,
+            )
+        }
+        (EnginePreference::Rational, _) => {
+            let view = MultiView::rational(instance);
+            (
+                Engine::Rational,
+                Vec::new(),
+                multi_engine::search_cancellable(&view, round_cap, token)?,
+            )
+        }
+    };
+    let Some(found) = result else {
+        return Err(SolveError::BudgetExhausted {
+            method: method.to_string(),
+            kind: BudgetKind::Rounds,
+            // lint: allow(panic_hygiene) — Ok(None) is only produced when the max_rounds cap cut the search, so the cap is present
+            limit: request.budget.max_rounds.expect("cap produced the cutoff"),
+        });
+    };
+    check_steps_budget(method, &request.budget, found.makespan)?;
+    Ok(SolveOutcome {
+        method: method.to_string(),
+        engine,
+        fallbacks,
+        makespan: Some(found.makespan),
+        steps: 0,
+        // BruteForce reports expansions everywhere; the round-shaped
+        // searches report rounds (== makespan), matching the scalar paths.
+        rounds: if method == "BruteForce" {
+            found.expanded
+        } else {
+            found.makespan
+        },
+        schedule: None,
+        lower_bounds: prepared.lower_bounds,
+    })
+}
+
 macro_rules! impl_polynomial_solver {
-    ($ty:ty, $name:literal) => {
+    ($ty:ty, $name:literal, $kind:expr) => {
         impl Solver for $ty {
             fn solve_prepared(
                 &self,
@@ -745,6 +936,7 @@ macro_rules! impl_polynomial_solver {
             ) -> Result<SolveOutcome, SolveError> {
                 solve_polynomial(
                     $name,
+                    $kind,
                     request,
                     prepared,
                     &|i| Scheduler::schedule(self, i),
@@ -755,12 +947,24 @@ macro_rules! impl_polynomial_solver {
     };
 }
 
-impl_polynomial_solver!(GreedyBalance, "GreedyBalance");
-impl_polynomial_solver!(RoundRobin, "RoundRobin");
-impl_polynomial_solver!(EqualShare, "EqualShare");
-impl_polynomial_solver!(ProportionalShare, "ProportionalShare");
-impl_polynomial_solver!(LargestRequirementFirst, "LargestRequirementFirst");
-impl_polynomial_solver!(SmallestRequirementFirst, "SmallestRequirementFirst");
+impl_polynomial_solver!(GreedyBalance, "GreedyBalance", PolyKind::GreedyBalance);
+impl_polynomial_solver!(RoundRobin, "RoundRobin", PolyKind::RoundRobin);
+impl_polynomial_solver!(EqualShare, "EqualShare", PolyKind::EqualShare);
+impl_polynomial_solver!(
+    ProportionalShare,
+    "ProportionalShare",
+    PolyKind::ProportionalShare
+);
+impl_polynomial_solver!(
+    LargestRequirementFirst,
+    "LargestRequirementFirst",
+    PolyKind::LargestRequirementFirst
+);
+impl_polynomial_solver!(
+    SmallestRequirementFirst,
+    "SmallestRequirementFirst",
+    PolyKind::SmallestRequirementFirst
+);
 
 /// Validates the unit-size precondition of the exact engines.
 fn require_unit(method: &str, instance: &Instance) -> Result<(), SolveError> {
@@ -810,6 +1014,12 @@ impl Solver for OptTwo {
             request.budget.max_steps,
             &prepared.lower_bounds,
         )?;
+        if instance.resources() > 1 {
+            // The two-processor DP is single-resource; multi-resource
+            // requests run the shared configuration search instead (for
+            // m = 2 it explores exactly the two-processor choice space).
+            return solve_exact_multi(METHOD, request, prepared, &token);
+        }
 
         let (engine, fallbacks, decisions) = match (request.engine, &prepared.scaled) {
             (EnginePreference::Scaled, None) => {
@@ -886,6 +1096,9 @@ impl Solver for OptM {
             request.budget.max_rounds,
             &prepared.lower_bounds,
         )?;
+        if instance.resources() > 1 {
+            return solve_exact_multi(METHOD, request, prepared, &token);
+        }
 
         // The scaled configuration search, budget-capped when requested and
         // interruptible through the request's token.
@@ -1019,6 +1232,9 @@ impl Solver for BruteForceSolver {
             request.budget.max_steps,
             &prepared.lower_bounds,
         )?;
+        if instance.resources() > 1 {
+            return solve_exact_multi(METHOD, request, prepared, &token);
+        }
 
         let (engine, fallbacks, makespan, stats) = match (request.engine, &prepared.scaled) {
             (EnginePreference::Scaled, None) => {
@@ -1077,6 +1293,23 @@ impl Solver for BoundsOnly {
         const METHOD: &str = "Bounds";
         reject_arrivals(METHOD, request)?;
         let instance = &request.instance;
+        if instance.resources() > 1 {
+            // The scheduling hypergraph is single-resource; a k ≥ 2 request
+            // reports the instance-only bounds (whose workload component
+            // already takes the binding resource) as the best bound.
+            let mut lower_bounds = prepared.lower_bounds;
+            lower_bounds.best = Some(lower_bounds.trivial);
+            return Ok(SolveOutcome {
+                method: METHOD.to_string(),
+                engine: Engine::Rational,
+                fallbacks: Vec::new(),
+                makespan: None,
+                steps: 0,
+                rounds: 0,
+                schedule: None,
+                lower_bounds,
+            });
+        }
         let greedy = GreedyBalance::new();
         let (engine, fallbacks, schedule) = route_schedule(
             METHOD,
@@ -1523,6 +1756,11 @@ mod tests {
             SolveError::Internal {
                 message: "x".into(),
             },
+            SolveError::ResourceMismatch {
+                method: "x".into(),
+                resources: 2,
+            },
+            SolveError::ResourceOverflow { method: "x".into() },
         ];
         assert_eq!(samples.len(), SolveError::ALL_KINDS.len());
         let mut seen = std::collections::HashSet::new();
@@ -1629,6 +1867,172 @@ mod tests {
                 .unwrap()
                 .makespan
         );
+    }
+
+    fn multi_fig_like() -> Instance {
+        cr_core::InstanceBuilder::new()
+            .processor([Ratio::from_percent(60), Ratio::from_percent(40)])
+            .processor([Ratio::from_percent(30), Ratio::from_percent(90)])
+            .extra_layer([
+                vec![Ratio::from_percent(25), Ratio::from_percent(75)],
+                vec![Ratio::from_percent(70), Ratio::from_percent(10)],
+            ])
+            .build()
+    }
+
+    #[test]
+    fn every_method_answers_multi_resource_requests() {
+        let reg = registry();
+        let inst = multi_fig_like();
+        let prepared = Prepared::new(&inst);
+        for method in POLY_METHODS {
+            let outcome = reg
+                .solve_prepared(&SolveRequest::new(method, inst.clone()), &prepared)
+                .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert!(outcome.schedule.is_none(), "{method}");
+            assert!(
+                outcome.makespan.unwrap() >= outcome.lower_bounds.trivial,
+                "{method}"
+            );
+        }
+        for method in ["OptTwo", "OptM", "BruteForce"] {
+            let outcome = reg
+                .solve_prepared(&SolveRequest::new(method, inst.clone()), &prepared)
+                .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert_eq!(outcome.engine, Engine::Scaled, "{method}");
+            assert!(outcome.schedule.is_none(), "{method}");
+            assert!(
+                outcome.makespan.unwrap() >= outcome.lower_bounds.trivial,
+                "{method}"
+            );
+        }
+        let bounds = reg
+            .solve_prepared(&SolveRequest::new("Bounds", inst.clone()), &prepared)
+            .unwrap();
+        assert!(bounds.makespan.is_none());
+        assert_eq!(bounds.lower_bounds.best, Some(bounds.lower_bounds.trivial));
+    }
+
+    #[test]
+    fn multi_resource_exact_engines_agree_across_cores_and_methods() {
+        let reg = registry();
+        let inst = multi_fig_like();
+        let prepared = Prepared::new(&inst);
+        let mut values = Vec::new();
+        for method in ["OptTwo", "OptM", "BruteForce"] {
+            for engine in [
+                EnginePreference::Auto,
+                EnginePreference::Scaled,
+                EnginePreference::Rational,
+            ] {
+                let outcome = reg
+                    .solve_prepared(
+                        &SolveRequest::new(method, inst.clone()).with_engine(engine),
+                        &prepared,
+                    )
+                    .unwrap_or_else(|e| panic!("{method}/{engine:?}: {e}"));
+                values.push((method, engine, outcome.makespan.unwrap()));
+            }
+        }
+        let first = values[0].2;
+        for (method, engine, value) in values {
+            assert_eq!(value, first, "{method}/{engine:?} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_extra_layer_reproduces_the_scalar_optimum() {
+        // A k = 2 instance whose second layer is all-zero adds no
+        // constraints: the exact multi search must reproduce the scalar
+        // OPT(m) value bit for bit.
+        let base = fig_like();
+        let inst = cr_core::InstanceBuilder::new()
+            .processor([
+                Ratio::from_percent(60),
+                Ratio::from_percent(40),
+                Ratio::from_percent(80),
+            ])
+            .processor([
+                Ratio::from_percent(30),
+                Ratio::from_percent(90),
+                Ratio::from_percent(10),
+            ])
+            .extra_layer([vec![Ratio::ZERO; 3], vec![Ratio::ZERO; 3]])
+            .build();
+        let scalar = crate::opt_m_makespan(&base);
+        let multi = registry()
+            .solve(&SolveRequest::new("OptM", inst))
+            .unwrap()
+            .makespan
+            .unwrap();
+        assert_eq!(multi, scalar);
+    }
+
+    #[test]
+    fn multi_resource_schedules_are_a_structured_error() {
+        let reg = registry();
+        let inst = multi_fig_like();
+        for method in ["GreedyBalance", "OptTwo", "OptM", "BruteForce"] {
+            let err = reg
+                .solve(&SolveRequest::new(method, inst.clone()).with_schedule())
+                .unwrap_err();
+            assert_eq!(err.kind(), "resource_mismatch", "{method}");
+            assert!(err.to_string().contains("single-resource"));
+        }
+    }
+
+    #[test]
+    fn multi_resource_layer_overflow_routes_like_grid_overflow() {
+        // A layer requirement with a 2^63 denominator makes the layer grid
+        // unrepresentable: Scaled fails with resource_overflow, Auto falls
+        // back to the rational stepper and records the fallback.
+        let huge = Ratio::new(1, 1i128 << 63);
+        let inst = cr_core::InstanceBuilder::new()
+            .processor([Ratio::from_percent(50)])
+            .processor([Ratio::from_percent(50)])
+            .extra_layer([vec![huge], vec![huge]])
+            .build();
+        let reg = registry();
+        for method in ["EqualShare", "OptM"] {
+            let err = reg
+                .solve(
+                    &SolveRequest::new(method, inst.clone()).with_engine(EnginePreference::Scaled),
+                )
+                .unwrap_err();
+            assert_eq!(err.kind(), "resource_overflow", "{method}");
+            let auto = reg.solve(&SolveRequest::new(method, inst.clone())).unwrap();
+            assert_eq!(auto.engine, Engine::Rational, "{method}");
+            assert_eq!(auto.fallbacks.len(), 1, "{method}");
+        }
+    }
+
+    #[test]
+    fn multi_resource_round_budget_still_applies_to_opt_m() {
+        // Three two-layer full-requirement jobs: makespan 3, so a 1-round
+        // cap fails while a 3-round cap answers exactly.
+        let inst = cr_core::InstanceBuilder::new()
+            .processor([Ratio::ONE])
+            .processor([Ratio::ONE])
+            .processor([Ratio::ONE])
+            .extra_layer([vec![Ratio::ONE], vec![Ratio::ONE], vec![Ratio::ONE]])
+            .build();
+        let reg = registry();
+        let err = reg
+            .solve(
+                &SolveRequest::new("OptM", inst.clone()).with_budget(Budget {
+                    max_rounds: Some(1),
+                    ..Budget::UNLIMITED
+                }),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+        let ok = reg
+            .solve(&SolveRequest::new("OptM", inst).with_budget(Budget {
+                max_rounds: Some(3),
+                ..Budget::UNLIMITED
+            }))
+            .unwrap();
+        assert_eq!(ok.makespan, Some(3));
     }
 
     #[test]

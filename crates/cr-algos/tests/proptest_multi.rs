@@ -1,0 +1,134 @@
+//! Property tests for the multi-resource (`k ≥ 2`) generalization.
+//!
+//! Three contracts:
+//!
+//! * **`k = 1` identity** — an instance built through the layered
+//!   constructor with a single layer routes through the untouched scalar
+//!   paths, so every registry method must produce a byte-identical
+//!   [`Result`] (outcome *or* error) to the legacy construction, under both
+//!   the scaled and the rational engine preference, schedules included;
+//! * **cross-engine agreement** — on genuine `k = 2` instances the scaled
+//!   per-layer grids and the exact rational arithmetic must report the same
+//!   makespan for OPT(m), OptTwo and brute force (all three share one
+//!   generic search, so agreement exercises the grids, not the class);
+//! * **zero-layer neutrality** — an all-zero extra layer adds no
+//!   constraints, so the exact multi optimum equals the scalar optimum.
+
+use cr_algos::solver::{registry, EnginePreference, SolveRequest};
+use cr_algos::{opt_m_makespan, opt_two_makespan};
+use cr_core::{Instance, Ratio};
+use proptest::prelude::*;
+
+/// Percent rows snapped onto the grid `1/den` (0% and 100% included).
+fn layer_from(den: u64, rows: &[Vec<u64>]) -> Vec<Vec<Ratio>> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|&pct| Ratio::from_parts(pct * den / 100, den))
+                .collect()
+        })
+        .collect()
+}
+
+/// Every offline registry key, exact and polynomial alike.
+const ALL_METHODS: [&str; 10] = [
+    "GreedyBalance",
+    "RoundRobin",
+    "EqualShare",
+    "ProportionalShare",
+    "LargestRequirementFirst",
+    "SmallestRequirementFirst",
+    "OptTwo",
+    "OptM",
+    "BruteForce",
+    "Bounds",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn single_layer_instances_are_byte_identical_to_the_scalar_path(
+        den in 1u64..=24,
+        rows in prop::collection::vec(prop::collection::vec(0u64..=100, 1..=3), 2..=3),
+    ) {
+        let layer = layer_from(den, &rows);
+        let legacy = Instance::unit_from_requirements(layer.clone());
+        let layered = Instance::multi_unit_from_requirements(vec![layer])
+            .expect("one layer is always consistent");
+        prop_assert_eq!(layered.resources(), 1);
+        let reg = registry();
+        for method in ALL_METHODS {
+            for engine in [EnginePreference::Scaled, EnginePreference::Rational] {
+                let solve = |inst: &Instance| {
+                    reg.solve(
+                        &SolveRequest::new(method, inst.clone())
+                            .with_engine(engine)
+                            .with_schedule(),
+                    )
+                };
+                let (a, b) = (solve(&layered), solve(&legacy));
+                prop_assert!(
+                    a == b,
+                    "{method}/{engine:?} diverged between constructors: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_exact_engines_agree_across_grids(
+        den in 1u64..=12,
+        base in prop::collection::vec(prop::collection::vec(0u64..=100, 2..=2), 2..=3),
+        extra_pcts in prop::collection::vec(0u64..=100, 6..=6),
+    ) {
+        let m = base.len();
+        let extra: Vec<Vec<u64>> = (0..m).map(|i| extra_pcts[2 * i..2 * i + 2].to_vec()).collect();
+        let inst = Instance::multi_unit_from_requirements(vec![
+            layer_from(den, &base),
+            layer_from(den, &extra),
+        ])
+        .expect("layers share the 2-job grid");
+        let reg = registry();
+        let methods: &[&str] = if m == 2 { &["OptM", "BruteForce", "OptTwo"] } else { &["OptM", "BruteForce"] };
+        let mut first: Option<usize> = None;
+        for &method in methods {
+            for engine in [EnginePreference::Scaled, EnginePreference::Rational] {
+                let value = reg
+                    .solve(&SolveRequest::new(method, inst.clone()).with_engine(engine))
+                    .unwrap_or_else(|e| panic!("{method}/{engine:?}: {e}"))
+                    .makespan
+                    .expect("exact methods report makespans");
+                match first {
+                    None => first = Some(value),
+                    Some(expected) => prop_assert!(
+                        value == expected,
+                        "{method}/{engine:?} diverged: {value} vs {expected}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_extra_layer_never_changes_the_optimum(
+        den in 1u64..=12,
+        rows in prop::collection::vec(prop::collection::vec(0u64..=100, 1..=3), 2..=2),
+    ) {
+        let layer = layer_from(den, &rows);
+        let zeros: Vec<Vec<Ratio>> = layer
+            .iter()
+            .map(|row| vec![Ratio::ZERO; row.len()])
+            .collect();
+        let scalar = Instance::unit_from_requirements(layer.clone());
+        let multi = Instance::multi_unit_from_requirements(vec![layer, zeros])
+            .expect("the zero layer mirrors the base grid");
+        let value = registry()
+            .solve(&SolveRequest::new("OptM", multi))
+            .unwrap()
+            .makespan
+            .unwrap();
+        prop_assert_eq!(value, opt_m_makespan(&scalar));
+        prop_assert_eq!(value, opt_two_makespan(&scalar));
+    }
+}

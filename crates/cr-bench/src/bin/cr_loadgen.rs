@@ -4,11 +4,14 @@
 //! Drives N concurrent client connections against a running
 //! `cr-serve --listen` server (or, with no `--addr`, an in-process server
 //! it spawns itself) with a Poisson-paced blend of heuristic, exact and
-//! simulator requests, then prints a latency/throughput summary:
+//! simulator requests, then prints a latency/throughput summary.
+//! `--multi-every N` makes every N-th request of each client carry one
+//! extra resource layer (the `k = 2` wire shorthand), so the sustained
+//! load also exercises the multi-resource solve path:
 //!
 //! ```text
 //! cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N]
-//!            [--rate HZ] [--seed N]
+//!            [--rate HZ] [--seed N] [--multi-every N]
 //! cr-loadgen --addr HOST:PORT --smoke
 //! cr-loadgen --addr HOST:PORT --chaos [--rounds N]
 //! ```
@@ -74,11 +77,15 @@ fn parse_args() -> Args {
             }
             "--rate" => args.config.rate_hz = value("--rate").parse().expect("--rate"),
             "--seed" => args.config.seed = value("--seed").parse().expect("--seed"),
+            "--multi-every" => {
+                args.config.multi_every = value("--multi-every").parse().expect("--multi-every");
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
-                     [--rate HZ] [--seed N] [--smoke] [--chaos [--rounds N]]\n\
-                     Without --addr, spawns an in-process server to load."
+                     [--rate HZ] [--seed N] [--multi-every N] [--smoke] [--chaos [--rounds N]]\n\
+                     Without --addr, spawns an in-process server to load.\n\
+                     --multi-every N: every N-th request carries an extra resource layer."
                 );
                 std::process::exit(0);
             }

@@ -9,11 +9,12 @@
 //! * `experiments.md` — the same tables as GitHub-flavoured markdown;
 //! * `BENCH_pipeline.json` — wall-clock timings of the parallel run (the
 //!   perf baseline future PRs compare against).  Besides the eight report
-//!   tables this also times three *timing-only* sweeps — the heuristic
-//!   line-up, the many-core simulator on the scaled engine, and the OPT(m)
+//!   tables this also times *timing-only* sweeps — the heuristic line-up,
+//!   the many-core simulator on the scaled engine, the OPT(m)
 //!   thread-scaling record (the rayon-parallel round expansion at pinned
-//!   worker counts) — which appear in `BENCH_pipeline.json` but never in
-//!   `experiments.json`.
+//!   worker counts), batch-service throughput, socket serving latency and
+//!   the multi-resource overhead curve over `k ∈ {1, 2, 4}` layers — which
+//!   appear in `BENCH_pipeline.json` but never in `experiments.json`.
 //!
 //! Usage: `cargo run --release -p cr-bench --bin experiments --
 //! [--seed N] [--out-dir DIR] [--reduced]`
@@ -32,8 +33,9 @@ use cr_bench::grids;
 use cr_bench::pipeline::{shared_service, Cell, ExperimentReport, Runner};
 use cr_core::Instance;
 use cr_instances::{
-    generate_workload, random_unit_instance, wide_oversubscribed_instance, RandomConfig,
-    RequirementProfile, TaskMix, WorkloadConfig,
+    generate_workload, random_multi_unit_instance, random_unit_instance,
+    rotating_bottleneck_instance, wide_oversubscribed_instance, RandomConfig, RequirementProfile,
+    TaskMix, WorkloadConfig,
 };
 use cr_sim::ONLINE_METHODS;
 use rayon::prelude::*;
@@ -193,6 +195,13 @@ fn main() {
     );
     timing_cells += serving.cells;
     timings.push(serving);
+    let multi = run_multi_resource_table(args.reduced);
+    println!(
+        "  {:<46} {:>5} cells  {:>9.1} ms  (max cell {:>7.1} ms)",
+        multi.title, multi.cells, multi.wall_ms, multi.max_cell_ms
+    );
+    timing_cells += multi.cells;
+    timings.push(multi);
     let total_cells = total_cells + timing_cells;
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
 
@@ -407,6 +416,9 @@ fn run_socket_serving_table(reduced: bool) -> TableTiming {
             requests_per_client,
             rate_hz: 200.0,
             seed: 0x10AD_6E17 + clients as u64,
+            // Single-resource traffic keeps these latency cells comparable
+            // release to release; multi-resource cost has its own table.
+            multi_every: 0,
         };
         let report = cr_bench::loadgen::run(handle.addr(), &config);
         assert_eq!(
@@ -494,6 +506,68 @@ fn run_socket_serving_table(reduced: bool) -> TableTiming {
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
         extra: vec![("latency".to_string(), serde::Value::Array(latency_rows))],
+    }
+}
+
+/// The multi-resource overhead record: the polynomial heuristic line-up
+/// over random unit grids carrying `k ∈ {1, 2, 4}` resource layers plus one
+/// rotating-bottleneck adversarial instance per `k` — the cost of the
+/// vector resource model as the layer count grows (the `overhead` rows of
+/// `BENCH_pipeline.json`).  The `k = 1` cell routes through the untouched
+/// scalar path, so it doubles as the no-regression anchor the `bench_exact`
+/// k=1 comparison also pins.
+fn run_multi_resource_table(reduced: bool) -> TableTiming {
+    const RESOURCE_COUNTS: [usize; 3] = [1, 2, 4];
+    let reps: u64 = if reduced { 1 } else { 3 };
+    let (m, n) = if reduced { (4usize, 12usize) } else { (8, 32) };
+    let service = shared_service();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let start = Instant::now();
+    let mut per_cell_ms = Vec::with_capacity(RESOURCE_COUNTS.len());
+    let mut overhead_rows = Vec::with_capacity(RESOURCE_COUNTS.len());
+    for &resources in &RESOURCE_COUNTS {
+        // Same shapes and seeds across cells: only the layer count varies,
+        // so the curve isolates the per-resource cost.
+        let mut instances: Vec<Instance> = (0..reps)
+            .map(|rep| {
+                random_multi_unit_instance(&RandomConfig::uniform(m, n), resources, 9000 + rep)
+            })
+            .collect();
+        instances.push(rotating_bottleneck_instance(4, 6, resources));
+        let mut solves = 0usize;
+        let cell_start = Instant::now();
+        for instance in &instances {
+            for method in POLY_METHODS {
+                let outcome = service
+                    .solve(&SolveRequest::new(method, instance.clone()))
+                    .expect("multi-resource heuristic solve succeeds");
+                black_box(outcome.makespan.expect("heuristics report makespans"));
+                solves += 1;
+            }
+        }
+        let elapsed_ms = cell_start.elapsed().as_secs_f64() * 1e3;
+        per_cell_ms.push(elapsed_ms);
+        overhead_rows.push(serde::Value::Object(vec![
+            (
+                "resources".to_string(),
+                serde::Value::Number(serde::Number::Int(resources as i128)),
+            ),
+            (
+                "solves".to_string(),
+                serde::Value::Number(serde::Number::Int(solves as i128)),
+            ),
+            (
+                "wall_ms".to_string(),
+                serde::Value::Number(serde::Number::Float(round2(elapsed_ms))),
+            ),
+        ]));
+    }
+    TableTiming {
+        title: "Multi-resource overhead vs k (heuristics)".to_string(),
+        cells: RESOURCE_COUNTS.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        max_cell_ms: per_cell_ms.iter().fold(0.0f64, |a, &b| a.max(b)),
+        extra: vec![("overhead".to_string(), serde::Value::Array(overhead_rows))],
     }
 }
 

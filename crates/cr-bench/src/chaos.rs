@@ -242,19 +242,22 @@ fn storm_slow_loris(addr: SocketAddr, report: &mut ChaosReport) -> Result<(), St
     Ok(())
 }
 
-/// Storm 3: oversized and malformed frames answer structured
-/// `bad_request` rows on a connection that survives to serve the valid
-/// sibling in the same batch.
+/// Storm 3: oversized, malformed and shape-mismatched multi-resource
+/// frames answer structured `bad_request` rows on a connection that
+/// survives to serve the valid sibling in the same batch.
 fn storm_malformed_frames(addr: SocketAddr, report: &mut ChaosReport) -> Result<(), String> {
     let oversized = format!("{{\"method\":\"{}\"}}", "x".repeat(1 << 16));
     let lines = vec![
         oversized,
         "definitely not json".to_string(),
         r#"{"method":"GreedyBalance","rows":[[150]]}"#.to_string(),
+        // An extra resource layer whose row holds 1 requirement against 2
+        // jobs: the multi-resource shorthand's shape check must reject it.
+        r#"{"method":"GreedyBalance","rows":[[50,50]],"resources":[[[50]]]}"#.to_string(),
         r#"{"method":"GreedyBalance","rows":[[50,50]]}"#.to_string(),
     ];
     let responses = roundtrip(addr, &lines, lines.len())?;
-    for (i, response) in responses[..3].iter().enumerate() {
+    for (i, response) in responses[..4].iter().enumerate() {
         if !response.contains("\"kind\":\"bad_request\"") {
             return Err(format!(
                 "malformed frame {i} was not a structured bad_request: {response}"
@@ -262,10 +265,10 @@ fn storm_malformed_frames(addr: SocketAddr, report: &mut ChaosReport) -> Result<
         }
         report.bad_request_rows += 1;
     }
-    if !responses[3].contains("\"makespan\":2") {
+    if !responses[4].contains("\"makespan\":2") {
         return Err(format!(
             "valid sibling of malformed frames answered wrong: {}",
-            responses[3]
+            responses[4]
         ));
     }
     Ok(())

@@ -26,8 +26,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// The committed golden batch the CI smoke replays (10 mixed requests, one
-/// deliberately over budget).
+/// The committed golden batch the CI smoke replays (12 mixed requests:
+/// one deliberately over budget, one multi-resource, one multi-resource
+/// shape mismatch).
 pub const SMOKE_BATCH: &str = include_str!("../../cr-service/tests/data/smoke_batch.jsonl");
 
 /// One load run's shape.
@@ -43,6 +44,11 @@ pub struct LoadConfig {
     pub rate_hz: f64,
     /// Seed of the per-client SplitMix64 traffic generators.
     pub seed: u64,
+    /// Every `multi_every`-th slot also carries one extra resource layer
+    /// (`k = 2`), exercising the multi-resource wire path under load;
+    /// `0` (the default) keeps the traffic single-resource and the
+    /// request byte stream identical to earlier releases.
+    pub multi_every: usize,
 }
 
 impl Default for LoadConfig {
@@ -52,6 +58,7 @@ impl Default for LoadConfig {
             requests_per_client: 32,
             rate_hz: 200.0,
             seed: 0x10AD_6E17,
+            multi_every: 0,
         }
     }
 }
@@ -112,9 +119,12 @@ fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
 /// with an exact OPT(m) solve every 8th slot and an online simulator
 /// request every 5th — the production-shaped blend the serving tier is
 /// sized for.  Instances stay small enough that exact requests bound the
-/// tail, not the run.
+/// tail, not the run.  With `multi_every > 0`, every `multi_every`-th slot
+/// additionally carries one extra resource layer shaped exactly like its
+/// `rows` (the `k = 2` wire shorthand); `0` leaves the stream
+/// single-resource and byte-identical to the pre-multi generator.
 #[must_use]
-pub fn request_line(rng: &mut StdRng, slot: usize) -> String {
+pub fn request_line(rng: &mut StdRng, slot: usize, multi_every: usize) -> String {
     let (method, m, n_per) = if slot % 8 == 7 {
         ("OptM", 3usize, 1usize)
     } else if slot % 5 == 4 {
@@ -131,15 +141,24 @@ pub fn request_line(rng: &mut StdRng, slot: usize) -> String {
             rng.random_range(2usize..=4),
         )
     };
-    let rows: Vec<String> = (0..m)
-        .map(|_| {
-            let row: Vec<String> = (0..n_per)
-                .map(|_| rng.random_range(5u64..=100).to_string())
-                .collect();
-            format!("[{}]", row.join(","))
-        })
-        .collect();
-    format!("{{\"method\":\"{method}\",\"rows\":[{}]}}", rows.join(","))
+    let grid = |rng: &mut StdRng| -> String {
+        let rows: Vec<String> = (0..m)
+            .map(|_| {
+                let row: Vec<String> = (0..n_per)
+                    .map(|_| rng.random_range(5u64..=100).to_string())
+                    .collect();
+                format!("[{}]", row.join(","))
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    };
+    let rows = grid(rng);
+    if multi_every > 0 && slot % multi_every == multi_every - 1 {
+        let layer = grid(rng);
+        format!("{{\"method\":\"{method}\",\"rows\":{rows},\"resources\":[{layer}]}}")
+    } else {
+        format!("{{\"method\":\"{method}\",\"rows\":{rows}}}")
+    }
 }
 
 /// An exponential interarrival draw (`-ln(u)/rate`) for Poisson arrivals.
@@ -202,7 +221,7 @@ fn client_loop(
         if config.rate_hz > 0.0 {
             std::thread::sleep(interarrival(&mut rng, config.rate_hz));
         }
-        let request = request_line(&mut rng, slot);
+        let request = request_line(&mut rng, slot, config.multi_every);
         let sent = Instant::now();
         let mut attempt: u32 = 0;
         loop {
@@ -357,16 +376,41 @@ mod tests {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(1);
         for slot in 0..50 {
-            let line = request_line(&mut a, slot);
-            assert_eq!(line, request_line(&mut b, slot));
+            let line = request_line(&mut a, slot, 0);
+            assert_eq!(line, request_line(&mut b, slot, 0));
             wire::parse_request(&line, 0).expect("generated line parses");
+        }
+    }
+
+    #[test]
+    fn multi_resource_traffic_is_flag_gated() {
+        // Off by default: no line carries a resources key.
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..24).all(|slot| !request_line(&mut rng, slot, 0).contains("\"resources\"")));
+
+        // On: exactly every third slot carries one extra layer, every line
+        // still parses, and the multi lines really are two-resource.
+        let mut rng = StdRng::seed_from_u64(3);
+        let lines: Vec<String> = (0..24)
+            .map(|slot| request_line(&mut rng, slot, 3))
+            .collect();
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"resources\"")).count(),
+            8
+        );
+        for line in &lines {
+            let parsed = wire::parse_request(line, 0).expect("generated line parses");
+            let want = if line.contains("\"resources\"") { 2 } else { 1 };
+            assert_eq!(parsed.request.instance.resources(), want, "{line}");
         }
     }
 
     #[test]
     fn traffic_mix_covers_heuristic_exact_and_sim() {
         let mut rng = StdRng::seed_from_u64(2);
-        let lines: Vec<String> = (0..40).map(|slot| request_line(&mut rng, slot)).collect();
+        let lines: Vec<String> = (0..40)
+            .map(|slot| request_line(&mut rng, slot, 0))
+            .collect();
         assert!(lines.iter().any(|l| l.contains("\"OptM\"")));
         assert!(lines.iter().any(|l| l.contains("\"sim:GreedyBalance\"")));
         assert!(lines.iter().any(|l| l.contains("\"GreedyBalance\"")));

@@ -13,10 +13,22 @@ use crate::hypergraph::SchedulingGraph;
 use crate::instance::Instance;
 use crate::rational::Ratio;
 
-/// Observation 1: the total workload `Σ r_ij · p_ij`, returned exactly.
+/// Observation 1: the total workload `Σ r_ij · p_ij` on the **base**
+/// resource, returned exactly.  For multi-resource instances see
+/// [`workload_bound_on`] — every resource yields its own Observation 1
+/// bound, and [`workload_bound_steps`] takes the strongest.
 #[must_use]
 pub fn workload_bound(instance: &Instance) -> Ratio {
     instance.total_workload()
+}
+
+/// Observation 1 on one resource: the total workload `Σ r^resource_ij ·
+/// p_ij`, returned exactly.  Each shared resource is handed out at
+/// aggregated speed ≤ 1 per step, so each layer's workload is a valid lower
+/// bound on its own.
+#[must_use]
+pub fn workload_bound_on(instance: &Instance, resource: usize) -> Ratio {
+    instance.total_workload_on(resource)
 }
 
 /// Converts a non-negative `i128` step count to `usize`, saturating at
@@ -33,10 +45,16 @@ fn saturating_steps(b: i128) -> usize {
 }
 
 /// Observation 1 rounded up to an integral number of time steps (saturating
-/// at `usize::MAX` when the exact bound overflows).
+/// at `usize::MAX` when the exact bound overflows), taken as the **maximum
+/// over all shared resources** — the binding resource gives the strongest
+/// workload bound.  Single-resource instances reduce to the scalar
+/// Observation 1 exactly as before.
 #[must_use]
 pub fn workload_bound_steps(instance: &Instance) -> usize {
-    saturating_steps(workload_bound(instance).ceil())
+    (0..instance.resources())
+        .map(|r| saturating_steps(workload_bound_on(instance, r).ceil()))
+        .max()
+        .unwrap_or(0)
 }
 
 /// The chain bound `n = maxᵢ nᵢ` (valid for unit-size jobs; for general
@@ -222,6 +240,21 @@ mod tests {
         assert_eq!(best_lower_bound(&inst, &graph), 5);
         // All lower bounds are indeed at most the schedule's makespan.
         assert!(best_lower_bound(&inst, &graph) <= trace.makespan());
+    }
+
+    #[test]
+    fn multi_resource_workload_bound_takes_the_binding_resource() {
+        // Base layer sums to 0.75, the extra layer to 2.6: the extra
+        // resource is binding and pushes the trivial bound to ⌈2.6⌉ = 3.
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 4), ratio(1, 4)])
+            .processor([ratio(1, 4)])
+            .extra_layer([vec![ratio(9, 10), ratio(9, 10)], vec![ratio(8, 10)]])
+            .build();
+        assert_eq!(workload_bound(&inst), ratio(3, 4));
+        assert_eq!(workload_bound_on(&inst, 1), ratio(26, 10));
+        assert_eq!(workload_bound_steps(&inst), 3);
+        assert_eq!(trivial_lower_bound(&inst), 3);
     }
 
     #[test]

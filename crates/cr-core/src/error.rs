@@ -27,6 +27,39 @@ pub enum InstanceError {
         /// Its non-positive volume.
         volume: Ratio,
     },
+    /// An extra resource layer does not have one requirement row per
+    /// processor.
+    ResourceLayerProcessorMismatch {
+        /// Zero-based resource index of the offending layer (extra layers
+        /// start at resource `1`; resource `0` is the base requirement).
+        resource: usize,
+        /// Number of processors in the instance.
+        expected: usize,
+        /// Number of rows found in the layer.
+        found: usize,
+    },
+    /// A row of an extra resource layer does not have one requirement per
+    /// job of the corresponding processor.
+    ResourceLayerJobsMismatch {
+        /// Zero-based resource index of the offending layer.
+        resource: usize,
+        /// The offending processor.
+        processor: usize,
+        /// Number of jobs on that processor.
+        expected: usize,
+        /// Number of requirements found in the row.
+        found: usize,
+    },
+    /// A requirement on an extra resource lies outside the unit interval
+    /// `[0, 1]`.
+    ResourceRequirementOutOfRange {
+        /// Zero-based resource index of the offending layer.
+        resource: usize,
+        /// The offending job.
+        job: JobId,
+        /// Its out-of-range requirement.
+        requirement: Ratio,
+    },
 }
 
 impl fmt::Display for InstanceError {
@@ -40,6 +73,32 @@ impl fmt::Display for InstanceError {
             InstanceError::NonPositiveVolume { job, volume } => {
                 write!(f, "job {job} has non-positive processing volume {volume}")
             }
+            InstanceError::ResourceLayerProcessorMismatch {
+                resource,
+                expected,
+                found,
+            } => write!(
+                f,
+                "resource {resource}: expected {expected} processor rows, found {found}"
+            ),
+            InstanceError::ResourceLayerJobsMismatch {
+                resource,
+                processor,
+                expected,
+                found,
+            } => write!(
+                f,
+                "resource {resource}: processor {processor} has {expected} jobs but the layer \
+                 row holds {found} requirements"
+            ),
+            InstanceError::ResourceRequirementOutOfRange {
+                resource,
+                job,
+                requirement,
+            } => write!(
+                f,
+                "job {job} has requirement {requirement} on resource {resource} outside [0, 1]"
+            ),
         }
     }
 }

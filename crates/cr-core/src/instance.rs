@@ -10,14 +10,57 @@
 use crate::error::InstanceError;
 use crate::job::{Job, JobId};
 use crate::rational::Ratio;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// A CRSharing problem instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// ## Multi-resource instances
+///
+/// The paper's base model shares **one** continuous resource; this
+/// representation optionally carries `k − 1` *extra* resource layers so the
+/// whole pipeline can speak the `k`-resource generalization (memory
+/// bandwidth, bus, cache slices, …).  Job `(i, j)` then has the requirement
+/// vector `(r⁰_ij, r¹_ij, …)`: layer `0` is [`Job::requirement`] and layer
+/// `r ≥ 1` is `extra[r − 1][i][j]`, all sharing the job's single volume.
+/// `k = 1` instances keep `extra` empty and are represented (and
+/// serialized) exactly as before the generalization — the scalar model is
+/// the fast path, not a special case bolted on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     /// `jobs[i]` is the ordered job sequence of processor `i`.
     jobs: Vec<Vec<Job>>,
+    /// `extra[r − 1][i][j]` is the requirement of job `(i, j)` on resource
+    /// `r`; empty for single-resource instances.
+    extra: Vec<Vec<Vec<Ratio>>>,
+}
+
+// The vendored serde derive has no `#[serde(default)]` support, and the
+// multi-resource extension must keep old single-resource JSON parsing (and
+// old byte-identical serialization for `k = 1`), so both directions are
+// spelled out by hand: `extra` is omitted when empty and optional on input.
+impl Serialize for Instance {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![("jobs".to_string(), self.jobs.serialize())];
+        if !self.extra.is_empty() {
+            fields.push(("extra".to_string(), self.extra.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for Instance {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let jobs: Vec<Vec<Job>> = serde::de_field(value, "jobs")?;
+        let extra: Vec<Vec<Vec<Ratio>>> = match value.get("extra") {
+            Some(v) => Deserialize::deserialize(v)?,
+            None => Vec::new(),
+        };
+        // Like the derived impl this performs no model validation; consumers
+        // that accept untrusted input re-validate via `Instance::new` /
+        // `Instance::with_resources` (see `cr-service`'s sanitizer).
+        Ok(Instance { jobs, extra })
+    }
 }
 
 impl Instance {
@@ -49,7 +92,83 @@ impl Instance {
                 }
             }
         }
-        Ok(Instance { jobs })
+        Ok(Instance {
+            jobs,
+            extra: Vec::new(),
+        })
+    }
+
+    /// Creates a **multi-resource** instance: the base job matrix plus
+    /// `k − 1` extra resource layers, where `extra[r − 1][i][j]` is the
+    /// requirement of job `(i, j)` on resource `r` (layer `0` being the
+    /// jobs' own requirements).  An empty `extra` yields a plain
+    /// single-resource instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the base matrix is invalid (see
+    /// [`Instance::new`]), a layer does not mirror the job matrix shape, or
+    /// an extra requirement lies outside `[0, 1]`.
+    pub fn with_resources(
+        jobs: Vec<Vec<Job>>,
+        extra: Vec<Vec<Vec<Ratio>>>,
+    ) -> Result<Self, InstanceError> {
+        let mut instance = Instance::new(jobs)?;
+        for (e, layer) in extra.iter().enumerate() {
+            let resource = e + 1;
+            if layer.len() != instance.processors() {
+                return Err(InstanceError::ResourceLayerProcessorMismatch {
+                    resource,
+                    expected: instance.processors(),
+                    found: layer.len(),
+                });
+            }
+            for (i, row) in layer.iter().enumerate() {
+                if row.len() != instance.jobs_on(i) {
+                    return Err(InstanceError::ResourceLayerJobsMismatch {
+                        resource,
+                        processor: i,
+                        expected: instance.jobs_on(i),
+                        found: row.len(),
+                    });
+                }
+                for (j, &requirement) in row.iter().enumerate() {
+                    if !requirement.in_unit_interval() {
+                        return Err(InstanceError::ResourceRequirementOutOfRange {
+                            resource,
+                            job: JobId::new(i, j),
+                            requirement,
+                        });
+                    }
+                }
+            }
+        }
+        instance.extra = extra;
+        Ok(instance)
+    }
+
+    /// Builds a **unit-size multi-resource** instance from per-resource
+    /// requirement grids: `layers[r][i][j]` is the requirement of job
+    /// `(i, j)` on resource `r`.  Layer `0` defines the jobs themselves
+    /// (unit volume); later layers become extra resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstanceError::NoProcessors`] when `layers` is empty and
+    /// any validation error of [`Instance::with_resources`].
+    pub fn multi_unit_from_requirements(
+        mut layers: Vec<Vec<Vec<Ratio>>>,
+    ) -> Result<Self, InstanceError> {
+        if layers.is_empty() {
+            return Err(InstanceError::NoProcessors);
+        }
+        let extra = layers.split_off(1);
+        let jobs = layers
+            .remove(0)
+            .into_iter()
+            .map(|row| row.into_iter().map(Job::unit).collect())
+            .collect();
+        Instance::with_resources(jobs, extra)
     }
 
     /// Builds a **unit-size** instance from per-processor requirement lists.
@@ -170,10 +289,79 @@ impl Instance {
             .unwrap_or(Ratio::ZERO)
     }
 
-    /// Consumes the instance and returns the raw job matrix.
+    /// Number of shared resources `k` (`1` plus the number of extra
+    /// layers).  Single-resource instances — the paper's model and the fast
+    /// path everywhere — report `1`.
+    #[must_use]
+    pub fn resources(&self) -> usize {
+        1 + self.extra.len()
+    }
+
+    /// The extra resource layers (`extra[r − 1][i][j]`); empty for
+    /// single-resource instances.
+    #[must_use]
+    pub fn extra_layers(&self) -> &[Vec<Vec<Ratio>>] {
+        &self.extra
+    }
+
+    /// Requirement of job `id` on resource `resource` (`0` is the base
+    /// resource, i.e. [`Job::requirement`]).
+    #[must_use]
+    pub fn requirement_on(&self, resource: usize, id: JobId) -> Ratio {
+        if resource == 0 {
+            self.job(id).requirement
+        } else {
+            self.extra[resource - 1][id.processor][id.index]
+        }
+    }
+
+    /// Total workload `Σ_ij r^resource_ij · p_ij` on one resource — the
+    /// per-resource generalization of [`Instance::total_workload`].
+    #[must_use]
+    pub fn total_workload_on(&self, resource: usize) -> Ratio {
+        self.iter_jobs()
+            .map(|(id, job)| self.requirement_on(resource, id) * job.volume)
+            .sum()
+    }
+
+    /// The largest requirement on one resource.
+    #[must_use]
+    pub fn max_requirement_on(&self, resource: usize) -> Ratio {
+        self.iter_jobs()
+            .map(|(id, _)| self.requirement_on(resource, id))
+            .max()
+            .unwrap_or(Ratio::ZERO)
+    }
+
+    /// Consumes the instance and returns the raw job matrix, discarding any
+    /// extra resource layers.
     #[must_use]
     pub fn into_jobs(self) -> Vec<Vec<Job>> {
         self.jobs
+    }
+
+    /// The single-resource projection onto `resource`: an instance whose
+    /// job requirements are the chosen layer (volumes kept).  Used by the
+    /// per-resource lower bounds and the layer-wise heuristics.
+    #[must_use]
+    pub fn project_resource(&self, resource: usize) -> Instance {
+        let jobs = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, job)| {
+                        Job::new(self.requirement_on(resource, JobId::new(i, j)), job.volume)
+                    })
+                    .collect()
+            })
+            .collect();
+        Instance {
+            jobs,
+            extra: Vec::new(),
+        }
     }
 }
 
@@ -186,6 +374,9 @@ impl fmt::Display for Instance {
             self.max_chain_length(),
             self.total_workload()
         )?;
+        if self.resources() > 1 {
+            writeln!(f, "  shared resources: k = {}", self.resources())?;
+        }
         for (i, row) in self.jobs.iter().enumerate() {
             write!(f, "  p{i}:")?;
             for job in row {
@@ -218,6 +409,7 @@ impl fmt::Display for Instance {
 #[derive(Debug, Default, Clone)]
 pub struct InstanceBuilder {
     jobs: Vec<Vec<Job>>,
+    extra: Vec<Vec<Vec<Ratio>>>,
 }
 
 impl InstanceBuilder {
@@ -249,6 +441,20 @@ impl InstanceBuilder {
         self
     }
 
+    /// Adds an extra resource layer: `rows[i][j]` is the requirement of job
+    /// `(i, j)` on the new resource.  The shape must mirror the processors
+    /// added so far (checked at `build` time).
+    #[must_use]
+    pub fn extra_layer<I, R>(mut self, rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = Ratio>,
+    {
+        self.extra
+            .push(rows.into_iter().map(|r| r.into_iter().collect()).collect());
+        self
+    }
+
     /// Finalizes the instance.
     ///
     /// # Panics
@@ -256,12 +462,12 @@ impl InstanceBuilder {
     /// Panics if validation fails.
     #[must_use]
     pub fn build(self) -> Instance {
-        Instance::new(self.jobs).expect("invalid instance")
+        Instance::with_resources(self.jobs, self.extra).expect("invalid instance")
     }
 
     /// Finalizes the instance, returning validation errors.
     pub fn try_build(self) -> Result<Instance, InstanceError> {
-        Instance::new(self.jobs)
+        Instance::with_resources(self.jobs, self.extra)
     }
 }
 
@@ -375,5 +581,122 @@ mod tests {
     #[test]
     fn max_requirement() {
         assert_eq!(fig1_instance().max_requirement(), ratio(95, 100));
+    }
+
+    fn two_resource_instance() -> Instance {
+        Instance::multi_unit_from_requirements(vec![
+            vec![vec![ratio(1, 2), ratio(1, 4)], vec![ratio(3, 4)]],
+            vec![vec![ratio(1, 10), ratio(9, 10)], vec![Ratio::ZERO]],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_resource_construction_and_accessors() {
+        let inst = two_resource_instance();
+        assert_eq!(inst.resources(), 2);
+        assert_eq!(inst.extra_layers().len(), 1);
+        assert_eq!(inst.requirement_on(0, JobId::new(0, 1)), ratio(1, 4));
+        assert_eq!(inst.requirement_on(1, JobId::new(0, 1)), ratio(9, 10));
+        assert_eq!(inst.total_workload_on(0), inst.total_workload());
+        assert_eq!(inst.total_workload_on(1), ratio(1, 1));
+        assert_eq!(inst.max_requirement_on(1), ratio(9, 10));
+        assert!(inst.to_string().contains("k = 2"));
+    }
+
+    #[test]
+    fn single_resource_instances_report_one_resource() {
+        let inst = fig1_instance();
+        assert_eq!(inst.resources(), 1);
+        assert!(inst.extra_layers().is_empty());
+        assert_eq!(inst.total_workload_on(0), inst.total_workload());
+        assert!(!inst.to_string().contains("k ="));
+    }
+
+    #[test]
+    fn multi_resource_validation_rejects_bad_shapes() {
+        // Layer with the wrong number of processor rows.
+        let err = Instance::multi_unit_from_requirements(vec![
+            vec![vec![ratio(1, 2)], vec![ratio(1, 4)]],
+            vec![vec![ratio(1, 2)]],
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::ResourceLayerProcessorMismatch {
+                resource: 1,
+                expected: 2,
+                found: 1
+            }
+        ));
+        // Row with the wrong number of job entries.
+        let err = Instance::multi_unit_from_requirements(vec![
+            vec![vec![ratio(1, 2), ratio(1, 4)]],
+            vec![vec![ratio(1, 2)]],
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::ResourceLayerJobsMismatch {
+                resource: 1,
+                processor: 0,
+                expected: 2,
+                found: 1
+            }
+        ));
+        // Out-of-range extra requirement.
+        let err = Instance::multi_unit_from_requirements(vec![
+            vec![vec![ratio(1, 2)]],
+            vec![vec![ratio(3, 2)]],
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::ResourceRequirementOutOfRange { resource: 1, .. }
+        ));
+        assert!(Instance::multi_unit_from_requirements(vec![]).is_err());
+    }
+
+    #[test]
+    fn builder_extra_layer() {
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2), ratio(1, 4)])
+            .processor([ratio(3, 4)])
+            .extra_layer([vec![ratio(1, 10), ratio(9, 10)], vec![Ratio::ZERO]])
+            .build();
+        assert_eq!(inst, two_resource_instance());
+    }
+
+    #[test]
+    fn single_resource_serialization_is_unchanged() {
+        // `k = 1` must serialize to exactly the pre-multi-resource shape
+        // (no `extra` key), and old JSON without the key must parse.
+        let inst = fig1_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        assert!(!json.contains("extra"));
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn multi_resource_serde_roundtrip() {
+        let inst = two_resource_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        assert!(json.contains("extra"));
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn project_resource_selects_the_layer() {
+        let inst = two_resource_instance();
+        let base = inst.project_resource(0);
+        assert_eq!(base.resources(), 1);
+        assert_eq!(base.job(JobId::new(0, 0)).requirement, ratio(1, 2));
+        let second = inst.project_resource(1);
+        assert_eq!(second.job(JobId::new(0, 1)).requirement, ratio(9, 10));
+        assert_eq!(second.job(JobId::new(1, 0)).requirement, Ratio::ZERO);
+        // Volumes are preserved by projection.
+        assert!(second.is_unit_size());
     }
 }

@@ -56,6 +56,7 @@ pub mod error;
 pub mod hypergraph;
 pub mod instance;
 pub mod job;
+pub mod multi;
 pub mod properties;
 pub mod rational;
 pub mod scaled;
@@ -67,6 +68,7 @@ pub use error::{InstanceError, ScheduleError};
 pub use hypergraph::{Component, SchedulingGraph, UnionFind};
 pub use instance::{Instance, InstanceBuilder};
 pub use job::{Job, JobId};
+pub use multi::{MultiStepper, StepUnit};
 pub use properties::{PropertyReport, PropertyViolation};
 pub use rational::{ratio, Ratio};
 pub use scaled::{ScaledInstance, ScaledScheduleBuilder};

@@ -86,6 +86,23 @@ pub struct ScaledInstance {
     offsets: Vec<u32>,
     /// All requirements in units, processor-major.
     units: Vec<u64>,
+    /// Extra resource layers (`extra[r − 1]` is resource `r`), each on its
+    /// **own** per-resource LCM grid and sharing `offsets`.  Empty for
+    /// single-resource instances, whose representation is bit-for-bit what
+    /// it was before the multi-resource generalization.
+    extra: Vec<ScaledLayer>,
+}
+
+/// One extra resource layer of a [`ScaledInstance`]: its own unit grid plus
+/// the per-job requirements in units, addressed through the instance's
+/// shared CSR offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScaledLayer {
+    /// The layer's capacity `D_r` (LCM of the layer's requirement
+    /// denominators, with the same `2 · D_r` headroom as the base grid).
+    capacity: u64,
+    /// The layer's requirements in units, processor-major.
+    units: Vec<u64>,
 }
 
 /// Greatest common divisor (Euclid) on `u64`.
@@ -143,11 +160,88 @@ impl ScaledInstance {
             }
             offsets.push(u32::try_from(units.len()).ok()?);
         }
+        // Each extra resource layer gets its own denominator-LCM grid with
+        // the same factor-two headroom discipline as the base resource.
+        let mut extra = Vec::with_capacity(instance.extra_layers().len());
+        for layer in instance.extra_layers() {
+            let mut layer_capacity: u64 = 1;
+            for row in layer {
+                for req in row {
+                    let den = u64::try_from(req.denom()).ok()?;
+                    let g = gcd(layer_capacity, den);
+                    layer_capacity = layer_capacity.checked_mul(den / g)?;
+                    layer_capacity.checked_mul(2)?;
+                }
+            }
+            let mut layer_units = Vec::with_capacity(units.len());
+            for row in layer {
+                for req in row {
+                    let num = u64::try_from(req.numer()).ok()?;
+                    let den = u64::try_from(req.denom()).ok()?;
+                    layer_units.push(num * (layer_capacity / den));
+                }
+            }
+            extra.push(ScaledLayer {
+                capacity: layer_capacity,
+                units: layer_units,
+            });
+        }
         Some(ScaledInstance {
             capacity,
             offsets,
             units,
+            extra,
         })
+    }
+
+    /// Number of shared resources `k` (`1` plus the extra layers).
+    #[must_use]
+    pub fn resources(&self) -> usize {
+        1 + self.extra.len()
+    }
+
+    /// The capacity `D_r` of resource `resource` (`0` is the base
+    /// resource): a full time step hands out `layer_capacity(r)` units *of
+    /// resource `r`*.  Each resource lives on its own grid.
+    #[must_use]
+    pub fn layer_capacity(&self, resource: usize) -> u64 {
+        if resource == 0 {
+            self.capacity
+        } else {
+            self.extra[resource - 1].capacity
+        }
+    }
+
+    /// Requirements of processor `i` on resource `resource` in that
+    /// resource's units, in chain order.
+    #[must_use]
+    pub fn layer_row(&self, resource: usize, processor: usize) -> &[u64] {
+        let range = self.offsets[processor] as usize..self.offsets[processor + 1] as usize;
+        if resource == 0 {
+            &self.units[range]
+        } else {
+            &self.extra[resource - 1].units[range]
+        }
+    }
+
+    /// Requirement of job `(processor, index)` on resource `resource` in
+    /// that resource's units.
+    #[must_use]
+    pub fn layer_unit_req(&self, resource: usize, processor: usize, index: usize) -> u64 {
+        let slot = self.offsets[processor] as usize + index;
+        if resource == 0 {
+            self.units[slot]
+        } else {
+            self.extra[resource - 1].units[slot]
+        }
+    }
+
+    /// Converts a unit count of resource `resource` back to the exact
+    /// rational share `units / D_r` (reduced — round-trips the original
+    /// requirement).
+    #[must_use]
+    pub fn to_ratio_on(&self, resource: usize, units: u64) -> Ratio {
+        Ratio::new(i128::from(units), i128::from(self.layer_capacity(resource)))
     }
 
     /// The resource capacity `D`: a full time step hands out exactly
@@ -818,6 +912,57 @@ mod tests {
         let inst = Instance::unit_from_percentages(&[&[50]]);
         let b = ScaledScheduleBuilder::try_new(&inst).unwrap();
         let _ = b.finish();
+    }
+
+    #[test]
+    fn extra_layers_get_their_own_exact_grids() {
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2), ratio(1, 4)])
+            .processor([ratio(3, 4)])
+            .extra_layer([vec![ratio(1, 3), ratio(5, 6)], vec![Ratio::ZERO]])
+            .build();
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        assert_eq!(scaled.resources(), 2);
+        // The base layer is untouched by the extra one…
+        assert_eq!(scaled.capacity(), 4);
+        assert_eq!(scaled.layer_capacity(0), 4);
+        assert_eq!(scaled.layer_row(0, 0), &[2, 1]);
+        // …and the extra layer lives on its own LCM grid (1/3, 5/6 → 6).
+        assert_eq!(scaled.layer_capacity(1), 6);
+        assert_eq!(scaled.layer_row(1, 0), &[2, 5]);
+        assert_eq!(scaled.layer_row(1, 1), &[0]);
+        assert_eq!(scaled.layer_unit_req(1, 0, 1), 5);
+        // Exact rational round-trip per layer.
+        for i in 0..inst.processors() {
+            for j in 0..inst.jobs_on(i) {
+                for r in 0..2 {
+                    assert_eq!(
+                        scaled.to_ratio_on(r, scaled.layer_unit_req(r, i, j)),
+                        inst.requirement_on(r, crate::job::JobId::new(i, j))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_resource_scaling_is_unchanged_by_the_multi_extension() {
+        let inst = Instance::unit_from_percentages(&[&[60, 40], &[50]]);
+        let scaled = ScaledInstance::try_new(&inst).unwrap();
+        assert_eq!(scaled.resources(), 1);
+        assert_eq!(scaled.layer_capacity(0), scaled.capacity());
+        assert_eq!(scaled.layer_row(0, 0), scaled.row(0));
+        assert_eq!(scaled.to_ratio_on(0, 6), scaled.to_ratio(6));
+    }
+
+    #[test]
+    fn overflowing_extra_layer_is_rejected() {
+        let primes: [i128; 4] = [4_294_967_291, 4_294_967_279, 4_294_967_231, 4_294_967_197];
+        let inst = InstanceBuilder::new()
+            .processor([ratio(1, 2), ratio(1, 2), ratio(1, 2), ratio(1, 2)])
+            .extra_layer([primes.map(|p| ratio(1, p)).to_vec()])
+            .build();
+        assert!(ScaledInstance::try_new(&inst).is_none());
     }
 
     #[test]

@@ -25,13 +25,14 @@ pub mod workload;
 pub mod worst_case;
 
 pub use random::{
-    random_batch, random_sized_instance, random_unit_instance, RandomConfig, RequirementProfile,
+    random_batch, random_multi_batch, random_multi_unit_instance, random_sized_instance,
+    random_unit_instance, RandomConfig, RequirementProfile,
 };
 pub use reduction::{is_yes_instance, partition_to_crsharing, solve_partition, PartitionReduction};
 pub use serde_io::{MeasurementRecord, NamedInstance};
 pub use workload::{average_demand, generate_workload, TaskMix, WorkloadConfig};
 pub use worst_case::{
     figure1_instance, figure2_instance, greedy_balance_max_blocks, greedy_balance_worst_case,
-    greedy_balance_worst_case_steps, round_robin_worst_case, round_robin_worst_case_opt,
-    wide_oversubscribed_instance,
+    greedy_balance_worst_case_steps, rotating_bottleneck_instance, round_robin_worst_case,
+    round_robin_worst_case_opt, wide_oversubscribed_instance,
 };

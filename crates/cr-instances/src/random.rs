@@ -138,6 +138,55 @@ pub fn random_batch(cfg: &RandomConfig, base_seed: u64, count: usize) -> Vec<Ins
         .collect()
 }
 
+/// Generates a unit-size instance carrying `resources` independent resource
+/// layers, each drawn from `cfg`'s profile on `cfg`'s grid (all layers share
+/// the chain lengths drawn for the instance).
+///
+/// `resources == 1` degenerates to [`random_unit_instance`]'s shape (though
+/// not to its exact draw sequence — the layered generator draws chain
+/// lengths up front).
+///
+/// # Panics
+///
+/// Panics if `resources == 0`.
+#[must_use]
+pub fn random_multi_unit_instance(cfg: &RandomConfig, resources: usize, seed: u64) -> Instance {
+    assert!(resources >= 1, "an instance has at least one resource");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lengths: Vec<usize> = (0..cfg.processors)
+        .map(|_| {
+            let shorten = if cfg.chain_variation > 0 {
+                rng.random_range(0..=cfg.chain_variation)
+            } else {
+                0
+            };
+            cfg.jobs_per_processor.saturating_sub(shorten).max(1)
+        })
+        .collect();
+    let layers: Vec<Vec<Vec<Ratio>>> = (0..resources)
+        .map(|_| {
+            lengths
+                .iter()
+                .map(|&len| (0..len).map(|_| draw_requirement(cfg, &mut rng)).collect())
+                .collect()
+        })
+        .collect();
+    Instance::multi_unit_from_requirements(layers).expect("all layers share the drawn chain grid")
+}
+
+/// A batch of [`random_multi_unit_instance`]s with consecutive seeds.
+#[must_use]
+pub fn random_multi_batch(
+    cfg: &RandomConfig,
+    resources: usize,
+    base_seed: u64,
+    count: usize,
+) -> Vec<Instance> {
+    (0..count)
+        .map(|k| random_multi_unit_instance(cfg, resources, base_seed.wrapping_add(k as u64)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +281,46 @@ mod tests {
         let cfg = RandomConfig::uniform(2, 3);
         let batch = random_batch(&cfg, 100, 5);
         assert_eq!(batch.len(), 5);
+        assert_ne!(batch[0], batch[1]);
+    }
+
+    #[test]
+    fn multi_generation_is_deterministic_with_shared_chains() {
+        let cfg = RandomConfig {
+            chain_variation: 2,
+            ..RandomConfig::uniform(4, 5)
+        };
+        let a = random_multi_unit_instance(&cfg, 3, 9);
+        let b = random_multi_unit_instance(&cfg, 3, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.resources(), 3);
+        assert_eq!(a.processors(), 4);
+        // Every extra layer mirrors the base layer's chain lengths.
+        for layer in a.extra_layers() {
+            for (i, row) in layer.iter().enumerate() {
+                assert_eq!(row.len(), a.jobs_on(i));
+            }
+        }
+        assert_ne!(a, random_multi_unit_instance(&cfg, 3, 10));
+    }
+
+    #[test]
+    fn multi_layers_respect_the_profile() {
+        let cfg = RandomConfig {
+            profile: RequirementProfile::Heavy,
+            ..RandomConfig::uniform(3, 4)
+        };
+        let inst = random_multi_unit_instance(&cfg, 2, 5);
+        for r in 0..inst.resources() {
+            for i in 0..inst.processors() {
+                for j in 0..inst.jobs_on(i) {
+                    let req = inst.requirement_on(r, cr_core::JobId::new(i, j));
+                    assert!(req >= Ratio::from_percent(70), "layer {r} job ({i},{j})");
+                }
+            }
+        }
+        let batch = random_multi_batch(&cfg, 2, 50, 3);
+        assert_eq!(batch.len(), 3);
         assert_ne!(batch[0], batch[1]);
     }
 }

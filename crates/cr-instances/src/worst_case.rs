@@ -209,6 +209,52 @@ pub fn wide_oversubscribed_instance(
     Instance::unit_from_requirements(rows)
 }
 
+/// A multi-resource stress family in which the bottleneck **rotates** over
+/// the resources: job `(i, j)` demands 90% of resource `(i + j) mod k` and
+/// 5% of every other resource.
+///
+/// At any frontier column `j` the heavy demands are spread round-robin over
+/// the `k` resources, so every resource is oversubscribed whenever more
+/// than one processor's frontier lands on it (two 90% demands exceed any
+/// capacity) — the regime in which a scheduler must coordinate *all* pools
+/// at once and single-resource reasoning (projecting any one layer) is
+/// maximally misleading.  With `k = 1` the family degenerates to an
+/// all-90% oversubscribed square.
+///
+/// # Panics
+///
+/// Panics if `m`, `jobs_per_processor` or `resources` is zero.
+#[must_use]
+pub fn rotating_bottleneck_instance(
+    m: usize,
+    jobs_per_processor: usize,
+    resources: usize,
+) -> Instance {
+    assert!(m >= 1, "need at least one processor");
+    assert!(jobs_per_processor >= 1, "chains must be non-empty");
+    assert!(resources >= 1, "an instance has at least one resource");
+    let heavy = Ratio::from_percent(90);
+    let light = Ratio::from_percent(5);
+    let layers: Vec<Vec<Vec<Ratio>>> = (0..resources)
+        .map(|r| {
+            (0..m)
+                .map(|i| {
+                    (0..jobs_per_processor)
+                        .map(|j| {
+                            if (i + j) % resources == r {
+                                heavy
+                            } else {
+                                light
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    Instance::multi_unit_from_requirements(layers).expect("all layers share the job grid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +364,35 @@ mod tests {
     #[should_panic(expected = "oversubscribe pairwise")]
     fn wide_family_rejects_fitting_heavies() {
         let _ = wide_oversubscribed_instance(8, 2, 1, 1, 50);
+    }
+
+    #[test]
+    fn rotating_bottleneck_spreads_heavies_over_the_resources() {
+        let inst = rotating_bottleneck_instance(4, 3, 2);
+        assert_eq!(inst.resources(), 2);
+        assert_eq!(inst.processors(), 4);
+        assert_eq!(inst.total_jobs(), 12);
+        let heavy = Ratio::from_percent(90);
+        for i in 0..4 {
+            for j in 0..3 {
+                let id = cr_core::JobId::new(i, j);
+                let heavies = (0..2)
+                    .filter(|&r| inst.requirement_on(r, id) == heavy)
+                    .count();
+                assert_eq!(heavies, 1, "job ({i},{j}) is heavy on exactly one layer");
+            }
+        }
+        // Column 0 lands two heavies on each resource — both oversubscribed.
+        for r in 0..2 {
+            let frontier: Ratio = (0..4)
+                .map(|i| inst.requirement_on(r, cr_core::JobId::new(i, 0)))
+                .sum();
+            assert!(frontier > Ratio::ONE, "resource {r} oversubscribed");
+        }
+        // k = 1 degenerates to the all-heavy square.
+        let square = rotating_bottleneck_instance(3, 2, 1);
+        assert_eq!(square.resources(), 1);
+        assert_eq!(square.max_requirement(), heavy);
     }
 
     #[test]

@@ -15,7 +15,15 @@
 //!   * `rows` — per-processor requirement lists in integer percent (the
 //!     paper's figure notation), unit-size jobs;
 //!   * `instance` — the full serialized [`Instance`] (exact rationals,
-//!     arbitrary volumes), as produced by serde.
+//!     arbitrary volumes), as produced by serde — including its optional
+//!     `extra` resource layers.
+//! * `resources` (optional, `rows` form only) — extra resource layers as a
+//!   list of percent grids, each with exactly the shape of `rows`:
+//!   `"resources": [[[75, 10], [25]]]` adds one extra layer to a two-core
+//!   `rows` grid of 2 + 1 jobs, making the request a `k = 2` multi-resource
+//!   instance.  A layer whose shape differs from `rows` is a `bad_request`.
+//!   With the `instance` form, embed the layers in the instance's own
+//!   `extra` field instead.
 //! * `id` (optional) — echoed in the response; defaults to the 0-based
 //!   position of the line in the stream.
 //! * `engine` (optional) — `"auto"` (default) | `"scaled"` | `"rational"`.
@@ -105,59 +113,112 @@ fn field_usize(value: &Value, key: &str) -> Result<Option<usize>, String> {
     }
 }
 
+/// Checks one wire rational and re-enters it through [`Ratio::new`].
+///
+/// The derived Deserialize fills Ratio's raw fields unchecked; only
+/// strictly positive denominators and non-extreme numerators are guaranteed
+/// to re-enter [`Ratio::new`] without panicking (our own serializer only
+/// emits normalized, positive-denominator rationals, so this rejects
+/// nothing round-tripped).
+fn sanitize_ratio(what: &str, ratio: Ratio) -> Result<Ratio, String> {
+    if ratio.denom() <= 0 {
+        return Err(format!("{what} has a non-positive denominator"));
+    }
+    if ratio.numer() == i128::MIN {
+        return Err(format!("{what} numerator out of range"));
+    }
+    Ok(Ratio::new(ratio.numer(), ratio.denom()))
+}
+
 /// Rebuilds a deserialized instance through the validating constructors, so
 /// malformed wire input (zero denominators, out-of-range requirements,
-/// non-positive volumes) is rejected at parse time instead of panicking
-/// inside a solver.
+/// non-positive volumes, misshapen resource layers) is rejected at parse
+/// time instead of panicking inside a solver.
 fn sanitize_instance(instance: &Instance) -> Result<Instance, String> {
     let mut rows: Vec<Vec<Job>> = Vec::with_capacity(instance.processors());
     for i in 0..instance.processors() {
         let mut row = Vec::with_capacity(instance.jobs_on(i));
         for job in instance.processor_jobs(i) {
-            // The derived Deserialize fills Ratio's raw fields unchecked;
-            // only strictly positive denominators and non-extreme
-            // numerators are guaranteed to re-enter Ratio::new without
-            // panicking (our own serializer only emits normalized,
-            // positive-denominator rationals, so this rejects nothing
-            // round-tripped).
-            for (what, ratio) in [("requirement", job.requirement), ("volume", job.volume)] {
-                if ratio.denom() <= 0 {
-                    return Err(format!("job {what} has a non-positive denominator"));
-                }
-                if ratio.numer() == i128::MIN {
-                    return Err(format!("job {what} numerator out of range"));
-                }
-            }
             row.push(Job::new(
-                Ratio::new(job.requirement.numer(), job.requirement.denom()),
-                Ratio::new(job.volume.numer(), job.volume.denom()),
+                sanitize_ratio("job requirement", job.requirement)?,
+                sanitize_ratio("job volume", job.volume)?,
             ));
         }
         rows.push(row);
     }
-    Instance::new(rows).map_err(|e| e.to_string())
+    let mut extra: Vec<Vec<Vec<Ratio>>> = Vec::with_capacity(instance.extra_layers().len());
+    for (e, layer) in instance.extra_layers().iter().enumerate() {
+        let mut out_layer = Vec::with_capacity(layer.len());
+        for layer_row in layer {
+            let mut out_row = Vec::with_capacity(layer_row.len());
+            for &req in layer_row {
+                out_row.push(sanitize_ratio(
+                    &format!("resource {} requirement", e + 1),
+                    req,
+                )?);
+            }
+            out_layer.push(out_row);
+        }
+        extra.push(out_layer);
+    }
+    Instance::with_resources(rows, extra).map_err(|e| e.to_string())
+}
+
+/// Parses one percent grid (`rows` or one `resources` layer) into rational
+/// requirement rows.
+fn parse_percent_grid(value: &Value, what: &str) -> Result<Vec<Vec<Ratio>>, String> {
+    let rows: Vec<Vec<i64>> = Vec::deserialize(value).map_err(|e| format!("{what}: {e}"))?;
+    rows.into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|pct| {
+                    if (0..=100).contains(&pct) {
+                        Ok(Ratio::new(i128::from(pct), 100))
+                    } else {
+                        Err(format!("{what}: percentage {pct} outside [0, 100]"))
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Parses the instance part of a request object (`rows` shorthand or full
 /// `instance`).
 fn parse_instance(value: &Value) -> Result<Instance, String> {
     if let Some(rows_value) = value.get("rows") {
-        let rows: Vec<Vec<i64>> =
-            Vec::deserialize(rows_value).map_err(|e| format!("field `rows`: {e}"))?;
-        let mut jobs: Vec<Vec<Job>> = Vec::with_capacity(rows.len());
-        for row in rows {
-            let mut out = Vec::with_capacity(row.len());
-            for pct in row {
-                if !(0..=100).contains(&pct) {
-                    return Err(format!("field `rows`: percentage {pct} outside [0, 100]"));
+        let base = parse_percent_grid(rows_value, "field `rows`")?;
+        let mut layers = vec![base];
+        match value.get("resources") {
+            None | Some(Value::Null) => {}
+            Some(Value::Array(entries)) => {
+                for (e, entry) in entries.iter().enumerate() {
+                    layers.push(parse_percent_grid(
+                        entry,
+                        &format!("field `resources` layer {e}"),
+                    )?);
                 }
-                out.push(Job::unit(Ratio::new(i128::from(pct), 100)));
             }
-            jobs.push(out);
+            Some(_) => {
+                return Err(
+                    "field `resources` must be an array of percent grids shaped like `rows`"
+                        .to_string(),
+                )
+            }
         }
-        return Instance::new(jobs).map_err(|e| e.to_string());
+        return Instance::multi_unit_from_requirements(layers).map_err(|e| e.to_string());
     }
     if let Some(instance_value) = value.get("instance") {
+        if value
+            .get("resources")
+            .is_some_and(|v| !matches!(v, Value::Null))
+        {
+            return Err(
+                "field `resources` applies to the `rows` shorthand only; embed extra layers in \
+                 the instance's own `extra` field"
+                    .to_string(),
+            );
+        }
         let instance =
             Instance::deserialize(instance_value).map_err(|e| format!("field `instance`: {e}"))?;
         return sanitize_instance(&instance);

@@ -10,7 +10,8 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The committed CI smoke batch (10 mixed requests, one over budget).
+/// The committed CI smoke batch (12 mixed requests: one over budget, one
+/// multi-resource, one misshapen-layer bad_request).
 fn smoke_lines() -> Vec<String> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/smoke_batch.jsonl");
     std::fs::read_to_string(path)
@@ -65,7 +66,7 @@ fn concurrent_clients_get_byte_identical_order_stable_responses() {
     let workers: Vec<std::thread::JoinHandle<Vec<String>>> = (0..CLIENTS)
         .map(|_| {
             let lines = lines.clone();
-            std::thread::spawn(move || drive(addr, &lines, 10))
+            std::thread::spawn(move || drive(addr, &lines, 12))
         })
         .collect();
     for worker in workers {
@@ -83,7 +84,7 @@ fn concurrent_clients_get_byte_identical_order_stable_responses() {
     }
     let stats = handle.stats();
     assert_eq!(stats.connections, CLIENTS as u64);
-    assert_eq!(stats.served, (CLIENTS * 10) as u64);
+    assert_eq!(stats.served, (CLIENTS * 12) as u64);
     assert_eq!(stats.inflight, 0);
     handle.shutdown();
     handle.join();
@@ -97,7 +98,7 @@ fn quota_rejections_are_structured_and_order_stable() {
     });
     let lines = smoke_lines();
     let reference = reference_responses(&lines);
-    let responses = drive(handle.addr(), &lines, 10);
+    let responses = drive(handle.addr(), &lines, 12);
     // The first four slots are admitted and byte-identical to the
     // unthrottled reference; the rest answer quota_exceeded in order.
     assert_eq!(responses[..4], reference[..4]);
@@ -113,7 +114,7 @@ fn quota_rejections_are_structured_and_order_stable() {
     }
     let stats = handle.stats();
     assert_eq!(stats.served, 4);
-    assert_eq!(stats.quota_rejected, 6);
+    assert_eq!(stats.quota_rejected, 8);
     handle.shutdown();
     handle.join();
 }
@@ -125,7 +126,7 @@ fn exhausted_global_cap_sheds_the_whole_flush_as_overloaded() {
         ..ServerConfig::default()
     });
     let lines = smoke_lines();
-    let responses = drive(handle.addr(), &lines, 10);
+    let responses = drive(handle.addr(), &lines, 12);
     for (i, response) in responses.iter().enumerate() {
         assert!(
             response.contains("\"kind\":\"overloaded\""),
@@ -136,7 +137,7 @@ fn exhausted_global_cap_sheds_the_whole_flush_as_overloaded() {
             "{response}"
         );
     }
-    assert_eq!(handle.stats().overloaded, 10);
+    assert_eq!(handle.stats().overloaded, 12);
     handle.shutdown();
     handle.join();
 }
@@ -355,7 +356,7 @@ fn injected_panic_yields_one_internal_error_row_with_intact_siblings() {
     // The server must still answer the full golden batch byte-identically
     // after containing a panic.
     let lines = smoke_lines();
-    let after = drive(handle.addr(), &lines, 10);
+    let after = drive(handle.addr(), &lines, 12);
     assert_eq!(after, reference_responses(&lines));
     let stats = handle.stats();
     assert_eq!(stats.inflight, 0, "leaked in-flight slots");
@@ -388,7 +389,7 @@ fn mid_line_disconnects_leak_nothing_and_server_keeps_serving() {
     // Give the workers a moment to observe the disconnects.
     std::thread::sleep(Duration::from_millis(300));
     let lines = smoke_lines();
-    let responses = drive(handle.addr(), &lines, 10);
+    let responses = drive(handle.addr(), &lines, 12);
     assert_eq!(responses, reference_responses(&lines));
     let stats = handle.stats();
     assert_eq!(stats.inflight, 0, "leaked in-flight slots");

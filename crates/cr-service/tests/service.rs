@@ -140,10 +140,13 @@ fn malformed_lines_become_bad_request_responses_in_order() {
     }
 }
 
-/// The Rust mirror of CI's `cr-serve` smoke job: the committed 10-request
+/// The Rust mirror of CI's `cr-serve` smoke job: the committed 12-request
 /// batch (`tests/data/smoke_batch.jsonl`) must come back complete, in
-/// order, with the golden makespan per method and a structured error in the
-/// deliberately over-budget slot.  If this test needs updating, update the
+/// order, with the golden makespan per method, a structured error in the
+/// deliberately over-budget slot, and the two multi-resource slots — one
+/// solved `k = 2` request whose extra layer binds (makespan 4 vs the scalar
+/// optimum 2 of the same base rows) and one misshapen `resources` layer
+/// rejected as `bad_request`.  If this test needs updating, update the
 /// `service-smoke` assertions in `.github/workflows/ci.yml` too.
 #[test]
 fn smoke_batch_matches_the_ci_goldens() {
@@ -153,12 +156,13 @@ fn smoke_batch_matches_the_ci_goldens() {
         .lines()
         .map(str::to_string)
         .collect();
-    assert_eq!(lines.len(), 10);
+    assert_eq!(lines.len(), 12);
     let service = SolverService::with_standard_registry();
     let responses = wire::process_batch(&service, &lines, 0);
-    assert_eq!(responses.len(), 10);
-    // (method, makespan golden or None for the bounds/error slots).
-    let goldens: [(&str, Option<usize>); 10] = [
+    assert_eq!(responses.len(), 12);
+    // (method, makespan golden or None for the bounds/error slots).  A
+    // rejected slot answers with an empty method string.
+    let goldens: [(&str, Option<usize>); 12] = [
         ("GreedyBalance", Some(6)),
         ("RoundRobin", Some(8)),
         ("OptM", Some(6)),
@@ -169,6 +173,8 @@ fn smoke_batch_matches_the_ci_goldens() {
         ("sim:GreedyBalance", Some(3)),
         ("OptM", None),
         ("BruteForce", Some(3)),
+        ("OptM", Some(4)),
+        ("", None),
     ];
     for (i, (response, (method, makespan))) in responses.iter().zip(goldens).enumerate() {
         assert!(
@@ -188,6 +194,51 @@ fn smoke_batch_matches_the_ci_goldens() {
         "{}",
         responses[8]
     );
+    assert!(
+        responses[11].contains("bad_request") && responses[11].contains("layer row holds 1"),
+        "{}",
+        responses[11]
+    );
+}
+
+#[test]
+fn multi_resource_requests_ride_the_wire() {
+    let service = SolverService::with_standard_registry();
+    // The `resources` shorthand and an `instance` with embedded `extra`
+    // layers describe the same k = 2 instance and must answer identically.
+    let shorthand = wire::parse_request(
+        r#"{"method":"OptM","rows":[[60,40],[40,60]],"resources":[[[90,90],[90,90]]]}"#,
+        0,
+    )
+    .unwrap();
+    assert_eq!(shorthand.request.instance.resources(), 2);
+    let instance_json =
+        serde_json::to_string(&serde::Serialize::serialize(&shorthand.request.instance)).unwrap();
+    let embedded_json = format!(r#"{{"method":"OptM","instance":{instance_json}}}"#);
+    let embedded = wire::parse_request(&embedded_json, 1).unwrap();
+    assert_eq!(embedded.request.instance, shorthand.request.instance);
+    let a = service.solve(&shorthand.request).unwrap();
+    assert_eq!(a.makespan, Some(4));
+    assert_eq!(service.solve(&embedded.request).unwrap().makespan, Some(4));
+
+    // `resources` next to a full `instance` is a structured parse error.
+    let err = wire::parse_request(
+        &embedded_json.replace("\"instance\"", "\"resources\":[],\"instance\""),
+        2,
+    )
+    .unwrap_err();
+    assert!(err.contains("`rows` shorthand"), "{err}");
+
+    // Schedules stay single-resource: want_schedule on k = 2 is the
+    // structured resource_mismatch kind, for online and offline methods.
+    for method in ["OptM", "sim:GreedyBalance"] {
+        let line = format!(
+            r#"{{"method":"{method}","rows":[[60,40],[40,60]],"resources":[[[90,90],[90,90]]],"want_schedule":true}}"#
+        );
+        let parsed = wire::parse_request(&line, 3).unwrap();
+        let err = service.solve(&parsed.request).unwrap_err();
+        assert_eq!(err.kind(), "resource_mismatch", "{method}");
+    }
 }
 
 proptest! {

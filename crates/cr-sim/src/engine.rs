@@ -11,10 +11,12 @@
 //! bit-for-bit a CRSharing [`Schedule`] and can be validated, rendered and
 //! analyzed with the rest of the tool chain.
 
-use crate::metrics::{CoreReport, SimReport};
-use crate::policies::{CoreView, OnlinePolicy};
+use crate::metrics::{CoreReport, MultiSimReport, SimReport};
+use crate::policies::{CoreView, MultiCoreView, OnlinePolicy};
 use crate::task::{tasks_to_instance, Task};
-use cr_core::{bounds, CancelReason, CancelToken, Instance, ScaledScheduleBuilder, Schedule};
+use cr_core::{
+    bounds, CancelReason, CancelToken, Instance, MultiStepper, ScaledScheduleBuilder, Schedule,
+};
 use std::fmt;
 
 /// How many simulated steps pass between cancel-token checks in the engine
@@ -93,15 +95,7 @@ impl Simulator {
     #[must_use]
     pub fn new(tasks: Vec<Task>) -> Self {
         let instance = tasks_to_instance(&tasks);
-        // Generous default: even a policy that serves one core at a time
-        // finishes within the total ideal time of all tasks.
-        let step_limit = tasks
-            .iter()
-            .map(Task::ideal_completion_time)
-            .sum::<usize>()
-            .max(1)
-            * 4
-            + 16;
+        let step_limit = Self::default_step_limit(&tasks);
         Simulator {
             tasks,
             instance,
@@ -110,10 +104,32 @@ impl Simulator {
     }
 
     /// Creates a simulator directly from a CRSharing instance (cores are
-    /// named `core0`, `core1`, …).
+    /// named `core0`, `core1`, …).  Extra resource layers of the instance
+    /// are preserved: [`Simulator::run`] simulates the base resource only,
+    /// while [`Simulator::run_multi`] arbitrates all `k` layers.
     #[must_use]
     pub fn from_instance(instance: &Instance) -> Self {
-        Simulator::new(crate::task::instance_to_tasks(instance))
+        let tasks = crate::task::instance_to_tasks(instance);
+        let step_limit = Self::default_step_limit(&tasks);
+        Simulator {
+            tasks,
+            instance: instance.clone(),
+            step_limit,
+        }
+    }
+
+    /// Generous default starvation watchdog: even a policy that serves one
+    /// core at a time finishes within the total ideal time of all tasks
+    /// (with every resource layer at the core's disposal, a job still takes
+    /// exactly its ideal `⌈p⌉` steps, so the bound holds for any `k`).
+    fn default_step_limit(tasks: &[Task]) -> usize {
+        tasks
+            .iter()
+            .map(Task::ideal_completion_time)
+            .sum::<usize>()
+            .max(1)
+            * 4
+            + 16
     }
 
     /// Overrides the step limit (mostly useful in tests).
@@ -136,7 +152,9 @@ impl Simulator {
         &self.instance
     }
 
-    /// Runs the workload to completion under `policy`.
+    /// Runs the workload to completion under `policy`, simulating the
+    /// **base resource** only (extra layers of a multi-resource instance
+    /// are not arbitrated here — use [`Simulator::run_multi`] for those).
     ///
     /// # Errors
     ///
@@ -269,6 +287,164 @@ impl Simulator {
             per_core,
         };
         Ok(SimOutcome { report, schedule })
+    }
+
+    /// Runs the workload to completion under `policy` with **every**
+    /// resource layer arbitrated, driving the policy through
+    /// [`OnlinePolicy::allocate_multi`].  Works for any `k ≥ 1`; for
+    /// single-resource workloads the default `allocate_multi` lift makes it
+    /// behave exactly like [`Simulator::run`] (modulo the missing schedule).
+    ///
+    /// Unlike the scalar runs this reports no [`Schedule`] — the CRSharing
+    /// schedule format is single-resource — so the result is the metrics
+    /// report alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GridOverflow`] when any resource layer's unit
+    /// grid does not fit the scaled engine, and [`SimError::StepLimit`]
+    /// when the policy fails to finish the workload within the step limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns a malformed share matrix (wrong shape,
+    /// a share above its resource's capacity, or a resource oversubscribed)
+    /// — that is a bug in the policy, not a runtime condition.
+    pub fn run_multi(&self, policy: &mut dyn OnlinePolicy) -> Result<MultiSimReport, SimError> {
+        self.run_multi_cancellable(policy, &CancelToken::never())
+    }
+
+    /// [`Simulator::run_multi`] with cooperative cancellation on the same
+    /// strided gate as the scalar run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulator::run_multi`] reports, plus
+    /// [`SimError::Cancelled`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulator::run_multi`]: a malformed share matrix is a
+    /// policy bug and panics.
+    pub fn run_multi_cancellable(
+        &self,
+        policy: &mut dyn OnlinePolicy,
+        token: &CancelToken,
+    ) -> Result<MultiSimReport, SimError> {
+        let cancelled = |reason: CancelReason| SimError::Cancelled { reason };
+        token.check().map_err(cancelled)?;
+        let mut gate = token.gate(STEP_CHECK_STRIDE);
+        let mut stepper =
+            MultiStepper::try_new_scaled(&self.instance).ok_or(SimError::GridOverflow)?;
+        let k = stepper.resources();
+        let m = self.instance.processors();
+        let capacities: Vec<u64> = stepper.capacities().to_vec();
+
+        let mut completion: Vec<Option<usize>> = (0..m)
+            .map(|i| (stepper.unfinished_jobs(i) == 0).then_some(0))
+            .collect();
+        let mut starved = vec![0usize; m];
+        let mut consumed_units = vec![0u64; k];
+        let mut wasted_units_per_step: Vec<Vec<u64>> = vec![Vec::new(); k];
+
+        let mut steps = 0usize;
+        while !stepper.all_done() {
+            gate.tick().map_err(cancelled)?;
+            if steps >= self.step_limit {
+                return Err(SimError::StepLimit {
+                    policy: policy.name().to_string(),
+                    limit: self.step_limit,
+                });
+            }
+            let views: Vec<MultiCoreView> = (0..m)
+                .map(|i| MultiCoreView {
+                    active_requirement: stepper.is_active(i).then(|| {
+                        (0..k)
+                            .map(|r| stepper.active_requirement(i, r).unwrap_or(0))
+                            .collect()
+                    }),
+                    step_demand: (0..k).map(|r| stepper.step_demand(i, r)).collect(),
+                    remaining_workload: (0..k).map(|r| stepper.remaining(i, r)).collect(),
+                    remaining_phases: stepper.unfinished_jobs(i),
+                })
+                .collect();
+            let shares = policy.allocate_multi(&capacities, &views);
+            assert_eq!(
+                shares.len(),
+                m,
+                "policy {} returned {} share rows for {} cores",
+                policy.name(),
+                shares.len(),
+                m
+            );
+
+            // lint: allow(cancel_coverage) — bounded: one pass over m cores per simulated step; the step loop polls the gate
+            for (i, (view, row)) in views.iter().zip(&shares).enumerate() {
+                // A core is starved when it could absorb units on some
+                // layer but received a useful grant on none.  (Units of
+                // different layers live on different grids, so this is a
+                // per-layer predicate, never a cross-layer sum.)
+                let any_useful = row
+                    .iter()
+                    .zip(&view.step_demand)
+                    .any(|(&s, &d)| s.min(d) > 0);
+                let any_demand = view.step_demand.iter().any(|&d| d > 0);
+                if view.is_active() && !any_useful && any_demand {
+                    starved[i] += 1;
+                }
+            }
+            // The stepper validates shapes, per-share caps and column sums,
+            // panicking on a malformed matrix exactly like the scalar run.
+            let consumed = stepper.push_step(&shares);
+            // lint: allow(cancel_coverage) — bounded: k resource layers per step; the step loop polls the gate
+            for (r, &used) in consumed.iter().enumerate() {
+                consumed_units[r] = consumed_units[r].saturating_add(used);
+                wasted_units_per_step[r].push(capacities[r] - used);
+            }
+            steps += 1;
+            // lint: allow(cancel_coverage) — bounded: completion scan over m processors per step; the step loop polls the gate
+            for (i, done_at) in completion.iter_mut().enumerate() {
+                if done_at.is_none() && stepper.unfinished_jobs(i) == 0 {
+                    *done_at = Some(steps);
+                }
+            }
+        }
+
+        let makespan = steps;
+        let per_core: Vec<CoreReport> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| CoreReport {
+                name: task.name.clone(),
+                completion_time: completion[i].expect("all cores completed"),
+                ideal_completion_time: task.ideal_completion_time(),
+                starved_steps: starved[i],
+            })
+            .collect();
+        let utilization: Vec<f64> = capacities
+            .iter()
+            .zip(&consumed_units)
+            .map(|(&cap, &used)| {
+                let pool = (makespan as u64).saturating_mul(cap);
+                if pool == 0 {
+                    0.0
+                } else {
+                    used as f64 / pool as f64
+                }
+            })
+            .collect();
+        Ok(MultiSimReport {
+            policy: policy.name().to_string(),
+            cores: m,
+            resources: k,
+            makespan,
+            capacities,
+            consumed_units,
+            wasted_units_per_step,
+            utilization,
+            per_core,
+        })
     }
 
     /// Runs the workload under every provided policy and returns the reports
@@ -490,6 +666,117 @@ mod tests {
         let plain = sim.run(&mut GreedyBalancePolicy).unwrap();
         assert_eq!(cancellable.report.makespan, plain.report.makespan);
         assert_eq!(cancellable.schedule, plain.schedule);
+    }
+
+    fn two_resource_instance() -> cr_core::Instance {
+        // Cheap on the bus, but the second layer is the bottleneck: both
+        // cores want 3/4 of resource 1 per step.
+        cr_core::InstanceBuilder::new()
+            .processor([ratio(1, 10), ratio(1, 10)])
+            .processor([ratio(1, 10)])
+            .extra_layer([vec![ratio(3, 4), ratio(3, 4)], vec![ratio(3, 4)]])
+            .build()
+    }
+
+    #[test]
+    fn multi_run_accounts_every_layer_exactly() {
+        let sim = Simulator::from_instance(&two_resource_instance());
+        for mut policy in standard_policies() {
+            let report = sim.run_multi(policy.as_mut()).unwrap();
+            assert_eq!(report.resources, 2);
+            assert_eq!(report.cores, 2);
+            assert!(report.makespan >= 3, "{}", report.policy);
+            for r in 0..2 {
+                assert_eq!(
+                    report.wasted_units_per_step[r].len(),
+                    report.makespan,
+                    "{} resource {r}",
+                    report.policy
+                );
+                assert_eq!(
+                    report.consumed_units[r] + report.wasted_units_total(r),
+                    report.capacities[r] * report.makespan as u64,
+                    "{} resource {r}",
+                    report.policy
+                );
+                assert!(report.utilization[r] <= 1.0 + 1e-9);
+            }
+            // The second layer carries 9/4 of unit workload vs 3/10 on the
+            // base layer: it is the binding resource for every policy.
+            assert_eq!(report.bottleneck_resource(), 1, "{}", report.policy);
+            assert!(report.per_core.iter().all(|c| c.completion_time > 0));
+        }
+    }
+
+    #[test]
+    fn binding_extra_layer_slows_the_run_down() {
+        let multi = two_resource_instance();
+        let base_only = cr_core::Instance::unit_from_requirements(vec![
+            vec![ratio(1, 10), ratio(1, 10)],
+            vec![ratio(1, 10)],
+        ]);
+        let with_layer = Simulator::from_instance(&multi)
+            .run_multi(&mut GreedyBalancePolicy)
+            .unwrap();
+        let without = Simulator::from_instance(&base_only)
+            .run_multi(&mut GreedyBalancePolicy)
+            .unwrap();
+        assert!(
+            with_layer.makespan > without.makespan,
+            "{} vs {}",
+            with_layer.makespan,
+            without.makespan
+        );
+    }
+
+    #[test]
+    fn single_resource_multi_run_matches_the_scalar_run() {
+        let sim = Simulator::new(small_workload());
+        for mut policy in standard_policies() {
+            let scalar = sim.run(policy.as_mut()).unwrap().report;
+            let multi = sim.run_multi(policy.as_mut()).unwrap();
+            assert_eq!(multi.resources, 1, "{}", scalar.policy);
+            assert_eq!(multi.makespan, scalar.makespan, "{}", scalar.policy);
+            assert_eq!(multi.capacities, vec![scalar.capacity]);
+            assert_eq!(multi.consumed_units, vec![scalar.consumed_units]);
+            assert_eq!(
+                multi.wasted_units_per_step,
+                vec![scalar.wasted_units_per_step.clone()]
+            );
+            assert_eq!(multi.per_core, scalar.per_core);
+        }
+    }
+
+    #[test]
+    fn multi_run_detects_starving_policies_and_cancellation() {
+        struct DoNothing;
+        impl OnlinePolicy for DoNothing {
+            fn name(&self) -> &'static str {
+                "DoNothing"
+            }
+            fn allocate(&mut self, _capacity: u64, cores: &[CoreView]) -> Vec<u64> {
+                vec![0; cores.len()]
+            }
+        }
+        let inst = two_resource_instance();
+        let sim = Simulator::from_instance(&inst).with_step_limit(8);
+        assert_eq!(
+            sim.run_multi(&mut DoNothing).unwrap_err(),
+            SimError::StepLimit {
+                policy: "DoNothing".to_string(),
+                limit: 8
+            }
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            Simulator::from_instance(&inst)
+                .run_multi_cancellable(&mut GreedyBalancePolicy, &token)
+                .unwrap_err(),
+            SimError::Cancelled {
+                reason: CancelReason::Cancelled
+            }
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! exposes every policy through the unified `cr_algos::solver::Solver`
 //! interface (with optional per-core arrival traces), so online and offline
 //! methods are selectable from one registry ([`full_registry`]).
+//! Multi-resource workloads (`k ≥ 2` shared resources) run through
+//! [`Simulator::run_multi`]: every built-in policy lifts layer by layer via
+//! [`OnlinePolicy::allocate_multi`], and the run reports exact per-resource
+//! consumption and waste in a [`MultiSimReport`].
 //!
 //! ```
 //! use cr_sim::{Simulator, GreedyBalancePolicy};
@@ -37,10 +41,10 @@ pub mod solver;
 pub mod task;
 
 pub use engine::{SimError, SimOutcome, Simulator};
-pub use metrics::{CoreReport, SimReport};
+pub use metrics::{CoreReport, MultiSimReport, SimReport};
 pub use policies::{
-    standard_policies, CoreView, EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy,
-    ProportionalSharePolicy, RoundRobinPolicy,
+    standard_policies, CoreView, EqualSharePolicy, GreedyBalancePolicy, MultiCoreView,
+    OnlinePolicy, ProportionalSharePolicy, RoundRobinPolicy,
 };
 pub use solver::{full_registry, register_online, OnlinePolicySolver, ONLINE_METHODS};
 pub use task::{instance_to_tasks, tasks_to_instance, Phase, Task};

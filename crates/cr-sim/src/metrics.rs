@@ -122,6 +122,89 @@ impl SimReport {
     }
 }
 
+/// Aggregate outcome of a multi-resource (`k ≥ 2`) simulation run — the
+/// layered twin of [`SimReport`].
+///
+/// All consumption and waste figures are exact integer units on the
+/// respective resource's grid: resource `r` hands out
+/// `capacities[r]` units per step, `consumed_units[r]` of the
+/// `capacities[r] · makespan` total were usefully absorbed, and
+/// `wasted_units_per_step[r]` is that resource's exact per-step waste
+/// series.  Quantities of different resources live on different grids and
+/// must not be summed across layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSimReport {
+    /// Policy that produced the run.
+    pub policy: String,
+    /// Number of cores.
+    pub cores: usize,
+    /// Number of shared resources `k`.
+    pub resources: usize,
+    /// Makespan: the step count after which every task is finished.
+    pub makespan: usize,
+    /// Units each resource hands out per step (that layer's unit-grid
+    /// denominator), one entry per resource.
+    pub capacities: Vec<u64>,
+    /// Exact units usefully consumed over the whole run, per resource.
+    pub consumed_units: Vec<u64>,
+    /// Exact units wasted in each step, resource-major: entry `r` is a
+    /// series of `makespan` values, each `capacities[r]` minus the useful
+    /// consumption on resource `r` in that step.
+    pub wasted_units_per_step: Vec<Vec<u64>>,
+    /// Average fraction of each resource that was usefully consumed per
+    /// step; derived from the exact unit counts.
+    pub utilization: Vec<f64>,
+    /// Per-core details.
+    pub per_core: Vec<CoreReport>,
+}
+
+impl MultiSimReport {
+    /// Total units wasted on `resource` over the whole run (exact).
+    #[must_use]
+    pub fn wasted_units_total(&self, resource: usize) -> u64 {
+        self.wasted_units_per_step[resource].iter().sum()
+    }
+
+    /// The most-utilized resource — the binding layer of the run.  Ties go
+    /// to the lowest index; an empty run reports resource 0.
+    #[must_use]
+    pub fn bottleneck_resource(&self) -> usize {
+        self.utilization
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map_or(0, |(r, _)| r)
+    }
+
+    /// Mean slowdown over all cores.
+    #[must_use]
+    pub fn average_slowdown(&self) -> f64 {
+        if self.per_core.is_empty() {
+            return 1.0;
+        }
+        self.per_core.iter().map(CoreReport::slowdown).sum::<f64>() / self.per_core.len() as f64
+    }
+
+    /// One-line summary for experiment logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let per_resource: Vec<String> = self
+            .utilization
+            .iter()
+            .enumerate()
+            .map(|(r, u)| format!("r{r} {:.1}%", u * 100.0))
+            .collect();
+        format!(
+            "{:<18} makespan {:>5}  ({} resources: {})  avg slowdown {:.2}",
+            self.policy,
+            self.makespan,
+            self.resources,
+            per_resource.join(", "),
+            self.average_slowdown(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +290,47 @@ mod tests {
         let r = report();
         let json = serde_json::to_string(&r).unwrap();
         let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    fn multi_report() -> MultiSimReport {
+        MultiSimReport {
+            policy: "GreedyBalance".into(),
+            cores: 2,
+            resources: 2,
+            makespan: 4,
+            capacities: vec![10, 4],
+            consumed_units: vec![30, 16],
+            wasted_units_per_step: vec![vec![2, 2, 3, 3], vec![0, 0, 0, 0]],
+            utilization: vec![0.75, 1.0],
+            per_core: report().per_core,
+        }
+    }
+
+    #[test]
+    fn multi_report_accounting_and_bottleneck() {
+        let r = multi_report();
+        assert_eq!(r.wasted_units_total(0), 10);
+        assert_eq!(r.wasted_units_total(1), 0);
+        // consumed + wasted == capacity · makespan on every layer.
+        for res in 0..r.resources {
+            assert_eq!(
+                r.consumed_units[res] + r.wasted_units_total(res),
+                r.capacities[res] * r.makespan as u64
+            );
+        }
+        assert_eq!(r.bottleneck_resource(), 1);
+        assert!((r.average_slowdown() - 1.5).abs() < 1e-12);
+        let s = r.summary();
+        assert!(s.contains("r1 100.0%"));
+        assert!(s.contains("2 resources"));
+    }
+
+    #[test]
+    fn multi_serde_roundtrip() {
+        let r = multi_report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MultiSimReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 }

@@ -19,11 +19,18 @@
 //! integer engine.  A workload whose grid overflows `u64` fails with
 //! [`SolveError::GridOverflow`].  [`Budget::max_steps`](cr_algos::solver::Budget::max_steps) is enforced as a
 //! hard simulation step limit — the run genuinely stops at the limit.
+//!
+//! Multi-resource requests (`k ≥ 2` resource layers) run through
+//! [`Simulator::run_multi_cancellable`] and report the makespan only: the
+//! CRSharing schedule format is single-resource, so `want_schedule` on such
+//! a request fails with [`SolveError::ResourceMismatch`].  Arrival traces
+//! compose with multi-resource workloads — the gate masks every layer of an
+//! unarrived core.
 
 use crate::engine::{SimError, Simulator};
 use crate::policies::{
-    CoreView, EqualSharePolicy, GreedyBalancePolicy, OnlinePolicy, ProportionalSharePolicy,
-    RoundRobinPolicy,
+    CoreView, EqualSharePolicy, GreedyBalancePolicy, MultiCoreView, OnlinePolicy,
+    ProportionalSharePolicy, RoundRobinPolicy,
 };
 use cr_algos::solver::{
     BudgetKind, Engine, EnginePreference, Prepared, Registry, SolveError, SolveOutcome,
@@ -84,6 +91,33 @@ impl OnlinePolicy for ArrivalGate {
         "ArrivalGated"
     }
 
+    // The default multi lift calls `allocate` once per resource layer, but
+    // the gate's step counter must advance once per *step* — so the gate
+    // overrides the lift: mask every layer of an unarrived core, delegate
+    // to the inner policy's own lift, withhold the masked rows, and only
+    // then advance the step.
+    fn allocate_multi(&mut self, capacities: &[u64], cores: &[MultiCoreView]) -> Vec<Vec<u64>> {
+        let masked: Vec<MultiCoreView> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, view)| {
+                if self.arrivals[i] > self.step {
+                    MultiCoreView::idle(capacities.len())
+                } else {
+                    view.clone()
+                }
+            })
+            .collect();
+        let mut shares = self.inner.allocate_multi(capacities, &masked);
+        for (i, row) in shares.iter_mut().enumerate() {
+            if self.arrivals[i] > self.step {
+                row.iter_mut().for_each(|share| *share = 0);
+            }
+        }
+        self.step += 1;
+        shares
+    }
+
     fn allocate(&mut self, capacity: u64, cores: &[CoreView]) -> Vec<u64> {
         let masked: Vec<CoreView> = cores
             .iter()
@@ -142,6 +176,17 @@ impl Solver for OnlinePolicySolver {
                 engine: request.engine,
             });
         }
+        // Multi-resource workloads simulate fine (the engine arbitrates
+        // every layer), but the CRSharing schedule format is
+        // single-resource — a schedule request on a k ≥ 2 instance is a
+        // structured client error, not a silent omission.
+        let multi = request.instance.resources() > 1;
+        if multi && request.want_schedule {
+            return Err(SolveError::ResourceMismatch {
+                method: method.to_string(),
+                resources: request.instance.resources(),
+            });
+        }
         let mut sim = Simulator::from_instance(&request.instance);
         let default_limit = request.budget.max_steps.is_none();
         match request.budget.max_steps {
@@ -176,33 +221,53 @@ impl Solver for OnlinePolicySolver {
             None => self.kind.make(),
         };
 
-        match sim.run_cancellable(policy.as_mut(), &token) {
-            Ok(outcome) => Ok(SolveOutcome {
+        let map_sim_error = |err: SimError| match err {
+            SimError::GridOverflow => SolveError::GridOverflow {
                 method: method.to_string(),
-                engine: Engine::Scaled,
-                fallbacks: Vec::new(),
-                makespan: Some(outcome.report.makespan),
-                steps: outcome.schedule.num_steps(),
-                rounds: 0,
-                schedule: request.want_schedule.then_some(outcome.schedule),
-                lower_bounds: prepared.lower_bounds,
-            }),
-            Err(SimError::GridOverflow) => Err(SolveError::GridOverflow {
-                method: method.to_string(),
-            }),
-            Err(SimError::StepLimit { limit, .. }) => {
+            },
+            SimError::StepLimit { limit, .. } => {
                 // With an explicit budget this is the requested cutoff; the
                 // default limit is the engine's starvation watchdog — both
                 // are step budgets from the caller's point of view.
                 debug_assert!(default_limit || Some(limit) == request.budget.max_steps);
-                Err(SolveError::BudgetExhausted {
+                SolveError::BudgetExhausted {
                     method: method.to_string(),
                     kind: BudgetKind::Steps,
                     limit,
-                })
+                }
             }
-            Err(SimError::Cancelled { reason }) => Err(SolveError::DeadlineExceeded { reason }),
+            SimError::Cancelled { reason } => SolveError::DeadlineExceeded { reason },
+        };
+
+        if multi {
+            let report = sim
+                .run_multi_cancellable(policy.as_mut(), &token)
+                .map_err(map_sim_error)?;
+            return Ok(SolveOutcome {
+                method: method.to_string(),
+                engine: Engine::Scaled,
+                fallbacks: Vec::new(),
+                makespan: Some(report.makespan),
+                steps: report.makespan,
+                rounds: 0,
+                schedule: None,
+                lower_bounds: prepared.lower_bounds,
+            });
         }
+
+        let outcome = sim
+            .run_cancellable(policy.as_mut(), &token)
+            .map_err(map_sim_error)?;
+        Ok(SolveOutcome {
+            method: method.to_string(),
+            engine: Engine::Scaled,
+            fallbacks: Vec::new(),
+            makespan: Some(outcome.report.makespan),
+            steps: outcome.schedule.num_steps(),
+            rounds: 0,
+            schedule: request.want_schedule.then_some(outcome.schedule),
+            lower_bounds: prepared.lower_bounds,
+        })
     }
 }
 
@@ -310,6 +375,80 @@ mod tests {
                 .kind(),
             "invalid_arrivals"
         );
+    }
+
+    fn multi_workload() -> Instance {
+        cr_core::InstanceBuilder::new()
+            .processor([ratio(1, 10), ratio(1, 10)])
+            .processor([ratio(1, 10)])
+            .extra_layer([vec![ratio(3, 4), ratio(3, 4)], vec![ratio(3, 4)]])
+            .build()
+    }
+
+    #[test]
+    fn multi_resource_requests_simulate_makespan_only() {
+        let inst = multi_workload();
+        let registry = full_registry();
+        for method in ONLINE_METHODS {
+            let outcome = registry
+                .solve(&SolveRequest::new(method, inst.clone()))
+                .unwrap();
+            let direct = Simulator::from_instance(&inst);
+            // The solver reports exactly what the engine's multi run does.
+            let mut policy: Box<dyn OnlinePolicy> = match method {
+                "sim:GreedyBalance" => Box::new(GreedyBalancePolicy),
+                "sim:RoundRobin" => Box::new(RoundRobinPolicy),
+                "sim:EqualShare" => Box::new(EqualSharePolicy),
+                _ => Box::new(ProportionalSharePolicy),
+            };
+            let report = direct.run_multi(policy.as_mut()).unwrap();
+            assert_eq!(outcome.makespan, Some(report.makespan), "{method}");
+            assert_eq!(outcome.engine, Engine::Scaled);
+            assert!(outcome.schedule.is_none());
+            // The binding second layer needs at least ⌈9/4 / (3/4)⌉ = 3 steps.
+            assert!(report.makespan >= 3, "{method}");
+        }
+    }
+
+    #[test]
+    fn multi_resource_schedule_requests_are_a_structured_error() {
+        let err = full_registry()
+            .solve(&SolveRequest::new("sim:GreedyBalance", multi_workload()).with_schedule())
+            .unwrap_err();
+        assert_eq!(err.kind(), "resource_mismatch");
+        // The rational engine stays unavailable for multi requests too.
+        let err = full_registry()
+            .solve(
+                &SolveRequest::new("sim:GreedyBalance", multi_workload())
+                    .with_engine(EnginePreference::Rational),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "engine_unavailable");
+    }
+
+    #[test]
+    fn arrivals_gate_multi_resource_cores_once_per_step() {
+        let inst = multi_workload();
+        let registry = full_registry();
+        let immediate = registry
+            .solve(&SolveRequest::new("sim:GreedyBalance", inst.clone()))
+            .unwrap()
+            .makespan
+            .unwrap();
+        let delayed = registry
+            .solve(&SolveRequest::new("sim:GreedyBalance", inst.clone()).with_arrivals(vec![0, 9]))
+            .unwrap()
+            .makespan
+            .unwrap();
+        // Core 1 arrives after core 0 could already have finished, so its
+        // own work (≥ 1 step on the binding layer) lands strictly later —
+        // and the step counter advancing once per step (not once per layer)
+        // means the arrival fires at step 9, not step ⌈9/k⌉.
+        assert!(
+            delayed >= 10,
+            "arrival at 9 must push completion past step 9, got {delayed}"
+        );
+        assert!(delayed > immediate);
     }
 
     #[test]
