@@ -32,6 +32,7 @@ pub mod greedy_balance;
 pub mod heuristics;
 mod multi_engine;
 mod multi_sched;
+mod obs;
 pub mod opt_m;
 pub mod opt_two;
 pub mod round_robin;

@@ -207,6 +207,7 @@ fn run_search_limited_cancellable(
     round_cap: Option<usize>,
     token: &CancelToken,
 ) -> Result<Option<Vec<Vec<Node>>>, CancelReason> {
+    let _search_span = cr_obs::Span::enter(cr_obs::names::SPAN_OPTM_SEARCH);
     let m = instance.processors();
     let initial = Config::initial(m);
     let mut rounds: Vec<Vec<Node>> = vec![vec![Node {
@@ -226,6 +227,8 @@ fn run_search_limited_cancellable(
     let mut found_final = false;
     for _round in 0..round_limit {
         token.check()?;
+        let _round_span = cr_obs::Span::enter(cr_obs::names::SPAN_OPTM_ROUND);
+        crate::obs::optm_rounds().inc();
         // lint: allow(panic_hygiene) — `rounds` is seeded with the initial round before this loop
         let prev = rounds.last().expect("at least the initial round");
         let mut seen: HashMap<Config, usize> = HashMap::new();
@@ -265,11 +268,13 @@ fn run_search_limited_cancellable(
                 }
             }
         }
+        crate::obs::optm_round_candidates().add(crate::obs::delta(next.len()));
         let filtered: Vec<Node> = next
             .into_iter()
             .zip(keep)
             .filter_map(|(node, k)| if k { Some(node) } else { None })
             .collect();
+        crate::obs::optm_round_survivors().add(crate::obs::delta(filtered.len()));
 
         let done = filtered.iter().any(|n| n.config.is_final(instance));
         rounds.push(filtered);

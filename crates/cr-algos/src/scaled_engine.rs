@@ -338,6 +338,7 @@ fn run_search_impl(
     round_cap: Option<usize>,
     token: &CancelToken,
 ) -> Result<Option<Vec<Vec<ScaledNode>>>, SearchError> {
+    let _search_span = cr_obs::Span::enter(cr_obs::names::SPAN_OPTM_SEARCH);
     let cancelled = |reason: CancelReason| SearchError::Cancelled { reason };
     let m = scaled.processors();
     let initial = initial_config(m);
@@ -363,6 +364,8 @@ fn run_search_impl(
     let mut found_final = false;
     for _round in 0..round_limit {
         token.check().map_err(cancelled)?;
+        let _round_span = cr_obs::Span::enter(cr_obs::names::SPAN_OPTM_ROUND);
+        crate::obs::optm_rounds().inc();
         // Invariant: `prev` was size-checked against the u32 parent-index
         // headroom when it was produced (the initial round has one node).
         // lint: allow(panic_hygiene) — `rounds` is seeded with the initial round before this loop
@@ -471,6 +474,8 @@ fn run_search_impl(
             .into_iter()
             .map(|idx| next[idx as usize].clone())
             .collect();
+        crate::obs::optm_round_candidates().add(crate::obs::delta(next.len()));
+        crate::obs::optm_round_survivors().add(crate::obs::delta(filtered.len()));
 
         let done = filtered.iter().any(|n| is_final(scaled, &n.config));
         rounds.push(filtered);
@@ -671,6 +676,7 @@ impl ScaledDpTable {
         token: &CancelToken,
     ) -> Result<Self, CancelReason> {
         assert_eq!(scaled.processors(), 2, "scaled DP needs two processors");
+        let _dp_span = cr_obs::Span::enter(cr_obs::names::SPAN_OPT_TWO_DP);
         let n1 = scaled.jobs_on(0);
         let n2 = scaled.jobs_on(1);
         let cap = scaled.capacity();

@@ -1416,12 +1416,15 @@ impl Registry {
         request: &SolveRequest,
         prepared: &Prepared,
     ) -> Result<SolveOutcome, SolveError> {
-        let solver = self
-            .get(&request.method)
-            .ok_or_else(|| SolveError::UnknownMethod {
+        let Some(solver) = self.get(&request.method) else {
+            crate::obs::record_dispatch(&request.method, false, false);
+            return Err(SolveError::UnknownMethod {
                 method: request.method.clone(),
-            })?;
-        solver.solve_prepared(request, prepared)
+            });
+        };
+        let result = solver.solve_prepared(request, prepared);
+        crate::obs::record_dispatch(&request.method, true, result.is_ok());
+        result
     }
 
     /// [`Registry::solve_prepared`] under cooperative cancellation (see
@@ -1438,12 +1441,15 @@ impl Registry {
         prepared: &Prepared,
         cancel: &CancelToken,
     ) -> Result<SolveOutcome, SolveError> {
-        let solver = self
-            .get(&request.method)
-            .ok_or_else(|| SolveError::UnknownMethod {
+        let Some(solver) = self.get(&request.method) else {
+            crate::obs::record_dispatch(&request.method, false, false);
+            return Err(SolveError::UnknownMethod {
                 method: request.method.clone(),
-            })?;
-        solver.solve_cancellable(request, prepared, cancel)
+            });
+        };
+        let result = solver.solve_cancellable(request, prepared, cancel);
+        crate::obs::record_dispatch(&request.method, true, result.is_ok());
+        result
     }
 }
 

@@ -194,6 +194,9 @@ pub(crate) fn for_each_choice_cancellable<V: ResourceUnit>(
     }
 
     let zeros = finished.len();
+    // DFS extensions accumulate locally and flush once per enumeration:
+    // one relaxed atomic add per call instead of one per node.
+    let mut nodes: u64 = 0;
     let result = descend(
         remaining,
         cap,
@@ -203,8 +206,10 @@ pub(crate) fn for_each_choice_cancellable<V: ResourceUnit>(
         finished,
         in_finished,
         gate,
+        &mut nodes,
         emit,
     );
+    crate::obs::subset_dfs_nodes().add(nodes);
     debug_assert!(
         result.is_err() || finished.len() == zeros,
         "DFS unwinds its stack"
@@ -224,10 +229,12 @@ fn descend<V: ResourceUnit>(
     finished: &mut Vec<u32>,
     in_finished: &mut [bool],
     gate: &mut CancelGate,
+    nodes: &mut u64,
     emit: &mut impl FnMut(&[u32], Option<(u32, V)>),
 ) -> Result<(), CancelReason> {
     for pos in start..order.len() {
         gate.tick()?;
+        *nodes = nodes.saturating_add(1);
         let entry = order[pos];
         // Checked: an overflowing sum is larger than any capacity.  The
         // candidates are sorted ascending, so the first one that does not
@@ -267,6 +274,7 @@ fn descend<V: ResourceUnit>(
             finished,
             in_finished,
             gate,
+            nodes,
             emit,
         )?;
         in_finished[entry as usize] = false;

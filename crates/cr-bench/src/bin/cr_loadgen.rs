@@ -40,6 +40,7 @@ struct Args {
     addr: Option<SocketAddr>,
     smoke: bool,
     chaos: bool,
+    obs: bool,
     chaos_config: ChaosConfig,
     config: LoadConfig,
 }
@@ -49,6 +50,7 @@ fn parse_args() -> Args {
         addr: None,
         smoke: false,
         chaos: false,
+        obs: false,
         chaos_config: ChaosConfig::default(),
         config: LoadConfig::default(),
     };
@@ -68,6 +70,7 @@ fn parse_args() -> Args {
             }
             "--smoke" => args.smoke = true,
             "--chaos" => args.chaos = true,
+            "--obs" => args.obs = true,
             "--rounds" => {
                 args.chaos_config.rounds = value("--rounds").parse().expect("--rounds");
             }
@@ -83,9 +86,12 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: cr-loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
-                     [--rate HZ] [--seed N] [--multi-every N] [--smoke] [--chaos [--rounds N]]\n\
+                     [--rate HZ] [--seed N] [--multi-every N] [--obs] [--smoke] \
+                     [--chaos [--rounds N]]\n\
                      Without --addr, spawns an in-process server to load.\n\
-                     --multi-every N: every N-th request carries an extra resource layer."
+                     --multi-every N: every N-th request carries an extra resource layer.\n\
+                     --obs: after the run, scrape the server's stats + metrics frames and \
+                     print them after the client-side report."
                 );
                 std::process::exit(0);
             }
@@ -157,6 +163,24 @@ fn main() {
             report.max_ms,
             report.requests_per_sec
         );
+        if args.obs {
+            // Join the client-side percentiles above with the server-side
+            // view: the stats frame, then the full metrics dump, scraped on
+            // a dedicated connection after the load finished.
+            match loadgen::scrape_obs(addr) {
+                Ok(scrape) => {
+                    println!("{}", scrape.stats);
+                    println!("{}", scrape.header);
+                    for line in &scrape.lines {
+                        println!("{line}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cr-loadgen --obs scrape failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     if let Some(handle) = local {

@@ -202,6 +202,13 @@ fn main() {
     );
     timing_cells += multi.cells;
     timings.push(multi);
+    let obs = run_observability_overhead_table(args.reduced);
+    println!(
+        "  {:<46} {:>5} cells  {:>9.1} ms  (max cell {:>7.1} ms)",
+        obs.title, obs.cells, obs.wall_ms, obs.max_cell_ms
+    );
+    timing_cells += obs.cells;
+    timings.push(obs);
     let total_cells = total_cells + timing_cells;
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
 
@@ -382,6 +389,82 @@ fn run_batch_throughput_table(reduced: bool) -> TableTiming {
                     })
                     .collect(),
             ),
+        )],
+    }
+}
+
+/// Observability overhead: the full mixed batch of the throughput table,
+/// solved repeatedly with recording *enabled* versus *runtime-disabled*
+/// (the registry kill switch is the in-process stand-in for the `obs-off`
+/// compile, which CI builds separately).  The conversion cache is warmed
+/// before either arm so both measure solve + recording, not first-touch
+/// conversion.  The `overhead` extra row carries both wall times and the
+/// enabled/disabled ratio — the regression budget for the cr-obs
+/// instrumentation on the hot solve path.
+fn run_observability_overhead_table(reduced: bool) -> TableTiming {
+    let (m, n) = if reduced { (4usize, 12usize) } else { (8, 32) };
+    let batch_size = if reduced { 16 } else { 64 };
+    let reps = if reduced { 2 } else { 5 };
+    let service = shared_service();
+    let requests: Vec<SolveRequest> = (0..batch_size)
+        .map(|slot| {
+            let (method, instance) = if slot % 8 == 7 {
+                (
+                    "OptM",
+                    random_unit_instance(&RandomConfig::uniform(3, 3), 8000 + slot as u64),
+                )
+            } else {
+                (
+                    POLY_METHODS[slot % POLY_METHODS.len()],
+                    random_unit_instance(&RandomConfig::uniform(m, n), 8100 + slot as u64),
+                )
+            };
+            SolveRequest::new(method, instance)
+        })
+        .collect();
+    let start = Instant::now();
+    // Warm-up: both arms run against a hot conversion cache.
+    black_box(service.solve_batch(&requests));
+    let time_arm = |label: &str| -> f64 {
+        let arm = Instant::now();
+        for _ in 0..reps {
+            let results = service.solve_batch(&requests);
+            assert!(
+                results.iter().all(Result::is_ok),
+                "{label} overhead batch must succeed"
+            );
+            black_box(results);
+        }
+        arm.elapsed().as_secs_f64() * 1e3
+    };
+    let registry = cr_obs::Registry::global();
+    let instrumented_ms = time_arm("instrumented");
+    registry.set_enabled(false);
+    let disabled_ms = time_arm("disabled");
+    registry.set_enabled(true);
+    let ratio = instrumented_ms / disabled_ms.max(1e-9);
+    let round3 = |x: f64| (x * 1e3).round() / 1e3;
+    TableTiming {
+        title: "Observability overhead (cr-obs)".to_string(),
+        cells: 2,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        max_cell_ms: instrumented_ms.max(disabled_ms),
+        extra: vec![(
+            "overhead".to_string(),
+            serde::Value::Array(vec![serde::Value::Object(vec![
+                (
+                    "instrumented_ms".to_string(),
+                    serde::Value::Number(serde::Number::Float(round3(instrumented_ms))),
+                ),
+                (
+                    "disabled_ms".to_string(),
+                    serde::Value::Number(serde::Number::Float(round3(disabled_ms))),
+                ),
+                (
+                    "ratio".to_string(),
+                    serde::Value::Number(serde::Number::Float(round3(ratio))),
+                ),
+            ])]),
         )],
     }
 }

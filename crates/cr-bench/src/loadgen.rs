@@ -19,6 +19,7 @@
 //! `{"control":"shutdown"}` frame and verifies the server acknowledges and
 //! closes cleanly.
 
+use cr_obs::{geometric_bounds, Histogram, HistogramSnapshot};
 use cr_service::{wire, SolverService};
 use rand::rngs::StdRng;
 use rand::{RngCore, RngExt, SeedableRng};
@@ -106,13 +107,23 @@ impl LoadReport {
     }
 }
 
-/// Nearest-rank percentile of an **already sorted** latency list.
-fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((pct / 100.0) * sorted_ms.len() as f64).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+/// Bucket bounds of the client-side latency histogram: 10 µs to 120 s in
+/// 6.25% geometric steps (~270 buckets).  Latencies land in fixed buckets
+/// instead of an unbounded `Vec`, so a long run costs constant memory and
+/// the reported percentiles are stable bucket upper bounds (within one
+/// 6.25% step of the true nearest-rank value).
+#[must_use]
+pub fn latency_bounds() -> Vec<u64> {
+    geometric_bounds(10_000, 120_000_000_000, 17, 16)
+}
+
+/// A nearest-rank percentile of the latency histogram, in milliseconds
+/// (the inclusive upper bound of the rank's bucket; the exact maximum for
+/// overflow ranks; `0.0` when empty).
+fn percentile_ms(snapshot: &HistogramSnapshot, pct: u64) -> f64 {
+    snapshot
+        .nearest_rank(pct, 100)
+        .map_or(0.0, |ns| ns as f64 / 1e6)
 }
 
 /// One synthetic request line of the sustained mix: heuristics dominate,
@@ -184,10 +195,11 @@ fn is_transient_rejection(line: &str) -> bool {
     line.contains("\"kind\":\"overloaded\"") || line.contains("\"kind\":\"draining\"")
 }
 
-/// Per-client tallies of one load run.
+/// Per-client tallies of one load run (latencies go straight into the
+/// run's shared histogram, not a per-client buffer).
 #[derive(Debug, Default)]
 struct ClientTallies {
-    latencies: Vec<f64>,
+    answered: usize,
     ok: usize,
     rejected: usize,
     retries: usize,
@@ -201,6 +213,7 @@ fn client_loop(
     addr: SocketAddr,
     config: &LoadConfig,
     client: usize,
+    latency: &Histogram,
 ) -> std::io::Result<ClientTallies> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -212,10 +225,7 @@ fn client_loop(
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(client as u64 + 1)),
     );
-    let mut tallies = ClientTallies {
-        latencies: Vec::with_capacity(config.requests_per_client),
-        ..ClientTallies::default()
-    };
+    let mut tallies = ClientTallies::default();
     let mut line = String::new();
     for slot in 0..config.requests_per_client {
         if config.rate_hz > 0.0 {
@@ -245,7 +255,8 @@ fn client_loop(
             }
             break;
         }
-        tallies.latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+        latency.observe(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        tallies.answered += 1;
         if line.contains("\"error\":null") || line.contains("\"frame\":\"end\"") {
             tallies.ok += 1;
         } else {
@@ -268,41 +279,115 @@ fn client_loop(
 #[must_use]
 pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let start = Instant::now();
+    let latency = Histogram::standalone(&latency_bounds());
     let workers: Vec<std::thread::JoinHandle<ClientTallies>> = (0..config.clients)
         .map(|client| {
             let config = config.clone();
+            let latency = latency.clone();
             std::thread::spawn(move || {
-                client_loop(addr, &config, client).expect("load client lost its connection")
+                client_loop(addr, &config, client, &latency)
+                    .expect("load client lost its connection")
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = Vec::new();
+    let mut answered = 0usize;
     let mut ok = 0usize;
     let mut rejected = 0usize;
     let mut retries = 0usize;
     let mut retry_exhausted = 0usize;
     for worker in workers {
         let tallies = worker.join().expect("load client panicked");
-        latencies.extend(tallies.latencies);
+        answered += tallies.answered;
         ok += tallies.ok;
         rejected += tallies.rejected;
         retries += tallies.retries;
         retry_exhausted += tallies.retry_exhausted;
     }
     let wall_secs = start.elapsed().as_secs_f64();
-    latencies.sort_by(f64::total_cmp);
+    let snapshot = latency.snapshot();
     LoadReport {
         ok,
         rejected,
         retries,
         retry_exhausted,
         wall_secs,
-        p50_ms: percentile(&latencies, 50.0),
-        p95_ms: percentile(&latencies, 95.0),
-        p99_ms: percentile(&latencies, 99.0),
-        max_ms: latencies.last().copied().unwrap_or(0.0),
-        requests_per_sec: latencies.len() as f64 / wall_secs.max(1e-9),
+        p50_ms: percentile_ms(&snapshot, 50),
+        p95_ms: percentile_ms(&snapshot, 95),
+        p99_ms: percentile_ms(&snapshot, 99),
+        max_ms: snapshot.max as f64 / 1e6,
+        requests_per_sec: answered as f64 / wall_secs.max(1e-9),
     }
+}
+
+/// One server-side observability scrape (the `--obs` mode of
+/// `cr-loadgen`): the raw `{"control":"stats"}` frame plus the
+/// `{"control":"metrics"}` JSONL dump, fetched on a dedicated connection
+/// so the scrape never perturbs the load clients' latencies.
+#[derive(Debug, Clone)]
+pub struct ObsScrape {
+    /// The one-line `{"control":"stats",...}` response.
+    pub stats: String,
+    /// The `{"control":"metrics","metrics":N,"spans":M}` header line.
+    pub header: String,
+    /// The JSONL body: one line per metric, then one per span path.
+    pub lines: Vec<String>,
+}
+
+/// Reads one integer field out of a flat JSON control frame.
+fn frame_field(line: &str, field: &str) -> Result<usize, String> {
+    let needle = format!("\"{field}\":");
+    let at = line
+        .find(&needle)
+        .ok_or_else(|| format!("frame has no `{field}`: {}", line.trim_end()))?;
+    let digits: String = line[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|e| format!("frame field `{field}`: {e}"))
+}
+
+/// Scrapes the serving tier's observability surface over its own
+/// connection: one stats frame, one metrics dump.
+///
+/// # Errors
+///
+/// A human-readable description of the first failure (connect, write,
+/// short read, malformed header).
+pub fn scrape_obs(addr: SocketAddr) -> Result<ObsScrape, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read scrape line: {e}"))?;
+        if n == 0 {
+            return Err("server closed the scrape connection early".to_string());
+        }
+        Ok(line.trim_end().to_string())
+    };
+    writeln!(writer, r#"{{"control":"stats"}}"#).map_err(|e| format!("send stats: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let stats = read_line(&mut reader)?;
+    writeln!(writer, r#"{{"control":"metrics"}}"#).map_err(|e| format!("send metrics: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let header = read_line(&mut reader)?;
+    let body_lines = frame_field(&header, "metrics")? + frame_field(&header, "spans")?;
+    let mut lines = Vec::with_capacity(body_lines);
+    for _ in 0..body_lines {
+        lines.push(read_line(&mut reader)?);
+    }
+    Ok(ObsScrape {
+        stats,
+        header,
+        lines,
+    })
 }
 
 /// The CI smoke handshake: replays the committed golden batch over the
@@ -417,12 +502,40 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50.0);
-        assert_eq!(percentile(&sorted, 95.0), 95.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&[7.0], 99.0), 7.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+    fn percentiles_are_stable_bucket_bounds() {
+        let hist = Histogram::standalone(&latency_bounds());
+        // 1..=100 ms in nanoseconds; nearest-rank percentiles come back as
+        // the inclusive upper bound of the rank's bucket, so they are
+        // deterministic across runs and at most one 6.25% step high.
+        for ms in 1..=100u64 {
+            hist.observe(ms * 1_000_000);
+        }
+        let snapshot = hist.snapshot();
+        if snapshot.count == 0 {
+            // obs-off build: the histogram is compiled out.
+            return;
+        }
+        for (pct, true_ms) in [(50u64, 50.0f64), (95, 95.0), (99, 99.0)] {
+            let got = percentile_ms(&snapshot, pct);
+            assert!(
+                got >= true_ms && got <= true_ms * 17.0 / 16.0,
+                "p{pct} = {got} ms outside [{true_ms}, {}]",
+                true_ms * 17.0 / 16.0
+            );
+        }
+        // Stability: a second identical histogram reports identical values.
+        let again = Histogram::standalone(&latency_bounds());
+        for ms in 1..=100u64 {
+            again.observe(ms * 1_000_000);
+        }
+        assert_eq!(again.snapshot(), snapshot);
+        let empty = HistogramSnapshot {
+            bounds: vec![],
+            counts: vec![],
+            count: 0,
+            sum: 0,
+            max: 0,
+        };
+        assert_eq!(percentile_ms(&empty, 50), 0.0);
     }
 }

@@ -14,7 +14,8 @@
 //!   `cr-service`, no slice indexing) on production paths;
 //! * [`rules::lock_discipline`] — no second lock and no I/O while a mutex
 //!   guard is live;
-//! * [`rules::vocab_sync`] — error `kind` strings ⇄ `docs/WIRE.md`;
+//! * [`rules::vocab_sync`] — error `kind` strings ⇄ `docs/WIRE.md`, and
+//!   metric/span names ⇄ the `docs/OBSERVABILITY.md` catalog;
 //! * [`rules::crate_hygiene`] — standard lint headers + workspace lint
 //!   inheritance everywhere.
 //!
@@ -64,6 +65,12 @@ pub const VOCAB_WIRE: &str = "crates/cr-service/src/wire.rs";
 /// See [`VOCAB_SOLVER`].
 pub const VOCAB_DOC: &str = "docs/WIRE.md";
 
+/// The observability-vocabulary invariant files: the declared metric and
+/// span name arrays, cross-checked against the catalog document.
+pub const VOCAB_OBS: &str = "crates/cr-obs/src/names.rs";
+/// See [`VOCAB_OBS`].
+pub const VOCAB_OBS_DOC: &str = "docs/OBSERVABILITY.md";
+
 /// A full lint run's outcome.
 #[derive(Debug)]
 pub struct Report {
@@ -102,6 +109,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
     // ---- Per-file rules over every crate's src tree -------------------
     let mut vocab_solver: Option<Vec<lexer::Token>> = None;
     let mut vocab_wire: Option<Vec<lexer::Token>> = None;
+    let mut vocab_obs: Option<Vec<lexer::Token>> = None;
 
     for crate_dir in crate_dirs(root)? {
         let src = crate_dir.join("src");
@@ -141,6 +149,8 @@ pub fn run(root: &Path) -> Result<Report, String> {
                 vocab_solver = Some(tokens.clone());
             } else if rel == VOCAB_WIRE {
                 vocab_wire = Some(tokens.clone());
+            } else if rel == VOCAB_OBS {
+                vocab_obs = Some(tokens.clone());
             }
 
             // Crate/binary roots: standard lint header.
@@ -186,6 +196,28 @@ pub fn run(root: &Path) -> Result<Report, String> {
                         rule: rules::vocab_sync::RULE,
                         message: "wire-vocabulary invariant file is missing from the workspace"
                             .to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- Workspace-level observability-vocabulary sync ----------------
+    let obs_doc_path = root.join(VOCAB_OBS_DOC);
+    match (vocab_obs, fs::read_to_string(&obs_doc_path)) {
+        (Some(names), Ok(doc)) => {
+            rules::vocab_sync::check_obs((VOCAB_OBS, &names), (VOCAB_OBS_DOC, &doc), &mut diags);
+        }
+        (names, doc) => {
+            for (present, what) in [(names.is_some(), VOCAB_OBS), (doc.is_ok(), VOCAB_OBS_DOC)] {
+                if !present {
+                    diags.push(Diagnostic {
+                        path: what.to_string(),
+                        line: 1,
+                        rule: rules::vocab_sync::RULE,
+                        message:
+                            "observability-vocabulary invariant file is missing from the workspace"
+                                .to_string(),
                     });
                 }
             }

@@ -1,14 +1,20 @@
-//! **vocab_sync** — the wire error vocabulary must not drift: every
-//! `kind` string in `SolveError::ALL_KINDS` (`cr-algos`) and
-//! `WIRE_ERROR_KINDS` (`cr-service`) appears in `docs/WIRE.md`, and every
-//! kind the document's tables promise exists in the code, in both
-//! directions. `cr-serve` clients dispatch on these strings; a kind that
-//! exists only on one side is a silent protocol break.
+//! **vocab_sync** — the workspace's exported vocabularies must not drift
+//! from their documentation, in both directions:
+//!
+//! * every `kind` string in `SolveError::ALL_KINDS` (`cr-algos`) and
+//!   `WIRE_ERROR_KINDS` (`cr-service`) appears in `docs/WIRE.md`, and
+//!   every kind the document's tables promise exists in the code —
+//!   `cr-serve` clients dispatch on these strings, so a kind that exists
+//!   only on one side is a silent protocol break;
+//! * every metric and span name in `METRIC_NAMES` / `SPAN_NAMES`
+//!   (`cr-obs`) appears in the catalog tables of
+//!   `docs/OBSERVABILITY.md`, and every catalogued name exists in the
+//!   code — dashboards and the CI smoke test key on these strings.
 //!
 //! The code side is read from the lexed token stream (string literals
-//! between the `ALL_KINDS` / `WIRE_ERROR_KINDS` array brackets); the doc
-//! side from the `| \`kind\` | …` table rows of every `WIRE.md` section
-//! whose heading contains "error kinds".
+//! between the named array's brackets); the doc side from the
+//! `| \`name\` | …` table rows of every section whose heading contains
+//! "error kinds" (`WIRE.md`) or "catalog" (`OBSERVABILITY.md`).
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
@@ -70,12 +76,20 @@ pub fn array_strings(tokens: &[Token], name: &str) -> Option<Vec<Kind>> {
 /// backticked entries of table rows inside "… error kinds" sections.
 #[must_use]
 pub fn doc_kinds(markdown: &str) -> Vec<Kind> {
+    doc_entries(markdown, "error kinds")
+}
+
+/// Extracts first-column backticked table entries from every section of
+/// `markdown` whose heading (any `#` level, case-insensitive) contains
+/// `heading_needle`.
+#[must_use]
+pub fn doc_entries(markdown: &str, heading_needle: &str) -> Vec<Kind> {
     let mut out = Vec::new();
     let mut in_kinds_section = false;
     for (idx, line) in markdown.lines().enumerate() {
         let line_no = idx as u32 + 1;
         if let Some(heading) = line.strip_prefix('#') {
-            in_kinds_section = heading.to_ascii_lowercase().contains("error kinds");
+            in_kinds_section = heading.to_ascii_lowercase().contains(heading_needle);
             continue;
         }
         if !in_kinds_section {
@@ -147,6 +161,59 @@ pub fn check(
                 message: format!(
                     "documented error kind `{}` no longer exists in `ALL_KINDS` or \
                      `WIRE_ERROR_KINDS`: remove the row or restore the kind",
+                    d.name
+                ),
+            });
+        }
+    }
+}
+
+/// Cross-checks the observability vocabulary against its catalog.
+///
+/// `names` is the lexed `cr-obs` `names.rs` token stream with its
+/// workspace-relative path; `doc` is `(path, content)` of
+/// `docs/OBSERVABILITY.md`. The union of the `METRIC_NAMES` and
+/// `SPAN_NAMES` arrays must match the union of all catalog-table rows
+/// (sections whose heading contains "catalog"), in both directions.
+pub fn check_obs(names: (&str, &[Token]), doc: (&str, &str), diags: &mut Vec<Diagnostic>) {
+    let (path, tokens) = names;
+    let mut code: Vec<Kind> = Vec::new();
+    for array in ["METRIC_NAMES", "SPAN_NAMES"] {
+        match array_strings(tokens, array) {
+            Some(kinds) => code.extend(kinds),
+            None => diags.push(Diagnostic {
+                path: path.to_string(),
+                line: 1,
+                rule: RULE,
+                message: format!("expected a `{array}` name array in this file, found none"),
+            }),
+        }
+    }
+    let documented = doc_entries(doc.1, "catalog");
+
+    for kind in &code {
+        if !documented.iter().any(|d| d.name == kind.name) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: kind.line,
+                rule: RULE,
+                message: format!(
+                    "observability name `{}` is declared in the code but uncatalogued: add a \
+                     `| \\`{}\\` | … |` row to the catalog tables in {}",
+                    kind.name, kind.name, doc.0
+                ),
+            });
+        }
+    }
+    for d in &documented {
+        if !code.iter().any(|k| k.name == d.name) {
+            diags.push(Diagnostic {
+                path: doc.0.to_string(),
+                line: d.line,
+                rule: RULE,
+                message: format!(
+                    "catalogued observability name `{}` no longer exists in `METRIC_NAMES` or \
+                     `SPAN_NAMES`: remove the row or restore the name",
                     d.name
                 ),
             });
@@ -227,6 +294,68 @@ mod tests {
             &mut diags,
         );
         assert!(diags.iter().any(|d| d.message.contains("ALL_KINDS")));
+    }
+
+    const NAMES: &str = r#"
+        pub const METRIC_NAMES: [&str; 2] = ["sim.steps", "serve.batches"];
+        pub const SPAN_NAMES: [&str; 1] = ["sim.run"];
+    "#;
+
+    fn obs_doc(names: &[&str]) -> String {
+        let rows: String = names.iter().map(|n| format!("| `{n}` | … |\n")).collect();
+        format!("# Observability\n\n## Metric catalog\n\n| name | meaning |\n|---|---|\n{rows}")
+    }
+
+    #[test]
+    fn in_sync_obs_vocabulary_passes() {
+        let text = obs_doc(&["sim.steps", "serve.batches", "sim.run"]);
+        let mut diags = Vec::new();
+        check_obs(
+            ("names.rs", &lex(NAMES)),
+            ("OBSERVABILITY.md", &text),
+            &mut diags,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn uncatalogued_obs_name_is_flagged() {
+        let text = obs_doc(&["sim.steps", "sim.run"]);
+        let mut diags = Vec::new();
+        check_obs(
+            ("names.rs", &lex(NAMES)),
+            ("OBSERVABILITY.md", &text),
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("serve.batches"));
+        assert_eq!(diags[0].path, "names.rs");
+    }
+
+    #[test]
+    fn stale_obs_catalog_row_is_flagged() {
+        let text = obs_doc(&["sim.steps", "serve.batches", "sim.run", "ghost.metric"]);
+        let mut diags = Vec::new();
+        check_obs(
+            ("names.rs", &lex(NAMES)),
+            ("OBSERVABILITY.md", &text),
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("ghost.metric"));
+        assert_eq!(diags[0].path, "OBSERVABILITY.md");
+    }
+
+    #[test]
+    fn missing_obs_arrays_are_flagged() {
+        let mut diags = Vec::new();
+        check_obs(
+            ("names.rs", &lex("fn nothing() {}")),
+            ("OBSERVABILITY.md", &obs_doc(&[])),
+            &mut diags,
+        );
+        assert!(diags.iter().any(|d| d.message.contains("METRIC_NAMES")));
+        assert!(diags.iter().any(|d| d.message.contains("SPAN_NAMES")));
     }
 
     #[test]

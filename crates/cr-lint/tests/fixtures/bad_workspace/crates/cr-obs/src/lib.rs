@@ -1,0 +1,6 @@
+//! Fixture observability crate: declares the name vocabulary only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod names;

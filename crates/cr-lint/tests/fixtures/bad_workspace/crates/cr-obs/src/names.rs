@@ -1,0 +1,9 @@
+//! Fixture metric and span vocabulary with deliberate catalog drift:
+//! `optm.rounds` is declared here but missing from the catalog, and the
+//! catalog promises a `ghost.metric` that does not exist.
+
+/// Every fixture metric name, as plain literals for `vocab_sync`.
+pub const METRIC_NAMES: [&str; 2] = ["optm.rounds", "serve.batches"];
+
+/// Every fixture span name, as plain literals for `vocab_sync`.
+pub const SPAN_NAMES: [&str; 1] = ["sim.run"];

@@ -1,0 +1,8 @@
+//! Fixture metric and span vocabulary, in sync with the fixture
+//! `docs/OBSERVABILITY.md` catalog.
+
+/// Every fixture metric name, as plain literals for `vocab_sync`.
+pub const METRIC_NAMES: [&str; 2] = ["serve.batches", "sim.steps"];
+
+/// Every fixture span name, as plain literals for `vocab_sync`.
+pub const SPAN_NAMES: [&str; 1] = ["sim.run"];

@@ -32,7 +32,7 @@ fn good_workspace_is_clean() {
         "unexpected findings: {:#?}",
         report.diagnostics
     );
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 7);
 }
 
 #[test]
@@ -65,6 +65,13 @@ fn bad_workspace_trips_every_rule() {
     assert!(report.diagnostics.iter().any(|d| d.rule == "vocab_sync"
         && d.path == "docs/WIRE.md"
         && d.message.contains("gone_kind")));
+    // Both directions of observability-catalog drift are reported too.
+    assert!(report.diagnostics.iter().any(|d| d.rule == "vocab_sync"
+        && d.path == "crates/cr-obs/src/names.rs"
+        && d.message.contains("optm.rounds")));
+    assert!(report.diagnostics.iter().any(|d| d.rule == "vocab_sync"
+        && d.path == "docs/OBSERVABILITY.md"
+        && d.message.contains("ghost.metric")));
 }
 
 #[test]
@@ -120,7 +127,7 @@ fn binary_json_artifact_carries_every_rule() {
             "JSON output does not name `{rule}`:\n{stdout}"
         );
     }
-    assert!(stdout.contains("\"files_scanned\": 5"));
+    assert!(stdout.contains("\"files_scanned\": 7"));
 }
 
 #[test]

@@ -1,0 +1,57 @@
+//! Process-wide observability for the CRSharing workspace.
+//!
+//! The serving tier, the exact OPT(m) engines and the step simulator all
+//! need the same three primitives, and none of them can afford a heavyweight
+//! dependency:
+//!
+//! * **monotone counters** — lock-free `u64` cells that only move up, so a
+//!   snapshot taken at any instant is a valid lower bound of a later one;
+//! * **gauges** — signed cells carrying the latest observation of a
+//!   quantity that moves both ways (window utilization, starved cores);
+//! * **fixed-boundary histograms** — exact integer bucket counts over a
+//!   boundary grid chosen at registration time.  There are **no floats on
+//!   the recording path** anywhere in this crate: latencies are nanosecond
+//!   integers, utilizations are parts-per-million.
+//!
+//! On top of the metric registry sits lightweight **span tracing**:
+//! [`Span::enter`] pushes a name onto a thread-local stack and the RAII
+//! guard's drop accumulates wall time under the `/`-joined path of every
+//! name on the stack (`"serve.solve/optm.search/optm.round"`).  Drops run
+//! during unwinding too, so a panic inside a span neither corrupts the
+//! stack nor loses the measurement.
+//!
+//! # Registries
+//!
+//! [`Registry::global`] is the process-wide instance every production
+//! recording site uses; [`Registry::new`] builds an isolated instance for
+//! tests that need exact values without cross-test interference.  Handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones — look
+//! them up once and cache them near the hot path.
+//!
+//! # Switching it off
+//!
+//! Two layers, for two audiences:
+//!
+//! * the **`obs-off` cargo feature** compiles every recording operation
+//!   down to a constant-false branch the optimizer deletes — the
+//!   zero-instrumentation build for production-like measurement;
+//! * [`Registry::set_enabled`]`(false)` is a **runtime kill switch** on the
+//!   same check, letting one process compare instrumented and
+//!   uninstrumented throughput (the benchmark pipeline's overhead cell).
+//!
+//! Snapshots ([`Registry::snapshot`]) are plain sorted data; wire/JSON
+//! rendering lives downstream in `cr-service` so this crate stays
+//! dependency-free like `cr-lint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod names;
+mod registry;
+mod span;
+
+pub use registry::{
+    geometric_bounds, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue,
+    Registry, Snapshot, SpanSnapshot,
+};
+pub use span::Span;

@@ -1,0 +1,176 @@
+//! Nested span tracing on a thread-local name stack.
+//!
+//! [`Span::enter`] pushes a static name and returns an RAII guard; the
+//! guard's drop pops the name and accumulates the span's wall time in the
+//! global registry under the `/`-joined path of everything on the stack at
+//! that moment (`"serve.solve/optm.search/optm.round"`).  Names may
+//! themselves contain dots, so the path separator is `/`.
+//!
+//! Each OS thread has its own stack: spans nest within a thread, and a
+//! parallel stage's worker threads each start from an empty stack (the
+//! vendored rayon shim spawns fresh scoped threads per operation, so no
+//! foreign frames ever interleave).  Drops run during panic unwinding too,
+//! which keeps the stack balanced and still records the aborted span.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::{recording_compiled, Registry};
+
+thread_local! {
+    /// The current thread's span-name stack.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard for one traced span; see the module docs.
+#[derive(Debug)]
+#[must_use = "a span measures until dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    /// `None` when recording is off (the guard is inert).
+    start: Option<Instant>,
+    /// Stack length *including* this span's own name.
+    depth: usize,
+}
+
+impl Span {
+    /// Enters a span named `name` on the global registry.
+    pub fn enter(name: &'static str) -> Span {
+        if !recording_compiled() || !Registry::global().enabled() {
+            return Span {
+                start: None,
+                depth: 0,
+            };
+        }
+        let depth = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.len()
+        });
+        Span {
+            start: Some(Instant::now()),
+            depth,
+        }
+    }
+
+    /// The current thread's span path (`/`-joined), for tests and
+    /// diagnostics.  Empty when no span is active.
+    #[must_use]
+    pub fn current_path() -> String {
+        STACK.with(|stack| stack.borrow().join("/"))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Out-of-order drops (std::mem::drop on a parent first) would
+            // leave orphaned children; truncating to our own depth keeps
+            // the stack consistent in that (unsupported but harmless) case.
+            stack.truncate(self.depth);
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        Registry::global().record_span(&path, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Span tests share the global registry (and one toggles its enable
+    /// flag), so they serialize on this lock instead of racing.
+    fn serialize() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Count recorded for exactly `path` in the global registry
+    /// (assertions are deltas on paths unique to each test).
+    fn count_of(path: &str) -> u64 {
+        Registry::global()
+            .snapshot()
+            .spans
+            .iter()
+            .filter(|s| s.path == path)
+            .map(|s| s.count)
+            .sum()
+    }
+
+    #[test]
+    fn nesting_builds_slash_joined_paths() {
+        if !recording_compiled() {
+            return;
+        }
+        let _serial = serialize();
+        let before = count_of("t.outer/t.inner");
+        {
+            let _outer = Span::enter("t.outer");
+            assert_eq!(Span::current_path(), "t.outer");
+            {
+                let _inner = Span::enter("t.inner");
+                assert_eq!(Span::current_path(), "t.outer/t.inner");
+            }
+            assert_eq!(Span::current_path(), "t.outer");
+        }
+        assert_eq!(Span::current_path(), "");
+        assert_eq!(count_of("t.outer/t.inner"), before + 1);
+    }
+
+    #[test]
+    fn sequential_siblings_accumulate_under_one_path() {
+        if !recording_compiled() {
+            return;
+        }
+        let _serial = serialize();
+        let before = count_of("t.seq/t.child");
+        let _outer = Span::enter("t.seq");
+        for _ in 0..3 {
+            let _child = Span::enter("t.child");
+        }
+        drop(_outer);
+        assert_eq!(count_of("t.seq/t.child"), before + 3);
+    }
+
+    #[test]
+    fn panic_during_span_unwinds_the_stack_and_still_records() {
+        if !recording_compiled() {
+            return;
+        }
+        let _serial = serialize();
+        let before_inner = count_of("t.panics/t.doomed");
+        let before_outer = count_of("t.panics");
+        let result = std::panic::catch_unwind(|| {
+            let _outer = Span::enter("t.panics");
+            let _inner = Span::enter("t.doomed");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(Span::current_path(), "", "unwinding must pop every frame");
+        assert_eq!(count_of("t.panics/t.doomed"), before_inner + 1);
+        assert_eq!(count_of("t.panics"), before_outer + 1);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _serial = serialize();
+        let probe = "t.disabled.probe";
+        let before = count_of(probe);
+        Registry::global().set_enabled(false);
+        let span = Span::enter(probe);
+        assert_eq!(Span::current_path(), "");
+        drop(span);
+        Registry::global().set_enabled(true);
+        assert_eq!(count_of(probe), before);
+    }
+}

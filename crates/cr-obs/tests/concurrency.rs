@@ -1,0 +1,131 @@
+//! Concurrency properties of the registry, under proptest-driven thread
+//! schedules:
+//!
+//! * **monotonicity** — counter values never decrease across successive
+//!   snapshots taken while writers are running;
+//! * **snapshot consistency** — writers bump the `*.total` counter
+//!   *before* the per-part counters, and a snapshot reads names in
+//!   alphabetical order (parts sort before `total`), so no snapshot ever
+//!   shows `sum(parts) > total`, even mid-run;
+//! * **quiescent agreement** — after every writer joins,
+//!   `sum(parts) == total` exactly.
+//!
+//! Everything runs on a *local* [`Registry`], so the suite neither
+//! pollutes nor races the process-global one.
+
+use cr_obs::{MetricValue, Registry, Snapshot};
+use proptest::prelude::*;
+
+/// Reads a counter out of a snapshot (0 when absent, as under `obs-off`).
+fn counter(snapshot: &Snapshot, name: &str) -> u64 {
+    snapshot
+        .metrics
+        .iter()
+        .find(|m| m.name == name)
+        .map_or(0, |m| match m.value {
+            MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+}
+
+/// Sum of the per-part counters `t.part.<i>`.
+fn part_sum(snapshot: &Snapshot, parts: usize) -> u64 {
+    (0..parts)
+        .map(|i| counter(snapshot, &format!("t.part.{i}")))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshots_stay_monotone_and_parts_never_outrun_total(
+        threads in 2usize..=4,
+        ops in 16usize..=96,
+        parts in 2usize..=3,
+        probes in 4usize..=16,
+    ) {
+        let registry = Registry::new();
+        // Pre-register so every probe sees the same metric set.
+        let total = registry.counter("t.total");
+        let part_handles: Vec<_> = (0..parts)
+            .map(|i| registry.counter(&format!("t.part.{i}")))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let total = total.clone();
+                let part_handles = part_handles.clone();
+                scope.spawn(move || {
+                    for i in 0..ops {
+                        // Total first, part second: the order the
+                        // snapshot-consistency invariant rests on.
+                        total.inc();
+                        part_handles[(t + i) % part_handles.len()].inc();
+                    }
+                });
+            }
+
+            // Probe concurrently with the writers.
+            let mut last_total = 0u64;
+            let mut last_parts = vec![0u64; parts];
+            for _ in 0..probes {
+                let snapshot = registry.snapshot();
+                let seen_total = counter(&snapshot, "t.total");
+                prop_assert!(seen_total >= last_total, "total went backwards");
+                last_total = seen_total;
+                for (i, last) in last_parts.iter_mut().enumerate() {
+                    let seen = counter(&snapshot, &format!("t.part.{i}"));
+                    prop_assert!(seen >= *last, "part {i} went backwards");
+                    *last = seen;
+                }
+                prop_assert!(
+                    part_sum(&snapshot, parts) <= seen_total,
+                    "a snapshot showed the parts ahead of the total"
+                );
+                std::thread::yield_now();
+            }
+            Ok(())
+        })?;
+
+        // Quiescence: everything joined, the books must balance.
+        let snapshot = registry.snapshot();
+        let expected = if registry.enabled() {
+            (threads * ops) as u64
+        } else {
+            0 // obs-off build: recording is compiled out entirely.
+        };
+        prop_assert_eq!(counter(&snapshot, "t.total"), expected);
+        prop_assert_eq!(part_sum(&snapshot, parts), expected);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_are_all_accounted(
+        threads in 2usize..=4,
+        ops in 16usize..=64,
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("t.lat", &[10, 100, 1000]);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..ops {
+                        hist.observe((t * ops + i) as u64);
+                    }
+                });
+            }
+        });
+        let snapshot = hist.snapshot();
+        if registry.enabled() {
+            let n = (threads * ops) as u64;
+            prop_assert_eq!(snapshot.count, n);
+            prop_assert_eq!(snapshot.counts.iter().sum::<u64>(), n);
+            prop_assert_eq!(snapshot.max, (threads * ops - 1) as u64);
+            // Sum of 0..threads*ops.
+            prop_assert_eq!(snapshot.sum, n * (n - 1) / 2);
+        } else {
+            prop_assert_eq!(snapshot.count, 0);
+        }
+    }
+}

@@ -39,7 +39,9 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: cr-serve [--listen ADDR] [--quota N] [--max-inflight N] \
 [--max-clients N] [--stream-threshold N] [--deadline-ms N] [--idle-timeout-ms N] \
-[--debug-methods]\nWithout --listen, serves the JSONL protocol on stdin/stdout.";
+[--metrics-every N] [--debug-methods]\nWithout --listen, serves the JSONL protocol \
+on stdin/stdout.  --metrics-every N prints one observability summary line to \
+stderr every N seconds.";
 
 /// Reports a usage error the way a CLI should: one line on stderr, the
 /// usage string, exit code 2 (distinct from runtime failures).
@@ -140,10 +142,45 @@ fn parse_u64(flag: &str, value: Option<String>) -> u64 {
     }
 }
 
+/// Spawns the `--metrics-every N` reporter: a detached background thread
+/// printing one JSON summary line (counters and gauges of the service's
+/// observability registry, plus span counts) to stderr every `every`
+/// seconds.  Stderr so the JSONL response stream on stdout stays clean.
+fn spawn_metrics_reporter(service: &SolverService, every: u64) {
+    let registry = service.obs_registry().clone();
+    std::thread::Builder::new()
+        .name("cr-serve-metrics".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(every.max(1)));
+            let snapshot = registry.snapshot();
+            let mut line = String::from(r#"{"metrics_report":1"#);
+            for metric in &snapshot.metrics {
+                match &metric.value {
+                    cr_obs::MetricValue::Counter(v) => {
+                        line.push_str(&format!(r#","{}":{v}"#, metric.name));
+                    }
+                    cr_obs::MetricValue::Gauge(v) => {
+                        line.push_str(&format!(r#","{}":{v}"#, metric.name));
+                    }
+                    cr_obs::MetricValue::Histogram(h) => {
+                        line.push_str(&format!(r#","{}.count":{}"#, metric.name, h.count));
+                    }
+                }
+            }
+            for span in &snapshot.spans {
+                line.push_str(&format!(r#","span:{}":{}"#, span.path, span.count));
+            }
+            line.push('}');
+            eprintln!("{line}");
+        })
+        .unwrap_or_else(|e| usage_error(&format!("cannot spawn the metrics reporter: {e}")));
+}
+
 fn main() {
     let mut listen: Option<String> = None;
     let mut config = ServerConfig::default();
     let mut debug_methods = false;
+    let mut metrics_every: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -165,6 +202,11 @@ fn main() {
                 let ms = parse_u64("--idle-timeout-ms", args.next());
                 config.idle_timeout_ms = (ms > 0).then_some(ms);
             }
+            "--metrics-every" => {
+                // 0 disables the reporter.
+                let s = parse_u64("--metrics-every", args.next());
+                metrics_every = (s > 0).then_some(s);
+            }
             "--debug-methods" => debug_methods = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -178,6 +220,9 @@ fn main() {
     } else {
         SolverService::with_standard_registry()
     };
+    if let Some(every) = metrics_every {
+        spawn_metrics_reporter(&service, every);
+    }
     match listen {
         Some(addr) => serve_socket(service, &addr, config),
         None => serve_stdin(&service),

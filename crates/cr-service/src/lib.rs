@@ -152,6 +152,28 @@ pub fn register_debug_methods(registry: &mut Registry) {
     registry.register("debug:panic", Box::new(DebugPanicSolver));
 }
 
+/// The service's pre-created observability handles: the `cr-obs` registry
+/// they record into plus the conversion-cache counters, resolved once at
+/// construction so the hot paths never touch the registry's name table
+/// (see `docs/OBSERVABILITY.md` for the name catalog).
+struct ServiceObs {
+    registry: cr_obs::Registry,
+    cache_hits: cr_obs::Counter,
+    cache_misses: cr_obs::Counter,
+    cache_evictions: cr_obs::Counter,
+}
+
+impl ServiceObs {
+    fn new(registry: cr_obs::Registry) -> Self {
+        ServiceObs {
+            cache_hits: registry.counter(cr_obs::names::SERVICE_CACHE_HITS),
+            cache_misses: registry.counter(cr_obs::names::SERVICE_CACHE_MISSES),
+            cache_evictions: registry.counter(cr_obs::names::SERVICE_CACHE_EVICTIONS),
+            registry,
+        }
+    }
+}
+
 /// A long-running batch solver: a registry plus a warm per-instance
 /// conversion cache.
 pub struct SolverService {
@@ -159,16 +181,31 @@ pub struct SolverService {
     cache: Mutex<HashMap<u64, CacheBucket>>,
     /// Times the cache was cleared after recovering a poisoned lock.
     cache_rebuilds: AtomicU64,
+    /// Cache observability handles (hits / misses / evictions).
+    obs: ServiceObs,
 }
 
 impl SolverService {
-    /// A service over an explicit registry.
+    /// A service over an explicit registry, recording observability into
+    /// the process-wide global `cr-obs` registry.
     #[must_use]
     pub fn new(registry: Registry) -> Self {
+        SolverService::with_obs_registry(registry, cr_obs::Registry::global().clone())
+    }
+
+    /// A service recording its cache counters into an explicit `cr-obs`
+    /// registry instead of the process-wide global.  Tests asserting exact
+    /// counter values inject a fresh registry here so concurrent tests in
+    /// the same binary cannot perturb the counts (spans still record into
+    /// the global registry — span paths are thread-scoped, not
+    /// service-scoped).
+    #[must_use]
+    pub fn with_obs_registry(registry: Registry, obs: cr_obs::Registry) -> Self {
         SolverService {
             registry,
             cache: Mutex::new(HashMap::new()),
             cache_rebuilds: AtomicU64::new(0),
+            obs: ServiceObs::new(obs),
         }
     }
 
@@ -209,6 +246,31 @@ impl SolverService {
         self.cache_rebuilds.load(Ordering::Relaxed)
     }
 
+    /// The `cr-obs` registry this service's cache counters record into
+    /// (the process-wide global unless injected via
+    /// [`SolverService::with_obs_registry`]).  The serving tier's
+    /// `{"control":"metrics"}` frame dumps a snapshot of this registry.
+    #[must_use]
+    pub fn obs_registry(&self) -> &cr_obs::Registry {
+        &self.obs.registry
+    }
+
+    /// Conversion-cache traffic since construction, as
+    /// `(hits, misses, evictions)`: a *hit* is a request whose conversion
+    /// was already warm when its batch was classified (in the cache, or a
+    /// duplicate of an earlier request in the same batch), a *miss* is a
+    /// fresh conversion, an *eviction* is one entry dropped by the
+    /// wholesale clear at the cache cap.  All three read zero under the
+    /// `obs-off` feature.
+    #[must_use]
+    pub fn cache_counters(&self) -> (u64, u64, u64) {
+        (
+            self.obs.cache_hits.value(),
+            self.obs.cache_misses.value(),
+            self.obs.cache_evictions.value(),
+        )
+    }
+
     /// Locks the conversion cache, recovering from poisoning: a panic that
     /// unwound mid-mutation may have left a bucket half-written, so the
     /// recovered map is cleared (it is only a cache — the next batch
@@ -247,7 +309,11 @@ impl SolverService {
     /// cache lock.
     fn cache_insert(&self, key: u64, instance: &Instance, prepared: &Arc<Prepared>) {
         let mut cache = self.lock_cache();
-        if cache.values().map(Vec::len).sum::<usize>() >= CACHE_CAP {
+        let held = cache.values().map(Vec::len).sum::<usize>();
+        if held >= CACHE_CAP {
+            self.obs
+                .cache_evictions
+                .add(u64::try_from(held).unwrap_or(u64::MAX));
             cache.clear();
         }
         let bucket = cache.entry(key).or_default();
@@ -263,10 +329,15 @@ impl SolverService {
         {
             let cache = self.lock_cache();
             if let Some(hit) = cache.get(&key).and_then(|b| bucket_get(b, instance)) {
+                self.obs.cache_hits.inc();
                 return hit;
             }
         }
-        let prepared = Arc::new(Prepared::new(instance));
+        self.obs.cache_misses.inc();
+        let prepared = {
+            let _prepare_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_PREPARE);
+            Arc::new(Prepared::new(instance))
+        };
         self.cache_insert(key, instance, &prepared);
         prepared
     }
@@ -278,6 +349,7 @@ impl SolverService {
     /// Whatever the dispatched solver reports (see [`SolveError`]).
     pub fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
         let prepared = self.prepared_for(&request.instance);
+        let _solve_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_SOLVE);
         self.registry.solve_prepared(request, &prepared)
     }
 
@@ -339,13 +411,25 @@ impl SolverService {
                     .any(|&prev| keys[prev] == key && requests[prev].instance == request.instance);
                 if !in_cache && !in_batch {
                     missing.push(idx);
+                } else {
+                    // Warm at classification time: either already cached or
+                    // a duplicate of an earlier request in this batch.
+                    self.obs.cache_hits.inc();
                 }
             }
         }
+        self.obs
+            .cache_misses
+            .add(u64::try_from(missing.len()).unwrap_or(u64::MAX));
         let fresh: Vec<Result<Arc<Prepared>, String>> = missing
             .par_iter()
-            // lint: allow(panic_hygiene) — `missing` holds indices from enumerating these same `requests`
-            .map(|&idx| catch_panic(|| Arc::new(Prepared::new(&requests[idx].instance))))
+            .map(|&idx| {
+                catch_panic(|| {
+                    let _prepare_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_PREPARE);
+                    // lint: allow(panic_hygiene) — `missing` holds indices from enumerating these same `requests`
+                    Arc::new(Prepared::new(&requests[idx].instance))
+                })
+            })
             .collect();
         for (&idx, prepared) in missing.iter().zip(&fresh) {
             if let Ok(prepared) = prepared {
@@ -368,7 +452,14 @@ impl SolverService {
                         // its conversion panicked above; retry behind the
                         // boundary so a deterministic conversion panic
                         // stays one structured row.
-                        None => catch_panic(|| Arc::new(Prepared::new(&request.instance))),
+                        None => {
+                            self.obs.cache_misses.inc();
+                            catch_panic(|| {
+                                let _prepare_span =
+                                    cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_PREPARE);
+                                Arc::new(Prepared::new(&request.instance))
+                            })
+                        }
                     }
                 })
                 .collect()
@@ -381,6 +472,7 @@ impl SolverService {
         work.par_iter()
             .map(|(idx, prepared)| match prepared {
                 Ok(prepared) => catch_panic(|| {
+                    let _solve_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_SOLVE);
                     self.registry
                         // lint: allow(panic_hygiene) — `work` pairs each prepared result with its index into these same `requests`
                         .solve_cancellable(&requests[*idx], prepared, parent)

@@ -156,10 +156,57 @@ pub struct StatsSnapshot {
     /// Times the service's warm cache recovered a poisoned lock (see
     /// [`SolverService::cache_rebuilds`]).
     pub cache_rebuilds: u64,
+    /// Conversion-cache lookups served warm (see
+    /// [`SolverService::cache_counters`]; zero under `obs-off`).
+    pub cache_hits: u64,
+    /// Conversion-cache lookups that ran a fresh conversion (zero under
+    /// `obs-off`).
+    pub cache_misses: u64,
+    /// Conversion-cache entries dropped by the wholesale eviction at the
+    /// cache cap (zero under `obs-off`).
+    pub cache_evictions: u64,
+}
+
+/// Every counter of the `{"control":"stats"}` frame, in frame order.
+/// `docs/WIRE.md` documents each name; the `wire_docs` test keeps the two
+/// in sync.
+pub const STATS_FIELDS: [&str; 11] = [
+    "connections",
+    "served",
+    "quota_rejected",
+    "overloaded",
+    "inflight",
+    "worker_panics",
+    "idle_closed",
+    "cache_rebuilds",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+];
+
+impl StatsSnapshot {
+    /// The frame values in [`STATS_FIELDS`] order.
+    #[must_use]
+    pub fn field_values(&self) -> [u64; 11] {
+        [
+            self.connections,
+            self.served,
+            self.quota_rejected,
+            self.overloaded,
+            u64::try_from(self.inflight).unwrap_or(u64::MAX),
+            self.worker_panics,
+            self.idle_closed,
+            self.cache_rebuilds,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+        ]
+    }
 }
 
 impl ServerStats {
-    fn snapshot(&self, cache_rebuilds: u64) -> StatsSnapshot {
+    fn snapshot(&self, cache_rebuilds: u64, cache_counters: (u64, u64, u64)) -> StatsSnapshot {
+        let (cache_hits, cache_misses, cache_evictions) = cache_counters;
         StatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
@@ -169,6 +216,9 @@ impl ServerStats {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
             cache_rebuilds,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
         }
     }
 
@@ -197,19 +247,47 @@ impl ServerStats {
     }
 }
 
+/// Pre-created serving-tier counters mirroring [`ServerStats`] into the
+/// service's observability registry (resolved once at spawn, so the
+/// serving paths never touch the registry's name table; see
+/// `docs/OBSERVABILITY.md`).
+struct NetObs {
+    connections: cr_obs::Counter,
+    served: cr_obs::Counter,
+    quota_rejected: cr_obs::Counter,
+    overloaded: cr_obs::Counter,
+    worker_panics: cr_obs::Counter,
+    idle_closed: cr_obs::Counter,
+}
+
+impl NetObs {
+    fn new(registry: &cr_obs::Registry) -> NetObs {
+        NetObs {
+            connections: registry.counter(cr_obs::names::NET_CONNECTIONS),
+            served: registry.counter(cr_obs::names::NET_SERVED),
+            quota_rejected: registry.counter(cr_obs::names::NET_QUOTA_REJECTED),
+            overloaded: registry.counter(cr_obs::names::NET_OVERLOADED),
+            worker_panics: registry.counter(cr_obs::names::NET_WORKER_PANICS),
+            idle_closed: registry.counter(cr_obs::names::NET_IDLE_CLOSED),
+        }
+    }
+}
+
 /// Shared state of a running server.
 struct Shared {
     service: Arc<SolverService>,
     config: ServerConfig,
     draining: AtomicBool,
     stats: ServerStats,
+    obs: NetObs,
     workers: Mutex<Vec<JoinHandle<()>>>,
     active_clients: AtomicUsize,
 }
 
 impl Shared {
     fn snapshot(&self) -> StatsSnapshot {
-        self.stats.snapshot(self.service.cache_rebuilds())
+        self.stats
+            .snapshot(self.service.cache_rebuilds(), self.service.cache_counters())
     }
 }
 
@@ -244,11 +322,13 @@ impl Server {
         // (no epoll/kqueue binding in a vendored-shim build) and the 10 ms
         // poll is invisible next to solve times.
         listener.set_nonblocking(true)?;
+        let obs = NetObs::new(service.obs_registry());
         let shared = Arc::new(Shared {
             service,
             config,
             draining: AtomicBool::new(false),
             stats: ServerStats::default(),
+            obs,
             workers: Mutex::new(Vec::new()),
             active_clients: AtomicUsize::new(0),
         });
@@ -331,6 +411,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let result = catch_unwind(AssertUnwindSafe(|| admit_connection(stream, shared)));
                 if result.is_err() {
                     shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.worker_panics.inc();
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -347,6 +428,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// client-slot accounting survive).
 fn admit_connection(stream: TcpStream, shared: &Arc<Shared>) {
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    shared.obs.connections.inc();
     if shared.active_clients.load(Ordering::Acquire) >= shared.config.max_clients {
         shed_connection(stream, shared);
         return;
@@ -364,6 +446,7 @@ fn admit_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     .stats
                     .worker_panics
                     .fetch_add(1, Ordering::Relaxed);
+                worker_shared.obs.worker_panics.inc();
             }
             // The slot is freed on every exit path, panic included.
             worker_shared.active_clients.fetch_sub(1, Ordering::AcqRel);
@@ -380,6 +463,7 @@ fn admit_connection(stream: TcpStream, shared: &Arc<Shared>) {
 /// Answers a connection past the client cap with one `overloaded` line.
 fn shed_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+    shared.obs.overloaded.inc();
     let line = wire::render_item(&BatchItem::rejected(
         0,
         "overloaded",
@@ -574,6 +658,7 @@ fn connection_loop(
                     // Structured notice, then close: the client learns why
                     // the socket went away instead of seeing a bare FIN.
                     shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.idle_closed.inc();
                     let notice = wire::render_item(&BatchItem::rejected(
                         next_id,
                         "idle_timeout",
@@ -601,8 +686,53 @@ fn parse_control(line: &str) -> Option<String> {
     }
 }
 
+/// Renders a registry snapshot as the JSONL body of the
+/// `{"control":"metrics"}` frame: one line per metric (counters, gauges,
+/// histograms), then one line per span path, each section in ascending
+/// name order — byte-stable for identical registry state, which is the
+/// golden contract of `tests/obs_smoke.rs`.
+#[must_use]
+pub fn metrics_lines(snapshot: &cr_obs::Snapshot) -> Vec<String> {
+    let mut lines = Vec::with_capacity(snapshot.metrics.len() + snapshot.spans.len());
+    for metric in &snapshot.metrics {
+        let name = &metric.name;
+        lines.push(match &metric.value {
+            cr_obs::MetricValue::Counter(v) => {
+                format!(r#"{{"metric":"{name}","type":"counter","value":{v}}}"#)
+            }
+            cr_obs::MetricValue::Gauge(v) => {
+                format!(r#"{{"metric":"{name}","type":"gauge","value":{v}}}"#)
+            }
+            cr_obs::MetricValue::Histogram(h) => {
+                let join = |vals: &[u64]| {
+                    vals.iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!(
+                    r#"{{"metric":"{name}","type":"histogram","count":{},"sum":{},"max":{},"bounds":[{}],"counts":[{}]}}"#,
+                    h.count,
+                    h.sum,
+                    h.max,
+                    join(&h.bounds),
+                    join(&h.counts)
+                )
+            }
+        });
+    }
+    for span in &snapshot.spans {
+        lines.push(format!(
+            r#"{{"span":"{}","count":{},"total_ns":{}}}"#,
+            span.path, span.count, span.total_ns
+        ));
+    }
+    lines
+}
+
 /// Handles a control frame: `shutdown` flushes pending work, acknowledges
-/// and starts the drain; `stats` reports the serving counters.
+/// and starts the drain; `stats` reports the serving counters; `metrics`
+/// dumps the observability registry as JSONL.
 fn handle_control(
     op: &str,
     shared: &Arc<Shared>,
@@ -622,18 +752,26 @@ fn handle_control(
         }
         "stats" => {
             let s = shared.snapshot();
+            let mut frame = String::from(r#"{"control":"stats""#);
+            for (name, value) in STATS_FIELDS.iter().zip(s.field_values()) {
+                frame.push_str(&format!(r#","{name}":{value}"#));
+            }
+            frame.push('}');
+            writeln!(writer, "{frame}")?;
+            writer.flush()
+        }
+        "metrics" => {
+            let snapshot = shared.service.obs_registry().snapshot();
+            let lines = metrics_lines(&snapshot);
             writeln!(
                 writer,
-                r#"{{"control":"stats","connections":{},"served":{},"quota_rejected":{},"overloaded":{},"inflight":{},"worker_panics":{},"idle_closed":{},"cache_rebuilds":{}}}"#,
-                s.connections,
-                s.served,
-                s.quota_rejected,
-                s.overloaded,
-                s.inflight,
-                s.worker_panics,
-                s.idle_closed,
-                s.cache_rebuilds
+                r#"{{"control":"metrics","metrics":{},"spans":{}}}"#,
+                snapshot.metrics.len(),
+                snapshot.spans.len()
             )?;
+            for line in lines {
+                writeln!(writer, "{line}")?;
+            }
             writer.flush()
         }
         other => {
@@ -723,6 +861,7 @@ fn admit_and_solve(
         stats
             .overloaded
             .fetch_add(lines.len() as u64, Ordering::Relaxed);
+        shared.obs.overloaded.add(lines.len() as u64);
         return (0..lines.len() as u64)
             .map(|i| {
                 BatchItem::rejected(
@@ -751,8 +890,10 @@ fn admit_and_solve(
     watch.set(None);
     stats.release(admitted);
     stats.served.fetch_add(admitted as u64, Ordering::Relaxed);
+    shared.obs.served.add(admitted as u64);
     for (i, _) in lines.iter().enumerate().skip(admitted) {
         stats.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.obs.quota_rejected.inc();
         items.push(BatchItem::rejected(
             first_id + i as u64,
             "quota_exceeded",
@@ -773,7 +914,7 @@ mod tests {
         assert!(!stats.try_acquire(2, 4));
         assert!(stats.try_acquire(1, 4));
         stats.release(4);
-        assert_eq!(stats.snapshot(0).inflight, 0);
+        assert_eq!(stats.snapshot(0, (0, 0, 0)).inflight, 0);
     }
 
     #[test]

@@ -234,6 +234,7 @@ fn parse_instance(value: &Value) -> Result<Instance, String> {
 /// A human-readable message describing the malformed field; the serve loop
 /// reports it as a `bad_request` response in the line's slot.
 pub fn parse_request(line: &str, default_id: u64) -> Result<WireRequest, String> {
+    let _parse_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_PARSE);
     let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
     let method = match value.get("method") {
         Some(Value::String(s)) => s.clone(),
@@ -436,6 +437,23 @@ impl BatchItem {
     }
 }
 
+/// Power-of-two bucket bounds of the `serve.batch_size` histogram (lines
+/// per flush reaching the solver tier, rejects included).
+const BATCH_SIZE_BOUNDS: [u64; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Records one flush into the service's observability registry: the
+/// `serve.batches` counter and the `serve.batch_size` histogram.  Once per
+/// flush, so the registry's name table is off the per-request path.
+fn record_flush(service: &SolverService, lines: usize) {
+    let obs = service.obs_registry();
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter(cr_obs::names::SERVE_BATCHES).inc();
+    obs.histogram(cr_obs::names::SERVE_BATCH_SIZE, &BATCH_SIZE_BOUNDS)
+        .observe(u64::try_from(lines).unwrap_or(u64::MAX));
+}
+
 /// Parses and solves one batch of JSONL request lines, returning one
 /// structured [`BatchItem`] per line, in input order.  Lines default their
 /// `id` to `first_id + position`; unparseable lines occupy their slot as
@@ -461,6 +479,7 @@ pub fn solve_batch_items_cancellable(
     first_id: u64,
     parent: &cr_core::CancelToken,
 ) -> Vec<BatchItem> {
+    record_flush(service, lines.len());
     let parsed: Vec<Result<WireRequest, String>> = lines
         .iter()
         .enumerate()
@@ -495,6 +514,7 @@ pub fn solve_batch_items_cancellable(
 /// Renders one batch item as a single (non-streamed) response line.
 #[must_use]
 pub fn render_item(item: &BatchItem) -> String {
+    let _serialize_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_SERIALIZE);
     match item {
         BatchItem::Solved { id, method, result } => response_line(*id, method, result),
         BatchItem::Rejected { id, kind, message } => {
@@ -549,6 +569,7 @@ pub fn render_item_streamed(item: &BatchItem, policy: StreamPolicy) -> Vec<Strin
     if steps < policy.threshold_steps {
         return vec![render_item(item)];
     }
+    let _serialize_span = cr_obs::Span::enter(cr_obs::names::SPAN_SERVE_SERIALIZE);
     let chunk_steps = policy.chunk_steps.max(1);
     let chunks = steps.div_ceil(chunk_steps);
 

@@ -32,6 +32,38 @@ fn wire_md_documents_every_transport_error_kind() {
 }
 
 #[test]
+fn wire_md_documents_every_stats_frame_field() {
+    // The stats frame is rendered by zipping STATS_FIELDS with the
+    // snapshot values, so this pin keeps the spec's field list glued to
+    // the one the server actually emits.
+    let doc = wire_md();
+    for field in cr_service::net::STATS_FIELDS {
+        assert!(
+            doc.contains(&format!("\"{field}\":N")),
+            "docs/WIRE.md does not document the stats frame field `{field}`"
+        );
+    }
+}
+
+#[test]
+fn wire_md_documents_the_metrics_control_frame() {
+    let doc = wire_md();
+    assert!(
+        doc.contains(r#"`{"control": "metrics"}`"#),
+        "docs/WIRE.md does not document the metrics control frame"
+    );
+    for shape in [
+        r#"{"control":"metrics","metrics":N,"spans":M}"#,
+        r#""total_ns""#,
+    ] {
+        assert!(
+            doc.contains(shape),
+            "docs/WIRE.md does not document the metrics dump shape `{shape}`"
+        );
+    }
+}
+
+#[test]
 fn solver_and_transport_vocabularies_do_not_overlap() {
     for kind in WIRE_ERROR_KINDS {
         assert!(

@@ -189,6 +189,7 @@ impl Simulator {
         policy: &mut dyn OnlinePolicy,
         token: &CancelToken,
     ) -> Result<SimOutcome, SimError> {
+        let _run_span = cr_obs::Span::enter(cr_obs::names::SPAN_SIM_RUN);
         let cancelled = |reason: CancelReason| SimError::Cancelled { reason };
         token.check().map_err(cancelled)?;
         let mut gate = token.gate(STEP_CHECK_STRIDE);
@@ -286,6 +287,7 @@ impl Simulator {
             lower_bound: bounds::trivial_lower_bound(&self.instance),
             per_core,
         };
+        crate::obs::record_report(&report);
         Ok(SimOutcome { report, schedule })
     }
 
@@ -331,6 +333,7 @@ impl Simulator {
         policy: &mut dyn OnlinePolicy,
         token: &CancelToken,
     ) -> Result<MultiSimReport, SimError> {
+        let _run_span = cr_obs::Span::enter(cr_obs::names::SPAN_SIM_RUN);
         let cancelled = |reason: CancelReason| SimError::Cancelled { reason };
         token.check().map_err(cancelled)?;
         let mut gate = token.gate(STEP_CHECK_STRIDE);
@@ -434,7 +437,7 @@ impl Simulator {
                 }
             })
             .collect();
-        Ok(MultiSimReport {
+        let report = MultiSimReport {
             policy: policy.name().to_string(),
             cores: m,
             resources: k,
@@ -444,7 +447,9 @@ impl Simulator {
             wasted_units_per_step,
             utilization,
             per_core,
-        })
+        };
+        crate::obs::record_multi_report(&report);
+        Ok(report)
     }
 
     /// Runs the workload under every provided policy and returns the reports

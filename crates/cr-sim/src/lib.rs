@@ -36,6 +36,7 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod policies;
 pub mod solver;
 pub mod task;
